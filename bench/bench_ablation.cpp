@@ -1,0 +1,207 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//  A1  prefix sorter's count adder: parallel-prefix (Kogge-Stone) vs ripple
+//  A2  fish sorter: which binary sorter fills the small-sorter slot
+//  A3  model-B realization overhead: FishHardware datapath vs the paper's
+//      abstract accounting
+//  A4  switch activity (dynamic-power proxy) across network families
+//  A5  levelized vs sequential netlist evaluation (simulator throughput)
+
+#include <cstdio>
+
+#include "absort/analysis/activity.hpp"
+#include "absort/netlist/analyze.hpp"
+#include "absort/netlist/levelized.hpp"
+#include "absort/netlist/optimize.hpp"
+#include "absort/sim/fish_hardware.hpp"
+#include "absort/sorters/batcher_oem.hpp"
+#include "absort/sorters/fish_sorter.hpp"
+#include "absort/sorters/hybrid_oem.hpp"
+#include "absort/sorters/muxmerge_sorter.hpp"
+#include "absort/sorters/prefix_sorter.hpp"
+#include "absort/util/math.hpp"
+#include "absort/util/rng.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace absort;
+
+void report() {
+  const auto unit = netlist::CostModel::paper_unit();
+
+  bench::heading("A1: prefix sorter count-adder choice (cost | depth)");
+  std::printf("%8s %14s %14s %14s %14s\n", "n", "KS cost", "ripple cost", "KS depth",
+              "ripple depth");
+  for (std::size_t e = 4; e <= 12; e += 2) {
+    const std::size_t n = std::size_t{1} << e;
+    const auto ks = netlist::analyze_unit(
+        sorters::PrefixSorter(n, sorters::PrefixSorter::AdderKind::KoggeStone).build_circuit());
+    const auto rp = netlist::analyze_unit(
+        sorters::PrefixSorter(n, sorters::PrefixSorter::AdderKind::Ripple).build_circuit());
+    std::printf("%8zu %14.0f %14.0f %14.0f %14.0f\n", n, ks.cost, rp.cost, ks.depth, rp.depth);
+  }
+  std::printf("(ripple saves ~7%% of the gates; at these widths (lg n bits) even the\n"
+              " linear carry chain hides under the patch-up recursion's depth, so the\n"
+              " paper's prefix-adder choice only matters asymptotically)\n");
+
+  bench::heading("A2: fish small-sorter slot (n/k-input sorter netlist cost | depth)");
+  std::printf("%8s %6s %16s %16s %16s %16s\n", "n", "n/k", "mux-merger", "prefix",
+              "mm depth", "prefix depth");
+  for (std::size_t e = 8; e <= 14; e += 2) {
+    const std::size_t n = std::size_t{1} << e;
+    const std::size_t g = n / sorters::FishSorter::default_k(n);
+    const auto mm = netlist::analyze_unit(sorters::MuxMergeSorter(g).build_circuit());
+    const auto pf = netlist::analyze_unit(sorters::PrefixSorter(g).build_circuit());
+    std::printf("%8zu %6zu %16.0f %16.0f %16.0f %16.0f\n", n, g, mm.cost, pf.cost, mm.depth,
+                pf.depth);
+  }
+
+  bench::heading("A3: model-B hardware overhead (clocked datapath vs abstract accounting)");
+  std::printf("%8s %4s %14s %14s %10s %10s\n", "n", "k", "abstract", "hardware", "ratio",
+              "cycles");
+  for (std::size_t e = 6; e <= 12; e += 2) {
+    const std::size_t n = std::size_t{1} << e;
+    const std::size_t k = sorters::FishSorter::default_k(n);
+    sorters::FishSorter model(n, k);
+    sim::FishHardware hw(n, k);
+    const double a = model.cost_report(unit).cost;
+    const double h = hw.datapath_report(unit).cost;
+    std::printf("%8zu %4zu %14.0f %14.0f %10.3f %10zu\n", n, k, a, h, h / a,
+                hw.cycles_per_sort());
+  }
+  std::printf("(the gap is the register-hold muxes, write enables and rank units --\n"
+              " the storage/control cost the paper's model leaves to the reader)\n");
+
+  bench::heading("A3b: clocked schedules (cycles per frame)");
+  std::printf("%8s %4s %12s %12s %14s\n", "n", "k", "sequential", "overlapped",
+              "streamed (10)");
+  for (std::size_t e = 6; e <= 12; e += 2) {
+    const std::size_t n = std::size_t{1} << e;
+    const std::size_t k = sorters::FishSorter::default_k(n);
+    sim::FishHardware hw(n, k);
+    std::printf("%8zu %4zu %12zu %12zu %14.1f\n", n, k, hw.cycles_per_sort(),
+                hw.cycles_per_sort_overlapped(),
+                static_cast<double>(hw.cycles_per_stream(10)) / 10.0);
+  }
+  std::printf("(ping-pong M banks let a new frame load while the previous dispatches:\n"
+              " steady-state one frame per k cycles)\n");
+
+  bench::heading("A4: steering-element activity on uniform inputs (n = 1024)");
+  {
+    Xoshiro256 rng(23);
+    struct Row {
+      const char* label;
+      netlist::Circuit circuit;
+    };
+    Row rows[] = {
+        {"batcher", sorters::BatcherOemSorter(1024).build_circuit()},
+        {"prefix", sorters::PrefixSorter(1024).build_circuit()},
+        {"mux-merger", sorters::MuxMergeSorter(1024).build_circuit()},
+    };
+    for (auto& row : rows) {
+      const auto a = analysis::measure_activity(row.circuit, rng, 100);
+      std::printf("  %-12s steering activity %.3f\n", row.label, a.steering_activity());
+    }
+  }
+
+  bench::heading("A6: optimizer on the constructions (constant folding + dead-code)");
+  {
+    struct Row {
+      const char* label;
+      netlist::Circuit circuit;
+    };
+    sim::FishHardware hw64(64, 8), hw256(256, 8);
+    Row rows[] = {
+        {"mux-merger n=256", sorters::MuxMergeSorter(256).build_circuit()},
+        {"prefix n=256", sorters::PrefixSorter(256).build_circuit()},
+        {"fish hardware n=64", hw64.machine().observable_combinational()},
+        {"fish hardware n=256", hw256.machine().observable_combinational()},
+    };
+    std::printf("%22s %10s %10s %10s %8s\n", "circuit", "before", "after", "folded+dead",
+                "saved");
+    for (auto& row : rows) {
+      netlist::OptimizeStats st;
+      (void)netlist::optimize(row.circuit, &st);
+      std::printf("%22s %10zu %10zu %10zu %7.1f%%\n", row.label, st.before, st.after,
+                  st.folded + st.dead,
+                  100.0 * (1.0 - double(st.after) / double(st.before)));
+    }
+    std::printf("(mux-merger is exactly minimal; prefix carries ~3%% dead low-order\n"
+                " count-adder bits its selects never read; the clocked datapath's\n"
+                " constant-fed enable trees fold by 12-20%%)\n");
+  }
+
+  bench::heading("A7: the Section III.A reader exercise -- sort/merge split sweep");
+  std::printf("%8s |", "n");
+  for (std::size_t b = 1; b <= 64; b *= 2) std::printf(" %9s", ("b=" + std::to_string(b)).c_str());
+  std::printf(" %9s %9s\n", "...", "b=n");
+  for (std::size_t n : {256u, 4096u}) {
+    std::printf("%8zu |", n);
+    for (std::size_t b = 1; b <= 64; b *= 2) {
+      std::printf(" %9zu", sorters::HybridOemSorter::expected_comparators(n, b));
+    }
+    std::printf(" %9s %9zu\n", "", sorters::HybridOemSorter::expected_comparators(n, n));
+  }
+  std::printf("(nonadaptively the count falls monotonically toward pure Batcher; shifting\n"
+              " work into balanced merging only pays once the adaptive patch-up replaces\n"
+              " those merges with O(n) steering -- Network 1's whole point)\n");
+
+  bench::heading("A5: levelized evaluator characteristics (prefix sorter)");
+  std::printf("%8s %12s %10s %14s\n", "n", "components", "levels", "widest level");
+  for (std::size_t e = 8; e <= 13; e += 1) {
+    const std::size_t n = std::size_t{1} << e;
+    const netlist::LevelizedCircuit lev(sorters::PrefixSorter(n).build_circuit());
+    std::printf("%8zu %12zu %10zu %14zu\n", n, lev.circuit().num_components(), lev.num_levels(),
+                lev.max_level_width());
+  }
+}
+
+void BM_SequentialEval(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto c = sorters::PrefixSorter(n).build_circuit();
+  Xoshiro256 rng(29);
+  const auto in = workload::random_bits(rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.eval(in));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SequentialEval)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
+
+void BM_LevelizedEval(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const netlist::LevelizedCircuit lev(sorters::PrefixSorter(n).build_circuit());
+  Xoshiro256 rng(29);
+  const auto in = workload::random_bits(rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lev.eval(in));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LevelizedEval)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
+
+void BM_LevelizedEvalParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const netlist::LevelizedCircuit lev(sorters::PrefixSorter(n).build_circuit());
+  Xoshiro256 rng(29);
+  const auto in = workload::random_bits(rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lev.eval_parallel(in, 4));
+  }
+}
+BENCHMARK(BM_LevelizedEvalParallel)->Arg(4096)->Arg(16384);
+
+void BM_FishHardwareSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::FishHardware hw(n, sorters::FishSorter::default_k(n));
+  Xoshiro256 rng(31);
+  const auto in = workload::random_bits(rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hw.sort(in));
+  }
+}
+BENCHMARK(BM_FishHardwareSort)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+int main(int argc, char** argv) { return absort::bench::run(argc, argv, report); }

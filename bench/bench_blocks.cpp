@@ -1,0 +1,120 @@
+// Experiments E-F1/E-F2/E-F3: building blocks of Section II.
+//
+// Regenerates the unit cost/depth accounting of Fig. 1 (the 4-input sorting
+// network), Fig. 2 (two-way and four-way swappers) and Fig. 3 (multiplexer /
+// demultiplexer trees), and times netlist construction + evaluation.
+
+#include <cstdio>
+
+#include "absort/blocks/mux.hpp"
+#include "absort/blocks/prefix_adder.hpp"
+#include "absort/blocks/swapper.hpp"
+#include "absort/netlist/analyze.hpp"
+#include "absort/sorters/batcher_oem.hpp"
+#include "absort/util/math.hpp"
+#include "absort/util/rng.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace absort;
+using netlist::Circuit;
+using netlist::analyze_unit;
+
+void report() {
+  bench::heading("Fig. 1: 4-input sorting network (paper: cost 5, depth 3)");
+  {
+    sorters::BatcherOemSorter s(4);
+    const auto r = analyze_unit(s.build_circuit());
+    std::printf("measured: cost %.0f, depth %.0f\n", r.cost, r.depth);
+  }
+
+  bench::heading("Fig. 2(a): n-input two-way swapper (paper: cost n/2, depth 1)");
+  std::printf("%8s %10s %8s\n", "n", "cost", "depth");
+  for (std::size_t n : {8u, 64u, 512u, 4096u}) {
+    Circuit c;
+    const auto in = c.inputs(n);
+    const auto ctrl = c.input();
+    c.mark_outputs(blocks::two_way_swapper(c, in, ctrl));
+    const auto r = analyze_unit(c);
+    std::printf("%8zu %10.0f %8.0f\n", n, r.cost, r.depth);
+  }
+
+  bench::heading("Fig. 2(b): n-input four-way swapper (paper: cost n, depth 1)");
+  std::printf("%8s %10s %8s\n", "n", "cost", "depth");
+  for (std::size_t n : {8u, 64u, 512u, 4096u}) {
+    Circuit c;
+    const auto in = c.inputs(n);
+    const auto s0 = c.input();
+    const auto s1 = c.input();
+    c.mark_outputs(blocks::four_way_swapper(c, in, s0, s1, blocks::in_swap_patterns()));
+    const auto r = analyze_unit(c);
+    std::printf("%8zu %10.0f %8.0f\n", n, r.cost, r.depth);
+  }
+
+  bench::heading("Fig. 3: (n,k)-multiplexer / (k,n)-demultiplexer (paper: cost n, depth lg(n/k))");
+  std::printf("%8s %4s %12s %12s %12s %12s\n", "n", "k", "mux cost", "mux depth", "demux cost",
+              "demux depth");
+  for (auto [n, k] : {std::pair<std::size_t, std::size_t>{16, 4},
+                      std::pair<std::size_t, std::size_t>{256, 16},
+                      std::pair<std::size_t, std::size_t>{4096, 64}}) {
+    Circuit cm;
+    const auto in = cm.inputs(n);
+    const auto sel = cm.inputs(ilog2(n / k));
+    for (auto w : blocks::mux_nk(cm, in, k, sel)) cm.mark_output(w);
+    const auto rm = analyze_unit(cm);
+    Circuit cd;
+    const auto din = cd.inputs(k);
+    const auto dsel = cd.inputs(ilog2(n / k));
+    for (auto w : blocks::demux_kn(cd, din, n, dsel)) cd.mark_output(w);
+    const auto rd = analyze_unit(cd);
+    std::printf("%8zu %4zu %12.0f %12.0f %12.0f %12.0f\n", n, k, rm.cost, rm.depth, rd.cost,
+                rd.depth);
+  }
+}
+
+void BM_BuildTwoWaySwapper(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Circuit c;
+    const auto in = c.inputs(n);
+    const auto ctrl = c.input();
+    c.mark_outputs(blocks::two_way_swapper(c, in, ctrl));
+    benchmark::DoNotOptimize(c.num_components());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BuildTwoWaySwapper)->RangeMultiplier(4)->Range(16, 16384)->Complexity();
+
+void BM_EvalMuxTree(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Circuit c;
+  const auto in = c.inputs(n);
+  const auto sel = c.inputs(ilog2(n));
+  c.mark_output(blocks::mux_tree(c, in, sel));
+  Xoshiro256 rng(1);
+  auto data = workload::random_bits(rng, n + ilog2(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.eval(data));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EvalMuxTree)->RangeMultiplier(4)->Range(16, 16384)->Complexity();
+
+void BM_EvalPrefixAdder(benchmark::State& state) {
+  const auto w = static_cast<std::size_t>(state.range(0));
+  Circuit c;
+  const auto a = c.inputs(w);
+  const auto b = c.inputs(w);
+  for (auto s : blocks::prefix_adder(c, a, b)) c.mark_output(s);
+  Xoshiro256 rng(2);
+  auto data = workload::random_bits(rng, 2 * w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.eval(data));
+  }
+}
+BENCHMARK(BM_EvalPrefixAdder)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) { return absort::bench::run(argc, argv, report); }

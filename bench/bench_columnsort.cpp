@@ -1,0 +1,88 @@
+// Experiment E-X1: Section III.C's comparison with Leighton's columnsort --
+// the only other O(n)-cost time-multiplexed binary sorting scheme.
+
+#include <cstdio>
+
+#include "absort/analysis/formulas.hpp"
+#include "absort/netlist/analyze.hpp"
+#include "absort/sorters/columnsort.hpp"
+#include "absort/sorters/fish_sorter.hpp"
+#include "absort/util/math.hpp"
+#include "absort/util/rng.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace absort;
+
+void report() {
+  const auto unit = netlist::CostModel::paper_unit();
+
+  bench::heading("time-multiplexed columnsort vs fish sorter (both O(n) cost)");
+  std::printf("%8s | %12s %16s %16s | %12s %16s %16s\n", "n", "fish cost", "fish T unpip",
+              "fish T pip", "colsort cost", "colsort T unpip", "colsort T pip");
+  for (std::size_t e = 8; e <= 18; e += 2) {
+    const std::size_t n = std::size_t{1} << e;
+    sorters::FishSorter fish(n, sorters::FishSorter::default_k(n));
+    const auto fr = fish.cost_report(unit);
+    const auto ft = fish.timing();
+    const auto cu = analysis::columnsort_timemux(n, false);
+    const auto cp = analysis::columnsort_timemux(n, true);
+    std::printf("%8zu | %12.0f %16.0f %16.0f | %12.0f %16.0f %16.0f\n", n, fr.cost,
+                ft.total_unpipelined, ft.total_pipelined, cu.cost, cu.time, cp.time);
+  }
+  std::printf("(columnsort needs data pipelined separately through each of its four sorting\n"
+              " passes; the fish sorter pipelines through a single n/lg n-input sorter)\n");
+
+  bench::heading("non-multiplexed columnsort network cost vs mux-merger (O(n lg^2) vs O(n lg))");
+  std::printf("%8s %16s %16s %10s\n", "n", "colsort network", "mux-merger", "ratio");
+  for (std::size_t e = 10; e <= 20; e += 2) {
+    const std::size_t n = std::size_t{1} << e;
+    const double cs = analysis::columnsort_network(n).cost;
+    const double mm = analysis::muxmerge_sorter_paper(n).cost;
+    std::printf("%8zu %16.0f %16.0f %10.3f\n", n, cs, mm, cs / mm);
+  }
+
+  bench::heading("columnsort correctness spot check (value level)");
+  Xoshiro256 rng(15);
+  for (std::size_t n : {256u, 4096u}) {
+    const auto [r, s] = sorters::ColumnsortSorter::choose_shape(n);
+    sorters::ColumnsortSorter sorter(n, r, s);
+    std::size_t ok = 0;
+    const int reps = 50;
+    for (int i = 0; i < reps; ++i) {
+      ok += sorter.sort(workload::random_bits(rng, n)).is_sorted_ascending() ? 1u : 0u;
+    }
+    std::printf("n=%5zu (r=%zu, s=%zu): %zu/%d random inputs sorted, %zu column sorts per pass\n",
+                n, r, s, ok, reps, sorter.column_sorts());
+  }
+}
+
+void BM_ColumnsortValue(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto [r, s] = sorters::ColumnsortSorter::choose_shape(n);
+  sorters::ColumnsortSorter sorter(n, r, s);
+  Xoshiro256 rng(16);
+  auto in = workload::random_bits(rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sorter.sort(in));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ColumnsortValue)->RangeMultiplier(4)->Range(256, 65536)->Complexity();
+
+void BM_FishValueForComparison(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sorters::FishSorter sorter(n, sorters::FishSorter::default_k(n));
+  Xoshiro256 rng(17);
+  auto in = workload::random_bits(rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sorter.sort(in));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FishValueForComparison)->RangeMultiplier(4)->Range(256, 65536)->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) { return absort::bench::run(argc, argv, report); }

@@ -1,0 +1,28 @@
+#pragma once
+// Shared helpers for the benchmark harness.  Every bench binary prints its
+// paper-reproduction report (the table/figure it regenerates) and then runs
+// its google-benchmark timings.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace absort::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/// Call from main(): print the report, then hand over to google-benchmark.
+template <typename ReportFn>
+int run(int argc, char** argv, ReportFn&& report) {
+  report();
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace absort::bench

@@ -1,0 +1,98 @@
+// Experiment E-X2: the abstract's comparative claims.
+//  * "improves the cost complexity of Batcher's binary sorters by a factor
+//    of O(lg^2 n) while matching their sorting time"
+//  * "our complexities outperform those of the AKS sorting network until n
+//    becomes extremely large"
+
+#include <cstdio>
+
+#include "absort/analysis/crossover.hpp"
+#include "absort/analysis/formulas.hpp"
+#include "absort/netlist/analyze.hpp"
+#include "absort/sorters/fish_sorter.hpp"
+#include "absort/sorters/muxmerge_sorter.hpp"
+#include "absort/sorters/prefix_sorter.hpp"
+#include "absort/util/math.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace absort;
+
+void report() {
+  const auto unit = netlist::CostModel::paper_unit();
+
+  bench::heading("cost ratio Batcher / adaptive (headline: grows as Theta(lg^2 n))");
+  std::printf("%8s %14s %14s %12s %12s %12s\n", "n", "Batcher", "prefix", "mux-merger",
+              "B/prefix", "B/muxmerge");
+  for (std::size_t e = 4; e <= 13; ++e) {
+    const std::size_t n = std::size_t{1} << e;
+    const double b = analysis::batcher_binary_sorter(n).cost;
+    const double p = netlist::analyze_unit(sorters::PrefixSorter(n).build_circuit()).cost;
+    const double m = netlist::analyze_unit(sorters::MuxMergeSorter(n).build_circuit()).cost;
+    std::printf("%8zu %14.0f %14.0f %12.0f %12.3f %12.3f\n", n, b, p, m, b / p, b / m);
+  }
+
+  bench::heading("per-element cost of the fish sorter vs everyone (O(n) headline)");
+  std::printf("%8s %12s %12s %12s %12s\n", "n", "Batcher/n", "prefix/n", "muxmrg/n", "fish/n");
+  for (std::size_t e = 8; e <= 14; e += 2) {
+    const std::size_t n = std::size_t{1} << e;
+    const double b = analysis::batcher_binary_sorter(n).cost / double(n);
+    const double p = sorters::PrefixSorter::expected_unit_cost(n) / double(n);
+    const double m = sorters::MuxMergeSorter::expected_unit_cost(n) / double(n);
+    sorters::FishSorter fish(n, sorters::FishSorter::default_k(n));
+    const double f = fish.cost_report(unit).cost / double(n);
+    std::printf("%8zu %12.2f %12.2f %12.2f %12.2f\n", n, b, p, m, f);
+  }
+
+  bench::heading("AKS comparison (Paterson constants, depth ~ 6100 lg n)");
+  std::printf("%8s %16s %16s %12s %12s\n", "n", "AKS cost", "muxmrg cost", "AKS depth",
+              "muxmrg depth");
+  for (std::size_t e = 4; e <= 24; e += 4) {
+    const std::size_t n = std::size_t{1} << e;
+    const auto aks = analysis::aks_model(n);
+    const auto mm = analysis::muxmerge_sorter_paper(n);
+    std::printf("%8zu %16.3g %16.3g %12.0f %12.0f\n", n, aks.cost, mm.cost, aks.depth, mm.depth);
+  }
+  std::printf("AKS *depth* only wins for lg n > %.0f (n > 2^%.0f) -- \"until n becomes "
+              "extremely large\"; its cost never wins (3050 n lg n vs 4 n lg n).\n",
+              analysis::aks_depth_crossover_lg_n(), analysis::aks_depth_crossover_lg_n());
+
+  bench::heading("sorting-time parity with Batcher (both Theta(lg^2 n))");
+  std::printf("%8s %14s %14s %14s %10s\n", "n", "Batcher depth", "muxmrg depth", "prefix depth",
+              "max ratio");
+  for (std::size_t e = 4; e <= 12; e += 2) {
+    const std::size_t n = std::size_t{1} << e;
+    const double b = analysis::batcher_binary_sorter(n).depth;
+    const double m = netlist::analyze_unit(sorters::MuxMergeSorter(n).build_circuit()).depth;
+    const double p = netlist::analyze_unit(sorters::PrefixSorter(n).build_circuit()).depth;
+    std::printf("%8zu %14.0f %14.0f %14.0f %10.2f\n", n, b, m, p, std::max(m, p) / b);
+  }
+}
+
+void BM_AdaptiveVsBatcherCostModel(benchmark::State& state) {
+  // Times the analytic sweep used above (cheap; anchors the harness).
+  for (auto _ : state) {
+    double acc = 0;
+    for (std::size_t e = 4; e <= 20; ++e) {
+      const std::size_t n = std::size_t{1} << e;
+      acc += analysis::batcher_binary_sorter(n).cost / analysis::muxmerge_sorter_paper(n).cost;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_AdaptiveVsBatcherCostModel);
+
+void BM_MeasuredCostSweep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto unit = netlist::CostModel::paper_unit();
+  for (auto _ : state) {
+    sorters::FishSorter fish(n, sorters::FishSorter::default_k(n));
+    benchmark::DoNotOptimize(fish.cost_report(unit).cost);
+  }
+}
+BENCHMARK(BM_MeasuredCostSweep)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+int main(int argc, char** argv) { return absort::bench::run(argc, argv, report); }

@@ -1,0 +1,75 @@
+// Experiment E-F5: Fig. 5 / eqs. (1)-(4) -- Network 1, the prefix binary
+// sorter.  Prints measured unit cost/depth against the paper's closed forms
+// and the Batcher baseline, then times construction and sorting.
+
+#include <cstdio>
+
+#include "absort/analysis/formulas.hpp"
+#include "absort/netlist/analyze.hpp"
+#include "absort/sorters/batcher_oem.hpp"
+#include "absort/sorters/prefix_sorter.hpp"
+#include "absort/util/math.hpp"
+#include "absort/util/rng.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace absort;
+
+void report() {
+  bench::heading("Network 1 (prefix sorter): measured vs paper (cost 3n lg n + O(lg^2 n), "
+                 "depth 3 lg^2 n + 2 lg n lg lg n)");
+  std::printf("%8s %12s %12s %10s | %10s %12s | %14s %12s\n", "n", "cost", "3n lg n",
+              "cost/nlgn", "depth", "paper bound", "Batcher cost", "B/ours");
+  for (std::size_t e = 2; e <= 13; ++e) {
+    const std::size_t n = std::size_t{1} << e;
+    sorters::PrefixSorter s(n);
+    const auto r = netlist::analyze_unit(s.build_circuit());
+    const double paper = sorters::PrefixSorter::paper_cost(n);
+    const double bound = sorters::PrefixSorter::expected_unit_depth(n);
+    const double batcher = analysis::batcher_binary_sorter(n).cost;
+    std::printf("%8zu %12.0f %12.0f %10.3f | %10.0f %12.0f | %14.0f %12.3f\n", n, r.cost, paper,
+                r.cost / (static_cast<double>(n) * lg(double(n))), r.depth, bound, batcher,
+                batcher / r.cost);
+  }
+  std::printf("(cost/nlgn converging to 3 reproduces eq. (1)'s leading constant;\n"
+              " B/ours growing ~lg^2 n/12 reproduces the headline cost improvement)\n");
+}
+
+void BM_PrefixBuildCircuit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sorters::PrefixSorter s(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.build_circuit().num_components());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PrefixBuildCircuit)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
+
+void BM_PrefixSortValue(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sorters::PrefixSorter s(n);
+  Xoshiro256 rng(5);
+  auto in = workload::random_bits(rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.sort(in));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PrefixSortValue)->RangeMultiplier(4)->Range(64, 65536)->Complexity();
+
+void BM_PrefixNetlistEval(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sorters::PrefixSorter s(n);
+  const auto c = s.build_circuit();
+  Xoshiro256 rng(6);
+  auto in = workload::random_bits(rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.eval(in));
+  }
+}
+BENCHMARK(BM_PrefixNetlistEval)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+int main(int argc, char** argv) { return absort::bench::run(argc, argv, report); }

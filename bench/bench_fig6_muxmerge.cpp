@@ -1,0 +1,71 @@
+// Experiment E-F6: Fig. 6 / eqs. (5)-(6) -- Network 2, the mux-merger binary
+// sorter.  Measured cost must equal 4 n lg n - 7n + 7 exactly, and measured
+// depth lg^2 n (documenting the paper's "D(n) = 2 lg n" misprint).
+
+#include <cstdio>
+
+#include "absort/analysis/formulas.hpp"
+#include "absort/netlist/analyze.hpp"
+#include "absort/sorters/muxmerge_sorter.hpp"
+#include "absort/util/math.hpp"
+#include "absort/util/rng.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace absort;
+
+void report() {
+  bench::heading("Network 2 (mux-merger sorter): measured vs paper (cost 4n lg n, depth "
+                 "O(lg^2 n))");
+  std::printf("%8s %12s %12s %10s | %8s %10s %14s\n", "n", "cost", "4n lg n", "cost/nlgn",
+              "depth", "lg^2 n", "paper print(+)");
+  for (std::size_t e = 1; e <= 13; ++e) {
+    const std::size_t n = std::size_t{1} << e;
+    sorters::MuxMergeSorter s(n);
+    const auto r = netlist::analyze_unit(s.build_circuit());
+    std::printf("%8zu %12.0f %12.0f %10.3f | %8.0f %10.0f %14.0f\n", n, r.cost,
+                sorters::MuxMergeSorter::paper_cost(n),
+                r.cost / (static_cast<double>(n) * lg(double(n))), r.depth,
+                lg(double(n)) * lg(double(n)), 2 * lg(double(n)));
+  }
+  std::printf("(+) the printed \"D(n) = 2 lg n\" line; the recurrence it comes from solves to\n"
+              "    Theta(lg^2 n) and the measured depth is exactly lg^2 n -- see EXPERIMENTS.md\n");
+}
+
+void BM_MuxMergeSortValue(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sorters::MuxMergeSorter s(n);
+  Xoshiro256 rng(8);
+  auto in = workload::random_bits(rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.sort(in));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MuxMergeSortValue)->RangeMultiplier(4)->Range(64, 65536)->Complexity();
+
+void BM_MuxMergeNetlistEval(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sorters::MuxMergeSorter s(n);
+  const auto c = s.build_circuit();
+  Xoshiro256 rng(9);
+  auto in = workload::random_bits(rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.eval(in));
+  }
+}
+BENCHMARK(BM_MuxMergeNetlistEval)->Arg(1024)->Arg(4096);
+
+void BM_MuxMergeBuildCircuit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sorters::MuxMergeSorter s(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.build_circuit().num_components());
+  }
+}
+BENCHMARK(BM_MuxMergeBuildCircuit)->Arg(1024)->Arg(16384);
+
+}  // namespace
+
+int main(int argc, char** argv) { return absort::bench::run(argc, argv, report); }

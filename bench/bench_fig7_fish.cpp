@@ -1,0 +1,103 @@
+// Experiment E-F7/E-F8/E-F9: Fig. 7 -- Network 3, the time-multiplexed fish
+// binary sorter; eqs. (17)-(26).  Prints the O(n)-cost table at k = lg n, the
+// k-sweep, the sorting-time comparison with/without pipelining, and the
+// worked examples of Figs. 8 and 9.
+
+#include <cstdio>
+
+#include "absort/netlist/analyze.hpp"
+#include "absort/sorters/fish_sorter.hpp"
+#include "absort/util/math.hpp"
+#include "absort/util/rng.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace absort;
+
+void report() {
+  const auto unit = netlist::CostModel::paper_unit();
+
+  bench::heading("Fig. 8 worked example: 16-input 4-way mux-merger");
+  {
+    const auto in = BitVec::parse("1111/0001/0011/0111");
+    std::printf("input (4-sorted): %s\nmerged:           %s\n", in.str(4).c_str(),
+                sorters::kway_merge(in, 4).str(4).c_str());
+  }
+  bench::heading("Fig. 9 worked example: 8-input 4-way clean sorter");
+  {
+    const auto in = BitVec::parse("11/00/11/11");
+    std::printf("input (clean 4-sorted): %s\nsorted:                 %s\n", in.str(2).c_str(),
+                sorters::kway_clean_sort(in, 4).str(2).c_str());
+  }
+
+  bench::heading("Network 3 cost at k = lg n (paper eq. 19: O(n), constant <= 17)");
+  std::printf("%8s %4s %12s %12s %10s %12s\n", "n", "k", "cost", "eq.(17)", "cost/n", "depth");
+  for (std::size_t e = 6; e <= 16; e += 2) {
+    const std::size_t n = std::size_t{1} << e;
+    const std::size_t k = sorters::FishSorter::default_k(n);
+    sorters::FishSorter s(n, k);
+    const auto r = s.cost_report(unit);
+    std::printf("%8zu %4zu %12.0f %12.0f %10.3f %12.0f\n", n, k, r.cost,
+                sorters::FishSorter::paper_cost(n, k), r.cost / static_cast<double>(n), r.depth);
+  }
+
+  bench::heading("k-sweep at n = 4096 (cost/time trade)");
+  std::printf("%6s %12s %10s %16s %16s\n", "k", "cost", "cost/n", "T unpipelined", "T pipelined");
+  for (std::size_t k = 2; k <= 64; k *= 2) {
+    sorters::FishSorter s(4096, k);
+    const auto r = s.cost_report(unit);
+    const auto t = s.timing();
+    std::printf("%6zu %12.0f %10.3f %16.0f %16.0f\n", k, r.cost, r.cost / 4096.0,
+                t.total_unpipelined, t.total_pipelined);
+  }
+
+  bench::heading("sorting time scaling (paper: O(lg^3 n) unpipelined, O(lg^2 n) pipelined)");
+  std::printf("%8s %14s %10s %14s %10s\n", "n", "T unpipelined", "/lg^3 n", "T pipelined",
+              "/lg^2 n");
+  for (std::size_t e = 6; e <= 18; e += 2) {
+    const std::size_t n = std::size_t{1} << e;
+    sorters::FishSorter s(n, sorters::FishSorter::default_k(n));
+    const auto t = s.timing();
+    const double l = lg(double(n));
+    std::printf("%8zu %14.0f %10.3f %14.0f %10.3f\n", n, t.total_unpipelined,
+                t.total_unpipelined / (l * l * l), t.total_pipelined, t.total_pipelined / (l * l));
+  }
+}
+
+void BM_FishSortValue(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sorters::FishSorter s(n, sorters::FishSorter::default_k(n));
+  Xoshiro256 rng(10);
+  auto in = workload::random_bits(rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.sort(in));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FishSortValue)->RangeMultiplier(4)->Range(64, 65536)->Complexity();
+
+void BM_FishCostReport(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sorters::FishSorter s(n, sorters::FishSorter::default_k(n));
+  const auto unit = netlist::CostModel::paper_unit();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.cost_report(unit).cost);
+  }
+}
+BENCHMARK(BM_FishCostReport)->Arg(1024)->Arg(8192);
+
+void BM_KwayMerge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(11);
+  auto in = workload::random_k_sorted(rng, n, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sorters::kway_merge(in, 16));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KwayMerge)->RangeMultiplier(4)->Range(256, 65536)->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) { return absort::bench::run(argc, argv, report); }

@@ -1,0 +1,99 @@
+// Experiment E-T1: Table I -- "Behavior of mux-merger".  Regenerates the
+// four select rows with the quarter dispositions and the IN-SWAP / OUT-SWAP
+// patterns actually applied, then times the merger.
+
+#include <cstdio>
+
+#include "absort/netlist/analyze.hpp"
+#include "absort/seqclass/seqclass.hpp"
+#include "absort/sorters/muxmerge_sorter.hpp"
+#include "absort/util/rng.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace absort;
+
+std::string cyc(const std::array<std::uint8_t, 4>& p) {
+  // Renders the quarter permutation in cycle notation on {1..4}.
+  std::string s;
+  bool used[4] = {false, false, false, false};
+  // out[q] = in[p[q]] means input p[q] -> output q.
+  std::array<int, 4> to{};
+  for (int q = 0; q < 4; ++q) to[p[static_cast<std::size_t>(q)]] = q;
+  for (int start = 0; start < 4; ++start) {
+    if (used[start]) continue;
+    if (to[start] == start) {
+      used[start] = true;
+      s += "(" + std::to_string(start + 1) + ")";
+      continue;
+    }
+    s += "(";
+    int cur = start;
+    while (!used[cur]) {
+      used[cur] = true;
+      s += std::to_string(cur + 1);
+      cur = to[cur];
+    }
+    s += ")";
+  }
+  return s;
+}
+
+void report() {
+  bench::heading("Table I: behavior of the mux-merger (n = 16 examples)");
+  // One representative bisorted input per select value:
+  const std::array<const char*, 4> inputs = {
+      "00000111" "00000011",  // b2 = x[4] = 0, b4 = x[12] = 0
+      "00000111" "00111111",  // b2 = 0, b4 = 1
+      "00111111" "00000111",  // b2 = 1, b4 = 0
+      "00111111" "01111111",  // b2 = 1, b4 = 1
+  };
+  const std::array<const char*, 4> dispositions = {
+      "q1,q3 all 0; q2*q4 bisorted", "q1 all 0, q4 all 1; q2*q3 bisorted",
+      "q2 all 1, q3 all 0; q4*q1 bisorted", "q2,q4 all 1; q1*q3 bisorted"};
+  std::printf("%6s %20s %14s %16s   %s\n", "select", "input (bisorted)", "IN-SWAP", "OUT-SWAP",
+              "quarter disposition");
+  for (int sel = 0; sel < 4; ++sel) {
+    const auto x = BitVec::parse(inputs[static_cast<std::size_t>(sel)]);
+    const auto d = sorters::mux_merger_decision(x);
+    std::printf("%4d   %20s %14s %16s   %s\n", d.select, x.str(4).c_str(),
+                cyc(d.in_pattern).c_str(), cyc(d.out_pattern).c_str(),
+                dispositions[static_cast<std::size_t>(sel)]);
+  }
+  std::printf("(OUT-SWAP uses the paper's three patterns {identity,(243),(13)(24)};\n"
+              " the IN-SWAP set is the verified variant documented in EXPERIMENTS.md)\n");
+
+  bench::heading("merger correctness sweep (exhaustive bisorted inputs)");
+  for (std::size_t n : {16u, 64u, 256u}) {
+    netlist::Circuit c;
+    const auto in = c.inputs(n);
+    c.mark_outputs(sorters::build_mux_merger(c, in));
+    std::size_t total = 0, ok = 0;
+    for (const auto& x : seqclass::enumerate_bisorted(n)) {
+      ++total;
+      ok += c.eval(x).is_sorted_ascending() ? 1u : 0u;
+    }
+    const auto r = netlist::analyze_unit(c);
+    std::printf("n=%5zu: %zu/%zu bisorted inputs merged; cost %.0f (= 4n-7), depth %.0f\n", n, ok,
+                total, r.cost, r.depth);
+  }
+}
+
+void BM_MuxMergerEval(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  netlist::Circuit c;
+  const auto in = c.inputs(n);
+  c.mark_outputs(sorters::build_mux_merger(c, in));
+  Xoshiro256 rng(7);
+  auto x = workload::random_bisorted(rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.eval(x));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MuxMergerEval)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) { return absort::bench::run(argc, argv, report); }

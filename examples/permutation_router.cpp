@@ -1,0 +1,74 @@
+// Permutation routing demo (Section IV, Fig. 10, Table II): realize an
+// arbitrary processor-to-memory permutation on (a) the radix permuter built
+// from adaptive binary sorters and (b) the Benes network baseline.
+//
+//   $ ./examples/permutation_router [n]
+//
+// Scenario: n processors issue one memory request each, to distinct banks --
+// a permutation.  The radix permuter self-routes level by level on the
+// destination-address bits; the Benes network needs the looping algorithm to
+// precompute its switch settings.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "absort/netlist/analyze.hpp"
+#include "absort/networks/benes.hpp"
+#include "absort/util/math.hpp"
+#include "absort/networks/radix_permuter.hpp"
+#include "absort/sorters/fish_sorter.hpp"
+#include "absort/sorters/muxmerge_sorter.hpp"
+#include "absort/util/rng.hpp"
+
+using namespace absort;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 64;
+  if (!is_pow2(n) || n < 8) {
+    std::fprintf(stderr, "usage: %s [n]   (n a power of two >= 8)\n", argv[0]);
+    return 1;
+  }
+  const auto unit = netlist::CostModel::paper_unit();
+  Xoshiro256 rng(11);
+  const auto dest = workload::random_permutation(rng, n);
+
+  // (a) radix permuter with fish sorters (packet-switched, O(n lg n) cost).
+  networks::RadixPermuter fish_rp(n, [](std::size_t w) -> std::unique_ptr<sorters::BinarySorter> {
+    if (w >= 8) return sorters::FishSorter::make(w);
+    return sorters::MuxMergeSorter::make(w);
+  });
+  std::vector<int> payload(n);
+  for (std::size_t i = 0; i < n; ++i) payload[i] = static_cast<int>(i);
+  const auto routed = fish_rp.permute_packets(dest, payload);
+  bool ok = true;
+  for (std::size_t i = 0; i < n; ++i) ok &= routed[dest[i]] == payload[i];
+  const auto rp_cost = fish_rp.cost_report(unit);
+  std::printf("radix permuter (fish engine):  %s\n", ok ? "permutation realized" : "FAILED");
+  std::printf("  cost %.0f (%.2f n lg n), routing time %.0f unit delays\n", rp_cost.cost,
+              rp_cost.cost / (double(n) * lg(double(n))), fish_rp.routing_time(unit));
+
+  // (b) Benes baseline: looping algorithm + switch settings.
+  networks::BenesNetwork benes(n);
+  const auto controls = benes.compute_controls(dest);
+  const auto circuit = benes.build_circuit();
+  // Verify with one-hot probes on a few inputs.
+  bool benes_ok = true;
+  for (std::size_t probe = 0; probe < std::min<std::size_t>(n, 8); ++probe) {
+    BitVec in(n + controls.size());
+    in[probe] = 1;
+    for (std::size_t c = 0; c < controls.size(); ++c) in[n + c] = controls[c];
+    const auto out = circuit.eval(in);
+    benes_ok &= out[dest[probe]] == 1;
+  }
+  const auto br = netlist::analyze_unit(circuit);
+  std::printf("Benes network:                 %s\n",
+              benes_ok ? "permutation realized" : "FAILED");
+  std::printf("  %zu switches set by looping, cost %.0f, depth %.0f\n", controls.size(), br.cost,
+              br.depth);
+
+  std::printf("\ntrade-off: Benes has the lean datapath (cost %.0f vs %.0f) but needs the\n"
+              "global looping set-up; the radix permuter self-routes from address bits\n"
+              "(Table II charges Benes O(n lg^2 n) once its routing hardware is counted).\n",
+              br.cost, rp_cost.cost);
+  return (ok && benes_ok) ? 0 : 2;
+}

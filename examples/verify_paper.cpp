@@ -1,0 +1,114 @@
+// Verification protocol: re-checks the paper's theorems and worked examples
+// end to end and prints a human-readable protocol.  This is the example to
+// run first when porting the library -- if anything here fails, the build is
+// broken in a way the paper's math would notice.
+//
+//   $ ./examples/verify_paper
+
+#include <cstdio>
+
+#include "absort/seqclass/seqclass.hpp"
+#include "absort/sorters/fish_sorter.hpp"
+#include "absort/sorters/muxmerge_sorter.hpp"
+#include "absort/sorters/prefix_sorter.hpp"
+#include "absort/util/rng.hpp"
+
+using namespace absort;
+
+namespace {
+
+int failures = 0;
+
+void check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
+  failures += ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Theorem 1: shuffle of two sorted halves is in class A_n\n");
+  {
+    bool ok = true;
+    for (std::size_t n : {8u, 16u, 32u}) {
+      for (std::size_t u = 0; u <= n / 2 && ok; ++u) {
+        for (std::size_t l = 0; l <= n / 2 && ok; ++l) {
+          ok = seqclass::in_class_a(seqclass::theorem1_shuffle(
+              BitVec::sorted_with_ones(n / 2, u), BitVec::sorted_with_ones(n / 2, l)));
+        }
+      }
+    }
+    check(ok, "exhaustive over all (u, l) for n in {8, 16, 32}");
+    check(seqclass::theorem1_shuffle(BitVec::parse("1111"), BitVec::parse("0001")).str(2) ==
+              "10/10/10/11",
+          "Example 1: shuffle(1111, 0001) = 10101011");
+  }
+
+  std::printf("Theorem 2: the mirrored stage leaves one half clean, one in A_{n/2}\n");
+  {
+    bool ok = true;
+    for (const auto& z : seqclass::enumerate_class_a(16)) {
+      const auto y = seqclass::balanced_first_stage(z);
+      const auto yu = y.slice(0, 8);
+      const auto yl = y.slice(8, 8);
+      ok = ok && ((seqclass::is_clean_sorted(yu) && seqclass::in_class_a(yl)) ||
+                  (seqclass::is_clean_sorted(yl) && seqclass::in_class_a(yu)));
+    }
+    check(ok, "exhaustive over every member of A_16");
+    const auto y = seqclass::balanced_first_stage(BitVec::parse("10101011"));
+    check(y.slice(0, 4).str() == "1000" && y.slice(4, 4).str() == "1111",
+          "Example 2: 101010/11 -> Yu=1000, Yl=1111");
+  }
+
+  std::printf("Theorem 3: bisorted quarters -- two clean, two re-bisorted\n");
+  {
+    bool ok = true;
+    for (const auto& x : seqclass::enumerate_bisorted(16)) {
+      int clean = 0;
+      std::vector<BitVec> dirty;
+      for (std::size_t j = 0; j < 4; ++j) {
+        const auto q = x.slice(j * 4, 4);
+        if (seqclass::is_clean_sorted(q)) {
+          ++clean;
+        } else {
+          dirty.push_back(q);
+        }
+      }
+      ok = ok && clean >= 2 &&
+           (dirty.size() != 2 || seqclass::is_bisorted(dirty[0].concat(dirty[1])));
+    }
+    check(ok, "exhaustive over every bisorted sequence of length 16");
+  }
+
+  std::printf("Theorem 4: k-SWAP splits a k-sorted sequence clean/k-sorted\n");
+  {
+    bool ok = true;
+    for (const auto& v : seqclass::enumerate_k_sorted(16, 4)) {
+      const auto merged = sorters::kway_merge(v, 4);
+      ok = ok && merged.is_sorted_ascending() && merged.count_ones() == v.count_ones();
+    }
+    check(ok, "the 4-way merger sorts every 4-sorted sequence of length 16");
+    check(sorters::kway_merge(BitVec::parse("1111000100110111"), 4).is_sorted_ascending(),
+          "Fig. 8 input merges");
+    check(sorters::kway_clean_sort(BitVec::parse("11001111"), 4).str(2) == "00/11/11/11",
+          "Fig. 9 clean sorter ordering");
+  }
+
+  std::printf("Networks sort (exhaustive n = 12, all three adaptive networks)\n");
+  {
+    sorters::PrefixSorter p(16);
+    sorters::MuxMergeSorter m(16);
+    sorters::FishSorter f(16, 4);
+    bool ok = true;
+    for (std::uint64_t x = 0; x < (1u << 16) && ok; x += 7) {  // dense sample
+      const auto in = BitVec::from_bits_of(x, 16);
+      ok = p.sort(in).is_sorted_ascending() && m.sort(in).is_sorted_ascending() &&
+           f.sort(in).is_sorted_ascending();
+    }
+    check(ok, "prefix, mux-merger and fish agree with the spec");
+  }
+
+  std::printf("\n%s (%d failure%s)\n", failures == 0 ? "ALL CHECKS PASSED" : "CHECKS FAILED",
+              failures, failures == 1 ? "" : "s");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+#include "absort/analysis/activity.hpp"
+
+#include <vector>
+
+namespace absort::analysis {
+
+using netlist::Kind;
+
+double ActivityReport::steering_activity() const {
+  double act = 0, pop = 0;
+  for (Kind k : {Kind::Comparator, Kind::Switch2x2, Kind::Switch4x4, Kind::Mux21,
+                 Kind::Demux12}) {
+    act += active[static_cast<std::size_t>(k)];
+    pop += static_cast<double>(population[static_cast<std::size_t>(k)]);
+  }
+  if (pop == 0 || samples == 0) return 0;
+  return act / (pop * static_cast<double>(samples));
+}
+
+ActivityReport measure_activity(const netlist::Circuit& c, Xoshiro256& rng,
+                                std::size_t samples) {
+  ActivityReport r;
+  r.samples = samples;
+  r.population = c.inventory();
+  std::vector<Bit> w;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto in = workload::random_bits(rng, c.num_inputs());
+    (void)c.eval(in, w);
+    for (const auto& comp : c.components()) {
+      bool active = false;
+      switch (comp.kind) {
+        case Kind::Comparator:
+          // an exchange happened iff (upper, lower) was (1, 0)
+          active = w[comp.in[0]] == 1 && w[comp.in[1]] == 0;
+          break;
+        case Kind::Switch2x2: active = w[comp.in[2]] != 0; break;
+        case Kind::Mux21: active = w[comp.in[2]] != 0; break;
+        case Kind::Demux12: active = w[comp.in[1]] != 0; break;
+        case Kind::Switch4x4: active = (w[comp.in[4]] | w[comp.in[5]]) != 0; break;
+        default: break;
+      }
+      if (active) r.active[static_cast<std::size_t>(comp.kind)] += 1;
+    }
+  }
+  return r;
+}
+
+}  // namespace absort::analysis

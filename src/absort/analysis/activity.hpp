@@ -1,0 +1,32 @@
+#pragma once
+// Switch-activity analysis: for a given circuit and input distribution, how
+// many steering elements actually *act* (comparators that exchange, switches
+// that cross, muxes whose select is high)?  A cheap dynamic-power proxy that
+// separates the adaptive networks (few, condition-driven exchanges) from the
+// oblivious comparator networks (data-independent wiring, data-dependent
+// exchanges everywhere) -- reported by bench_ablation.
+
+#include <array>
+#include <cstddef>
+
+#include "absort/netlist/circuit.hpp"
+#include "absort/util/rng.hpp"
+
+namespace absort::analysis {
+
+struct ActivityReport {
+  /// Per component Kind: how many instances were "active" summed over all
+  /// evaluated inputs (exchange performed / control high / select nonzero).
+  std::array<double, netlist::kNumKinds> active{};
+  std::array<std::size_t, netlist::kNumKinds> population{};  ///< instances per kind
+  std::size_t samples = 0;
+
+  /// Mean fraction of steering elements active per evaluation.
+  [[nodiscard]] double steering_activity() const;
+};
+
+/// Evaluates `samples` uniform random inputs and tallies activity.
+[[nodiscard]] ActivityReport measure_activity(const netlist::Circuit& c, Xoshiro256& rng,
+                                              std::size_t samples);
+
+}  // namespace absort::analysis

@@ -1,0 +1,27 @@
+#include "absort/analysis/crossover.hpp"
+
+namespace absort::analysis {
+
+std::vector<RatioPoint> ratio_sweep(const std::function<double(std::size_t)>& a,
+                                    const std::function<double(std::size_t)>& b,
+                                    std::size_t lo_exp, std::size_t hi_exp) {
+  std::vector<RatioPoint> out;
+  for (std::size_t e = lo_exp; e <= hi_exp; ++e) {
+    const std::size_t n = std::size_t{1} << e;
+    const double av = a(n), bv = b(n);
+    out.push_back({n, av, bv, bv != 0 ? av / bv : 0});
+  }
+  return out;
+}
+
+std::size_t first_crossover(const std::function<double(std::size_t)>& a,
+                            const std::function<double(std::size_t)>& b, std::size_t lo_exp,
+                            std::size_t hi_exp) {
+  for (std::size_t e = lo_exp; e <= hi_exp; ++e) {
+    const std::size_t n = std::size_t{1} << e;
+    if (a(n) < b(n)) return n;
+  }
+  return 0;
+}
+
+}  // namespace absort::analysis

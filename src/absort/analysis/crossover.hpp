@@ -1,0 +1,28 @@
+#pragma once
+// Crossover and scaling sweeps between complexity models (experiment E-X2:
+// the abstract's claims about Batcher and AKS).
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace absort::analysis {
+
+struct RatioPoint {
+  std::size_t n;
+  double a = 0;
+  double b = 0;
+  double ratio = 0;  ///< a / b
+};
+
+/// Evaluates two size->value models at n = 2^lo_exp .. 2^hi_exp.
+[[nodiscard]] std::vector<RatioPoint> ratio_sweep(
+    const std::function<double(std::size_t)>& a, const std::function<double(std::size_t)>& b,
+    std::size_t lo_exp, std::size_t hi_exp);
+
+/// Smallest n = 2^e in [2^lo_exp, 2^hi_exp] with a(n) < b(n); 0 if none.
+[[nodiscard]] std::size_t first_crossover(const std::function<double(std::size_t)>& a,
+                                          const std::function<double(std::size_t)>& b,
+                                          std::size_t lo_exp, std::size_t hi_exp);
+
+}  // namespace absort::analysis

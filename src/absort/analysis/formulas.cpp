@@ -1,0 +1,141 @@
+#include "absort/analysis/formulas.hpp"
+
+#include <cmath>
+
+#include "absort/sorters/fish_sorter.hpp"
+#include "absort/util/math.hpp"
+
+namespace absort::analysis {
+namespace {
+
+double dl(std::size_t n) { return static_cast<double>(n); }
+double l(std::size_t n) { return lg(dl(n)); }
+double ll(std::size_t n) { return lg(std::max(2.0, l(n))); }
+
+// Paterson's improvement of AKS; the constant is the commonly quoted ~6100.
+constexpr double kAksDepthConstant = 6100.0;
+
+}  // namespace
+
+Complexity batcher_binary_sorter(std::size_t n) {
+  const double p = l(n);
+  const double depth = p * (p + 1) / 2;
+  return {dl(n) / 4 * (p * p - p + 4) - 1, depth, depth};
+}
+
+Complexity prefix_sorter_paper(std::size_t n) {
+  const double depth = 3 * l(n) * l(n) + 2 * l(n) * ll(n);
+  return {3 * dl(n) * l(n), depth, depth};
+}
+
+Complexity muxmerge_sorter_paper(std::size_t n) {
+  // Depth: the recurrence D(n) = D(n/2) + 2 lg n, D(2) = 1, solved exactly
+  // = lg^2 n + lg n - 1 (the construction measures lg^2 n; the paper's
+  // per-level bound 2 lg n is loose by the "-1" per level).
+  const double depth = l(n) * l(n) + l(n) - 1;
+  return {4 * dl(n) * l(n), depth, depth};
+}
+
+Complexity fish_sorter_paper(std::size_t n, std::size_t k) {
+  Complexity c;
+  c.cost = sorters::FishSorter::paper_cost(n, k);
+  c.depth = sorters::FishSorter::paper_depth_bound(n, k);
+  // eq. (25): pipelined time O(lg^2(n/k)) + O(k) + O(lg k) + O(lg n lg k).
+  const double nk = dl(n) / dl(k);
+  c.time = 2 * lg(nk) * lg(nk) + dl(k) + lg(dl(k)) + 2 * l(n) * lg(dl(k));
+  return c;
+}
+
+Complexity aks_model(std::size_t n) {
+  const double depth = kAksDepthConstant * l(n);
+  return {dl(n) / 2 * depth, depth, depth};
+}
+
+Complexity columnsort_timemux(std::size_t n, bool pipelined) {
+  // lg^2 n columns of r = n/lg^2 n elements; one r-input Batcher sorter,
+  // (n,r)-mux and (r,n)-demux per sorting step (cost comparable to the fish
+  // sorter's front end), 4 sorting passes.
+  const double s = l(n) * l(n);
+  const double r = dl(n) / s;
+  const auto batcher = batcher_binary_sorter(static_cast<std::size_t>(std::max(2.0, r)));
+  Complexity c;
+  c.cost = batcher.cost + 2 * dl(n);  // one sorter + mux/demux trees
+  c.depth = batcher.depth + 2 * lg(s);
+  const double pass_unpipelined = s * batcher.depth;       // s columns, one at a time
+  const double pass_pipelined = batcher.depth + (s - 1);   // streamed
+  c.time = 4 * (pipelined ? pass_pipelined : pass_unpipelined) + 4 * 2 * lg(s);
+  return c;
+}
+
+Complexity columnsort_network(std::size_t n) {
+  // lg^2 n parallel Batcher sorters of n/lg^2 n inputs, 4 passes.
+  const double s = l(n) * l(n);
+  const double r = dl(n) / s;
+  const auto batcher = batcher_binary_sorter(static_cast<std::size_t>(std::max(2.0, r)));
+  return {4 * s * batcher.cost, 4 * batcher.depth, 4 * batcher.depth};
+}
+
+Complexity benes_permuter(std::size_t n) {
+  // Switches n/2 (2 lg n - 1) plus O(n lg n) routing processors of bit-level
+  // cost lg n each [18]; permutation time O(lg^4 n / lg lg n).
+  return {dl(n) / 2 * (2 * l(n) - 1) + dl(n) * l(n) * l(n), 2 * l(n) - 1,
+          l(n) * l(n) * l(n) * l(n) / ll(n)};
+}
+
+Complexity batcher_permuter(std::size_t n) {
+  // Sorting lg n-bit addresses: every comparator becomes a lg n-bit
+  // bit-serial comparator => cost and time gain a lg n factor over the
+  // binary sorter.
+  const auto b = batcher_binary_sorter(n);
+  return {b.cost * l(n), b.depth * l(n), b.time * l(n)};
+}
+
+Complexity jan_oruc_permuter(std::size_t n) {
+  return {dl(n) * l(n) * l(n), l(n) * l(n), l(n) * l(n) * ll(n)};
+}
+
+Complexity this_paper_permuter_fish(std::size_t n) {
+  // eq. (26): C_rp(n) = sum over levels of the fish sorter's O(n) cost
+  // = O(n lg n); eq. (27): time = lg n levels x O(lg^2 n) = O(lg^3 n).
+  Complexity acc;
+  for (std::size_t w = n; w >= 4; w /= 2) {
+    const std::size_t k = sorters::FishSorter::default_k(w);
+    const auto f = fish_sorter_paper(w, k);
+    acc.cost += dl(n) / dl(w) * f.cost;
+    acc.depth += f.depth;
+    acc.time += f.time;
+  }
+  // windows of size 2: plain comparators
+  acc.cost += dl(n) / 2;
+  acc.depth += 1;
+  acc.time += 1;
+  return acc;
+}
+
+Complexity this_paper_permuter_muxmerge(std::size_t n) {
+  Complexity acc;
+  for (std::size_t w = n; w >= 2; w /= 2) {
+    const auto s = muxmerge_sorter_paper(w);
+    acc.cost += dl(n) / dl(w) * s.cost;
+    acc.depth += s.depth;
+    acc.time += s.time;
+  }
+  return acc;
+}
+
+double aks_depth_crossover_lg_n() {
+  // Solve kAksDepthConstant * L = L^2 + L - 1 for L = lg n.
+  double lo = 1, hi = 1e6;
+  const auto f = [](double L) { return (L * L + L - 1) - kAksDepthConstant * L; };
+  for (int it = 0; it < 200; ++it) {
+    const double mid = (lo + hi) / 2;
+    if (f(mid) < 0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace absort::analysis

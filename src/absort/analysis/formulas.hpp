@@ -1,0 +1,82 @@
+#pragma once
+// Closed-form complexity models: the paper's equations (1)-(27) plus the
+// literature baselines it compares against (Batcher, AKS, columnsort,
+// Benes).  Everything is in bit-level units (constant-fanin gates / unit
+// gate delays), matching Section II's accounting, so the benches can print
+// "paper formula vs measured" side by side.
+
+#include <cstddef>
+
+namespace absort::analysis {
+
+/// Bit-level cost / depth / sorting-or-routing time of one construction.
+struct Complexity {
+  double cost = 0;
+  double depth = 0;
+  double time = 0;
+};
+
+// ---- binary sorters --------------------------------------------------------
+
+/// Batcher's odd-even merge network on binary inputs:
+/// cost (n/4)(lg^2 n - lg n + 4) - 1, depth = time = lg n (lg n + 1)/2.
+Complexity batcher_binary_sorter(std::size_t n);
+
+/// Network 1 (prefix sorter), Section III.A's solution:
+/// cost 3 n lg n + O(lg^2 n), depth = time = 3 lg^2 n + 2 lg n lg lg n.
+Complexity prefix_sorter_paper(std::size_t n);
+
+/// Network 2 (mux-merger sorter): cost 4 n lg n; depth = time = the solved
+/// recurrence Theta(lg^2 n) (the printed "2 lg n" is a typo; we evaluate the
+/// recurrence D(n) = D(n/2) + 2 lg n exactly).
+Complexity muxmerge_sorter_paper(std::size_t n);
+
+/// Network 3 (fish sorter) at parameter k: cost per eq. (17), depth per
+/// eq. (18); time = pipelined eq. (25)-(26).
+Complexity fish_sorter_paper(std::size_t n, std::size_t k);
+
+/// The AKS sorting network with Paterson's constants: depth ~ 6100 lg n,
+/// cost ~ (n/2) * depth comparators.  The abstract's claim -- our networks
+/// beat AKS "until n becomes extremely large" -- is quantified by
+/// aks_crossover_lg_n() below.
+Complexity aks_model(std::size_t n);
+
+/// Time-multiplexed columnsort (Section III.C discussion): lg^2 n columns of
+/// n / lg^2 n elements, each sorting step streamed through one Batcher
+/// sorter: cost O(n), time O(lg^4 n) unpipelined / O(lg^2 n) pipelined.
+/// `pipelined` selects which time is reported.
+Complexity columnsort_timemux(std::size_t n, bool pipelined);
+
+/// Non-multiplexed binary columnsort (lg^2 n parallel Batcher sorters):
+/// cost O(n lg^2 n) -- the paper contrasts this with the mux-merger's
+/// O(n lg n).
+Complexity columnsort_network(std::size_t n);
+
+// ---- permutation networks (Table II rows) ----------------------------------
+
+/// Benes network including the bit-level cost of its routing processors
+/// ([18]): cost O(n lg^2 n), depth O(lg n), time O(lg^4 n / lg lg n).
+Complexity benes_permuter(std::size_t n);
+
+/// Batcher-based permutation network: cost O(n lg^3 n), time O(lg^3 n).
+Complexity batcher_permuter(std::size_t n);
+
+/// Jan-Oruc radix permuter [11]: cost O(n lg^2 n), time O(lg^2 n lg lg n).
+Complexity jan_oruc_permuter(std::size_t n);
+
+/// This paper's permuter with fish sorters (eqs. 26-27): cost O(n lg n),
+/// time O(lg^3 n); packet-switched.
+Complexity this_paper_permuter_fish(std::size_t n);
+
+/// This paper's permuter with mux-merger sorters: cost O(n lg^2 n),
+/// time O(lg^3 n); circuit-switched.
+Complexity this_paper_permuter_muxmerge(std::size_t n);
+
+// ---- crossover -------------------------------------------------------------
+
+/// Smallest lg n at which the AKS binary sorter's *depth* drops below the
+/// mux-merger sorter's depth (its cost never does: 6100/2 n lg n vs 4 n lg n).
+/// Returns lg n (about 3000+, i.e., n ~ 2^3000 -- "extremely large").
+double aks_depth_crossover_lg_n();
+
+}  // namespace absort::analysis

@@ -1,0 +1,47 @@
+#include "absort/analysis/tables.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace absort::analysis {
+
+std::vector<Table2Row> table2(std::size_t n) {
+  std::vector<Table2Row> rows;
+  rows.push_back({"Benes [4] (+routing model [18])", "O(n lg^2 n)", "O(lg n)",
+                  "O(lg^4 n / lg lg n)", benes_permuter(n), std::nullopt});
+  rows.push_back({"Batcher sorting network [3]", "O(n lg^3 n)", "O(lg^3 n)", "O(lg^3 n)",
+                  batcher_permuter(n), std::nullopt});
+  rows.push_back({"Koppelman-Oruc [13]", "O(n lg^3 n)", "O(lg^3 n)", "O(lg^3 n)",
+                  batcher_permuter(n), std::nullopt});
+  rows.push_back({"Jan-Oruc radix permuter [11]", "O(n lg^2 n)", "O(lg^2 n)",
+                  "O(lg^2 n lg lg n)", jan_oruc_permuter(n), std::nullopt});
+  rows.push_back({"This paper (fish sorters)", "O(n lg n)", "O(lg^3 n)", "O(lg^3 n)",
+                  this_paper_permuter_fish(n), std::nullopt});
+  rows.push_back({"This paper (mux-merger sorters)", "O(n lg^2 n)", "O(lg^3 n)", "O(lg^3 n)",
+                  this_paper_permuter_muxmerge(n), std::nullopt});
+  return rows;
+}
+
+std::string render_table2(const std::vector<Table2Row>& rows, std::size_t n) {
+  std::ostringstream os;
+  os << "Table II: permutation network complexities in bit level (n = " << n << ")\n";
+  os << std::left << std::setw(34) << "construction" << std::setw(14) << "cost"
+     << std::setw(12) << "depth" << std::setw(22) << "perm. time" << std::setw(14)
+     << "cost@n" << std::setw(12) << "time@n" << std::setw(26) << "measured cost/time@n" << "\n";
+  os << std::string(134, '-') << "\n";
+  for (const auto& r : rows) {
+    os << std::left << std::setw(34) << r.construction << std::setw(14) << r.cost_expr
+       << std::setw(12) << r.depth_expr << std::setw(22) << r.time_expr;
+    os << std::right << std::setw(12) << std::fixed << std::setprecision(0) << r.model.cost
+       << "  " << std::setw(10) << r.model.time << "  ";
+    if (r.measured) {
+      os << std::setw(12) << r.measured->cost << " / " << std::setw(9) << r.measured->time;
+    } else {
+      os << std::setw(24) << "(analytic only)";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace absort::analysis

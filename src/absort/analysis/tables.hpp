@@ -1,0 +1,32 @@
+#pragma once
+// Table II generator: "Complexities of various permutation network designs
+// in bit level" -- the paper's closing comparison, regenerated with the
+// printed order expressions and their evaluated values at a concrete n,
+// alongside *measured* values for the rows we actually built.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "absort/analysis/formulas.hpp"
+
+namespace absort::analysis {
+
+struct Table2Row {
+  std::string construction;  ///< design + citation, as the paper lists it
+  std::string cost_expr;     ///< printed asymptotic cost
+  std::string depth_expr;
+  std::string time_expr;     ///< printed permutation time
+  Complexity model;          ///< the expressions evaluated at n
+  std::optional<Complexity> measured;  ///< from our built network, when we built it
+};
+
+/// The analytic rows of Table II at size n (measured fields empty; the bench
+/// fills them for the rows this library implements).
+[[nodiscard]] std::vector<Table2Row> table2(std::size_t n);
+
+/// Fixed-width text rendering (printed by bench_tab2_permuters).
+[[nodiscard]] std::string render_table2(const std::vector<Table2Row>& rows, std::size_t n);
+
+}  // namespace absort::analysis

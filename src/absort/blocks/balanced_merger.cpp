@@ -1,0 +1,23 @@
+#include "absort/blocks/balanced_merger.hpp"
+
+#include "absort/blocks/comparator_stage.hpp"
+#include "absort/netlist/wiring.hpp"
+#include "absort/util/math.hpp"
+
+namespace absort::blocks {
+
+using netlist::Circuit;
+using netlist::WireId;
+namespace wiring = netlist::wiring;
+
+std::vector<WireId> balanced_merging_block(Circuit& c, const std::vector<WireId>& in) {
+  require_pow2(in.size(), 1, "balanced_merging_block");
+  if (in.size() == 1) return in;
+  const std::size_t h = in.size() / 2;
+  const auto staged = mirrored_stage(c, in);
+  const auto upper = balanced_merging_block(c, wiring::slice(staged, 0, h));
+  const auto lower = balanced_merging_block(c, wiring::slice(staged, h, h));
+  return wiring::concat(upper, lower);
+}
+
+}  // namespace absort::blocks

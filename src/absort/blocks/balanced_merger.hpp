@@ -1,0 +1,24 @@
+#pragma once
+// The balanced merging block (Dowd, Perl, Rudolph & Saks [8], [9]).
+//
+// Stage 1 compares mirrored pairs (i, n-1-i); then the block recurses on
+// each half independently.  Cost (n/2)*lg n comparators, depth lg n.
+//
+// For binary inputs drawn from class A_n (which is exactly what the shuffle
+// of two sorted halves produces -- Theorem 1), the block sorts: Theorem 2
+// shows stage 1 leaves one half clean and the other in A_{n/2}, and a clean
+// half passes through the recursive stages unchanged.  This is the
+// *nonadaptive* O(n lg n) merger that Network 1's adaptive patch-up improves
+// to O(n) by recursing into only the unsorted half.
+
+#include <vector>
+
+#include "absort/netlist/circuit.hpp"
+
+namespace absort::blocks {
+
+/// Full balanced merging block on `in`; returns the output bundle.
+std::vector<netlist::WireId> balanced_merging_block(netlist::Circuit& c,
+                                                    const std::vector<netlist::WireId>& in);
+
+}  // namespace absort::blocks

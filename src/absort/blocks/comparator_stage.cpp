@@ -1,0 +1,41 @@
+#include "absort/blocks/comparator_stage.hpp"
+
+#include <stdexcept>
+
+namespace absort::blocks {
+
+using netlist::Circuit;
+using netlist::WireId;
+
+std::vector<WireId> compare_at(Circuit& c, std::vector<WireId> in, std::size_t i, std::size_t j) {
+  if (i >= j || j >= in.size()) throw std::invalid_argument("compare_at: bad indices");
+  const auto [lo, hi] = c.comparator(in[i], in[j]);
+  in[i] = lo;
+  in[j] = hi;
+  return in;
+}
+
+std::vector<WireId> adjacent_stage(Circuit& c, const std::vector<WireId>& in) {
+  if (in.size() % 2 != 0) throw std::invalid_argument("adjacent_stage: odd size");
+  std::vector<WireId> out = in;
+  for (std::size_t i = 0; i + 1 < in.size(); i += 2) {
+    const auto [lo, hi] = c.comparator(in[i], in[i + 1]);
+    out[i] = lo;
+    out[i + 1] = hi;
+  }
+  return out;
+}
+
+std::vector<WireId> mirrored_stage(Circuit& c, const std::vector<WireId>& in) {
+  if (in.size() % 2 != 0) throw std::invalid_argument("mirrored_stage: odd size");
+  const std::size_t n = in.size();
+  std::vector<WireId> out = in;
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    const auto [lo, hi] = c.comparator(in[i], in[n - 1 - i]);
+    out[i] = lo;
+    out[n - 1 - i] = hi;
+  }
+  return out;
+}
+
+}  // namespace absort::blocks

@@ -1,0 +1,28 @@
+#pragma once
+// Comparator-stage builders shared by the sorting networks.
+//
+// A binary comparator places min(a,b) = a AND b on its upper output and
+// max(a,b) = a OR b on its lower output, so cascades of comparators produce
+// ascending order (0's on top), matching every figure in the paper.
+
+#include <vector>
+
+#include "absort/netlist/circuit.hpp"
+
+namespace absort::blocks {
+
+/// One comparator across positions (i, j) of the bundle, min staying at the
+/// smaller index.  Returns the updated bundle.
+std::vector<netlist::WireId> compare_at(netlist::Circuit& c, std::vector<netlist::WireId> in,
+                                        std::size_t i, std::size_t j);
+
+/// Comparators on adjacent pairs: (0,1), (2,3), ...  Size must be even.
+std::vector<netlist::WireId> adjacent_stage(netlist::Circuit& c,
+                                            const std::vector<netlist::WireId>& in);
+
+/// The balanced merging block's first stage: comparators on mirrored pairs
+/// (i, n-1-i), min at i.  This is the stage Theorem 2 analyses.
+std::vector<netlist::WireId> mirrored_stage(netlist::Circuit& c,
+                                            const std::vector<netlist::WireId>& in);
+
+}  // namespace absort::blocks

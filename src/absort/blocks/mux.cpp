@@ -1,0 +1,85 @@
+#include "absort/blocks/mux.hpp"
+
+#include <stdexcept>
+
+#include "absort/util/math.hpp"
+
+namespace absort::blocks {
+
+using netlist::Circuit;
+using netlist::WireId;
+
+WireId mux_tree(Circuit& c, const std::vector<WireId>& in, std::span<const WireId> sel) {
+  require_pow2(in.size(), 1, "mux_tree");
+  const std::size_t levels = ilog2(in.size());
+  if (sel.size() != levels) throw std::invalid_argument("mux_tree: wrong select width");
+  std::vector<WireId> cur = in;
+  // Combine with the low select bit at the leaves so that the selected index
+  // is the little-endian value of `sel`.
+  for (std::size_t l = 0; l < levels; ++l) {
+    std::vector<WireId> next;
+    next.reserve(cur.size() / 2);
+    for (std::size_t i = 0; i + 1 < cur.size(); i += 2) {
+      next.push_back(c.mux(cur[i], cur[i + 1], sel[l]));
+    }
+    cur = std::move(next);
+  }
+  return cur[0];
+}
+
+std::vector<WireId> mux_nk(Circuit& c, const std::vector<WireId>& in, std::size_t k,
+                           std::span<const WireId> sel) {
+  if (k == 0 || in.size() % k != 0) throw std::invalid_argument("mux_nk: k must divide n");
+  const std::size_t groups = in.size() / k;
+  require_pow2(groups, 1, "mux_nk groups");
+  std::vector<WireId> out;
+  out.reserve(k);
+  // Couple k (groups,1)-multiplexers: output j selects element j of the
+  // chosen group.
+  for (std::size_t j = 0; j < k; ++j) {
+    std::vector<WireId> lane;
+    lane.reserve(groups);
+    for (std::size_t g = 0; g < groups; ++g) lane.push_back(in[g * k + j]);
+    out.push_back(mux_tree(c, lane, sel));
+  }
+  return out;
+}
+
+std::vector<WireId> demux_tree(Circuit& c, WireId d, std::span<const WireId> sel, std::size_t m) {
+  require_pow2(m, 1, "demux_tree");
+  const std::size_t levels = ilog2(m);
+  if (sel.size() != levels) throw std::invalid_argument("demux_tree: wrong select width");
+  std::vector<WireId> cur{d};
+  // Split with the high select bit first so out[value(sel)] receives d with
+  // `sel` read little-endian.
+  for (std::size_t l = levels; l > 0; --l) {
+    std::vector<WireId> next;
+    next.reserve(cur.size() * 2);
+    for (WireId w : cur) {
+      const auto [o0, o1] = c.demux(w, sel[l - 1]);
+      next.push_back(o0);
+      next.push_back(o1);
+    }
+    // `next` is ordered by the bits consumed so far (most significant first);
+    // continue splitting each in place.
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+std::vector<WireId> demux_kn(Circuit& c, const std::vector<WireId>& in, std::size_t n,
+                             std::span<const WireId> sel) {
+  const std::size_t k = in.size();
+  if (k == 0 || n % k != 0) throw std::invalid_argument("demux_kn: k must divide n");
+  const std::size_t groups = n / k;
+  require_pow2(groups, 1, "demux_kn groups");
+  // Couple k (1,groups)-demultiplexers; lane j feeds element j of each group.
+  std::vector<WireId> out(n, netlist::kNoWire);
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto lane = demux_tree(c, in[j], sel, groups);
+    for (std::size_t g = 0; g < groups; ++g) out[g * k + j] = lane[g];
+  }
+  return out;
+}
+
+}  // namespace absort::blocks

@@ -1,0 +1,37 @@
+#pragma once
+// Multiplexer and demultiplexer trees (Fig. 3 of the paper).
+//
+// An (m,1)-multiplexer is a balanced binary tree of lg m levels of (2,1)-
+// multiplexers (cost m-1, depth lg m).  An (n,k)-multiplexer couples k
+// (n/k,1)-multiplexers to select one of n/k groups of k inputs (the paper
+// charges it n cost and lg(n/k) depth; the exact built cost is n-k).
+// Demultiplexers are the mirror image built from (1,2)-demultiplexers.
+
+#include <span>
+#include <vector>
+
+#include "absort/netlist/circuit.hpp"
+
+namespace absort::blocks {
+
+/// (m,1)-multiplexer: selects in[value(sel)] where sel is little-endian and
+/// has exactly lg m bits; m must be a power of two.
+netlist::WireId mux_tree(netlist::Circuit& c, const std::vector<netlist::WireId>& in,
+                         std::span<const netlist::WireId> sel);
+
+/// (n,k)-multiplexer: input is n/k contiguous groups of k wires; returns the
+/// k wires of group value(sel).  sel has lg(n/k) bits, little-endian.
+std::vector<netlist::WireId> mux_nk(netlist::Circuit& c, const std::vector<netlist::WireId>& in,
+                                    std::size_t k, std::span<const netlist::WireId> sel);
+
+/// (1,m)-demultiplexer: routes d to out[value(sel)]; all other outputs are 0.
+/// Returns m wires; m must be a power of two, sel has lg m bits.
+std::vector<netlist::WireId> demux_tree(netlist::Circuit& c, netlist::WireId d,
+                                        std::span<const netlist::WireId> sel, std::size_t m);
+
+/// (k,n)-demultiplexer: routes the k input wires to group value(sel) of the
+/// n/k output groups; all other outputs are 0.  Returns n wires.
+std::vector<netlist::WireId> demux_kn(netlist::Circuit& c, const std::vector<netlist::WireId>& in,
+                                      std::size_t n, std::span<const netlist::WireId> sel);
+
+}  // namespace absort::blocks

@@ -1,0 +1,63 @@
+#include "absort/blocks/prefix_adder.hpp"
+
+#include <stdexcept>
+
+namespace absort::blocks {
+
+using netlist::Circuit;
+using netlist::WireId;
+
+std::vector<WireId> prefix_adder(Circuit& c, std::span<const WireId> a,
+                                 std::span<const WireId> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("prefix_adder: width mismatch");
+  const std::size_t w = a.size();
+  if (w == 0) throw std::invalid_argument("prefix_adder: zero width");
+
+  // Generate/propagate per position.
+  std::vector<WireId> g(w), p(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    g[i] = c.and_gate(a[i], b[i]);
+    p[i] = c.xor_gate(a[i], b[i]);
+  }
+
+  // Kogge-Stone prefix: after the pass with distance d, G[i]/P[i] cover the
+  // window [i-2d+1, i].  P doubles as the carry-propagate chain; XOR is a
+  // valid propagate signal for carry computation.
+  std::vector<WireId> G = g, P = p;
+  for (std::size_t d = 1; d < w; d *= 2) {
+    std::vector<WireId> G2 = G, P2 = P;
+    for (std::size_t i = d; i < w; ++i) {
+      G2[i] = c.or_gate(G[i], c.and_gate(P[i], G[i - d]));
+      P2[i] = c.and_gate(P[i], P[i - d]);
+    }
+    G = std::move(G2);
+    P = std::move(P2);
+  }
+
+  // carry into position i is G[i-1] (prefix generate of [0, i-1]).
+  std::vector<WireId> sum(w + 1);
+  sum[0] = p[0];
+  for (std::size_t i = 1; i < w; ++i) sum[i] = c.xor_gate(p[i], G[i - 1]);
+  sum[w] = G[w - 1];  // carry-out
+  return sum;
+}
+
+std::vector<WireId> ripple_adder(Circuit& c, std::span<const WireId> a,
+                                 std::span<const WireId> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("ripple_adder: width mismatch");
+  const std::size_t w = a.size();
+  if (w == 0) throw std::invalid_argument("ripple_adder: zero width");
+  std::vector<WireId> sum(w + 1);
+  // Half adder at the LSB, full adders above.
+  sum[0] = c.xor_gate(a[0], b[0]);
+  WireId carry = c.and_gate(a[0], b[0]);
+  for (std::size_t i = 1; i < w; ++i) {
+    const WireId axb = c.xor_gate(a[i], b[i]);
+    sum[i] = c.xor_gate(axb, carry);
+    carry = c.or_gate(c.and_gate(a[i], b[i]), c.and_gate(axb, carry));
+  }
+  sum[w] = carry;
+  return sum;
+}
+
+}  // namespace absort::blocks

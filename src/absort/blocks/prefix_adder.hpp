@@ -1,0 +1,33 @@
+#pragma once
+// Parallel-prefix (carry-lookahead) adder.
+//
+// The prefix binary sorter (Network 1, Fig. 5) determines which half of each
+// patch-up stage is clean by comparing the number of 1's against a power of
+// two; the counts are produced "by recursively adding the numbers of 1's in
+// the two half-size input sequences" with a lg n-bit prefix adder.  The paper
+// cites [5] for a prefix adder with O(w) cost and O(lg w) depth; we use the
+// Kogge-Stone recurrence, whose cost is O(w lg w) with depth lg w + 2 --
+// still a strictly lower-order term in the sorter (the paper's own accounting
+// of the adder contributes only the O(lg^2 n) slack in eq. (1)'s solution).
+
+#include <span>
+#include <vector>
+
+#include "absort/netlist/circuit.hpp"
+
+namespace absort::blocks {
+
+/// Adds two equal-width little-endian numbers; returns w+1 sum bits
+/// (the last is the carry-out).
+std::vector<netlist::WireId> prefix_adder(netlist::Circuit& c,
+                                          std::span<const netlist::WireId> a,
+                                          std::span<const netlist::WireId> b);
+
+/// Ripple-carry alternative (cost 5w - 3, depth ~2w): the ablation baseline
+/// for the prefix sorter's count logic -- smaller at tiny widths, linear
+/// depth instead of logarithmic.
+std::vector<netlist::WireId> ripple_adder(netlist::Circuit& c,
+                                          std::span<const netlist::WireId> a,
+                                          std::span<const netlist::WireId> b);
+
+}  // namespace absort::blocks

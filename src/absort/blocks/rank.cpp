@@ -1,0 +1,63 @@
+#include "absort/blocks/rank.hpp"
+
+#include <stdexcept>
+
+#include "absort/blocks/prefix_adder.hpp"
+#include "absort/util/math.hpp"
+
+namespace absort::blocks {
+namespace {
+
+using netlist::Circuit;
+using netlist::WireId;
+
+// Truncating adder at fixed width (drops the carry-out; counts here never
+// exceed n, which fits the fixed width).
+std::vector<WireId> add_fixed(Circuit& c, const std::vector<WireId>& a,
+                              const std::vector<WireId>& b) {
+  auto s = prefix_adder(c, a, b);
+  s.resize(a.size());
+  return s;
+}
+
+// Inclusive prefix counts over bits[lo, lo+len), all at width `w`.
+// Returns len bundles; the last is the block total.
+std::vector<std::vector<WireId>> inclusive_rec(Circuit& c, const std::vector<WireId>& bits,
+                                               std::size_t lo, std::size_t len, std::size_t w,
+                                               WireId zero) {
+  if (len == 1) {
+    std::vector<WireId> one(w, zero);
+    one[0] = bits[lo];
+    return {one};
+  }
+  const std::size_t h = len / 2;
+  auto left = inclusive_rec(c, bits, lo, h, w, zero);
+  auto right = inclusive_rec(c, bits, lo + h, h, w, zero);
+  const auto& left_total = left.back();
+  for (auto& r : right) r = add_fixed(c, r, left_total);
+  left.insert(left.end(), right.begin(), right.end());
+  return left;
+}
+
+}  // namespace
+
+std::vector<std::vector<WireId>> prefix_counts(Circuit& c, const std::vector<WireId>& bits) {
+  require_pow2(bits.size(), 1, "prefix_counts");
+  const std::size_t w = ilog2(bits.size()) + 1;
+  const WireId zero = c.constant(0);
+  const auto inclusive = inclusive_rec(c, bits, 0, bits.size(), w, zero);
+  // exclusive[i] = inclusive[i-1]; exclusive[0] = 0.
+  std::vector<std::vector<WireId>> out(bits.size());
+  out[0].assign(w, zero);
+  for (std::size_t i = 1; i < bits.size(); ++i) out[i] = inclusive[i - 1];
+  return out;
+}
+
+std::vector<WireId> population_count(Circuit& c, const std::vector<WireId>& bits) {
+  require_pow2(bits.size(), 1, "population_count");
+  const std::size_t w = ilog2(bits.size()) + 1;
+  const WireId zero = c.constant(0);
+  return inclusive_rec(c, bits, 0, bits.size(), w, zero).back();
+}
+
+}  // namespace absort::blocks

@@ -1,0 +1,26 @@
+#pragma once
+// Rank (prefix-count) circuits.
+//
+// The self-routing concentrators of [11], [13] rank the active requests with
+// a tree of counters before routing them; ranking is what costs them
+// O(n lg^2 n) bit level (Section IV).  prefix_counts builds that circuit:
+// for every position i, the number of 1's strictly before i, as a fixed
+// (lg n + 1)-bit little-endian bundle.
+
+#include <vector>
+
+#include "absort/netlist/circuit.hpp"
+
+namespace absort::blocks {
+
+/// Exclusive prefix population counts of `bits` (n a power of two); result
+/// [i] is a (lg n + 1)-wide little-endian count of ones in bits[0..i).
+/// Built as a balanced tree of prefix adders: cost Theta(n lg^2 n).
+std::vector<std::vector<netlist::WireId>> prefix_counts(netlist::Circuit& c,
+                                                        const std::vector<netlist::WireId>& bits);
+
+/// Total population count of `bits`, (lg n + 1) bits little-endian.
+std::vector<netlist::WireId> population_count(netlist::Circuit& c,
+                                              const std::vector<netlist::WireId>& bits);
+
+}  // namespace absort::blocks

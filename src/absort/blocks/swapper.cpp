@@ -1,0 +1,87 @@
+#include "absort/blocks/swapper.hpp"
+
+#include <stdexcept>
+
+#include "absort/netlist/wiring.hpp"
+
+namespace absort::blocks {
+
+using netlist::Circuit;
+using netlist::Swap4Patterns;
+using netlist::WireId;
+namespace wiring = netlist::wiring;
+
+std::vector<WireId> two_way_swapper(Circuit& c, const std::vector<WireId>& in, WireId ctrl) {
+  if (in.size() % 2 != 0) throw std::invalid_argument("two_way_swapper: odd size");
+  const std::size_t h = in.size() / 2;
+  // Two-way shuffle pairs input i with input h+i on one switch; the reversed
+  // shuffle puts switch outputs back into half-major order.
+  const auto shuffled = wiring::shuffle(in, 2);
+  std::vector<WireId> switched(in.size());
+  for (std::size_t i = 0; i < h; ++i) {
+    const auto [o0, o1] = c.switch2x2(shuffled[2 * i], shuffled[2 * i + 1], ctrl);
+    switched[2 * i] = o0;
+    switched[2 * i + 1] = o1;
+  }
+  return wiring::unshuffle(switched, 2);
+}
+
+Swap4Patterns in_swap_patterns() noexcept {
+  // Derived from Table I / Theorem 3 (quarters 0-based).  After IN-SWAP the
+  // two clean quarters occupy the upper half and the two quarters forming a
+  // bisorted sequence occupy the lower half, in an order that keeps each
+  // lower quarter internally sorted:
+  //   s=0 (b2=0,b4=0): clean {q0,q2} up, pair (q1,q3) down
+  //   s=1 (b2=0,b4=1): clean {q0,q3} up, pair (q1,q2) down
+  //   s=2 (b2=1,b4=0): clean {q2,q1} up, pair (q3,q0) down
+  //   s=3 (b2=1,b4=1): clean {q1,q3} up, pair (q0,q2) down
+  return Swap4Patterns{{{0, 2, 1, 3}, {0, 3, 1, 2}, {2, 1, 3, 0}, {1, 3, 0, 2}}};
+}
+
+Swap4Patterns out_swap_patterns() noexcept {
+  // After the recursive merger sorts the lower half (m0, m1), OUT-SWAP
+  // arranges quarters into ascending order (matches the paper's three
+  // patterns {identity, (243), (13)(24)}; (243) serves both s=1 and s=2):
+  //   s=0: [q_a, q_b, m0, m1]  (both cleans are 0-quarters)    -> identity
+  //   s=1: [q_a, m0, m1, q_b]  (one 0-quarter, one 1-quarter)  -> (243)
+  //   s=2: [q_a, m0, m1, q_b]                                   -> (243)
+  //   s=3: [m0, m1, q_a, q_b]  (both cleans are 1-quarters)    -> (13)(24)
+  return Swap4Patterns{{{0, 1, 2, 3}, {0, 2, 3, 1}, {0, 2, 3, 1}, {2, 3, 0, 1}}};
+}
+
+std::vector<WireId> four_way_swapper(Circuit& c, const std::vector<WireId>& in, WireId s0,
+                                     WireId s1, const Swap4Patterns& patterns) {
+  if (in.size() % 4 != 0) throw std::invalid_argument("four_way_swapper: size % 4 != 0");
+  const std::size_t q = in.size() / 4;
+  const std::uint8_t table = c.register_swap4_patterns(patterns);
+  // Four-way shuffle groups one wire of each quarter onto each 4x4 switch.
+  const auto shuffled = wiring::shuffle(in, 4);
+  std::vector<WireId> switched(in.size());
+  for (std::size_t i = 0; i < q; ++i) {
+    const auto out = c.switch4x4(
+        {shuffled[4 * i], shuffled[4 * i + 1], shuffled[4 * i + 2], shuffled[4 * i + 3]}, s0, s1,
+        table);
+    for (std::size_t j = 0; j < 4; ++j) switched[4 * i + j] = out[j];
+  }
+  return wiring::unshuffle(switched, 4);
+}
+
+std::vector<WireId> k_swap(Circuit& c, const std::vector<WireId>& in,
+                           const std::vector<WireId>& ctrls) {
+  const std::size_t k = ctrls.size();
+  if (k == 0 || in.size() % k != 0) throw std::invalid_argument("k_swap: k must divide n");
+  const std::size_t block = in.size() / k;
+  if (block % 2 != 0) throw std::invalid_argument("k_swap: block size must be even");
+  std::vector<WireId> upper, lower;
+  upper.reserve(in.size() / 2);
+  lower.reserve(in.size() / 2);
+  for (std::size_t b = 0; b < k; ++b) {
+    const auto blk = wiring::slice(in, b * block, block);
+    const auto swapped = two_way_swapper(c, blk, ctrls[b]);
+    for (std::size_t i = 0; i < block / 2; ++i) upper.push_back(swapped[i]);
+    for (std::size_t i = block / 2; i < block; ++i) lower.push_back(swapped[i]);
+  }
+  return wiring::concat(upper, lower);
+}
+
+}  // namespace absort::blocks

@@ -1,0 +1,47 @@
+#pragma once
+// Swapping networks (Fig. 2 of the paper).
+//
+// A two-way swapper exchanges the two halves of its inputs when its control
+// is 1: a two-way shuffle, a stage of n/2 2x2 switches sharing the control,
+// and a reversed shuffle (cost n/2, depth 1).
+//
+// A four-way swapper permutes the four quarters of its inputs in one of four
+// fixed patterns chosen by two select signals: a four-way shuffle, a stage of
+// n/4 4x4 switches, and a reversed shuffle (cost n = four units per 4x4
+// switch, depth 1).  The paper instantiates it twice, as IN-SWAP and
+// OUT-SWAP, with the pattern tables used by the mux-merger (Table I).
+
+#include <array>
+#include <vector>
+
+#include "absort/netlist/circuit.hpp"
+
+namespace absort::blocks {
+
+/// Two-way swapper: ctrl=0 passes through, ctrl=1 swaps upper/lower halves.
+std::vector<netlist::WireId> two_way_swapper(netlist::Circuit& c,
+                                             const std::vector<netlist::WireId>& in,
+                                             netlist::WireId ctrl);
+
+/// Quarter-permutation tables for the mux-merger's four-way swappers, indexed
+/// by the select value s = b2*2 + b4 where b2/b4 are the middle bits of the
+/// two sorted halves (Table I).  pattern[s][q] = input quarter routed to
+/// output quarter q.
+[[nodiscard]] netlist::Swap4Patterns in_swap_patterns() noexcept;
+[[nodiscard]] netlist::Swap4Patterns out_swap_patterns() noexcept;
+
+/// Four-way swapper with an arbitrary pattern table.  s0 is the low select
+/// bit, s1 the high bit.  Size must be a multiple of 4.
+std::vector<netlist::WireId> four_way_swapper(netlist::Circuit& c,
+                                              const std::vector<netlist::WireId>& in,
+                                              netlist::WireId s0, netlist::WireId s1,
+                                              const netlist::Swap4Patterns& patterns);
+
+/// The k-SWAP stage of the fish sorter's k-way mux-merger: k independent
+/// (n/k)-input two-way swappers, one per sorted block, each controlled by its
+/// own signal; block b's upper half lands in the top n/2 outputs at block
+/// position b, its lower half in the bottom n/2 at block position b.
+std::vector<netlist::WireId> k_swap(netlist::Circuit& c, const std::vector<netlist::WireId>& in,
+                                    const std::vector<netlist::WireId>& ctrls);
+
+}  // namespace absort::blocks

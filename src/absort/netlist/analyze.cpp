@@ -1,0 +1,90 @@
+#include "absort/netlist/analyze.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace absort::netlist {
+namespace {
+
+constexpr std::size_t idx(Kind k) noexcept { return static_cast<std::size_t>(k); }
+
+}  // namespace
+
+CostModel CostModel::paper_unit() {
+  CostModel m;
+  m.name = "paper-unit";
+  m.cost.fill(1.0);
+  m.depth.fill(1.0);
+  // Inputs and constants are not circuit elements; wiring is free.
+  m.cost[idx(Kind::Input)] = 0;
+  m.cost[idx(Kind::Const)] = 0;
+  m.depth[idx(Kind::Input)] = 0;
+  m.depth[idx(Kind::Const)] = 0;
+  // Footnote 4 of the paper: "the cost of each 4x4 switch is roughly
+  // equivalent to the cost of four 2x2 switches", with unit depth.
+  m.cost[idx(Kind::Switch4x4)] = 4;
+  return m;
+}
+
+CostModel CostModel::gate_level() {
+  CostModel m;
+  m.name = "gate-level";
+  m.cost.fill(1.0);
+  m.depth.fill(1.0);
+  m.cost[idx(Kind::Input)] = 0;
+  m.cost[idx(Kind::Const)] = 0;
+  m.depth[idx(Kind::Input)] = 0;
+  m.depth[idx(Kind::Const)] = 0;
+  // 2:1 mux = (a AND !s) OR (b AND s): 3-4 gates, depth 2.
+  m.cost[idx(Kind::Mux21)] = 3;
+  m.depth[idx(Kind::Mux21)] = 2;
+  // 2x2 switch = two 2:1 muxes sharing the select.
+  m.cost[idx(Kind::Switch2x2)] = 6;
+  m.depth[idx(Kind::Switch2x2)] = 2;
+  // binary comparator = one AND + one OR, depth 1.
+  m.cost[idx(Kind::Comparator)] = 2;
+  m.depth[idx(Kind::Comparator)] = 1;
+  // 1:2 demux = two AND gates (one with negated select), depth 2.
+  m.cost[idx(Kind::Demux12)] = 3;
+  m.depth[idx(Kind::Demux12)] = 2;
+  // 4x4 pattern switch = four 4:1 muxes (three 2:1 muxes each).
+  m.cost[idx(Kind::Switch4x4)] = 36;
+  m.depth[idx(Kind::Switch4x4)] = 4;
+  return m;
+}
+
+CostReport analyze(const Circuit& c, const CostModel& model) {
+  CostReport r;
+  r.inventory = c.inventory();
+  std::vector<double> wire_depth(c.num_wires(), 0.0);
+  for (const auto& comp : c.components()) {
+    const auto k = idx(comp.kind);
+    r.cost += model.cost[k];
+    if (comp.kind != Kind::Input && comp.kind != Kind::Const) ++r.components;
+    double in_depth = 0.0;
+    for (std::size_t i = 0; i < comp.nin; ++i) {
+      in_depth = std::max(in_depth, wire_depth[comp.in[i]]);
+    }
+    const double out_depth = in_depth + model.depth[k];
+    for (std::size_t i = 0; i < comp.nout; ++i) wire_depth[comp.out[i]] = out_depth;
+  }
+  for (WireId w : c.output_wires()) r.depth = std::max(r.depth, wire_depth[w]);
+  return r;
+}
+
+std::string summarize(const CostReport& r) {
+  std::ostringstream os;
+  os << "cost=" << r.cost << " depth=" << r.depth << " [";
+  bool first = true;
+  for (std::size_t k = 0; k < kNumKinds; ++k) {
+    if (r.inventory[k] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << kind_name(static_cast<Kind>(k)) << "=" << r.inventory[k];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace absort::netlist

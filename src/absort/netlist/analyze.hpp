@@ -1,0 +1,53 @@
+#pragma once
+// Cost / depth analysis of circuits under a pluggable cost model.
+//
+// Two models ship with the library:
+//  * CostModel::paper_unit() -- Section II accounting: every primitive
+//    (2x2 switch, 2x1 mux, 1x2 demux, comparator, logic gate) is one unit of
+//    cost and one unit of depth; wiring is free.  This is the accounting all
+//    of the paper's closed forms use, so measured numbers compare directly
+//    against equations (1)-(27).
+//  * CostModel::gate_level() -- a conservative constant-fanin gate expansion
+//    (mux = 3 gates, 2x2 switch = 2 muxes = 6 gates, comparator = 2 gates,
+//    demux = 2 gates).  Used to check that the asymptotic claims are not an
+//    artifact of the unit accounting.
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "absort/netlist/circuit.hpp"
+
+namespace absort::netlist {
+
+struct CostModel {
+  /// Cost charged per component of each Kind (indexed by Kind).
+  std::array<double, kNumKinds> cost{};
+  /// Depth charged per component of each Kind.
+  std::array<double, kNumKinds> depth{};
+  std::string name;
+
+  [[nodiscard]] static CostModel paper_unit();
+  [[nodiscard]] static CostModel gate_level();
+};
+
+struct CostReport {
+  double cost = 0;          ///< total cost under the model
+  double depth = 0;         ///< longest input->output path under the model
+  std::size_t components = 0;  ///< raw component count (excluding Input/Const)
+  std::array<std::size_t, kNumKinds> inventory{};  ///< count per Kind
+};
+
+/// Computes cost and depth of `c` under `model`.  Depth is the maximum over
+/// primary outputs of the longest weighted path from any input.
+[[nodiscard]] CostReport analyze(const Circuit& c, const CostModel& model);
+
+/// Convenience: unit-cost accounting per the paper.
+[[nodiscard]] inline CostReport analyze_unit(const Circuit& c) {
+  return analyze(c, CostModel::paper_unit());
+}
+
+/// Human-readable one-line summary ("cost=.., depth=.., comparators=..").
+[[nodiscard]] std::string summarize(const CostReport& r);
+
+}  // namespace absort::netlist

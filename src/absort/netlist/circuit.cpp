@@ -1,0 +1,269 @@
+#include "absort/netlist/circuit.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace absort::netlist {
+namespace {
+
+constexpr std::array<WireId, 6> no_in() {
+  return {kNoWire, kNoWire, kNoWire, kNoWire, kNoWire, kNoWire};
+}
+constexpr std::array<WireId, 4> no_out() { return {kNoWire, kNoWire, kNoWire, kNoWire}; }
+
+}  // namespace
+
+const char* kind_name(Kind k) noexcept {
+  switch (k) {
+    case Kind::Input: return "Input";
+    case Kind::Const: return "Const";
+    case Kind::Not: return "Not";
+    case Kind::And: return "And";
+    case Kind::Or: return "Or";
+    case Kind::Xor: return "Xor";
+    case Kind::Mux21: return "Mux21";
+    case Kind::Demux12: return "Demux12";
+    case Kind::Comparator: return "Comparator";
+    case Kind::Switch2x2: return "Switch2x2";
+    case Kind::Switch4x4: return "Switch4x4";
+  }
+  return "?";
+}
+
+void Circuit::check_wire(WireId w, const char* ctx) const {
+  if (w >= num_wires_) {
+    throw std::logic_error(std::string("Circuit: operand wire ") + std::to_string(w) +
+                           " does not exist yet in " + ctx);
+  }
+}
+
+WireId Circuit::input() {
+  Component c{Kind::Input, 0, 1, 0, no_in(), no_out()};
+  c.out[0] = new_wire();
+  comps_.push_back(c);
+  input_wires_.push_back(c.out[0]);
+  return c.out[0];
+}
+
+std::vector<WireId> Circuit::inputs(std::size_t n) {
+  std::vector<WireId> ws;
+  ws.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ws.push_back(input());
+  return ws;
+}
+
+WireId Circuit::constant(Bit value) {
+  Component c{Kind::Const, 0, 1, static_cast<std::uint8_t>(value & 1), no_in(), no_out()};
+  c.out[0] = new_wire();
+  comps_.push_back(c);
+  return c.out[0];
+}
+
+WireId Circuit::not_gate(WireId a) {
+  check_wire(a, "not");
+  Component c{Kind::Not, 1, 1, 0, no_in(), no_out()};
+  c.in[0] = a;
+  c.out[0] = new_wire();
+  comps_.push_back(c);
+  return c.out[0];
+}
+
+WireId Circuit::and_gate(WireId a, WireId b) {
+  check_wire(a, "and");
+  check_wire(b, "and");
+  Component c{Kind::And, 2, 1, 0, no_in(), no_out()};
+  c.in[0] = a;
+  c.in[1] = b;
+  c.out[0] = new_wire();
+  comps_.push_back(c);
+  return c.out[0];
+}
+
+WireId Circuit::or_gate(WireId a, WireId b) {
+  check_wire(a, "or");
+  check_wire(b, "or");
+  Component c{Kind::Or, 2, 1, 0, no_in(), no_out()};
+  c.in[0] = a;
+  c.in[1] = b;
+  c.out[0] = new_wire();
+  comps_.push_back(c);
+  return c.out[0];
+}
+
+WireId Circuit::xor_gate(WireId a, WireId b) {
+  check_wire(a, "xor");
+  check_wire(b, "xor");
+  Component c{Kind::Xor, 2, 1, 0, no_in(), no_out()};
+  c.in[0] = a;
+  c.in[1] = b;
+  c.out[0] = new_wire();
+  comps_.push_back(c);
+  return c.out[0];
+}
+
+WireId Circuit::mux(WireId a0, WireId a1, WireId sel) {
+  check_wire(a0, "mux");
+  check_wire(a1, "mux");
+  check_wire(sel, "mux");
+  Component c{Kind::Mux21, 3, 1, 0, no_in(), no_out()};
+  c.in[0] = a0;
+  c.in[1] = a1;
+  c.in[2] = sel;
+  c.out[0] = new_wire();
+  comps_.push_back(c);
+  return c.out[0];
+}
+
+std::pair<WireId, WireId> Circuit::demux(WireId d, WireId sel) {
+  check_wire(d, "demux");
+  check_wire(sel, "demux");
+  Component c{Kind::Demux12, 2, 2, 0, no_in(), no_out()};
+  c.in[0] = d;
+  c.in[1] = sel;
+  c.out[0] = new_wire();
+  c.out[1] = new_wire();
+  comps_.push_back(c);
+  return {c.out[0], c.out[1]};
+}
+
+std::pair<WireId, WireId> Circuit::comparator(WireId a, WireId b) {
+  check_wire(a, "comparator");
+  check_wire(b, "comparator");
+  Component c{Kind::Comparator, 2, 2, 0, no_in(), no_out()};
+  c.in[0] = a;
+  c.in[1] = b;
+  c.out[0] = new_wire();
+  c.out[1] = new_wire();
+  comps_.push_back(c);
+  return {c.out[0], c.out[1]};
+}
+
+std::pair<WireId, WireId> Circuit::switch2x2(WireId a, WireId b, WireId ctrl) {
+  check_wire(a, "switch2x2");
+  check_wire(b, "switch2x2");
+  check_wire(ctrl, "switch2x2");
+  Component c{Kind::Switch2x2, 3, 2, 0, no_in(), no_out()};
+  c.in[0] = a;
+  c.in[1] = b;
+  c.in[2] = ctrl;
+  c.out[0] = new_wire();
+  c.out[1] = new_wire();
+  comps_.push_back(c);
+  return {c.out[0], c.out[1]};
+}
+
+std::uint8_t Circuit::register_swap4_patterns(const Swap4Patterns& p) {
+  for (const auto& pat : p) {
+    for (auto v : pat) {
+      if (v > 3) throw std::invalid_argument("register_swap4_patterns: index > 3");
+    }
+  }
+  if (swap4_tables_.size() >= 255) throw std::length_error("too many swap4 pattern tables");
+  // Reuse an identical table if already registered.
+  for (std::size_t i = 0; i < swap4_tables_.size(); ++i) {
+    if (swap4_tables_[i] == p) return static_cast<std::uint8_t>(i);
+  }
+  swap4_tables_.push_back(p);
+  return static_cast<std::uint8_t>(swap4_tables_.size() - 1);
+}
+
+std::array<WireId, 4> Circuit::switch4x4(std::array<WireId, 4> d, WireId s0, WireId s1,
+                                         std::uint8_t pattern_table) {
+  for (WireId w : d) check_wire(w, "switch4x4");
+  check_wire(s0, "switch4x4");
+  check_wire(s1, "switch4x4");
+  if (pattern_table >= swap4_tables_.size()) {
+    throw std::invalid_argument("switch4x4: unregistered pattern table");
+  }
+  Component c{Kind::Switch4x4, 6, 4, pattern_table, no_in(), no_out()};
+  for (std::size_t i = 0; i < 4; ++i) c.in[i] = d[i];
+  c.in[4] = s0;
+  c.in[5] = s1;
+  std::array<WireId, 4> out{};
+  for (std::size_t i = 0; i < 4; ++i) out[i] = c.out[i] = new_wire();
+  comps_.push_back(c);
+  return out;
+}
+
+void Circuit::mark_output(WireId w) {
+  check_wire(w, "mark_output");
+  output_wires_.push_back(w);
+}
+
+void Circuit::mark_outputs(std::span<const WireId> ws) {
+  for (WireId w : ws) mark_output(w);
+}
+
+std::array<std::size_t, kNumKinds> Circuit::inventory() const noexcept {
+  std::array<std::size_t, kNumKinds> inv{};
+  for (const auto& c : comps_) inv[static_cast<std::size_t>(c.kind)]++;
+  return inv;
+}
+
+BitVec Circuit::eval(const BitVec& in) const {
+  std::vector<Bit> wires;
+  return eval(in, wires);
+}
+
+BitVec Circuit::eval(const BitVec& in, std::vector<Bit>& w) const {
+  if (in.size() != input_wires_.size()) {
+    throw std::invalid_argument("Circuit::eval: expected " + std::to_string(input_wires_.size()) +
+                                " inputs, got " + std::to_string(in.size()));
+  }
+  w.assign(num_wires_, 0);
+  std::size_t next_input = 0;
+  for (const auto& c : comps_) {
+    switch (c.kind) {
+      case Kind::Input:
+        w[c.out[0]] = in[next_input++] & 1;
+        break;
+      case Kind::Const:
+        w[c.out[0]] = c.aux;
+        break;
+      case Kind::Not:
+        w[c.out[0]] = static_cast<Bit>(1 - w[c.in[0]]);
+        break;
+      case Kind::And:
+        w[c.out[0]] = static_cast<Bit>(w[c.in[0]] & w[c.in[1]]);
+        break;
+      case Kind::Or:
+        w[c.out[0]] = static_cast<Bit>(w[c.in[0]] | w[c.in[1]]);
+        break;
+      case Kind::Xor:
+        w[c.out[0]] = static_cast<Bit>(w[c.in[0]] ^ w[c.in[1]]);
+        break;
+      case Kind::Mux21:
+        w[c.out[0]] = w[c.in[2]] ? w[c.in[1]] : w[c.in[0]];
+        break;
+      case Kind::Demux12:
+        w[c.out[0]] = w[c.in[1]] ? Bit{0} : w[c.in[0]];
+        w[c.out[1]] = w[c.in[1]] ? w[c.in[0]] : Bit{0};
+        break;
+      case Kind::Comparator:
+        w[c.out[0]] = static_cast<Bit>(w[c.in[0]] & w[c.in[1]]);
+        w[c.out[1]] = static_cast<Bit>(w[c.in[0]] | w[c.in[1]]);
+        break;
+      case Kind::Switch2x2:
+        if (w[c.in[2]]) {
+          w[c.out[0]] = w[c.in[1]];
+          w[c.out[1]] = w[c.in[0]];
+        } else {
+          w[c.out[0]] = w[c.in[0]];
+          w[c.out[1]] = w[c.in[1]];
+        }
+        break;
+      case Kind::Switch4x4: {
+        const std::size_t s =
+            static_cast<std::size_t>(w[c.in[5]]) * 2 + static_cast<std::size_t>(w[c.in[4]]);
+        const auto& pat = swap4_tables_[c.aux][s];
+        for (std::size_t q = 0; q < 4; ++q) w[c.out[q]] = w[c.in[pat[q]]];
+        break;
+      }
+    }
+  }
+  BitVec out(output_wires_.size());
+  for (std::size_t i = 0; i < output_wires_.size(); ++i) out[i] = w[output_wires_[i]];
+  return out;
+}
+
+}  // namespace absort::netlist

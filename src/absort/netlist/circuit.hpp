@@ -1,0 +1,144 @@
+#pragma once
+// Component-level circuit graph ("netlist").
+//
+// This is the substrate every network in the paper is built on.  A Circuit is
+// an append-only DAG of primitive components; wires are produced by exactly
+// one component output and may fan out freely.  Builders append components in
+// topological order by construction (an operand wire must already exist), so
+// evaluation is a single linear pass.
+//
+// Primitive set and unit accounting follow Section II of the paper:
+// "it will be assumed that each of 2x2 switch, 2x1 multiplexer, and 1x2
+// demultiplexer has unit cost and unit depth"; constant-fanin logic gates
+// (the comparator's AND/OR pair, prefix-adder cells, select logic) are also
+// unit-cost constant-fanin elements.  See CostModel in analyze.hpp for the
+// exact per-kind charging, including an alternative gate-level model.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "absort/util/bitvec.hpp"
+
+namespace absort::netlist {
+
+using WireId = std::uint32_t;
+inline constexpr WireId kNoWire = 0xFFFFFFFFu;
+
+enum class Kind : std::uint8_t {
+  Input,       ///< primary input; 0 in, 1 out
+  Const,       ///< constant 0/1; 0 in, 1 out
+  Not,         ///< 1 in, 1 out
+  And,         ///< 2 in, 1 out
+  Or,          ///< 2 in, 1 out
+  Xor,         ///< 2 in, 1 out
+  Mux21,       ///< in = {a0, a1, sel}; out = sel ? a1 : a0
+  Demux12,     ///< in = {d, sel}; out0 = sel?0:d, out1 = sel?d:0
+  Comparator,  ///< in = {a, b}; out0 = min = a AND b, out1 = max = a OR b
+  Switch2x2,   ///< in = {a, b, ctrl}; ctrl=0 straight (a,b), ctrl=1 crossed (b,a)
+  Switch4x4,   ///< in = {d0..d3, s0, s1}; out[q] = d[pattern[s1*2+s0][q]] (see Swap4Patterns)
+};
+
+/// Number of distinct component kinds (for inventory arrays).
+inline constexpr std::size_t kNumKinds = 11;
+
+/// A 4x4 switch realizes one of four fixed data permutations, chosen by its
+/// two select bits.  pattern[s][q] = index of the input routed to output q
+/// when the select value is s (s = s1*2 + s0).  The paper's IN-SWAP and
+/// OUT-SWAP networks are four-way swappers with specific pattern tables.
+using Swap4Patterns = std::array<std::array<std::uint8_t, 4>, 4>;
+
+[[nodiscard]] const char* kind_name(Kind k) noexcept;
+
+struct Component {
+  Kind kind;
+  std::uint8_t nin;
+  std::uint8_t nout;
+  std::uint8_t aux;  ///< Const: the constant value; Switch4x4: pattern-table index.
+  std::array<WireId, 6> in;
+  std::array<WireId, 4> out;
+};
+
+/// Append-only component graph with named primary outputs.
+class Circuit {
+ public:
+  // -- builder interface ----------------------------------------------------
+
+  /// Appends a primary input; inputs are numbered in creation order.
+  WireId input();
+
+  /// Appends `n` primary inputs and returns their wires in order.
+  std::vector<WireId> inputs(std::size_t n);
+
+  WireId constant(Bit value);
+  WireId not_gate(WireId a);
+  WireId and_gate(WireId a, WireId b);
+  WireId or_gate(WireId a, WireId b);
+  WireId xor_gate(WireId a, WireId b);
+
+  /// out = sel ? a1 : a0.
+  WireId mux(WireId a0, WireId a1, WireId sel);
+
+  /// Returns {out0, out1}: out0 = sel ? 0 : d, out1 = sel ? d : 0.
+  std::pair<WireId, WireId> demux(WireId d, WireId sel);
+
+  /// Returns {min, max} of two bits (the paper's binary comparator: the
+  /// upper output takes the smaller value so ascending order results).
+  std::pair<WireId, WireId> comparator(WireId a, WireId b);
+
+  /// Controlled 2x2 crossbar: ctrl=0 passes (a,b) straight, ctrl=1 crosses.
+  std::pair<WireId, WireId> switch2x2(WireId a, WireId b, WireId ctrl);
+
+  /// Registers a pattern table for 4x4 switches; returns its index (aux).
+  std::uint8_t register_swap4_patterns(const Swap4Patterns& p);
+
+  /// 4x4 switch: routes four data wires per the registered pattern table,
+  /// chosen by select value s1*2 + s0.
+  std::array<WireId, 4> switch4x4(std::array<WireId, 4> d, WireId s0, WireId s1,
+                                  std::uint8_t pattern_table);
+
+  /// Marks a wire as a primary output (outputs are ordered by marking order).
+  void mark_output(WireId w);
+  void mark_outputs(std::span<const WireId> ws);
+
+  // -- inspection -----------------------------------------------------------
+
+  [[nodiscard]] std::size_t num_components() const noexcept { return comps_.size(); }
+  [[nodiscard]] std::size_t num_wires() const noexcept { return num_wires_; }
+  [[nodiscard]] std::size_t num_inputs() const noexcept { return input_wires_.size(); }
+  [[nodiscard]] std::size_t num_outputs() const noexcept { return output_wires_.size(); }
+  [[nodiscard]] const std::vector<Component>& components() const noexcept { return comps_; }
+  [[nodiscard]] const std::vector<WireId>& input_wires() const noexcept { return input_wires_; }
+  [[nodiscard]] const std::vector<WireId>& output_wires() const noexcept { return output_wires_; }
+
+  /// Component count per kind (inventory used by cost accounting and tests).
+  [[nodiscard]] std::array<std::size_t, kNumKinds> inventory() const noexcept;
+
+  // -- evaluation -----------------------------------------------------------
+
+  /// Evaluates the circuit on `in` (size must equal num_inputs()) and returns
+  /// the primary-output values in marking order.
+  [[nodiscard]] BitVec eval(const BitVec& in) const;
+
+  /// As eval(), but also exposes the value of every wire (indexed by WireId)
+  /// for tracing/debug.
+  [[nodiscard]] BitVec eval(const BitVec& in, std::vector<Bit>& wire_values) const;
+
+  [[nodiscard]] const std::vector<Swap4Patterns>& swap4_tables() const noexcept {
+    return swap4_tables_;
+  }
+
+ private:
+  WireId new_wire() { return num_wires_++; }
+  void check_wire(WireId w, const char* ctx) const;
+
+  std::vector<Component> comps_;
+  std::vector<WireId> input_wires_;
+  std::vector<WireId> output_wires_;
+  std::vector<Swap4Patterns> swap4_tables_;
+  WireId num_wires_ = 0;
+};
+
+}  // namespace absort::netlist

@@ -1,0 +1,128 @@
+#include "absort/netlist/levelized.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+namespace absort::netlist {
+
+LevelizedCircuit::LevelizedCircuit(Circuit c) : circuit_(std::move(c)) {
+  const auto& comps = circuit_.components();
+  std::vector<std::uint32_t> wire_level(circuit_.num_wires(), 0);
+  std::vector<std::uint32_t> comp_level(comps.size(), 0);
+  input_pos_.assign(comps.size(), 0);
+  std::uint32_t next_input = 0;
+  std::uint32_t max_level = 0;
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    const auto& comp = comps[i];
+    std::uint32_t lvl = 0;
+    for (std::size_t j = 0; j < comp.nin; ++j) {
+      lvl = std::max(lvl, wire_level[comp.in[j]] + 1);
+    }
+    comp_level[i] = lvl;
+    max_level = std::max(max_level, lvl);
+    for (std::size_t j = 0; j < comp.nout; ++j) wire_level[comp.out[j]] = lvl;
+    if (comp.kind == Kind::Input) input_pos_[i] = next_input++;
+  }
+  levels_.assign(max_level + 1, {});
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    levels_[comp_level[i]].push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+std::size_t LevelizedCircuit::max_level_width() const noexcept {
+  std::size_t w = 0;
+  for (const auto& l : levels_) w = std::max(w, l.size());
+  return w;
+}
+
+void LevelizedCircuit::eval_range(const std::vector<std::uint32_t>& level, std::size_t begin,
+                                  std::size_t end, std::vector<Bit>& w, const BitVec& in) const {
+  const auto& comps = circuit_.components();
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const std::size_t i = level[idx];
+    const auto& c = comps[i];
+    switch (c.kind) {
+      case Kind::Input: w[c.out[0]] = in[input_pos_[i]] & 1; break;
+      case Kind::Const: w[c.out[0]] = c.aux; break;
+      case Kind::Not: w[c.out[0]] = static_cast<Bit>(1 - w[c.in[0]]); break;
+      case Kind::And: w[c.out[0]] = static_cast<Bit>(w[c.in[0]] & w[c.in[1]]); break;
+      case Kind::Or: w[c.out[0]] = static_cast<Bit>(w[c.in[0]] | w[c.in[1]]); break;
+      case Kind::Xor: w[c.out[0]] = static_cast<Bit>(w[c.in[0]] ^ w[c.in[1]]); break;
+      case Kind::Mux21: w[c.out[0]] = w[c.in[2]] ? w[c.in[1]] : w[c.in[0]]; break;
+      case Kind::Demux12:
+        w[c.out[0]] = w[c.in[1]] ? Bit{0} : w[c.in[0]];
+        w[c.out[1]] = w[c.in[1]] ? w[c.in[0]] : Bit{0};
+        break;
+      case Kind::Comparator:
+        w[c.out[0]] = static_cast<Bit>(w[c.in[0]] & w[c.in[1]]);
+        w[c.out[1]] = static_cast<Bit>(w[c.in[0]] | w[c.in[1]]);
+        break;
+      case Kind::Switch2x2:
+        if (w[c.in[2]]) {
+          w[c.out[0]] = w[c.in[1]];
+          w[c.out[1]] = w[c.in[0]];
+        } else {
+          w[c.out[0]] = w[c.in[0]];
+          w[c.out[1]] = w[c.in[1]];
+        }
+        break;
+      case Kind::Switch4x4: {
+        const std::size_t s =
+            static_cast<std::size_t>(w[c.in[5]]) * 2 + static_cast<std::size_t>(w[c.in[4]]);
+        const auto& pat = circuit_.swap4_tables()[c.aux][s];
+        for (std::size_t q = 0; q < 4; ++q) w[c.out[q]] = w[c.in[pat[q]]];
+        break;
+      }
+    }
+  }
+}
+
+BitVec LevelizedCircuit::eval(const BitVec& in) const {
+  if (in.size() != circuit_.num_inputs()) {
+    throw std::invalid_argument("LevelizedCircuit::eval: input arity");
+  }
+  std::vector<Bit> w(circuit_.num_wires(), 0);
+  for (const auto& level : levels_) eval_range(level, 0, level.size(), w, in);
+  BitVec out(circuit_.num_outputs());
+  for (std::size_t i = 0; i < circuit_.output_wires().size(); ++i) {
+    out[i] = w[circuit_.output_wires()[i]];
+  }
+  return out;
+}
+
+BitVec LevelizedCircuit::eval_parallel(const BitVec& in, std::size_t threads) const {
+  if (in.size() != circuit_.num_inputs()) {
+    throw std::invalid_argument("LevelizedCircuit::eval_parallel: input arity");
+  }
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (threads == 1) return eval(in);
+  std::vector<Bit> w(circuit_.num_wires(), 0);
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (const auto& level : levels_) {
+    // Only parallelize wide levels; thread spawn costs dominate narrow ones.
+    if (level.size() < 4096) {
+      eval_range(level, 0, level.size(), w, in);
+      continue;
+    }
+    const std::size_t chunk = (level.size() + threads - 1) / threads;
+    pool.clear();
+    for (std::size_t t = 1; t < threads; ++t) {
+      const std::size_t b = std::min(t * chunk, level.size());
+      const std::size_t e = std::min(b + chunk, level.size());
+      if (b < e) {
+        pool.emplace_back([this, &level, b, e, &w, &in] { eval_range(level, b, e, w, in); });
+      }
+    }
+    eval_range(level, 0, std::min(chunk, level.size()), w, in);
+    for (auto& th : pool) th.join();
+  }
+  BitVec out(circuit_.num_outputs());
+  for (std::size_t i = 0; i < circuit_.output_wires().size(); ++i) {
+    out[i] = w[circuit_.output_wires()[i]];
+  }
+  return out;
+}
+
+}  // namespace absort::netlist

@@ -1,0 +1,304 @@
+#include "absort/netlist/optimize.hpp"
+
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace absort::netlist {
+namespace {
+
+// A folded wire is either a known constant or a wire of the new circuit.
+struct Val {
+  bool is_const = false;
+  Bit value = 0;
+  WireId wire = kNoWire;
+
+  static Val constant(Bit b) { return {true, static_cast<Bit>(b & 1), kNoWire}; }
+  static Val of(WireId w) { return {false, 0, w}; }
+};
+
+class Folder {
+ public:
+  explicit Folder(const Circuit& src) : src_(src) {}
+
+  Circuit run(std::size_t& folded) {
+    map_.assign(src_.num_wires(), Val{});
+    for (const auto& comp : src_.components()) {
+      const bool emitted = fold_component(comp);
+      if (!emitted && comp.kind != Kind::Const) ++folded;
+    }
+    for (WireId w : src_.output_wires()) out_.mark_output(materialize(map_[w]));
+    return std::move(out_);
+  }
+
+ private:
+  Val in(const Component& c, std::size_t i) const { return map_[c.in[i]]; }
+
+  // Returns the new-circuit wire for a value, creating a Const if needed.
+  WireId materialize(const Val& v) {
+    if (!v.is_const) return v.wire;
+    WireId& cache = v.value ? const1_ : const0_;
+    if (cache == kNoWire) cache = out_.constant(v.value);
+    return cache;
+  }
+
+  void set(const Component& c, std::size_t i, Val v) { map_[c.out[i]] = v; }
+
+  static bool same_wire(const Val& a, const Val& b) {
+    return !a.is_const && !b.is_const && a.wire == b.wire;
+  }
+
+  // Emits (or folds) one component; returns true if a real component was
+  // emitted into the new circuit.
+  bool fold_component(const Component& c) {
+    switch (c.kind) {
+      case Kind::Input:
+        set(c, 0, Val::of(out_.input()));
+        return true;
+      case Kind::Const:
+        set(c, 0, Val::constant(c.aux));
+        return false;
+      case Kind::Not: {
+        const auto a = in(c, 0);
+        if (a.is_const) {
+          set(c, 0, Val::constant(static_cast<Bit>(1 - a.value)));
+          return false;
+        }
+        set(c, 0, Val::of(out_.not_gate(a.wire)));
+        return true;
+      }
+      case Kind::And:
+      case Kind::Or: {
+        const bool is_and = c.kind == Kind::And;
+        auto a = in(c, 0), b = in(c, 1);
+        const Bit absorbing = is_and ? 0 : 1;
+        if ((a.is_const && a.value == absorbing) || (b.is_const && b.value == absorbing)) {
+          set(c, 0, Val::constant(absorbing));
+          return false;
+        }
+        if (a.is_const) {  // identity element
+          set(c, 0, b);
+          return false;
+        }
+        if (b.is_const || same_wire(a, b)) {
+          set(c, 0, a);
+          return false;
+        }
+        set(c, 0, Val::of(is_and ? out_.and_gate(a.wire, b.wire) : out_.or_gate(a.wire, b.wire)));
+        return true;
+      }
+      case Kind::Xor: {
+        auto a = in(c, 0), b = in(c, 1);
+        if (a.is_const && b.is_const) {
+          set(c, 0, Val::constant(static_cast<Bit>(a.value ^ b.value)));
+          return false;
+        }
+        if (same_wire(a, b)) {
+          set(c, 0, Val::constant(0));
+          return false;
+        }
+        if (a.is_const || b.is_const) {
+          const auto& k = a.is_const ? a : b;
+          const auto& w = a.is_const ? b : a;
+          if (k.value == 0) {
+            set(c, 0, w);
+            return false;
+          }
+          set(c, 0, Val::of(out_.not_gate(w.wire)));
+          return true;
+        }
+        set(c, 0, Val::of(out_.xor_gate(a.wire, b.wire)));
+        return true;
+      }
+      case Kind::Mux21: {
+        auto a0 = in(c, 0), a1 = in(c, 1), sel = in(c, 2);
+        if (sel.is_const) {
+          set(c, 0, sel.value ? a1 : a0);
+          return false;
+        }
+        if (same_wire(a0, a1) || (a0.is_const && a1.is_const && a0.value == a1.value)) {
+          set(c, 0, a0);
+          return false;
+        }
+        if (a0.is_const && a1.is_const) {  // values differ: mux degenerates
+          if (a1.value == 1) {
+            set(c, 0, sel);  // (0, 1) -> sel
+            return false;
+          }
+          set(c, 0, Val::of(out_.not_gate(sel.wire)));  // (1, 0) -> !sel
+          return true;
+        }
+        set(c, 0, Val::of(out_.mux(materialize(a0), materialize(a1), sel.wire)));
+        return true;
+      }
+      case Kind::Demux12: {
+        auto d = in(c, 0), sel = in(c, 1);
+        if (sel.is_const) {
+          set(c, 0, sel.value ? Val::constant(0) : d);
+          set(c, 1, sel.value ? d : Val::constant(0));
+          return false;
+        }
+        if (d.is_const && d.value == 0) {
+          set(c, 0, Val::constant(0));
+          set(c, 1, Val::constant(0));
+          return false;
+        }
+        const auto [o0, o1] = out_.demux(materialize(d), sel.wire);
+        set(c, 0, Val::of(o0));
+        set(c, 1, Val::of(o1));
+        return true;
+      }
+      case Kind::Comparator: {
+        auto a = in(c, 0), b = in(c, 1);
+        if (a.is_const && b.is_const) {
+          set(c, 0, Val::constant(static_cast<Bit>(a.value & b.value)));
+          set(c, 1, Val::constant(static_cast<Bit>(a.value | b.value)));
+          return false;
+        }
+        if (same_wire(a, b)) {
+          set(c, 0, a);
+          set(c, 1, a);
+          return false;
+        }
+        if (a.is_const || b.is_const) {
+          const auto& k = a.is_const ? a : b;
+          const auto& w = a.is_const ? b : a;
+          // min(x, 0) = 0, max(x, 0) = x; min(x, 1) = x, max(x, 1) = 1.
+          set(c, 0, k.value ? w : Val::constant(0));
+          set(c, 1, k.value ? Val::constant(1) : w);
+          return false;
+        }
+        const auto [lo, hi] = out_.comparator(a.wire, b.wire);
+        set(c, 0, Val::of(lo));
+        set(c, 1, Val::of(hi));
+        return true;
+      }
+      case Kind::Switch2x2: {
+        auto a = in(c, 0), b = in(c, 1), ctrl = in(c, 2);
+        if (ctrl.is_const) {
+          set(c, 0, ctrl.value ? b : a);
+          set(c, 1, ctrl.value ? a : b);
+          return false;
+        }
+        if (same_wire(a, b) || (a.is_const && b.is_const && a.value == b.value)) {
+          set(c, 0, a);
+          set(c, 1, a);
+          return false;
+        }
+        const auto [o0, o1] = out_.switch2x2(materialize(a), materialize(b), ctrl.wire);
+        set(c, 0, Val::of(o0));
+        set(c, 1, Val::of(o1));
+        return true;
+      }
+      case Kind::Switch4x4: {
+        auto s0 = in(c, 4), s1 = in(c, 5);
+        if (s0.is_const && s1.is_const) {
+          const auto& pat =
+              src_.swap4_tables()[c.aux][static_cast<std::size_t>(s1.value) * 2 + s0.value];
+          for (std::size_t q = 0; q < 4; ++q) set(c, q, in(c, pat[q]));
+          return false;
+        }
+        const auto table = out_.register_swap4_patterns(src_.swap4_tables()[c.aux]);
+        std::array<WireId, 4> d{};
+        for (std::size_t q = 0; q < 4; ++q) d[q] = materialize(in(c, q));
+        const auto o = out_.switch4x4(d, materialize(s0), materialize(s1), table);
+        for (std::size_t q = 0; q < 4; ++q) set(c, q, Val::of(o[q]));
+        return true;
+      }
+    }
+    throw std::logic_error("fold_component: unknown kind");
+  }
+
+  const Circuit& src_;
+  Circuit out_;
+  std::vector<Val> map_;
+  WireId const0_ = kNoWire;
+  WireId const1_ = kNoWire;
+};
+
+// Removes components whose outputs cannot reach a primary output (primary
+// inputs are always retained to preserve the interface).
+Circuit strip_dead(const Circuit& c, std::size_t& removed) {
+  std::vector<bool> live_wire(c.num_wires(), false);
+  for (WireId w : c.output_wires()) live_wire[w] = true;
+  const auto& comps = c.components();
+  std::vector<bool> live_comp(comps.size(), false);
+  for (std::size_t i = comps.size(); i-- > 0;) {
+    const auto& comp = comps[i];
+    bool live = comp.kind == Kind::Input;
+    for (std::size_t j = 0; j < comp.nout && !live; ++j) live = live_wire[comp.out[j]];
+    live_comp[i] = live;
+    if (!live) {
+      ++removed;
+      continue;
+    }
+    for (std::size_t j = 0; j < comp.nin; ++j) live_wire[comp.in[j]] = true;
+  }
+  Circuit out;
+  std::vector<WireId> remap(c.num_wires(), kNoWire);
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    if (!live_comp[i]) continue;
+    const auto& comp = comps[i];
+    const auto mi = [&](std::size_t j) { return remap[comp.in[j]]; };
+    switch (comp.kind) {
+      case Kind::Input: remap[comp.out[0]] = out.input(); break;
+      case Kind::Const: remap[comp.out[0]] = out.constant(comp.aux); break;
+      case Kind::Not: remap[comp.out[0]] = out.not_gate(mi(0)); break;
+      case Kind::And: remap[comp.out[0]] = out.and_gate(mi(0), mi(1)); break;
+      case Kind::Or: remap[comp.out[0]] = out.or_gate(mi(0), mi(1)); break;
+      case Kind::Xor: remap[comp.out[0]] = out.xor_gate(mi(0), mi(1)); break;
+      case Kind::Mux21: remap[comp.out[0]] = out.mux(mi(0), mi(1), mi(2)); break;
+      case Kind::Demux12: {
+        const auto [o0, o1] = out.demux(mi(0), mi(1));
+        remap[comp.out[0]] = o0;
+        remap[comp.out[1]] = o1;
+        break;
+      }
+      case Kind::Comparator: {
+        const auto [lo, hi] = out.comparator(mi(0), mi(1));
+        remap[comp.out[0]] = lo;
+        remap[comp.out[1]] = hi;
+        break;
+      }
+      case Kind::Switch2x2: {
+        const auto [o0, o1] = out.switch2x2(mi(0), mi(1), mi(2));
+        remap[comp.out[0]] = o0;
+        remap[comp.out[1]] = o1;
+        break;
+      }
+      case Kind::Switch4x4: {
+        const auto table = out.register_swap4_patterns(c.swap4_tables()[comp.aux]);
+        const auto o = out.switch4x4({mi(0), mi(1), mi(2), mi(3)}, mi(4), mi(5), table);
+        for (std::size_t q = 0; q < 4; ++q) remap[comp.out[q]] = o[q];
+        break;
+      }
+    }
+  }
+  for (WireId w : c.output_wires()) out.mark_output(remap[w]);
+  return out;
+}
+
+std::size_t real_components(const Circuit& c) {
+  std::size_t n = 0;
+  for (const auto& comp : c.components()) {
+    n += (comp.kind != Kind::Input && comp.kind != Kind::Const) ? 1u : 0u;
+  }
+  return n;
+}
+
+}  // namespace
+
+Circuit optimize(const Circuit& c, OptimizeStats* stats) {
+  OptimizeStats s;
+  s.before = real_components(c);
+  Folder folder(c);
+  std::size_t folded = 0;
+  Circuit folded_circuit = folder.run(folded);
+  s.folded = folded;
+  Circuit out = strip_dead(folded_circuit, s.dead);
+  s.after = real_components(out);
+  if (stats) *stats = s;
+  return out;
+}
+
+}  // namespace absort::netlist

@@ -1,0 +1,30 @@
+#pragma once
+// Netlist optimization: constant folding and dead-component elimination.
+//
+// The builders favour regular structure over minimality -- e.g. the fish
+// hardware drives its write-enable demultiplexer trees from constant 1, and
+// pattern-table switches may be steered by constant selects.  optimize()
+// propagates constants through every component kind, rewrites what remains,
+// and drops components whose outputs cannot reach a primary output.  The
+// result is functionally identical (the tests check exhaustively) and the
+// savings are reported so benches can quantify how much of a construction's
+// cost is real datapath versus foldable scaffolding.
+
+#include <cstddef>
+
+#include "absort/netlist/circuit.hpp"
+
+namespace absort::netlist {
+
+struct OptimizeStats {
+  std::size_t folded = 0;   ///< components replaced by constants/wires
+  std::size_t dead = 0;     ///< components removed as unreachable
+  std::size_t before = 0;   ///< component count before (excl. inputs)
+  std::size_t after = 0;    ///< component count after (excl. inputs)
+};
+
+/// Returns an optimized copy of `c` with identical observable behaviour
+/// (same inputs, same outputs in order).
+[[nodiscard]] Circuit optimize(const Circuit& c, OptimizeStats* stats = nullptr);
+
+}  // namespace absort::netlist

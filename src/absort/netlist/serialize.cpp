@@ -1,0 +1,147 @@
+#include "absort/netlist/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace absort::netlist {
+namespace {
+
+[[noreturn]] void bad(const std::string& what, std::size_t line) {
+  throw std::invalid_argument("netlist parse error at line " + std::to_string(line) + ": " +
+                              what);
+}
+
+}  // namespace
+
+void write_text(std::ostream& os, const Circuit& c) {
+  os << "absort-netlist v1\n";
+  for (std::size_t t = 0; t < c.swap4_tables().size(); ++t) {
+    os << "swap4 " << t;
+    for (const auto& pat : c.swap4_tables()[t]) {
+      for (auto v : pat) os << ' ' << unsigned(v);
+    }
+    os << '\n';
+  }
+  for (const auto& comp : c.components()) {
+    switch (comp.kind) {
+      case Kind::Input: os << "input"; break;
+      case Kind::Const: os << "const " << unsigned(comp.aux); break;
+      case Kind::Not: os << "not " << comp.in[0]; break;
+      case Kind::And: os << "and " << comp.in[0] << ' ' << comp.in[1]; break;
+      case Kind::Or: os << "or " << comp.in[0] << ' ' << comp.in[1]; break;
+      case Kind::Xor: os << "xor " << comp.in[0] << ' ' << comp.in[1]; break;
+      case Kind::Mux21:
+        os << "mux " << comp.in[0] << ' ' << comp.in[1] << ' ' << comp.in[2];
+        break;
+      case Kind::Demux12: os << "demux " << comp.in[0] << ' ' << comp.in[1]; break;
+      case Kind::Comparator: os << "comparator " << comp.in[0] << ' ' << comp.in[1]; break;
+      case Kind::Switch2x2:
+        os << "switch2 " << comp.in[0] << ' ' << comp.in[1] << ' ' << comp.in[2];
+        break;
+      case Kind::Switch4x4:
+        os << "switch4 " << unsigned(comp.aux);
+        for (std::size_t i = 0; i < 6; ++i) os << ' ' << comp.in[i];
+        break;
+    }
+    os << '\n';
+  }
+  os << "output";
+  for (auto w : c.output_wires()) os << ' ' << w;
+  os << '\n';
+}
+
+std::string to_text(const Circuit& c) {
+  std::ostringstream os;
+  write_text(os, c);
+  return os.str();
+}
+
+Circuit read_text(std::istream& is) {
+  Circuit c;
+  std::string line;
+  std::size_t lineno = 0;
+  bool header_seen = false;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string op;
+    ls >> op;
+    if (!header_seen) {
+      std::string ver;
+      ls >> ver;
+      if (op != "absort-netlist" || ver != "v1") bad("missing 'absort-netlist v1' header", lineno);
+      header_seen = true;
+      continue;
+    }
+    const auto rd = [&]() -> WireId {
+      WireId w;
+      if (!(ls >> w)) bad("missing operand", lineno);
+      return w;
+    };
+    try {
+      if (op == "swap4") {
+        WireId idx = rd();
+        Swap4Patterns p;
+        for (auto& pat : p) {
+          for (auto& v : pat) v = static_cast<std::uint8_t>(rd());
+        }
+        const auto got = c.register_swap4_patterns(p);
+        if (got != idx) bad("pattern table index mismatch", lineno);
+      } else if (op == "input") {
+        c.input();
+      } else if (op == "const") {
+        c.constant(static_cast<Bit>(rd() & 1));
+      } else if (op == "not") {
+        c.not_gate(rd());
+      } else if (op == "and") {
+        const auto a = rd();
+        c.and_gate(a, rd());
+      } else if (op == "or") {
+        const auto a = rd();
+        c.or_gate(a, rd());
+      } else if (op == "xor") {
+        const auto a = rd();
+        c.xor_gate(a, rd());
+      } else if (op == "mux") {
+        const auto a0 = rd();
+        const auto a1 = rd();
+        c.mux(a0, a1, rd());
+      } else if (op == "demux") {
+        const auto d = rd();
+        c.demux(d, rd());
+      } else if (op == "comparator") {
+        const auto a = rd();
+        c.comparator(a, rd());
+      } else if (op == "switch2") {
+        const auto a = rd();
+        const auto b = rd();
+        c.switch2x2(a, b, rd());
+      } else if (op == "switch4") {
+        const auto table = static_cast<std::uint8_t>(rd());
+        std::array<WireId, 4> d{};
+        for (auto& w : d) w = rd();
+        const auto s0 = rd();
+        c.switch4x4(d, s0, rd(), table);
+      } else if (op == "output") {
+        WireId w;
+        while (ls >> w) c.mark_output(w);
+      } else {
+        bad("unknown opcode '" + op + "'", lineno);
+      }
+    } catch (const std::logic_error& e) {
+      bad(e.what(), lineno);
+    }
+  }
+  if (!header_seen) bad("empty input", 0);
+  return c;
+}
+
+Circuit from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_text(is);
+}
+
+}  // namespace absort::netlist

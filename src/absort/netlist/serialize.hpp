@@ -1,0 +1,35 @@
+#pragma once
+// Plain-text netlist serialization.
+//
+// A line-oriented format that round-trips any Circuit -- useful for golden
+// files, interop with external tools, and diffing two builds of the same
+// construction.  Format (one component per line, wires are implicit ids in
+// creation order):
+//
+//   absort-netlist v1
+//   swap4 <idx> <p00> <p01> ... <p33>        # pattern tables first
+//   input
+//   const <0|1>
+//   not <a> | and <a> <b> | or <a> <b> | xor <a> <b>
+//   mux <a0> <a1> <sel>
+//   demux <d> <sel>
+//   comparator <a> <b>
+//   switch2 <a> <b> <ctrl>
+//   switch4 <table> <d0> <d1> <d2> <d3> <s0> <s1>
+//   output <wire>...
+
+#include <iosfwd>
+#include <string>
+
+#include "absort/netlist/circuit.hpp"
+
+namespace absort::netlist {
+
+void write_text(std::ostream& os, const Circuit& c);
+[[nodiscard]] std::string to_text(const Circuit& c);
+
+/// Parses the format above; throws std::invalid_argument on malformed input.
+[[nodiscard]] Circuit read_text(std::istream& is);
+[[nodiscard]] Circuit from_text(const std::string& text);
+
+}  // namespace absort::netlist

@@ -1,0 +1,159 @@
+#include "absort/netlist/transform.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace absort::netlist {
+namespace {
+
+// Control-input position for kinds that have one; -1 otherwise.
+int control_slot(Kind k) {
+  switch (k) {
+    case Kind::Mux21:
+    case Kind::Switch2x2: return 2;
+    case Kind::Demux12: return 1;
+    case Kind::Switch4x4: return 4;  // the low select bit
+    default: return -1;
+  }
+}
+
+}  // namespace
+
+void validate(const Circuit& c) {
+  std::vector<bool> defined(c.num_wires(), false);
+  std::size_t input_count = 0;
+  for (std::size_t i = 0; i < c.components().size(); ++i) {
+    const auto& comp = c.components()[i];
+    for (std::size_t j = 0; j < comp.nin; ++j) {
+      const WireId w = comp.in[j];
+      if (w >= c.num_wires() || !defined[w]) {
+        throw std::logic_error("validate: component " + std::to_string(i) +
+                               " reads undefined wire");
+      }
+    }
+    for (std::size_t j = 0; j < comp.nout; ++j) {
+      const WireId w = comp.out[j];
+      if (w >= c.num_wires() || defined[w]) {
+        throw std::logic_error("validate: component " + std::to_string(i) +
+                               " redefines or overflows wire");
+      }
+      defined[w] = true;
+    }
+    if (comp.kind == Kind::Input) ++input_count;
+    if (comp.kind == Kind::Switch4x4 && comp.aux >= c.swap4_tables().size()) {
+      throw std::logic_error("validate: switch4x4 references unregistered pattern table");
+    }
+  }
+  if (input_count != c.num_inputs()) throw std::logic_error("validate: input count mismatch");
+  for (WireId w : c.output_wires()) {
+    if (w >= c.num_wires() || !defined[w]) throw std::logic_error("validate: undefined output");
+  }
+}
+
+std::string to_dot(const Circuit& c, std::size_t max_components) {
+  if (c.num_components() > max_components) {
+    throw std::invalid_argument("to_dot: circuit exceeds max_components (" +
+                                std::to_string(c.num_components()) + " > " +
+                                std::to_string(max_components) + ")");
+  }
+  // Map each wire to its producing component for edge drawing.
+  std::vector<std::size_t> producer(c.num_wires(), 0);
+  for (std::size_t i = 0; i < c.components().size(); ++i) {
+    const auto& comp = c.components()[i];
+    for (std::size_t j = 0; j < comp.nout; ++j) producer[comp.out[j]] = i;
+  }
+  std::ostringstream os;
+  os << "digraph absort {\n  rankdir=LR;\n  node [shape=box, fontsize=9];\n";
+  for (std::size_t i = 0; i < c.components().size(); ++i) {
+    const auto& comp = c.components()[i];
+    os << "  c" << i << " [label=\"" << kind_name(comp.kind) << "\"";
+    if (comp.kind == Kind::Input) os << ", shape=triangle";
+    if (comp.kind == Kind::Const) os << ", label=\"" << int(comp.aux) << "\", shape=circle";
+    os << "];\n";
+    for (std::size_t j = 0; j < comp.nin; ++j) {
+      os << "  c" << producer[comp.in[j]] << " -> c" << i << ";\n";
+    }
+  }
+  for (std::size_t o = 0; o < c.output_wires().size(); ++o) {
+    os << "  out" << o << " [shape=plaintext, label=\"y" << o << "\"];\n";
+    os << "  c" << producer[c.output_wires()[o]] << " -> out" << o << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+bool fault_applicable(const Circuit& c, const Fault& f) {
+  if (f.component >= c.num_components()) return false;
+  const auto& comp = c.components()[f.component];
+  switch (f.kind) {
+    case FaultKind::StuckControl0:
+    case FaultKind::StuckControl1: return control_slot(comp.kind) >= 0;
+    case FaultKind::OutputsSwapped: return comp.nout >= 2;
+  }
+  return false;
+}
+
+BitVec eval_with_fault(const Circuit& c, const BitVec& in, const Fault& f) {
+  if (!fault_applicable(c, f)) throw std::invalid_argument("eval_with_fault: not applicable");
+  if (in.size() != c.num_inputs()) throw std::invalid_argument("eval_with_fault: input arity");
+  std::vector<Bit> w(c.num_wires(), 0);
+  std::size_t next_input = 0;
+  for (std::size_t i = 0; i < c.components().size(); ++i) {
+    const auto& comp = c.components()[i];
+    const bool faulted = (i == f.component);
+    // Effective control value, honouring stuck-at faults.
+    const auto ctrl = [&](int slot) -> Bit {
+      const Bit real = w[comp.in[static_cast<std::size_t>(slot)]];
+      if (!faulted) return real;
+      if (f.kind == FaultKind::StuckControl0) return 0;
+      if (f.kind == FaultKind::StuckControl1) return 1;
+      return real;
+    };
+    Bit o0 = 0, o1 = 0;
+    switch (comp.kind) {
+      case Kind::Input: o0 = in[next_input++] & 1; break;
+      case Kind::Const: o0 = comp.aux; break;
+      case Kind::Not: o0 = static_cast<Bit>(1 - w[comp.in[0]]); break;
+      case Kind::And: o0 = static_cast<Bit>(w[comp.in[0]] & w[comp.in[1]]); break;
+      case Kind::Or: o0 = static_cast<Bit>(w[comp.in[0]] | w[comp.in[1]]); break;
+      case Kind::Xor: o0 = static_cast<Bit>(w[comp.in[0]] ^ w[comp.in[1]]); break;
+      case Kind::Mux21: o0 = ctrl(2) ? w[comp.in[1]] : w[comp.in[0]]; break;
+      case Kind::Demux12:
+        o0 = ctrl(1) ? Bit{0} : w[comp.in[0]];
+        o1 = ctrl(1) ? w[comp.in[0]] : Bit{0};
+        break;
+      case Kind::Comparator:
+        o0 = static_cast<Bit>(w[comp.in[0]] & w[comp.in[1]]);
+        o1 = static_cast<Bit>(w[comp.in[0]] | w[comp.in[1]]);
+        break;
+      case Kind::Switch2x2:
+        if (ctrl(2)) {
+          o0 = w[comp.in[1]];
+          o1 = w[comp.in[0]];
+        } else {
+          o0 = w[comp.in[0]];
+          o1 = w[comp.in[1]];
+        }
+        break;
+      case Kind::Switch4x4: {
+        const std::size_t s =
+            static_cast<std::size_t>(w[comp.in[5]]) * 2 + static_cast<std::size_t>(ctrl(4));
+        const auto& pat = c.swap4_tables()[comp.aux][s];
+        Bit vals[4];
+        for (std::size_t q = 0; q < 4; ++q) vals[q] = w[comp.in[pat[q]]];
+        if (faulted && f.kind == FaultKind::OutputsSwapped) std::swap(vals[0], vals[1]);
+        for (std::size_t q = 0; q < 4; ++q) w[comp.out[q]] = vals[q];
+        continue;  // outputs written already
+      }
+    }
+    if (faulted && f.kind == FaultKind::OutputsSwapped && comp.nout >= 2) std::swap(o0, o1);
+    if (comp.nout >= 1) w[comp.out[0]] = o0;
+    if (comp.nout >= 2) w[comp.out[1]] = o1;
+  }
+  BitVec out(c.num_outputs());
+  for (std::size_t i = 0; i < c.output_wires().size(); ++i) out[i] = w[c.output_wires()[i]];
+  return out;
+}
+
+}  // namespace absort::netlist

@@ -1,0 +1,45 @@
+#pragma once
+// Circuit inspection and transformation utilities:
+//  * validate()      -- structural invariants (no dangling operands, outputs
+//                       reachable, arities consistent);
+//  * to_dot()        -- Graphviz export for inspecting the constructions
+//                       (Fig. 5's patch-up recursion is very visible);
+//  * inject_fault()  -- testability: mutate one component (stuck control,
+//                       exchanged outputs) so the test suite can show that
+//                       the property checks actually detect broken hardware.
+
+#include <cstddef>
+#include <string>
+
+#include "absort/netlist/circuit.hpp"
+
+namespace absort::netlist {
+
+/// Structural check; throws std::logic_error with a description on the first
+/// violated invariant.  Every builder-produced circuit must pass.
+void validate(const Circuit& c);
+
+/// Graphviz dot rendering (component-level; wiring collapses to edges).
+/// `max_components` guards against accidentally dumping megacircuits.
+[[nodiscard]] std::string to_dot(const Circuit& c, std::size_t max_components = 4096);
+
+enum class FaultKind : std::uint8_t {
+  StuckControl0,   ///< switch/mux control reads 0 regardless of its wire
+  StuckControl1,   ///< ... reads 1
+  OutputsSwapped,  ///< the component's two first outputs are exchanged
+};
+
+struct Fault {
+  std::size_t component = 0;  ///< index into Circuit::components()
+  FaultKind kind = FaultKind::StuckControl0;
+};
+
+/// True if `kind` is applicable to the component's Kind (controls exist /
+/// two outputs exist).
+[[nodiscard]] bool fault_applicable(const Circuit& c, const Fault& f);
+
+/// Evaluates the circuit with one fault injected (the circuit itself is not
+/// modified).  Throws if the fault is not applicable.
+[[nodiscard]] BitVec eval_with_fault(const Circuit& c, const BitVec& in, const Fault& f);
+
+}  // namespace absort::netlist

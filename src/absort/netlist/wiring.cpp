@@ -1,0 +1,65 @@
+#include "absort/netlist/wiring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace absort::netlist::wiring {
+
+std::vector<WireId> shuffle(const std::vector<WireId>& in, std::size_t w) {
+  const std::size_t n = in.size();
+  if (w == 0 || n % w != 0) throw std::invalid_argument("wiring::shuffle: w must divide n");
+  const std::size_t block = n / w;
+  std::vector<WireId> out(n);
+  for (std::size_t j = 0; j < w; ++j) {
+    for (std::size_t i = 0; i < block; ++i) out[w * i + j] = in[j * block + i];
+  }
+  return out;
+}
+
+std::vector<WireId> unshuffle(const std::vector<WireId>& in, std::size_t w) {
+  const std::size_t n = in.size();
+  if (w == 0 || n % w != 0) throw std::invalid_argument("wiring::unshuffle: w must divide n");
+  const std::size_t block = n / w;
+  std::vector<WireId> out(n);
+  for (std::size_t j = 0; j < w; ++j) {
+    for (std::size_t i = 0; i < block; ++i) out[j * block + i] = in[w * i + j];
+  }
+  return out;
+}
+
+std::vector<WireId> reverse(const std::vector<WireId>& in) {
+  std::vector<WireId> out(in.rbegin(), in.rend());
+  return out;
+}
+
+std::vector<WireId> odd_even_split(const std::vector<WireId>& in) {
+  std::vector<WireId> out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); i += 2) out.push_back(in[i]);
+  for (std::size_t i = 1; i < in.size(); i += 2) out.push_back(in[i]);
+  return out;
+}
+
+std::vector<WireId> permute(const std::vector<WireId>& in, const std::vector<std::size_t>& perm) {
+  if (perm.size() != in.size()) throw std::invalid_argument("wiring::permute: size mismatch");
+  std::vector<WireId> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (perm[i] >= in.size()) throw std::invalid_argument("wiring::permute: index out of range");
+    out[i] = in[perm[i]];
+  }
+  return out;
+}
+
+std::vector<WireId> slice(const std::vector<WireId>& in, std::size_t begin, std::size_t len) {
+  if (begin + len > in.size()) throw std::out_of_range("wiring::slice");
+  return {in.begin() + static_cast<std::ptrdiff_t>(begin),
+          in.begin() + static_cast<std::ptrdiff_t>(begin + len)};
+}
+
+std::vector<WireId> concat(const std::vector<WireId>& a, const std::vector<WireId>& b) {
+  std::vector<WireId> out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+}  // namespace absort::netlist::wiring

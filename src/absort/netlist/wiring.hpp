@@ -1,0 +1,42 @@
+#pragma once
+// Wiring permutations (zero-cost in the paper's accounting).
+//
+// A "wiring" is a rearrangement of a bundle of wires; the paper uses two-way
+// and four-way perfect shuffles and their reverses to build swappers, and the
+// shuffle connection in the odd-even merge networks.  Wirings never create
+// components -- they are pure index permutations on std::vector<WireId>.
+
+#include <cstddef>
+#include <vector>
+
+#include "absort/netlist/circuit.hpp"
+
+namespace absort::netlist::wiring {
+
+/// Perfect w-way shuffle: input is w contiguous blocks of n/w wires; output
+/// interleaves them (block-major -> round-robin).  out[w*i + j] = in[j*(n/w) + i].
+/// For w=2 this is the classic perfect shuffle (riffle).
+[[nodiscard]] std::vector<WireId> shuffle(const std::vector<WireId>& in, std::size_t w);
+
+/// Inverse of shuffle(in, w).
+[[nodiscard]] std::vector<WireId> unshuffle(const std::vector<WireId>& in, std::size_t w);
+
+/// Reverses the bundle.
+[[nodiscard]] std::vector<WireId> reverse(const std::vector<WireId>& in);
+
+/// Even-indexed elements followed by odd-indexed elements (odd-even split).
+[[nodiscard]] std::vector<WireId> odd_even_split(const std::vector<WireId>& in);
+
+/// Applies an arbitrary permutation: out[i] = in[perm[i]].
+[[nodiscard]] std::vector<WireId> permute(const std::vector<WireId>& in,
+                                          const std::vector<std::size_t>& perm);
+
+/// Sub-bundle [begin, begin+len).
+[[nodiscard]] std::vector<WireId> slice(const std::vector<WireId>& in, std::size_t begin,
+                                        std::size_t len);
+
+/// Concatenation.
+[[nodiscard]] std::vector<WireId> concat(const std::vector<WireId>& a,
+                                         const std::vector<WireId>& b);
+
+}  // namespace absort::netlist::wiring

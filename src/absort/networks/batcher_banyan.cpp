@@ -1,0 +1,67 @@
+#include "absort/networks/batcher_banyan.hpp"
+
+#include <stdexcept>
+
+#include "absort/sorters/batcher_oem.hpp"
+#include "absort/util/math.hpp"
+
+namespace absort::networks {
+
+BatcherBanyan::BatcherBanyan(std::size_t n)
+    : BatcherBanyan(n, std::make_unique<sorters::BatcherOemSorter>(n)) {}
+
+BatcherBanyan::BatcherBanyan(std::size_t n, std::unique_ptr<sorters::OpNetworkSorter> sorter)
+    : n_(n), sorter_(std::move(sorter)), banyan_(n, OmegaFlow::Forward) {
+  require_pow2(n, 2, "BatcherBanyan");
+  if (!sorter_ || sorter_->size() != n) {
+    throw std::invalid_argument("BatcherBanyan: sorter size mismatch");
+  }
+}
+
+std::vector<std::size_t> BatcherBanyan::route(
+    const std::vector<std::optional<std::size_t>>& dest) const {
+  if (dest.size() != n_) throw std::invalid_argument("BatcherBanyan: dest size mismatch");
+  std::vector<bool> seen(n_, false);
+  std::vector<std::uint64_t> keys(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (dest[i]) {
+      if (*dest[i] >= n_ || seen[*dest[i]]) {
+        throw std::invalid_argument("BatcherBanyan: duplicate or out-of-range destination");
+      }
+      seen[*dest[i]] = true;
+      keys[i] = *dest[i];
+    } else {
+      keys[i] = n_;  // idle packets sort behind every real destination
+    }
+  }
+  // Stage 1: sort by destination.  perm[p] = input now on sorter output p.
+  const auto perm = sorter_->route_words(keys);
+  // Stage 2: the actives are now concentrated (outputs 0..r-1) and monotone
+  // in destination -- banyan-routable without conflicts.
+  std::vector<std::optional<std::size_t>> staged(n_);
+  for (std::size_t p = 0; p < n_; ++p) {
+    if (dest[perm[p]]) staged[p] = *dest[perm[p]];
+  }
+  const auto routed = banyan_.route(staged);
+  if (routed.blocked()) {
+    throw std::logic_error("BatcherBanyan: banyan blocked on sorted traffic");
+  }
+  std::vector<std::size_t> out(n_, n_);
+  for (std::size_t o = 0; o < n_; ++o) {
+    if (routed.output_source[o] != n_) out[o] = perm[routed.output_source[o]];
+  }
+  return out;
+}
+
+netlist::CostReport BatcherBanyan::cost_report() const {
+  const double w = static_cast<double>(ilog2(n_) + 1);  // dest + validity
+  netlist::CostReport r;
+  r.components = sorter_->comparator_count() + OmegaNetwork::switch_count(n_);
+  r.cost = 3.0 * w * static_cast<double>(sorter_->comparator_count()) +
+           static_cast<double>(OmegaNetwork::switch_count(n_));
+  r.depth = w * static_cast<double>(sorter_->comparator_depth()) +
+            static_cast<double>(OmegaNetwork::stages(n_));
+  return r;
+}
+
+}  // namespace absort::networks

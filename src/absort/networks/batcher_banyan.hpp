@@ -1,0 +1,59 @@
+#pragma once
+// The Batcher-banyan switch: a sorting network followed by a banyan (forward
+// omega) fabric -- the classical architecture that motivates cheap sorting
+// networks in packet switching, and the reason concentration/permutation
+// "can be cast as sorting problems" (the paper's opening sentence).
+//
+// Routing a *partial* permutation (some inputs idle, active destinations
+// distinct): sort the packets by destination with idle packets keyed to
+// infinity; the actives emerge contiguous from output 0 in destination
+// order -- concentrated and monotone -- which a banyan network then routes
+// without conflicts.  The sorter here is any OpNetworkSorter via its word
+// face (Batcher's odd-even merge by default); the fabric is
+// OmegaNetwork(Forward).
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "absort/networks/omega.hpp"
+#include "absort/sorters/sorter.hpp"
+
+namespace absort::networks {
+
+class BatcherBanyan {
+ public:
+  explicit BatcherBanyan(std::size_t n);
+  BatcherBanyan(std::size_t n, std::unique_ptr<sorters::OpNetworkSorter> sorter);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// Routes a partial permutation: dest[i] is input i's destination (distinct
+  /// among the actives) or nullopt for idle.  Returns, per output, the input
+  /// whose packet arrived (n = none).  Throws on duplicate destinations.
+  [[nodiscard]] std::vector<std::size_t> route(
+      const std::vector<std::optional<std::size_t>>& dest) const;
+
+  template <typename T>
+  [[nodiscard]] std::vector<std::optional<T>> permute_packets(
+      const std::vector<std::optional<std::size_t>>& dest, const std::vector<T>& payload) const {
+    const auto src = route(dest);
+    std::vector<std::optional<T>> out(n_);
+    for (std::size_t o = 0; o < n_; ++o) {
+      if (src[o] != n_) out[o] = payload[src[o]];
+    }
+    return out;
+  }
+
+  /// Bit-level accounting: the word sorter (comparators on lg n + 1-bit
+  /// keys) plus the banyan fabric.
+  [[nodiscard]] netlist::CostReport cost_report() const;
+
+ private:
+  std::size_t n_;
+  std::unique_ptr<sorters::OpNetworkSorter> sorter_;
+  OmegaNetwork banyan_;
+};
+
+}  // namespace absort::networks

@@ -1,0 +1,120 @@
+#include "absort/networks/benes.hpp"
+
+#include <stdexcept>
+
+#include "absort/util/math.hpp"
+
+namespace absort::networks {
+namespace {
+
+using netlist::Circuit;
+using netlist::WireId;
+
+// Looping over one recursion level: assigns each input to the upper (0) or
+// lower (1) subnetwork so that the two inputs of every input switch and the
+// two sources of every output switch take different sides.
+void loop_level(const std::vector<std::size_t>& perm, std::vector<Bit>& controls) {
+  const std::size_t n = perm.size();
+  if (n == 2) {
+    controls.push_back(static_cast<Bit>(perm[0] == 1));
+    return;
+  }
+  std::vector<std::size_t> inv(n);
+  for (std::size_t i = 0; i < n; ++i) inv[perm[i]] = i;
+
+  std::vector<int> side(n, -1);
+  for (std::size_t s0 = 0; s0 < n / 2; ++s0) {
+    std::size_t i = 2 * s0;
+    if (side[i] != -1) continue;
+    int cur = 0;
+    // Follow the constraint chain input -> paired output -> paired input ...
+    while (i < n && side[i] == -1) {
+      side[i] = cur;
+      const std::size_t o = perm[i];
+      const std::size_t j = inv[o ^ 1];  // source of the paired output
+      if (side[j] == -1) side[j] = 1 - cur;
+      i = j ^ 1;  // its input-switch partner must take the other side again
+      cur = 1 - side[j];
+    }
+  }
+
+  // Input-stage controls: crossed iff the even input goes to the lower net.
+  for (std::size_t s = 0; s < n / 2; ++s) {
+    controls.push_back(static_cast<Bit>(side[2 * s] == 1));
+  }
+
+  // Build the two subpermutations.
+  std::vector<std::size_t> up(n / 2), low(n / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (side[i] == 0) {
+      up[i / 2] = perm[i] / 2;
+    } else {
+      low[i / 2] = perm[i] / 2;
+    }
+  }
+  loop_level(up, controls);
+  loop_level(low, controls);
+
+  // Output-stage controls: crossed iff output 2t is fed from the lower net.
+  for (std::size_t t = 0; t < n / 2; ++t) {
+    controls.push_back(static_cast<Bit>(side[inv[2 * t]] == 1));
+  }
+}
+
+std::vector<WireId> build_level(Circuit& c, const std::vector<WireId>& in) {
+  const std::size_t n = in.size();
+  if (n == 2) {
+    const auto ctrl = c.input();
+    const auto [o0, o1] = c.switch2x2(in[0], in[1], ctrl);
+    return {o0, o1};
+  }
+  std::vector<WireId> upper, lower;
+  const auto in_ctrls = c.inputs(n / 2);
+  for (std::size_t s = 0; s < n / 2; ++s) {
+    const auto [u, l] = c.switch2x2(in[2 * s], in[2 * s + 1], in_ctrls[s]);
+    upper.push_back(u);
+    lower.push_back(l);
+  }
+  const auto us = build_level(c, upper);
+  const auto ls = build_level(c, lower);
+  const auto out_ctrls = c.inputs(n / 2);
+  std::vector<WireId> out(n);
+  for (std::size_t t = 0; t < n / 2; ++t) {
+    const auto [o0, o1] = c.switch2x2(us[t], ls[t], out_ctrls[t]);
+    out[2 * t] = o0;
+    out[2 * t + 1] = o1;
+  }
+  return out;
+}
+
+}  // namespace
+
+BenesNetwork::BenesNetwork(std::size_t n) : n_(n) { require_pow2(n, 2, "BenesNetwork"); }
+
+std::size_t BenesNetwork::switch_count(std::size_t n) {
+  return n / 2 * (2 * ilog2(n) - 1);
+}
+
+std::size_t BenesNetwork::switch_stages(std::size_t n) { return 2 * ilog2(n) - 1; }
+
+std::vector<Bit> BenesNetwork::compute_controls(const std::vector<std::size_t>& dest) const {
+  if (dest.size() != n_) throw std::invalid_argument("BenesNetwork: dest size mismatch");
+  std::vector<bool> seen(n_, false);
+  for (std::size_t d : dest) {
+    if (d >= n_ || seen[d]) throw std::invalid_argument("BenesNetwork: dest is not a permutation");
+    seen[d] = true;
+  }
+  std::vector<Bit> controls;
+  controls.reserve(switch_count(n_));
+  loop_level(dest, controls);
+  return controls;
+}
+
+netlist::Circuit BenesNetwork::build_circuit() const {
+  Circuit c;
+  const auto data = c.inputs(n_);
+  c.mark_outputs(build_level(c, data));
+  return c;
+}
+
+}  // namespace absort::networks

@@ -1,0 +1,30 @@
+#include "absort/networks/concentrator.hpp"
+
+namespace absort::networks {
+
+Concentrator::Concentrator(std::unique_ptr<sorters::BinarySorter> sorter, std::size_t m)
+    : sorter_(std::move(sorter)) {
+  if (!sorter_) throw std::invalid_argument("Concentrator: null sorter");
+  n_ = sorter_->size();
+  m_ = (m == 0) ? n_ : m;
+  if (m_ > n_) throw std::invalid_argument("Concentrator: m > n");
+}
+
+std::vector<std::size_t> Concentrator::concentrate(const std::vector<bool>& active) const {
+  if (active.size() != n_) throw std::invalid_argument("Concentrator: mask size mismatch");
+  std::size_t r = 0;
+  BitVec tags(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    tags[i] = active[i] ? 0 : 1;  // wanted packets sort to the front
+    r += active[i] ? 1u : 0u;
+  }
+  if (r > m_) {
+    throw std::invalid_argument("Concentrator: " + std::to_string(r) + " active > m = " +
+                                std::to_string(m_));
+  }
+  auto perm = sorter_->route(tags);
+  perm.resize(m_);  // an (n, m)-concentrator exposes the first m outputs
+  return perm;
+}
+
+}  // namespace absort::networks

@@ -1,0 +1,53 @@
+#pragma once
+// (n, m)-concentrators from binary sorters (Section IV).
+//
+// "It should be easy to see that a binary sorter does form an (n, n)-
+// concentrator.  All that is needed is to tag the inputs to be concentrated
+// with 0's and tag the remaining inputs with 1's."  Sorting the tags moves
+// the r tagged packets to the first r outputs; an (n, m)-concentrator with
+// m < n is the same network with only the first m outputs exposed, valid
+// whenever r <= m.
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "absort/sorters/sorter.hpp"
+
+namespace absort::networks {
+
+class Concentrator {
+ public:
+  /// Wraps a sorter as an (n, m)-concentrator; m defaults to n.
+  explicit Concentrator(std::unique_ptr<sorters::BinarySorter> sorter, std::size_t m = 0);
+
+  [[nodiscard]] std::size_t inputs() const noexcept { return n_; }
+  [[nodiscard]] std::size_t outputs() const noexcept { return m_; }
+  [[nodiscard]] const sorters::BinarySorter& sorter() const noexcept { return *sorter_; }
+
+  /// Routes the active inputs to the first r outputs; returns, for each of
+  /// the m outputs, the input index now connected to it (an output holding a
+  /// non-active packet is reported as such by the mask order).  Throws if
+  /// more than m inputs are active.
+  [[nodiscard]] std::vector<std::size_t> concentrate(const std::vector<bool>& active) const;
+
+  /// Moves payloads: result[j] = payload of the j-th concentrated packet for
+  /// j < r; entries r..m-1 hold whatever idle packets the network carried.
+  template <typename T>
+  [[nodiscard]] std::vector<T> concentrate_packets(const std::vector<bool>& active,
+                                                   const std::vector<T>& payload) const {
+    const auto perm = concentrate(active);
+    std::vector<T> out;
+    out.reserve(perm.size());
+    for (std::size_t j : perm) out.push_back(payload[j]);
+    return out;
+  }
+
+ private:
+  std::unique_ptr<sorters::BinarySorter> sorter_;
+  std::size_t n_;
+  std::size_t m_;
+};
+
+}  // namespace absort::networks

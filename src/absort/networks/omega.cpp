@@ -1,0 +1,143 @@
+#include "absort/networks/omega.hpp"
+
+#include <stdexcept>
+
+#include "absort/netlist/wiring.hpp"
+#include "absort/util/math.hpp"
+
+namespace absort::networks {
+namespace {
+
+struct Packet {
+  std::size_t source = 0;
+  std::size_t dest = 0;
+  bool valid = false;
+};
+
+}  // namespace
+
+OmegaNetwork::OmegaNetwork(std::size_t n, OmegaFlow flow) : n_(n), flow_(flow) {
+  require_pow2(n, 2, "OmegaNetwork");
+}
+
+std::size_t OmegaNetwork::switch_count(std::size_t n) { return n / 2 * ilog2(n); }
+
+std::size_t OmegaNetwork::stages(std::size_t n) { return ilog2(n); }
+
+OmegaNetwork::RouteResult OmegaNetwork::route(
+    const std::vector<std::optional<std::size_t>>& dest) const {
+  if (dest.size() != n_) throw std::invalid_argument("OmegaNetwork: dest size mismatch");
+  const std::size_t m = ilog2(n_);
+  std::vector<Packet> cur(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (dest[i]) {
+      if (*dest[i] >= n_) throw std::invalid_argument("OmegaNetwork: destination out of range");
+      cur[i] = {i, *dest[i], true};
+    }
+  }
+  RouteResult result;
+  result.output_source.assign(n_, n_);
+  std::vector<Packet> tmp(n_);
+  for (std::size_t s = 0; s < m; ++s) {
+    if (flow_ == OmegaFlow::Forward) {
+      // Perfect shuffle first: position p -> rotate-left(p) over m bits.
+      for (std::size_t p = 0; p < n_; ++p) {
+        tmp[((p << 1) | (p >> (m - 1))) & (n_ - 1)] = cur[p];
+      }
+      cur = tmp;
+    }
+    const std::size_t bit = flow_ == OmegaFlow::Forward ? m - 1 - s : s;
+    std::vector<Packet> next(n_);
+    for (std::size_t sw = 0; sw < n_ / 2; ++sw) {
+      Packet& a = cur[2 * sw];
+      Packet& b = cur[2 * sw + 1];
+      const auto port = [&](const Packet& p) { return (p.dest >> bit) & 1u; };
+      if (a.valid && b.valid && port(a) == port(b)) {
+        ++result.conflicts;
+        b.valid = false;  // the upper packet wins; the loser is dropped
+      }
+      if (a.valid) next[2 * sw + port(a)] = a;
+      if (b.valid) next[2 * sw + port(b)] = b;
+    }
+    cur = std::move(next);
+    if (flow_ == OmegaFlow::Reverse) {
+      // Unshuffle after switching: position p -> rotate-right(p).
+      for (std::size_t p = 0; p < n_; ++p) {
+        tmp[((p >> 1) | ((p & 1) << (m - 1))) & (n_ - 1)] = cur[p];
+      }
+      cur = tmp;
+    }
+  }
+  for (std::size_t p = 0; p < n_; ++p) {
+    if (cur[p].valid) result.output_source[p] = cur[p].source;
+  }
+  return result;
+}
+
+netlist::Circuit OmegaNetwork::build_circuit() const {
+  netlist::Circuit c;
+  auto data = c.inputs(n_);
+  const std::size_t m = ilog2(n_);
+  for (std::size_t s = 0; s < m; ++s) {
+    if (flow_ == OmegaFlow::Forward) data = netlist::wiring::shuffle(data, 2);
+    const auto ctrls = c.inputs(n_ / 2);
+    for (std::size_t sw = 0; sw < n_ / 2; ++sw) {
+      const auto [o0, o1] = c.switch2x2(data[2 * sw], data[2 * sw + 1], ctrls[sw]);
+      data[2 * sw] = o0;
+      data[2 * sw + 1] = o1;
+    }
+    if (flow_ == OmegaFlow::Reverse) data = netlist::wiring::unshuffle(data, 2);
+  }
+  c.mark_outputs(data);
+  return c;
+}
+
+std::vector<Bit> OmegaNetwork::compute_controls(
+    const std::vector<std::optional<std::size_t>>& dest) const {
+  if (dest.size() != n_) throw std::invalid_argument("OmegaNetwork: dest size mismatch");
+  const std::size_t m = ilog2(n_);
+  std::vector<Packet> cur(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (dest[i]) cur[i] = {i, *dest[i], true};
+  }
+  std::vector<Bit> controls;
+  controls.reserve(switch_count(n_));
+  std::vector<Packet> tmp(n_);
+  for (std::size_t s = 0; s < m; ++s) {
+    if (flow_ == OmegaFlow::Forward) {
+      for (std::size_t p = 0; p < n_; ++p) {
+        tmp[((p << 1) | (p >> (m - 1))) & (n_ - 1)] = cur[p];
+      }
+      cur = tmp;
+    }
+    const std::size_t bit = flow_ == OmegaFlow::Forward ? m - 1 - s : s;
+    std::vector<Packet> next(n_);
+    for (std::size_t sw = 0; sw < n_ / 2; ++sw) {
+      const Packet& a = cur[2 * sw];
+      const Packet& b = cur[2 * sw + 1];
+      const auto port = [&](const Packet& p) { return (p.dest >> bit) & 1u; };
+      if (a.valid && b.valid && port(a) == port(b)) {
+        throw std::invalid_argument("OmegaNetwork::compute_controls: pattern blocks");
+      }
+      Bit ctrl = 0;
+      if (a.valid) {
+        ctrl = static_cast<Bit>(port(a));  // crossed iff the upper packet goes down
+      } else if (b.valid) {
+        ctrl = static_cast<Bit>(1 - port(b));  // crossed iff the lower packet goes up
+      }
+      controls.push_back(ctrl);
+      if (a.valid) next[2 * sw + port(a)] = a;
+      if (b.valid) next[2 * sw + port(b)] = b;
+    }
+    cur = std::move(next);
+    if (flow_ == OmegaFlow::Reverse) {
+      for (std::size_t p = 0; p < n_; ++p) {
+        tmp[((p >> 1) | ((p & 1) << (m - 1))) & (n_ - 1)] = cur[p];
+      }
+      cur = tmp;
+    }
+  }
+  return controls;
+}
+
+}  // namespace absort::networks

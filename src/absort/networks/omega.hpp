@@ -1,0 +1,73 @@
+#pragma once
+// The omega (shuffle-exchange) network: lg n stages, each a perfect shuffle
+// followed by n/2 2x2 switches, self-routed by destination-address bits
+// (most significant first).
+//
+// Two flow directions share the hardware shape:
+//  * Forward (the textbook omega): shuffle, then switch by destination bits
+//    most-significant first.  Blocking in general (bit reversal collides),
+//    but passes the identity and all cyclic shifts.
+//  * Reverse (the inverse banyan): switch by destination bits
+//    least-significant first, then unshuffle.  This direction is the classic
+//    nonblocking *concentrator* fabric: any monotone traffic whose
+//    destinations form a contiguous block routes without conflicts.  Paired
+//    with a rank (prefix-count) unit it is the "ranking tree-based
+//    construction [11], [13]" of Section IV, whose O(n lg^2 n) cost the
+//    paper's sorter-based concentrators undercut.  See
+//    rank_concentrator.hpp.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "absort/netlist/analyze.hpp"
+#include "absort/netlist/circuit.hpp"
+#include "absort/util/bitvec.hpp"
+
+namespace absort::networks {
+
+enum class OmegaFlow {
+  Forward,  ///< shuffle, then route by destination bit (MSB first)
+  Reverse,  ///< route by destination bit (LSB first), then unshuffle
+};
+
+class OmegaNetwork {
+ public:
+  explicit OmegaNetwork(std::size_t n, OmegaFlow flow = OmegaFlow::Forward);
+
+  [[nodiscard]] OmegaFlow flow() const noexcept { return flow_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// (n/2) lg n switches, depth lg n.
+  [[nodiscard]] static std::size_t switch_count(std::size_t n);
+  [[nodiscard]] static std::size_t stages(std::size_t n);
+
+  struct RouteResult {
+    /// For each output: the input whose packet arrived there (n = none).
+    std::vector<std::size_t> output_source;
+    std::size_t conflicts = 0;  ///< switch-port collisions (losers dropped)
+    [[nodiscard]] bool blocked() const noexcept { return conflicts != 0; }
+  };
+
+  /// Self-routes packets; dest[i] is input i's destination or nullopt for an
+  /// idle input.  Destinations need not be distinct -- collisions are
+  /// counted and the losing packet is dropped (reported, never silently).
+  [[nodiscard]] RouteResult route(const std::vector<std::optional<std::size_t>>& dest) const;
+
+  /// Data-path netlist: n data inputs followed by the control input of every
+  /// switch, stage by stage (controls are what the self-routing logic would
+  /// set; compute_controls produces them for conflict-free patterns).
+  [[nodiscard]] netlist::Circuit build_circuit() const;
+
+  /// Switch settings realizing a conflict-free pattern (throws if blocked).
+  /// Ordered exactly as build_circuit()'s control inputs.
+  [[nodiscard]] std::vector<Bit> compute_controls(
+      const std::vector<std::optional<std::size_t>>& dest) const;
+
+ private:
+  std::size_t n_;
+  OmegaFlow flow_;
+};
+
+}  // namespace absort::networks

@@ -1,0 +1,80 @@
+#include "absort/networks/radix_permuter.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "absort/util/math.hpp"
+
+namespace absort::networks {
+
+RadixPermuter::RadixPermuter(std::size_t n, sorters::SorterFactory factory)
+    : n_(n), factory_(std::move(factory)) {
+  require_pow2(n, 2, "RadixPermuter");
+  if (!factory_) throw std::invalid_argument("RadixPermuter: null sorter factory");
+}
+
+std::vector<std::size_t> RadixPermuter::route(const std::vector<std::size_t>& dest) const {
+  if (dest.size() != n_) throw std::invalid_argument("RadixPermuter: dest size mismatch");
+  std::vector<bool> seen(n_, false);
+  for (std::size_t d : dest) {
+    if (d >= n_ || seen[d]) throw std::invalid_argument("RadixPermuter: dest is not a permutation");
+    seen[d] = true;
+  }
+  // cur[p] = index of the input currently on wire p; addr[p] = its
+  // destination.  Each level sorts a window by one destination-address bit,
+  // most significant first, exactly as Fig. 10 cascades binary sorters.
+  std::vector<std::size_t> cur(n_), addr = dest;
+  for (std::size_t i = 0; i < n_; ++i) cur[i] = i;
+  for (std::size_t window = n_; window >= 2; window /= 2) {
+    const std::size_t bit = ilog2(window) - 1;
+    const auto sorter = factory_(window);
+    for (std::size_t lo = 0; lo < n_; lo += window) {
+      BitVec tags(window);
+      for (std::size_t i = 0; i < window; ++i) {
+        tags[i] = static_cast<Bit>((addr[lo + i] >> bit) & 1);
+      }
+      const auto perm = sorter->route(tags);
+      std::vector<std::size_t> cur2(window), addr2(window);
+      for (std::size_t i = 0; i < window; ++i) {
+        cur2[i] = cur[lo + perm[i]];
+        addr2[i] = addr[lo + perm[i]];
+      }
+      for (std::size_t i = 0; i < window; ++i) {
+        cur[lo + i] = cur2[i];
+        addr[lo + i] = addr2[i];
+      }
+    }
+  }
+  // After the last level every packet sits at its destination.
+  for (std::size_t p = 0; p < n_; ++p) {
+    if (addr[p] != p) throw std::logic_error("RadixPermuter: routing failed to converge");
+  }
+  return cur;
+}
+
+netlist::CostReport RadixPermuter::cost_report(const netlist::CostModel& m) const {
+  netlist::CostReport acc;
+  double depth = 0;
+  for (std::size_t window = n_; window >= 2; window /= 2) {
+    const auto r = factory_(window)->cost_report(m);
+    const double copies = static_cast<double>(n_ / window);
+    acc.cost += copies * r.cost;
+    acc.components += static_cast<std::size_t>(copies) * r.components;
+    for (std::size_t i = 0; i < netlist::kNumKinds; ++i) {
+      acc.inventory[i] += static_cast<std::size_t>(copies) * r.inventory[i];
+    }
+    depth += r.depth;  // one sorter per level on any input-output path
+  }
+  acc.depth = depth;
+  return acc;
+}
+
+double RadixPermuter::routing_time(const netlist::CostModel& m) const {
+  double t = 0;
+  for (std::size_t window = n_; window >= 2; window /= 2) {
+    t += factory_(window)->sorting_time(m);
+  }
+  return t;
+}
+
+}  // namespace absort::networks

@@ -1,0 +1,61 @@
+#pragma once
+// The radix permuter built from binary sorters (Section IV, Fig. 10).
+//
+// Jan and Oruc's radix permuter is recursively constructed from a
+// distributor, two concentrators, and two half-size radix permuters; the
+// paper's observation is that one binary sorter replaces all three front
+// blocks: "by sorting the leading bits in the destination address, a binary
+// sorter can distribute the inputs to the upper and lower half-size radix
+// permuters".  With the fish binary sorter this yields the first permutation
+// network with O(n lg n) bit-level cost and O(lg^3 n) bit-level routing time
+// (eqs. 26-27); it is packet-switched, because the fish sorter relies on
+// time multiplexing.  With the mux-merger sorter it yields an O(n lg^2 n)
+// circuit-switched permuter.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "absort/netlist/analyze.hpp"
+#include "absort/sorters/sorter.hpp"
+
+namespace absort::networks {
+
+class RadixPermuter {
+ public:
+  /// n a power of two; `factory` supplies the embedded binary sorter at each
+  /// recursion size (2, 4, ..., n).
+  RadixPermuter(std::size_t n, sorters::SorterFactory factory);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// Routes so that output dest[i] receives input i; returns `perm` with
+  /// out[p] = in[perm[p]] (hence perm[dest[i]] == i).
+  [[nodiscard]] std::vector<std::size_t> route(const std::vector<std::size_t>& dest) const;
+
+  /// Moves payloads: result[dest[i]] = payload[i], realized by the network's
+  /// recorded switch decisions.
+  template <typename T>
+  [[nodiscard]] std::vector<T> permute_packets(const std::vector<std::size_t>& dest,
+                                               const std::vector<T>& payload) const {
+    const auto perm = route(dest);
+    std::vector<T> out;
+    out.reserve(n_);
+    for (std::size_t p : perm) out.push_back(payload[p]);
+    return out;
+  }
+
+  /// Aggregate cost: one n-sorter + two (n/2)-permuters, recursively
+  /// (eq. 26's recurrence), assembled from the sorters' real reports.
+  [[nodiscard]] netlist::CostReport cost_report(const netlist::CostModel& m) const;
+
+  /// Routing time: sorter time at each of the lg n levels, summed along one
+  /// root-to-leaf path (the half-size permuters operate in parallel).
+  [[nodiscard]] double routing_time(const netlist::CostModel& m) const;
+
+ private:
+  std::size_t n_;
+  sorters::SorterFactory factory_;
+};
+
+}  // namespace absort::networks

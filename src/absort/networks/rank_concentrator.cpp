@@ -1,0 +1,51 @@
+#include "absort/networks/rank_concentrator.hpp"
+
+#include <stdexcept>
+
+#include "absort/blocks/rank.hpp"
+#include "absort/util/math.hpp"
+
+namespace absort::networks {
+
+RankConcentrator::RankConcentrator(std::size_t n) : n_(n), omega_(n, OmegaFlow::Reverse) {
+  require_pow2(n, 2, "RankConcentrator");
+}
+
+std::vector<std::size_t> RankConcentrator::concentrate(const std::vector<bool>& active) const {
+  if (active.size() != n_) throw std::invalid_argument("RankConcentrator: mask size mismatch");
+  std::vector<std::optional<std::size_t>> dest(n_);
+  std::size_t rank = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (active[i]) dest[i] = rank++;
+  }
+  const auto routed = omega_.route(dest);
+  if (routed.blocked()) {
+    // Monotone compact traffic never blocks an omega network; reaching this
+    // line means the substrate is broken, not the request pattern.
+    throw std::logic_error("RankConcentrator: omega blocked on monotone compact traffic");
+  }
+  std::vector<std::size_t> out(routed.output_source.begin(),
+                               routed.output_source.begin() + static_cast<std::ptrdiff_t>(rank));
+  return out;
+}
+
+netlist::CostReport RankConcentrator::cost_report(const netlist::CostModel& m) const {
+  // Rank unit netlist.
+  netlist::Circuit rank;
+  const auto bits = rank.inputs(n_);
+  for (const auto& count : blocks::prefix_counts(rank, bits)) {
+    for (auto w : count) rank.mark_output(w);
+  }
+  const auto rank_report = netlist::analyze(rank, m);
+  const auto fabric_report = netlist::analyze(omega_.build_circuit(), m);
+  netlist::CostReport acc = rank_report;
+  acc.cost += fabric_report.cost;
+  acc.components += fabric_report.components;
+  for (std::size_t i = 0; i < netlist::kNumKinds; ++i) {
+    acc.inventory[i] += fabric_report.inventory[i];
+  }
+  acc.depth = rank_report.depth + fabric_report.depth;
+  return acc;
+}
+
+}  // namespace absort::networks

@@ -1,0 +1,38 @@
+#pragma once
+// The ranking self-routing concentrator of the [11]/[13] style that
+// Section IV compares against: a rank (prefix-count) unit assigns each
+// active input its output index, and an omega fabric self-routes the packets
+// -- conflict-free because concentration traffic is monotone and compact.
+//
+// Its measured bit-level cost is Theta(n lg^2 n) (the ranking tree
+// dominates), which is precisely the figure the paper quotes for the
+// "ranking tree-based constructions" and the reason its sorter-based
+// concentrators (O(n lg n) combinational, O(n) time-multiplexed) win.
+
+#include <cstddef>
+#include <vector>
+
+#include "absort/netlist/analyze.hpp"
+#include "absort/networks/omega.hpp"
+
+namespace absort::networks {
+
+class RankConcentrator {
+ public:
+  explicit RankConcentrator(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// Routes the r active inputs to outputs 0..r-1 in input order (stable);
+  /// returns the input index on each of the first r outputs.
+  [[nodiscard]] std::vector<std::size_t> concentrate(const std::vector<bool>& active) const;
+
+  /// Rank unit + omega fabric, both as real netlists.
+  [[nodiscard]] netlist::CostReport cost_report(const netlist::CostModel& m) const;
+
+ private:
+  std::size_t n_;
+  OmegaNetwork omega_;
+};
+
+}  // namespace absort::networks

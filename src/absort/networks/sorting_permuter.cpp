@@ -1,0 +1,51 @@
+#include "absort/networks/sorting_permuter.hpp"
+
+#include <stdexcept>
+
+#include "absort/sorters/batcher_oem.hpp"
+#include "absort/util/math.hpp"
+
+namespace absort::networks {
+
+SortingPermuter::SortingPermuter(std::size_t n)
+    : SortingPermuter(n, std::make_unique<sorters::BatcherOemSorter>(n)) {}
+
+SortingPermuter::SortingPermuter(std::size_t n,
+                                 std::unique_ptr<sorters::OpNetworkSorter> network)
+    : n_(n), net_(std::move(network)) {
+  require_pow2(n, 2, "SortingPermuter");
+  if (!net_ || net_->size() != n) {
+    throw std::invalid_argument("SortingPermuter: network size mismatch");
+  }
+}
+
+std::vector<std::size_t> SortingPermuter::route(const std::vector<std::size_t>& dest) const {
+  if (dest.size() != n_) throw std::invalid_argument("SortingPermuter: dest size mismatch");
+  std::vector<bool> seen(n_, false);
+  std::vector<std::uint64_t> keys(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (dest[i] >= n_ || seen[dest[i]]) {
+      throw std::invalid_argument("SortingPermuter: dest is not a permutation");
+    }
+    seen[dest[i]] = true;
+    keys[i] = dest[i];
+  }
+  // Sorting distinct addresses 0..n-1 ascending places each packet at its
+  // destination output.
+  return net_->route_words(keys);
+}
+
+netlist::CostReport SortingPermuter::cost_report(std::size_t word_bits) const {
+  const double w = static_cast<double>(word_bits ? word_bits : ilog2(n_));
+  netlist::CostReport r;
+  r.components = net_->comparator_count();
+  r.cost = 3.0 * w * static_cast<double>(net_->comparator_count());
+  r.depth = w * static_cast<double>(net_->comparator_depth());
+  return r;
+}
+
+double SortingPermuter::routing_time(std::size_t word_bits) const {
+  return cost_report(word_bits).depth;  // self-routing: time = traversal depth
+}
+
+}  // namespace absort::networks

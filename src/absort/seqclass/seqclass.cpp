@@ -1,0 +1,236 @@
+#include "absort/seqclass/seqclass.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace absort::seqclass {
+namespace {
+
+// Matches a maximal run of identical pairs starting at pair index `p`:
+// either (00)* or (11)*.  Returns the pair index just past the run.
+std::size_t match_clean_pairs(const BitVec& v, std::size_t p) noexcept {
+  const std::size_t pairs = v.size() / 2;
+  if (p >= pairs) return p;
+  const Bit b = v[2 * p];
+  while (p < pairs && v[2 * p] == b && v[2 * p + 1] == b) ++p;
+  return p;
+}
+
+// Matches a maximal run of alternating pairs starting at pair index `p`:
+// either (01)* or (10)*.  Returns the pair index just past the run.
+std::size_t match_alt_pairs(const BitVec& v, std::size_t p) noexcept {
+  const std::size_t pairs = v.size() / 2;
+  if (p >= pairs) return p;
+  const Bit b = v[2 * p];
+  while (p < pairs && v[2 * p] == b && v[2 * p + 1] == static_cast<Bit>(1 - b)) ++p;
+  return p;
+}
+
+}  // namespace
+
+bool is_clean_sorted(const BitVec& v) noexcept {
+  return std::all_of(v.begin(), v.end(), [&](Bit b) { return b == (v.empty() ? 0 : v[0]); });
+}
+
+bool in_class_a(const BitVec& v) noexcept {
+  if (v.size() % 2 != 0) return false;
+  const std::size_t pairs = v.size() / 2;
+  // Try every split: clean-run to pair a, alternating-run to pair b, clean
+  // run to the end.  The greedy maximal matches are not sufficient on their
+  // own because a (00)* run can also begin a (01)* run's complement, so we
+  // enumerate the (at most O(1)) maximal-run boundaries explicitly: a run of
+  // identical pairs and a run of alternating pairs can only overlap at their
+  // boundary, so greedy matching with one step of backtracking suffices.
+  // For robustness we simply try all O(n^2) splits -- n is small wherever
+  // this predicate runs in tests.
+  for (std::size_t a = 0; a <= pairs; ++a) {
+    // segment 1: pairs [0, a) must be (00)* or (11)* (uniform type)
+    if (a > 0) {
+      const Bit t = v[0];
+      bool ok = true;
+      for (std::size_t p = 0; p < a && ok; ++p) ok = (v[2 * p] == t && v[2 * p + 1] == t);
+      if (!ok) continue;
+    }
+    for (std::size_t b = a; b <= pairs; ++b) {
+      // segment 2: pairs [a, b) must be (01)* or (10)* (uniform type)
+      if (b > a) {
+        const Bit t = v[2 * a];
+        bool ok = true;
+        for (std::size_t p = a; p < b && ok; ++p) {
+          ok = (v[2 * p] == t && v[2 * p + 1] == static_cast<Bit>(1 - t));
+        }
+        if (!ok) continue;
+      }
+      // segment 3: pairs [b, pairs) must be (00)* or (11)*
+      bool ok = true;
+      if (b < pairs) {
+        const Bit t = v[2 * b];
+        for (std::size_t p = b; p < pairs && ok; ++p) {
+          ok = (v[2 * p] == t && v[2 * p + 1] == t);
+        }
+      }
+      if (ok) return true;
+    }
+  }
+  return false;
+}
+
+bool in_class_a_linear(const BitVec& v) noexcept {
+  if (v.size() % 2 != 0) return false;
+  const std::size_t pairs = v.size() / 2;
+  // Decompose into maximal runs of identical pairs; each pair must be one of
+  // 00/11 (clean) or 01/10 (alternating), which is always true of a bit
+  // pair, so only the run-category sequence matters: it must parse as
+  // C? A? C? (each letter one run).
+  int state = 0;  // 0: before first clean run, 1: after C1, 2: after A, 3: after C2
+  std::size_t p = 0;
+  while (p < pairs) {
+    const Bit first = v[2 * p];
+    const Bit second = v[2 * p + 1];
+    const bool clean = first == second;
+    std::size_t q = p;
+    while (q < pairs && v[2 * q] == first && v[2 * q + 1] == second) ++q;
+    if (clean) {
+      if (state == 0) {
+        state = 1;  // C1
+      } else if (state == 1 || state == 2) {
+        state = 3;  // C2 (an A run may be absent)
+      } else {
+        return false;  // third clean run
+      }
+    } else {
+      if (state <= 1) {
+        state = 2;  // A
+      } else {
+        return false;  // alternating run after A or C2
+      }
+    }
+    p = q;
+  }
+  return true;
+}
+
+bool is_bisorted(const BitVec& v) noexcept {
+  if (v.size() % 2 != 0) return false;
+  const std::size_t h = v.size() / 2;
+  return std::is_sorted(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(h)) &&
+         std::is_sorted(v.begin() + static_cast<std::ptrdiff_t>(h), v.end());
+}
+
+bool is_k_sorted(const BitVec& v, std::size_t k) noexcept {
+  if (k == 0 || v.size() % k != 0) return false;
+  const std::size_t block = v.size() / k;
+  for (std::size_t b = 0; b < k; ++b) {
+    const auto first = v.begin() + static_cast<std::ptrdiff_t>(b * block);
+    if (!std::is_sorted(first, first + static_cast<std::ptrdiff_t>(block))) return false;
+  }
+  return true;
+}
+
+bool is_clean_k_sorted(const BitVec& v, std::size_t k) noexcept {
+  if (k == 0 || v.size() % k != 0) return false;
+  const std::size_t block = v.size() / k;
+  for (std::size_t b = 0; b < k; ++b) {
+    const Bit t = v[b * block];
+    for (std::size_t i = 0; i < block; ++i) {
+      if (v[b * block + i] != t) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<BitVec> enumerate_class_a(std::size_t n) {
+  if (n % 2 != 0) throw std::invalid_argument("enumerate_class_a: n must be even");
+  const std::size_t pairs = n / 2;
+  std::set<std::vector<Bit>> seen;
+  std::vector<BitVec> out;
+  for (std::size_t ka = 0; ka <= pairs; ++ka) {
+    for (std::size_t kb = 0; ka + kb <= pairs; ++kb) {
+      const std::size_t kc = pairs - ka - kb;
+      for (Bit a : {Bit{0}, Bit{1}}) {
+        for (Bit b : {Bit{0}, Bit{1}}) {
+          for (Bit c : {Bit{0}, Bit{1}}) {
+            BitVec v;
+            for (std::size_t i = 0; i < ka; ++i) {
+              v.push_back(a);
+              v.push_back(a);
+            }
+            for (std::size_t i = 0; i < kb; ++i) {
+              v.push_back(b);
+              v.push_back(static_cast<Bit>(1 - b));
+            }
+            for (std::size_t i = 0; i < kc; ++i) {
+              v.push_back(c);
+              v.push_back(c);
+            }
+            if (seen.insert(v.data()).second) out.push_back(std::move(v));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t class_a_count(std::size_t n) {
+  if (n == 0 || n % 2 != 0) throw std::invalid_argument("class_a_count: n must be even >= 2");
+  return n * n - n + 2;
+}
+
+std::vector<BitVec> enumerate_bisorted(std::size_t n) {
+  if (n % 2 != 0) throw std::invalid_argument("enumerate_bisorted: n must be even");
+  const std::size_t h = n / 2;
+  std::vector<BitVec> out;
+  out.reserve((h + 1) * (h + 1));
+  for (std::size_t u = 0; u <= h; ++u) {
+    for (std::size_t l = 0; l <= h; ++l) {
+      out.push_back(BitVec::sorted_with_ones(h, u).concat(BitVec::sorted_with_ones(h, l)));
+    }
+  }
+  return out;
+}
+
+std::vector<BitVec> enumerate_k_sorted(std::size_t n, std::size_t k) {
+  if (k == 0 || n % k != 0) throw std::invalid_argument("enumerate_k_sorted: k must divide n");
+  const std::size_t block = n / k;
+  std::vector<BitVec> out;
+  std::vector<std::size_t> ones(k, 0);
+  for (;;) {
+    BitVec v;
+    for (std::size_t b = 0; b < k; ++b) v = v.concat(BitVec::sorted_with_ones(block, ones[b]));
+    out.push_back(std::move(v));
+    // odometer over (block+1)^k combinations
+    std::size_t i = 0;
+    while (i < k && ones[i] == block) {
+      ones[i] = 0;
+      ++i;
+    }
+    if (i == k) break;
+    ++ones[i];
+  }
+  return out;
+}
+
+BitVec theorem1_shuffle(const BitVec& upper, const BitVec& lower) {
+  if (upper.size() != lower.size()) {
+    throw std::invalid_argument("theorem1_shuffle: halves must have equal size");
+  }
+  return upper.concat(lower).shuffle2();
+}
+
+BitVec balanced_first_stage(const BitVec& v) {
+  if (v.size() % 2 != 0) throw std::invalid_argument("balanced_first_stage: odd size");
+  BitVec out = v;
+  const std::size_t n = v.size();
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    const Bit a = v[i];
+    const Bit b = v[n - 1 - i];
+    out[i] = a & b;          // min
+    out[n - 1 - i] = a | b;  // max
+  }
+  return out;
+}
+
+}  // namespace absort::seqclass

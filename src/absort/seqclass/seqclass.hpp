@@ -1,0 +1,71 @@
+#pragma once
+// The paper's binary-sequence classes (Definitions 1-5) as executable
+// predicates, plus enumerators and the structural transforms that Theorems
+// 1-4 reason about.  These are the ground truth the property tests check the
+// networks against.
+
+#include <cstddef>
+#include <vector>
+
+#include "absort/util/bitvec.hpp"
+
+namespace absort::seqclass {
+
+/// Definition 2: all elements identical (all 0 or all 1).
+/// The empty sequence is vacuously clean-sorted.
+[[nodiscard]] bool is_clean_sorted(const BitVec& v) noexcept;
+
+/// Definition 1: membership in class A_n, the regular language
+///   ((00)* + (11)*) ((01)* + (10)*) ((00)* + (11)*)
+/// intersected with {0,1}^n.  Size must be even (the class is built from
+/// 2-bit groups); odd sizes are never members.
+[[nodiscard]] bool in_class_a(const BitVec& v) noexcept;
+
+/// Linear-time membership check (single scan over maximal pair runs); the
+/// tests verify it against in_class_a exhaustively.  Use this in hot paths.
+[[nodiscard]] bool in_class_a_linear(const BitVec& v) noexcept;
+
+/// Definition 3: both halves sorted ascending.  Size must be even.
+[[nodiscard]] bool is_bisorted(const BitVec& v) noexcept;
+
+/// Definition 4: k equal-size sorted (ascending) blocks.  k must divide size.
+[[nodiscard]] bool is_k_sorted(const BitVec& v, std::size_t k) noexcept;
+
+/// Definition 5: k equal-size *clean* blocks.
+[[nodiscard]] bool is_clean_k_sorted(const BitVec& v, std::size_t k) noexcept;
+
+/// Enumerate every member of A_n (without duplicates).  |A_n| = O(n^2), so
+/// this is cheap even for n in the thousands.
+[[nodiscard]] std::vector<BitVec> enumerate_class_a(std::size_t n);
+
+/// |A_n| in closed form: n^2 - n + 2 for even n >= 2.  Derivation: with
+/// P = n/2 pairs, the members with all three runs nonempty contribute
+/// 8 C(P-1, 2) (two types for each run, compositions of P into three
+/// positive parts, segmentations recoverable from maximal runs); exactly one
+/// empty clean run contributes 2 * 4(P-1); clean-only strings (at most one
+/// type change) contribute 2P; the pure alternating strings 2.  Summing:
+/// 4P^2 - 2P + 2 = n^2 - n + 2.
+[[nodiscard]] std::size_t class_a_count(std::size_t n);
+
+/// Enumerate every bisorted sequence of length n: (n/2+1)^2 members.
+[[nodiscard]] std::vector<BitVec> enumerate_bisorted(std::size_t n);
+
+/// Enumerate every k-sorted sequence of length n: (n/k+1)^k members
+/// (intended for small k and n).
+[[nodiscard]] std::vector<BitVec> enumerate_k_sorted(std::size_t n, std::size_t k);
+
+// ---------------------------------------------------------------------------
+// Structural transforms referenced by the theorems.
+// ---------------------------------------------------------------------------
+
+/// Theorem 1 setting: shuffle of the concatenation of two sorted halves.
+/// Returns shuffle2(upper ++ lower); the theorem asserts the result is in A_n.
+[[nodiscard]] BitVec theorem1_shuffle(const BitVec& upper, const BitVec& lower);
+
+/// The first comparator stage of the balanced merging block: for each i in
+/// [0, n/2), compare positions i and n-1-i, putting the min at i and the max
+/// at n-1-i.  Theorem 2 asserts: for input in A_n, one output half is clean
+/// and the other belongs to A_{n/2}.
+[[nodiscard]] BitVec balanced_first_stage(const BitVec& v);
+
+}  // namespace absort::seqclass

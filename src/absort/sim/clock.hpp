@@ -1,0 +1,42 @@
+#pragma once
+// Schedule: critical-path time accounting for network model B.
+//
+// Model B (Section II) assumes "a global clock that times our steps for
+// moving various groups of inputs through (n,k)-multiplexer and (k,m)-
+// demultiplexer blocks".  Sorting time is measured in unit gate delays: a
+// step that traverses a sub-network of depth d takes d units, sequential
+// steps add, and independent branches contribute the max of their finish
+// times.  A Schedule records the steps so benches and examples can print the
+// timeline, and its critical path is the sorting time T(n,k) of eqs. (22)-(26).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace absort::sim {
+
+struct Step {
+  std::string label;
+  double start = 0;
+  double finish = 0;
+};
+
+class Schedule {
+ public:
+  /// Records a step beginning at `start` and lasting `duration` unit delays;
+  /// returns its finish time.
+  double step(std::string label, double start, double duration) {
+    steps_.push_back({std::move(label), start, start + duration});
+    if (steps_.back().finish > critical_path_) critical_path_ = steps_.back().finish;
+    return start + duration;
+  }
+
+  [[nodiscard]] double critical_path() const noexcept { return critical_path_; }
+  [[nodiscard]] const std::vector<Step>& steps() const noexcept { return steps_; }
+
+ private:
+  std::vector<Step> steps_;
+  double critical_path_ = 0;
+};
+
+}  // namespace absort::sim

@@ -1,0 +1,49 @@
+#include "absort/sim/clocked_circuit.hpp"
+
+#include <stdexcept>
+
+namespace absort::sim {
+
+ClockedCircuit::ClockedCircuit(netlist::Circuit comb, std::vector<std::size_t> free_pos,
+                               std::vector<RegisterBinding> regs)
+    : comb_(std::move(comb)), free_pos_(std::move(free_pos)), regs_(std::move(regs)) {
+  std::vector<bool> claimed(comb_.num_inputs(), false);
+  const auto claim = [&](std::size_t pos) {
+    if (pos >= claimed.size() || claimed[pos]) {
+      throw std::invalid_argument("ClockedCircuit: input position claimed twice or out of range");
+    }
+    claimed[pos] = true;
+  };
+  for (auto p : free_pos_) claim(p);
+  for (const auto& r : regs_) {
+    claim(r.q_input_pos);
+    if (r.d >= comb_.num_wires()) throw std::invalid_argument("ClockedCircuit: bad register d");
+  }
+  for (bool c : claimed) {
+    if (!c) throw std::invalid_argument("ClockedCircuit: unclaimed primary input");
+  }
+  reset();
+}
+
+void ClockedCircuit::reset() {
+  state_.resize(regs_.size());
+  for (std::size_t i = 0; i < regs_.size(); ++i) state_[i] = regs_[i].init;
+  cycles_ = 0;
+}
+
+BitVec ClockedCircuit::step(const BitVec& free_values) {
+  if (free_values.size() != free_pos_.size()) {
+    throw std::invalid_argument("ClockedCircuit::step: wrong free-input count");
+  }
+  scratch_in_.assign(comb_.num_inputs(), 0);
+  for (std::size_t i = 0; i < free_pos_.size(); ++i) scratch_in_[free_pos_[i]] = free_values[i];
+  for (std::size_t i = 0; i < regs_.size(); ++i) scratch_in_[regs_[i].q_input_pos] = state_[i];
+  BitVec in(comb_.num_inputs());
+  for (std::size_t i = 0; i < scratch_in_.size(); ++i) in[i] = scratch_in_[i];
+  const auto out = comb_.eval(in, wire_values_);
+  for (std::size_t i = 0; i < regs_.size(); ++i) state_[i] = wire_values_[regs_[i].d];
+  ++cycles_;
+  return out;
+}
+
+}  // namespace absort::sim

@@ -1,0 +1,70 @@
+#pragma once
+// ClockedCircuit: a synchronous sequential circuit -- the literal realization
+// of network model B ("The adaptive sorting networks under this model can be
+// viewed as simple sequential or clocked circuits", Section II).
+//
+// A ClockedCircuit wraps a combinational Circuit whose primary inputs are
+// split into *free* inputs (driven by the controller each cycle) and
+// *register* outputs (state).  Each register binds a data wire `d` to one of
+// the circuit's Input components: on every clock step the circuit is
+// evaluated with the current state, the marked outputs are returned, and
+// each register latches the value on its `d` wire.
+
+#include <cstddef>
+#include <vector>
+
+#include "absort/netlist/circuit.hpp"
+
+namespace absort::sim {
+
+struct RegisterBinding {
+  std::size_t q_input_pos;  ///< which primary input of the circuit is this register's Q
+  netlist::WireId d;        ///< wire latched on the clock edge
+  Bit init = 0;             ///< reset value
+};
+
+class ClockedCircuit {
+ public:
+  /// `free_pos[i]` is the primary-input position fed by element i of the
+  /// per-cycle input vector.  Every input position must be claimed exactly
+  /// once (by a free input or a register).
+  ClockedCircuit(netlist::Circuit comb, std::vector<std::size_t> free_pos,
+                 std::vector<RegisterBinding> regs);
+
+  [[nodiscard]] std::size_t num_free_inputs() const noexcept { return free_pos_.size(); }
+  [[nodiscard]] std::size_t num_registers() const noexcept { return regs_.size(); }
+  [[nodiscard]] std::size_t cycles() const noexcept { return cycles_; }
+  [[nodiscard]] const netlist::Circuit& combinational() const noexcept { return comb_; }
+  [[nodiscard]] const std::vector<RegisterBinding>& registers() const noexcept { return regs_; }
+
+  /// The combinational core with every register's next-state (d) wire also
+  /// marked as an output -- the *observable* circuit a sequential-equivalence
+  /// or optimization pass must preserve.  (Optimizing `combinational()`
+  /// alone would treat all next-state logic as dead.)
+  [[nodiscard]] netlist::Circuit observable_combinational() const {
+    netlist::Circuit c = comb_;
+    for (const auto& r : regs_) c.mark_output(r.d);
+    return c;
+  }
+
+  /// Resets all registers to their init values and the cycle counter to 0.
+  void reset();
+
+  /// One clock cycle: evaluate with (free values, state), latch, and return
+  /// the marked outputs as seen this cycle.
+  BitVec step(const BitVec& free_values);
+
+  /// Current register state (for inspection in tests).
+  [[nodiscard]] const std::vector<Bit>& state() const noexcept { return state_; }
+
+ private:
+  netlist::Circuit comb_;
+  std::vector<std::size_t> free_pos_;
+  std::vector<RegisterBinding> regs_;
+  std::vector<Bit> state_;
+  std::vector<Bit> scratch_in_;
+  std::vector<Bit> wire_values_;
+  std::size_t cycles_ = 0;
+};
+
+}  // namespace absort::sim

@@ -1,0 +1,338 @@
+#include "absort/sim/fish_hardware.hpp"
+
+#include <stdexcept>
+
+#include "absort/blocks/mux.hpp"
+#include "absort/blocks/swapper.hpp"
+#include "absort/netlist/wiring.hpp"
+#include "absort/sorters/muxmerge_sorter.hpp"
+#include "absort/util/math.hpp"
+
+namespace absort::sim {
+namespace {
+
+using netlist::Circuit;
+using netlist::WireId;
+namespace wiring = netlist::wiring;
+
+// out = r + c (conditioned increment): ripple of half adders, width |r|.
+// The result is truncated to |r| bits (sufficient for prefix counts < k).
+std::vector<WireId> increment_if(Circuit& c, const std::vector<WireId>& r, WireId cond) {
+  std::vector<WireId> out(r.size());
+  WireId carry = cond;
+  for (std::size_t j = 0; j < r.size(); ++j) {
+    out[j] = c.xor_gate(r[j], carry);
+    carry = c.and_gate(r[j], carry);
+  }
+  return out;
+}
+
+// a + b over equal widths, truncated to the same width (ripple; widths here
+// are lg k, so cost is negligible next to the dispatch datapath).
+std::vector<WireId> add_trunc(Circuit& c, const std::vector<WireId>& a,
+                              const std::vector<WireId>& b) {
+  std::vector<WireId> out(a.size());
+  WireId carry = c.constant(0);
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    const WireId axb = c.xor_gate(a[j], b[j]);
+    out[j] = c.xor_gate(axb, carry);
+    carry = c.or_gate(c.and_gate(a[j], b[j]), c.and_gate(axb, carry));
+  }
+  return out;
+}
+
+}  // namespace
+
+FishHardware::FishHardware(std::size_t n, std::size_t k)
+    : n_(n), k_(k), levels_(0), off_x_(0), off_fs_(0), off_phase1_(0), off_dc_(0), off_la_(0),
+      off_bank_(0), cc_(build()) {}
+
+ClockedCircuit FishHardware::build() {
+  require_pow2(n_, 4, "FishHardware n");
+  require_pow2(k_, 2, "FishHardware k");
+  if (k_ > n_ / 2) throw std::invalid_argument("FishHardware: need k <= n/2");
+  const std::size_t g = n_ / k_;
+  const std::size_t lgk = ilog2(k_);
+  levels_ = ilog2(n_ / k_);
+
+  Circuit c;
+  // ---- primary inputs, fixed layout -----------------------------------
+  std::vector<std::size_t> free_pos;
+  off_x_ = free_pos.size();
+  const auto x = c.inputs(n_);
+  for (std::size_t i = 0; i < n_; ++i) free_pos.push_back(i);
+  off_fs_ = free_pos.size();
+  const auto fs = c.inputs(lgk);
+  for (std::size_t i = 0; i < lgk; ++i) free_pos.push_back(n_ + i);
+  off_phase1_ = free_pos.size();
+  const WireId phase1 = c.input();
+  free_pos.push_back(n_ + lgk);
+  off_dc_ = free_pos.size();
+  const auto dc = c.inputs(lgk);
+  for (std::size_t i = 0; i < lgk; ++i) free_pos.push_back(n_ + lgk + 1 + i);
+  off_la_ = free_pos.size();
+  const auto la = c.inputs(levels_);
+  for (std::size_t i = 0; i < levels_; ++i) free_pos.push_back(n_ + 2 * lgk + 1 + i);
+  off_bank_ = free_pos.size();
+  const WireId bank = c.input();  // which M bank the merger reads this cycle
+  free_pos.push_back(n_ + 2 * lgk + 1 + levels_);
+
+  std::size_t next_input_pos = n_ + 2 * lgk + 2 + levels_;
+  std::vector<RegisterBinding> regs;
+
+  // Register banks: ping-pong merger inputs M0/M1 (the front end always
+  // writes the bank the merger is *not* reading, which is what makes frame
+  // streaming possible) and one dispatch bank per level.
+  std::vector<WireId> m0_q, m1_q;
+  for (std::size_t i = 0; i < n_; ++i) {
+    m0_q.push_back(c.input());
+    regs.push_back({next_input_pos++, netlist::kNoWire, 0});
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    m1_q.push_back(c.input());
+    regs.push_back({next_input_pos++, netlist::kNoWire, 0});
+  }
+  std::vector<std::vector<WireId>> u_q(levels_);
+  for (std::size_t l = 0; l < levels_; ++l) {
+    const std::size_t bank_sz = (n_ >> l) / 2;
+    for (std::size_t i = 0; i < bank_sz; ++i) {
+      u_q[l].push_back(c.input());
+      regs.push_back({next_input_pos++, netlist::kNoWire, 0});
+    }
+  }
+  // Base lane register: the k-wide bottom of the merger cascade must be
+  // latched alongside the dispatch banks, or frame streaming would mix the
+  // next frame's base values into the previous frame's output.
+  std::vector<WireId> base_q;
+  for (std::size_t i = 0; i < k_; ++i) {
+    base_q.push_back(c.input());
+    regs.push_back({next_input_pos++, netlist::kNoWire, 0});
+  }
+  std::size_t reg_cursor = 0;  // walks `regs` in the same order as creation
+
+  const WireId one = c.constant(1);
+
+  // ---- phase-1 datapath: front mux -> small sorter -> demux -> M -------
+  {
+    const auto muxed = blocks::mux_nk(c, x, g, fs);
+    const auto sorted = sorters::build_muxmerge_sorter(c, muxed);
+    const auto demuxed = blocks::demux_kn(c, sorted, n_, fs);
+    const auto block_en = blocks::demux_tree(c, one, fs, k_);
+    const WireId not_bank = c.not_gate(bank);
+    for (std::size_t i = 0; i < n_; ++i) {
+      // front writes M0 when the merger reads M1 (bank = 1) and vice versa
+      const WireId we0 = c.and_gate(block_en[i / g], c.and_gate(phase1, bank));
+      regs[reg_cursor++].d = c.mux(m0_q[i], demuxed[i], we0);
+    }
+    for (std::size_t i = 0; i < n_; ++i) {
+      const WireId we1 = c.and_gate(block_en[i / g], c.and_gate(phase1, not_bank));
+      regs[reg_cursor++].d = c.mux(m1_q[i], demuxed[i], we1);
+    }
+  }
+
+  // ---- merger chain: k-swaps + per-level clean-sorter dispatch ---------
+  std::vector<WireId> cur(n_);
+  for (std::size_t i = 0; i < n_; ++i) cur[i] = c.mux(m0_q[i], m1_q[i], bank);
+  std::vector<std::vector<WireId>> dispatch_next(levels_);
+  for (std::size_t l = 0; l < levels_; ++l) {
+    const std::size_t m = n_ >> l;
+    const std::size_t blk = m / k_;
+    std::vector<WireId> ctrls;
+    for (std::size_t b = 0; b < k_; ++b) ctrls.push_back(cur[b * blk + blk / 2]);
+    const auto swapped = blocks::k_swap(c, cur, ctrls);
+    const auto upper = wiring::slice(swapped, 0, m / 2);
+    cur = wiring::slice(swapped, m / 2, m / 2);
+
+    // Rank unit: prefix counters over the clean blocks' leading bits.
+    const std::size_t bs = (m / 2) / k_;
+    std::vector<WireId> leads;
+    for (std::size_t b = 0; b < k_; ++b) leads.push_back(upper[b * bs]);
+    std::vector<WireId> zero_bits(lgk, c.constant(0));
+    std::vector<std::vector<WireId>> ones_before{zero_bits}, zeros_before{zero_bits};
+    for (std::size_t b = 0; b < k_; ++b) {
+      ones_before.push_back(increment_if(c, ones_before.back(), leads[b]));
+      zeros_before.push_back(increment_if(c, zeros_before.back(), c.not_gate(leads[b])));
+    }
+    const auto& z_total = zeros_before[k_];  // truncated to lg k bits (mod k)
+    std::vector<std::vector<WireId>> rank(k_);
+    for (std::size_t b = 0; b < k_; ++b) {
+      const auto one_rank = add_trunc(c, z_total, ones_before[b]);
+      rank[b].resize(lgk);
+      for (std::size_t j = 0; j < lgk; ++j) {
+        rank[b][j] = c.mux(zeros_before[b][j], one_rank[j], leads[b]);
+      }
+    }
+    // Select the dispatched block's rank with the dispatch counter.
+    std::vector<WireId> rank_sel(lgk);
+    for (std::size_t j = 0; j < lgk; ++j) {
+      std::vector<WireId> lane;
+      for (std::size_t b = 0; b < k_; ++b) lane.push_back(rank[b][j]);
+      rank_sel[j] = blocks::mux_tree(c, lane, dc);
+    }
+
+    const auto block_sel = blocks::mux_nk(c, upper, bs, dc);
+    const auto dispatched = blocks::demux_kn(c, block_sel, m / 2, rank_sel);
+    const auto bank_en = blocks::demux_tree(c, one, rank_sel, k_);
+    dispatch_next[l].resize(m / 2);
+    for (std::size_t i = 0; i < m / 2; ++i) {
+      const WireId we = c.and_gate(bank_en[i / bs], la[l]);
+      dispatch_next[l][i] = c.mux(u_q[l][i], dispatched[i], we);
+    }
+  }
+  for (std::size_t l = 0; l < levels_; ++l) {
+    for (std::size_t i = 0; i < dispatch_next[l].size(); ++i) {
+      regs[reg_cursor++].d = dispatch_next[l][i];
+    }
+  }
+
+  // ---- base lane: sort the k-wide bottom and latch it with the dispatches
+  {
+    const auto base_sorted = sorters::build_muxmerge_sorter(c, cur);  // |cur| == k
+    WireId any_la = la[0];
+    for (std::size_t l = 1; l < levels_; ++l) any_la = c.or_gate(any_la, la[l]);
+    for (std::size_t i = 0; i < k_; ++i) {
+      regs[reg_cursor++].d = c.mux(base_q[i], base_sorted[i], any_la);
+    }
+  }
+
+  // ---- phase-3 combinational output: mux-merger cascade over registers --
+  std::vector<WireId> merged = base_q;
+  for (std::size_t l = levels_; l-- > 0;) {
+    merged = sorters::build_mux_merger(c, wiring::concat(u_q[l], merged));
+  }
+  c.mark_outputs(merged);
+
+  return ClockedCircuit(std::move(c), std::move(free_pos), std::move(regs));
+}
+
+BitVec FishHardware::sort(const BitVec& in) {
+  if (in.size() != n_) throw std::invalid_argument("FishHardware::sort: wrong input size");
+  const std::size_t lgk = ilog2(k_);
+  cc_.reset();
+  const std::size_t nfree = cc_.num_free_inputs();
+  BitVec free(nfree, 0);
+  for (std::size_t i = 0; i < n_; ++i) free[off_x_ + i] = in[i];
+
+  BitVec out;
+  // phase 1: stream the k groups through the small sorter into M.
+  free[off_phase1_] = 1;
+  for (std::size_t t = 0; t < k_; ++t) {
+    for (std::size_t j = 0; j < lgk; ++j) free[off_fs_ + j] = static_cast<Bit>((t >> j) & 1);
+    out = step_traced(free);
+  }
+  free[off_phase1_] = 0;
+  free[off_bank_] = 1;  // the frame was loaded into M1; the merger reads it
+  // phase 2: per level, dispatch the k clean blocks to their ranks.
+  for (std::size_t l = 0; l < levels_; ++l) {
+    free[off_la_ + l] = 1;
+    for (std::size_t b = 0; b < k_; ++b) {
+      for (std::size_t j = 0; j < lgk; ++j) free[off_dc_ + j] = static_cast<Bit>((b >> j) & 1);
+      out = step_traced(free);
+    }
+    free[off_la_ + l] = 0;
+  }
+  // phase 3: one settle cycle so the outputs reflect the final registers.
+  out = step_traced(free);
+  return out;
+}
+
+BitVec FishHardware::sort_overlapped(const BitVec& in) {
+  if (in.size() != n_) throw std::invalid_argument("FishHardware::sort_overlapped: wrong size");
+  const std::size_t lgk = ilog2(k_);
+  cc_.reset();
+  BitVec free(cc_.num_free_inputs(), 0);
+  for (std::size_t i = 0; i < n_; ++i) free[off_x_ + i] = in[i];
+
+  BitVec out;
+  free[off_phase1_] = 1;
+  for (std::size_t t = 0; t < k_; ++t) {
+    for (std::size_t j = 0; j < lgk; ++j) free[off_fs_ + j] = static_cast<Bit>((t >> j) & 1);
+    out = step_traced(free);
+  }
+  free[off_phase1_] = 0;
+  free[off_bank_] = 1;  // the frame was loaded into M1; the merger reads it
+  for (std::size_t l = 0; l < levels_; ++l) free[off_la_ + l] = 1;  // all levels at once
+  for (std::size_t b = 0; b < k_; ++b) {
+    for (std::size_t j = 0; j < lgk; ++j) free[off_dc_ + j] = static_cast<Bit>((b >> j) & 1);
+    out = step_traced(free);
+  }
+  for (std::size_t l = 0; l < levels_; ++l) free[off_la_ + l] = 0;
+  out = step_traced(free);
+  return out;
+}
+
+std::vector<BitVec> FishHardware::sort_stream(const std::vector<BitVec>& frames) {
+  for (const auto& f : frames) {
+    if (f.size() != n_) throw std::invalid_argument("FishHardware::sort_stream: frame size");
+  }
+  const std::size_t lgk = ilog2(k_);
+  cc_.reset();
+  BitVec free(cc_.num_free_inputs(), 0);
+  std::vector<BitVec> results;
+  results.reserve(frames.size());
+  if (frames.empty()) return results;
+
+  const auto set_x = [&](const BitVec& f) {
+    for (std::size_t i = 0; i < n_; ++i) free[off_x_ + i] = f[i];
+  };
+  const auto set_fs = [&](std::size_t t) {
+    for (std::size_t j = 0; j < lgk; ++j) free[off_fs_ + j] = static_cast<Bit>((t >> j) & 1);
+  };
+  const auto set_dc = [&](std::size_t b) {
+    for (std::size_t j = 0; j < lgk; ++j) free[off_dc_ + j] = static_cast<Bit>((b >> j) & 1);
+  };
+
+  // Prologue: load frame 0 into M1 (merger side parked on M0).
+  free[off_phase1_] = 1;
+  free[off_bank_] = 0;
+  set_x(frames[0]);
+  for (std::size_t t = 0; t < k_; ++t) {
+    set_fs(t);
+    (void)step_traced(free);
+  }
+
+  // Steady state: frame f dispatches (all level gates open) from its bank
+  // while frame f+1 streams into the other.
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    free[off_bank_] = static_cast<Bit>(f % 2 == 0 ? 1 : 0);
+    const bool loading = f + 1 < frames.size();
+    free[off_phase1_] = loading ? 1 : 0;
+    if (loading) set_x(frames[f + 1]);
+    for (std::size_t l = 0; l < levels_; ++l) free[off_la_ + l] = 1;
+    for (std::size_t b = 0; b < k_; ++b) {
+      set_dc(b);
+      set_fs(b);  // front and dispatch share the period's counter
+      const auto out = step_traced(free);
+      if (f > 0 && b == 0) results.push_back(out);  // previous frame's result
+    }
+  }
+  // Epilogue: one settle cycle exposes the last frame's outputs.
+  free[off_phase1_] = 0;
+  for (std::size_t l = 0; l < levels_; ++l) free[off_la_ + l] = 0;
+  results.push_back(step_traced(free));
+  return results;
+}
+
+netlist::CostReport FishHardware::datapath_report(const netlist::CostModel& m) const {
+  return netlist::analyze(cc_.combinational(), m);
+}
+
+Trace FishHardware::make_trace() const {
+  std::vector<TraceSignal> sig;
+  sig.push_back({"x", n_});
+  sig.push_back({"front_sel", std::max<std::size_t>(1, ilog2(k_))});
+  sig.push_back({"phase1", 1});
+  sig.push_back({"dispatch_sel", std::max<std::size_t>(1, ilog2(k_))});
+  sig.push_back({"level_active", levels_});
+  sig.push_back({"bank", 1});
+  sig.push_back({"out", n_});
+  return Trace(std::move(sig));
+}
+
+BitVec FishHardware::step_traced(const BitVec& free) {
+  auto out = cc_.step(free);
+  if (trace_ != nullptr) trace_->record(free.concat(out));
+  return out;
+}
+
+}  // namespace absort::sim

@@ -1,0 +1,100 @@
+#pragma once
+// FishHardware: the fish binary sorter (Network 3) as an actual clocked
+// circuit -- registers, write enables, select counters and all.
+//
+// Where sorters::FishSorter models model B with a value-level simulator plus
+// a cycle-accurate schedule, this class *builds the sequential hardware*:
+//
+//   phase 1 (k cycles)       the (n, n/k)-multiplexer selects group t, the
+//                            single n/k-input mux-merger sorter sorts it, and
+//                            the (n/k, n)-demultiplexer writes it into block t
+//                            of the merger register bank M (per-block write
+//                            enables come from a 1-to-k demux of constant 1);
+//   phase 2 (lg(n/k) x k     each k-way-merger level's clean sorter streams
+//    cycles)                 its k clean blocks, one per cycle, through its
+//                            (m/2, m/2k)-multiplexer into its dispatch bank
+//                            at the block's *rank* -- ranks are computed
+//                            combinationally by prefix counters over the
+//                            blocks' leading bits (the hardware equivalent of
+//                            the k-input sorter the paper charges);
+//   phase 3 (1 cycle)        the combinational cascade of two-way mux-mergers
+//                            over the dispatch banks and the base k-input
+//                            sorter produces the sorted output.
+//
+// The k-SWAP stages are pure combinational logic between register banks.
+// The external controller (drive_sort) supplies only counters and phase
+// gates, exactly the "global clock that times our steps" of Section II.
+
+#include <cstddef>
+#include <vector>
+
+#include "absort/netlist/analyze.hpp"
+#include "absort/sim/clocked_circuit.hpp"
+#include "absort/sim/trace.hpp"
+#include "absort/util/bitvec.hpp"
+
+namespace absort::sim {
+
+class FishHardware {
+ public:
+  /// n, k powers of two, 2 <= k <= n/2 (same shape rules as FishSorter).
+  FishHardware(std::size_t n, std::size_t k);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  [[nodiscard]] std::size_t levels() const noexcept { return levels_; }
+
+  /// Clock cycles of one complete sort: k + lg(n/k)*k + 1.
+  [[nodiscard]] std::size_t cycles_per_sort() const noexcept {
+    return k_ + levels_ * k_ + 1;
+  }
+
+  /// Runs the full schedule on `in` and returns the sorted outputs.
+  [[nodiscard]] BitVec sort(const BitVec& in);
+
+  /// Overlapped schedule: every level's dispatch window runs concurrently
+  /// (all level gates open, sharing the dispatch counter) -- legal because
+  /// each level's clean blocks are combinational from the M bank, not from
+  /// other levels' dispatch banks.  k + k + 1 cycles instead of
+  /// k + lg(n/k)*k + 1: the hardware form of eq. (26)'s pipelining gain.
+  [[nodiscard]] BitVec sort_overlapped(const BitVec& in);
+
+  [[nodiscard]] std::size_t cycles_per_sort_overlapped() const noexcept { return 2 * k_ + 1; }
+
+  /// Frame streaming: the merger bank M is ping-pong buffered, so while
+  /// frame f dispatches from one bank the front end loads frame f+1 into the
+  /// other.  Steady-state throughput is one frame per k cycles (vs 2k+1
+  /// isolated); total cycles for F frames: k*(F+1) + 1.
+  [[nodiscard]] std::vector<BitVec> sort_stream(const std::vector<BitVec>& frames);
+
+  [[nodiscard]] std::size_t cycles_per_stream(std::size_t frames) const noexcept {
+    return k_ * (frames + 1) + 1;
+  }
+
+  /// The underlying sequential machine (for tests/inspection).
+  [[nodiscard]] const ClockedCircuit& machine() const noexcept { return cc_; }
+
+  /// Cost/depth of the combinational datapath (includes the register-hold
+  /// multiplexers and rank/write-enable control that the paper's abstract
+  /// accounting does not charge -- the measured "hardware overhead" of
+  /// realizing model B, reported by bench_fig7_fish).
+  [[nodiscard]] netlist::CostReport datapath_report(const netlist::CostModel& m) const;
+
+  /// A Trace laid out for this machine (control signals + outputs per
+  /// cycle); attach it to record the next sort, e.g. for VCD export.
+  [[nodiscard]] Trace make_trace() const;
+  void attach_trace(Trace* t) noexcept { trace_ = t; }
+
+ private:
+  std::size_t n_, k_, levels_;
+  // free-input layout offsets (data, front select, phase gate, dispatch
+  // counter, level gates, merger-side bank select)
+  std::size_t off_x_, off_fs_, off_phase1_, off_dc_, off_la_, off_bank_;
+  ClockedCircuit cc_;
+  Trace* trace_ = nullptr;
+
+  ClockedCircuit build();
+  BitVec step_traced(const BitVec& free);
+};
+
+}  // namespace absort::sim

@@ -1,0 +1,67 @@
+#include "absort/sim/trace.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace absort::sim {
+namespace {
+
+// VCD identifier for signal i: printable ASCII starting at '!'.
+std::string vcd_id(std::size_t i) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + i % 94));
+    i /= 94;
+  } while (i != 0);
+  return id;
+}
+
+}  // namespace
+
+Trace::Trace(std::vector<TraceSignal> signals) : signals_(std::move(signals)) {
+  for (const auto& s : signals_) {
+    if (s.width == 0) throw std::invalid_argument("Trace: zero-width signal " + s.name);
+    width_ += s.width;
+  }
+}
+
+void Trace::record(const BitVec& frame) {
+  if (frame.size() != width_) throw std::invalid_argument("Trace::record: frame width mismatch");
+  frames_.push_back(frame);
+}
+
+std::string Trace::to_vcd(const std::string& module_name) const {
+  std::ostringstream os;
+  os << "$timescale 1ns $end\n$scope module " << module_name << " $end\n";
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    os << "$var wire " << signals_[i].width << ' ' << vcd_id(i) << ' ' << signals_[i].name
+       << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+  for (std::size_t f = 0; f < frames_.size(); ++f) {
+    os << '#' << f << '\n';
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < signals_.size(); ++i) {
+      const auto& sig = signals_[i];
+      bool changed = f == 0;
+      if (!changed) {
+        for (std::size_t b = 0; b < sig.width && !changed; ++b) {
+          changed = frames_[f][off + b] != frames_[f - 1][off + b];
+        }
+      }
+      if (changed) {
+        if (sig.width == 1) {
+          os << int(frames_[f][off]) << vcd_id(i) << '\n';
+        } else {
+          os << 'b';
+          for (std::size_t b = sig.width; b-- > 0;) os << int(frames_[f][off + b]);
+          os << ' ' << vcd_id(i) << '\n';
+        }
+      }
+      off += sig.width;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace absort::sim

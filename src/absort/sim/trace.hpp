@@ -1,0 +1,39 @@
+#pragma once
+// Cycle traces for model-B machines, exportable as VCD (value change dump)
+// for any waveform viewer.  A Trace is a sequence of frames (cycle, named
+// signal groups); FishHardware::sort can record one.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "absort/util/bitvec.hpp"
+
+namespace absort::sim {
+
+struct TraceSignal {
+  std::string name;
+  std::size_t width = 1;
+};
+
+class Trace {
+ public:
+  /// Declares the signal layout; every frame must supply exactly
+  /// sum(width) bits, concatenated in declaration order.
+  explicit Trace(std::vector<TraceSignal> signals);
+
+  [[nodiscard]] std::size_t frame_width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t num_frames() const noexcept { return frames_.size(); }
+
+  void record(const BitVec& frame);
+
+  /// VCD rendering (one timestep per frame).
+  [[nodiscard]] std::string to_vcd(const std::string& module_name = "absort") const;
+
+ private:
+  std::vector<TraceSignal> signals_;
+  std::size_t width_ = 0;
+  std::vector<BitVec> frames_;
+};
+
+}  // namespace absort::sim

@@ -1,0 +1,69 @@
+#include "absort/sorters/alt_oem.hpp"
+
+#include "absort/util/math.hpp"
+
+namespace absort::sorters {
+namespace {
+
+using Op = OpNetworkSorter::Op;
+
+// Emits the mirrored-comparator recursion of the balanced merging block on
+// the window [lo, lo+count).
+void balanced_block(std::vector<Op>& ops, std::size_t lo, std::size_t count) {
+  if (count <= 1) return;
+  for (std::size_t i = 0; i < count / 2; ++i) {
+    ops.push_back(Op::compare(lo + i, lo + count - 1 - i));
+  }
+  balanced_block(ops, lo, count / 2);
+  balanced_block(ops, lo + count / 2, count / 2);
+}
+
+// Identity permutation on n positions with the window [lo, lo+count)
+// replaced by a two-way shuffle of its halves.
+std::vector<std::size_t> window_shuffle(std::size_t n, std::size_t lo, std::size_t count) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  const std::size_t h = count / 2;
+  for (std::size_t i = 0; i < h; ++i) {
+    perm[lo + 2 * i] = lo + i;
+    perm[lo + 2 * i + 1] = lo + h + i;
+  }
+  return perm;
+}
+
+void alt_oem_sort(std::vector<Op>& ops, std::size_t lo, std::size_t count, std::size_t n) {
+  if (count <= 1) return;
+  alt_oem_sort(ops, lo, count / 2, n);
+  alt_oem_sort(ops, lo + count / 2, count / 2, n);
+  ops.push_back(Op::permute(window_shuffle(n, lo, count)));
+  balanced_block(ops, lo, count);
+}
+
+}  // namespace
+
+AltOemSorter::AltOemSorter(std::size_t n, bool include_redundant_first_stage)
+    : OpNetworkSorter(n) {
+  require_pow2(n, 1, "AltOemSorter");
+  if (include_redundant_first_stage && n >= 2) {
+    // The figure's redundant stage: comparators on adjacent pairs followed by
+    // an unshuffle that separates mins from maxes (then the normal recursion
+    // re-sorts everything anyway).
+    for (std::size_t i = 0; i + 1 < n; i += 2) ops_.push_back(Op::compare(i, i + 1));
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n / 2; ++i) {
+      perm[i] = 2 * i;
+      perm[n / 2 + i] = 2 * i + 1;
+    }
+    ops_.push_back(Op::permute(std::move(perm)));
+  }
+  alt_oem_sort(ops_, 0, n, n);
+}
+
+std::size_t AltOemSorter::expected_comparators(std::size_t n) {
+  if (n <= 1) return 0;
+  // Balanced block on m inputs: (m/2) lg m comparators.
+  const std::size_t p = ilog2(n);
+  return 2 * expected_comparators(n / 2) + (n / 2) * p;
+}
+
+}  // namespace absort::sorters

@@ -1,0 +1,35 @@
+#pragma once
+// The alternative odd-even merge sorting network of Fig. 4(b).
+//
+// Two recursively built half-size sorters, a two-way shuffle of their sorted
+// outputs (Theorem 1 puts the shuffled sequence in class A_n), and a
+// balanced merging block that sorts any member of A_n (Theorem 2).  This is
+// the *nonadaptive* scaffold from which Network 1 is derived; it sorts
+// binary sequences with O(n lg^2 n) cost and O(lg^2 n) depth when expanded
+// recursively.
+//
+// The figure also shows a redundant first stage of comparators and a shuffle
+// "to emphasize the relation" with Batcher's network; pass
+// include_redundant_first_stage to reproduce the figure exactly.
+
+#include <memory>
+
+#include "absort/sorters/sorter.hpp"
+
+namespace absort::sorters {
+
+class AltOemSorter final : public OpNetworkSorter {
+ public:
+  explicit AltOemSorter(std::size_t n, bool include_redundant_first_stage = false);
+
+  [[nodiscard]] std::string name() const override { return "alt-oem"; }
+
+  /// Comparator count: C(n) = 2 C(n/2) + (n/2) lg n, C(1) = 0.
+  [[nodiscard]] static std::size_t expected_comparators(std::size_t n);
+
+  [[nodiscard]] static std::unique_ptr<BinarySorter> make(std::size_t n) {
+    return std::make_unique<AltOemSorter>(n);
+  }
+};
+
+}  // namespace absort::sorters

@@ -1,0 +1,51 @@
+#include "absort/sorters/batcher_oem.hpp"
+
+#include "absort/util/math.hpp"
+
+namespace absort::sorters {
+namespace {
+
+// Batcher's odd-even merge on the subsequence lo, lo+r, lo+2r, ... of length
+// count (the two halves of which are sorted).
+void oem_merge(std::vector<OpNetworkSorter::Op>& ops, std::size_t lo, std::size_t count,
+               std::size_t r) {
+  if (count <= 1) return;
+  if (count == 2) {
+    ops.push_back(OpNetworkSorter::Op::compare(lo, lo + r));
+    return;
+  }
+  oem_merge(ops, lo, count / 2 + count % 2, 2 * r);      // even subsequence
+  oem_merge(ops, lo + r, count / 2, 2 * r);              // odd subsequence
+  for (std::size_t i = 1; i + 1 < count; i += 2) {
+    ops.push_back(OpNetworkSorter::Op::compare(lo + i * r, lo + (i + 1) * r));
+  }
+}
+
+void oem_sort(std::vector<OpNetworkSorter::Op>& ops, std::size_t lo, std::size_t count) {
+  if (count <= 1) return;
+  oem_sort(ops, lo, count / 2);
+  oem_sort(ops, lo + count / 2, count / 2);
+  oem_merge(ops, lo, count, 1);
+}
+
+}  // namespace
+
+BatcherOemSorter::BatcherOemSorter(std::size_t n) : OpNetworkSorter(n) {
+  require_pow2(n, 1, "BatcherOemSorter");
+  oem_sort(ops_, 0, n);
+}
+
+std::size_t BatcherOemSorter::expected_comparators(std::size_t n) {
+  // C(n) = (n/4)(lg^2 n - lg n + 4) - 1 for n a power of two >= 2 [Knuth 5.3.4].
+  if (n <= 1) return 0;
+  const std::size_t p = ilog2(n);
+  return n * (p * p - p + 4) / 4 - 1;  // n*(...) is divisible by 4 for n >= 2
+}
+
+std::size_t BatcherOemSorter::expected_depth(std::size_t n) {
+  if (n <= 1) return 0;
+  const std::size_t p = ilog2(n);
+  return p * (p + 1) / 2;
+}
+
+}  // namespace absort::sorters

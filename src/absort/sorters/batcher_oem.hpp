@@ -1,0 +1,29 @@
+#pragma once
+// Batcher's odd-even merge sorting network [3] (Fig. 4(a) of the paper).
+//
+// The classical nonadaptive baseline the adaptive networks are measured
+// against: for binary sequences its bit-level cost is the comparator count
+// C(n) = (n/4)(lg^2 n - lg n + 4) - 1 and its depth is lg n (lg n + 1)/2.
+
+#include <memory>
+
+#include "absort/sorters/sorter.hpp"
+
+namespace absort::sorters {
+
+class BatcherOemSorter final : public OpNetworkSorter {
+ public:
+  explicit BatcherOemSorter(std::size_t n);
+
+  [[nodiscard]] std::string name() const override { return "batcher-oem"; }
+
+  /// Closed-form comparator count / depth (for structural tests).
+  [[nodiscard]] static std::size_t expected_comparators(std::size_t n);
+  [[nodiscard]] static std::size_t expected_depth(std::size_t n);
+
+  [[nodiscard]] static std::unique_ptr<BinarySorter> make(std::size_t n) {
+    return std::make_unique<BatcherOemSorter>(n);
+  }
+};
+
+}  // namespace absort::sorters

@@ -1,0 +1,56 @@
+#include "absort/sorters/bitonic.hpp"
+
+#include "absort/util/math.hpp"
+
+namespace absort::sorters {
+namespace {
+
+// Sorts a bitonic sequence on [lo, lo+count) ascending, using the half-cleaner
+// recursion.  Implemented with ascending comparators only by pre-reversing
+// the second half at sort time (see bitonic_sort below), so Op::compare's
+// min-at-smaller-index semantics apply throughout.
+void bitonic_merge(std::vector<OpNetworkSorter::Op>& ops, std::size_t lo, std::size_t count) {
+  if (count <= 1) return;
+  const std::size_t h = count / 2;
+  for (std::size_t i = 0; i < h; ++i) {
+    ops.push_back(OpNetworkSorter::Op::compare(lo + i, lo + i + h));
+  }
+  bitonic_merge(ops, lo, h);
+  bitonic_merge(ops, lo + h, h);
+}
+
+void bitonic_sort(std::vector<OpNetworkSorter::Op>& ops, std::size_t lo, std::size_t count,
+                  std::size_t n) {
+  if (count <= 1) return;
+  const std::size_t h = count / 2;
+  bitonic_sort(ops, lo, h, n);
+  bitonic_sort(ops, lo + h, h, n);
+  // Reverse the second half (free wiring) so ascending ++ descending forms a
+  // bitonic sequence, then merge.
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t i = 0; i < h; ++i) perm[lo + h + i] = lo + count - 1 - i;
+  ops.push_back(OpNetworkSorter::Op::permute(std::move(perm)));
+  bitonic_merge(ops, lo, count);
+}
+
+}  // namespace
+
+BitonicSorter::BitonicSorter(std::size_t n) : OpNetworkSorter(n) {
+  require_pow2(n, 1, "BitonicSorter");
+  bitonic_sort(ops_, 0, n, n);
+}
+
+std::size_t BitonicSorter::expected_comparators(std::size_t n) {
+  if (n <= 1) return 0;
+  const std::size_t p = ilog2(n);
+  return n * p * (p + 1) / 4;  // divisible: p(p+1) is even and n is a power of two
+}
+
+std::size_t BitonicSorter::expected_depth(std::size_t n) {
+  if (n <= 1) return 0;
+  const std::size_t p = ilog2(n);
+  return p * (p + 1) / 2;
+}
+
+}  // namespace absort::sorters

@@ -1,0 +1,25 @@
+#pragma once
+// Batcher's bitonic sorting network [3] -- a second nonadaptive baseline.
+// Comparator count n/4 * lg n (lg n + 1), depth lg n (lg n + 1)/2.
+
+#include <memory>
+
+#include "absort/sorters/sorter.hpp"
+
+namespace absort::sorters {
+
+class BitonicSorter final : public OpNetworkSorter {
+ public:
+  explicit BitonicSorter(std::size_t n);
+
+  [[nodiscard]] std::string name() const override { return "bitonic"; }
+
+  [[nodiscard]] static std::size_t expected_comparators(std::size_t n);
+  [[nodiscard]] static std::size_t expected_depth(std::size_t n);
+
+  [[nodiscard]] static std::unique_ptr<BinarySorter> make(std::size_t n) {
+    return std::make_unique<BitonicSorter>(n);
+  }
+};
+
+}  // namespace absort::sorters

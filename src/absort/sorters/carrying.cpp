@@ -1,0 +1,172 @@
+#include "absort/sorters/carrying.hpp"
+
+#include <span>
+#include <stdexcept>
+
+#include "absort/blocks/prefix_adder.hpp"
+#include "absort/blocks/swapper.hpp"
+#include "absort/netlist/wiring.hpp"
+#include "absort/util/math.hpp"
+
+namespace absort::sorters {
+namespace {
+
+using netlist::Circuit;
+using netlist::WireId;
+namespace wiring = netlist::wiring;
+
+CarryingBundle slice(const CarryingBundle& b, std::size_t begin, std::size_t len) {
+  CarryingBundle out;
+  out.tags = wiring::slice(b.tags, begin, len);
+  out.payload.reserve(b.payload.size());
+  for (const auto& plane : b.payload) out.payload.push_back(wiring::slice(plane, begin, len));
+  return out;
+}
+
+CarryingBundle concat(const CarryingBundle& a, const CarryingBundle& b) {
+  CarryingBundle out;
+  out.tags = wiring::concat(a.tags, b.tags);
+  out.payload.reserve(a.payload.size());
+  for (std::size_t p = 0; p < a.payload.size(); ++p) {
+    out.payload.push_back(wiring::concat(a.payload[p], b.payload[p]));
+  }
+  return out;
+}
+
+// Compare-exchange of lanes i and j (i < j): the tag comparator produces the
+// sorted tags; the exchange condition t_i AND NOT t_j steers one slave
+// switch per payload plane.
+CarryingBundle compare_lanes(Circuit& c, CarryingBundle b, std::size_t i, std::size_t j) {
+  const WireId exchanged = c.and_gate(b.tags[i], c.not_gate(b.tags[j]));
+  const auto [lo, hi] = c.comparator(b.tags[i], b.tags[j]);
+  b.tags[i] = lo;
+  b.tags[j] = hi;
+  for (auto& plane : b.payload) {
+    const auto [p0, p1] = c.switch2x2(plane[i], plane[j], exchanged);
+    plane[i] = p0;
+    plane[j] = p1;
+  }
+  return b;
+}
+
+// Four-way swapper applied to every plane with shared selects.
+CarryingBundle swap4_all_planes(Circuit& c, const CarryingBundle& b, WireId s0, WireId s1,
+                                const netlist::Swap4Patterns& pats) {
+  CarryingBundle out;
+  out.tags = blocks::four_way_swapper(c, b.tags, s0, s1, pats);
+  out.payload.reserve(b.payload.size());
+  for (const auto& plane : b.payload) {
+    out.payload.push_back(blocks::four_way_swapper(c, plane, s0, s1, pats));
+  }
+  return out;
+}
+
+CarryingBundle merge_rec(Circuit& c, const CarryingBundle& in) {
+  const std::size_t m = in.tags.size();
+  if (m == 2) return compare_lanes(c, in, 0, 1);
+  const std::size_t q = m / 4;
+  const WireId b2 = in.tags[q];
+  const WireId b4 = in.tags[3 * q];
+  const auto staged = swap4_all_planes(c, in, /*s0=*/b4, /*s1=*/b2, blocks::in_swap_patterns());
+  const auto upper = slice(staged, 0, m / 2);
+  const auto merged = merge_rec(c, slice(staged, m / 2, m / 2));
+  return swap4_all_planes(c, concat(upper, merged), b4, b2, blocks::out_swap_patterns());
+}
+
+CarryingBundle sort_rec(Circuit& c, const CarryingBundle& in) {
+  const std::size_t m = in.tags.size();
+  if (m == 1) return in;
+  if (m == 2) return compare_lanes(c, in, 0, 1);
+  const std::size_t h = m / 2;
+  const auto upper = sort_rec(c, slice(in, 0, h));
+  const auto lower = sort_rec(c, slice(in, h, h));
+  return merge_rec(c, concat(upper, lower));
+}
+
+// ---- prefix sorter (Network 1) with payload planes -------------------------
+
+CarryingBundle two_way_swap_all_planes(Circuit& c, const CarryingBundle& b, WireId ctrl) {
+  CarryingBundle out;
+  out.tags = blocks::two_way_swapper(c, b.tags, ctrl);
+  out.payload.reserve(b.payload.size());
+  for (const auto& plane : b.payload) {
+    out.payload.push_back(blocks::two_way_swapper(c, plane, ctrl));
+  }
+  return out;
+}
+
+CarryingBundle shuffle2_bundle(const CarryingBundle& b) {
+  CarryingBundle out;
+  out.tags = wiring::shuffle(b.tags, 2);
+  out.payload.reserve(b.payload.size());
+  for (const auto& plane : b.payload) out.payload.push_back(wiring::shuffle(plane, 2));
+  return out;
+}
+
+// Identical to prefix_sorter.cpp's select chain: one OR per level plus
+// rewiring (see that file for the arithmetic).
+std::vector<WireId> carry_select_chain(Circuit& c, std::vector<WireId> count) {
+  std::vector<WireId> selects;
+  while (count.size() >= 3) {
+    const std::size_t top = count.size() - 1;
+    selects.push_back(c.or_gate(count[top], count[top - 1]));
+    count[top - 1] = count[top];
+    count.pop_back();
+  }
+  return selects;
+}
+
+CarryingBundle carry_patch_up(Circuit& c, const CarryingBundle& z,
+                              std::span<const WireId> selects) {
+  const std::size_t m = z.tags.size();
+  if (m == 2) return compare_lanes(c, z, 0, 1);
+  CarryingBundle staged = z;
+  for (std::size_t i = 0; i < m / 2; ++i) {
+    staged = compare_lanes(c, std::move(staged), i, m - 1 - i);
+  }
+  const WireId s = selects[0];
+  const auto sw1 = two_way_swap_all_planes(c, staged, s);
+  const auto upper = slice(sw1, 0, m / 2);
+  const auto lower = carry_patch_up(c, slice(sw1, m / 2, m / 2), selects.subspan(1));
+  return two_way_swap_all_planes(c, concat(upper, lower), s);
+}
+
+struct CarrySorted {
+  CarryingBundle out;
+  std::vector<WireId> count;
+};
+
+CarrySorted carry_prefix_rec(Circuit& c, const CarryingBundle& in) {
+  if (in.tags.size() == 1) return {in, {in.tags[0]}};
+  const std::size_t h = in.tags.size() / 2;
+  const auto upper = carry_prefix_rec(c, slice(in, 0, h));
+  const auto lower = carry_prefix_rec(c, slice(in, h, h));
+  const auto count = blocks::prefix_adder(c, upper.count, lower.count);
+  const auto selects = carry_select_chain(c, count);
+  const auto shuffled = shuffle2_bundle(concat(upper.out, lower.out));
+  return {carry_patch_up(c, shuffled, selects), count};
+}
+
+}  // namespace
+
+CarryingBundle build_carrying_prefix_sorter(Circuit& c, const CarryingBundle& in) {
+  require_pow2(in.tags.size(), 2, "build_carrying_prefix_sorter");
+  for (const auto& plane : in.payload) {
+    if (plane.size() != in.tags.size()) {
+      throw std::invalid_argument("carrying sorter: payload plane size mismatch");
+    }
+  }
+  return carry_prefix_rec(c, in).out;
+}
+
+CarryingBundle build_carrying_muxmerge_sorter(Circuit& c, const CarryingBundle& in) {
+  require_pow2(in.tags.size(), 2, "build_carrying_muxmerge_sorter");
+  for (const auto& plane : in.payload) {
+    if (plane.size() != in.tags.size()) {
+      throw std::invalid_argument("carrying sorter: payload plane size mismatch");
+    }
+  }
+  return sort_rec(c, in);
+}
+
+}  // namespace absort::sorters

@@ -1,0 +1,40 @@
+#pragma once
+// Carrying netlists: the mux-merger sorter with a w-bit payload bundle
+// riding on every lane.
+//
+// Section III dismisses the Boolean sorting circuits of [17], [26] because
+// they "cannot carry, or move, the inputs through"; a sorting *network*'s
+// switches physically transport packets.  build_carrying_muxmerge_sorter
+// demonstrates that property at the netlist level: the tag bits steer
+// comparator-derived switch controls, and w payload bit-planes ride through
+// replicated switches sharing those controls.  The tag plane's outputs equal
+// the plain sorter's; the payload planes arrive in exactly the arrangement
+// BinarySorter::carry computes.
+
+#include <cstddef>
+#include <vector>
+
+#include "absort/netlist/circuit.hpp"
+
+namespace absort::sorters {
+
+struct CarryingBundle {
+  std::vector<netlist::WireId> tags;  ///< n wires
+  /// payload[p] is bit-plane p: n wires, payload[p][i] rides with tags[i].
+  std::vector<std::vector<netlist::WireId>> payload;
+};
+
+/// Builds the n-input mux-merger binary sorter moving the full bundle.
+/// Cost: the plain sorter's steering logic plus w payload switch planes
+/// (each comparator/4x4 switch gains w slave switches sharing its control).
+[[nodiscard]] CarryingBundle build_carrying_muxmerge_sorter(netlist::Circuit& c,
+                                                            const CarryingBundle& in);
+
+/// The prefix binary sorter (Network 1) moving the full bundle: the count
+/// logic and patch-up selects are computed from the tag plane only; payload
+/// planes ride slave switches through every comparator stage and two-way
+/// swapper.
+[[nodiscard]] CarryingBundle build_carrying_prefix_sorter(netlist::Circuit& c,
+                                                          const CarryingBundle& in);
+
+}  // namespace absort::sorters

@@ -1,0 +1,149 @@
+#include "absort/sorters/columnsort.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "absort/blocks/mux.hpp"
+#include "absort/sorters/batcher_oem.hpp"
+#include "absort/sorters/detail/lane.hpp"
+#include "absort/util/math.hpp"
+
+namespace absort::sorters {
+namespace {
+
+using detail::Lane;
+
+constexpr std::size_t kPadId = std::numeric_limits<std::size_t>::max();
+
+// Sorts every r-element column (column-major layout) by a stable zero/one
+// partition -- the order a binary sorting network realizes, made
+// deterministic by stability.
+void sort_columns(std::vector<Lane>& v, std::size_t r) {
+  std::vector<Lane> col;
+  for (std::size_t c = 0; c * r < v.size(); ++c) {
+    col.assign(v.begin() + static_cast<std::ptrdiff_t>(c * r),
+               v.begin() + static_cast<std::ptrdiff_t>((c + 1) * r));
+    std::size_t w = c * r;
+    for (const auto& l : col) {
+      if (l.tag == 0) v[w++] = l;
+    }
+    for (const auto& l : col) {
+      if (l.tag == 1) v[w++] = l;
+    }
+  }
+}
+
+// Step 2: read the r x s matrix in column-major order and write it back
+// row-major (same shape).  Step 4 is the inverse.
+std::vector<Lane> transpose(const std::vector<Lane>& v, std::size_t r, std::size_t s) {
+  std::vector<Lane> out(v.size());
+  for (std::size_t t = 0; t < v.size(); ++t) out[(t % s) * r + t / s] = v[t];
+  return out;
+}
+
+std::vector<Lane> untranspose(const std::vector<Lane>& v, std::size_t r, std::size_t s) {
+  std::vector<Lane> out(v.size());
+  for (std::size_t t = 0; t < v.size(); ++t) out[t] = v[(t % s) * r + t / s];
+  return out;
+}
+
+}  // namespace
+
+ColumnsortSorter::ColumnsortSorter(std::size_t n, std::size_t r, std::size_t s)
+    : BinarySorter(n), r_(r), s_(s) {
+  if (r * s != n || r == 0 || s == 0) {
+    throw std::invalid_argument("ColumnsortSorter: need r*s = n");
+  }
+  if (s > 1 && r % s != 0) throw std::invalid_argument("ColumnsortSorter: need s | r");
+  if (s > 1 && r < 2 * (s - 1) * (s - 1)) {
+    throw std::invalid_argument("ColumnsortSorter: need r >= 2(s-1)^2");
+  }
+  if (s > 1 && r % 2 != 0) throw std::invalid_argument("ColumnsortSorter: need even r");
+}
+
+std::pair<std::size_t, std::size_t> ColumnsortSorter::choose_shape(std::size_t n) {
+  // Largest s with s | n, s | (n/s), and n/s >= 2(s-1)^2.
+  std::size_t best_s = 1;
+  for (std::size_t s = 2; s * s <= n; ++s) {
+    if (n % s != 0) continue;
+    const std::size_t r = n / s;
+    if (r % s != 0 || r % 2 != 0) continue;
+    if (r >= 2 * (s - 1) * (s - 1)) best_s = s;
+  }
+  return {n / best_s, best_s};
+}
+
+netlist::CostReport ColumnsortSorter::cost_report(const netlist::CostModel& m) const {
+  require_pow2(r_, 2, "ColumnsortSorter::cost_report r");
+  if (s_ > 1) require_pow2(s_, 2, "ColumnsortSorter::cost_report s");
+  netlist::CostReport acc;
+  const auto add = [&acc](const netlist::CostReport& r) {
+    acc.cost += r.cost;
+    acc.components += r.components;
+    for (std::size_t i = 0; i < netlist::kNumKinds; ++i) acc.inventory[i] += r.inventory[i];
+  };
+  const auto sorter = netlist::analyze(BatcherOemSorter(r_).build_circuit(), m);
+  add(sorter);
+  double muxdepth = 0;
+  if (s_ > 1) {
+    netlist::Circuit cm;
+    const auto in = cm.inputs(n_);
+    const auto sel = cm.inputs(ilog2(s_));
+    for (auto w : blocks::mux_nk(cm, in, r_, sel)) cm.mark_output(w);
+    const auto mux = netlist::analyze(cm, m);
+    netlist::Circuit cd;
+    const auto din = cd.inputs(r_);
+    const auto dsel = cd.inputs(ilog2(s_));
+    for (auto w : blocks::demux_kn(cd, din, n_, dsel)) cd.mark_output(w);
+    const auto demux = netlist::analyze(cd, m);
+    add(mux);
+    add(demux);
+    muxdepth = mux.depth + demux.depth;
+  }
+  // One column's dataflow path: mux, sorter, demux (the permutation steps
+  // between passes are free wiring).
+  acc.depth = muxdepth + sorter.depth;
+  return acc;
+}
+
+double ColumnsortSorter::sorting_time(const netlist::CostModel& m) const {
+  const auto r = cost_report(m);
+  // Four passes; within a pass the s columns stream through the Batcher
+  // pipeline (fill + one column per cycle), per Section III.C.
+  return 4.0 * (r.depth + static_cast<double>(s_ - 1));
+}
+
+std::vector<std::size_t> ColumnsortSorter::route(const BitVec& tags) const {
+  if (tags.size() != n_) throw std::invalid_argument("ColumnsortSorter::route: wrong input size");
+  auto v = detail::make_lanes(tags);
+  if (s_ == 1) {  // degenerate single column
+    sort_columns(v, r_);
+    return detail::lane_perm(v);
+  }
+  sort_columns(v, r_);              // step 1
+  v = transpose(v, r_, s_);         // step 2
+  sort_columns(v, r_);              // step 3
+  v = untranspose(v, r_, s_);       // step 4
+  sort_columns(v, r_);              // step 5
+  // step 6: shift down by r/2 -- prepend r/2 "-inf" (0) pads and append r/2
+  // "+inf" (1) pads, forming an r x (s+1) matrix.
+  std::vector<Lane> ext;
+  ext.reserve(n_ + r_);
+  for (std::size_t i = 0; i < r_ / 2; ++i) ext.push_back({0, kPadId});
+  ext.insert(ext.end(), v.begin(), v.end());
+  for (std::size_t i = 0; i < r_ / 2; ++i) ext.push_back({1, kPadId});
+  sort_columns(ext, r_);            // step 7
+  // step 8: unshift -- the stable column sort leaves the 0-pads exactly at
+  // the head and the 1-pads exactly at the tail.
+  std::vector<std::size_t> perm;
+  perm.reserve(n_);
+  for (std::size_t i = r_ / 2; i < n_ + r_ / 2; ++i) {
+    if (ext[i].id == kPadId) {
+      throw std::logic_error("ColumnsortSorter: pad escaped its boundary column");
+    }
+    perm.push_back(ext[i].id);
+  }
+  return perm;
+}
+
+}  // namespace absort::sorters

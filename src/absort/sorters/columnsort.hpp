@@ -1,0 +1,63 @@
+#pragma once
+// Leighton's columnsort [14] -- the baseline the paper compares Network 3
+// against in Section III.C (the only other O(n)-cost time-multiplexed binary
+// sorting network).
+//
+// The n = r x s elements are arranged column-major in an r x s matrix with
+// s | r and r >= 2(s-1)^2.  Eight steps: (1) sort columns, (2) "transpose"
+// (read column-major / write row-major, same shape), (3) sort columns,
+// (4) untranspose, (5) sort columns, (6) shift down by r/2 into an
+// r x (s+1) matrix padded with -inf/+inf (0/1 for binary), (7) sort columns,
+// (8) unshift.  The result is sorted in column-major order.
+//
+// The network version sorts the columns with embedded binary sorters; the
+// time-multiplexed version streams the s columns through a single r-input
+// sorter per sorting step, which is the construction whose cost/pipelining
+// the paper contrasts with the fish sorter (see analysis/formulas.hpp).
+
+#include <memory>
+
+#include "absort/sorters/sorter.hpp"
+
+namespace absort::sorters {
+
+class ColumnsortSorter final : public BinarySorter {
+ public:
+  /// r rows, s columns; requires r*s = n, s | r, and r >= 2(s-1)^2.
+  ColumnsortSorter(std::size_t n, std::size_t r, std::size_t s);
+
+  [[nodiscard]] std::string name() const override { return "columnsort"; }
+  [[nodiscard]] std::size_t rows() const noexcept { return r_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return s_; }
+
+  [[nodiscard]] bool is_combinational() const override { return false; }
+  [[nodiscard]] std::vector<std::size_t> route(const BitVec& tags) const override;
+
+  /// Time-multiplexed datapath accounting (Section III.C's variant): one
+  /// r-input Batcher sorter plus the (n,r)-multiplexer / (r,n)-demultiplexer
+  /// trees that stream the s columns through it.  Requires power-of-two
+  /// r and s (throws otherwise).
+  [[nodiscard]] netlist::CostReport cost_report(const netlist::CostModel& m) const override;
+
+  /// Pipelined sorting time: four column-sorting passes, each streaming s
+  /// columns through the Batcher pipeline (depth + s - 1), plus the
+  /// mux/demux traversals.
+  [[nodiscard]] double sorting_time(const netlist::CostModel& m) const override;
+
+  /// Column-sort invocations per full sort (4 passes x s columns).
+  [[nodiscard]] std::size_t column_sorts() const noexcept { return 4 * s_; }
+
+  /// Largest legal column count for a given n (maximizing parallel columns
+  /// subject to s | r and r >= 2(s-1)^2); returns {r, s}.
+  [[nodiscard]] static std::pair<std::size_t, std::size_t> choose_shape(std::size_t n);
+
+  [[nodiscard]] static std::unique_ptr<BinarySorter> make(std::size_t n) {
+    const auto [r, s] = choose_shape(n);
+    return std::make_unique<ColumnsortSorter>(n, r, s);
+  }
+
+ private:
+  std::size_t r_, s_;
+};
+
+}  // namespace absort::sorters

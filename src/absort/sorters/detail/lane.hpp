@@ -1,0 +1,31 @@
+#pragma once
+// Internal value-level representation: a "lane" is a wire carrying a tag bit
+// plus the identity of the input currently on it.  Value simulators move
+// lanes exactly as the netlist's switches move data, which is how route()
+// (the data-carrying face) is produced.
+
+#include <cstddef>
+#include <vector>
+
+#include "absort/util/bitvec.hpp"
+
+namespace absort::sorters::detail {
+
+struct Lane {
+  Bit tag;
+  std::size_t id;
+};
+
+inline std::vector<Lane> make_lanes(const BitVec& tags) {
+  std::vector<Lane> lanes(tags.size());
+  for (std::size_t i = 0; i < tags.size(); ++i) lanes[i] = {tags[i], i};
+  return lanes;
+}
+
+inline std::vector<std::size_t> lane_perm(const std::vector<Lane>& lanes) {
+  std::vector<std::size_t> perm(lanes.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i) perm[i] = lanes[i].id;
+  return perm;
+}
+
+}  // namespace absort::sorters::detail

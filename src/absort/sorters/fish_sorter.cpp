@@ -1,0 +1,303 @@
+#include "absort/sorters/fish_sorter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "absort/blocks/mux.hpp"
+#include "absort/blocks/swapper.hpp"
+#include "absort/netlist/wiring.hpp"
+#include "absort/sorters/detail/lane.hpp"
+#include "absort/sorters/muxmerge_sorter.hpp"
+#include "absort/util/math.hpp"
+
+namespace absort::sorters {
+namespace {
+
+using detail::Lane;
+using netlist::Circuit;
+using netlist::CostModel;
+using netlist::CostReport;
+
+// ---- value-level k-way merger (drives route()) -----------------------------
+
+// The n/2-input k-way clean sorter: the input is clean k-sorted; a k-input
+// sorter orders the blocks' leading bits and the mux/demux pair dispatches
+// each block to its sorted position (we use the stable rank: 0-blocks first
+// in arrival order, then 1-blocks).
+void clean_sort_value(std::vector<Lane>& v, std::size_t lo, std::size_t half, std::size_t k) {
+  const std::size_t bs = half / k;
+  std::size_t zeros = 0;
+  for (std::size_t b = 0; b < k; ++b) zeros += (v[lo + b * bs].tag == 0) ? 1u : 0u;
+  std::vector<Lane> tmp(v.begin() + static_cast<std::ptrdiff_t>(lo),
+                        v.begin() + static_cast<std::ptrdiff_t>(lo + half));
+  std::size_t next_zero = 0, next_one = zeros;
+  for (std::size_t b = 0; b < k; ++b) {
+    const std::size_t rank = (tmp[b * bs].tag == 0) ? next_zero++ : next_one++;
+    for (std::size_t i = 0; i < bs; ++i) v[lo + rank * bs + i] = tmp[b * bs + i];
+  }
+}
+
+void kway_merge_value(std::vector<Lane>& v, std::size_t lo, std::size_t m, std::size_t k) {
+  if (m == k) {
+    detail::muxmerge_sort_value(v, lo, m);
+    return;
+  }
+  const std::size_t bs = m / k;
+  // k-SWAP: per block, the middle bit steers the clean half up; then the
+  // wiring gathers upper halves into [lo, lo+m/2).
+  std::vector<Lane> tmp(v.begin() + static_cast<std::ptrdiff_t>(lo),
+                        v.begin() + static_cast<std::ptrdiff_t>(lo + m));
+  for (std::size_t b = 0; b < k; ++b) {
+    if (tmp[b * bs + bs / 2].tag) {
+      for (std::size_t i = 0; i < bs / 2; ++i) std::swap(tmp[b * bs + i], tmp[b * bs + bs / 2 + i]);
+    }
+  }
+  for (std::size_t b = 0; b < k; ++b) {
+    for (std::size_t i = 0; i < bs / 2; ++i) {
+      v[lo + b * (bs / 2) + i] = tmp[b * bs + i];
+      v[lo + m / 2 + b * (bs / 2) + i] = tmp[b * bs + bs / 2 + i];
+    }
+  }
+  clean_sort_value(v, lo, m / 2, k);
+  kway_merge_value(v, lo + m / 2, m / 2, k);
+  detail::mux_merger_value(v, lo, m);
+}
+
+// ---- cost assembly ---------------------------------------------------------
+
+void accumulate(CostReport& acc, const CostReport& r) {
+  acc.cost += r.cost;
+  acc.components += r.components;
+  for (std::size_t i = 0; i < netlist::kNumKinds; ++i) acc.inventory[i] += r.inventory[i];
+}
+
+CostReport analyze_front_mux(std::size_t n, std::size_t k, const CostModel& m) {
+  Circuit c;
+  const auto in = c.inputs(n);
+  const auto sel = c.inputs(ilog2(k));
+  for (auto w : blocks::mux_nk(c, in, n / k, sel)) c.mark_output(w);
+  return netlist::analyze(c, m);
+}
+
+CostReport analyze_front_demux(std::size_t n, std::size_t k, const CostModel& m) {
+  Circuit c;
+  const auto in = c.inputs(n / k);
+  const auto sel = c.inputs(ilog2(k));
+  for (auto w : blocks::demux_kn(c, in, n, sel)) c.mark_output(w);
+  return netlist::analyze(c, m);
+}
+
+CostReport analyze_k_swap(std::size_t m_sz, std::size_t k, const CostModel& m) {
+  Circuit c;
+  const auto in = c.inputs(m_sz);
+  const auto ctrls = c.inputs(k);
+  for (auto w : blocks::k_swap(c, in, ctrls)) c.mark_output(w);
+  return netlist::analyze(c, m);
+}
+
+CostReport analyze_mux_merger(std::size_t m_sz, const CostModel& m) {
+  Circuit c;
+  const auto in = c.inputs(m_sz);
+  for (auto w : build_mux_merger(c, in)) c.mark_output(w);
+  return netlist::analyze(c, m);
+}
+
+// Dispatch datapath of the (half)-input k-way clean sorter: (half, half/k)-
+// multiplexer, (half/k, half)-demultiplexer, and the (k,1)-multiplexer that
+// presents the selected block's leading bit to the control logic.
+CostReport analyze_dispatch(std::size_t half, std::size_t k, const CostModel& m) {
+  Circuit c;
+  const auto in = c.inputs(half);
+  const auto sel = c.inputs(ilog2(k));
+  const auto block = blocks::mux_nk(c, in, half / k, sel);
+  const auto lead = blocks::mux_tree(c, [&] {
+    std::vector<netlist::WireId> leads;
+    for (std::size_t b = 0; b < k; ++b) leads.push_back(in[b * (half / k)]);
+    return leads;
+  }(), sel);
+  c.mark_output(lead);
+  const auto sel2 = c.inputs(ilog2(k));
+  for (auto w : blocks::demux_kn(c, block, half, sel2)) c.mark_output(w);
+  return netlist::analyze(c, m);
+}
+
+}  // namespace
+
+FishSorter::FishSorter(std::size_t n, std::size_t k) : BinarySorter(n), k_(k) {
+  require_pow2(n, 4, "FishSorter n");
+  require_pow2(k, 2, "FishSorter k");
+  if (k > n / 2) {
+    throw std::invalid_argument("FishSorter: need k <= n/2 so the small sorter has >= 2 inputs");
+  }
+}
+
+std::size_t FishSorter::default_k(std::size_t n) {
+  const std::size_t k = next_pow2(std::max<std::size_t>(2, ilog2(n)));
+  return std::min(k, n / 2);
+}
+
+std::vector<std::size_t> FishSorter::route(const BitVec& tags) const {
+  if (tags.size() != n_) throw std::invalid_argument("FishSorter::route: wrong input size");
+  auto lanes = detail::make_lanes(tags);
+  const std::size_t g = n_ / k_;
+  // Front end: each group streams through the single n/k-input sorter; the
+  // demultiplexer returns it to block t of the merger input.
+  for (std::size_t t = 0; t < k_; ++t) detail::muxmerge_sort_value(lanes, t * g, g);
+  kway_merge_value(lanes, 0, n_, k_);
+  return detail::lane_perm(lanes);
+}
+
+netlist::CostReport FishSorter::cost_report(const CostModel& m) const {
+  CostReport acc;
+  const std::size_t g = n_ / k_;
+  const auto front_mux = analyze_front_mux(n_, k_, m);
+  const auto small = netlist::analyze(MuxMergeSorter(g).build_circuit(), m);
+  const auto front_demux = analyze_front_demux(n_, k_, m);
+  accumulate(acc, front_mux);
+  accumulate(acc, small);
+  accumulate(acc, front_demux);
+
+  const auto ksorter = netlist::analyze(MuxMergeSorter(k_).build_circuit(), m);
+  // Innermost merger level: the k-input sorter merges k singleton blocks.
+  accumulate(acc, ksorter);
+  // Dataflow depth of the k-way merger, built inside out:
+  //   D(k) = d_ksorter;  D(m) = 1 + max(clean-sorter, D(m/2)) + d_mm(m).
+  double merge_depth = ksorter.depth;
+  for (std::size_t sz = 2 * k_; sz <= n_; sz *= 2) {
+    const auto kswap = analyze_k_swap(sz, k_, m);
+    const auto dispatch = analyze_dispatch(sz / 2, k_, m);
+    const auto merger = analyze_mux_merger(sz, m);
+    accumulate(acc, kswap);
+    accumulate(acc, ksorter);
+    accumulate(acc, dispatch);
+    accumulate(acc, merger);
+    const double clean_sorter = ksorter.depth + dispatch.depth;
+    merge_depth = kswap.depth + std::max(clean_sorter, merge_depth) + merger.depth;
+  }
+  acc.depth = front_mux.depth + small.depth + front_demux.depth + merge_depth;
+  return acc;
+}
+
+FishTiming FishSorter::timing() const {
+  const auto unit = CostModel::paper_unit();
+  const std::size_t g = n_ / k_;
+  const double d_mux = analyze_front_mux(n_, k_, unit).depth;
+  const double d_demux = analyze_front_demux(n_, k_, unit).depth;
+  const double d_small = netlist::analyze(MuxMergeSorter(g).build_circuit(), unit).depth;
+  const double d_ksorter = netlist::analyze(MuxMergeSorter(k_).build_circuit(), unit).depth;
+
+  FishTiming t;
+  const double pass = d_mux + d_small + d_demux;
+  t.front_unpipelined = static_cast<double>(k_) * pass;
+  // Pipelined: the small sorter is a pipeline of unit-delay segments; groups
+  // issue one clock apart (eq. 25's O(k) term).
+  t.front_pipelined = pass + static_cast<double>(k_ - 1);
+
+  // k-way merger: per level, the clean-sorter branch and the recursive
+  // branch run in parallel; the two-way mux-merger needs both.
+  const auto merge_time = [&](bool pipelined_dispatch) {
+    double time = d_ksorter;  // innermost level: k-input sorter on singletons
+    for (std::size_t sz = 2 * k_; sz <= n_; sz *= 2) {
+      const double dispatch_depth = 3.0 * static_cast<double>(ilog2(k_));
+      const double dispatch = pipelined_dispatch
+                                  ? dispatch_depth + static_cast<double>(k_ - 1)
+                                  : static_cast<double>(k_) * dispatch_depth;
+      const double clean_sorter = d_ksorter + dispatch;
+      const double merger = 2.0 * static_cast<double>(ilog2(sz)) - 1.0;
+      time = 1.0 /*k-swap*/ + std::max(clean_sorter, time) + merger;
+    }
+    return time;
+  };
+  t.merge = merge_time(true);
+  t.merge_unpipelined = merge_time(false);
+  t.total_unpipelined = t.front_unpipelined + t.merge_unpipelined;
+  t.total_pipelined = t.front_pipelined + t.merge;
+  return t;
+}
+
+sim::Schedule FishSorter::schedule(bool pipelined) const {
+  const auto unit = CostModel::paper_unit();
+  const std::size_t g = n_ / k_;
+  const double d_mux = analyze_front_mux(n_, k_, unit).depth;
+  const double d_demux = analyze_front_demux(n_, k_, unit).depth;
+  const double d_small = netlist::analyze(MuxMergeSorter(g).build_circuit(), unit).depth;
+  const double d_ksorter = netlist::analyze(MuxMergeSorter(k_).build_circuit(), unit).depth;
+
+  sim::Schedule sched;
+  double front_done = 0;
+  for (std::size_t t = 0; t < k_; ++t) {
+    const double start = pipelined ? static_cast<double>(t) : front_done;
+    front_done =
+        sched.step("front: group " + std::to_string(t) + " mux+sort+demux", start,
+                   d_mux + d_small + d_demux);
+  }
+
+  // Merger levels, outermost first; the recursion's lower path enters each
+  // level after the previous level's k-swap.
+  double lower_entry = front_done;
+  std::vector<std::pair<std::size_t, double>> branch_done;  // (level size, finish)
+  for (std::size_t sz = n_; sz > k_; sz /= 2) {
+    lower_entry = sched.step("merge[" + std::to_string(sz) + "]: k-swap", lower_entry, 1.0);
+    double cs = sched.step("merge[" + std::to_string(sz) + "]: clean-sorter k-sort", lower_entry,
+                           d_ksorter);
+    const double dispatch_depth = 3.0 * static_cast<double>(ilog2(k_));
+    for (std::size_t b = 0; b < k_; ++b) {
+      const double start = pipelined ? cs + static_cast<double>(b)
+                                     : cs + static_cast<double>(b) * dispatch_depth;
+      sched.step("merge[" + std::to_string(sz) + "]: dispatch block " + std::to_string(b), start,
+                 dispatch_depth);
+    }
+    const double cs_done = pipelined ? cs + static_cast<double>(k_ - 1) + dispatch_depth
+                                     : cs + static_cast<double>(k_) * dispatch_depth;
+    branch_done.push_back({sz, cs_done});
+  }
+  double done = sched.step("merge[" + std::to_string(k_) + "]: base k-sorter", lower_entry,
+                           d_ksorter);
+  for (auto it = branch_done.rbegin(); it != branch_done.rend(); ++it) {
+    const double start = std::max(done, it->second);
+    done = sched.step("merge[" + std::to_string(it->first) + "]: two-way mux-merger", start,
+                      2.0 * static_cast<double>(ilog2(it->first)) - 1.0);
+  }
+  return sched;
+}
+
+BitVec kway_merge(const BitVec& k_sorted, std::size_t k) {
+  require_pow2(k_sorted.size(), 2, "kway_merge");
+  require_pow2(k, 2, "kway_merge k");
+  if (k_sorted.size() < k) throw std::invalid_argument("kway_merge: n < k");
+  auto lanes = detail::make_lanes(k_sorted);
+  kway_merge_value(lanes, 0, k_sorted.size(), k);
+  BitVec out(k_sorted.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i) out[i] = lanes[i].tag;
+  return out;
+}
+
+BitVec kway_clean_sort(const BitVec& clean_k_sorted, std::size_t k) {
+  require_pow2(clean_k_sorted.size(), 2, "kway_clean_sort");
+  require_pow2(k, 2, "kway_clean_sort k");
+  if (clean_k_sorted.size() % k != 0) {
+    throw std::invalid_argument("kway_clean_sort: k must divide n");
+  }
+  auto lanes = detail::make_lanes(clean_k_sorted);
+  clean_sort_value(lanes, 0, clean_k_sorted.size(), k);
+  BitVec out(clean_k_sorted.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i) out[i] = lanes[i].tag;
+  return out;
+}
+
+double FishSorter::paper_cost(std::size_t n, std::size_t k) {
+  // eq. (17): C(n,k) <= 2n + 4(n/k)lg(n/k) + 11n + k lg(n/k)
+  //                     + 4k lg k lg(n/k) + 4k lg k
+  const double nn = static_cast<double>(n), kk = static_cast<double>(k);
+  const double lnk = lg(nn / kk), lk = lg(kk);
+  return 2 * nn + 4 * (nn / kk) * lnk + 11 * nn + kk * lnk + 4 * kk * lk * lnk + 4 * kk * lk;
+}
+
+double FishSorter::paper_depth_bound(std::size_t n, std::size_t k) {
+  // eq. (18): D(n,k) <= 2 lg k + 2 lg^2(n/k) + lg(n/k) + 2 lg n lg(n/k) + 2 lg^2 k
+  const double nn = static_cast<double>(n), kk = static_cast<double>(k);
+  const double lnk = lg(nn / kk), lk = lg(kk), ln = lg(nn);
+  return 2 * lk + 2 * lnk * lnk + lnk + 2 * ln * lnk + 2 * lk * lk;
+}
+
+}  // namespace absort::sorters

@@ -1,0 +1,96 @@
+#pragma once
+// Network 3: the time-multiplexed "fish" binary sorter
+// (Section III.C, Figs. 7-9, network model B).
+//
+// Front end: the input is divided into k groups of n/k elements; each group
+// is moved through an (n, n/k)-multiplexer, sorted by a single n/k-input
+// binary sorter (we use Network 2, the mux-merger sorter), and dispatched by
+// an (n/k, n)-demultiplexer to its block of the merger's input -- so after k
+// rounds the merger sees a k-sorted sequence.  The groups can stream through
+// the small sorter back to back (pipelining), which is what turns the
+// O(lg^3 n) unpipelined sorting time (eq. 24) into O(lg^2 n) (eq. 26).
+//
+// Back end: an n-input k-way mux-merger.  Each level applies Theorem 4:
+//   * k-SWAP: one two-way swapper per sorted block, steered by the block's
+//     middle bit, sends each block's clean half to the top n/2 wires (a
+//     clean k-sorted sequence) and the rest to the bottom (k-sorted);
+//   * the top half goes through an (n/2)-input k-way *clean sorter*: a
+//     k-input binary sorter orders the blocks' leading bits, and an
+//     (n/2, n/2k)-multiplexer / (n/2k, n/2)-demultiplexer pair dispatches
+//     each clean block, one per clock step, to its sorted position;
+//   * the bottom half recurses; a final n-input two-way mux-merger combines.
+//
+// Cost is O(n) (eq. 19: <= 17n + 5 lg^2 n lg lg n + ... at k = lg n); the
+// cost report is assembled from the *real* netlists of every datapath block.
+// Sorting time is measured on the cycle-accurate Schedule, with and without
+// pipelining.
+
+#include <memory>
+
+#include "absort/sim/clock.hpp"
+#include "absort/sorters/sorter.hpp"
+
+namespace absort::sorters {
+
+/// Timing of one complete sort, in unit gate delays (model-B accounting).
+struct FishTiming {
+  double front_unpipelined = 0;  ///< k sequential passes through mux/sorter/demux
+  double front_pipelined = 0;    ///< groups streamed through the small sorter
+  double merge = 0;              ///< k-way merger (dispatches pipelined)
+  double merge_unpipelined = 0;  ///< k-way merger with sequential dispatches
+  double total_unpipelined = 0;  ///< eq. (24) shape: O(lg^3 n) at k = lg n
+  double total_pipelined = 0;    ///< eq. (26) shape: O(lg^2 n) at k = lg n
+};
+
+class FishSorter final : public BinarySorter {
+ public:
+  /// n and k must be powers of two with 2 <= k <= n/2.
+  FishSorter(std::size_t n, std::size_t k);
+
+  [[nodiscard]] std::string name() const override { return "fish"; }
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+
+  [[nodiscard]] bool is_combinational() const override { return false; }
+  [[nodiscard]] std::vector<std::size_t> route(const BitVec& tags) const override;
+
+  /// Aggregated over the real constituent netlists (front mux/demux, small
+  /// sorter, and every merger level's k-swap, clean sorter, and two-way
+  /// mux-merger).  Depth in the report is the longest combinational path of
+  /// any single clock step.
+  [[nodiscard]] netlist::CostReport cost_report(const netlist::CostModel& m) const override;
+
+  /// Sorting time on the cycle-accurate schedule.
+  [[nodiscard]] FishTiming timing() const;
+
+  /// Model-B sorting time: the pipelined schedule's critical path.
+  [[nodiscard]] double sorting_time(const netlist::CostModel&) const override {
+    return timing().total_pipelined;
+  }
+
+  /// Full schedule trace (for examples / debugging); pipelined front.
+  [[nodiscard]] sim::Schedule schedule(bool pipelined) const;
+
+  /// Paper closed forms for comparison (eqs. 17-18 evaluated at (n, k)).
+  [[nodiscard]] static double paper_cost(std::size_t n, std::size_t k);
+  [[nodiscard]] static double paper_depth_bound(std::size_t n, std::size_t k);
+
+  /// The paper's parameter choice k = lg n, rounded to a power of two
+  /// (clamped to [2, n/2]).
+  [[nodiscard]] static std::size_t default_k(std::size_t n);
+  [[nodiscard]] static std::unique_ptr<BinarySorter> make(std::size_t n) {
+    return std::make_unique<FishSorter>(n, default_k(n));
+  }
+
+ private:
+  std::size_t k_;
+};
+
+/// Value-level n-input k-way mux-merger: sorts any k-sorted sequence
+/// (Theorem 4 recursion).  Exposed for the Fig. 8 reproduction and tests.
+[[nodiscard]] BitVec kway_merge(const BitVec& k_sorted, std::size_t k);
+
+/// Value-level k-way clean sorter: sorts any *clean* k-sorted sequence by
+/// ordering the blocks (Fig. 9).  Exposed for the Fig. 9 reproduction.
+[[nodiscard]] BitVec kway_clean_sort(const BitVec& clean_k_sorted, std::size_t k);
+
+}  // namespace absort::sorters

@@ -1,0 +1,90 @@
+#include "absort/sorters/hybrid_oem.hpp"
+
+#include "absort/sorters/batcher_oem.hpp"
+#include "absort/util/math.hpp"
+
+namespace absort::sorters {
+namespace {
+
+using Op = OpNetworkSorter::Op;
+
+// Batcher OEM ops on the window [lo, lo+count) (same schedule as
+// BatcherOemSorter, re-rooted).
+void oem_merge(std::vector<Op>& ops, std::size_t lo, std::size_t count, std::size_t r) {
+  if (count <= 1) return;
+  if (count == 2) {
+    ops.push_back(Op::compare(lo, lo + r));
+    return;
+  }
+  oem_merge(ops, lo, count / 2 + count % 2, 2 * r);
+  oem_merge(ops, lo + r, count / 2, 2 * r);
+  for (std::size_t i = 1; i + 1 < count; i += 2) {
+    ops.push_back(Op::compare(lo + i * r, lo + (i + 1) * r));
+  }
+}
+
+void oem_sort(std::vector<Op>& ops, std::size_t lo, std::size_t count) {
+  if (count <= 1) return;
+  oem_sort(ops, lo, count / 2);
+  oem_sort(ops, lo + count / 2, count / 2);
+  oem_merge(ops, lo, count, 1);
+}
+
+void balanced_block(std::vector<Op>& ops, std::size_t lo, std::size_t count) {
+  if (count <= 1) return;
+  for (std::size_t i = 0; i < count / 2; ++i) {
+    ops.push_back(Op::compare(lo + i, lo + count - 1 - i));
+  }
+  balanced_block(ops, lo, count / 2);
+  balanced_block(ops, lo + count / 2, count / 2);
+}
+
+std::vector<std::size_t> window_shuffle(std::size_t n, std::size_t lo, std::size_t count) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  const std::size_t h = count / 2;
+  for (std::size_t i = 0; i < h; ++i) {
+    perm[lo + 2 * i] = lo + i;
+    perm[lo + 2 * i + 1] = lo + h + i;
+  }
+  return perm;
+}
+
+}  // namespace
+
+HybridOemSorter::HybridOemSorter(std::size_t n, std::size_t b) : OpNetworkSorter(n), b_(b) {
+  require_pow2(n, 1, "HybridOemSorter n");
+  require_pow2(b, 1, "HybridOemSorter b");
+  if (b > n) throw std::invalid_argument("HybridOemSorter: b > n");
+  // Base step: Batcher-sort each b-block.
+  for (std::size_t lo = 0; lo < n; lo += b) oem_sort(ops_, lo, b);
+  // Merge step: pairwise shuffle + balanced merging block, doubling sizes.
+  for (std::size_t m = 2 * b; m <= n; m *= 2) {
+    for (std::size_t lo = 0; lo < n; lo += m) {
+      ops_.push_back(Op::permute(window_shuffle(n, lo, m)));
+      balanced_block(ops_, lo, m);
+    }
+  }
+}
+
+std::size_t HybridOemSorter::expected_comparators(std::size_t n, std::size_t b) {
+  std::size_t total = (n / b) * BatcherOemSorter::expected_comparators(b);
+  for (std::size_t m = 2 * b; m <= n; m *= 2) {
+    total += (n / m) * (m / 2) * ilog2(m);  // balanced block: (m/2) lg m
+  }
+  return total;
+}
+
+std::size_t HybridOemSorter::best_block(std::size_t n) {
+  std::size_t best_b = 1, best_cost = expected_comparators(n, 1);
+  for (std::size_t b = 2; b <= n; b *= 2) {
+    const std::size_t cost = expected_comparators(n, b);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_b = b;
+    }
+  }
+  return best_b;
+}
+
+}  // namespace absort::sorters

@@ -1,0 +1,45 @@
+#pragma once
+// The Section III.A reader exercise, answered.
+//
+// "It is left to the reader to examine this trade-off between the sorting
+// and merging steps by considering other distributions of the overall
+// sorting problem between the two steps."
+//
+// HybridOemSorter(n, b) distributes the work with a knob: the n inputs are
+// split into n/b blocks sorted by Batcher's odd-even merge network, and the
+// sorted blocks are then merged pairwise by shuffle + balanced merging
+// blocks (valid for binary inputs by Theorems 1-2).  b = n is pure Batcher;
+// b = 2 is the Fig. 4(b) alternative network's distribution (trivial block
+// sorters, all the work in balanced merging).  bench_ablation's A7 sweep
+// locates the cost-minimizing split.
+//
+// Comparator count: (n/b) * C_batcher(b) + (n/2) * sum_{j=lg(2b)}^{lg n} j.
+
+#include <memory>
+
+#include "absort/sorters/sorter.hpp"
+
+namespace absort::sorters {
+
+class HybridOemSorter final : public OpNetworkSorter {
+ public:
+  /// n, b powers of two with 1 <= b <= n.  Sorts binary sequences.
+  HybridOemSorter(std::size_t n, std::size_t b);
+
+  [[nodiscard]] std::string name() const override { return "hybrid-oem"; }
+  [[nodiscard]] std::size_t block() const noexcept { return b_; }
+
+  [[nodiscard]] static std::size_t expected_comparators(std::size_t n, std::size_t b);
+
+  /// The b minimizing expected_comparators at this n.
+  [[nodiscard]] static std::size_t best_block(std::size_t n);
+
+  [[nodiscard]] static std::unique_ptr<BinarySorter> make(std::size_t n) {
+    return std::make_unique<HybridOemSorter>(n, best_block(n));
+  }
+
+ private:
+  std::size_t b_;
+};
+
+}  // namespace absort::sorters

@@ -1,0 +1,148 @@
+#include "absort/sorters/muxmerge_sorter.hpp"
+
+#include <stdexcept>
+
+#include "absort/blocks/swapper.hpp"
+#include "absort/netlist/wiring.hpp"
+#include "absort/seqclass/seqclass.hpp"
+#include "absort/sorters/detail/lane.hpp"
+#include "absort/util/math.hpp"
+
+namespace absort::sorters {
+namespace {
+
+using netlist::Circuit;
+using netlist::WireId;
+namespace wiring = netlist::wiring;
+
+std::vector<WireId> build_sorter_rec(Circuit& c, const std::vector<WireId>& in) {
+  if (in.size() == 1) return in;
+  if (in.size() == 2) {
+    const auto [lo, hi] = c.comparator(in[0], in[1]);
+    return {lo, hi};
+  }
+  const std::size_t h = in.size() / 2;
+  const auto upper = build_sorter_rec(c, wiring::slice(in, 0, h));
+  const auto lower = build_sorter_rec(c, wiring::slice(in, h, h));
+  return build_mux_merger(c, wiring::concat(upper, lower));
+}
+
+}  // namespace
+
+std::vector<WireId> build_mux_merger(Circuit& c, const std::vector<WireId>& in) {
+  require_pow2(in.size(), 2, "build_mux_merger");
+  const std::size_t m = in.size();
+  if (m == 2) {
+    const auto [lo, hi] = c.comparator(in[0], in[1]);
+    return {lo, hi};
+  }
+  const std::size_t q = m / 4;
+  // Select signals: the middle bit of each sorted half (the leading elements
+  // of quarters 2 and 4).  s = b2*2 + b4, so b4 is the low select bit.
+  const WireId b2 = in[q];
+  const WireId b4 = in[3 * q];
+  const auto staged = blocks::four_way_swapper(c, in, /*s0=*/b4, /*s1=*/b2,
+                                               blocks::in_swap_patterns());
+  const auto upper = wiring::slice(staged, 0, m / 2);
+  const auto merged = build_mux_merger(c, wiring::slice(staged, m / 2, m / 2));
+  return blocks::four_way_swapper(c, wiring::concat(upper, merged), /*s0=*/b4, /*s1=*/b2,
+                                  blocks::out_swap_patterns());
+}
+
+std::vector<WireId> build_muxmerge_sorter(Circuit& c, const std::vector<WireId>& in) {
+  return build_sorter_rec(c, in);
+}
+
+MuxMergerDecision mux_merger_decision(const BitVec& bisorted) {
+  require_pow2(bisorted.size(), 4, "mux_merger_decision");
+  if (!seqclass::is_bisorted(bisorted)) {
+    throw std::invalid_argument("mux_merger_decision: input is not bisorted");
+  }
+  const std::size_t q = bisorted.size() / 4;
+  MuxMergerDecision d;
+  d.b2 = bisorted[q];
+  d.b4 = bisorted[3 * q];
+  d.select = d.b2 * 2 + d.b4;
+  d.in_pattern = blocks::in_swap_patterns()[static_cast<std::size_t>(d.select)];
+  d.out_pattern = blocks::out_swap_patterns()[static_cast<std::size_t>(d.select)];
+  return d;
+}
+
+namespace detail {
+
+namespace {
+// Applies a quarter permutation to lanes [lo, lo+m): new quarter j gets the
+// contents of old quarter pat[j].
+void apply_quarters(std::vector<Lane>& v, std::size_t lo, std::size_t m,
+                    const std::array<std::uint8_t, 4>& pat) {
+  const std::size_t q = m / 4;
+  std::vector<Lane> tmp(v.begin() + static_cast<std::ptrdiff_t>(lo),
+                        v.begin() + static_cast<std::ptrdiff_t>(lo + m));
+  for (std::size_t j = 0; j < 4; ++j) {
+    for (std::size_t i = 0; i < q; ++i) v[lo + j * q + i] = tmp[pat[j] * q + i];
+  }
+}
+}  // namespace
+
+void mux_merger_value(std::vector<Lane>& v, std::size_t lo, std::size_t m) {
+  if (m == 2) {
+    if (v[lo].tag > v[lo + 1].tag) std::swap(v[lo], v[lo + 1]);
+    return;
+  }
+  const std::size_t q = m / 4;
+  const std::size_t sel =
+      static_cast<std::size_t>(v[lo + q].tag) * 2 + static_cast<std::size_t>(v[lo + 3 * q].tag);
+  apply_quarters(v, lo, m, blocks::in_swap_patterns()[sel]);
+  mux_merger_value(v, lo + m / 2, m / 2);
+  apply_quarters(v, lo, m, blocks::out_swap_patterns()[sel]);
+}
+
+void muxmerge_sort_value(std::vector<Lane>& v, std::size_t lo, std::size_t m) {
+  if (m <= 1) return;
+  if (m == 2) {
+    if (v[lo].tag > v[lo + 1].tag) std::swap(v[lo], v[lo + 1]);
+    return;
+  }
+  muxmerge_sort_value(v, lo, m / 2);
+  muxmerge_sort_value(v, lo + m / 2, m / 2);
+  mux_merger_value(v, lo, m);
+}
+
+}  // namespace detail
+
+MuxMergeSorter::MuxMergeSorter(std::size_t n) : BinarySorter(n) {
+  require_pow2(n, 2, "MuxMergeSorter");
+}
+
+std::vector<std::size_t> MuxMergeSorter::route(const BitVec& tags) const {
+  if (tags.size() != n_) throw std::invalid_argument("MuxMergeSorter::route: wrong input size");
+  auto lanes = detail::make_lanes(tags);
+  detail::muxmerge_sort_value(lanes, 0, n_);
+  return detail::lane_perm(lanes);
+}
+
+netlist::Circuit MuxMergeSorter::build_circuit() const {
+  Circuit c;
+  const auto in = c.inputs(n_);
+  c.mark_outputs(build_sorter_rec(c, in));
+  return c;
+}
+
+double MuxMergeSorter::expected_unit_cost(std::size_t n) {
+  if (n <= 1) return 0;
+  if (n == 2) return 1;
+  const double nn = static_cast<double>(n);
+  return 4 * nn * lg(nn) - 7 * nn + 7;
+}
+
+double MuxMergeSorter::expected_unit_depth(std::size_t n) {
+  const double l = lg(static_cast<double>(n));
+  return l * l;
+}
+
+double MuxMergeSorter::paper_cost(std::size_t n) {
+  const double nn = static_cast<double>(n);
+  return 4 * nn * lg(nn);
+}
+
+}  // namespace absort::sorters

@@ -1,0 +1,55 @@
+#include "absort/sorters/periodic_balanced.hpp"
+
+#include "absort/util/math.hpp"
+
+namespace absort::sorters {
+namespace {
+
+using Op = OpNetworkSorter::Op;
+
+void balanced_block_ops(std::vector<Op>& ops, std::size_t lo, std::size_t count) {
+  if (count <= 1) return;
+  for (std::size_t i = 0; i < count / 2; ++i) {
+    ops.push_back(Op::compare(lo + i, lo + count - 1 - i));
+  }
+  balanced_block_ops(ops, lo, count / 2);
+  balanced_block_ops(ops, lo + count / 2, count / 2);
+}
+
+}  // namespace
+
+PeriodicBalancedSorter::PeriodicBalancedSorter(std::size_t n) : OpNetworkSorter(n) {
+  require_pow2(n, 1, "PeriodicBalancedSorter");
+  for (std::size_t pass = 0; pass < ilog2(n); ++pass) balanced_block_ops(ops_, 0, n);
+}
+
+std::size_t PeriodicBalancedSorter::expected_comparators(std::size_t n) {
+  if (n <= 1) return 0;
+  const std::size_t p = ilog2(n);
+  return n / 2 * p * p;
+}
+
+std::size_t PeriodicBalancedSorter::expected_depth(std::size_t n) {
+  if (n <= 1) return 0;
+  const std::size_t p = ilog2(n);
+  return p * p;
+}
+
+OddEvenTranspositionSorter::OddEvenTranspositionSorter(std::size_t n) : OpNetworkSorter(n) {
+  if (n == 0) throw std::invalid_argument("OddEvenTranspositionSorter: n == 0");
+  for (std::size_t stage = 0; stage < n; ++stage) {
+    for (std::size_t i = stage % 2; i + 1 < n; i += 2) {
+      ops_.push_back(Op::compare(i, i + 1));
+    }
+  }
+}
+
+std::size_t OddEvenTranspositionSorter::expected_comparators(std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t stage = 0; stage < n; ++stage) {
+    total += (n - (stage % 2)) / 2;
+  }
+  return total;
+}
+
+}  // namespace absort::sorters

@@ -1,0 +1,45 @@
+#pragma once
+// The periodic balanced sorting network of Dowd, Perl, Rudolph & Saks
+// [8], [9] -- lg n identical passes of the balanced merging block.  This is
+// the network the paper borrows its merging block from, and a natural
+// nonadaptive baseline: cost (n/2) lg^2 n, depth lg^2 n, and the periodicity
+// (every stage is the same block) that made it attractive for VLSI.
+
+#include <memory>
+
+#include "absort/sorters/sorter.hpp"
+
+namespace absort::sorters {
+
+class PeriodicBalancedSorter final : public OpNetworkSorter {
+ public:
+  explicit PeriodicBalancedSorter(std::size_t n);
+
+  [[nodiscard]] std::string name() const override { return "periodic-balanced"; }
+
+  /// (n/2) lg^2 n comparators, depth lg^2 n.
+  [[nodiscard]] static std::size_t expected_comparators(std::size_t n);
+  [[nodiscard]] static std::size_t expected_depth(std::size_t n);
+
+  [[nodiscard]] static std::unique_ptr<BinarySorter> make(std::size_t n) {
+    return std::make_unique<PeriodicBalancedSorter>(n);
+  }
+};
+
+/// Odd-even transposition ("brick wall") sorter: n alternating stages of
+/// adjacent comparators.  The classical O(n^2)-cost baseline; included to
+/// anchor the low-tech end of the cost spectrum in the benches.
+class OddEvenTranspositionSorter final : public OpNetworkSorter {
+ public:
+  explicit OddEvenTranspositionSorter(std::size_t n);
+
+  [[nodiscard]] std::string name() const override { return "oe-transposition"; }
+
+  [[nodiscard]] static std::size_t expected_comparators(std::size_t n);
+
+  [[nodiscard]] static std::unique_ptr<BinarySorter> make(std::size_t n) {
+    return std::make_unique<OddEvenTranspositionSorter>(n);
+  }
+};
+
+}  // namespace absort::sorters

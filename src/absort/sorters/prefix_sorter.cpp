@@ -1,0 +1,179 @@
+#include "absort/sorters/prefix_sorter.hpp"
+
+#include <span>
+#include <stdexcept>
+
+#include "absort/blocks/comparator_stage.hpp"
+#include "absort/blocks/prefix_adder.hpp"
+#include "absort/blocks/swapper.hpp"
+#include "absort/netlist/wiring.hpp"
+#include "absort/util/math.hpp"
+
+namespace absort::sorters {
+namespace {
+
+using netlist::Circuit;
+using netlist::WireId;
+namespace wiring = netlist::wiring;
+
+struct SortedWithCount {
+  std::vector<WireId> out;    // sorted bundle
+  std::vector<WireId> count;  // ones-count, little-endian, width lg(m)+1
+};
+
+// Recursive patch-up network (Fig. 5).  `selects[j]` is the steering signal
+// of the level of size m / 2^j; z is in class A_m whenever selects were
+// computed from its ones-count.
+std::vector<WireId> patch_up(Circuit& c, const std::vector<WireId>& z,
+                             std::span<const WireId> selects) {
+  const std::size_t m = z.size();
+  if (m == 2) {
+    const auto [lo, hi] = c.comparator(z[0], z[1]);
+    return {lo, hi};
+  }
+  // One stage of the balanced merging block: afterwards one half is clean
+  // and the other is in A_{m/2} (Theorem 2).
+  const auto staged = blocks::mirrored_stage(c, z);
+  // Steer the unsorted half down (select = 1 means the count >= m/2, i.e.,
+  // the *lower* half is clean 1's and the upper half needs patching).
+  const WireId s = selects[0];
+  const auto sw1 = blocks::two_way_swapper(c, staged, s);
+  const auto upper = wiring::slice(sw1, 0, m / 2);
+  const auto lower_sorted = patch_up(c, wiring::slice(sw1, m / 2, m / 2), selects.subspan(1));
+  // Put the halves back in ascending order.
+  return blocks::two_way_swapper(c, wiring::concat(upper, lower_sorted), s);
+}
+
+// Select chain: from the ones-count of the current block (width lg m + 1),
+// produce the steering signal of every patch-up level of sizes m, m/2, .., 4.
+// s = [count >= m/2] = bit_{lg m} OR bit_{lg m - 1}; the next level's count
+// is count - s * m/2, which is "keep bits 0..lg m - 2, new top bit =
+// old bit_{lg m}" -- pure rewiring plus the OR gate.
+std::vector<WireId> select_chain(Circuit& c, std::vector<WireId> count) {
+  std::vector<WireId> selects;
+  while (count.size() >= 3) {  // width lg m + 1 >= 3 <=> m >= 4
+    const std::size_t top = count.size() - 1;
+    selects.push_back(c.or_gate(count[top], count[top - 1]));
+    count[top - 1] = count[top];
+    count.pop_back();
+  }
+  return selects;
+}
+
+using AdderKind = PrefixSorter::AdderKind;
+
+SortedWithCount build_rec(Circuit& c, const std::vector<WireId>& in, AdderKind adder) {
+  if (in.size() == 1) return {in, {in[0]}};
+  const std::size_t h = in.size() / 2;
+  const auto upper = build_rec(c, wiring::slice(in, 0, h), adder);
+  const auto lower = build_rec(c, wiring::slice(in, h, h), adder);
+  const auto count = adder == AdderKind::KoggeStone
+                         ? blocks::prefix_adder(c, upper.count, lower.count)
+                         : blocks::ripple_adder(c, upper.count, lower.count);
+  const auto selects = select_chain(c, count);
+  const auto shuffled = wiring::shuffle(wiring::concat(upper.out, lower.out), 2);
+  return {patch_up(c, shuffled, selects), count};
+}
+
+// ---- value-level mirror (drives route()) ----------------------------------
+
+struct Lane {
+  Bit tag;
+  std::size_t id;
+};
+
+void patch_up_value(std::vector<Lane>& z, std::size_t lo, std::size_t m, std::size_t ones) {
+  if (m == 2) {
+    if (z[lo].tag > z[lo + 1].tag) std::swap(z[lo], z[lo + 1]);
+    return;
+  }
+  for (std::size_t i = 0; i < m / 2; ++i) {
+    auto& a = z[lo + i];
+    auto& b = z[lo + m - 1 - i];
+    if (a.tag > b.tag) std::swap(a, b);
+  }
+  const bool s = ones >= m / 2;
+  if (s) {
+    for (std::size_t i = 0; i < m / 2; ++i) std::swap(z[lo + i], z[lo + m / 2 + i]);
+  }
+  patch_up_value(z, lo + m / 2, m / 2, s ? ones - m / 2 : ones);
+  if (s) {
+    for (std::size_t i = 0; i < m / 2; ++i) std::swap(z[lo + i], z[lo + m / 2 + i]);
+  }
+}
+
+std::size_t sort_value(std::vector<Lane>& v, std::size_t lo, std::size_t m) {
+  if (m == 1) return v[lo].tag;
+  const std::size_t h = m / 2;
+  const std::size_t ones = sort_value(v, lo, h) + sort_value(v, lo + h, h);
+  // Two-way shuffle of the two sorted halves.
+  std::vector<Lane> tmp(v.begin() + static_cast<std::ptrdiff_t>(lo),
+                        v.begin() + static_cast<std::ptrdiff_t>(lo + m));
+  for (std::size_t i = 0; i < h; ++i) {
+    v[lo + 2 * i] = tmp[i];
+    v[lo + 2 * i + 1] = tmp[h + i];
+  }
+  patch_up_value(v, lo, m, ones);
+  return ones;
+}
+
+}  // namespace
+
+PrefixSorter::PrefixSorter(std::size_t n, AdderKind adder) : BinarySorter(n), adder_(adder) {
+  require_pow2(n, 2, "PrefixSorter");
+}
+
+std::vector<std::size_t> PrefixSorter::route(const BitVec& tags) const {
+  if (tags.size() != n_) throw std::invalid_argument("PrefixSorter::route: wrong input size");
+  std::vector<Lane> lanes(n_);
+  for (std::size_t i = 0; i < n_; ++i) lanes[i] = {tags[i], i};
+  sort_value(lanes, 0, n_);
+  std::vector<std::size_t> perm(n_);
+  for (std::size_t i = 0; i < n_; ++i) perm[i] = lanes[i].id;
+  return perm;
+}
+
+netlist::Circuit PrefixSorter::build_circuit() const {
+  Circuit c;
+  const auto in = c.inputs(n_);
+  const auto result = build_rec(c, in, adder_);
+  c.mark_outputs(result.out);
+  return c;
+}
+
+namespace {
+
+double adder_cost(std::size_t w) {
+  // Mirrors blocks::prefix_adder: 2w generate/propagate gates, 3 gates per
+  // Kogge-Stone cell, w-1 sum XORs.
+  double cells = 0;
+  for (std::size_t d = 1; d < w; d *= 2) cells += static_cast<double>(w - d);
+  return 2.0 * static_cast<double>(w) + 3.0 * cells + static_cast<double>(w - 1);
+}
+
+double patchup_cost(std::size_t m) {
+  if (m <= 2) return 1;
+  return 1.5 * static_cast<double>(m) + patchup_cost(m / 2);
+}
+
+}  // namespace
+
+double PrefixSorter::expected_unit_cost(std::size_t n) {
+  if (n <= 1) return 0;
+  const std::size_t w = ilog2(n);  // adder width = lg n
+  return 2 * expected_unit_cost(n / 2) + adder_cost(w) + static_cast<double>(w - 1) +
+         patchup_cost(n);
+}
+
+double PrefixSorter::expected_unit_depth(std::size_t n) {
+  // Paper bound (Section III.A): 3 lg^2 n + 2 lg n lg lg n.  Used as an
+  // upper bound in tests; the measured depth is reported by the benches.
+  const double l = lg(static_cast<double>(n));
+  return 3 * l * l + 2 * l * lg(l > 1 ? l : 2);
+}
+
+double PrefixSorter::paper_cost(std::size_t n) {
+  return 3.0 * static_cast<double>(n) * lg(static_cast<double>(n));
+}
+
+}  // namespace absort::sorters

@@ -1,0 +1,89 @@
+#include "absort/sorters/radix_wordsort.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+#include "absort/blocks/rank.hpp"
+#include "absort/util/math.hpp"
+
+namespace absort::sorters {
+
+RadixWordSorter::RadixWordSorter(std::size_t n, std::size_t bits)
+    : n_(n), bits_(bits), omega_(n, networks::OmegaFlow::Reverse) {
+  require_pow2(n, 2, "RadixWordSorter");
+  if (bits == 0 || bits > 64) throw std::invalid_argument("RadixWordSorter: bits in [1, 64]");
+}
+
+std::vector<std::size_t> RadixWordSorter::route(const std::vector<std::uint64_t>& keys) const {
+  if (keys.size() != n_) throw std::invalid_argument("RadixWordSorter: wrong input size");
+  for (auto k : keys) {
+    if (bits_ < 64 && (k >> bits_) != 0) {
+      throw std::invalid_argument("RadixWordSorter: key exceeds declared width");
+    }
+  }
+  // perm[p] = original index of the key currently at position p.
+  std::vector<std::size_t> perm(n_);
+  std::vector<std::uint64_t> cur = keys;
+  for (std::size_t i = 0; i < n_; ++i) perm[i] = i;
+  for (std::size_t b = 0; b < bits_; ++b) {
+    // Stable partition by bit b = concentrate the 0-keys (dest = rank among
+    // zeros) and the 1-keys (dest = #zeros + rank among ones); each class is
+    // monotone compact traffic for the omega fabric.
+    std::size_t zeros = 0;
+    for (auto k : cur) zeros += ((k >> b) & 1u) == 0 ? 1u : 0u;
+    std::vector<std::optional<std::size_t>> dz(n_), d1(n_);
+    std::size_t rz = 0, r1 = zeros;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (((cur[i] >> b) & 1u) == 0) {
+        dz[i] = rz++;
+      } else {
+        d1[i] = r1++;
+      }
+    }
+    const auto routed0 = omega_.route(dz);
+    const auto routed1 = omega_.route(d1);
+    if (routed0.blocked() || routed1.blocked()) {
+      throw std::logic_error("RadixWordSorter: omega blocked on monotone compact traffic");
+    }
+    std::vector<std::uint64_t> nk(n_);
+    std::vector<std::size_t> np(n_);
+    for (std::size_t p = 0; p < n_; ++p) {
+      const std::size_t src =
+          routed0.output_source[p] != n_ ? routed0.output_source[p] : routed1.output_source[p];
+      nk[p] = cur[src];
+      np[p] = perm[src];
+    }
+    cur = std::move(nk);
+    perm = std::move(np);
+  }
+  return perm;
+}
+
+std::vector<std::uint64_t> RadixWordSorter::sort(const std::vector<std::uint64_t>& keys) const {
+  const auto perm = route(keys);
+  std::vector<std::uint64_t> out;
+  out.reserve(n_);
+  for (auto p : perm) out.push_back(keys[p]);
+  return out;
+}
+
+netlist::CostReport RadixWordSorter::cost_report(const netlist::CostModel& m) const {
+  netlist::Circuit rank;
+  const auto bits = rank.inputs(n_);
+  for (const auto& count : blocks::prefix_counts(rank, bits)) {
+    for (auto w : count) rank.mark_output(w);
+  }
+  const auto rank_report = netlist::analyze(rank, m);
+  const auto fabric = netlist::analyze(omega_.build_circuit(), m);
+  netlist::CostReport acc;
+  const double passes = static_cast<double>(bits_);
+  acc.cost = passes * (rank_report.cost + 2 * fabric.cost);
+  acc.components = bits_ * (rank_report.components + 2 * fabric.components);
+  for (std::size_t i = 0; i < netlist::kNumKinds; ++i) {
+    acc.inventory[i] = bits_ * (rank_report.inventory[i] + 2 * fabric.inventory[i]);
+  }
+  acc.depth = passes * (rank_report.depth + fabric.depth);
+  return acc;
+}
+
+}  // namespace absort::sorters

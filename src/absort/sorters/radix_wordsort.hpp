@@ -1,0 +1,46 @@
+#pragma once
+// Word-level sorting by repeated binary sorting steps.
+//
+// Section I: "the permutation and sorting problems can be broken into a
+// sequence of sorting steps on binary sequences."  RadixWordSorter makes the
+// sorting half of that sentence concrete: w LSD-first passes, each a
+// *stable* binary partition of the keys by one bit.  A stable partition is
+// exactly a pair of concentrations (the 0-keys to the top in order, the
+// 1-keys below in order), realized self-routing by rank units + omega
+// fabrics (see rank_concentrator.hpp); each pass's hardware is therefore
+// O(n lg^2 n) bit-level, for O(w n lg^2 n) total.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "absort/netlist/analyze.hpp"
+#include "absort/networks/omega.hpp"
+
+namespace absort::sorters {
+
+class RadixWordSorter {
+ public:
+  /// Sorts n-element vectors of keys < 2^bits.  n a power of two.
+  RadixWordSorter(std::size_t n, std::size_t bits);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] std::size_t key_bits() const noexcept { return bits_; }
+
+  /// Stable ascending sort.
+  [[nodiscard]] std::vector<std::uint64_t> sort(const std::vector<std::uint64_t>& keys) const;
+
+  /// The permutation applied: out[i] = in[perm[i]]; stable.
+  [[nodiscard]] std::vector<std::size_t> route(const std::vector<std::uint64_t>& keys) const;
+
+  /// Hardware accounting: `bits` passes, each one rank unit + two omega
+  /// fabrics (one per key class).
+  [[nodiscard]] netlist::CostReport cost_report(const netlist::CostModel& m) const;
+
+ private:
+  std::size_t n_;
+  std::size_t bits_;
+  networks::OmegaNetwork omega_;
+};
+
+}  // namespace absort::sorters

@@ -1,0 +1,131 @@
+#include "absort/sorters/sorter.hpp"
+
+#include <stdexcept>
+
+#include "absort/netlist/wiring.hpp"
+
+namespace absort::sorters {
+
+BitVec BinarySorter::sort(const BitVec& in) const {
+  if (in.size() != n_) throw std::invalid_argument(name() + ": wrong input size");
+  const auto perm = route(in);
+  BitVec out(n_);
+  for (std::size_t i = 0; i < n_; ++i) out[i] = in[perm[i]];
+  return out;
+}
+
+netlist::Circuit BinarySorter::build_circuit() const {
+  throw std::logic_error(name() + ": not a combinational network (model B); no single circuit");
+}
+
+netlist::CostReport BinarySorter::cost_report(const netlist::CostModel& m) const {
+  const auto c = build_circuit();
+  return netlist::analyze(c, m);
+}
+
+std::vector<std::size_t> OpNetworkSorter::route(const BitVec& tags) const {
+  if (tags.size() != n_) throw std::invalid_argument(name() + ": wrong input size");
+  std::vector<Bit> t(tags.begin(), tags.end());
+  std::vector<std::size_t> pos(n_);
+  for (std::size_t i = 0; i < n_; ++i) pos[i] = i;
+  for (const auto& op : ops_) {
+    if (op.kind == Op::Kind::Compare) {
+      // Binary comparator: moves data only when (upper, lower) = (1, 0).
+      if (t[op.i] > t[op.j]) {
+        std::swap(t[op.i], t[op.j]);
+        std::swap(pos[op.i], pos[op.j]);
+      }
+    } else {
+      std::vector<Bit> t2(n_);
+      std::vector<std::size_t> pos2(n_);
+      for (std::size_t p = 0; p < n_; ++p) {
+        t2[p] = t[op.perm[p]];
+        pos2[p] = pos[op.perm[p]];
+      }
+      t = std::move(t2);
+      pos = std::move(pos2);
+    }
+  }
+  return pos;
+}
+
+netlist::Circuit OpNetworkSorter::build_circuit() const {
+  netlist::Circuit c;
+  auto wires = c.inputs(n_);
+  for (const auto& op : ops_) {
+    if (op.kind == Op::Kind::Compare) {
+      const auto [lo, hi] = c.comparator(wires[op.i], wires[op.j]);
+      wires[op.i] = lo;
+      wires[op.j] = hi;
+    } else {
+      wires = netlist::wiring::permute(wires, op.perm);
+    }
+  }
+  c.mark_outputs(wires);
+  return c;
+}
+
+std::vector<std::uint64_t> OpNetworkSorter::sort_words(std::vector<std::uint64_t> keys) const {
+  if (keys.size() != n_) throw std::invalid_argument(name() + ": wrong input size");
+  for (const auto& op : ops_) {
+    if (op.kind == Op::Kind::Compare) {
+      if (keys[op.i] > keys[op.j]) std::swap(keys[op.i], keys[op.j]);
+    } else {
+      std::vector<std::uint64_t> next(n_);
+      for (std::size_t p = 0; p < n_; ++p) next[p] = keys[op.perm[p]];
+      keys = std::move(next);
+    }
+  }
+  return keys;
+}
+
+std::vector<std::size_t> OpNetworkSorter::route_words(
+    const std::vector<std::uint64_t>& keys) const {
+  if (keys.size() != n_) throw std::invalid_argument(name() + ": wrong input size");
+  std::vector<std::uint64_t> k = keys;
+  std::vector<std::size_t> pos(n_);
+  for (std::size_t i = 0; i < n_; ++i) pos[i] = i;
+  for (const auto& op : ops_) {
+    if (op.kind == Op::Kind::Compare) {
+      if (k[op.i] > k[op.j]) {
+        std::swap(k[op.i], k[op.j]);
+        std::swap(pos[op.i], pos[op.j]);
+      }
+    } else {
+      std::vector<std::uint64_t> k2(n_);
+      std::vector<std::size_t> p2(n_);
+      for (std::size_t p = 0; p < n_; ++p) {
+        k2[p] = k[op.perm[p]];
+        p2[p] = pos[op.perm[p]];
+      }
+      k = std::move(k2);
+      pos = std::move(p2);
+    }
+  }
+  return pos;
+}
+
+std::size_t OpNetworkSorter::comparator_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& op : ops_) n += (op.kind == Op::Kind::Compare) ? 1 : 0;
+  return n;
+}
+
+std::size_t OpNetworkSorter::comparator_depth() const {
+  std::vector<std::size_t> lane(n_, 0);
+  for (const auto& op : ops_) {
+    if (op.kind == Op::Kind::Compare) {
+      const std::size_t d = std::max(lane[op.i], lane[op.j]) + 1;
+      lane[op.i] = lane[op.j] = d;
+    } else {
+      std::vector<std::size_t> next(n_);
+      for (std::size_t p = 0; p < n_; ++p) next[p] = lane[op.perm[p]];
+      lane = std::move(next);
+    }
+  }
+  std::size_t d = 0;
+  for (auto v : lane) d = std::max(d, v);
+  return d;
+}
+
+}  // namespace absort::sorters

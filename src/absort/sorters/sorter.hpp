@@ -1,0 +1,131 @@
+#pragma once
+// BinarySorter: the common interface of every sorting network in the library.
+//
+// Each sorter exposes three consistent "faces":
+//  (a) build_circuit(): the network as an explicit component netlist, used to
+//      *measure* bit-level cost and depth exactly as the paper counts them;
+//  (b) sort(): a value-level simulation that mirrors the netlist decision for
+//      decision (tests assert bit-for-bit agreement);
+//  (c) route(): the data-carrying face -- the permutation the network applies
+//      to move its inputs, which is what concentrators (Section IV) and the
+//      radix permuter (Fig. 10) build on.  This is precisely the property
+//      that distinguishes sorting *networks* from the Boolean sorting
+//      circuits of [17],[26] that "cannot carry, or move, the inputs".
+//
+// Sorters under network model B (the time-multiplexed fish sorter) are not
+// combinational; they report cost from their real constituent datapath
+// netlists and time from a cycle-accurate schedule instead.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "absort/netlist/analyze.hpp"
+#include "absort/netlist/circuit.hpp"
+#include "absort/util/bitvec.hpp"
+
+namespace absort::sorters {
+
+class BinarySorter {
+ public:
+  explicit BinarySorter(std::size_t n) : n_(n) {}
+  virtual ~BinarySorter() = default;
+
+  BinarySorter(const BinarySorter&) = delete;
+  BinarySorter& operator=(const BinarySorter&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// The permutation the network applies when its inputs carry `tags`:
+  /// returns `perm` with out[i] = in[perm[i]]; applying it to the tags
+  /// themselves yields the ascending-sorted sequence.
+  [[nodiscard]] virtual std::vector<std::size_t> route(const BitVec& tags) const = 0;
+
+  /// Sorts a binary sequence (by applying route() to the tags), so sort and
+  /// route can never disagree.
+  [[nodiscard]] BitVec sort(const BitVec& in) const;
+
+  /// Applies route(tags) to an arbitrary payload vector: the packets travel
+  /// exactly where the network's switches carry them.
+  template <typename T>
+  [[nodiscard]] std::vector<T> carry(const BitVec& tags, const std::vector<T>& payload) const {
+    const auto perm = route(tags);
+    std::vector<T> out;
+    out.reserve(payload.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) out.push_back(payload[perm[i]]);
+    return out;
+  }
+
+  /// True if the network is a pure combinational circuit (model A).
+  [[nodiscard]] virtual bool is_combinational() const { return true; }
+
+  /// The network as a netlist (model-A sorters only; model-B throws).
+  [[nodiscard]] virtual netlist::Circuit build_circuit() const;
+
+  /// Cost/depth under a model; defaults to analyzing build_circuit().
+  [[nodiscard]] virtual netlist::CostReport cost_report(const netlist::CostModel& m) const;
+
+  /// Bit-level sorting time in unit delays: the depth for combinational
+  /// (model A) networks; model-B networks override with their schedule's
+  /// critical path (pipelined).
+  [[nodiscard]] virtual double sorting_time(const netlist::CostModel& m) const {
+    return cost_report(m).depth;
+  }
+
+ protected:
+  std::size_t n_;
+};
+
+/// A network expressed as a straight-line program of comparator and wiring
+/// operations -- the representation shared by Batcher's networks, the bitonic
+/// sorter, and the alternative odd-even merge network of Fig. 4(b).
+class OpNetworkSorter : public BinarySorter {
+ public:
+  struct Op {
+    enum class Kind { Compare, Permute } kind;
+    // Compare: positions i < j, min lands at i.
+    std::size_t i = 0, j = 0;
+    // Permute: out[p] = cur[perm[p]] (zero-cost wiring).
+    std::vector<std::size_t> perm;
+
+    static Op compare(std::size_t i, std::size_t j) {
+      return Op{Kind::Compare, i, j, {}};
+    }
+    static Op permute(std::vector<std::size_t> p) {
+      return Op{Kind::Permute, 0, 0, std::move(p)};
+    }
+  };
+
+  using BinarySorter::BinarySorter;
+
+  [[nodiscard]] std::vector<std::size_t> route(const BitVec& tags) const override;
+  [[nodiscard]] netlist::Circuit build_circuit() const override;
+
+  /// The zero-one principle (Section I): a comparator network that sorts
+  /// every binary sequence sorts any totally ordered keys.  This face runs
+  /// the same program on 64-bit keys -- used by the word-level permutation
+  /// network and by the tests that demonstrate the principle.
+  [[nodiscard]] std::vector<std::uint64_t> sort_words(std::vector<std::uint64_t> keys) const;
+
+  /// Routing face on words: out[i] = in[perm[i]] sorts `keys` ascending.
+  [[nodiscard]] std::vector<std::size_t> route_words(
+      const std::vector<std::uint64_t>& keys) const;
+
+  /// Number of comparators in the program.
+  [[nodiscard]] std::size_t comparator_count() const noexcept;
+
+  /// Maximum number of comparators on any lane's path (= unit depth).
+  [[nodiscard]] std::size_t comparator_depth() const;
+
+ protected:
+  std::vector<Op> ops_;
+};
+
+/// Factory signature used wherever a component network is parameterized by
+/// the binary sorter it embeds (concentrators, the radix permuter, ...).
+using SorterFactory = std::function<std::unique_ptr<BinarySorter>(std::size_t n)>;
+
+}  // namespace absort::sorters

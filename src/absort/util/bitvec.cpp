@@ -1,0 +1,98 @@
+#include "absort/util/bitvec.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace absort {
+
+BitVec::BitVec(std::initializer_list<int> init) {
+  bits_.reserve(init.size());
+  for (int v : init) bits_.push_back(static_cast<Bit>(v != 0));
+}
+
+BitVec BitVec::parse(std::string_view s) {
+  BitVec v;
+  v.bits_.reserve(s.size());
+  for (char c : s) {
+    if (c == '0') {
+      v.bits_.push_back(0);
+    } else if (c == '1') {
+      v.bits_.push_back(1);
+    }
+    // anything else is separator noise ('/', ' ', '_') and is skipped
+  }
+  return v;
+}
+
+BitVec BitVec::sorted_with_ones(std::size_t n, std::size_t ones) {
+  if (ones > n) throw std::invalid_argument("BitVec::sorted_with_ones: ones > n");
+  BitVec v(n, 0);
+  for (std::size_t i = n - ones; i < n; ++i) v.bits_[i] = 1;
+  return v;
+}
+
+BitVec BitVec::from_bits_of(std::uint64_t value, std::size_t n) {
+  if (n > 64) throw std::invalid_argument("BitVec::from_bits_of: n > 64");
+  BitVec v(n, 0);
+  for (std::size_t i = 0; i < n; ++i) v.bits_[i] = static_cast<Bit>((value >> i) & 1u);
+  return v;
+}
+
+Bit BitVec::at(std::size_t i) const {
+  if (i >= bits_.size()) throw std::out_of_range("BitVec::at");
+  return bits_[i];
+}
+
+std::size_t BitVec::count_ones() const noexcept {
+  return static_cast<std::size_t>(std::count(bits_.begin(), bits_.end(), Bit{1}));
+}
+
+bool BitVec::is_sorted_ascending() const noexcept {
+  return std::is_sorted(bits_.begin(), bits_.end());
+}
+
+BitVec BitVec::slice(std::size_t begin, std::size_t len) const {
+  if (begin + len > bits_.size()) throw std::out_of_range("BitVec::slice");
+  BitVec out;
+  out.bits_.assign(bits_.begin() + static_cast<std::ptrdiff_t>(begin),
+                   bits_.begin() + static_cast<std::ptrdiff_t>(begin + len));
+  return out;
+}
+
+BitVec BitVec::concat(const BitVec& rhs) const {
+  BitVec out = *this;
+  out.bits_.insert(out.bits_.end(), rhs.bits_.begin(), rhs.bits_.end());
+  return out;
+}
+
+BitVec BitVec::shuffle2() const {
+  if (bits_.size() % 2 != 0) throw std::invalid_argument("BitVec::shuffle2: odd size");
+  const std::size_t h = bits_.size() / 2;
+  BitVec out(bits_.size());
+  for (std::size_t i = 0; i < h; ++i) {
+    out.bits_[2 * i] = bits_[i];
+    out.bits_[2 * i + 1] = bits_[h + i];
+  }
+  return out;
+}
+
+BitVec BitVec::reversed() const {
+  BitVec out = *this;
+  std::reverse(out.bits_.begin(), out.bits_.end());
+  return out;
+}
+
+std::string BitVec::str(std::size_t group) const {
+  std::string s;
+  s.reserve(bits_.size() + (group ? bits_.size() / group : 0));
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (group != 0 && i != 0 && i % group == 0) s.push_back('/');
+    s.push_back(bits_[i] ? '1' : '0');
+  }
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const BitVec& v) { return os << v.str(); }
+
+}  // namespace absort

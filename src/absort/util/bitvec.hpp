@@ -1,0 +1,93 @@
+#pragma once
+// BitVec: a dynamic sequence of bits, the universal data type of this library.
+//
+// Every network in the paper sorts *binary* sequences; BitVec is the value
+// representation used by value-level simulators, sequence-class predicates,
+// and test oracles.  It is deliberately a thin wrapper over
+// std::vector<std::uint8_t> (one byte per bit) so that elements are cheap to
+// address individually — the networks permute single bits, they do not do
+// word-parallel arithmetic.
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace absort {
+
+using Bit = std::uint8_t;  ///< 0 or 1.
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t n, Bit fill = 0) : bits_(n, fill) {}
+  BitVec(std::initializer_list<int> init);
+
+  /// Parse from a string of '0'/'1'; any other character (space, '/', '_')
+  /// is ignored, so the paper's notation "101010/11" parses directly.
+  static BitVec parse(std::string_view s);
+
+  /// All-zero / all-one sequences.
+  static BitVec zeros(std::size_t n) { return BitVec(n, 0); }
+  static BitVec ones(std::size_t n) { return BitVec(n, 1); }
+
+  /// The ascending sorted sequence of length n with `ones` trailing 1's.
+  static BitVec sorted_with_ones(std::size_t n, std::size_t ones);
+
+  /// Sequence whose bits are the little-endian binary expansion of `value`
+  /// (bit 0 of value -> element 0).  Handy for exhaustive enumeration.
+  static BitVec from_bits_of(std::uint64_t value, std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return bits_.empty(); }
+
+  Bit& operator[](std::size_t i) { return bits_[i]; }
+  const Bit& operator[](std::size_t i) const { return bits_[i]; }
+  Bit at(std::size_t i) const;
+
+  void push_back(Bit b) { bits_.push_back(b & 1); }
+
+  [[nodiscard]] std::size_t count_ones() const noexcept;
+  [[nodiscard]] std::size_t count_zeros() const noexcept { return size() - count_ones(); }
+
+  /// Ascending-sorted means all 0's precede all 1's.
+  [[nodiscard]] bool is_sorted_ascending() const noexcept;
+
+  /// Sub-sequence [begin, begin+len).
+  [[nodiscard]] BitVec slice(std::size_t begin, std::size_t len) const;
+
+  /// Concatenation.
+  [[nodiscard]] BitVec concat(const BitVec& rhs) const;
+
+  /// Perfect two-way shuffle of this sequence's two halves:
+  /// (u0 u1 .. l0 l1 ..) -> (u0 l0 u1 l1 ..).  Size must be even.
+  [[nodiscard]] BitVec shuffle2() const;
+
+  [[nodiscard]] BitVec reversed() const;
+
+  /// String of '0'/'1' characters; if group > 0, inserts '/' every `group`
+  /// elements to match the paper's notation.
+  [[nodiscard]] std::string str(std::size_t group = 0) const;
+
+  [[nodiscard]] std::span<const Bit> span() const noexcept { return bits_; }
+  [[nodiscard]] const std::vector<Bit>& data() const noexcept { return bits_; }
+  [[nodiscard]] std::vector<Bit>& data() noexcept { return bits_; }
+
+  auto begin() noexcept { return bits_.begin(); }
+  auto end() noexcept { return bits_.end(); }
+  auto begin() const noexcept { return bits_.begin(); }
+  auto end() const noexcept { return bits_.end(); }
+
+  friend bool operator==(const BitVec&, const BitVec&) = default;
+
+ private:
+  std::vector<Bit> bits_;
+};
+
+std::ostream& operator<<(std::ostream& os, const BitVec& v);
+
+}  // namespace absort

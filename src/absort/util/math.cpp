@@ -1,0 +1,18 @@
+#include "absort/util/math.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace absort {
+
+double lg(double n) noexcept { return std::log2(n); }
+
+void require_pow2(std::size_t n, std::size_t min, const char* what) {
+  if (!is_pow2(n) || n < min) {
+    throw std::invalid_argument(std::string(what) + ": size " + std::to_string(n) +
+                                " must be a power of two >= " + std::to_string(min));
+  }
+}
+
+}  // namespace absort

@@ -1,0 +1,49 @@
+#pragma once
+// Small integer-math helpers used throughout the library.
+//
+// The paper (Chien & Oruc, TPDS'94) assumes all network sizes are powers of
+// two and all logarithms are base 2; these helpers make those assumptions
+// explicit and checked.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace absort {
+
+/// True iff `x` is a power of two (0 is not).
+[[nodiscard]] constexpr bool is_pow2(std::size_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Floor of log2(x); precondition x >= 1.
+[[nodiscard]] constexpr std::size_t ilog2(std::size_t x) noexcept {
+  std::size_t r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// Ceiling of log2(x); precondition x >= 1.
+[[nodiscard]] constexpr std::size_t ceil_log2(std::size_t x) noexcept {
+  return is_pow2(x) ? ilog2(x) : ilog2(x) + 1;
+}
+
+/// Smallest power of two >= x; precondition x >= 1.
+[[nodiscard]] constexpr std::size_t next_pow2(std::size_t x) noexcept {
+  return std::size_t{1} << ceil_log2(x);
+}
+
+/// Ceiling division.
+[[nodiscard]] constexpr std::size_t ceil_div(std::size_t a, std::size_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// lg(n) as a double for analytic formulas (n >= 1).
+[[nodiscard]] double lg(double n) noexcept;
+
+/// Throws std::invalid_argument unless n is a power of two and n >= min.
+void require_pow2(std::size_t n, std::size_t min, const char* what);
+
+}  // namespace absort

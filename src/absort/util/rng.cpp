@@ -1,0 +1,146 @@
+#include "absort/util/rng.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "absort/util/math.hpp"
+
+namespace absort {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64: seeds the xoshiro state from a single word.
+constexpr std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % bound;
+  std::uint64_t v;
+  do {
+    v = (*this)();
+  } while (v >= limit);
+  return v % bound;
+}
+
+Bit Xoshiro256::biased_bit(std::uint64_t p_num, std::uint64_t p_den) noexcept {
+  return static_cast<Bit>(below(p_den) < p_num);
+}
+
+namespace workload {
+
+BitVec random_bits(Xoshiro256& rng, std::size_t n) {
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = rng.bit();
+  return v;
+}
+
+BitVec random_bits_with_ones(Xoshiro256& rng, std::size_t n, std::size_t ones) {
+  if (ones > n) throw std::invalid_argument("random_bits_with_ones: ones > n");
+  BitVec v(n, 0);
+  // Floyd's algorithm would also work; with one byte per bit a simple
+  // fill-and-shuffle of the first `ones` positions is clear and O(n).
+  for (std::size_t i = 0; i < ones; ++i) v[i] = 1;
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = rng.below(i);
+    std::swap(v[i - 1], v[j]);
+  }
+  return v;
+}
+
+BitVec random_class_a(Xoshiro256& rng, std::size_t n) {
+  require_pow2(n, 2, "random_class_a");
+  const std::size_t pairs = n / 2;
+  // Split the n/2 pairs into three (possibly empty) runs ka + kb + kc = pairs.
+  const std::size_t ka = rng.below(pairs + 1);
+  const std::size_t kb = rng.below(pairs - ka + 1);
+  const std::size_t kc = pairs - ka - kb;
+  const Bit a = rng.bit();  // 00 vs 11 for the first run
+  const Bit b = rng.bit();  // 01 vs 10 for the middle run
+  const Bit c = rng.bit();  // 00 vs 11 for the last run
+  BitVec v;
+  for (std::size_t i = 0; i < ka; ++i) {
+    v.push_back(a);
+    v.push_back(a);
+  }
+  for (std::size_t i = 0; i < kb; ++i) {
+    v.push_back(b);
+    v.push_back(static_cast<Bit>(1 - b));
+  }
+  for (std::size_t i = 0; i < kc; ++i) {
+    v.push_back(c);
+    v.push_back(c);
+  }
+  return v;
+}
+
+BitVec random_bisorted(Xoshiro256& rng, std::size_t n) {
+  require_pow2(n, 2, "random_bisorted");
+  const std::size_t h = n / 2;
+  const auto upper = BitVec::sorted_with_ones(h, rng.below(h + 1));
+  const auto lower = BitVec::sorted_with_ones(h, rng.below(h + 1));
+  return upper.concat(lower);
+}
+
+BitVec random_k_sorted(Xoshiro256& rng, std::size_t n, std::size_t k) {
+  require_pow2(n, 2, "random_k_sorted");
+  if (k == 0 || n % k != 0) throw std::invalid_argument("random_k_sorted: k must divide n");
+  const std::size_t block = n / k;
+  BitVec v;
+  for (std::size_t b = 0; b < k; ++b) {
+    v = v.concat(BitVec::sorted_with_ones(block, rng.below(block + 1)));
+  }
+  return v;
+}
+
+BitVec random_clean_k_sorted(Xoshiro256& rng, std::size_t n, std::size_t k) {
+  require_pow2(n, 2, "random_clean_k_sorted");
+  if (k == 0 || n % k != 0) throw std::invalid_argument("random_clean_k_sorted: k must divide n");
+  const std::size_t block = n / k;
+  BitVec v;
+  for (std::size_t b = 0; b < k; ++b) {
+    const Bit bit = rng.bit();
+    v = v.concat(bit ? BitVec::ones(block) : BitVec::zeros(block));
+  }
+  return v;
+}
+
+std::vector<std::size_t> random_permutation(Xoshiro256& rng, std::size_t n) {
+  std::vector<std::size_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(p[i - 1], p[rng.below(i)]);
+  }
+  return p;
+}
+
+}  // namespace workload
+}  // namespace absort

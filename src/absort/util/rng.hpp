@@ -1,0 +1,64 @@
+#pragma once
+// Deterministic PRNG and workload generators.
+//
+// xoshiro256** (public-domain algorithm by Blackman & Vigna): fast, seedable,
+// and identical across platforms, so every test and benchmark workload is
+// reproducible from its printed seed.
+
+#include <cstdint>
+#include <vector>
+
+#include "absort/util/bitvec.hpp"
+
+namespace absort {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform bit.
+  Bit bit() noexcept { return static_cast<Bit>((*this)() >> 63); }
+
+  /// Bernoulli(p_num / p_den) bit.
+  Bit biased_bit(std::uint64_t p_num, std::uint64_t p_den) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Workload generators used by tests and benchmarks.
+namespace workload {
+
+/// Uniform random binary sequence of length n.
+BitVec random_bits(Xoshiro256& rng, std::size_t n);
+
+/// Random binary sequence with exactly `ones` ones (uniform over positions).
+BitVec random_bits_with_ones(Xoshiro256& rng, std::size_t n, std::size_t ones);
+
+/// Random sequence from class A_n (Definition 1): a run of 00|11 pairs, then
+/// a run of 01|10 pairs, then a run of 00|11 pairs.
+BitVec random_class_a(Xoshiro256& rng, std::size_t n);
+
+/// Random bisorted sequence (Definition 3): both halves sorted.
+BitVec random_bisorted(Xoshiro256& rng, std::size_t n);
+
+/// Random k-sorted sequence (Definition 4): k sorted blocks of n/k.
+BitVec random_k_sorted(Xoshiro256& rng, std::size_t n, std::size_t k);
+
+/// Random clean k-sorted sequence (Definition 5): k clean blocks of n/k.
+BitVec random_clean_k_sorted(Xoshiro256& rng, std::size_t n, std::size_t k);
+
+/// Uniform random permutation of {0, .., n-1}.
+std::vector<std::size_t> random_permutation(Xoshiro256& rng, std::size_t n);
+
+}  // namespace workload
+}  // namespace absort

@@ -1,0 +1,161 @@
+// Tests for the analysis layer: closed-form models, Table II, crossovers.
+
+#include <gtest/gtest.h>
+
+#include "absort/analysis/activity.hpp"
+#include "absort/analysis/crossover.hpp"
+#include "absort/analysis/formulas.hpp"
+#include "absort/analysis/tables.hpp"
+#include "absort/sorters/batcher_oem.hpp"
+#include "absort/sorters/muxmerge_sorter.hpp"
+#include "absort/sorters/fish_sorter.hpp"
+#include "absort/util/math.hpp"
+
+namespace absort::analysis {
+namespace {
+
+TEST(Formulas, BatcherMatchesConstruction) {
+  for (std::size_t n : {4u, 16u, 256u, 4096u}) {
+    const auto c = batcher_binary_sorter(n);
+    EXPECT_DOUBLE_EQ(c.cost,
+                     static_cast<double>(sorters::BatcherOemSorter::expected_comparators(n)));
+    EXPECT_DOUBLE_EQ(c.depth,
+                     static_cast<double>(sorters::BatcherOemSorter::expected_depth(n)));
+  }
+}
+
+TEST(Formulas, AdaptiveSortersBeatBatcherCostAsymptotically) {
+  // The paper's headline: O(lg^2 n) cost factor over Batcher's binary sorter.
+  double prev = 0;
+  for (std::size_t e = 8; e <= 20; e += 2) {
+    const std::size_t n = std::size_t{1} << e;
+    const double ratio = batcher_binary_sorter(n).cost / muxmerge_sorter_paper(n).cost;
+    EXPECT_GT(ratio, prev) << n;
+    prev = ratio;
+  }
+  EXPECT_GT(prev, 1.0);  // by n = 2^20 Batcher is strictly costlier
+}
+
+TEST(Formulas, FishIsLinearCost) {
+  for (std::size_t e = 10; e <= 24; e += 2) {
+    const std::size_t n = std::size_t{1} << e;
+    const std::size_t k = sorters::FishSorter::default_k(n);
+    EXPECT_LE(fish_sorter_paper(n, k).cost / static_cast<double>(n), 18.0) << n;
+  }
+}
+
+TEST(Formulas, AksConstantsDominateUntilExtremeN) {
+  // AKS cost per element ~ 3050 lg n never beats 4 lg n; AKS *depth* beats
+  // the mux-merger's lg^2 n only around lg n ~ 6100.
+  const double cross = aks_depth_crossover_lg_n();
+  EXPECT_GT(cross, 3000.0);
+  EXPECT_LT(cross, 7000.0);
+  // And at any practical size AKS is worse on both metrics:
+  for (std::size_t e = 4; e <= 30; e += 2) {
+    const std::size_t n = std::size_t{1} << e;
+    EXPECT_GT(aks_model(n).cost, muxmerge_sorter_paper(n).cost) << n;
+    EXPECT_GT(aks_model(n).depth, muxmerge_sorter_paper(n).depth) << n;
+  }
+}
+
+TEST(Formulas, ColumnsortPipeliningShape) {
+  // Section III.C: time-multiplexed columnsort is O(lg^4 n) unpipelined and
+  // O(lg^2 n) pipelined; pipelining must help by a growing factor.
+  double prev = 0;
+  for (std::size_t e = 12; e <= 24; e += 4) {
+    const std::size_t n = std::size_t{1} << e;
+    const double up = columnsort_timemux(n, false).time;
+    const double pp = columnsort_timemux(n, true).time;
+    EXPECT_GT(up / pp, prev) << n;
+    prev = up / pp;
+  }
+}
+
+TEST(Formulas, ColumnsortWithoutTimeMultiplexingCostsNLgSquared) {
+  // "a practical binary columnsort network ... would require ... a bit-level
+  // cost of O(n lg^2 n).  In contrast, the mux-merger ... only O(n lg n)."
+  double prev = 0;
+  for (std::size_t e = 14; e <= 26; e += 4) {
+    const std::size_t n = std::size_t{1} << e;
+    const double ratio = columnsort_network(n).cost / muxmerge_sorter_paper(n).cost;
+    EXPECT_GT(ratio, prev) << n;
+    prev = ratio;
+  }
+}
+
+TEST(Table2, HasTheSixRowsAndThePaperWinsOnCost) {
+  // "the network given in this paper has the smallest order of cost
+  // complexity": order-of-growth, so the fish-based row wins from some size
+  // onward (its ~17x constant makes the crossover vs Jan-Oruc's n lg^2 n
+  // land around lg n ~ 20).
+  const std::size_t n = std::size_t{1} << 26;
+  const auto rows = table2(n);
+  ASSERT_EQ(rows.size(), 6u);
+  double best = 1e300;
+  std::size_t best_idx = 99;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].model.cost < best) {
+      best = rows[i].model.cost;
+      best_idx = i;
+    }
+  }
+  EXPECT_EQ(rows[best_idx].construction, "This paper (fish sorters)");
+  // And the crossover against Jan-Oruc exists and is moderate:
+  const auto cross = first_crossover([](std::size_t m) { return this_paper_permuter_fish(m).cost; },
+                                     [](std::size_t m) { return jan_oruc_permuter(m).cost; }, 10,
+                                     40);
+  EXPECT_NE(cross, 0u);
+  EXPECT_LE(cross, std::size_t{1} << 30);
+}
+
+TEST(Table2, RendersAllRows) {
+  const auto rows = table2(1 << 12);
+  const auto text = render_table2(rows, 1 << 12);
+  for (const auto& r : rows) {
+    EXPECT_NE(text.find(r.construction), std::string::npos) << r.construction;
+  }
+}
+
+TEST(Activity, ComparatorActivityMatchesHandCount) {
+  // One comparator: active iff inputs are (1, 0) -- a quarter of uniform
+  // random pairs.
+  netlist::Circuit c;
+  const auto a = c.input();
+  const auto b = c.input();
+  const auto [lo, hi] = c.comparator(a, b);
+  c.mark_output(lo);
+  c.mark_output(hi);
+  Xoshiro256 rng(1);
+  const auto r = measure_activity(c, rng, 4000);
+  const double frac =
+      r.active[static_cast<std::size_t>(netlist::Kind::Comparator)] / 4000.0;
+  EXPECT_NEAR(frac, 0.25, 0.03);
+  EXPECT_NEAR(r.steering_activity(), 0.25, 0.03);
+}
+
+TEST(Activity, AdaptiveNetworksSteerMoreThanBatcher) {
+  // The adaptive networks route blocks through always-consulted switches;
+  // Batcher's comparators exchange only on (1,0) inputs.  The measured
+  // steering activity must reflect that (see bench_ablation A4).
+  Xoshiro256 rng(2);
+  const auto batcher =
+      measure_activity(sorters::BatcherOemSorter(256).build_circuit(), rng, 50);
+  const auto adaptive =
+      measure_activity(sorters::MuxMergeSorter(256).build_circuit(), rng, 50);
+  EXPECT_LT(batcher.steering_activity(), adaptive.steering_activity());
+}
+
+TEST(Crossover, SweepAndFirstCrossover) {
+  const auto a = [](std::size_t n) { return static_cast<double>(n) * 2; };
+  const auto b = [](std::size_t n) { return static_cast<double>(n) * lg(double(n)); };
+  const auto pts = ratio_sweep(a, b, 2, 6);
+  ASSERT_EQ(pts.size(), 5u);
+  EXPECT_EQ(pts.front().n, 4u);
+  EXPECT_DOUBLE_EQ(pts.front().ratio, 1.0);  // 2n = n lg n at n=4
+  // a < b first at n = 8 (2n < 3n).
+  EXPECT_EQ(first_crossover(a, b, 2, 6), 8u);
+  EXPECT_EQ(first_crossover(b, a, 4, 6), 0u);  // never
+}
+
+}  // namespace
+}  // namespace absort::analysis

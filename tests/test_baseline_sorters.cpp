@@ -1,0 +1,173 @@
+// Tests for the nonadaptive baselines: Batcher's odd-even merge network
+// (Fig. 4(a)), the bitonic sorter, and the alternative odd-even merge
+// network with balanced merging blocks (Fig. 4(b)).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "absort/netlist/analyze.hpp"
+#include "absort/sorters/alt_oem.hpp"
+#include "absort/sorters/batcher_oem.hpp"
+#include "absort/sorters/bitonic.hpp"
+#include "absort/util/math.hpp"
+#include "absort/util/rng.hpp"
+
+namespace absort::sorters {
+namespace {
+
+using Factory = std::unique_ptr<BinarySorter> (*)(std::size_t);
+
+struct Case {
+  const char* label;
+  Factory make;
+};
+
+class BaselineSorterTest : public ::testing::TestWithParam<std::tuple<Case, std::size_t>> {};
+
+TEST_P(BaselineSorterTest, SortsExhaustively) {
+  const auto [cs, n] = GetParam();
+  const auto sorter = cs.make(n);
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x) {
+    const auto in = BitVec::from_bits_of(x, n);
+    const auto out = sorter->sort(in);
+    EXPECT_TRUE(out.is_sorted_ascending()) << cs.label << " " << in.str() << " -> " << out.str();
+    EXPECT_EQ(out.count_ones(), in.count_ones());
+  }
+}
+
+TEST_P(BaselineSorterTest, NetlistMatchesValueSimulation) {
+  const auto [cs, n] = GetParam();
+  const auto sorter = cs.make(n);
+  const auto circuit = sorter->build_circuit();
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x) {
+    const auto in = BitVec::from_bits_of(x, n);
+    EXPECT_EQ(circuit.eval(in), sorter->sort(in)) << cs.label << " " << in.str();
+  }
+}
+
+TEST_P(BaselineSorterTest, RouteIsAPermutationThatSorts) {
+  const auto [cs, n] = GetParam();
+  const auto sorter = cs.make(n);
+  Xoshiro256 rng(n);
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto tags = workload::random_bits(rng, n);
+    const auto perm = sorter->route(tags);
+    std::vector<bool> seen(n, false);
+    for (auto p : perm) {
+      ASSERT_LT(p, n);
+      EXPECT_FALSE(seen[p]);
+      seen[p] = true;
+    }
+    BitVec routed(n);
+    for (std::size_t i = 0; i < n; ++i) routed[i] = tags[perm[i]];
+    EXPECT_TRUE(routed.is_sorted_ascending());
+  }
+}
+
+constexpr Case kBatcher{"batcher_oem", &BatcherOemSorter::make};
+constexpr Case kBitonic{"bitonic", &BitonicSorter::make};
+constexpr Case kAltOem{"alt_oem", &AltOemSorter::make};
+
+INSTANTIATE_TEST_SUITE_P(
+    All, BaselineSorterTest,
+    ::testing::Combine(::testing::Values(kBatcher, kBitonic, kAltOem),
+                       ::testing::Values(std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                         std::size_t{8}, std::size_t{16})),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param).label) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------------------- structural assertions
+
+TEST(BatcherOem, ComparatorCountMatchesClosedForm) {
+  for (std::size_t n : {2u, 4u, 8u, 16u, 64u, 256u, 1024u}) {
+    BatcherOemSorter s(n);
+    EXPECT_EQ(s.comparator_count(), BatcherOemSorter::expected_comparators(n)) << n;
+  }
+}
+
+TEST(BatcherOem, DepthMatchesClosedForm) {
+  for (std::size_t n : {2u, 4u, 8u, 16u, 64u, 256u}) {
+    BatcherOemSorter s(n);
+    const auto r = netlist::analyze_unit(s.build_circuit());
+    EXPECT_DOUBLE_EQ(r.depth, static_cast<double>(BatcherOemSorter::expected_depth(n))) << n;
+  }
+}
+
+TEST(Bitonic, ComparatorCountMatchesClosedForm) {
+  for (std::size_t n : {2u, 4u, 8u, 16u, 64u, 256u}) {
+    BitonicSorter s(n);
+    EXPECT_EQ(s.comparator_count(), BitonicSorter::expected_comparators(n)) << n;
+  }
+}
+
+TEST(Bitonic, DepthMatchesClosedForm) {
+  for (std::size_t n : {2u, 4u, 8u, 16u, 64u, 256u}) {
+    BitonicSorter s(n);
+    const auto r = netlist::analyze_unit(s.build_circuit());
+    EXPECT_DOUBLE_EQ(r.depth, static_cast<double>(BitonicSorter::expected_depth(n))) << n;
+  }
+}
+
+TEST(AltOem, ComparatorCountMatchesRecurrence) {
+  for (std::size_t n : {2u, 4u, 8u, 16u, 64u, 256u}) {
+    AltOemSorter s(n);
+    EXPECT_EQ(s.comparator_count(), AltOemSorter::expected_comparators(n)) << n;
+  }
+}
+
+TEST(AltOem, RedundantFirstStageStillSorts) {
+  AltOemSorter s(16, /*include_redundant_first_stage=*/true);
+  for (std::uint64_t x = 0; x < (1u << 16); x += 257) {  // sampled
+    const auto in = BitVec::from_bits_of(x, 16);
+    EXPECT_TRUE(s.sort(in).is_sorted_ascending());
+  }
+  // The redundant stage adds exactly n/2 comparators.
+  EXPECT_EQ(s.comparator_count(), AltOemSorter::expected_comparators(16) + 8);
+}
+
+TEST(Fig1, FourInputSortingNetworkCostAndDepth) {
+  // The introduction's Fig. 1 example: a 4-input sorting network with cost 5
+  // and depth 3.  Batcher's 4-input OEM network is exactly that network.
+  BatcherOemSorter s(4);
+  EXPECT_EQ(s.comparator_count(), 5u);
+  const auto r = netlist::analyze_unit(s.build_circuit());
+  EXPECT_DOUBLE_EQ(r.cost, 5.0);
+  EXPECT_DOUBLE_EQ(r.depth, 3.0);
+}
+
+// Fig. 4 comparison: for 16 inputs the alternative network trades comparator
+// placement but both sort; the alternative costs more (the balanced block is
+// "more complex than n/2 - 1 two-input comparators").
+TEST(Fig4, BatcherVsAlternativeSixteenInputs) {
+  BatcherOemSorter batcher(16);
+  AltOemSorter alt(16);
+  EXPECT_EQ(batcher.comparator_count(), 63u);
+  EXPECT_GT(alt.comparator_count(), batcher.comparator_count());
+}
+
+// Larger-size randomized checks (exhaustive is infeasible past ~20 inputs).
+class BaselineLargeTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(BaselineLargeTest, SortsRandomLargeInputs) {
+  const auto cs = GetParam();
+  Xoshiro256 rng(101);
+  for (std::size_t n : {64u, 256u, 1024u}) {
+    const auto sorter = cs.make(n);
+    for (int rep = 0; rep < 20; ++rep) {
+      const auto in = workload::random_bits(rng, n);
+      const auto out = sorter->sort(in);
+      EXPECT_TRUE(out.is_sorted_ascending());
+      EXPECT_EQ(out.count_ones(), in.count_ones());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, BaselineLargeTest,
+                         ::testing::Values(kBatcher, kBitonic, kAltOem),
+                         [](const auto& info) { return std::string(info.param.label); });
+
+}  // namespace
+}  // namespace absort::sorters

@@ -1,0 +1,117 @@
+// Tests for the Batcher-banyan switch: the sort-then-route architecture the
+// paper's opening sentence alludes to ("many routing problems ... can be
+// cast as sorting problems").
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <optional>
+
+#include "absort/networks/batcher_banyan.hpp"
+#include "absort/sorters/batcher_oem.hpp"
+#include "absort/sorters/bitonic.hpp"
+#include "absort/util/math.hpp"
+#include "absort/util/rng.hpp"
+
+namespace absort::networks {
+namespace {
+
+std::vector<std::optional<std::size_t>> random_partial(Xoshiro256& rng, std::size_t n,
+                                                       std::size_t actives) {
+  const auto dests = workload::random_permutation(rng, n);
+  std::vector<std::optional<std::size_t>> out(n);
+  // Place `actives` packets on random inputs with distinct destinations.
+  const auto inputs = workload::random_permutation(rng, n);
+  for (std::size_t j = 0; j < actives; ++j) out[inputs[j]] = dests[j];
+  return out;
+}
+
+TEST(BatcherBanyan, RoutesAllFullPermutationsOfEight) {
+  BatcherBanyan bb(8);
+  std::vector<std::size_t> dest(8);
+  std::iota(dest.begin(), dest.end(), 0);
+  do {
+    std::vector<std::optional<std::size_t>> d(8);
+    for (std::size_t i = 0; i < 8; ++i) d[i] = dest[i];
+    const auto out = bb.route(d);
+    for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(out[dest[i]], i);
+  } while (std::next_permutation(dest.begin(), dest.end()));
+}
+
+TEST(BatcherBanyan, RoutesRandomPartialPermutations) {
+  Xoshiro256 rng(71);
+  for (std::size_t n : {16u, 64u, 256u}) {
+    BatcherBanyan bb(n);
+    for (std::size_t actives : {std::size_t{1}, n / 4, n / 2, n - 1, n}) {
+      for (int rep = 0; rep < 10; ++rep) {
+        const auto d = random_partial(rng, n, actives);
+        const auto out = bb.route(d);
+        std::size_t delivered = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (d[i]) {
+            EXPECT_EQ(out[*d[i]], i) << "n=" << n << " actives=" << actives;
+            ++delivered;
+          }
+        }
+        EXPECT_EQ(delivered, actives);
+        // Idle outputs report no packet.
+        std::size_t occupied = 0;
+        for (std::size_t o = 0; o < n; ++o) occupied += out[o] != n ? 1u : 0u;
+        EXPECT_EQ(occupied, actives);
+      }
+    }
+  }
+}
+
+TEST(BatcherBanyan, WorksWithBitonicSorterToo) {
+  BatcherBanyan bb(32, std::make_unique<sorters::BitonicSorter>(32));
+  Xoshiro256 rng(73);
+  for (int rep = 0; rep < 25; ++rep) {
+    const auto d = random_partial(rng, 32, 20);
+    const auto out = bb.route(d);
+    for (std::size_t i = 0; i < 32; ++i) {
+      if (d[i]) EXPECT_EQ(out[*d[i]], i);
+    }
+  }
+}
+
+TEST(BatcherBanyan, MovesPayloads) {
+  BatcherBanyan bb(16);
+  Xoshiro256 rng(79);
+  const auto d = random_partial(rng, 16, 9);
+  std::vector<int> payload(16);
+  for (std::size_t i = 0; i < 16; ++i) payload[i] = static_cast<int>(100 + i);
+  const auto out = bb.permute_packets(d, payload);
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (d[i]) {
+      ASSERT_TRUE(out[*d[i]].has_value());
+      EXPECT_EQ(*out[*d[i]], payload[i]);
+    }
+  }
+}
+
+TEST(BatcherBanyan, RejectsDuplicateDestinations) {
+  BatcherBanyan bb(8);
+  std::vector<std::optional<std::size_t>> d(8);
+  d[0] = 3;
+  d[5] = 3;
+  EXPECT_THROW((void)bb.route(d), std::invalid_argument);
+  d[5] = 9;
+  EXPECT_THROW((void)bb.route(d), std::invalid_argument);
+}
+
+TEST(BatcherBanyan, CostIsSorterPlusFabric) {
+  BatcherBanyan bb(256);
+  const auto r = bb.cost_report();
+  // Dominated by the word sorter: Theta(n lg^3 n); the fabric adds
+  // (n/2) lg n switches.
+  const double l = lg(256.0);
+  EXPECT_GT(r.cost, 256.0 / 2 * l);  // at least the fabric
+  EXPECT_LT(r.cost, 256.0 * l * l * l * 1.0);
+  EXPECT_EQ(r.components,
+            sorters::BatcherOemSorter::expected_comparators(256) +
+                OmegaNetwork::switch_count(256));
+}
+
+}  // namespace
+}  // namespace absort::networks

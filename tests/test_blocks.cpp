@@ -1,0 +1,354 @@
+// Tests for the building blocks of Section II: swappers (Fig. 2),
+// multiplexers/demultiplexers (Fig. 3), the prefix adder, and the balanced
+// merging block.  Structural assertions check the paper's unit cost/depth.
+
+#include <gtest/gtest.h>
+
+#include "absort/blocks/balanced_merger.hpp"
+#include "absort/blocks/comparator_stage.hpp"
+#include "absort/blocks/mux.hpp"
+#include "absort/blocks/prefix_adder.hpp"
+#include "absort/blocks/swapper.hpp"
+#include "absort/netlist/analyze.hpp"
+#include "absort/seqclass/seqclass.hpp"
+#include "absort/util/math.hpp"
+#include "absort/util/rng.hpp"
+
+namespace absort {
+namespace {
+
+using netlist::Circuit;
+using netlist::WireId;
+using netlist::analyze_unit;
+
+// ---------------------------------------------------------------- swappers
+
+class TwoWaySwapperTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TwoWaySwapperTest, SwapsHalvesUnderControl) {
+  const std::size_t n = GetParam();
+  Circuit c;
+  const auto in = c.inputs(n);
+  const auto ctrl = c.input();
+  const auto out = blocks::two_way_swapper(c, in, ctrl);
+  c.mark_outputs(out);
+
+  Xoshiro256 rng(5);
+  for (int rep = 0; rep < 20; ++rep) {
+    auto data = workload::random_bits(rng, n);
+    auto with0 = data;
+    with0.push_back(0);
+    auto with1 = data;
+    with1.push_back(1);
+    EXPECT_EQ(c.eval(with0), data);
+    const auto swapped = data.slice(n / 2, n / 2).concat(data.slice(0, n / 2));
+    EXPECT_EQ(c.eval(with1), swapped);
+  }
+}
+
+TEST_P(TwoWaySwapperTest, CostIsHalfNDepthOne) {
+  const std::size_t n = GetParam();
+  Circuit c;
+  const auto in = c.inputs(n);
+  const auto ctrl = c.input();
+  c.mark_outputs(blocks::two_way_swapper(c, in, ctrl));
+  const auto r = analyze_unit(c);
+  EXPECT_DOUBLE_EQ(r.cost, static_cast<double>(n) / 2);  // Fig. 2(a): cost n/2
+  EXPECT_DOUBLE_EQ(r.depth, 1.0);                        // depth 1
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TwoWaySwapperTest, ::testing::Values(2, 4, 8, 16, 64));
+
+class FourWaySwapperTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FourWaySwapperTest, AppliesQuarterPermutations) {
+  const std::size_t n = GetParam();
+  // Use the IN-SWAP table and verify every select value applies its pattern.
+  const auto pats = blocks::in_swap_patterns();
+  Circuit c;
+  const auto in = c.inputs(n);
+  const auto s0 = c.input();
+  const auto s1 = c.input();
+  c.mark_outputs(blocks::four_way_swapper(c, in, s0, s1, pats));
+
+  Xoshiro256 rng(6);
+  const auto data = workload::random_bits(rng, n);
+  const std::size_t q = n / 4;
+  for (std::size_t s = 0; s < 4; ++s) {
+    auto input = data;
+    input.push_back(static_cast<Bit>(s & 1));         // s0
+    input.push_back(static_cast<Bit>((s >> 1) & 1));  // s1
+    const auto out = c.eval(input);
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(out.slice(j * q, q), data.slice(pats[s][j] * q, q))
+          << "n=" << n << " s=" << s << " quarter=" << j;
+    }
+  }
+}
+
+TEST_P(FourWaySwapperTest, CostIsNDepthOne) {
+  const std::size_t n = GetParam();
+  Circuit c;
+  const auto in = c.inputs(n);
+  const auto s0 = c.input();
+  const auto s1 = c.input();
+  c.mark_outputs(blocks::four_way_swapper(c, in, s0, s1, blocks::out_swap_patterns()));
+  const auto r = analyze_unit(c);
+  EXPECT_DOUBLE_EQ(r.cost, static_cast<double>(n));  // Fig. 2(b): cost n
+  EXPECT_DOUBLE_EQ(r.depth, 1.0);
+  EXPECT_EQ(r.inventory[static_cast<std::size_t>(netlist::Kind::Switch4x4)], n / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FourWaySwapperTest, ::testing::Values(4, 8, 16, 64));
+
+TEST(KSwap, SplitsCleanHalvesUpAndRestDown) {
+  // Feed a 4-sorted sequence of 16 bits; control each block swapper by its
+  // middle bit as the fish sorter does, and check Theorem 4's conclusion.
+  const std::size_t n = 16, k = 4;
+  Circuit c;
+  const auto in = c.inputs(n);
+  std::vector<WireId> ctrls;
+  for (std::size_t b = 0; b < k; ++b) ctrls.push_back(in[b * (n / k) + n / (2 * k)]);
+  c.mark_outputs(blocks::k_swap(c, in, ctrls));
+
+  Xoshiro256 rng(8);
+  for (int rep = 0; rep < 100; ++rep) {
+    const auto v = workload::random_k_sorted(rng, n, k);
+    const auto out = c.eval(v);
+    const auto upper = out.slice(0, n / 2);
+    const auto lower = out.slice(n / 2, n / 2);
+    EXPECT_TRUE(seqclass::is_clean_k_sorted(upper, k)) << v.str(4) << " -> " << out.str(4);
+    EXPECT_TRUE(seqclass::is_k_sorted(lower, k)) << v.str(4) << " -> " << out.str(4);
+    EXPECT_EQ(out.count_ones(), v.count_ones());
+  }
+}
+
+TEST(KSwap, PaperExampleFig8) {
+  // Fig. 8: 16-input 4-way merger input 1111/0001/0011/0111.
+  const std::size_t n = 16, k = 4;
+  Circuit c;
+  const auto in = c.inputs(n);
+  std::vector<WireId> ctrls;
+  for (std::size_t b = 0; b < k; ++b) ctrls.push_back(in[b * (n / k) + n / (2 * k)]);
+  c.mark_outputs(blocks::k_swap(c, in, ctrls));
+  const auto out = c.eval(BitVec::parse("1111000100110111"));
+  // Example 4: clean halves 11, 00, 11, 11 up; 11/01/00/01 down.
+  EXPECT_EQ(out.slice(0, 8).str(2), "11/00/11/11");
+  EXPECT_EQ(out.slice(8, 8).str(2), "11/01/00/01");
+}
+
+// ------------------------------------------------------------ mux / demux
+
+class MuxNkTest : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(MuxNkTest, SelectsTheRightGroup) {
+  const auto [n, k] = GetParam();
+  const std::size_t groups = n / k;
+  const std::size_t selw = ilog2(groups);
+  Circuit c;
+  const auto in = c.inputs(n);
+  const auto sel = c.inputs(selw);
+  c.mark_outputs(blocks::mux_nk(c, in, k, sel));
+
+  Xoshiro256 rng(10);
+  const auto data = workload::random_bits(rng, n);
+  for (std::size_t g = 0; g < groups; ++g) {
+    auto input = data;
+    for (std::size_t b = 0; b < selw; ++b) input.push_back(static_cast<Bit>((g >> b) & 1));
+    EXPECT_EQ(c.eval(input), data.slice(g * k, k)) << "group " << g;
+  }
+}
+
+TEST_P(MuxNkTest, CostMatchesCoupledTrees) {
+  const auto [n, k] = GetParam();
+  Circuit c;
+  const auto in = c.inputs(n);
+  const auto sel = c.inputs(ilog2(n / k));
+  c.mark_outputs(blocks::mux_nk(c, in, k, sel));
+  const auto r = analyze_unit(c);
+  // k coupled (n/k,1)-multiplexers: exactly n-k (2,1)-muxes (paper: "n costs"),
+  // depth lg(n/k).
+  EXPECT_DOUBLE_EQ(r.cost, static_cast<double>(n - k));
+  EXPECT_DOUBLE_EQ(r.depth, static_cast<double>(ilog2(n / k)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MuxNkTest,
+                         ::testing::Values(std::pair<std::size_t, std::size_t>{16, 4},
+                                           std::pair<std::size_t, std::size_t>{16, 1},
+                                           std::pair<std::size_t, std::size_t>{32, 8},
+                                           std::pair<std::size_t, std::size_t>{64, 4}));
+
+class DemuxKnTest : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(DemuxKnTest, RoutesToTheRightGroup) {
+  const auto [n, k] = GetParam();
+  const std::size_t groups = n / k;
+  const std::size_t selw = ilog2(groups);
+  Circuit c;
+  const auto in = c.inputs(k);
+  const auto sel = c.inputs(selw);
+  c.mark_outputs(blocks::demux_kn(c, in, n, sel));
+
+  Xoshiro256 rng(12);
+  const auto data = workload::random_bits(rng, k);
+  for (std::size_t g = 0; g < groups; ++g) {
+    auto input = data;
+    for (std::size_t b = 0; b < selw; ++b) input.push_back(static_cast<Bit>((g >> b) & 1));
+    const auto out = c.eval(input);
+    for (std::size_t g2 = 0; g2 < groups; ++g2) {
+      if (g2 == g) {
+        EXPECT_EQ(out.slice(g2 * k, k), data);
+      } else {
+        EXPECT_EQ(out.slice(g2 * k, k), BitVec::zeros(k));
+      }
+    }
+  }
+}
+
+TEST_P(DemuxKnTest, CostMatchesCoupledTrees) {
+  const auto [n, k] = GetParam();
+  Circuit c;
+  const auto in = c.inputs(k);
+  const auto sel = c.inputs(ilog2(n / k));
+  c.mark_outputs(blocks::demux_kn(c, in, n, sel));
+  const auto r = analyze_unit(c);
+  EXPECT_DOUBLE_EQ(r.cost, static_cast<double>(n - k));
+  EXPECT_DOUBLE_EQ(r.depth, static_cast<double>(ilog2(n / k)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DemuxKnTest,
+                         ::testing::Values(std::pair<std::size_t, std::size_t>{16, 4},
+                                           std::pair<std::size_t, std::size_t>{16, 1},
+                                           std::pair<std::size_t, std::size_t>{32, 8},
+                                           std::pair<std::size_t, std::size_t>{64, 4}));
+
+TEST(MuxTree, Fig3Shape16to4) {
+  // The (16,4)-multiplexer of Fig. 3(a): 4 groups of 4, 2 select bits.
+  Circuit c;
+  const auto in = c.inputs(16);
+  const auto sel = c.inputs(2);
+  c.mark_outputs(blocks::mux_nk(c, in, 4, sel));
+  const auto r = analyze_unit(c);
+  EXPECT_DOUBLE_EQ(r.cost, 12.0);
+  EXPECT_DOUBLE_EQ(r.depth, 2.0);
+}
+
+// ------------------------------------------------------------ prefix adder
+
+class PrefixAdderTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PrefixAdderTest, AddsExhaustivelyOrRandomly) {
+  const std::size_t w = GetParam();
+  Circuit c;
+  const auto a = c.inputs(w);
+  const auto b = c.inputs(w);
+  auto sum = blocks::prefix_adder(c, a, b);
+  ASSERT_EQ(sum.size(), w + 1);
+  for (auto s : sum) c.mark_output(s);
+
+  const std::uint64_t lim = std::uint64_t{1} << w;
+  if (w <= 6) {
+    for (std::uint64_t x = 0; x < lim; ++x) {
+      for (std::uint64_t y = 0; y < lim; ++y) {
+        const auto in = BitVec::from_bits_of(x, w).concat(BitVec::from_bits_of(y, w));
+        EXPECT_EQ(c.eval(in), BitVec::from_bits_of(x + y, w + 1)) << x << "+" << y;
+      }
+    }
+  } else {
+    Xoshiro256 rng(w);
+    for (int rep = 0; rep < 500; ++rep) {
+      const std::uint64_t x = rng.below(lim), y = rng.below(lim);
+      const auto in = BitVec::from_bits_of(x, w).concat(BitVec::from_bits_of(y, w));
+      EXPECT_EQ(c.eval(in), BitVec::from_bits_of(x + y, w + 1)) << x << "+" << y;
+    }
+  }
+}
+
+TEST_P(PrefixAdderTest, DepthIsLogarithmic) {
+  const std::size_t w = GetParam();
+  Circuit c;
+  const auto a = c.inputs(w);
+  const auto b = c.inputs(w);
+  for (auto s : blocks::prefix_adder(c, a, b)) c.mark_output(s);
+  const auto r = analyze_unit(c);
+  EXPECT_LE(r.depth, 2.0 * static_cast<double>(ceil_log2(w)) + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PrefixAdderTest, ::testing::Values(1, 2, 3, 4, 5, 6, 8, 13, 16));
+
+class RippleAdderTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RippleAdderTest, AddsExhaustively) {
+  const std::size_t w = GetParam();
+  Circuit c;
+  const auto a = c.inputs(w);
+  const auto b = c.inputs(w);
+  for (auto s : blocks::ripple_adder(c, a, b)) c.mark_output(s);
+  const std::uint64_t lim = std::uint64_t{1} << w;
+  for (std::uint64_t x = 0; x < lim; ++x) {
+    for (std::uint64_t y = 0; y < lim; ++y) {
+      const auto in = BitVec::from_bits_of(x, w).concat(BitVec::from_bits_of(y, w));
+      EXPECT_EQ(c.eval(in), BitVec::from_bits_of(x + y, w + 1)) << x << "+" << y;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RippleAdderTest, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(RippleAdder, CheaperButDeeperThanKoggeStone) {
+  const std::size_t w = 16;
+  Circuit ks, rp;
+  for (auto s : blocks::prefix_adder(ks, ks.inputs(w), ks.inputs(w))) ks.mark_output(s);
+  for (auto s : blocks::ripple_adder(rp, rp.inputs(w), rp.inputs(w))) rp.mark_output(s);
+  const auto rks = analyze_unit(ks);
+  const auto rrp = analyze_unit(rp);
+  EXPECT_LT(rrp.cost, rks.cost);
+  EXPECT_GT(rrp.depth, rks.depth);
+}
+
+// ------------------------------------------------------- balanced merger
+
+class BalancedMergerTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BalancedMergerTest, SortsEveryClassAMember) {
+  const std::size_t n = GetParam();
+  Circuit c;
+  const auto in = c.inputs(n);
+  c.mark_outputs(blocks::balanced_merging_block(c, in));
+  for (const auto& z : seqclass::enumerate_class_a(n)) {
+    const auto out = c.eval(z);
+    EXPECT_TRUE(out.is_sorted_ascending()) << z.str() << " -> " << out.str();
+    EXPECT_EQ(out.count_ones(), z.count_ones());
+  }
+}
+
+TEST_P(BalancedMergerTest, CostAndDepth) {
+  const std::size_t n = GetParam();
+  Circuit c;
+  const auto in = c.inputs(n);
+  c.mark_outputs(blocks::balanced_merging_block(c, in));
+  const auto r = analyze_unit(c);
+  EXPECT_DOUBLE_EQ(r.cost, static_cast<double>(n / 2 * ilog2(n)));  // (n/2) lg n
+  EXPECT_DOUBLE_EQ(r.depth, static_cast<double>(ilog2(n)));         // lg n
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BalancedMergerTest, ::testing::Values(2, 4, 8, 16, 32, 64));
+
+// The balanced merger sorts the shuffle of any two sorted halves (the use in
+// Fig. 4(b)); Theorem 1 + the merger property, end to end.
+TEST(BalancedMerger, MergesShuffledSortedHalves) {
+  const std::size_t n = 32;
+  Circuit c;
+  const auto in = c.inputs(n);
+  c.mark_outputs(blocks::balanced_merging_block(c, in));
+  for (std::size_t u = 0; u <= n / 2; ++u) {
+    for (std::size_t l = 0; l <= n / 2; ++l) {
+      const auto z = seqclass::theorem1_shuffle(BitVec::sorted_with_ones(n / 2, u),
+                                                BitVec::sorted_with_ones(n / 2, l));
+      EXPECT_TRUE(c.eval(z).is_sorted_ascending());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace absort

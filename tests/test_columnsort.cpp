@@ -1,0 +1,89 @@
+// Tests for the columnsort baseline (Leighton [14]) -- experiment E-X1.
+
+#include <gtest/gtest.h>
+
+#include "absort/sorters/columnsort.hpp"
+#include "absort/util/rng.hpp"
+
+namespace absort::sorters {
+namespace {
+
+class ColumnsortExhaustiveTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(ColumnsortExhaustiveTest, SortsAllInputs) {
+  const auto [n, r, s] = GetParam();
+  ColumnsortSorter sorter(n, r, s);
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x) {
+    const auto in = BitVec::from_bits_of(x, n);
+    const auto out = sorter.sort(in);
+    EXPECT_TRUE(out.is_sorted_ascending())
+        << "r=" << r << " s=" << s << " " << in.str() << " -> " << out.str();
+    EXPECT_EQ(out.count_ones(), in.count_ones());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ColumnsortExhaustiveTest,
+    ::testing::Values(std::tuple<std::size_t, std::size_t, std::size_t>{8, 4, 2},
+                      std::tuple<std::size_t, std::size_t, std::size_t>{16, 8, 2},
+                      std::tuple<std::size_t, std::size_t, std::size_t>{16, 16, 1},
+                      std::tuple<std::size_t, std::size_t, std::size_t>{12, 6, 2}));
+
+TEST(Columnsort, SortsRandomLargeInputs) {
+  Xoshiro256 rng(81);
+  for (std::size_t n : {64u, 256u, 1024u, 4096u}) {
+    const auto [r, s] = ColumnsortSorter::choose_shape(n);
+    ColumnsortSorter sorter(n, r, s);
+    for (int rep = 0; rep < 25; ++rep) {
+      const auto in = workload::random_bits(rng, n);
+      const auto out = sorter.sort(in);
+      EXPECT_TRUE(out.is_sorted_ascending()) << "n=" << n << " r=" << r << " s=" << s;
+      EXPECT_EQ(out.count_ones(), in.count_ones());
+    }
+  }
+}
+
+TEST(Columnsort, ChooseShapeRespectsLeightonCondition) {
+  for (std::size_t n : {16u, 64u, 256u, 1024u, 4096u, 65536u}) {
+    const auto [r, s] = ColumnsortSorter::choose_shape(n);
+    EXPECT_EQ(r * s, n);
+    if (s > 1) {
+      EXPECT_GE(r, 2 * (s - 1) * (s - 1)) << n;
+      EXPECT_EQ(r % s, 0u) << n;
+    }
+  }
+}
+
+TEST(Columnsort, ShapeValidation) {
+  EXPECT_THROW(ColumnsortSorter(16, 4, 2), std::invalid_argument);   // r*s != n
+  EXPECT_THROW(ColumnsortSorter(32, 8, 4), std::invalid_argument);   // r < 2(s-1)^2
+  EXPECT_THROW(ColumnsortSorter(24, 6, 4), std::invalid_argument);   // s does not divide r
+  EXPECT_NO_THROW(ColumnsortSorter(32, 16, 2));
+}
+
+TEST(Columnsort, RouteIsSortingPermutation) {
+  const std::size_t n = 512;
+  const auto [r, s] = ColumnsortSorter::choose_shape(n);
+  ColumnsortSorter sorter(n, r, s);
+  Xoshiro256 rng(83);
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto tags = workload::random_bits(rng, n);
+    const auto perm = sorter.route(tags);
+    std::vector<bool> seen(n, false);
+    for (auto p : perm) {
+      ASSERT_LT(p, n);
+      EXPECT_FALSE(seen[p]);
+      seen[p] = true;
+    }
+  }
+}
+
+TEST(Columnsort, ColumnSortInvocationsCount) {
+  ColumnsortSorter sorter(32, 16, 2);
+  EXPECT_EQ(sorter.column_sorts(), 8u);  // 4 passes x 2 columns
+  EXPECT_FALSE(sorter.is_combinational());
+}
+
+}  // namespace
+}  // namespace absort::sorters

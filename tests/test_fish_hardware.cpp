@@ -1,0 +1,178 @@
+// Tests for the clocked-hardware realization of Network 3 (model B as a real
+// sequential circuit): the hardware must agree with the value-level fish
+// sorter and with the functional spec, and its datapath cost must stay O(n).
+
+#include <gtest/gtest.h>
+
+#include "absort/netlist/analyze.hpp"
+#include "absort/sim/fish_hardware.hpp"
+#include "absort/sorters/fish_sorter.hpp"
+#include "absort/util/math.hpp"
+#include "absort/util/rng.hpp"
+
+namespace absort::sim {
+namespace {
+
+class FishHardwareExhaustiveTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(FishHardwareExhaustiveTest, SortsAllInputs) {
+  const auto [n, k] = GetParam();
+  FishHardware hw(n, k);
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x) {
+    const auto in = BitVec::from_bits_of(x, n);
+    const auto out = hw.sort(in);
+    EXPECT_TRUE(out.is_sorted_ascending())
+        << "n=" << n << " k=" << k << " " << in.str() << " -> " << out.str();
+    EXPECT_EQ(out.count_ones(), in.count_ones());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FishHardwareExhaustiveTest,
+                         ::testing::Values(std::pair<std::size_t, std::size_t>{4, 2},
+                                           std::pair<std::size_t, std::size_t>{8, 2},
+                                           std::pair<std::size_t, std::size_t>{8, 4},
+                                           std::pair<std::size_t, std::size_t>{16, 4}));
+
+TEST(FishHardware, AgreesWithValueLevelFishSorter) {
+  Xoshiro256 rng(19);
+  for (auto [n, k] : {std::pair<std::size_t, std::size_t>{32, 4},
+                      std::pair<std::size_t, std::size_t>{64, 8},
+                      std::pair<std::size_t, std::size_t>{128, 4}}) {
+    FishHardware hw(n, k);
+    sorters::FishSorter model(n, k);
+    for (int rep = 0; rep < 20; ++rep) {
+      const auto in = workload::random_bits(rng, n);
+      EXPECT_EQ(hw.sort(in), model.sort(in)) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(FishHardware, CycleCountMatchesSchedule) {
+  FishHardware hw(64, 8);
+  EXPECT_EQ(hw.cycles_per_sort(), 8u + 3u * 8u + 1u);  // k + lg(n/k)*k + 1
+  (void)hw.sort(BitVec::zeros(64));
+  EXPECT_EQ(hw.machine().cycles(), hw.cycles_per_sort());
+}
+
+TEST(FishHardware, RepeatedSortsAreIndependent) {
+  FishHardware hw(32, 4);
+  Xoshiro256 rng(21);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto in = workload::random_bits(rng, 32);
+    EXPECT_EQ(hw.sort(in), BitVec::sorted_with_ones(32, in.count_ones()));
+  }
+}
+
+TEST(FishHardware, DatapathCostStaysLinearAtDefaultK) {
+  // The hardware adds register-hold muxes and rank/write-enable control on
+  // top of the paper's abstract datapath; the total must still be O(n).
+  const auto unit = netlist::CostModel::paper_unit();
+  double prev_per_n = 1e9;
+  for (std::size_t n : {256u, 1024u, 4096u}) {
+    FishHardware hw(n, sorters::FishSorter::default_k(n));
+    const double per_n = hw.datapath_report(unit).cost / static_cast<double>(n);
+    EXPECT_LT(per_n, 30.0) << n;  // ~2x the abstract 15n, still linear
+    EXPECT_LT(per_n, prev_per_n * 1.05) << n;
+    prev_per_n = per_n;
+  }
+}
+
+TEST(FishHardware, HardwareOverheadIsBounded) {
+  const auto unit = netlist::CostModel::paper_unit();
+  const std::size_t n = 1024, k = 16;
+  FishHardware hw(n, k);
+  sorters::FishSorter model(n, k);
+  const double hw_cost = hw.datapath_report(unit).cost;
+  const double abstract = model.cost_report(unit).cost;
+  EXPECT_GT(hw_cost, abstract);        // holds registers, enables, rank units
+  EXPECT_LT(hw_cost, 2.5 * abstract);  // ... but only a constant factor more
+}
+
+TEST(FishHardware, OverlappedScheduleSortsIdentically) {
+  Xoshiro256 rng(23);
+  for (auto [n, k] : {std::pair<std::size_t, std::size_t>{16, 4},
+                      std::pair<std::size_t, std::size_t>{64, 8}}) {
+    FishHardware hw(n, k);
+    for (int rep = 0; rep < 20; ++rep) {
+      const auto in = workload::random_bits(rng, n);
+      const auto slow = hw.sort(in);
+      const auto fast = hw.sort_overlapped(in);
+      EXPECT_EQ(fast, slow) << "n=" << n << " k=" << k;
+      EXPECT_TRUE(fast.is_sorted_ascending());
+    }
+  }
+}
+
+TEST(FishHardware, OverlappedScheduleExhaustive) {
+  FishHardware hw(16, 4);
+  for (std::uint64_t x = 0; x < (1u << 16); ++x) {
+    const auto in = BitVec::from_bits_of(x, 16);
+    const auto out = hw.sort_overlapped(in);
+    ASSERT_TRUE(out.is_sorted_ascending()) << in.str();
+    ASSERT_EQ(out.count_ones(), in.count_ones());
+  }
+}
+
+TEST(FishHardware, OverlappedScheduleIsShorter) {
+  FishHardware hw(256, 8);
+  EXPECT_LT(hw.cycles_per_sort_overlapped(), hw.cycles_per_sort());
+  EXPECT_EQ(hw.cycles_per_sort_overlapped(), 17u);  // 2k + 1
+  (void)hw.sort_overlapped(BitVec::zeros(256));
+  EXPECT_EQ(hw.machine().cycles(), 17u);
+}
+
+TEST(FishHardware, StreamSortsEveryFrame) {
+  Xoshiro256 rng(29);
+  for (auto [n, k] : {std::pair<std::size_t, std::size_t>{16, 4},
+                      std::pair<std::size_t, std::size_t>{32, 4},
+                      std::pair<std::size_t, std::size_t>{64, 8}}) {
+    FishHardware hw(n, k);
+    std::vector<BitVec> frames;
+    for (int f = 0; f < 7; ++f) frames.push_back(workload::random_bits(rng, n));
+    const auto results = hw.sort_stream(frames);
+    ASSERT_EQ(results.size(), frames.size());
+    for (std::size_t f = 0; f < frames.size(); ++f) {
+      EXPECT_EQ(results[f], BitVec::sorted_with_ones(n, frames[f].count_ones()))
+          << "n=" << n << " k=" << k << " frame " << f;
+    }
+  }
+}
+
+TEST(FishHardware, StreamThroughputIsOneFramePerK) {
+  FishHardware hw(64, 8);
+  std::vector<BitVec> frames(10, BitVec::zeros(64));
+  (void)hw.sort_stream(frames);
+  EXPECT_EQ(hw.machine().cycles(), hw.cycles_per_stream(10));
+  // Steady state beats isolated overlapped sorts by ~2x.
+  EXPECT_LT(hw.cycles_per_stream(10), 10 * hw.cycles_per_sort_overlapped());
+}
+
+TEST(FishHardware, StreamHandlesEdgeCases) {
+  FishHardware hw(16, 4);
+  EXPECT_TRUE(hw.sort_stream({}).empty());
+  const auto one = hw.sort_stream({BitVec::parse("1010010111110000")});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_TRUE(one[0].is_sorted_ascending());
+  EXPECT_THROW((void)hw.sort_stream({BitVec::zeros(8)}), std::invalid_argument);
+}
+
+TEST(FishHardware, StreamMatchesIsolatedSorts) {
+  FishHardware hw(32, 4);
+  Xoshiro256 rng(31);
+  std::vector<BitVec> frames;
+  for (int f = 0; f < 5; ++f) frames.push_back(workload::random_bits(rng, 32));
+  const auto streamed = hw.sort_stream(frames);
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    EXPECT_EQ(streamed[f], hw.sort(frames[f])) << f;
+  }
+}
+
+TEST(FishHardware, RejectsBadShapes) {
+  EXPECT_THROW(FishHardware(16, 16), std::invalid_argument);
+  EXPECT_THROW(FishHardware(12, 2), std::invalid_argument);
+  EXPECT_THROW(FishHardware(16, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace absort::sim

@@ -1,0 +1,99 @@
+// Tests for the hybrid OEM family (the Section III.A reader exercise).
+
+#include <gtest/gtest.h>
+
+#include "absort/netlist/analyze.hpp"
+#include "absort/sorters/batcher_oem.hpp"
+#include "absort/sorters/hybrid_oem.hpp"
+#include "absort/util/rng.hpp"
+
+namespace absort::sorters {
+namespace {
+
+class HybridOemTest : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(HybridOemTest, SortsExhaustively) {
+  const auto [n, b] = GetParam();
+  HybridOemSorter s(n, b);
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x) {
+    const auto in = BitVec::from_bits_of(x, n);
+    const auto out = s.sort(in);
+    EXPECT_TRUE(out.is_sorted_ascending()) << "b=" << b << " " << in.str();
+    EXPECT_EQ(out.count_ones(), in.count_ones());
+  }
+}
+
+TEST_P(HybridOemTest, ComparatorCountMatchesClosedForm) {
+  const auto [n, b] = GetParam();
+  HybridOemSorter s(n, b);
+  EXPECT_EQ(s.comparator_count(), HybridOemSorter::expected_comparators(n, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, HybridOemTest,
+                         ::testing::Values(std::pair<std::size_t, std::size_t>{8, 1},
+                                           std::pair<std::size_t, std::size_t>{8, 2},
+                                           std::pair<std::size_t, std::size_t>{8, 4},
+                                           std::pair<std::size_t, std::size_t>{8, 8},
+                                           std::pair<std::size_t, std::size_t>{16, 2},
+                                           std::pair<std::size_t, std::size_t>{16, 4},
+                                           std::pair<std::size_t, std::size_t>{16, 16}));
+
+TEST(HybridOem, EndpointsMatchTheKnownNetworks) {
+  // b = n is pure Batcher.
+  EXPECT_EQ(HybridOemSorter::expected_comparators(64, 64),
+            BatcherOemSorter::expected_comparators(64));
+  HybridOemSorter pure(16, 16);
+  EXPECT_EQ(pure.comparator_count(), BatcherOemSorter::expected_comparators(16));
+}
+
+TEST(HybridOem, NonadaptiveTradeIsMonotone) {
+  // The exercise's measured answer: per-level, a balanced merging block
+  // costs (m/2) lg m while Batcher's odd-even merge costs (m/2)(lg m - 1)+1,
+  // so every shift of work toward the merge side *raises* the nonadaptive
+  // comparator count: cost(b) is strictly decreasing in b and pure Batcher
+  // (b = n) is optimal.  The Fig. 4(b) distribution only pays off once the
+  // adaptive patch-up (Network 1) replaces the balanced blocks with O(n)
+  // steering -- which is exactly the paper's point.
+  for (std::size_t n : {64u, 1024u, 65536u}) {
+    // b = 1 and b = 2 tie exactly (a size-2 balanced block IS a comparator);
+    // beyond that the count is strictly decreasing in b.
+    EXPECT_EQ(HybridOemSorter::expected_comparators(n, 1),
+              HybridOemSorter::expected_comparators(n, 2));
+    std::size_t prev = HybridOemSorter::expected_comparators(n, 2);
+    for (std::size_t b = 4; b <= n; b *= 2) {
+      const auto cost = HybridOemSorter::expected_comparators(n, b);
+      EXPECT_LT(cost, prev) << "n=" << n << " b=" << b;
+      prev = cost;
+    }
+    EXPECT_EQ(HybridOemSorter::best_block(n), n) << n;
+  }
+}
+
+TEST(HybridOem, RandomLargeInputs) {
+  Xoshiro256 rng(91);
+  for (std::size_t n : {256u, 1024u}) {
+    HybridOemSorter s(n, HybridOemSorter::best_block(n));
+    for (int rep = 0; rep < 20; ++rep) {
+      const auto in = workload::random_bits(rng, n);
+      EXPECT_TRUE(s.sort(in).is_sorted_ascending());
+    }
+  }
+}
+
+TEST(HybridOem, NetlistMatchesSimulation) {
+  HybridOemSorter s(16, 4);
+  const auto c = s.build_circuit();
+  for (std::uint64_t x = 0; x < (1u << 16); x += 11) {
+    const auto in = BitVec::from_bits_of(x, 16);
+    EXPECT_EQ(c.eval(in), s.sort(in));
+  }
+}
+
+TEST(HybridOem, ValidatesShape) {
+  EXPECT_THROW(HybridOemSorter(16, 32), std::invalid_argument);
+  EXPECT_THROW(HybridOemSorter(16, 3), std::invalid_argument);
+  EXPECT_THROW(HybridOemSorter(12, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace absort::sorters

@@ -1,0 +1,126 @@
+// Integration tests: multi-module end-to-end scenarios that exercise the
+// public API across layers, the way the examples (and a downstream user)
+// compose it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "absort/networks/benes.hpp"
+#include "absort/networks/concentrator.hpp"
+#include "absort/networks/radix_permuter.hpp"
+#include "absort/networks/sorting_permuter.hpp"
+#include "absort/sim/fish_hardware.hpp"
+#include "absort/sorters/fish_sorter.hpp"
+#include "absort/sorters/muxmerge_sorter.hpp"
+#include "absort/util/rng.hpp"
+
+namespace absort {
+namespace {
+
+// Scenario 1: a two-stage switch fabric.  Stage 1 concentrates the r granted
+// packets onto the first r trunks; stage 2 permutes the full trunk bundle so
+// every granted packet reaches its requested destination port.
+TEST(Integration, ConcentrateThenPermute) {
+  const std::size_t n = 64;
+  Xoshiro256 rng(301);
+  networks::Concentrator stage1(sorters::MuxMergeSorter::make(n));
+  networks::RadixPermuter stage2(n, [](std::size_t w) { return sorters::MuxMergeSorter::make(w); });
+
+  for (int rep = 0; rep < 25; ++rep) {
+    // Grants and payloads.
+    std::vector<bool> granted(n);
+    std::vector<std::string> packets(n);
+    std::size_t r = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      granted[i] = rng.biased_bit(1, 2);
+      packets[i] = granted[i] ? "pkt" + std::to_string(i) : "-";
+      r += granted[i] ? 1u : 0u;
+    }
+    const auto trunks = stage1.concentrate_packets(granted, packets);
+    ASSERT_EQ(trunks.size(), n);
+    for (std::size_t j = 0; j < r; ++j) ASSERT_NE(trunks[j], "-");
+
+    // Each granted packet requests a distinct destination; idle trunks fill
+    // the remaining ports (a complete permutation, as the permuter needs).
+    const auto ports = workload::random_permutation(rng, n);
+    const auto delivered = stage2.permute_packets(ports, trunks);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(delivered[ports[j]], trunks[j]);
+    }
+  }
+}
+
+// Scenario 2: the three permutation networks agree on every routed outcome.
+TEST(Integration, AllPermutersAgree) {
+  const std::size_t n = 32;
+  Xoshiro256 rng(303);
+  networks::RadixPermuter radix(n, [](std::size_t w) { return sorters::MuxMergeSorter::make(w); });
+  networks::SortingPermuter sorting(n);
+  networks::BenesNetwork benes(n);
+  const auto circuit = benes.build_circuit();
+
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto dest = workload::random_permutation(rng, n);
+    const auto p1 = radix.route(dest);
+    const auto p2 = sorting.route(dest);
+    EXPECT_EQ(p1, p2);  // both place input i at output dest[i]
+
+    const auto controls = benes.compute_controls(dest);
+    for (std::size_t probe = 0; probe < n; probe += 7) {
+      BitVec in(n + controls.size());
+      in[probe] = 1;
+      for (std::size_t c = 0; c < controls.size(); ++c) in[n + c] = controls[c];
+      const auto out = circuit.eval(in);
+      EXPECT_EQ(out[dest[probe]], 1);
+      EXPECT_EQ(out.count_ones(), 1u);
+    }
+  }
+}
+
+// Scenario 3: the clocked fish hardware used as a streaming concentrator --
+// back-to-back sorts of independent grant vectors.
+TEST(Integration, HardwareConcentratorStream) {
+  const std::size_t n = 32, k = 4;
+  sim::FishHardware hw(n, k);
+  Xoshiro256 rng(305);
+  for (int frame = 0; frame < 20; ++frame) {
+    std::vector<bool> active(n);
+    BitVec tags(n);
+    std::size_t r = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      active[i] = rng.bit();
+      tags[i] = active[i] ? 0 : 1;
+      r += active[i] ? 1u : 0u;
+    }
+    const auto sorted = hw.sort_overlapped(tags);
+    // r zeros at the front = r granted packets concentrated.
+    EXPECT_EQ(sorted, BitVec::sorted_with_ones(n, n - r));
+  }
+}
+
+// Scenario 4: consistency across the faces at scale -- the routing face of
+// the fish sorter feeds a payload permutation whose tag image equals the
+// netlist-equivalent value sort.
+TEST(Integration, FishCarryMatchesSort) {
+  const std::size_t n = 256;
+  sorters::FishSorter fish(n, 8);
+  Xoshiro256 rng(307);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto tags = workload::random_bits(rng, n);
+    std::vector<std::size_t> ids(n);
+    for (std::size_t i = 0; i < n; ++i) ids[i] = i;
+    const auto carried = fish.carry(tags, ids);
+    // Applying the carried arrangement to the tags reproduces sort().
+    BitVec routed(n);
+    for (std::size_t i = 0; i < n; ++i) routed[i] = tags[carried[i]];
+    EXPECT_EQ(routed, fish.sort(tags));
+    // No packet lost.
+    EXPECT_EQ(std::set<std::size_t>(carried.begin(), carried.end()).size(), n);
+  }
+}
+
+}  // namespace
+}  // namespace absort

@@ -1,0 +1,195 @@
+// Tests for the additional nonadaptive baselines (the periodic balanced
+// sorting network of [8],[9] and odd-even transposition), the zero-one
+// principle word face, and the word-level sorting permuter (Table II row 2).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "absort/netlist/analyze.hpp"
+#include "absort/networks/sorting_permuter.hpp"
+#include "absort/sorters/alt_oem.hpp"
+#include "absort/sorters/batcher_oem.hpp"
+#include "absort/sorters/periodic_balanced.hpp"
+#include "absort/util/math.hpp"
+#include "absort/util/rng.hpp"
+
+namespace absort::sorters {
+namespace {
+
+class PeriodicBalancedTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PeriodicBalancedTest, SortsExhaustively) {
+  const std::size_t n = GetParam();
+  PeriodicBalancedSorter s(n);
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x) {
+    const auto in = BitVec::from_bits_of(x, n);
+    const auto out = s.sort(in);
+    EXPECT_TRUE(out.is_sorted_ascending()) << in.str();
+    EXPECT_EQ(out.count_ones(), in.count_ones());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PeriodicBalancedTest, ::testing::Values(2, 4, 8, 16));
+
+TEST(PeriodicBalanced, StructuralCounts) {
+  for (std::size_t n : {4u, 16u, 256u}) {
+    PeriodicBalancedSorter s(n);
+    EXPECT_EQ(s.comparator_count(), PeriodicBalancedSorter::expected_comparators(n)) << n;
+    EXPECT_EQ(s.comparator_depth(), PeriodicBalancedSorter::expected_depth(n)) << n;
+  }
+}
+
+TEST(PeriodicBalanced, EveryPassIsTheSameBlock) {
+  // Periodicity: the comparator sequence repeats with period (n/2) lg n.
+  PeriodicBalancedSorter s(16);
+  const std::size_t period = 8 * 4;  // (n/2) lg n
+  ASSERT_EQ(s.comparator_count(), period * 4);
+}
+
+TEST(PeriodicBalanced, SortsWordsViaZeroOne) {
+  PeriodicBalancedSorter s(64);
+  Xoshiro256 rng(3);
+  for (int rep = 0; rep < 50; ++rep) {
+    std::vector<std::uint64_t> keys(64);
+    for (auto& k : keys) k = rng.below(1000);
+    const auto out = s.sort_words(keys);
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  }
+}
+
+class OeTranspositionTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OeTranspositionTest, SortsExhaustively) {
+  const std::size_t n = GetParam();
+  OddEvenTranspositionSorter s(n);
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x) {
+    const auto out = s.sort(BitVec::from_bits_of(x, n));
+    EXPECT_TRUE(out.is_sorted_ascending());
+  }
+}
+
+// Works for any n, not just powers of two.
+INSTANTIATE_TEST_SUITE_P(Sizes, OeTranspositionTest, ::testing::Values(2, 3, 5, 8, 13, 16));
+
+TEST(OeTransposition, ComparatorCount) {
+  for (std::size_t n : {2u, 7u, 16u, 64u}) {
+    OddEvenTranspositionSorter s(n);
+    EXPECT_EQ(s.comparator_count(), OddEvenTranspositionSorter::expected_comparators(n)) << n;
+  }
+}
+
+// --------------------------------------------------- zero-one principle
+
+TEST(ZeroOne, BatcherSortsArbitraryWords) {
+  BatcherOemSorter s(256);
+  Xoshiro256 rng(5);
+  for (int rep = 0; rep < 100; ++rep) {
+    std::vector<std::uint64_t> keys(256);
+    for (auto& k : keys) k = rng();
+    const auto out = s.sort_words(keys);
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  }
+}
+
+TEST(ZeroOne, AltOemSortsArbitraryWordsToo) {
+  // Fig. 4(b)'s network is comparators + wiring only and sorts all binary
+  // inputs (tested exhaustively elsewhere), so by the zero-one principle it
+  // sorts arbitrary totally ordered keys -- demonstrated here.
+  AltOemSorter s(128);
+  Xoshiro256 rng(7);
+  for (int rep = 0; rep < 100; ++rep) {
+    std::vector<std::uint64_t> keys(128);
+    for (auto& k : keys) k = rng.below(50);  // heavy ties, the nasty case
+    const auto out = s.sort_words(keys);
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  }
+}
+
+TEST(ZeroOne, RouteWordsIsConsistentPermutation) {
+  BatcherOemSorter s(64);
+  Xoshiro256 rng(9);
+  std::vector<std::uint64_t> keys(64);
+  for (auto& k : keys) k = rng.below(10);
+  const auto perm = s.route_words(keys);
+  std::vector<bool> seen(64, false);
+  std::vector<std::uint64_t> routed(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    ASSERT_LT(perm[i], 64u);
+    EXPECT_FALSE(seen[perm[i]]);
+    seen[perm[i]] = true;
+    routed[i] = keys[perm[i]];
+  }
+  EXPECT_TRUE(std::is_sorted(routed.begin(), routed.end()));
+  EXPECT_EQ(routed, s.sort_words(keys));
+}
+
+}  // namespace
+}  // namespace absort::sorters
+
+namespace absort::networks {
+namespace {
+
+TEST(SortingPermuter, RealizesAllPermutationsOfEight) {
+  SortingPermuter sp(8);
+  std::vector<std::size_t> dest(8);
+  std::iota(dest.begin(), dest.end(), 0);
+  do {
+    const auto perm = sp.route(dest);
+    for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(perm[dest[i]], i);
+  } while (std::next_permutation(dest.begin(), dest.end()));
+}
+
+TEST(SortingPermuter, RealizesRandomLargePermutations) {
+  Xoshiro256 rng(11);
+  for (std::size_t n : {64u, 1024u}) {
+    SortingPermuter sp(n);
+    for (int rep = 0; rep < 10; ++rep) {
+      const auto dest = workload::random_permutation(rng, n);
+      const auto perm = sp.route(dest);
+      for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(perm[dest[i]], i);
+    }
+  }
+}
+
+TEST(SortingPermuter, MovesPayloads) {
+  SortingPermuter sp(32);
+  Xoshiro256 rng(13);
+  const auto dest = workload::random_permutation(rng, 32);
+  std::vector<char> payload(32);
+  for (std::size_t i = 0; i < 32; ++i) payload[i] = static_cast<char>('a' + (i % 26));
+  const auto out = sp.permute_packets(dest, payload);
+  for (std::size_t i = 0; i < 32; ++i) EXPECT_EQ(out[dest[i]], payload[i]);
+}
+
+TEST(SortingPermuter, BitLevelCostHasLgCubedShape) {
+  // cost = 3 lg n x comparators = Theta(n lg^3 n): the ratio to n lg^3 n is
+  // bounded and slowly varying.
+  for (std::size_t n : {256u, 4096u, 65536u}) {
+    SortingPermuter sp(n);
+    const auto r = sp.cost_report();
+    const double l = lg(double(n));
+    const double ratio = r.cost / (double(n) * l * l * l);
+    EXPECT_GT(ratio, 0.3) << n;
+    EXPECT_LT(ratio, 1.0) << n;
+  }
+}
+
+TEST(SortingPermuter, RoutingTimeIsLgCubed) {
+  for (std::size_t n : {256u, 4096u}) {
+    SortingPermuter sp(n);
+    const double l = lg(double(n));
+    // depth = lg n x lg n (lg n + 1)/2
+    EXPECT_DOUBLE_EQ(sp.routing_time(), l * l * (l + 1) / 2) << n;
+  }
+}
+
+TEST(SortingPermuter, RejectsBadInput) {
+  SortingPermuter sp(8);
+  EXPECT_THROW((void)sp.route({0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW((void)sp.route({0, 0, 1, 2, 3, 4, 5, 6}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace absort::networks

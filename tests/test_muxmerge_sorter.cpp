@@ -1,0 +1,211 @@
+// Tests for Network 2, the mux-merger binary sorter (Fig. 6), Theorem 3, and
+// the Table I merge decisions (experiments E-T1, E-F6).
+
+#include <gtest/gtest.h>
+
+#include "absort/netlist/analyze.hpp"
+#include "absort/seqclass/seqclass.hpp"
+#include "absort/sorters/muxmerge_sorter.hpp"
+#include "absort/util/math.hpp"
+#include "absort/util/rng.hpp"
+
+namespace absort::sorters {
+namespace {
+
+class MuxMergeExhaustiveTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MuxMergeExhaustiveTest, SortsAllInputs) {
+  const std::size_t n = GetParam();
+  MuxMergeSorter s(n);
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x) {
+    const auto in = BitVec::from_bits_of(x, n);
+    const auto out = s.sort(in);
+    EXPECT_TRUE(out.is_sorted_ascending()) << in.str() << " -> " << out.str();
+    EXPECT_EQ(out.count_ones(), in.count_ones());
+  }
+}
+
+TEST_P(MuxMergeExhaustiveTest, NetlistMatchesValueSimulation) {
+  const std::size_t n = GetParam();
+  MuxMergeSorter s(n);
+  const auto circuit = s.build_circuit();
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x) {
+    const auto in = BitVec::from_bits_of(x, n);
+    EXPECT_EQ(circuit.eval(in), s.sort(in)) << in.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MuxMergeExhaustiveTest, ::testing::Values(2, 4, 8, 16));
+
+TEST(MuxMergeSorter, SortsRandomLargeInputs) {
+  Xoshiro256 rng(51);
+  for (std::size_t n : {32u, 256u, 1024u, 4096u}) {
+    MuxMergeSorter s(n);
+    for (int rep = 0; rep < 25; ++rep) {
+      const auto in = workload::random_bits(rng, n);
+      const auto out = s.sort(in);
+      EXPECT_TRUE(out.is_sorted_ascending());
+      EXPECT_EQ(out.count_ones(), in.count_ones());
+    }
+  }
+}
+
+TEST(MuxMergeSorter, NetlistMatchesValueSimulationRandomLarge) {
+  Xoshiro256 rng(53);
+  for (std::size_t n : {32u, 64u, 128u, 256u}) {
+    MuxMergeSorter s(n);
+    const auto circuit = s.build_circuit();
+    for (int rep = 0; rep < 50; ++rep) {
+      const auto in = workload::random_bits(rng, n);
+      EXPECT_EQ(circuit.eval(in), s.sort(in));
+    }
+  }
+}
+
+// --------------------------------------------------------------- Theorem 3
+
+class Theorem3Test : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Theorem3Test, TwoQuartersCleanTwoFormBisorted) {
+  const std::size_t n = GetParam();
+  const std::size_t q = n / 4;
+  for (const auto& x : seqclass::enumerate_bisorted(n)) {
+    int clean = 0;
+    std::vector<BitVec> dirty;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const auto quarter = x.slice(j * q, q);
+      if (seqclass::is_clean_sorted(quarter)) {
+        ++clean;
+      } else {
+        dirty.push_back(quarter);
+      }
+    }
+    EXPECT_GE(clean, 2) << x.str();
+    if (dirty.size() == 2) {
+      EXPECT_TRUE(seqclass::is_bisorted(dirty[0].concat(dirty[1]))) << x.str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Theorem3Test, ::testing::Values(4, 8, 16, 32, 64));
+
+TEST(Theorem3, PaperExample3) {
+  // 0001/0001: quarters 00, 01, 00, 01 -- two clean, the others give 0101.
+  const auto x = BitVec::parse("00010001");
+  EXPECT_TRUE(seqclass::is_bisorted(x));
+  EXPECT_TRUE(seqclass::is_clean_sorted(x.slice(0, 2)));
+  EXPECT_TRUE(seqclass::is_clean_sorted(x.slice(4, 2)));
+  EXPECT_TRUE(seqclass::is_bisorted(x.slice(2, 2).concat(x.slice(6, 2))));
+}
+
+// ------------------------------------------------------- Table I (E-T1)
+
+TEST(TableI, MergerSortsEveryBisortedInputAtManySizes) {
+  // The merger must merge *every* bisorted sequence (exhaustive over the
+  // (n/2+1)^2 patterns).
+  for (std::size_t n : {4u, 8u, 16u, 32u, 64u, 128u}) {
+    netlist::Circuit c;
+    const auto in = c.inputs(n);
+    c.mark_outputs(build_mux_merger(c, in));
+    for (const auto& x : seqclass::enumerate_bisorted(n)) {
+      const auto out = c.eval(x);
+      EXPECT_TRUE(out.is_sorted_ascending()) << "n=" << n << " " << x.str() << " -> " << out.str();
+      EXPECT_EQ(out.count_ones(), x.count_ones());
+    }
+  }
+}
+
+TEST(TableI, DecisionRowsMatchQuarterDispositions) {
+  // For every bisorted input, the decision row must describe reality:
+  //  select 0 -> q0,q2 all-0 and q1++q3 bisorted
+  //  select 1 -> q0 all-0, q3 all-1, q1++q2 bisorted
+  //  select 2 -> q1 all-1, q2 all-0, q3++q0 bisorted
+  //  select 3 -> q1,q3 all-1 and q0++q2 bisorted
+  const std::size_t n = 32, q = n / 4;
+  for (const auto& x : seqclass::enumerate_bisorted(n)) {
+    const auto d = mux_merger_decision(x);
+    const auto quarter = [&](std::size_t j) { return x.slice(j * q, q); };
+    switch (d.select) {
+      case 0:
+        EXPECT_EQ(quarter(0), BitVec::zeros(q)) << x.str();
+        EXPECT_EQ(quarter(2), BitVec::zeros(q)) << x.str();
+        EXPECT_TRUE(seqclass::is_bisorted(quarter(1).concat(quarter(3)))) << x.str();
+        break;
+      case 1:
+        EXPECT_EQ(quarter(0), BitVec::zeros(q)) << x.str();
+        EXPECT_EQ(quarter(3), BitVec::ones(q)) << x.str();
+        EXPECT_TRUE(seqclass::is_bisorted(quarter(1).concat(quarter(2)))) << x.str();
+        break;
+      case 2:
+        EXPECT_EQ(quarter(1), BitVec::ones(q)) << x.str();
+        EXPECT_EQ(quarter(2), BitVec::zeros(q)) << x.str();
+        EXPECT_TRUE(seqclass::is_bisorted(quarter(3).concat(quarter(0)))) << x.str();
+        break;
+      case 3:
+        EXPECT_EQ(quarter(1), BitVec::ones(q)) << x.str();
+        EXPECT_EQ(quarter(3), BitVec::ones(q)) << x.str();
+        EXPECT_TRUE(seqclass::is_bisorted(quarter(0).concat(quarter(2)))) << x.str();
+        break;
+      default:
+        FAIL() << "select out of range";
+    }
+  }
+}
+
+TEST(TableI, OutSwapUsesExactlyThreePatterns) {
+  // The paper's OUT-SWAP set has three permutations; selects 1 and 2 share
+  // one.  (The IN-SWAP table is documented in EXPERIMENTS.md.)
+  const auto d1 = mux_merger_decision(BitVec::parse("00011111"));  // select 1
+  const auto d2 = mux_merger_decision(BitVec::parse("11110001"));  // select 2
+  EXPECT_EQ(d1.out_pattern, d2.out_pattern);
+  const auto d0 = mux_merger_decision(BitVec::parse("00010001"));  // select 0
+  EXPECT_EQ(d0.out_pattern, (std::array<std::uint8_t, 4>{0, 1, 2, 3}));
+  const auto d3 = mux_merger_decision(BitVec::parse("01110111"));  // select 3
+  EXPECT_EQ(d3.out_pattern, (std::array<std::uint8_t, 4>{2, 3, 0, 1}));
+}
+
+TEST(TableI, DecisionValidatesInput) {
+  EXPECT_THROW((void)mux_merger_decision(BitVec::parse("0110")), std::invalid_argument);
+  EXPECT_THROW((void)mux_merger_decision(BitVec::parse("01")), std::invalid_argument);
+}
+
+// ------------------------------------------------- structural (E-F6)
+
+TEST(MuxMergeSorter, UnitCostMatchesClosedForm) {
+  // C(n) = 4 n lg n - 7n + 7 exactly (merger Cm(m) = 4m - 7).
+  for (std::size_t n : {2u, 4u, 8u, 16u, 64u, 256u, 1024u}) {
+    MuxMergeSorter s(n);
+    const auto r = netlist::analyze_unit(s.build_circuit());
+    EXPECT_DOUBLE_EQ(r.cost, MuxMergeSorter::expected_unit_cost(n)) << n;
+  }
+}
+
+TEST(MuxMergeSorter, UnitDepthIsExactlyLgSquared) {
+  // D(n) = lg^2 n: confirms the abstract's O(lg^2 n) and documents the
+  // printed "D(n) = 2 lg n" as a typo (see EXPERIMENTS.md).
+  for (std::size_t n : {2u, 4u, 8u, 16u, 64u, 256u, 1024u}) {
+    MuxMergeSorter s(n);
+    const auto r = netlist::analyze_unit(s.build_circuit());
+    EXPECT_DOUBLE_EQ(r.depth, MuxMergeSorter::expected_unit_depth(n)) << n;
+  }
+}
+
+TEST(MuxMergerBlock, CostIsFourMMinusSeven) {
+  for (std::size_t m : {4u, 8u, 16u, 64u, 256u}) {
+    netlist::Circuit c;
+    const auto in = c.inputs(m);
+    c.mark_outputs(build_mux_merger(c, in));
+    const auto r = netlist::analyze_unit(c);
+    EXPECT_DOUBLE_EQ(r.cost, 4.0 * static_cast<double>(m) - 7.0) << m;
+    EXPECT_DOUBLE_EQ(r.depth, 2.0 * static_cast<double>(ilog2(m)) - 1.0) << m;
+  }
+}
+
+TEST(MuxMergeSorter, RejectsBadSizes) {
+  EXPECT_THROW(MuxMergeSorter(0), std::invalid_argument);
+  EXPECT_THROW(MuxMergeSorter(3), std::invalid_argument);
+  EXPECT_THROW(MuxMergeSorter(24), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace absort::sorters

@@ -1,0 +1,193 @@
+// Tests for the netlist substrate: component semantics, evaluation,
+// cost/depth analysis, wiring permutations.
+
+#include <gtest/gtest.h>
+
+#include "absort/netlist/analyze.hpp"
+#include "absort/netlist/circuit.hpp"
+#include "absort/netlist/wiring.hpp"
+
+namespace absort::netlist {
+namespace {
+
+TEST(Circuit, GateSemantics) {
+  Circuit c;
+  const auto a = c.input();
+  const auto b = c.input();
+  c.mark_output(c.and_gate(a, b));
+  c.mark_output(c.or_gate(a, b));
+  c.mark_output(c.xor_gate(a, b));
+  c.mark_output(c.not_gate(a));
+  for (std::uint64_t x = 0; x < 4; ++x) {
+    const auto in = BitVec::from_bits_of(x, 2);
+    const auto out = c.eval(in);
+    EXPECT_EQ(out[0], in[0] & in[1]);
+    EXPECT_EQ(out[1], in[0] | in[1]);
+    EXPECT_EQ(out[2], in[0] ^ in[1]);
+    EXPECT_EQ(out[3], 1 - in[0]);
+  }
+}
+
+TEST(Circuit, ConstSemantics) {
+  Circuit c;
+  c.mark_output(c.constant(0));
+  c.mark_output(c.constant(1));
+  const auto out = c.eval(BitVec{});
+  EXPECT_EQ(out.str(), "01");
+}
+
+TEST(Circuit, MuxSemantics) {
+  Circuit c;
+  const auto a0 = c.input();
+  const auto a1 = c.input();
+  const auto s = c.input();
+  c.mark_output(c.mux(a0, a1, s));
+  EXPECT_EQ(c.eval(BitVec{1, 0, 0})[0], 1);  // sel=0 -> a0
+  EXPECT_EQ(c.eval(BitVec{1, 0, 1})[0], 0);  // sel=1 -> a1
+  EXPECT_EQ(c.eval(BitVec{0, 1, 1})[0], 1);
+}
+
+TEST(Circuit, DemuxSemantics) {
+  Circuit c;
+  const auto d = c.input();
+  const auto s = c.input();
+  const auto [o0, o1] = c.demux(d, s);
+  c.mark_output(o0);
+  c.mark_output(o1);
+  EXPECT_EQ(c.eval(BitVec{1, 0}).str(), "10");
+  EXPECT_EQ(c.eval(BitVec{1, 1}).str(), "01");
+  EXPECT_EQ(c.eval(BitVec{0, 0}).str(), "00");
+  EXPECT_EQ(c.eval(BitVec{0, 1}).str(), "00");
+}
+
+TEST(Circuit, ComparatorSemantics) {
+  Circuit c;
+  const auto a = c.input();
+  const auto b = c.input();
+  const auto [lo, hi] = c.comparator(a, b);
+  c.mark_output(lo);
+  c.mark_output(hi);
+  EXPECT_EQ(c.eval(BitVec{0, 0}).str(), "00");
+  EXPECT_EQ(c.eval(BitVec{1, 0}).str(), "01");
+  EXPECT_EQ(c.eval(BitVec{0, 1}).str(), "01");
+  EXPECT_EQ(c.eval(BitVec{1, 1}).str(), "11");
+}
+
+TEST(Circuit, Switch2x2Semantics) {
+  Circuit c;
+  const auto a = c.input();
+  const auto b = c.input();
+  const auto ctrl = c.input();
+  const auto [o0, o1] = c.switch2x2(a, b, ctrl);
+  c.mark_output(o0);
+  c.mark_output(o1);
+  EXPECT_EQ(c.eval(BitVec{1, 0, 0}).str(), "10");  // straight
+  EXPECT_EQ(c.eval(BitVec{1, 0, 1}).str(), "01");  // crossed
+}
+
+TEST(Circuit, Switch4x4Semantics) {
+  Circuit c;
+  const auto in = c.inputs(4);
+  const auto s0 = c.input();
+  const auto s1 = c.input();
+  // pattern s: rotate by s.
+  Swap4Patterns pats{{{0, 1, 2, 3}, {1, 2, 3, 0}, {2, 3, 0, 1}, {3, 0, 1, 2}}};
+  const auto t = c.register_swap4_patterns(pats);
+  const auto out = c.switch4x4({in[0], in[1], in[2], in[3]}, s0, s1, t);
+  for (auto w : out) c.mark_output(w);
+  // data = 1000 so the position of the 1 tracks the selected rotation.
+  EXPECT_EQ(c.eval(BitVec{1, 0, 0, 0, /*s0=*/0, /*s1=*/0}).str(), "1000");
+  EXPECT_EQ(c.eval(BitVec{1, 0, 0, 0, /*s0=*/1, /*s1=*/0}).str(), "0001");
+  EXPECT_EQ(c.eval(BitVec{1, 0, 0, 0, /*s0=*/0, /*s1=*/1}).str(), "0010");
+  EXPECT_EQ(c.eval(BitVec{1, 0, 0, 0, /*s0=*/1, /*s1=*/1}).str(), "0100");
+}
+
+TEST(Circuit, RegisterPatternsDeduplicates) {
+  Circuit c;
+  Swap4Patterns p{{{0, 1, 2, 3}, {1, 0, 3, 2}, {2, 3, 0, 1}, {3, 2, 1, 0}}};
+  EXPECT_EQ(c.register_swap4_patterns(p), c.register_swap4_patterns(p));
+}
+
+TEST(Circuit, UseBeforeDefineThrows) {
+  Circuit c;
+  EXPECT_THROW(c.not_gate(123), std::logic_error);
+}
+
+TEST(Circuit, EvalChecksInputArity) {
+  Circuit c;
+  c.inputs(3);
+  EXPECT_THROW(c.eval(BitVec{0, 1}), std::invalid_argument);
+}
+
+TEST(Analyze, UnitCostCountsComponents) {
+  Circuit c;
+  const auto a = c.input();
+  const auto b = c.input();
+  const auto [lo, hi] = c.comparator(a, b);
+  const auto x = c.and_gate(lo, hi);
+  c.mark_output(x);
+  const auto r = analyze_unit(c);
+  EXPECT_DOUBLE_EQ(r.cost, 2.0);   // comparator + and (inputs are free)
+  EXPECT_DOUBLE_EQ(r.depth, 2.0);  // comparator then and
+  EXPECT_EQ(r.inventory[static_cast<std::size_t>(Kind::Comparator)], 1u);
+}
+
+TEST(Analyze, DepthIsLongestPathToMarkedOutput) {
+  Circuit c;
+  const auto a = c.input();
+  // chain of 5 NOTs, but only the 2nd is marked.
+  auto w = a;
+  WireId second = kNoWire;
+  for (int i = 0; i < 5; ++i) {
+    w = c.not_gate(w);
+    if (i == 1) second = w;
+  }
+  c.mark_output(second);
+  EXPECT_DOUBLE_EQ(analyze_unit(c).depth, 2.0);
+  c.mark_output(w);
+  EXPECT_DOUBLE_EQ(analyze_unit(c).depth, 5.0);
+}
+
+TEST(Analyze, GateLevelModelWeighsSwitches) {
+  Circuit c;
+  const auto a = c.input();
+  const auto b = c.input();
+  const auto s = c.input();
+  const auto [o0, o1] = c.switch2x2(a, b, s);
+  c.mark_output(o0);
+  c.mark_output(o1);
+  const auto unit = analyze(c, CostModel::paper_unit());
+  const auto gate = analyze(c, CostModel::gate_level());
+  EXPECT_DOUBLE_EQ(unit.cost, 1.0);
+  EXPECT_DOUBLE_EQ(gate.cost, 6.0);
+  EXPECT_DOUBLE_EQ(gate.depth, 2.0);
+}
+
+TEST(Wiring, ShuffleTwoWay) {
+  const std::vector<WireId> in{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto out = wiring::shuffle(in, 2);
+  EXPECT_EQ(out, (std::vector<WireId>{0, 4, 1, 5, 2, 6, 3, 7}));
+  EXPECT_EQ(wiring::unshuffle(out, 2), in);
+}
+
+TEST(Wiring, ShuffleFourWay) {
+  const std::vector<WireId> in{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto out = wiring::shuffle(in, 4);
+  EXPECT_EQ(out, (std::vector<WireId>{0, 2, 4, 6, 1, 3, 5, 7}));
+  EXPECT_EQ(wiring::unshuffle(out, 4), in);
+}
+
+TEST(Wiring, OddEvenSplit) {
+  const std::vector<WireId> in{10, 11, 12, 13, 14, 15};
+  EXPECT_EQ(wiring::odd_even_split(in), (std::vector<WireId>{10, 12, 14, 11, 13, 15}));
+}
+
+TEST(Wiring, PermuteValidates) {
+  const std::vector<WireId> in{1, 2, 3};
+  EXPECT_THROW(wiring::permute(in, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(wiring::permute(in, {0, 1, 7}), std::invalid_argument);
+  EXPECT_EQ(wiring::permute(in, {2, 0, 1}), (std::vector<WireId>{3, 1, 2}));
+}
+
+}  // namespace
+}  // namespace absort::netlist

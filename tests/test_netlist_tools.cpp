@@ -1,0 +1,158 @@
+// Tests for the netlist tooling: structural validation, DOT export, fault
+// injection (the failure-injection arm of the test strategy), and the
+// levelized / parallel evaluator.
+
+#include <gtest/gtest.h>
+
+#include "absort/netlist/levelized.hpp"
+#include "absort/netlist/transform.hpp"
+#include "absort/sorters/muxmerge_sorter.hpp"
+#include "absort/sorters/prefix_sorter.hpp"
+#include "absort/util/rng.hpp"
+
+namespace absort::netlist {
+namespace {
+
+TEST(Validate, AcceptsEveryBuilderProducedSorter) {
+  for (std::size_t n : {4u, 16u, 64u}) {
+    EXPECT_NO_THROW(validate(sorters::PrefixSorter(n).build_circuit())) << n;
+    EXPECT_NO_THROW(validate(sorters::MuxMergeSorter(n).build_circuit())) << n;
+  }
+}
+
+TEST(ToDot, RendersSmallCircuit) {
+  Circuit c;
+  const auto a = c.input();
+  const auto b = c.input();
+  const auto [lo, hi] = c.comparator(a, b);
+  c.mark_output(lo);
+  c.mark_output(hi);
+  const auto dot = to_dot(c);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("Comparator"), std::string::npos);
+  EXPECT_NE(dot.find("y0"), std::string::npos);
+}
+
+TEST(ToDot, RefusesHugeCircuits) {
+  const auto c = sorters::MuxMergeSorter(1024).build_circuit();
+  EXPECT_THROW((void)to_dot(c, 100), std::invalid_argument);
+}
+
+TEST(Faults, ApplicabilityRules) {
+  Circuit c;
+  const auto a = c.input();
+  const auto b = c.input();
+  const auto s = c.input();
+  (void)c.switch2x2(a, b, s);          // component 3
+  (void)c.and_gate(a, b);              // component 4
+  EXPECT_TRUE(fault_applicable(c, {3, FaultKind::StuckControl0}));
+  EXPECT_TRUE(fault_applicable(c, {3, FaultKind::OutputsSwapped}));
+  EXPECT_FALSE(fault_applicable(c, {4, FaultKind::StuckControl0}));
+  EXPECT_FALSE(fault_applicable(c, {4, FaultKind::OutputsSwapped}));
+  EXPECT_FALSE(fault_applicable(c, {99, FaultKind::StuckControl0}));
+}
+
+TEST(Faults, StuckControlChangesSwitchBehaviour) {
+  Circuit c;
+  const auto a = c.input();
+  const auto b = c.input();
+  const auto s = c.input();
+  const auto [o0, o1] = c.switch2x2(a, b, s);
+  c.mark_output(o0);
+  c.mark_output(o1);
+  const BitVec crossed{1, 0, 1};
+  EXPECT_EQ(c.eval(crossed).str(), "01");
+  EXPECT_EQ(eval_with_fault(c, crossed, {3, FaultKind::StuckControl0}).str(), "10");
+  const BitVec straight{1, 0, 0};
+  EXPECT_EQ(eval_with_fault(c, straight, {3, FaultKind::StuckControl1}).str(), "01");
+}
+
+// The point of fault injection: a broken network must be *caught* by the
+// sortedness property.  For each sorter, every applicable single fault on a
+// steering element must produce at least one input whose output is unsorted
+// or loses packets (over an exhaustive input sweep at n = 8).
+template <typename Sorter>
+void expect_faults_detectable(std::size_t n, double min_detect_rate) {
+  Sorter s(n);
+  const auto c = s.build_circuit();
+  std::size_t applicable = 0, detected = 0;
+  for (std::size_t comp = 0; comp < c.num_components(); ++comp) {
+    for (FaultKind kind :
+         {FaultKind::StuckControl0, FaultKind::StuckControl1, FaultKind::OutputsSwapped}) {
+      const Fault f{comp, kind};
+      if (!fault_applicable(c, f)) continue;
+      ++applicable;
+      bool caught = false;
+      for (std::uint64_t x = 0; x < (std::uint64_t{1} << n) && !caught; ++x) {
+        const auto in = BitVec::from_bits_of(x, n);
+        const auto out = eval_with_fault(c, in, f);
+        caught = !out.is_sorted_ascending() || out.count_ones() != in.count_ones();
+      }
+      detected += caught ? 1u : 0u;
+    }
+  }
+  ASSERT_GT(applicable, 0u);
+  EXPECT_GE(static_cast<double>(detected), min_detect_rate * static_cast<double>(applicable))
+      << detected << "/" << applicable;
+}
+
+TEST(Faults, PrefixSorterFaultsAreDetected) {
+  // Steering faults in Network 1 (swapper controls) are all observable;
+  // OutputsSwapped on a demux-free datapath is too.
+  expect_faults_detectable<sorters::PrefixSorter>(8, 0.90);
+}
+
+TEST(Faults, MuxMergeSorterFaultsAreDetected) {
+  expect_faults_detectable<sorters::MuxMergeSorter>(8, 0.95);
+}
+
+// ----------------------------------------------------------- levelized
+
+TEST(Levelized, MatchesSequentialEvalExhaustively) {
+  for (std::size_t n : {8u, 16u}) {
+    sorters::MuxMergeSorter s(n);
+    auto base = s.build_circuit();
+    const LevelizedCircuit lev(base);
+    for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); x += 3) {
+      const auto in = BitVec::from_bits_of(x, n);
+      EXPECT_EQ(lev.eval(in), base.eval(in)) << in.str();
+    }
+  }
+}
+
+TEST(Levelized, LevelCountEqualsUnitDepthForUnitModels) {
+  // With every component one level, #levels-1 = max topological depth,
+  // which for comparator-only circuits equals the unit depth.
+  sorters::MuxMergeSorter s(64);
+  const LevelizedCircuit lev(s.build_circuit());
+  EXPECT_EQ(lev.num_levels() - 1, static_cast<std::size_t>(64 == 0 ? 0 : 36));  // lg^2 64 = 36
+}
+
+TEST(Levelized, ParallelMatchesSequential) {
+  sorters::PrefixSorter s(256);
+  const LevelizedCircuit lev(s.build_circuit());
+  Xoshiro256 rng(7);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto in = workload::random_bits(rng, 256);
+    const auto seq = lev.eval(in);
+    EXPECT_EQ(lev.eval_parallel(in, 4), seq);
+    EXPECT_EQ(lev.eval_parallel(in, 1), seq);
+  }
+}
+
+TEST(Levelized, ReportsWidths) {
+  sorters::MuxMergeSorter s(256);
+  const LevelizedCircuit lev(s.build_circuit());
+  EXPECT_GE(lev.max_level_width(), 256u);  // the input level alone is n wide
+  EXPECT_GT(lev.num_levels(), 1u);
+}
+
+TEST(Levelized, ChecksInputArity) {
+  sorters::MuxMergeSorter s(8);
+  const LevelizedCircuit lev(s.build_circuit());
+  EXPECT_THROW((void)lev.eval(BitVec::zeros(7)), std::invalid_argument);
+  EXPECT_THROW((void)lev.eval_parallel(BitVec::zeros(9), 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace absort::netlist

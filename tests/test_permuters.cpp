@@ -1,0 +1,207 @@
+// Tests for the permutation networks: the Benes baseline with the looping
+// algorithm, and the radix permuter built from binary sorters (Fig. 10,
+// experiments E-F10 / E-T2).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "absort/netlist/analyze.hpp"
+#include "absort/networks/benes.hpp"
+#include "absort/networks/radix_permuter.hpp"
+#include "absort/sorters/batcher_oem.hpp"
+#include "absort/sorters/fish_sorter.hpp"
+#include "absort/sorters/muxmerge_sorter.hpp"
+#include "absort/sorters/prefix_sorter.hpp"
+#include "absort/util/math.hpp"
+#include "absort/util/rng.hpp"
+
+namespace absort::networks {
+namespace {
+
+// Evaluates a Benes netlist on unary data to recover the realized
+// permutation: feeding a single 1 at input i must produce a 1 only at
+// output dest[i].
+void expect_benes_realizes(const BenesNetwork& net, const netlist::Circuit& circuit,
+                           const std::vector<std::size_t>& dest) {
+  const auto controls = net.compute_controls(dest);
+  const std::size_t n = net.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    BitVec in(n + controls.size());
+    in[i] = 1;
+    for (std::size_t c = 0; c < controls.size(); ++c) in[n + c] = controls[c];
+    const auto out = circuit.eval(in);
+    for (std::size_t o = 0; o < n; ++o) {
+      EXPECT_EQ(out[o], o == dest[i] ? 1 : 0) << "input " << i << " output " << o;
+    }
+  }
+}
+
+TEST(Benes, RealizesAllPermutationsOfEight) {
+  BenesNetwork net(8);
+  const auto circuit = net.build_circuit();
+  std::vector<std::size_t> dest(8);
+  std::iota(dest.begin(), dest.end(), 0);
+  do {
+    const auto controls = net.compute_controls(dest);
+    ASSERT_EQ(controls.size(), BenesNetwork::switch_count(8));
+    // Cheap full check: evaluate with distinct one-hot probes.
+    expect_benes_realizes(net, circuit, dest);
+  } while (std::next_permutation(dest.begin(), dest.end()));
+}
+
+TEST(Benes, RealizesRandomLargePermutations) {
+  Xoshiro256 rng(111);
+  for (std::size_t n : {16u, 64u, 256u}) {
+    BenesNetwork net(n);
+    const auto circuit = net.build_circuit();
+    for (int rep = 0; rep < 5; ++rep) {
+      const auto dest = workload::random_permutation(rng, n);
+      expect_benes_realizes(net, circuit, dest);
+    }
+  }
+}
+
+TEST(Benes, StructuralCounts) {
+  for (std::size_t n : {2u, 4u, 8u, 64u, 1024u}) {
+    BenesNetwork net(n);
+    const auto circuit = net.build_circuit();
+    const auto r = netlist::analyze_unit(circuit);
+    EXPECT_DOUBLE_EQ(r.cost, static_cast<double>(BenesNetwork::switch_count(n))) << n;
+    EXPECT_DOUBLE_EQ(r.depth, static_cast<double>(BenesNetwork::switch_stages(n))) << n;
+  }
+  EXPECT_EQ(BenesNetwork::switch_count(8), 20u);   // 4 * (2*3 - 1)
+  EXPECT_EQ(BenesNetwork::switch_stages(8), 5u);
+}
+
+TEST(Benes, RejectsNonPermutations) {
+  BenesNetwork net(8);
+  EXPECT_THROW((void)net.compute_controls({0, 0, 1, 2, 3, 4, 5, 6}), std::invalid_argument);
+  EXPECT_THROW((void)net.compute_controls({0, 1, 2}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- radix permuter
+
+struct Engine {
+  const char* label;
+  sorters::SorterFactory factory;
+};
+
+Engine muxmerge_engine() {
+  return {"muxmerge", [](std::size_t n) { return sorters::MuxMergeSorter::make(n); }};
+}
+Engine prefix_engine() {
+  return {"prefix", [](std::size_t n) { return sorters::PrefixSorter::make(n); }};
+}
+Engine batcher_engine() {
+  return {"batcher", [](std::size_t n) { return sorters::BatcherOemSorter::make(n); }};
+}
+// The fish sorter needs n >= 4; the innermost windows fall back to a
+// comparator-level sorter, exactly as a hardware realization would.
+Engine fish_engine() {
+  return {"fish", [](std::size_t n) -> std::unique_ptr<sorters::BinarySorter> {
+            if (n >= 8) return sorters::FishSorter::make(n);
+            return sorters::MuxMergeSorter::make(n);
+          }};
+}
+
+class RadixPermuterTest : public ::testing::TestWithParam<int> {};
+
+sorters::SorterFactory engine_for(int id) {
+  switch (id) {
+    case 0: return muxmerge_engine().factory;
+    case 1: return prefix_engine().factory;
+    case 2: return batcher_engine().factory;
+    default: return fish_engine().factory;
+  }
+}
+
+TEST_P(RadixPermuterTest, RealizesAllPermutationsOfEight) {
+  RadixPermuter rp(8, engine_for(GetParam()));
+  std::vector<std::size_t> dest(8);
+  std::iota(dest.begin(), dest.end(), 0);
+  do {
+    const auto perm = rp.route(dest);
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(perm[dest[i]], i);
+    }
+  } while (std::next_permutation(dest.begin(), dest.end()));
+}
+
+TEST_P(RadixPermuterTest, RealizesRandomLargePermutations) {
+  Xoshiro256 rng(113);
+  for (std::size_t n : {16u, 64u, 256u, 1024u}) {
+    RadixPermuter rp(n, engine_for(GetParam()));
+    for (int rep = 0; rep < 10; ++rep) {
+      const auto dest = workload::random_permutation(rng, n);
+      const auto perm = rp.route(dest);
+      for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(perm[dest[i]], i);
+    }
+  }
+}
+
+TEST_P(RadixPermuterTest, MovesPayloadsToDestinations) {
+  const std::size_t n = 64;
+  RadixPermuter rp(n, engine_for(GetParam()));
+  Xoshiro256 rng(127);
+  const auto dest = workload::random_permutation(rng, n);
+  std::vector<int> payload(n);
+  for (std::size_t i = 0; i < n; ++i) payload[i] = static_cast<int>(1000 + i);
+  const auto out = rp.permute_packets(dest, payload);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[dest[i]], payload[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, RadixPermuterTest, ::testing::Values(0, 1, 2, 3),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case 0: return "muxmerge";
+                             case 1: return "prefix";
+                             case 2: return "batcher";
+                             default: return "fish";
+                           }
+                         });
+
+TEST(RadixPermuter, RejectsNonPermutations) {
+  RadixPermuter rp(8, muxmerge_engine().factory);
+  EXPECT_THROW((void)rp.route({0, 0, 1, 2, 3, 4, 5, 6}), std::invalid_argument);
+  EXPECT_THROW((void)rp.route({0, 1}), std::invalid_argument);
+}
+
+TEST(RadixPermuter, CostScalesAsNLgNWithFishSorters) {
+  // eq. (26): O(n lg n) bit-level cost.  cost / (n lg n) must be bounded and
+  // non-increasing over a 16x size range.
+  const auto unit = netlist::CostModel::paper_unit();
+  const double c1 = RadixPermuter(1024, fish_engine().factory).cost_report(unit).cost;
+  const double c2 = RadixPermuter(16384, fish_engine().factory).cost_report(unit).cost;
+  const double r1 = c1 / (1024.0 * 10);
+  const double r2 = c2 / (16384.0 * 14);
+  EXPECT_LE(r2, r1 * 1.10);
+  EXPECT_LT(r2, 40.0);  // small constant, nothing like lg n
+}
+
+TEST(RadixPermuter, RoutingTimeScalesAsLgCubedWithFishSorters) {
+  const auto unit = netlist::CostModel::paper_unit();
+  for (std::size_t n : {256u, 1024u, 4096u}) {
+    const double t = RadixPermuter(n, fish_engine().factory).routing_time(unit);
+    const double lcube = lg(double(n)) * lg(double(n)) * lg(double(n));
+    EXPECT_LT(t, 8 * lcube) << n;
+  }
+}
+
+TEST(RadixPermuter, MuxMergeEngineCostHasExtraLgFactor) {
+  // O(n lg^2 n) vs O(n lg n): the mux-merger-based permuter must be costlier
+  // than the fish-based one by a factor that grows with n.
+  const auto unit = netlist::CostModel::paper_unit();
+  double prev_ratio = 0;
+  for (std::size_t n : {256u, 1024u, 4096u}) {
+    const double mm = RadixPermuter(n, muxmerge_engine().factory).cost_report(unit).cost;
+    const double fish = RadixPermuter(n, fish_engine().factory).cost_report(unit).cost;
+    const double ratio = mm / fish;
+    EXPECT_GT(ratio, prev_ratio) << n;
+    prev_ratio = ratio;
+  }
+}
+
+}  // namespace
+}  // namespace absort::networks

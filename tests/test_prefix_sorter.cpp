@@ -1,0 +1,171 @@
+// Tests for Network 1, the adaptive prefix binary sorter (Fig. 5):
+// exhaustive sorting, netlist == value simulation, routing, and the
+// structural cost assertions (experiment E-F5).
+
+#include <gtest/gtest.h>
+
+#include "absort/netlist/analyze.hpp"
+#include "absort/sorters/prefix_sorter.hpp"
+#include "absort/util/math.hpp"
+#include "absort/util/rng.hpp"
+
+namespace absort::sorters {
+namespace {
+
+class PrefixSorterExhaustiveTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PrefixSorterExhaustiveTest, SortsAllInputs) {
+  const std::size_t n = GetParam();
+  PrefixSorter s(n);
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x) {
+    const auto in = BitVec::from_bits_of(x, n);
+    const auto out = s.sort(in);
+    EXPECT_TRUE(out.is_sorted_ascending()) << in.str() << " -> " << out.str();
+    EXPECT_EQ(out.count_ones(), in.count_ones());
+  }
+}
+
+TEST_P(PrefixSorterExhaustiveTest, NetlistMatchesValueSimulation) {
+  const std::size_t n = GetParam();
+  PrefixSorter s(n);
+  const auto circuit = s.build_circuit();
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x) {
+    const auto in = BitVec::from_bits_of(x, n);
+    EXPECT_EQ(circuit.eval(in), s.sort(in)) << in.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PrefixSorterExhaustiveTest, ::testing::Values(2, 4, 8, 16));
+
+TEST(PrefixSorter, SortsRandomLargeInputsValueLevel) {
+  Xoshiro256 rng(31);
+  for (std::size_t n : {32u, 128u, 1024u, 4096u}) {
+    PrefixSorter s(n);
+    for (int rep = 0; rep < 25; ++rep) {
+      const auto in = workload::random_bits(rng, n);
+      const auto out = s.sort(in);
+      EXPECT_TRUE(out.is_sorted_ascending());
+      EXPECT_EQ(out.count_ones(), in.count_ones());
+    }
+  }
+}
+
+TEST(PrefixSorter, NetlistMatchesValueSimulationRandomLarge) {
+  Xoshiro256 rng(37);
+  for (std::size_t n : {32u, 64u, 128u}) {
+    PrefixSorter s(n);
+    const auto circuit = s.build_circuit();
+    for (int rep = 0; rep < 50; ++rep) {
+      const auto in = workload::random_bits(rng, n);
+      EXPECT_EQ(circuit.eval(in), s.sort(in));
+    }
+  }
+}
+
+TEST(PrefixSorter, SortsExtremeOnesCounts) {
+  // Every exact ones-count at one size: exercises all select-chain paths.
+  const std::size_t n = 64;
+  PrefixSorter s(n);
+  Xoshiro256 rng(41);
+  for (std::size_t ones = 0; ones <= n; ++ones) {
+    const auto in = workload::random_bits_with_ones(rng, n, ones);
+    const auto out = s.sort(in);
+    EXPECT_TRUE(out.is_sorted_ascending()) << "ones=" << ones;
+    EXPECT_EQ(out.count_ones(), ones);
+  }
+}
+
+TEST(PrefixSorter, RouteIsSortingPermutation) {
+  const std::size_t n = 32;
+  PrefixSorter s(n);
+  Xoshiro256 rng(43);
+  for (int rep = 0; rep < 100; ++rep) {
+    const auto tags = workload::random_bits(rng, n);
+    const auto perm = s.route(tags);
+    std::vector<bool> seen(n, false);
+    for (auto p : perm) {
+      ASSERT_LT(p, n);
+      EXPECT_FALSE(seen[p]);
+      seen[p] = true;
+    }
+    // Routing keeps 0-tagged packets ahead of 1-tagged packets.
+    BitVec routed(n);
+    for (std::size_t i = 0; i < n; ++i) routed[i] = tags[perm[i]];
+    EXPECT_TRUE(routed.is_sorted_ascending());
+  }
+}
+
+// ------------------------------------------------- structural (E-F5)
+
+TEST(PrefixSorter, UnitCostMatchesConstructionRecurrence) {
+  for (std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u, 256u}) {
+    PrefixSorter s(n);
+    const auto r = netlist::analyze_unit(s.build_circuit());
+    EXPECT_DOUBLE_EQ(r.cost, PrefixSorter::expected_unit_cost(n)) << n;
+  }
+}
+
+TEST(PrefixSorter, CostIsWithinConstantOfPaperClosedForm) {
+  // Paper: 3 n lg n + O(lg^2 n).  Our construction adds the adder/select
+  // logic (O(n) total), so cost / (n lg n) must approach 3 from above and
+  // stay below 3 + o(1) with a small slack.
+  for (std::size_t n : {64u, 256u, 1024u, 4096u}) {
+    const double ratio =
+        PrefixSorter::expected_unit_cost(n) / (static_cast<double>(n) * lg(double(n)));
+    EXPECT_GE(ratio, 3.0) << n;
+    EXPECT_LE(ratio, 3.0 + 24.0 / lg(static_cast<double>(n))) << n;  // 3 + O(1/lg n)
+  }
+}
+
+TEST(PrefixSorter, DepthWithinPaperBound) {
+  for (std::size_t n : {4u, 16u, 64u, 256u}) {
+    PrefixSorter s(n);
+    const auto r = netlist::analyze_unit(s.build_circuit());
+    EXPECT_LE(r.depth, PrefixSorter::expected_unit_depth(n) + 1) << n;
+    EXPECT_GE(r.depth, static_cast<double>(ilog2(n))) << n;
+  }
+}
+
+TEST(PrefixSorter, CostBeatsBatcherByGrowingFactor) {
+  // The headline claim: O(lg^2 n) cost advantage over Batcher's binary
+  // sorters -- the ratio Batcher/prefix must grow with n.
+  double prev = 0;
+  for (std::size_t n : {64u, 256u, 1024u, 4096u, 16384u}) {
+    const double batcher = static_cast<double>(n) * lg(double(n)) * lg(double(n)) / 4.0;
+    const double ratio = batcher / PrefixSorter::expected_unit_cost(n);
+    EXPECT_GT(ratio, prev);
+    prev = ratio;
+  }
+}
+
+TEST(PrefixSorter, RippleAdderVariantSortsAndMatchesSimulation) {
+  // The ablation variant must be functionally indistinguishable.
+  for (std::size_t n : {4u, 8u, 16u}) {
+    PrefixSorter s(n, PrefixSorter::AdderKind::Ripple);
+    const auto circuit = s.build_circuit();
+    for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x) {
+      const auto in = BitVec::from_bits_of(x, n);
+      EXPECT_TRUE(circuit.eval(in).is_sorted_ascending()) << in.str();
+      EXPECT_EQ(circuit.eval(in), s.sort(in)) << in.str();
+    }
+  }
+}
+
+TEST(PrefixSorter, RippleVariantIsCheaper) {
+  for (std::size_t n : {64u, 1024u}) {
+    const auto ks = netlist::analyze_unit(
+        PrefixSorter(n, PrefixSorter::AdderKind::KoggeStone).build_circuit());
+    const auto rp =
+        netlist::analyze_unit(PrefixSorter(n, PrefixSorter::AdderKind::Ripple).build_circuit());
+    EXPECT_LT(rp.cost, ks.cost) << n;
+  }
+}
+
+TEST(PrefixSorter, RejectsBadSizes) {
+  EXPECT_THROW(PrefixSorter(0), std::invalid_argument);
+  EXPECT_THROW(PrefixSorter(1), std::invalid_argument);
+  EXPECT_THROW(PrefixSorter(12), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace absort::sorters

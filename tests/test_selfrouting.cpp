@@ -1,0 +1,380 @@
+// Tests for the self-routing substrate: omega network, rank circuits, the
+// ranking concentrator of [11]/[13] style, the carrying netlist, and the
+// word-level radix sorter built from binary sorting steps.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+
+#include "absort/blocks/rank.hpp"
+#include "absort/netlist/analyze.hpp"
+#include "absort/networks/rank_concentrator.hpp"
+#include "absort/sorters/carrying.hpp"
+#include "absort/sorters/muxmerge_sorter.hpp"
+#include "absort/sorters/prefix_sorter.hpp"
+#include "absort/sorters/radix_wordsort.hpp"
+#include "absort/util/math.hpp"
+#include "absort/util/rng.hpp"
+
+namespace absort {
+namespace {
+
+// ----------------------------------------------------------------- omega
+
+TEST(Omega, SelfRoutesSingletons) {
+  // A single packet always reaches its destination (omega is a banyan:
+  // unique path, never blocked alone).
+  networks::OmegaNetwork net(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t d = 0; d < 16; ++d) {
+      std::vector<std::optional<std::size_t>> dest(16);
+      dest[i] = d;
+      const auto r = net.route(dest);
+      EXPECT_EQ(r.conflicts, 0u);
+      EXPECT_EQ(r.output_source[d], i) << i << "->" << d;
+    }
+  }
+}
+
+TEST(Omega, ReverseFlowSelfRoutesSingletons) {
+  networks::OmegaNetwork net(16, networks::OmegaFlow::Reverse);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t d = 0; d < 16; ++d) {
+      std::vector<std::optional<std::size_t>> dest(16);
+      dest[i] = d;
+      const auto r = net.route(dest);
+      EXPECT_EQ(r.conflicts, 0u);
+      EXPECT_EQ(r.output_source[d], i) << i << "->" << d;
+    }
+  }
+}
+
+TEST(Omega, IdentityAndShiftsRouteCleanly) {
+  // The identity and all cyclic shifts are classic omega-passable patterns.
+  networks::OmegaNetwork net(32);
+  for (std::size_t shift = 0; shift < 32; ++shift) {
+    std::vector<std::optional<std::size_t>> dest(32);
+    for (std::size_t i = 0; i < 32; ++i) dest[i] = (i + shift) % 32;
+    const auto r = net.route(dest);
+    EXPECT_EQ(r.conflicts, 0u) << "shift " << shift;
+    for (std::size_t i = 0; i < 32; ++i) EXPECT_EQ(r.output_source[(i + shift) % 32], i);
+  }
+}
+
+TEST(Omega, SomePermutationsBlock) {
+  // Omega is blocking: the bit-reversal permutation collides for n >= 8.
+  networks::OmegaNetwork net(8);
+  std::vector<std::optional<std::size_t>> dest(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    dest[i] = ((i & 1) << 2) | (i & 2) | ((i >> 2) & 1);
+  }
+  EXPECT_GT(net.route(dest).conflicts, 0u);
+  EXPECT_THROW((void)net.compute_controls(dest), std::invalid_argument);
+}
+
+TEST(Omega, ForwardOmegaBlocksOnSparseConcentration) {
+  // Why the concentrator needs the *reverse* flow: forward omega collides
+  // even on simple monotone compact traffic with gaps.
+  networks::OmegaNetwork net(16, networks::OmegaFlow::Forward);
+  std::vector<std::optional<std::size_t>> dest(16);
+  dest[0] = 0;
+  dest[2] = 1;
+  dest[4] = 2;
+  EXPECT_GT(net.route(dest).conflicts, 0u);
+}
+
+TEST(Omega, MonotoneCompactTrafficNeverBlocksExhaustive) {
+  // The property the rank concentrator relies on, checked exhaustively on
+  // the *reverse* (inverse banyan) flow: for every activity mask of 16
+  // inputs and every offset of the compact destination window, routing is
+  // conflict-free.
+  networks::OmegaNetwork net(16, networks::OmegaFlow::Reverse);
+  for (std::uint32_t mask = 0; mask < (1u << 16); mask += 7) {  // dense sample
+    const auto actives = static_cast<std::size_t>(__builtin_popcount(mask));
+    if (actives == 0) continue;
+    for (std::size_t offset : {std::size_t{0}, std::size_t{3}, 16 - actives}) {
+      if (offset + actives > 16) continue;
+      std::vector<std::optional<std::size_t>> dest(16);
+      std::size_t rank = 0;
+      for (std::size_t i = 0; i < 16; ++i) {
+        if ((mask >> i) & 1u) dest[i] = offset + rank++;
+      }
+      const auto r = net.route(dest);
+      EXPECT_EQ(r.conflicts, 0u) << "mask=" << mask << " offset=" << offset;
+    }
+  }
+}
+
+TEST(Omega, NetlistMatchesSelfRouting) {
+  networks::OmegaNetwork net(16, networks::OmegaFlow::Reverse);
+  const auto circuit = net.build_circuit();
+  Xoshiro256 rng(41);
+  for (int rep = 0; rep < 50; ++rep) {
+    // A random monotone compact pattern (so controls exist).
+    std::vector<std::optional<std::size_t>> dest(16);
+    std::size_t rank = 0;
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (rng.bit()) dest[i] = rank++;
+    }
+    if (rank == 0) continue;
+    const auto controls = net.compute_controls(dest);
+    // One-hot probes: input i's packet must surface at dest[i].
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (!dest[i]) continue;
+      BitVec in(16 + controls.size());
+      in[i] = 1;
+      for (std::size_t c = 0; c < controls.size(); ++c) in[16 + c] = controls[c];
+      const auto out = circuit.eval(in);
+      EXPECT_EQ(out[*dest[i]], 1) << i;
+    }
+  }
+}
+
+TEST(Omega, StructuralCounts) {
+  const auto r = netlist::analyze_unit(networks::OmegaNetwork(64).build_circuit());
+  EXPECT_DOUBLE_EQ(r.cost, 32.0 * 6);  // (n/2) lg n switches
+  EXPECT_DOUBLE_EQ(r.depth, 6.0);      // lg n stages
+}
+
+// ------------------------------------------------------------------ ranks
+
+TEST(RankCircuit, PrefixCountsExhaustive) {
+  for (std::size_t n : {2u, 4u, 8u, 16u}) {
+    netlist::Circuit c;
+    const auto bits = c.inputs(n);
+    for (const auto& cnt : blocks::prefix_counts(c, bits)) {
+      for (auto w : cnt) c.mark_output(w);
+    }
+    const std::size_t width = ilog2(n) + 1;
+    for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x) {
+      const auto in = BitVec::from_bits_of(x, n);
+      const auto out = c.eval(in);
+      std::size_t running = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::size_t got = 0;
+        for (std::size_t j = 0; j < width; ++j) {
+          got |= static_cast<std::size_t>(out[i * width + j]) << j;
+        }
+        EXPECT_EQ(got, running) << "x=" << x << " i=" << i;
+        running += in[i];
+      }
+    }
+  }
+}
+
+TEST(RankCircuit, PopulationCount) {
+  netlist::Circuit c;
+  const auto bits = c.inputs(8);
+  for (auto w : blocks::population_count(c, bits)) c.mark_output(w);
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    const auto in = BitVec::from_bits_of(x, 8);
+    const auto out = c.eval(in);
+    std::size_t got = 0;
+    for (std::size_t j = 0; j < out.size(); ++j) got |= static_cast<std::size_t>(out[j]) << j;
+    EXPECT_EQ(got, in.count_ones());
+  }
+}
+
+// ------------------------------------------------- ranking concentrator
+
+TEST(RankConcentrator, ExhaustiveMasks) {
+  networks::RankConcentrator con(16);
+  for (std::uint32_t mask = 0; mask < (1u << 16); mask += 3) {
+    std::vector<bool> active(16);
+    for (std::size_t i = 0; i < 16; ++i) active[i] = (mask >> i) & 1u;
+    const auto out = con.concentrate(active);
+    // Stable: the j-th concentrated output is the j-th active input.
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (active[i]) {
+        ASSERT_LT(j, out.size());
+        EXPECT_EQ(out[j], i) << "mask=" << mask;
+        ++j;
+      }
+    }
+    EXPECT_EQ(j, out.size());
+  }
+}
+
+TEST(RankConcentrator, CostIsNLgSquared) {
+  // Section IV: "The ranking tree-based constructions given in [11], [13],
+  // exact O(n lg^2 n) cost."  The ratio to n lg^2 n must be bounded; the
+  // ratio to n lg n must grow.
+  const auto unit = netlist::CostModel::paper_unit();
+  double prev_nlgn = 0;
+  for (std::size_t n : {64u, 256u, 1024u}) {
+    const double cost = networks::RankConcentrator(n).cost_report(unit).cost;
+    const double l = lg(double(n));
+    EXPECT_LT(cost / (double(n) * l * l), 8.0) << n;
+    const double nlgn = cost / (double(n) * l);
+    EXPECT_GT(nlgn, prev_nlgn) << n;
+    prev_nlgn = nlgn;
+  }
+}
+
+// ------------------------------------------------------ carrying netlist
+
+TEST(CarryingSorter, PayloadPlanesFollowTheTags) {
+  const std::size_t n = 16, w = 5;
+  netlist::Circuit c;
+  sorters::CarryingBundle in;
+  in.tags = c.inputs(n);
+  in.payload.resize(w);
+  for (auto& plane : in.payload) plane = c.inputs(n);
+  const auto out = sorters::build_carrying_muxmerge_sorter(c, in);
+  for (auto t : out.tags) c.mark_output(t);
+  for (const auto& plane : out.payload) {
+    for (auto p : plane) c.mark_output(p);
+  }
+
+  sorters::MuxMergeSorter model(n);
+  Xoshiro256 rng(43);
+  for (int rep = 0; rep < 200; ++rep) {
+    const auto tags = workload::random_bits(rng, n);
+    // Payload: each lane carries a distinct w-bit id.
+    std::vector<std::uint64_t> ids(n);
+    for (std::size_t i = 0; i < n; ++i) ids[i] = rng.below(1u << w);
+    BitVec input = tags;
+    for (std::size_t p = 0; p < w; ++p) {
+      for (std::size_t i = 0; i < n; ++i) {
+        input.push_back(static_cast<Bit>((ids[i] >> p) & 1u));
+      }
+    }
+    const auto result = c.eval(input);
+    // Tag plane equals the plain sorter.
+    const auto expect_tags = model.sort(tags);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(result[i], expect_tags[i]);
+    // Payload planes carry the ids exactly where carry() says.
+    const auto expect_ids = model.carry(tags, ids);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t got = 0;
+      for (std::size_t p = 0; p < w; ++p) {
+        got |= static_cast<std::uint64_t>(result[n + p * n + i]) << p;
+      }
+      EXPECT_EQ(got, expect_ids[i]) << "lane " << i;
+    }
+  }
+}
+
+TEST(CarryingSorter, PrefixSorterPayloadPlanesFollowTheTags) {
+  const std::size_t n = 16, w = 4;
+  netlist::Circuit c;
+  sorters::CarryingBundle in;
+  in.tags = c.inputs(n);
+  in.payload.resize(w);
+  for (auto& plane : in.payload) plane = c.inputs(n);
+  const auto out = sorters::build_carrying_prefix_sorter(c, in);
+  for (auto t : out.tags) c.mark_output(t);
+  for (const auto& plane : out.payload) {
+    for (auto p : plane) c.mark_output(p);
+  }
+
+  sorters::PrefixSorter model(n);
+  Xoshiro256 rng(45);
+  for (int rep = 0; rep < 200; ++rep) {
+    const auto tags = workload::random_bits(rng, n);
+    std::vector<std::uint64_t> ids(n);
+    for (std::size_t i = 0; i < n; ++i) ids[i] = rng.below(1u << w);
+    BitVec input = tags;
+    for (std::size_t p = 0; p < w; ++p) {
+      for (std::size_t i = 0; i < n; ++i) {
+        input.push_back(static_cast<Bit>((ids[i] >> p) & 1u));
+      }
+    }
+    const auto result = c.eval(input);
+    const auto expect_tags = model.sort(tags);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(result[i], expect_tags[i]);
+    const auto expect_ids = model.carry(tags, ids);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t got = 0;
+      for (std::size_t p = 0; p < w; ++p) {
+        got |= static_cast<std::uint64_t>(result[n + p * n + i]) << p;
+      }
+      EXPECT_EQ(got, expect_ids[i]) << "lane " << i;
+    }
+  }
+}
+
+TEST(CarryingSorter, CostScalesWithPayloadWidth) {
+  const auto unit = netlist::CostModel::paper_unit();
+  const auto cost_with = [&](std::size_t w) {
+    netlist::Circuit c;
+    sorters::CarryingBundle in;
+    in.tags = c.inputs(64);
+    in.payload.resize(w);
+    for (auto& plane : in.payload) plane = c.inputs(64);
+    const auto out = sorters::build_carrying_muxmerge_sorter(c, in);
+    for (auto t : out.tags) c.mark_output(t);
+    for (const auto& plane : out.payload) {
+      for (auto p : plane) c.mark_output(p);
+    }
+    return netlist::analyze(c, unit).cost;
+  };
+  const double c0 = cost_with(0), c1 = cost_with(1), c4 = cost_with(4);
+  EXPECT_GT(c1, c0);
+  // Each extra plane adds the same slave-switch increment.
+  EXPECT_NEAR(c4 - c1, 3 * (c1 - c0), 1e-9);
+}
+
+// ------------------------------------------------------- radix wordsort
+
+TEST(RadixWordSort, MatchesStableSort) {
+  sorters::RadixWordSorter s(64, 8);
+  Xoshiro256 rng(47);
+  for (int rep = 0; rep < 100; ++rep) {
+    std::vector<std::uint64_t> keys(64);
+    for (auto& k : keys) k = rng.below(256);
+    auto expect = keys;
+    std::stable_sort(expect.begin(), expect.end());
+    EXPECT_EQ(s.sort(keys), expect);
+  }
+}
+
+TEST(RadixWordSort, IsStable) {
+  sorters::RadixWordSorter s(16, 4);
+  Xoshiro256 rng(53);
+  for (int rep = 0; rep < 100; ++rep) {
+    std::vector<std::uint64_t> keys(16);
+    for (auto& k : keys) k = rng.below(4);  // heavy duplicates
+    const auto perm = s.route(keys);
+    // Stability: among equal keys, original order is preserved.
+    for (std::size_t i = 0; i + 1 < 16; ++i) {
+      if (keys[perm[i]] == keys[perm[i + 1]]) {
+        EXPECT_LT(perm[i], perm[i + 1]);
+      }
+    }
+  }
+}
+
+TEST(RadixWordSort, SingleBitEqualsBinarySorter) {
+  sorters::RadixWordSorter radix(32, 1);
+  sorters::MuxMergeSorter binary(32);
+  Xoshiro256 rng(59);
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto tags = workload::random_bits(rng, 32);
+    std::vector<std::uint64_t> keys(32);
+    for (std::size_t i = 0; i < 32; ++i) keys[i] = tags[i];
+    const auto sorted = radix.sort(keys);
+    const auto expect = binary.sort(tags);
+    for (std::size_t i = 0; i < 32; ++i) EXPECT_EQ(sorted[i], expect[i]);
+  }
+}
+
+TEST(RadixWordSort, ValidatesInput) {
+  sorters::RadixWordSorter s(8, 3);
+  EXPECT_THROW((void)s.sort(std::vector<std::uint64_t>(7)), std::invalid_argument);
+  EXPECT_THROW((void)s.sort(std::vector<std::uint64_t>(8, 9)), std::invalid_argument);
+  EXPECT_THROW(sorters::RadixWordSorter(12, 4), std::invalid_argument);
+  EXPECT_THROW(sorters::RadixWordSorter(8, 0), std::invalid_argument);
+}
+
+TEST(RadixWordSort, CostReportScalesWithBits) {
+  const auto unit = netlist::CostModel::paper_unit();
+  const double c4 = sorters::RadixWordSorter(64, 4).cost_report(unit).cost;
+  const double c8 = sorters::RadixWordSorter(64, 8).cost_report(unit).cost;
+  EXPECT_NEAR(c8, 2 * c4, 1e-9);
+}
+
+}  // namespace
+}  // namespace absort

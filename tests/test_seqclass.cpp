@@ -1,0 +1,200 @@
+// Tests for the paper's sequence classes (Definitions 1-5) and for
+// Theorems 1 and 2 as executable properties.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "absort/seqclass/seqclass.hpp"
+#include "absort/util/math.hpp"
+#include "absort/util/rng.hpp"
+
+namespace absort {
+namespace {
+
+using namespace seqclass;
+
+TEST(ClassA, PaperExamples) {
+  // "0000/1010, 00/1010/11, 101010/11, 00/0101/11, 11111111 are all elements
+  // of A_8."
+  EXPECT_TRUE(in_class_a(BitVec::parse("00001010")));
+  EXPECT_TRUE(in_class_a(BitVec::parse("00101011")));
+  EXPECT_TRUE(in_class_a(BitVec::parse("10101011")));
+  EXPECT_TRUE(in_class_a(BitVec::parse("00010111")));
+  EXPECT_TRUE(in_class_a(BitVec::parse("11111111")));
+}
+
+TEST(ClassA, NonMembers) {
+  EXPECT_FALSE(in_class_a(BitVec::parse("01000010")));  // 01-pair, clean run, 10-pair
+  EXPECT_FALSE(in_class_a(BitVec::parse("01001011")));
+  EXPECT_FALSE(in_class_a(BitVec::parse("110")));  // odd length
+  // but a clean pair *between* runs is fine: (00)(10)(00)(00) is a member
+  EXPECT_TRUE(in_class_a(BitVec::parse("00100000")));
+}
+
+TEST(ClassA, SortedSequencesAreMembers) {
+  // Remark after Definition 1: any sorted binary sequence belongs to A_n.
+  for (std::size_t n : {2u, 4u, 8u, 16u}) {
+    for (std::size_t ones = 0; ones <= n; ++ones) {
+      EXPECT_TRUE(in_class_a(BitVec::sorted_with_ones(n, ones)))
+          << "n=" << n << " ones=" << ones;
+    }
+  }
+}
+
+TEST(ClassA, EnumerationMatchesPredicateExhaustively) {
+  // For n = 8: enumerate all 2^8 sequences, check the predicate against
+  // membership in the enumerated set.
+  const auto members = enumerate_class_a(8);
+  std::set<std::string> set;
+  for (const auto& m : members) set.insert(m.str());
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    const auto v = BitVec::from_bits_of(x, 8);
+    EXPECT_EQ(in_class_a(v), set.count(v.str()) == 1) << v.str();
+  }
+}
+
+TEST(ClassA, EnumerationMatchesClosedForm) {
+  // |A_n| = n^2 - n + 2 exactly (see class_a_count's derivation).
+  for (std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    EXPECT_EQ(enumerate_class_a(n).size(), class_a_count(n)) << n;
+  }
+  EXPECT_EQ(class_a_count(2), 4u);    // all 2-bit strings
+  EXPECT_EQ(class_a_count(4), 14u);   // all but (01)(10) and (10)(01)
+  EXPECT_THROW((void)class_a_count(7), std::invalid_argument);
+}
+
+TEST(ClassA, LinearCheckerMatchesReferenceExhaustively) {
+  // The O(n) scanner and the O(n^2) split-search must agree on every
+  // sequence of length up to 16 (and on odd lengths).
+  for (std::size_t n : {2u, 4u, 6u, 8u, 10u, 12u, 16u}) {
+    for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x) {
+      const auto v = BitVec::from_bits_of(x, n);
+      ASSERT_EQ(in_class_a_linear(v), in_class_a(v)) << v.str();
+    }
+  }
+  EXPECT_FALSE(in_class_a_linear(BitVec::parse("110")));
+}
+
+TEST(ClassA, LinearCheckerOnLargeMembers) {
+  Xoshiro256 rng(77);
+  for (int rep = 0; rep < 200; ++rep) {
+    EXPECT_TRUE(in_class_a_linear(workload::random_class_a(rng, 1024)));
+    // A random sequence of that length is (overwhelmingly) not a member.
+    EXPECT_FALSE(in_class_a_linear(workload::random_bits(rng, 1024)));
+  }
+}
+
+TEST(CleanSorted, Basic) {
+  EXPECT_TRUE(is_clean_sorted(BitVec::parse("0000")));
+  EXPECT_TRUE(is_clean_sorted(BitVec::parse("111")));
+  EXPECT_FALSE(is_clean_sorted(BitVec::parse("0001")));
+  EXPECT_TRUE(is_clean_sorted(BitVec()));
+}
+
+TEST(Bisorted, Basic) {
+  EXPECT_TRUE(is_bisorted(BitVec::parse("00010001")));  // Example 3
+  EXPECT_TRUE(is_bisorted(BitVec::parse("0101")));
+  EXPECT_FALSE(is_bisorted(BitVec::parse("0110")));
+  EXPECT_FALSE(is_bisorted(BitVec::parse("1010")));
+  // halves of size 1 are trivially sorted
+  EXPECT_TRUE(is_bisorted(BitVec::parse("10")));
+}
+
+TEST(KSorted, Definition4Example) {
+  // "for k = 4, 1111/0001/0011/0111 is a 4-sorted sequence"
+  EXPECT_TRUE(is_k_sorted(BitVec::parse("1111000100110111"), 4));
+  EXPECT_FALSE(is_k_sorted(BitVec::parse("1111001000110111"), 4));
+}
+
+TEST(CleanKSorted, Definition5Example) {
+  // "for k = 4, 1111/0000/0000/1111 is a clean 4-sorted sequence"
+  EXPECT_TRUE(is_clean_k_sorted(BitVec::parse("1111000000001111"), 4));
+  EXPECT_FALSE(is_clean_k_sorted(BitVec::parse("1111000100110111"), 4));
+}
+
+TEST(Enumerators, BisortedCount) {
+  EXPECT_EQ(enumerate_bisorted(8).size(), 25u);  // (4+1)^2
+  for (const auto& v : enumerate_bisorted(8)) EXPECT_TRUE(is_bisorted(v));
+}
+
+TEST(Enumerators, KSortedCount) {
+  EXPECT_EQ(enumerate_k_sorted(8, 4).size(), 81u);  // (2+1)^4
+  for (const auto& v : enumerate_k_sorted(8, 4)) EXPECT_TRUE(is_k_sorted(v, 4));
+}
+
+// --------------------------------------------------------------------------
+// Theorem 1: the shuffle of the concatenation of two sorted halves is in A_n.
+// Exhaustive over all pairs of sorted halves for n up to 64.
+// --------------------------------------------------------------------------
+
+class Theorem1Test : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Theorem1Test, ShuffleOfSortedHalvesIsClassA) {
+  const std::size_t n = GetParam();
+  const std::size_t h = n / 2;
+  for (std::size_t u = 0; u <= h; ++u) {
+    for (std::size_t l = 0; l <= h; ++l) {
+      const auto x = theorem1_shuffle(BitVec::sorted_with_ones(h, u),
+                                      BitVec::sorted_with_ones(h, l));
+      EXPECT_TRUE(in_class_a(x)) << "n=" << n << " u=" << u << " l=" << l << " -> " << x.str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Theorem1Test, ::testing::Values(2, 4, 8, 16, 32, 64));
+
+TEST(Theorem1, PaperExample1) {
+  // Xu = 1111, XL = 0001 -> 10101011 in A_8.
+  const auto x = theorem1_shuffle(BitVec::parse("1111"), BitVec::parse("0001"));
+  EXPECT_EQ(x.str(2), "10/10/10/11");
+  EXPECT_TRUE(in_class_a(x));
+}
+
+// --------------------------------------------------------------------------
+// Theorem 2: after the mirrored comparator stage, one half is clean and the
+// other half is in A_{n/2}.  Exhaustive over every member of A_n.
+// --------------------------------------------------------------------------
+
+class Theorem2Test : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Theorem2Test, OneHalfCleanOtherClassA) {
+  const std::size_t n = GetParam();
+  for (const auto& z : enumerate_class_a(n)) {
+    const auto y = balanced_first_stage(z);
+    const auto yu = y.slice(0, n / 2);
+    const auto yl = y.slice(n / 2, n / 2);
+    const bool ok = (is_clean_sorted(yu) && in_class_a(yl)) ||
+                    (is_clean_sorted(yl) && in_class_a(yu));
+    EXPECT_TRUE(ok) << "z=" << z.str() << " y=" << y.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Theorem2Test, ::testing::Values(4, 8, 16, 32, 64));
+
+TEST(Theorem2, PaperExample2) {
+  // Z = 101010/11 -> Yu = 1000, Yl = 1111.
+  const auto y = balanced_first_stage(BitVec::parse("10101011"));
+  EXPECT_EQ(y.slice(0, 4).str(), "1000");
+  EXPECT_EQ(y.slice(4, 4).str(), "1111");
+}
+
+// Conservation: the mirrored stage permutes values (same multiset).
+TEST(Theorem2, StagePreservesOnesCount) {
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = workload::random_bits(rng, 32);
+    EXPECT_EQ(balanced_first_stage(v).count_ones(), v.count_ones());
+  }
+}
+
+// The theorem's precondition matters: the generator must produce members.
+TEST(Workload, RandomClassAIsMember) {
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(in_class_a(workload::random_class_a(rng, 32)));
+  }
+}
+
+}  // namespace
+}  // namespace absort

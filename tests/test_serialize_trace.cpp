@@ -1,0 +1,97 @@
+// Tests for netlist text serialization (round-trip fidelity) and the
+// model-B cycle tracer (VCD export).
+
+#include <gtest/gtest.h>
+
+#include "absort/netlist/serialize.hpp"
+#include "absort/sim/fish_hardware.hpp"
+#include "absort/sorters/muxmerge_sorter.hpp"
+#include "absort/sorters/prefix_sorter.hpp"
+#include "absort/util/rng.hpp"
+
+namespace absort {
+namespace {
+
+TEST(Serialize, RoundTripsSmallCircuit) {
+  netlist::Circuit c;
+  const auto a = c.input();
+  const auto b = c.input();
+  const auto s = c.input();
+  const auto [lo, hi] = c.comparator(a, b);
+  const auto [x, y] = c.switch2x2(lo, hi, s);
+  c.mark_output(c.xor_gate(x, y));
+  c.mark_output(c.constant(1));
+
+  const auto text = netlist::to_text(c);
+  const auto back = netlist::from_text(text);
+  EXPECT_EQ(netlist::to_text(back), text);  // canonical fixed point
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    const auto in = BitVec::from_bits_of(v, 3);
+    EXPECT_EQ(back.eval(in), c.eval(in)) << v;
+  }
+}
+
+TEST(Serialize, RoundTripsAdaptiveSorters) {
+  Xoshiro256 rng(61);
+  for (std::size_t n : {8u, 32u}) {
+    for (const auto* which : {"prefix", "muxmerge"}) {
+      const auto circuit = std::string(which) == "prefix"
+                               ? sorters::PrefixSorter(n).build_circuit()
+                               : sorters::MuxMergeSorter(n).build_circuit();
+      const auto back = netlist::from_text(netlist::to_text(circuit));
+      EXPECT_EQ(back.num_components(), circuit.num_components());
+      for (int rep = 0; rep < 25; ++rep) {
+        const auto in = workload::random_bits(rng, n);
+        EXPECT_EQ(back.eval(in), circuit.eval(in)) << which << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Serialize, RejectsGarbage) {
+  EXPECT_THROW((void)netlist::from_text(""), std::invalid_argument);
+  EXPECT_THROW((void)netlist::from_text("bogus header\n"), std::invalid_argument);
+  EXPECT_THROW((void)netlist::from_text("absort-netlist v1\nfrobnicate 1 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)netlist::from_text("absort-netlist v1\nnot 5\n"), std::invalid_argument);
+}
+
+TEST(Trace, RecordsAndExportsVcd) {
+  sim::Trace t({{"clk_phase", 1}, {"bus", 3}});
+  t.record(BitVec{1, 0, 1, 0});
+  t.record(BitVec{0, 0, 1, 0});  // only clk_phase changes
+  t.record(BitVec{0, 1, 1, 1});
+  const auto vcd = t.to_vcd("fish");
+  EXPECT_NE(vcd.find("$scope module fish"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 ! clk_phase"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 3 \" bus"), std::string::npos);
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+  EXPECT_NE(vcd.find("#2"), std::string::npos);
+  // Frame 1 must not re-emit the unchanged bus value.
+  const auto frame1 = vcd.substr(vcd.find("#1"), vcd.find("#2") - vcd.find("#1"));
+  EXPECT_EQ(frame1.find('b'), std::string::npos);
+}
+
+TEST(Trace, RejectsBadFrames) {
+  sim::Trace t({{"a", 2}});
+  EXPECT_THROW(t.record(BitVec{1}), std::invalid_argument);
+  EXPECT_THROW(sim::Trace({{"zero", 0}}), std::invalid_argument);
+}
+
+TEST(Trace, FishHardwareRecordsFullSchedule) {
+  sim::FishHardware hw(16, 4);
+  auto trace = hw.make_trace();
+  hw.attach_trace(&trace);
+  Xoshiro256 rng(67);
+  const auto in = workload::random_bits(rng, 16);
+  const auto out = hw.sort(in);
+  EXPECT_TRUE(out.is_sorted_ascending());
+  EXPECT_EQ(trace.num_frames(), hw.cycles_per_sort());
+  const auto vcd = trace.to_vcd();
+  EXPECT_NE(vcd.find("front_sel"), std::string::npos);
+  EXPECT_NE(vcd.find("level_active"), std::string::npos);
+  hw.attach_trace(nullptr);
+}
+
+}  // namespace
+}  // namespace absort

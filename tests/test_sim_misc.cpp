@@ -1,0 +1,82 @@
+// Tests for sim::Schedule, sim::ClockedCircuit basics, and the golden
+// netlist regression anchor.
+
+#include <gtest/gtest.h>
+
+#include "absort/netlist/serialize.hpp"
+#include "absort/sim/clock.hpp"
+#include "absort/sim/clocked_circuit.hpp"
+#include "absort/sorters/muxmerge_sorter.hpp"
+
+namespace absort {
+namespace {
+
+TEST(Schedule, CriticalPathIsMaxFinish) {
+  sim::Schedule s;
+  EXPECT_DOUBLE_EQ(s.critical_path(), 0.0);
+  EXPECT_DOUBLE_EQ(s.step("a", 0, 5), 5.0);
+  EXPECT_DOUBLE_EQ(s.step("b", 2, 10), 12.0);  // overlapping branch
+  EXPECT_DOUBLE_EQ(s.step("c", 5, 3), 8.0);
+  EXPECT_DOUBLE_EQ(s.critical_path(), 12.0);
+  ASSERT_EQ(s.steps().size(), 3u);
+  EXPECT_EQ(s.steps()[1].label, "b");
+  EXPECT_DOUBLE_EQ(s.steps()[1].start, 2.0);
+  EXPECT_DOUBLE_EQ(s.steps()[1].finish, 12.0);
+}
+
+TEST(ClockedCircuit, TwoBitCounter) {
+  // d0 = !q0; d1 = q1 XOR q0 -- a classic ripple counter built from the
+  // primitives, stepped eight times around.
+  netlist::Circuit c;
+  const auto q0 = c.input();
+  const auto q1 = c.input();
+  const auto d0 = c.not_gate(q0);
+  const auto d1 = c.xor_gate(q1, q0);
+  c.mark_output(q0);
+  c.mark_output(q1);
+  sim::ClockedCircuit cc(std::move(c), {}, {{0, d0, 0}, {1, d1, 0}});
+  int expect = 0;
+  for (int t = 0; t < 8; ++t) {
+    const auto out = cc.step(BitVec{});
+    EXPECT_EQ(out[0] + 2 * out[1], expect % 4) << t;
+    ++expect;
+  }
+  EXPECT_EQ(cc.cycles(), 8u);
+  cc.reset();
+  EXPECT_EQ(cc.cycles(), 0u);
+  EXPECT_EQ(cc.step(BitVec{}).str(), "00");
+}
+
+TEST(ClockedCircuit, ValidatesBindings) {
+  netlist::Circuit c;
+  const auto a = c.input();
+  c.mark_output(a);
+  // unclaimed input
+  EXPECT_THROW(sim::ClockedCircuit(c, {}, {}), std::invalid_argument);
+  // double claim
+  EXPECT_THROW(sim::ClockedCircuit(c, {0, 0}, {}), std::invalid_argument);
+  // bad register wire
+  EXPECT_THROW(sim::ClockedCircuit(c, {}, {{0, 99, 0}}), std::invalid_argument);
+}
+
+// Golden anchor: the serialized 8-input mux-merger netlist.  If a refactor
+// changes the construction (component order, pattern tables, counts), this
+// fails loudly and the golden text below must be consciously regenerated
+// with `absort_cli save mux-merger 8`.
+TEST(Golden, MuxMergeSorter8IsStable) {
+  const auto c = sorters::MuxMergeSorter(8).build_circuit();
+  const auto text = netlist::to_text(c);
+  // Structural fingerprint rather than full text: counts + pattern tables.
+  // C(8) = 47 units = 7 comparators + 10 four-way switches (4 units each).
+  EXPECT_EQ(c.num_components(), 8u /*inputs*/ + 7u /*comparators*/ + 10u /*switch4x4*/);
+  const auto inv = c.inventory();
+  EXPECT_EQ(inv[static_cast<std::size_t>(netlist::Kind::Comparator)], 7u);
+  EXPECT_EQ(inv[static_cast<std::size_t>(netlist::Kind::Switch4x4)], 10u);
+  EXPECT_NE(text.find("swap4 0 0 2 1 3 0 3 1 2 2 1 3 0 1 3 0 2"), std::string::npos)
+      << "IN-SWAP pattern table changed";
+  EXPECT_NE(text.find("swap4 1 0 1 2 3 0 2 3 1 0 2 3 1 2 3 0 1"), std::string::npos)
+      << "OUT-SWAP pattern table changed";
+}
+
+}  // namespace
+}  // namespace absort

@@ -1,0 +1,154 @@
+// Sorter-agnostic property suite: every sorting network in the library must
+// satisfy the same contract.  Parameterized over (sorter family, size).
+//
+// Properties:
+//  P1  output = 0^(n-c) 1^c where c = count of ones (full functional spec)
+//  P2  route() is a permutation (no packet lost or duplicated)
+//  P3  idempotence: sorting a sorted sequence leaves it sorted
+//  P4  monotonicity under bit flips 0->1: flipping any input bit to 1 never
+//      decreases any output position's value (a known sorting-network
+//      property on binary inputs)
+//  P5  combinational sorters: netlist output == value simulation
+//  P6  cost/depth positive and consistent between the two cost models
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "absort/netlist/analyze.hpp"
+#include "absort/sorters/alt_oem.hpp"
+#include "absort/sorters/batcher_oem.hpp"
+#include "absort/sorters/bitonic.hpp"
+#include "absort/sorters/columnsort.hpp"
+#include "absort/sorters/fish_sorter.hpp"
+#include "absort/sorters/hybrid_oem.hpp"
+#include "absort/sorters/muxmerge_sorter.hpp"
+#include "absort/sorters/periodic_balanced.hpp"
+#include "absort/sorters/prefix_sorter.hpp"
+#include "absort/util/rng.hpp"
+
+namespace absort::sorters {
+namespace {
+
+struct Family {
+  const char* label;
+  std::function<std::unique_ptr<BinarySorter>(std::size_t)> make;
+};
+
+const Family kFamilies[] = {
+    {"batcher", [](std::size_t n) { return BatcherOemSorter::make(n); }},
+    {"bitonic", [](std::size_t n) { return BitonicSorter::make(n); }},
+    {"alt_oem", [](std::size_t n) { return AltOemSorter::make(n); }},
+    {"periodic", [](std::size_t n) { return PeriodicBalancedSorter::make(n); }},
+    {"prefix", [](std::size_t n) { return PrefixSorter::make(n); }},
+    {"muxmerge", [](std::size_t n) { return MuxMergeSorter::make(n); }},
+    {"fish", [](std::size_t n) { return FishSorter::make(n); }},
+    {"columnsort", [](std::size_t n) { return ColumnsortSorter::make(n); }},
+    {"hybrid_oem", [](std::size_t n) { return std::make_unique<HybridOemSorter>(n, 4); }},
+};
+
+class SorterContractTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+ protected:
+  std::unique_ptr<BinarySorter> sorter() const {
+    return kFamilies[std::get<0>(GetParam())].make(std::get<1>(GetParam()));
+  }
+};
+
+TEST_P(SorterContractTest, P1_OutputIsCanonicalSortedForm) {
+  const auto s = sorter();
+  const std::size_t n = s->size();
+  Xoshiro256 rng(n + 1);
+  for (int rep = 0; rep < 40; ++rep) {
+    const auto in = workload::random_bits(rng, n);
+    EXPECT_EQ(s->sort(in), BitVec::sorted_with_ones(n, in.count_ones()));
+  }
+  // boundary counts
+  for (std::size_t ones : {std::size_t{0}, std::size_t{1}, n / 2, n - 1, n}) {
+    const auto in = workload::random_bits_with_ones(rng, n, ones);
+    EXPECT_EQ(s->sort(in), BitVec::sorted_with_ones(n, ones));
+  }
+}
+
+TEST_P(SorterContractTest, P2_RouteIsPermutation) {
+  const auto s = sorter();
+  const std::size_t n = s->size();
+  Xoshiro256 rng(n + 2);
+  for (int rep = 0; rep < 25; ++rep) {
+    const auto perm = s->route(workload::random_bits(rng, n));
+    std::vector<bool> seen(n, false);
+    for (auto p : perm) {
+      ASSERT_LT(p, n);
+      ASSERT_FALSE(seen[p]);
+      seen[p] = true;
+    }
+  }
+}
+
+TEST_P(SorterContractTest, P3_Idempotence) {
+  const auto s = sorter();
+  const std::size_t n = s->size();
+  for (std::size_t ones = 0; ones <= n; ones += std::max<std::size_t>(1, n / 16)) {
+    const auto sorted = BitVec::sorted_with_ones(n, ones);
+    EXPECT_EQ(s->sort(sorted), sorted) << ones;
+  }
+}
+
+TEST_P(SorterContractTest, P4_MonotoneUnderBitRaise) {
+  const auto s = sorter();
+  const std::size_t n = s->size();
+  Xoshiro256 rng(n + 3);
+  for (int rep = 0; rep < 10; ++rep) {
+    auto in = workload::random_bits(rng, n);
+    const auto base = s->sort(in);
+    const std::size_t flip = rng.below(n);
+    if (in[flip] == 1) continue;
+    in[flip] = 1;
+    const auto raised = s->sort(in);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_GE(raised[i], base[i]) << "position " << i;
+    }
+  }
+}
+
+TEST_P(SorterContractTest, P5_NetlistAgreesWithSimulation) {
+  const auto s = sorter();
+  if (!s->is_combinational()) GTEST_SKIP() << "model-B network, no single circuit";
+  const std::size_t n = s->size();
+  if (n > 256) GTEST_SKIP() << "netlist too large for this sweep";
+  const auto c = s->build_circuit();
+  Xoshiro256 rng(n + 4);
+  for (int rep = 0; rep < 25; ++rep) {
+    const auto in = workload::random_bits(rng, n);
+    EXPECT_EQ(c.eval(in), s->sort(in));
+  }
+}
+
+TEST_P(SorterContractTest, P6_CostModelsConsistent) {
+  const auto s = sorter();
+  const auto unit = s->cost_report(netlist::CostModel::paper_unit());
+  const auto gate = s->cost_report(netlist::CostModel::gate_level());
+  EXPECT_GT(unit.cost, 0);
+  EXPECT_GT(unit.depth, 0);
+  // Gate-level can only be costlier than unit accounting.
+  EXPECT_GE(gate.cost, unit.cost);
+  EXPECT_GE(gate.depth, unit.depth);
+  // And by at most the largest per-component expansion factor (36/4 = 9).
+  EXPECT_LE(gate.cost, 9 * unit.cost);
+}
+
+std::string param_name(const ::testing::TestParamInfo<std::tuple<std::size_t, std::size_t>>& i) {
+  return std::string(kFamilies[std::get<0>(i.param)].label) + "_n" +
+         std::to_string(std::get<1>(i.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, SorterContractTest,
+                         ::testing::Combine(::testing::Range<std::size_t>(0, 9),
+                                            ::testing::Values(std::size_t{16}, std::size_t{64},
+                                                              std::size_t{256},
+                                                              std::size_t{1024})),
+                         param_name);
+
+}  // namespace
+}  // namespace absort::sorters

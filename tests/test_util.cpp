@@ -1,0 +1,161 @@
+// Unit tests for util: math helpers, BitVec, the PRNG, workload generators.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "absort/util/bitvec.hpp"
+#include "absort/util/math.hpp"
+#include "absort/util/rng.hpp"
+
+namespace absort {
+namespace {
+
+TEST(Math, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(4));
+  EXPECT_FALSE(is_pow2(6));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(1023));
+}
+
+TEST(Math, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0u);
+  EXPECT_EQ(ilog2(2), 1u);
+  EXPECT_EQ(ilog2(3), 1u);
+  EXPECT_EQ(ilog2(4), 2u);
+  EXPECT_EQ(ilog2(1024), 10u);
+}
+
+TEST(Math, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+}
+
+TEST(Math, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(4), 4u);
+  EXPECT_EQ(next_pow2(5), 8u);
+}
+
+TEST(Math, RequirePow2Throws) {
+  EXPECT_NO_THROW(require_pow2(8, 2, "t"));
+  EXPECT_THROW(require_pow2(6, 2, "t"), std::invalid_argument);
+  EXPECT_THROW(require_pow2(2, 4, "t"), std::invalid_argument);
+}
+
+TEST(BitVec, ParseIgnoresSeparators) {
+  const auto v = BitVec::parse("1010/11 0_1");
+  EXPECT_EQ(v.str(), "10101101");
+}
+
+TEST(BitVec, StrGrouping) {
+  const auto v = BitVec::parse("10101011");
+  EXPECT_EQ(v.str(2), "10/10/10/11");
+}
+
+TEST(BitVec, SortedWithOnes) {
+  EXPECT_EQ(BitVec::sorted_with_ones(4, 0).str(), "0000");
+  EXPECT_EQ(BitVec::sorted_with_ones(4, 2).str(), "0011");
+  EXPECT_EQ(BitVec::sorted_with_ones(4, 4).str(), "1111");
+  EXPECT_THROW(BitVec::sorted_with_ones(4, 5), std::invalid_argument);
+}
+
+TEST(BitVec, FromBitsOf) {
+  EXPECT_EQ(BitVec::from_bits_of(0b1101, 4).str(), "1011");  // little-endian
+  EXPECT_EQ(BitVec::from_bits_of(0, 3).str(), "000");
+}
+
+TEST(BitVec, CountAndSorted) {
+  const auto v = BitVec::parse("00101");
+  EXPECT_EQ(v.count_ones(), 2u);
+  EXPECT_EQ(v.count_zeros(), 3u);
+  EXPECT_FALSE(v.is_sorted_ascending());
+  EXPECT_TRUE(BitVec::parse("000111").is_sorted_ascending());
+  EXPECT_TRUE(BitVec::parse("0000").is_sorted_ascending());
+  EXPECT_TRUE(BitVec().is_sorted_ascending());
+}
+
+TEST(BitVec, SliceConcat) {
+  const auto v = BitVec::parse("10110");
+  EXPECT_EQ(v.slice(1, 3).str(), "011");
+  EXPECT_EQ(v.slice(0, 2).concat(v.slice(2, 3)), v);
+  EXPECT_THROW(v.slice(3, 3), std::out_of_range);
+}
+
+TEST(BitVec, Shuffle2) {
+  EXPECT_EQ(BitVec::parse("0011").shuffle2().str(), "0101");
+  EXPECT_EQ(BitVec::parse("11110001").shuffle2().str(), "10101011");  // Example 1 of the paper
+}
+
+TEST(BitVec, Reversed) { EXPECT_EQ(BitVec::parse("100").reversed().str(), "001"); }
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, BelowInRange) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+}
+
+TEST(Workload, RandomBitsWithOnes) {
+  Xoshiro256 rng(7);
+  for (std::size_t ones = 0; ones <= 16; ++ones) {
+    const auto v = workload::random_bits_with_ones(rng, 16, ones);
+    EXPECT_EQ(v.size(), 16u);
+    EXPECT_EQ(v.count_ones(), ones);
+  }
+}
+
+TEST(Workload, RandomPermutationIsPermutation) {
+  Xoshiro256 rng(9);
+  const auto p = workload::random_permutation(rng, 64);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 64u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 63u);
+}
+
+TEST(Workload, BisortedGenerator) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const auto v = workload::random_bisorted(rng, 16);
+    EXPECT_TRUE(v.slice(0, 8).is_sorted_ascending());
+    EXPECT_TRUE(v.slice(8, 8).is_sorted_ascending());
+  }
+}
+
+TEST(Workload, KSortedGenerator) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 50; ++i) {
+    const auto v = workload::random_k_sorted(rng, 16, 4);
+    for (std::size_t b = 0; b < 4; ++b) {
+      EXPECT_TRUE(v.slice(b * 4, 4).is_sorted_ascending());
+    }
+  }
+}
+
+TEST(Workload, CleanKSortedGenerator) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 50; ++i) {
+    const auto v = workload::random_clean_k_sorted(rng, 16, 4);
+    for (std::size_t b = 0; b < 4; ++b) {
+      const auto blk = v.slice(b * 4, 4);
+      EXPECT_TRUE(blk == BitVec::zeros(4) || blk == BitVec::ones(4));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace absort

@@ -1,0 +1,242 @@
+// absort_cli -- command-line front end to the library.
+//
+//   absort_cli list
+//   absort_cli report <network> <n>        cost/depth/time + component inventory
+//   absort_cli sort   <network> <n> [bits] sort a 0/1 string (random if omitted)
+//   absort_cli dot    <network> <n>        Graphviz netlist to stdout
+//   absort_cli save   <network> <n>        text netlist to stdout (round-trippable)
+//   absort_cli vcd    <n> <k>              fish-hardware waveform of one sort (VCD)
+//   absort_cli verify <network> <n> [reps] randomized verification
+//   absort_cli activity <network> <n>      steering-element activity on random inputs
+//   absort_cli optimize <network> <n>      optimizer savings report
+//   absort_cli table2 <n>                  the paper's Table II at size n
+//
+// Networks: batcher, bitonic, alt-oem, periodic, oe-transposition, prefix,
+//           mux-merger, fish, columnsort.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "absort/analysis/activity.hpp"
+#include "absort/analysis/tables.hpp"
+#include "absort/netlist/optimize.hpp"
+#include "absort/netlist/analyze.hpp"
+#include "absort/netlist/serialize.hpp"
+#include "absort/netlist/transform.hpp"
+#include "absort/sim/fish_hardware.hpp"
+#include "absort/sorters/alt_oem.hpp"
+#include "absort/sorters/batcher_oem.hpp"
+#include "absort/sorters/bitonic.hpp"
+#include "absort/sorters/columnsort.hpp"
+#include "absort/sorters/fish_sorter.hpp"
+#include "absort/sorters/hybrid_oem.hpp"
+#include "absort/sorters/muxmerge_sorter.hpp"
+#include "absort/sorters/periodic_balanced.hpp"
+#include "absort/sorters/prefix_sorter.hpp"
+#include "absort/util/rng.hpp"
+
+using namespace absort;
+
+namespace {
+
+std::unique_ptr<sorters::BinarySorter> make_network(const std::string& name, std::size_t n) {
+  if (name == "batcher") return sorters::BatcherOemSorter::make(n);
+  if (name == "bitonic") return sorters::BitonicSorter::make(n);
+  if (name == "alt-oem") return sorters::AltOemSorter::make(n);
+  if (name == "periodic") return sorters::PeriodicBalancedSorter::make(n);
+  if (name == "oe-transposition") return sorters::OddEvenTranspositionSorter::make(n);
+  if (name == "prefix") return sorters::PrefixSorter::make(n);
+  if (name == "mux-merger") return sorters::MuxMergeSorter::make(n);
+  if (name == "fish") return sorters::FishSorter::make(n);
+  if (name == "hybrid-oem") return sorters::HybridOemSorter::make(n);
+  if (name == "columnsort") return sorters::ColumnsortSorter::make(n);
+  return nullptr;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s list\n"
+               "  %s report <network> <n>\n"
+               "  %s sort <network> <n> [bitstring]\n"
+               "  %s dot <network> <n>\n"
+               "  %s save <network> <n>\n"
+               "  %s vcd <n> <k>\n"
+               "  %s verify <network> <n> [reps]\n"
+               "  %s activity <network> <n>\n"
+               "  %s optimize <network> <n>\n"
+               "  %s table2 <n>\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+  return 1;
+}
+
+int cmd_list() {
+  std::puts("batcher           Batcher odd-even merge network (Fig. 4a)");
+  std::puts("bitonic           Batcher bitonic sorter");
+  std::puts("alt-oem           alternative OEM with balanced merging blocks (Fig. 4b)");
+  std::puts("periodic          periodic balanced sorting network [8],[9]");
+  std::puts("oe-transposition  odd-even transposition (brick wall)");
+  std::puts("prefix            Network 1: adaptive prefix binary sorter (Fig. 5)");
+  std::puts("mux-merger        Network 2: mux-merger binary sorter (Fig. 6)");
+  std::puts("fish              Network 3: time-multiplexed fish sorter (Fig. 7)");
+  std::puts("hybrid-oem        Batcher blocks + balanced merge tree (III.A exercise)");
+  std::puts("columnsort        Leighton columnsort (time-multiplexed baseline)");
+  return 0;
+}
+
+int cmd_report(const std::string& name, std::size_t n) {
+  const auto net = make_network(name, n);
+  if (!net) return 1;
+  for (const auto& model :
+       {netlist::CostModel::paper_unit(), netlist::CostModel::gate_level()}) {
+    const auto r = net->cost_report(model);
+    std::printf("[%s] cost %.0f  depth %.0f  sorting time %.0f\n", model.name.c_str(), r.cost,
+                r.depth, net->sorting_time(model));
+    std::printf("  %s\n", netlist::summarize(r).c_str());
+  }
+  if (auto* fish = dynamic_cast<const sorters::FishSorter*>(net.get())) {
+    const auto t = fish->timing();
+    std::printf("model B timing: front %g/%g (unpiped/piped), merge %g/%g, total %g/%g\n",
+                t.front_unpipelined, t.front_pipelined, t.merge_unpipelined, t.merge,
+                t.total_unpipelined, t.total_pipelined);
+  }
+  return 0;
+}
+
+int cmd_sort(const std::string& name, std::size_t n, const char* bits) {
+  const auto net = make_network(name, n);
+  if (!net) return 1;
+  BitVec in;
+  if (bits) {
+    in = BitVec::parse(bits);
+    if (in.size() != n) {
+      std::fprintf(stderr, "bitstring has %zu bits, expected %zu\n", in.size(), n);
+      return 1;
+    }
+  } else {
+    Xoshiro256 rng(0xC0FFEE);
+    in = workload::random_bits(rng, n);
+  }
+  const auto out = net->sort(in);
+  std::printf("in : %s\nout: %s  (%s)\n", in.str().c_str(), out.str().c_str(),
+              out.is_sorted_ascending() ? "sorted" : "NOT SORTED");
+  return out.is_sorted_ascending() ? 0 : 2;
+}
+
+int cmd_dot(const std::string& name, std::size_t n) {
+  const auto net = make_network(name, n);
+  if (!net) return 1;
+  if (!net->is_combinational()) {
+    std::fprintf(stderr, "%s is a model-B (time-multiplexed) network; no single circuit\n",
+                 name.c_str());
+    return 1;
+  }
+  std::fputs(netlist::to_dot(net->build_circuit()).c_str(), stdout);
+  return 0;
+}
+
+int cmd_verify(const std::string& name, std::size_t n, std::size_t reps) {
+  const auto net = make_network(name, n);
+  if (!net) return 1;
+  Xoshiro256 rng(1);
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < reps; ++i) {
+    const auto in = workload::random_bits(rng, n);
+    const auto out = net->sort(in);
+    if (!out.is_sorted_ascending() || out.count_ones() != in.count_ones()) {
+      ++bad;
+      std::printf("FAIL: %s -> %s\n", in.str().c_str(), out.str().c_str());
+    }
+  }
+  std::printf("%zu/%zu random inputs sorted correctly\n", reps - bad, reps);
+  return bad == 0 ? 0 : 2;
+}
+
+int cmd_table2(std::size_t n) {
+  std::fputs(analysis::render_table2(analysis::table2(n), n).c_str(), stdout);
+  return 0;
+}
+
+int cmd_save(const std::string& name, std::size_t n) {
+  const auto net = make_network(name, n);
+  if (!net) return 1;
+  if (!net->is_combinational()) {
+    std::fprintf(stderr, "%s is a model-B network; no single circuit to save\n", name.c_str());
+    return 1;
+  }
+  std::fputs(netlist::to_text(net->build_circuit()).c_str(), stdout);
+  return 0;
+}
+
+int cmd_activity(const std::string& name, std::size_t n) {
+  const auto net = make_network(name, n);
+  if (!net) return 1;
+  if (!net->is_combinational()) {
+    std::fprintf(stderr, "%s is a model-B network\n", name.c_str());
+    return 1;
+  }
+  Xoshiro256 rng(2);
+  const auto r = analysis::measure_activity(net->build_circuit(), rng, 200);
+  std::printf("steering activity over 200 uniform inputs: %.3f\n", r.steering_activity());
+  return 0;
+}
+
+int cmd_optimize(const std::string& name, std::size_t n) {
+  const auto net = make_network(name, n);
+  if (!net) return 1;
+  if (!net->is_combinational()) {
+    std::fprintf(stderr, "%s is a model-B network\n", name.c_str());
+    return 1;
+  }
+  netlist::OptimizeStats st;
+  (void)netlist::optimize(net->build_circuit(), &st);
+  std::printf("components %zu -> %zu (folded %zu, dead %zu, %.1f%% saved)\n", st.before,
+              st.after, st.folded, st.dead,
+              st.before ? 100.0 * (1.0 - double(st.after) / double(st.before)) : 0.0);
+  return 0;
+}
+
+int cmd_vcd(std::size_t n, std::size_t k) {
+  sim::FishHardware hw(n, k);
+  auto trace = hw.make_trace();
+  hw.attach_trace(&trace);
+  Xoshiro256 rng(0xF15E);
+  (void)hw.sort(workload::random_bits(rng, n));
+  std::fputs(trace.to_vcd("fish_sorter").c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "table2" && argc >= 3) {
+      return cmd_table2(std::strtoull(argv[2], nullptr, 10));
+    }
+    if (argc < 4) return usage(argv[0]);
+    const std::string name = argv[2];
+    const std::size_t n = std::strtoull(argv[3], nullptr, 10);
+    if (cmd == "vcd") {
+      return cmd_vcd(std::strtoull(argv[2], nullptr, 10), std::strtoull(argv[3], nullptr, 10));
+    }
+    if (cmd == "report") return cmd_report(name, n);
+    if (cmd == "sort") return cmd_sort(name, n, argc > 4 ? argv[4] : nullptr);
+    if (cmd == "dot") return cmd_dot(name, n);
+    if (cmd == "save") return cmd_save(name, n);
+    if (cmd == "activity") return cmd_activity(name, n);
+    if (cmd == "optimize") return cmd_optimize(name, n);
+    if (cmd == "verify") {
+      return cmd_verify(name, n, argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1000);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage(argv[0]);
+}
