@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_columnsort.dir/bench_columnsort.cpp.o"
+  "CMakeFiles/bench_columnsort.dir/bench_columnsort.cpp.o.d"
+  "bench_columnsort"
+  "bench_columnsort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_columnsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_concentrator.dir/bench_concentrator.cpp.o"
+  "CMakeFiles/bench_concentrator.dir/bench_concentrator.cpp.o.d"
+  "bench_concentrator"
+  "bench_concentrator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concentrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

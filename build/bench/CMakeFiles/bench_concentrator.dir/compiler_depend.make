@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_concentrator.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_oem.dir/bench_fig4_oem.cpp.o"
+  "CMakeFiles/bench_fig4_oem.dir/bench_fig4_oem.cpp.o.d"
+  "bench_fig4_oem"
+  "bench_fig4_oem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_oem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_muxmerge.dir/bench_fig6_muxmerge.cpp.o"
+  "CMakeFiles/bench_fig6_muxmerge.dir/bench_fig6_muxmerge.cpp.o.d"
+  "bench_fig6_muxmerge"
+  "bench_fig6_muxmerge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_muxmerge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

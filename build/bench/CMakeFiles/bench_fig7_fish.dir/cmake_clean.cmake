@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_fish.dir/bench_fig7_fish.cpp.o"
+  "CMakeFiles/bench_fig7_fish.dir/bench_fig7_fish.cpp.o.d"
+  "bench_fig7_fish"
+  "bench_fig7_fish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_fish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

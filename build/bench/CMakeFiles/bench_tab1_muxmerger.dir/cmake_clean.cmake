@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_muxmerger.dir/bench_tab1_muxmerger.cpp.o"
+  "CMakeFiles/bench_tab1_muxmerger.dir/bench_tab1_muxmerger.cpp.o.d"
+  "bench_tab1_muxmerger"
+  "bench_tab1_muxmerger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_muxmerger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

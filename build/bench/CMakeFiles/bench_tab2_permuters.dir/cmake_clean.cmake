@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_permuters.dir/bench_tab2_permuters.cpp.o"
+  "CMakeFiles/bench_tab2_permuters.dir/bench_tab2_permuters.cpp.o.d"
+  "bench_tab2_permuters"
+  "bench_tab2_permuters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_permuters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

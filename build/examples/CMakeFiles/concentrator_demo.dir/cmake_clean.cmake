@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concentrator_demo.dir/concentrator_demo.cpp.o"
+  "CMakeFiles/concentrator_demo.dir/concentrator_demo.cpp.o.d"
+  "concentrator_demo"
+  "concentrator_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concentrator_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/permutation_router.dir/permutation_router.cpp.o"
+  "CMakeFiles/permutation_router.dir/permutation_router.cpp.o.d"
+  "permutation_router"
+  "permutation_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/permutation_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

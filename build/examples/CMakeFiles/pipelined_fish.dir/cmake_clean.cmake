@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipelined_fish.dir/pipelined_fish.cpp.o"
+  "CMakeFiles/pipelined_fish.dir/pipelined_fish.cpp.o.d"
+  "pipelined_fish"
+  "pipelined_fish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipelined_fish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

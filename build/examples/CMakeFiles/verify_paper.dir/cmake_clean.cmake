@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_paper.dir/verify_paper.cpp.o"
+  "CMakeFiles/verify_paper.dir/verify_paper.cpp.o.d"
+  "verify_paper"
+  "verify_paper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_paper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

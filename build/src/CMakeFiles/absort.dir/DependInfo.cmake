@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/absort/analysis/activity.cpp" "src/CMakeFiles/absort.dir/absort/analysis/activity.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/analysis/activity.cpp.o.d"
+  "/root/repo/src/absort/analysis/crossover.cpp" "src/CMakeFiles/absort.dir/absort/analysis/crossover.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/analysis/crossover.cpp.o.d"
+  "/root/repo/src/absort/analysis/formulas.cpp" "src/CMakeFiles/absort.dir/absort/analysis/formulas.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/analysis/formulas.cpp.o.d"
+  "/root/repo/src/absort/analysis/tables.cpp" "src/CMakeFiles/absort.dir/absort/analysis/tables.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/analysis/tables.cpp.o.d"
+  "/root/repo/src/absort/blocks/balanced_merger.cpp" "src/CMakeFiles/absort.dir/absort/blocks/balanced_merger.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/blocks/balanced_merger.cpp.o.d"
+  "/root/repo/src/absort/blocks/comparator_stage.cpp" "src/CMakeFiles/absort.dir/absort/blocks/comparator_stage.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/blocks/comparator_stage.cpp.o.d"
+  "/root/repo/src/absort/blocks/mux.cpp" "src/CMakeFiles/absort.dir/absort/blocks/mux.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/blocks/mux.cpp.o.d"
+  "/root/repo/src/absort/blocks/prefix_adder.cpp" "src/CMakeFiles/absort.dir/absort/blocks/prefix_adder.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/blocks/prefix_adder.cpp.o.d"
+  "/root/repo/src/absort/blocks/rank.cpp" "src/CMakeFiles/absort.dir/absort/blocks/rank.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/blocks/rank.cpp.o.d"
+  "/root/repo/src/absort/blocks/swapper.cpp" "src/CMakeFiles/absort.dir/absort/blocks/swapper.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/blocks/swapper.cpp.o.d"
+  "/root/repo/src/absort/netlist/analyze.cpp" "src/CMakeFiles/absort.dir/absort/netlist/analyze.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/netlist/analyze.cpp.o.d"
+  "/root/repo/src/absort/netlist/circuit.cpp" "src/CMakeFiles/absort.dir/absort/netlist/circuit.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/netlist/circuit.cpp.o.d"
+  "/root/repo/src/absort/netlist/levelized.cpp" "src/CMakeFiles/absort.dir/absort/netlist/levelized.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/netlist/levelized.cpp.o.d"
+  "/root/repo/src/absort/netlist/optimize.cpp" "src/CMakeFiles/absort.dir/absort/netlist/optimize.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/netlist/optimize.cpp.o.d"
+  "/root/repo/src/absort/netlist/serialize.cpp" "src/CMakeFiles/absort.dir/absort/netlist/serialize.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/netlist/serialize.cpp.o.d"
+  "/root/repo/src/absort/netlist/transform.cpp" "src/CMakeFiles/absort.dir/absort/netlist/transform.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/netlist/transform.cpp.o.d"
+  "/root/repo/src/absort/netlist/wiring.cpp" "src/CMakeFiles/absort.dir/absort/netlist/wiring.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/netlist/wiring.cpp.o.d"
+  "/root/repo/src/absort/networks/batcher_banyan.cpp" "src/CMakeFiles/absort.dir/absort/networks/batcher_banyan.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/networks/batcher_banyan.cpp.o.d"
+  "/root/repo/src/absort/networks/benes.cpp" "src/CMakeFiles/absort.dir/absort/networks/benes.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/networks/benes.cpp.o.d"
+  "/root/repo/src/absort/networks/concentrator.cpp" "src/CMakeFiles/absort.dir/absort/networks/concentrator.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/networks/concentrator.cpp.o.d"
+  "/root/repo/src/absort/networks/omega.cpp" "src/CMakeFiles/absort.dir/absort/networks/omega.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/networks/omega.cpp.o.d"
+  "/root/repo/src/absort/networks/radix_permuter.cpp" "src/CMakeFiles/absort.dir/absort/networks/radix_permuter.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/networks/radix_permuter.cpp.o.d"
+  "/root/repo/src/absort/networks/rank_concentrator.cpp" "src/CMakeFiles/absort.dir/absort/networks/rank_concentrator.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/networks/rank_concentrator.cpp.o.d"
+  "/root/repo/src/absort/networks/sorting_permuter.cpp" "src/CMakeFiles/absort.dir/absort/networks/sorting_permuter.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/networks/sorting_permuter.cpp.o.d"
+  "/root/repo/src/absort/seqclass/seqclass.cpp" "src/CMakeFiles/absort.dir/absort/seqclass/seqclass.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/seqclass/seqclass.cpp.o.d"
+  "/root/repo/src/absort/sim/clocked_circuit.cpp" "src/CMakeFiles/absort.dir/absort/sim/clocked_circuit.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/sim/clocked_circuit.cpp.o.d"
+  "/root/repo/src/absort/sim/fish_hardware.cpp" "src/CMakeFiles/absort.dir/absort/sim/fish_hardware.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/sim/fish_hardware.cpp.o.d"
+  "/root/repo/src/absort/sim/trace.cpp" "src/CMakeFiles/absort.dir/absort/sim/trace.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/sim/trace.cpp.o.d"
+  "/root/repo/src/absort/sorters/alt_oem.cpp" "src/CMakeFiles/absort.dir/absort/sorters/alt_oem.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/sorters/alt_oem.cpp.o.d"
+  "/root/repo/src/absort/sorters/batcher_oem.cpp" "src/CMakeFiles/absort.dir/absort/sorters/batcher_oem.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/sorters/batcher_oem.cpp.o.d"
+  "/root/repo/src/absort/sorters/bitonic.cpp" "src/CMakeFiles/absort.dir/absort/sorters/bitonic.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/sorters/bitonic.cpp.o.d"
+  "/root/repo/src/absort/sorters/carrying.cpp" "src/CMakeFiles/absort.dir/absort/sorters/carrying.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/sorters/carrying.cpp.o.d"
+  "/root/repo/src/absort/sorters/columnsort.cpp" "src/CMakeFiles/absort.dir/absort/sorters/columnsort.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/sorters/columnsort.cpp.o.d"
+  "/root/repo/src/absort/sorters/fish_sorter.cpp" "src/CMakeFiles/absort.dir/absort/sorters/fish_sorter.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/sorters/fish_sorter.cpp.o.d"
+  "/root/repo/src/absort/sorters/hybrid_oem.cpp" "src/CMakeFiles/absort.dir/absort/sorters/hybrid_oem.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/sorters/hybrid_oem.cpp.o.d"
+  "/root/repo/src/absort/sorters/muxmerge_sorter.cpp" "src/CMakeFiles/absort.dir/absort/sorters/muxmerge_sorter.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/sorters/muxmerge_sorter.cpp.o.d"
+  "/root/repo/src/absort/sorters/periodic_balanced.cpp" "src/CMakeFiles/absort.dir/absort/sorters/periodic_balanced.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/sorters/periodic_balanced.cpp.o.d"
+  "/root/repo/src/absort/sorters/prefix_sorter.cpp" "src/CMakeFiles/absort.dir/absort/sorters/prefix_sorter.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/sorters/prefix_sorter.cpp.o.d"
+  "/root/repo/src/absort/sorters/radix_wordsort.cpp" "src/CMakeFiles/absort.dir/absort/sorters/radix_wordsort.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/sorters/radix_wordsort.cpp.o.d"
+  "/root/repo/src/absort/sorters/sorter.cpp" "src/CMakeFiles/absort.dir/absort/sorters/sorter.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/sorters/sorter.cpp.o.d"
+  "/root/repo/src/absort/util/bitvec.cpp" "src/CMakeFiles/absort.dir/absort/util/bitvec.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/util/bitvec.cpp.o.d"
+  "/root/repo/src/absort/util/math.cpp" "src/CMakeFiles/absort.dir/absort/util/math.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/util/math.cpp.o.d"
+  "/root/repo/src/absort/util/rng.cpp" "src/CMakeFiles/absort.dir/absort/util/rng.cpp.o" "gcc" "src/CMakeFiles/absort.dir/absort/util/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

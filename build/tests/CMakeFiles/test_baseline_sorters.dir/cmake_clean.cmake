@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_sorters.dir/test_baseline_sorters.cpp.o"
+  "CMakeFiles/test_baseline_sorters.dir/test_baseline_sorters.cpp.o.d"
+  "test_baseline_sorters"
+  "test_baseline_sorters.pdb"
+  "test_baseline_sorters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_sorters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

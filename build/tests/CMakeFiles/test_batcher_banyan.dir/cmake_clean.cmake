@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batcher_banyan.dir/test_batcher_banyan.cpp.o"
+  "CMakeFiles/test_batcher_banyan.dir/test_batcher_banyan.cpp.o.d"
+  "test_batcher_banyan"
+  "test_batcher_banyan.pdb"
+  "test_batcher_banyan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batcher_banyan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

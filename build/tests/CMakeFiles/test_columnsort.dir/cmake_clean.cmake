@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_columnsort.dir/test_columnsort.cpp.o"
+  "CMakeFiles/test_columnsort.dir/test_columnsort.cpp.o.d"
+  "test_columnsort"
+  "test_columnsort.pdb"
+  "test_columnsort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_columnsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fish_hardware.dir/test_fish_hardware.cpp.o"
+  "CMakeFiles/test_fish_hardware.dir/test_fish_hardware.cpp.o.d"
+  "test_fish_hardware"
+  "test_fish_hardware.pdb"
+  "test_fish_hardware[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fish_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

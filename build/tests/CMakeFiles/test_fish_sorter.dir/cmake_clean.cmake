@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fish_sorter.dir/test_fish_sorter.cpp.o"
+  "CMakeFiles/test_fish_sorter.dir/test_fish_sorter.cpp.o.d"
+  "test_fish_sorter"
+  "test_fish_sorter.pdb"
+  "test_fish_sorter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fish_sorter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

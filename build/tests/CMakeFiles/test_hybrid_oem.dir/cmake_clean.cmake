@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_oem.dir/test_hybrid_oem.cpp.o"
+  "CMakeFiles/test_hybrid_oem.dir/test_hybrid_oem.cpp.o.d"
+  "test_hybrid_oem"
+  "test_hybrid_oem.pdb"
+  "test_hybrid_oem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_oem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_muxmerge_sorter.dir/test_muxmerge_sorter.cpp.o"
+  "CMakeFiles/test_muxmerge_sorter.dir/test_muxmerge_sorter.cpp.o.d"
+  "test_muxmerge_sorter"
+  "test_muxmerge_sorter.pdb"
+  "test_muxmerge_sorter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_muxmerge_sorter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_permuters.dir/test_permuters.cpp.o"
+  "CMakeFiles/test_permuters.dir/test_permuters.cpp.o.d"
+  "test_permuters"
+  "test_permuters.pdb"
+  "test_permuters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_permuters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

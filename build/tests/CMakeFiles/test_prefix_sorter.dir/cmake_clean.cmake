@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefix_sorter.dir/test_prefix_sorter.cpp.o"
+  "CMakeFiles/test_prefix_sorter.dir/test_prefix_sorter.cpp.o.d"
+  "test_prefix_sorter"
+  "test_prefix_sorter.pdb"
+  "test_prefix_sorter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefix_sorter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

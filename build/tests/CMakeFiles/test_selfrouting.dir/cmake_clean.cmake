@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selfrouting.dir/test_selfrouting.cpp.o"
+  "CMakeFiles/test_selfrouting.dir/test_selfrouting.cpp.o.d"
+  "test_selfrouting"
+  "test_selfrouting.pdb"
+  "test_selfrouting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selfrouting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

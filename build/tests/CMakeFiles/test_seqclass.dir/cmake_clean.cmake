@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seqclass.dir/test_seqclass.cpp.o"
+  "CMakeFiles/test_seqclass.dir/test_seqclass.cpp.o.d"
+  "test_seqclass"
+  "test_seqclass.pdb"
+  "test_seqclass[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seqclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serialize_trace.dir/test_serialize_trace.cpp.o"
+  "CMakeFiles/test_serialize_trace.dir/test_serialize_trace.cpp.o.d"
+  "test_serialize_trace"
+  "test_serialize_trace.pdb"
+  "test_serialize_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serialize_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

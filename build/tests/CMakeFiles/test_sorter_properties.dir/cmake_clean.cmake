@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sorter_properties.dir/test_sorter_properties.cpp.o"
+  "CMakeFiles/test_sorter_properties.dir/test_sorter_properties.cpp.o.d"
+  "test_sorter_properties"
+  "test_sorter_properties.pdb"
+  "test_sorter_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sorter_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

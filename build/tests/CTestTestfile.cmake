@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_seqclass[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist[1]_include.cmake")
+include("/root/repo/build/tests/test_blocks[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline_sorters[1]_include.cmake")
+include("/root/repo/build/tests/test_prefix_sorter[1]_include.cmake")
+include("/root/repo/build/tests/test_muxmerge_sorter[1]_include.cmake")
+include("/root/repo/build/tests/test_fish_sorter[1]_include.cmake")
+include("/root/repo/build/tests/test_columnsort[1]_include.cmake")
+include("/root/repo/build/tests/test_concentrator[1]_include.cmake")
+include("/root/repo/build/tests/test_permuters[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist_tools[1]_include.cmake")
+include("/root/repo/build/tests/test_more_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_sorter_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_fish_hardware[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_selfrouting[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_optimize[1]_include.cmake")
+include("/root/repo/build/tests/test_batcher_banyan[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_hybrid_oem[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/absort_cli.dir/absort_cli.cpp.o"
+  "CMakeFiles/absort_cli.dir/absort_cli.cpp.o.d"
+  "absort_cli"
+  "absort_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/absort_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
