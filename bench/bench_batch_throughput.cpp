@@ -1,0 +1,171 @@
+// E-B1 -- batch-evaluation throughput: per-vector levelized evaluation vs
+// the bit-sliced engine (64-256 vectors per circuit walk) vs the bit-sliced
+// engine sharded across the BatchRunner pool, for the paper's three adaptive
+// sorters at n = 64..4096.  The report writes BENCH_batch_throughput.json
+// (vectors/sec per engine) and then hands over to google-benchmark.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "absort/netlist/batch_eval.hpp"
+#include "absort/netlist/levelized.hpp"
+#include "absort/sorters/fish_sorter.hpp"
+#include "absort/sorters/muxmerge_sorter.hpp"
+#include "absort/sorters/prefix_sorter.hpp"
+#include "absort/util/rng.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace absort;
+
+constexpr std::size_t kBatch = 2048;  ///< vectors per timed batch
+
+std::vector<BitVec> make_batch(std::size_t b, std::size_t n) {
+  Xoshiro256 rng(0xBEEF ^ n);
+  std::vector<BitVec> batch;
+  batch.reserve(b);
+  for (std::size_t i = 0; i < b; ++i) batch.push_back(workload::random_bits(rng, n));
+  return batch;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+struct Row {
+  const char* sorter;
+  std::size_t n;
+  double single_vps;
+  double sliced_vps;
+  double threaded_vps;
+};
+
+Row measure(const char* name, const sorters::BinarySorter& sorter, std::size_t n) {
+  const auto batch = make_batch(kBatch, n);
+  Row row{name, n, 0, 0, 0};
+
+  if (sorter.is_combinational()) {
+    const auto circuit = sorter.build_circuit();
+    const netlist::LevelizedCircuit lc(circuit);
+    // Per-vector baseline on a slice (the full batch takes minutes at
+    // n = 4096); throughput extrapolates linearly.
+    const std::size_t probe = std::min<std::size_t>(kBatch, n <= 256 ? 512 : 64);
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < probe; ++i) benchmark::DoNotOptimize(lc.eval(batch[i]));
+    row.single_vps = static_cast<double>(probe) / seconds_since(t0);
+
+    const netlist::BitSlicedEvaluator ev(circuit);
+    t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(ev.eval_batch(batch));
+    row.sliced_vps = static_cast<double>(kBatch) / seconds_since(t0);
+
+    netlist::BatchRunner runner(circuit);
+    (void)runner.run(batch);  // warm the pool before timing
+    t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(runner.run(batch));
+    row.threaded_vps = static_cast<double>(kBatch) / seconds_since(t0);
+  } else {
+    // Model B: per-vector value face vs the vector-sharded fallback.
+    const std::size_t probe = std::min<std::size_t>(kBatch, 256);
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < probe; ++i) benchmark::DoNotOptimize(sorter.sort(batch[i]));
+    row.single_vps = static_cast<double>(probe) / seconds_since(t0);
+    row.sliced_vps = row.single_vps;  // no circuit to slice
+    t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(sorter.sort_batch(batch, 0));
+    row.threaded_vps = static_cast<double>(kBatch) / seconds_since(t0);
+  }
+  return row;
+}
+
+void report() {
+  absort::bench::heading(
+      "E-B1: batch throughput, per-vector vs bit-sliced vs bit-sliced+threads");
+  std::printf("batch = %zu vectors, %u hardware threads\n\n", kBatch,
+              std::thread::hardware_concurrency());
+  std::printf("%-12s %6s %14s %14s %14s %9s %9s\n", "sorter", "n", "single v/s", "sliced v/s",
+              "threaded v/s", "slice x", "thread x");
+
+  std::vector<Row> rows;
+  for (const std::size_t n : {64, 256, 1024, 4096}) {
+    const struct {
+      const char* name;
+      std::unique_ptr<sorters::BinarySorter> sorter;
+    } cases[] = {
+        {"prefix", sorters::PrefixSorter::make(n)},
+        {"mux-merger", sorters::MuxMergeSorter::make(n)},
+        {"fish", sorters::FishSorter::make(n)},
+    };
+    for (const auto& c : cases) {
+      const Row r = measure(c.name, *c.sorter, n);
+      rows.push_back(r);
+      std::printf("%-12s %6zu %14.0f %14.0f %14.0f %8.1fx %8.1fx\n", r.sorter, r.n,
+                  r.single_vps, r.sliced_vps, r.threaded_vps, r.sliced_vps / r.single_vps,
+                  r.threaded_vps / r.single_vps);
+    }
+  }
+
+  if (FILE* f = std::fopen("BENCH_batch_throughput.json", "w")) {
+    std::fprintf(f,
+                 "{\n  \"benchmark\": \"batch_throughput\",\n  \"batch_size\": %zu,\n"
+                 "  \"lanes_per_word\": 64,\n  \"unrolled_words\": 4,\n"
+                 "  \"hardware_threads\": %u,\n  \"results\": [\n",
+                 kBatch, std::thread::hardware_concurrency());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"sorter\": \"%s\", \"n\": %zu, \"single_vps\": %.1f, "
+                   "\"bitsliced_vps\": %.1f, \"threaded_vps\": %.1f, "
+                   "\"speedup_bitsliced\": %.2f, \"speedup_threaded\": %.2f}%s\n",
+                   r.sorter, r.n, r.single_vps, r.sliced_vps, r.threaded_vps,
+                   r.sliced_vps / r.single_vps, r.threaded_vps / r.single_vps,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_batch_throughput.json\n");
+  }
+}
+
+// google-benchmark timings for the steady-state engines at one mid size.
+void BM_SingleVector(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const netlist::LevelizedCircuit lc(sorters::PrefixSorter(n).build_circuit());
+  const auto batch = make_batch(64, n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lc.eval(batch[i++ % batch.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SingleVector)->Arg(256)->Arg(1024);
+
+void BM_BitSliced(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const netlist::BitSlicedEvaluator ev(sorters::PrefixSorter(n).build_circuit());
+  const auto batch = make_batch(256, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ev.eval_batch(batch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_BitSliced)->Arg(256)->Arg(1024);
+
+void BM_BatchRunner(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  netlist::BatchRunner runner(sorters::PrefixSorter(n).build_circuit());
+  const auto batch = make_batch(2048, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(batch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2048);
+}
+BENCHMARK(BM_BatchRunner)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+int main(int argc, char** argv) { return absort::bench::run(argc, argv, report); }

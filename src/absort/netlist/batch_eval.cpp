@@ -1,0 +1,315 @@
+#include "absort/netlist/batch_eval.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "absort/netlist/levelized.hpp"
+
+namespace absort::netlist {
+
+using wordvec::Word;
+
+namespace {
+
+/// Lanes processed per work unit: one 4-word-unrolled pass.
+constexpr std::size_t kBlockLanes = 4 * wordvec::kLanes;
+
+/// Interpreter core, unrolled over W words per slot.  The program is
+/// straight-line and every dst slot is distinct from its operands within an
+/// instruction, so the per-word loop vectorizes freely.
+template <std::size_t W>
+void run_program(const std::vector<WordInstr>& prog, const Word* in, Word* buf) {
+  for (const auto& ins : prog) {
+    Word* d = buf + std::size_t{ins.dst} * W;
+    const Word* a = buf + std::size_t{ins.a} * W;
+    const Word* b = buf + std::size_t{ins.b} * W;
+    const Word* c = buf + std::size_t{ins.c} * W;
+    switch (ins.op) {
+      case WordInstr::Op::Load: {
+        const Word* src = in + std::size_t{ins.a} * W;
+        for (std::size_t w = 0; w < W; ++w) d[w] = src[w];
+        break;
+      }
+      case WordInstr::Op::Const0:
+        for (std::size_t w = 0; w < W; ++w) d[w] = 0;
+        break;
+      case WordInstr::Op::Const1:
+        for (std::size_t w = 0; w < W; ++w) d[w] = ~Word{0};
+        break;
+      case WordInstr::Op::Not:
+        for (std::size_t w = 0; w < W; ++w) d[w] = ~a[w];
+        break;
+      case WordInstr::Op::And:
+        for (std::size_t w = 0; w < W; ++w) d[w] = a[w] & b[w];
+        break;
+      case WordInstr::Op::Or:
+        for (std::size_t w = 0; w < W; ++w) d[w] = a[w] | b[w];
+        break;
+      case WordInstr::Op::Xor:
+        for (std::size_t w = 0; w < W; ++w) d[w] = a[w] ^ b[w];
+        break;
+      case WordInstr::Op::AndNot:
+        for (std::size_t w = 0; w < W; ++w) d[w] = a[w] & ~b[w];
+        break;
+      case WordInstr::Op::Mux:
+        for (std::size_t w = 0; w < W; ++w) d[w] = a[w] ^ (c[w] & (a[w] ^ b[w]));
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+BitSlicedEvaluator::BitSlicedEvaluator(const Circuit& c) { compile(c); }
+
+BitSlicedEvaluator::BitSlicedEvaluator(const LevelizedCircuit& lc)
+    : BitSlicedEvaluator(lc.circuit()) {}
+
+void BitSlicedEvaluator::compile(const Circuit& c) {
+  num_inputs_ = c.num_inputs();
+  std::size_t slots = c.num_wires();
+  // Two scratch temporaries shared by every Switch4x4 lowering (the program
+  // is sequential; a temp's value is consumed by the very next instructions).
+  std::uint32_t t0 = 0, t1 = 0;
+  bool have_temps = false;
+  auto temps = [&] {
+    if (!have_temps) {
+      t0 = static_cast<std::uint32_t>(slots++);
+      t1 = static_cast<std::uint32_t>(slots++);
+      have_temps = true;
+    }
+  };
+
+  std::uint32_t next_input = 0;
+  for (const auto& comp : c.components()) {
+    const auto& in = comp.in;
+    const auto& out = comp.out;
+    switch (comp.kind) {
+      case Kind::Input:
+        prog_.push_back({WordInstr::Op::Load, out[0], next_input++});
+        break;
+      case Kind::Const:
+        prog_.push_back({comp.aux ? WordInstr::Op::Const1 : WordInstr::Op::Const0, out[0]});
+        break;
+      case Kind::Not:
+        prog_.push_back({WordInstr::Op::Not, out[0], in[0]});
+        break;
+      case Kind::And:
+        prog_.push_back({WordInstr::Op::And, out[0], in[0], in[1]});
+        break;
+      case Kind::Or:
+        prog_.push_back({WordInstr::Op::Or, out[0], in[0], in[1]});
+        break;
+      case Kind::Xor:
+        prog_.push_back({WordInstr::Op::Xor, out[0], in[0], in[1]});
+        break;
+      case Kind::Mux21:
+        prog_.push_back({WordInstr::Op::Mux, out[0], in[0], in[1], in[2]});
+        break;
+      case Kind::Demux12:
+        prog_.push_back({WordInstr::Op::AndNot, out[0], in[0], in[1]});
+        prog_.push_back({WordInstr::Op::And, out[1], in[0], in[1]});
+        break;
+      case Kind::Comparator:
+        prog_.push_back({WordInstr::Op::And, out[0], in[0], in[1]});
+        prog_.push_back({WordInstr::Op::Or, out[1], in[0], in[1]});
+        break;
+      case Kind::Switch2x2:
+        prog_.push_back({WordInstr::Op::Mux, out[0], in[0], in[1], in[2]});
+        prog_.push_back({WordInstr::Op::Mux, out[1], in[1], in[0], in[2]});
+        break;
+      case Kind::Switch4x4: {
+        // out[q] = d[pat[s][q]], s = s1*2 + s0: a two-level lane-wise mux
+        // tree per output, selecting by s0 then s1.
+        temps();
+        const auto& pat = c.swap4_tables()[comp.aux];
+        for (std::uint32_t q = 0; q < 4; ++q) {
+          prog_.push_back({WordInstr::Op::Mux, t0, in[pat[0][q]], in[pat[1][q]], in[4]});
+          prog_.push_back({WordInstr::Op::Mux, t1, in[pat[2][q]], in[pat[3][q]], in[4]});
+          prog_.push_back({WordInstr::Op::Mux, out[q], t0, t1, in[5]});
+        }
+        break;
+      }
+    }
+  }
+  num_slots_ = slots;
+  output_slots_.assign(c.output_wires().begin(), c.output_wires().end());
+}
+
+void BitSlicedEvaluator::eval_pass(std::span<const Word> in_words, std::span<Word> out_words,
+                                   std::span<Word> scratch) const {
+  run_program<1>(prog_, in_words.data(), scratch.data());
+  for (std::size_t j = 0; j < output_slots_.size(); ++j) out_words[j] = scratch[output_slots_[j]];
+}
+
+void BitSlicedEvaluator::eval_pass_x4(std::span<const Word> in_words, std::span<Word> out_words,
+                                      std::span<Word> scratch) const {
+  run_program<4>(prog_, in_words.data(), scratch.data());
+  for (std::size_t j = 0; j < output_slots_.size(); ++j) {
+    for (std::size_t w = 0; w < 4; ++w) {
+      out_words[j * 4 + w] = scratch[std::size_t{output_slots_[j]} * 4 + w];
+    }
+  }
+}
+
+void BitSlicedEvaluator::eval_lane_block(std::span<const BitVec> inputs, std::size_t first,
+                                         std::size_t lanes, std::span<BitVec> outputs,
+                                         std::vector<Word>& scratch) const {
+  const std::size_t ni = num_inputs_;
+  const std::size_t no = output_slots_.size();
+  if (lanes <= wordvec::kLanes) {
+    scratch.resize(ni + no + num_slots_);
+    const std::span<Word> in{scratch.data(), ni};
+    const std::span<Word> out{scratch.data() + ni, no};
+    const std::span<Word> buf{scratch.data() + ni + no, num_slots_};
+    wordvec::pack_lanes(inputs, first, lanes, in);
+    eval_pass(in, out, buf);
+    wordvec::unpack_lanes(out, first, lanes, outputs);
+    return;
+  }
+  // 4-word-unrolled path: slot s occupies words [4s, 4s+4); word w of a slot
+  // carries lanes [first + 64w, first + 64w + 64).  tmp stages the
+  // contiguous <-> interleaved transposition.
+  scratch.resize(4 * (ni + no + num_slots_) + std::max(ni, no));
+  Word* const in4 = scratch.data();
+  Word* const out4 = in4 + 4 * ni;
+  Word* const buf4 = out4 + 4 * no;
+  Word* const tmp = buf4 + 4 * num_slots_;
+  for (std::size_t w = 0; w < 4; ++w) {
+    const std::size_t lw = lanes > w * wordvec::kLanes
+                               ? std::min(wordvec::kLanes, lanes - w * wordvec::kLanes)
+                               : 0;
+    if (lw > 0) {
+      wordvec::pack_lanes(inputs, first + w * wordvec::kLanes, lw, {tmp, ni});
+      for (std::size_t i = 0; i < ni; ++i) in4[i * 4 + w] = tmp[i];
+    } else {
+      for (std::size_t i = 0; i < ni; ++i) in4[i * 4 + w] = 0;
+    }
+  }
+  eval_pass_x4({in4, 4 * ni}, {out4, 4 * no}, {buf4, 4 * num_slots_});
+  for (std::size_t w = 0; w < 4; ++w) {
+    const std::size_t lw = lanes > w * wordvec::kLanes
+                               ? std::min(wordvec::kLanes, lanes - w * wordvec::kLanes)
+                               : 0;
+    if (lw == 0) continue;
+    for (std::size_t j = 0; j < no; ++j) tmp[j] = out4[j * 4 + w];
+    wordvec::unpack_lanes({tmp, no}, first + w * wordvec::kLanes, lw, outputs);
+  }
+}
+
+std::vector<BitVec> BitSlicedEvaluator::eval_batch(std::span<const BitVec> inputs) const {
+  for (const auto& v : inputs) {
+    if (v.size() != num_inputs_) {
+      throw std::invalid_argument("BitSlicedEvaluator::eval_batch: input arity");
+    }
+  }
+  std::vector<BitVec> outputs(inputs.size(), BitVec(num_outputs()));
+  std::vector<Word> scratch;
+  for (std::size_t first = 0; first < inputs.size(); first += kBlockLanes) {
+    eval_lane_block(inputs, first, std::min(kBlockLanes, inputs.size() - first), outputs,
+                    scratch);
+  }
+  return outputs;
+}
+
+// ---------------------------------------------------------------------------
+// BatchRunner
+
+BatchRunner::BatchRunner(const Circuit& c, std::size_t threads) : eval_(c) {
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  max_threads_ = threads;
+}
+
+BatchRunner::~BatchRunner() {
+  {
+    std::lock_guard lk(m_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void BatchRunner::ensure_workers(std::size_t want) {
+  while (workers_.size() < want) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void BatchRunner::work(std::span<const BitVec> inputs, std::span<BitVec> outputs,
+                       std::vector<Word>& scratch) {
+  // Claim 256-lane blocks until the cursor runs out.  The claim is under the
+  // lock; the evaluation itself touches only this block's lanes.
+  std::unique_lock lk(m_);
+  while (next_block_ < job_blocks_) {
+    const std::size_t blk = next_block_++;
+    lk.unlock();
+    const std::size_t first = blk * kBlockLanes;
+    eval_.eval_lane_block(inputs, first, std::min(kBlockLanes, inputs.size() - first), outputs,
+                          scratch);
+    lk.lock();
+  }
+}
+
+void BatchRunner::worker_loop() {
+  std::vector<Word> scratch;
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::span<const BitVec> inputs;
+    std::span<BitVec> outputs;
+    {
+      std::unique_lock lk(m_);
+      cv_start_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      inputs = job_inputs_;
+      outputs = job_outputs_;
+      ++active_;
+    }
+    work(inputs, outputs, scratch);
+    {
+      std::lock_guard lk(m_);
+      if (--active_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+std::vector<BitVec> BatchRunner::run(std::span<const BitVec> inputs) {
+  for (const auto& v : inputs) {
+    if (v.size() != eval_.num_inputs()) {
+      throw std::invalid_argument("BatchRunner::run: input arity");
+    }
+  }
+  std::vector<BitVec> outputs(inputs.size(), BitVec(eval_.num_outputs()));
+  if (inputs.empty()) return outputs;
+  const std::size_t blocks = (inputs.size() + kBlockLanes - 1) / kBlockLanes;
+  // Clamp to the pass count: a batch with b blocks can keep at most b
+  // workers busy, so never spawn more (satellite of the eval_parallel fix).
+  const std::size_t helpers = std::min(max_threads_, blocks) - 1;
+  std::vector<Word> scratch;
+  if (helpers == 0) {
+    for (std::size_t blk = 0; blk < blocks; ++blk) {
+      const std::size_t first = blk * kBlockLanes;
+      eval_.eval_lane_block(inputs, first, std::min(kBlockLanes, inputs.size() - first),
+                            outputs, scratch);
+    }
+    return outputs;
+  }
+  {
+    std::lock_guard lk(m_);
+    ensure_workers(helpers);
+    job_inputs_ = inputs;
+    job_outputs_ = outputs;
+    job_blocks_ = blocks;
+    next_block_ = 0;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  work(inputs, outputs, scratch);
+  {
+    std::unique_lock lk(m_);
+    cv_done_.wait(lk, [&] { return active_ == 0 && next_block_ >= job_blocks_; });
+  }
+  return outputs;
+}
+
+}  // namespace absort::netlist

@@ -1,0 +1,149 @@
+#pragma once
+// Bit-sliced batch evaluation of netlists.
+//
+// Circuit::eval and LevelizedCircuit::eval walk the component graph once per
+// input vector, one byte-wide Bit at a time.  For a batch of independent
+// requests that wastes the machine: every primitive in circuit.hpp is a pure
+// Boolean function, so 64 (or, unrolled, 256) vectors can ride the bit lanes
+// of uint64_t words and evaluate together in a single walk -- the classic
+// bit-parallel compiled-simulation trick used by SAT-style sorting-network
+// evaluators.
+//
+// BitSlicedEvaluator compiles a Circuit once into a flat straight-line
+// program of word operations (every component lowers to 1..12 word ops; the
+// instruction set is closed over {load, const, not, and, or, xor, andnot,
+// mux}) and then evaluates ceil(B/64) passes over a batch of B vectors.
+// Full 256-lane blocks run a 4-word-unrolled interpreter loop to amortize
+// instruction dispatch.  BatchRunner shards passes across a persistent
+// thread pool; passes touch disjoint lanes, so workers share nothing but the
+// compiled program and the (read-only) input batch.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "absort/netlist/circuit.hpp"
+#include "absort/util/wordvec.hpp"
+
+namespace absort::netlist {
+
+class LevelizedCircuit;
+
+/// One word operation of the compiled straight-line program.  Operand slots
+/// a/b/c index the pass-local word buffer (one slot per circuit wire plus
+/// scratch temporaries); `dst` is always written, never read, by the same
+/// instruction.
+struct WordInstr {
+  enum class Op : std::uint8_t {
+    Load,    ///< dst = input word a (a = primary-input position)
+    Const0,  ///< dst = all-zero
+    Const1,  ///< dst = all-one
+    Not,     ///< dst = ~a
+    And,     ///< dst = a & b
+    Or,      ///< dst = a | b
+    Xor,     ///< dst = a ^ b
+    AndNot,  ///< dst = a & ~b
+    Mux,     ///< dst = c ? b : a, lanewise  (= a ^ (c & (a ^ b)))
+  };
+  Op op;
+  std::uint32_t dst;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t c = 0;
+};
+
+/// Compiles a circuit to a word program and evaluates batches of input
+/// vectors, 64 per pass (256 per unrolled block).
+class BitSlicedEvaluator {
+ public:
+  explicit BitSlicedEvaluator(const Circuit& c);
+  explicit BitSlicedEvaluator(const LevelizedCircuit& lc);
+
+  [[nodiscard]] std::size_t num_inputs() const noexcept { return num_inputs_; }
+  [[nodiscard]] std::size_t num_outputs() const noexcept { return output_slots_.size(); }
+  /// Word-buffer slots one pass needs (wires + shared temporaries).
+  [[nodiscard]] std::size_t num_slots() const noexcept { return num_slots_; }
+  [[nodiscard]] const std::vector<WordInstr>& program() const noexcept { return prog_; }
+
+  /// Evaluates one 64-lane pass: in_words[i] packs primary input i across
+  /// the lanes; out_words[j] receives primary output j.  `scratch` must have
+  /// num_slots() words (contents don't survive the call).
+  void eval_pass(std::span<const wordvec::Word> in_words, std::span<wordvec::Word> out_words,
+                 std::span<wordvec::Word> scratch) const;
+
+  /// As eval_pass, but over 4 words per slot (256 lanes): slot s occupies
+  /// scratch[4s .. 4s+3], and in/out words are likewise 4 consecutive words
+  /// per input/output.  `scratch` must have 4 * num_slots() words.
+  void eval_pass_x4(std::span<const wordvec::Word> in_words, std::span<wordvec::Word> out_words,
+                    std::span<wordvec::Word> scratch) const;
+
+  /// Evaluates the whole batch single-threaded; inputs must all have size
+  /// num_inputs().  Result i is bit-for-bit Circuit::eval(inputs[i]).
+  [[nodiscard]] std::vector<BitVec> eval_batch(std::span<const BitVec> inputs) const;
+
+  /// Packs lanes [first, first+lanes) of `inputs`, evaluates them, and
+  /// scatters the outputs into `outputs` (the shared primitive behind both
+  /// eval_batch and BatchRunner).  lanes <= 256; `scratch` needs
+  /// 4 * num_slots() words only when lanes > 64, else num_slots().
+  void eval_lane_block(std::span<const BitVec> inputs, std::size_t first, std::size_t lanes,
+                       std::span<BitVec> outputs, std::vector<wordvec::Word>& scratch) const;
+
+ private:
+  void compile(const Circuit& c);
+
+  std::vector<WordInstr> prog_;
+  std::vector<std::uint32_t> output_slots_;  ///< slot of each primary output
+  std::size_t num_inputs_ = 0;
+  std::size_t num_slots_ = 0;
+};
+
+/// Shards a batch's 256-lane blocks across a persistent worker pool.  The
+/// pool is grown lazily and never beyond what a run can keep busy (no idle
+/// workers for tiny batches -- see the matching clamp in
+/// LevelizedCircuit::eval_parallel).  A BatchRunner may be reused across
+/// runs but must not be entered from two threads at once.
+class BatchRunner {
+ public:
+  /// threads = 0 means hardware concurrency.
+  explicit BatchRunner(const Circuit& c, std::size_t threads = 0);
+  ~BatchRunner();
+
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
+
+  [[nodiscard]] const BitSlicedEvaluator& evaluator() const noexcept { return eval_; }
+  /// Upper bound on workers (including the calling thread).
+  [[nodiscard]] std::size_t max_threads() const noexcept { return max_threads_; }
+
+  /// Evaluates the batch; identical output to BitSlicedEvaluator::eval_batch.
+  [[nodiscard]] std::vector<BitVec> run(std::span<const BitVec> inputs);
+
+ private:
+  void ensure_workers(std::size_t want);
+  void worker_loop();
+  void work(std::span<const BitVec> inputs, std::span<BitVec> outputs,
+            std::vector<wordvec::Word>& scratch);
+
+  BitSlicedEvaluator eval_;
+  std::size_t max_threads_;
+
+  // Job state, guarded by m_: workers wake on a new generation, claim
+  // 256-lane blocks from an atomic-style cursor, and report completion.
+  std::mutex m_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> workers_;
+  std::span<const BitVec> job_inputs_;
+  std::span<BitVec> job_outputs_;
+  std::size_t job_blocks_ = 0;
+  std::size_t next_block_ = 0;
+  std::size_t active_ = 0;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace absort::netlist

@@ -96,13 +96,17 @@ BitVec LevelizedCircuit::eval_parallel(const BitVec& in, std::size_t threads) co
     throw std::invalid_argument("LevelizedCircuit::eval_parallel: input arity");
   }
   if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  // Clamp to what the widest level can keep busy (one worker per
+  // kParallelGrain components) so tiny circuits never spawn idle workers.
+  constexpr std::size_t kParallelGrain = 4096;
+  threads = std::min(threads, std::max<std::size_t>(1, max_level_width() / kParallelGrain));
   if (threads == 1) return eval(in);
   std::vector<Bit> w(circuit_.num_wires(), 0);
   std::vector<std::thread> pool;
   pool.reserve(threads - 1);
   for (const auto& level : levels_) {
     // Only parallelize wide levels; thread spawn costs dominate narrow ones.
-    if (level.size() < 4096) {
+    if (level.size() < kParallelGrain) {
       eval_range(level, 0, level.size(), w, in);
       continue;
     }

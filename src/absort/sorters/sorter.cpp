@@ -1,7 +1,10 @@
 #include "absort/sorters/sorter.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <thread>
 
+#include "absort/netlist/batch_eval.hpp"
 #include "absort/netlist/wiring.hpp"
 
 namespace absort::sorters {
@@ -11,6 +14,40 @@ BitVec BinarySorter::sort(const BitVec& in) const {
   const auto perm = route(in);
   BitVec out(n_);
   for (std::size_t i = 0; i < n_; ++i) out[i] = in[perm[i]];
+  return out;
+}
+
+std::vector<BitVec> BinarySorter::sort_batch(std::span<const BitVec> batch,
+                                             std::size_t threads) const {
+  for (const auto& v : batch) {
+    if (v.size() != n_) throw std::invalid_argument(name() + ": wrong input size in batch");
+  }
+  if (is_combinational()) {
+    netlist::BatchRunner runner(build_circuit(), threads);
+    return runner.run(batch);
+  }
+  // Model B (time-multiplexed): no single circuit to bit-slice, so the batch
+  // dimension is the only parallelism -- shard whole vectors across threads.
+  std::vector<BitVec> out(batch.size());
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  threads = std::min(threads, std::max<std::size_t>(1, batch.size() / 64));
+  auto run_range = [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) out[i] = sort(batch[i]);
+  };
+  if (threads == 1) {
+    run_range(0, batch.size());
+    return out;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  const std::size_t chunk = (batch.size() + threads - 1) / threads;
+  for (std::size_t t = 1; t < threads; ++t) {
+    const std::size_t b = std::min(t * chunk, batch.size());
+    const std::size_t e = std::min(b + chunk, batch.size());
+    if (b < e) pool.emplace_back(run_range, b, e);
+  }
+  run_range(0, std::min(chunk, batch.size()));
+  for (auto& th : pool) th.join();
   return out;
 }
 

@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,16 @@ class BinarySorter {
   /// Sorts a binary sequence (by applying route() to the tags), so sort and
   /// route can never disagree.
   [[nodiscard]] BitVec sort(const BitVec& in) const;
+
+  /// Sorts a batch of independent sequences.  Combinational sorters compile
+  /// build_circuit() once into the bit-sliced batch engine (64-256 vectors
+  /// per circuit walk; see netlist/batch_eval.hpp) -- result i is bit-for-bit
+  /// Circuit::eval on batch[i].  Model-B sorters have no single circuit and
+  /// fall back to per-vector sort(), sharded across threads.  threads = 0
+  /// means hardware concurrency; either way the count is clamped to the
+  /// available passes so tiny batches never spawn idle workers.
+  [[nodiscard]] std::vector<BitVec> sort_batch(std::span<const BitVec> batch,
+                                               std::size_t threads = 0) const;
 
   /// Applies route(tags) to an arbitrary payload vector: the packets travel
   /// exactly where the network's switches carry them.

@@ -1,0 +1,37 @@
+#include "absort/util/wordvec.hpp"
+
+#include <cassert>
+
+namespace absort::wordvec {
+
+void pack_lanes(std::span<const BitVec> batch, std::size_t first, std::size_t lanes,
+                std::span<Word> words) {
+  assert(lanes <= kLanes);
+  assert(first + lanes <= batch.size());
+  const std::size_t n = words.size();
+  for (std::size_t i = 0; i < n; ++i) words[i] = 0;
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const BitVec& v = batch[first + lane];
+    assert(v.size() == n);
+    const Word bit = Word{1} << lane;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (v[i] & 1) words[i] |= bit;
+    }
+  }
+}
+
+void unpack_lanes(std::span<const Word> words, std::size_t first, std::size_t lanes,
+                  std::span<BitVec> out) {
+  assert(lanes <= kLanes);
+  assert(first + lanes <= out.size());
+  const std::size_t n = words.size();
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    BitVec& v = out[first + lane];
+    assert(v.size() == n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = static_cast<Bit>((words[i] >> lane) & 1);
+    }
+  }
+}
+
+}  // namespace absort::wordvec

@@ -1,0 +1,51 @@
+#pragma once
+// Word-level bit-lane packing for batch evaluation.
+//
+// A bit-sliced evaluator processes one independent input vector per *bit
+// lane* of a machine word: bit L of word i carries element i of vector L.
+// This header provides the transposition between that lane-major layout and
+// the library's one-byte-per-bit BitVec representation, plus the small lane
+// arithmetic (masks, broadcasts) the evaluator needs.  Keeping the layout
+// code here, out of the netlist compiler, also lets tests exercise the
+// transposition round trip in isolation.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "absort/util/bitvec.hpp"
+
+namespace absort::wordvec {
+
+using Word = std::uint64_t;
+
+/// Lanes carried by one word.
+inline constexpr std::size_t kLanes = 64;
+
+/// All-zero / all-one words (one per possible Bit value).
+[[nodiscard]] constexpr Word broadcast(Bit b) noexcept {
+  return b ? ~Word{0} : Word{0};
+}
+
+/// Word with the low `lanes` bits set (lanes <= 64; 64 -> all ones).
+[[nodiscard]] constexpr Word lane_mask(std::size_t lanes) noexcept {
+  return lanes >= kLanes ? ~Word{0} : (Word{1} << lanes) - 1;
+}
+
+/// Number of 64-lane passes needed for a batch of `b` vectors.
+[[nodiscard]] constexpr std::size_t num_passes(std::size_t b) noexcept {
+  return (b + kLanes - 1) / kLanes;
+}
+
+/// Packs vectors batch[first .. first+lanes) (all of equal length n) into
+/// lane-major words: bit L of words[i] = batch[first + L][i].  `words` must
+/// have size n; lanes above `lanes` are cleared.
+void pack_lanes(std::span<const BitVec> batch, std::size_t first, std::size_t lanes,
+                std::span<Word> words);
+
+/// Inverse of pack_lanes: scatters bit L of words[i] into out[first + L][i].
+/// Each out[first + L] must already be sized to words.size().
+void unpack_lanes(std::span<const Word> words, std::size_t first, std::size_t lanes,
+                  std::span<BitVec> out);
+
+}  // namespace absort::wordvec

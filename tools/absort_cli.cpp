@@ -6,6 +6,11 @@
 //   absort_cli dot    <network> <n>        Graphviz netlist to stdout
 //   absort_cli save   <network> <n>        text netlist to stdout (round-trippable)
 //   absort_cli vcd    <n> <k>              fish-hardware waveform of one sort (VCD)
+//   absort_cli batch  <network> <n> [count] [threads]
+//                                          batch sort via the bit-sliced engine:
+//                                          `count` random vectors (or '-' = read
+//                                          0/1 lines from stdin); reports
+//                                          vectors/sec vs per-vector evaluation
 //   absort_cli verify <network> <n> [reps] randomized verification
 //   absort_cli activity <network> <n>      steering-element activity on random inputs
 //   absort_cli optimize <network> <n>      optimizer savings report
@@ -14,14 +19,18 @@
 // Networks: batcher, bitonic, alt-oem, periodic, oe-transposition, prefix,
 //           mux-merger, fish, columnsort.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "absort/analysis/activity.hpp"
 #include "absort/analysis/tables.hpp"
+#include "absort/netlist/levelized.hpp"
 #include "absort/netlist/optimize.hpp"
 #include "absort/netlist/analyze.hpp"
 #include "absort/netlist/serialize.hpp"
@@ -66,10 +75,11 @@ int usage(const char* argv0) {
                "  %s save <network> <n>\n"
                "  %s vcd <n> <k>\n"
                "  %s verify <network> <n> [reps]\n"
+               "  %s batch <network> <n> [count|-] [threads]\n"
                "  %s activity <network> <n>\n"
                "  %s optimize <network> <n>\n"
                "  %s table2 <n>\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 1;
 }
 
@@ -155,6 +165,78 @@ int cmd_verify(const std::string& name, std::size_t n, std::size_t reps) {
   return bad == 0 ? 0 : 2;
 }
 
+int cmd_batch(const std::string& name, std::size_t n, const char* count_arg,
+              const char* threads_arg) {
+  const auto net = make_network(name, n);
+  if (!net) return 1;
+  const std::size_t threads = threads_arg ? std::strtoull(threads_arg, nullptr, 10) : 0;
+
+  std::vector<BitVec> batch;
+  const bool from_stdin = count_arg && std::strcmp(count_arg, "-") == 0;
+  if (from_stdin) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      auto v = BitVec::parse(line);
+      if (v.size() != n) {
+        std::fprintf(stderr, "line has %zu bits, expected %zu: %s\n", v.size(), n, line.c_str());
+        return 1;
+      }
+      batch.push_back(std::move(v));
+    }
+    if (batch.empty()) {
+      std::fprintf(stderr, "no input vectors on stdin\n");
+      return 1;
+    }
+  } else {
+    const std::size_t count = count_arg ? std::strtoull(count_arg, nullptr, 10) : 1024;
+    if (count == 0) {
+      std::fprintf(stderr, "batch count must be a positive integer, got: %s\n", count_arg);
+      return 1;
+    }
+    Xoshiro256 rng(0xBA7C4);
+    batch.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) batch.push_back(workload::random_bits(rng, n));
+  }
+
+  using clock = std::chrono::steady_clock;
+
+  // Per-vector baseline on a slice of the batch (levelized netlist walk for
+  // combinational networks, the value face for model B).
+  const std::size_t probe = std::min<std::size_t>(batch.size(), 64);
+  double single_s = 0;
+  if (net->is_combinational()) {
+    const netlist::LevelizedCircuit lc(net->build_circuit());
+    const auto t0 = clock::now();
+    for (std::size_t i = 0; i < probe; ++i) (void)lc.eval(batch[i]);
+    single_s = std::chrono::duration<double>(clock::now() - t0).count();
+  } else {
+    const auto t0 = clock::now();
+    for (std::size_t i = 0; i < probe; ++i) (void)net->sort(batch[i]);
+    single_s = std::chrono::duration<double>(clock::now() - t0).count();
+  }
+
+  const auto t0 = clock::now();
+  const auto sorted = net->sort_batch(batch, threads);
+  const double batch_s = std::chrono::duration<double>(clock::now() - t0).count();
+
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (!sorted[i].is_sorted_ascending() || sorted[i].count_ones() != batch[i].count_ones()) {
+      ++bad;
+    }
+  }
+  if (from_stdin || batch.size() <= 16) {
+    for (const auto& v : sorted) std::printf("%s\n", v.str().c_str());
+  }
+  const double single_vps = probe / single_s;
+  const double batch_vps = static_cast<double>(batch.size()) / batch_s;
+  std::printf("%s n=%zu: %zu vectors, %zu bad\n", name.c_str(), n, batch.size(), bad);
+  std::printf("per-vector: %.0f vectors/sec   batch: %.0f vectors/sec   speedup %.1fx\n",
+              single_vps, batch_vps, batch_vps / single_vps);
+  return bad == 0 ? 0 : 2;
+}
+
 int cmd_table2(std::size_t n) {
   std::fputs(analysis::render_table2(analysis::table2(n), n).c_str(), stdout);
   return 0;
@@ -233,6 +315,9 @@ int main(int argc, char** argv) {
     if (cmd == "optimize") return cmd_optimize(name, n);
     if (cmd == "verify") {
       return cmd_verify(name, n, argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1000);
+    }
+    if (cmd == "batch") {
+      return cmd_batch(name, n, argc > 4 ? argv[4] : nullptr, argc > 5 ? argv[5] : nullptr);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
