@@ -235,12 +235,14 @@ void BatchRunner::ensure_workers(std::size_t want) {
   }
 }
 
-void BatchRunner::work(std::span<const BitVec> inputs, std::span<BitVec> outputs,
-                       std::vector<Word>& scratch) {
+void BatchRunner::work(std::uint64_t gen, std::span<const BitVec> inputs,
+                       std::span<BitVec> outputs, std::vector<Word>& scratch) {
   // Claim 256-lane blocks until the cursor runs out.  The claim is under the
-  // lock; the evaluation itself touches only this block's lanes.
+  // lock and re-validates the generation: a straggler that snapshotted a
+  // completed job's spans must never claim blocks of a job started since
+  // (its spans may point at a returned caller's buffers).
   std::unique_lock lk(m_);
-  while (next_block_ < job_blocks_) {
+  while (generation_ == gen && next_block_ < job_blocks_) {
     const std::size_t blk = next_block_++;
     lk.unlock();
     const std::size_t first = blk * kBlockLanes;
@@ -265,7 +267,7 @@ void BatchRunner::worker_loop() {
       outputs = job_outputs_;
       ++active_;
     }
-    work(inputs, outputs, scratch);
+    work(seen, inputs, outputs, scratch);
     {
       std::lock_guard lk(m_);
       if (--active_ == 0) cv_done_.notify_one();
@@ -294,6 +296,7 @@ std::vector<BitVec> BatchRunner::run(std::span<const BitVec> inputs) {
     }
     return outputs;
   }
+  std::uint64_t gen;
   {
     std::lock_guard lk(m_);
     ensure_workers(helpers);
@@ -301,13 +304,17 @@ std::vector<BitVec> BatchRunner::run(std::span<const BitVec> inputs) {
     job_outputs_ = outputs;
     job_blocks_ = blocks;
     next_block_ = 0;
-    ++generation_;
+    gen = ++generation_;
   }
   cv_start_.notify_all();
-  work(inputs, outputs, scratch);
+  work(gen, inputs, outputs, scratch);
   {
     std::unique_lock lk(m_);
     cv_done_.wait(lk, [&] { return active_ == 0 && next_block_ >= job_blocks_; });
+    // Drop the spans while still holding the lock: a straggler waking later
+    // snapshots empty spans instead of this caller's (soon-dead) buffers.
+    job_inputs_ = {};
+    job_outputs_ = {};
   }
   return outputs;
 }

@@ -125,7 +125,7 @@ class BatchRunner {
  private:
   void ensure_workers(std::size_t want);
   void worker_loop();
-  void work(std::span<const BitVec> inputs, std::span<BitVec> outputs,
+  void work(std::uint64_t gen, std::span<const BitVec> inputs, std::span<BitVec> outputs,
             std::vector<wordvec::Word>& scratch);
 
   BitSlicedEvaluator eval_;

@@ -97,9 +97,13 @@ BitVec LevelizedCircuit::eval_parallel(const BitVec& in, std::size_t threads) co
   }
   if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   // Clamp to what the widest level can keep busy (one worker per
-  // kParallelGrain components) so tiny circuits never spawn idle workers.
+  // kParallelGrain components, rounding up so any level wide enough to pass
+  // the per-level gate below can get more than one worker) so tiny circuits
+  // never spawn idle workers.
   constexpr std::size_t kParallelGrain = 4096;
-  threads = std::min(threads, std::max<std::size_t>(1, max_level_width() / kParallelGrain));
+  threads = std::min(
+      threads,
+      std::max<std::size_t>(1, (max_level_width() + kParallelGrain - 1) / kParallelGrain));
   if (threads == 1) return eval(in);
   std::vector<Bit> w(circuit_.num_wires(), 0);
   std::vector<std::thread> pool;

@@ -1,6 +1,8 @@
 #include "absort/sorters/sorter.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -31,11 +33,21 @@ std::vector<BitVec> BinarySorter::sort_batch(std::span<const BitVec> batch,
   std::vector<BitVec> out(batch.size());
   if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   threads = std::min(threads, std::max<std::size_t>(1, batch.size() / 64));
-  auto run_range = [&](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) out[i] = sort(batch[i]);
+  // An exception escaping a std::thread is std::terminate; catch in the
+  // worker, keep the first, and rethrow on the calling thread after join.
+  std::exception_ptr err;
+  std::mutex err_m;
+  auto run_range = [&](std::size_t b, std::size_t e) noexcept {
+    try {
+      for (std::size_t i = b; i < e; ++i) out[i] = sort(batch[i]);
+    } catch (...) {
+      const std::lock_guard lk(err_m);
+      if (!err) err = std::current_exception();
+    }
   };
   if (threads == 1) {
     run_range(0, batch.size());
+    if (err) std::rethrow_exception(err);
     return out;
   }
   std::vector<std::thread> pool;
@@ -48,6 +60,7 @@ std::vector<BitVec> BinarySorter::sort_batch(std::span<const BitVec> batch,
   }
   run_range(0, std::min(chunk, batch.size()));
   for (auto& th : pool) th.join();
+  if (err) std::rethrow_exception(err);
   return out;
 }
 

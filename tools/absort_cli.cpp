@@ -202,18 +202,28 @@ int cmd_batch(const std::string& name, std::size_t n, const char* count_arg,
   using clock = std::chrono::steady_clock;
 
   // Per-vector baseline on a slice of the batch (levelized netlist walk for
-  // combinational networks, the value face for model B).
+  // combinational networks, the value face for model B).  Repeat the probe
+  // until enough wall time has passed that the rate is meaningful -- a single
+  // pass over 64 tiny vectors can finish within one steady_clock tick.
   const std::size_t probe = std::min<std::size_t>(batch.size(), 64);
+  constexpr double kMinProbeSeconds = 1e-3;
   double single_s = 0;
+  std::size_t probe_reps = 0;
   if (net->is_combinational()) {
     const netlist::LevelizedCircuit lc(net->build_circuit());
     const auto t0 = clock::now();
-    for (std::size_t i = 0; i < probe; ++i) (void)lc.eval(batch[i]);
-    single_s = std::chrono::duration<double>(clock::now() - t0).count();
+    do {
+      for (std::size_t i = 0; i < probe; ++i) (void)lc.eval(batch[i]);
+      ++probe_reps;
+      single_s = std::chrono::duration<double>(clock::now() - t0).count();
+    } while (single_s < kMinProbeSeconds);
   } else {
     const auto t0 = clock::now();
-    for (std::size_t i = 0; i < probe; ++i) (void)net->sort(batch[i]);
-    single_s = std::chrono::duration<double>(clock::now() - t0).count();
+    do {
+      for (std::size_t i = 0; i < probe; ++i) (void)net->sort(batch[i]);
+      ++probe_reps;
+      single_s = std::chrono::duration<double>(clock::now() - t0).count();
+    } while (single_s < kMinProbeSeconds);
   }
 
   const auto t0 = clock::now();
@@ -229,7 +239,7 @@ int cmd_batch(const std::string& name, std::size_t n, const char* count_arg,
   if (from_stdin || batch.size() <= 16) {
     for (const auto& v : sorted) std::printf("%s\n", v.str().c_str());
   }
-  const double single_vps = probe / single_s;
+  const double single_vps = static_cast<double>(probe_reps * probe) / single_s;
   const double batch_vps = static_cast<double>(batch.size()) / batch_s;
   std::printf("%s n=%zu: %zu vectors, %zu bad\n", name.c_str(), n, batch.size(), bad);
   std::printf("per-vector: %.0f vectors/sec   batch: %.0f vectors/sec   speedup %.1fx\n",
