@@ -1,11 +1,16 @@
 // E-B1 -- batch-evaluation throughput: per-vector levelized evaluation vs
-// the bit-sliced engine (64-256 vectors per circuit walk) vs the bit-sliced
-// engine sharded across the BatchRunner pool, for the paper's three adaptive
-// sorters at n = 64..4096.  The report writes BENCH_batch_throughput.json
-// (vectors/sec per engine) and then hands over to google-benchmark.
+// the bit-sliced engine (64-512 vectors per compiled-program pass) vs the
+// bit-sliced engine sharded across the BatchRunner pool, for the paper's
+// three adaptive sorters at n = 64..4096.  Model-B sorters (fish) now run
+// their own bit-sliced sort_batch path, so the "sliced" column is real for
+// them too.  The report writes BENCH_batch_throughput.json, embedding the
+// PR-1 bitsliced numbers for before/after comparison, and then hands over
+// to google-benchmark.  `--quick` runs a small smoke subset (no JSON, no
+// google-benchmark) for ctest.
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -16,13 +21,37 @@
 #include "absort/sorters/muxmerge_sorter.hpp"
 #include "absort/sorters/prefix_sorter.hpp"
 #include "absort/util/rng.hpp"
+#include "absort/util/wordvec.hpp"
 #include "bench_common.hpp"
 
 namespace {
 
 using namespace absort;
 
-constexpr std::size_t kBatch = 2048;  ///< vectors per timed batch
+constexpr std::size_t kBatch = 2048;  ///< vectors per timed batch (full run)
+
+// PR-1 bitsliced_vps per (sorter, n), from the committed
+// BENCH_batch_throughput.json of the previous revision.  Model-B sorters had
+// no bit-sliced path then (speedup_bitsliced == 1.00): their baseline is the
+// per-vector rate.
+struct Pr1Baseline {
+  const char* sorter;
+  std::size_t n;
+  double bitsliced_vps;
+};
+constexpr Pr1Baseline kPr1[] = {
+    {"prefix", 64, 1680495.7},   {"mux-merger", 64, 1383231.4},  {"fish", 64, 55368.8},
+    {"prefix", 256, 280640.0},   {"mux-merger", 256, 431613.0},  {"fish", 256, 43592.2},
+    {"prefix", 1024, 84744.0},   {"mux-merger", 1024, 102641.9}, {"fish", 1024, 10661.5},
+    {"prefix", 4096, 29865.0},   {"mux-merger", 4096, 22169.3},  {"fish", 4096, 2425.0},
+};
+
+double pr1_bitsliced(const char* sorter, std::size_t n) {
+  for (const auto& b : kPr1) {
+    if (b.n == n && std::strcmp(b.sorter, sorter) == 0) return b.bitsliced_vps;
+  }
+  return 0.0;
+}
 
 std::vector<BitVec> make_batch(std::size_t b, std::size_t n) {
   Xoshiro256 rng(0xBEEF ^ n);
@@ -36,24 +65,34 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
+std::size_t hw_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
 struct Row {
   const char* sorter;
   std::size_t n;
   double single_vps;
   double sliced_vps;
   double threaded_vps;
+  std::size_t threads_used;  ///< workers the threaded row actually ran with
 };
 
-Row measure(const char* name, const sorters::BinarySorter& sorter, std::size_t n) {
-  const auto batch = make_batch(kBatch, n);
-  Row row{name, n, 0, 0, 0};
+Row measure(const char* name, const sorters::BinarySorter& sorter, std::size_t n,
+            std::size_t batch_size) {
+  const auto batch = make_batch(batch_size, n);
+  // The pool never runs more workers than there are 512-vector blocks (or
+  // hardware threads) -- this is what the threaded row really used.
+  const std::size_t blocks = (batch.size() + netlist::kBlockLanes - 1) / netlist::kBlockLanes;
+  Row row{name, n, 0, 0, 0, std::max<std::size_t>(1, std::min(hw_threads(), blocks))};
 
   if (sorter.is_combinational()) {
     const auto circuit = sorter.build_circuit();
     const netlist::LevelizedCircuit lc(circuit);
     // Per-vector baseline on a slice (the full batch takes minutes at
     // n = 4096); throughput extrapolates linearly.
-    const std::size_t probe = std::min<std::size_t>(kBatch, n <= 256 ? 512 : 64);
+    const std::size_t probe = std::min<std::size_t>(batch_size, n <= 256 ? 512 : 64);
     auto t0 = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < probe; ++i) benchmark::DoNotOptimize(lc.eval(batch[i]));
     row.single_vps = static_cast<double>(probe) / seconds_since(t0);
@@ -61,37 +100,51 @@ Row measure(const char* name, const sorters::BinarySorter& sorter, std::size_t n
     const netlist::BitSlicedEvaluator ev(circuit);
     t0 = std::chrono::steady_clock::now();
     benchmark::DoNotOptimize(ev.eval_batch(batch));
-    row.sliced_vps = static_cast<double>(kBatch) / seconds_since(t0);
+    row.sliced_vps = static_cast<double>(batch.size()) / seconds_since(t0);
 
     netlist::BatchRunner runner(circuit);
-    (void)runner.run(batch);  // warm the pool before timing
+    std::vector<BitVec> out(batch.size());
+    runner.run(batch, std::span<BitVec>(out));  // warm the pool + output buffers
     t0 = std::chrono::steady_clock::now();
-    benchmark::DoNotOptimize(runner.run(batch));
-    row.threaded_vps = static_cast<double>(kBatch) / seconds_since(t0);
+    runner.run(batch, std::span<BitVec>(out));
+    benchmark::DoNotOptimize(out.data());
+    row.threaded_vps = static_cast<double>(batch.size()) / seconds_since(t0);
   } else {
-    // Model B: per-vector value face vs the vector-sharded fallback.
-    const std::size_t probe = std::min<std::size_t>(kBatch, 256);
+    // Model B: per-vector value face vs its bit-sliced sort_batch path.
+    const std::size_t probe = std::min<std::size_t>(batch_size, 256);
     auto t0 = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < probe; ++i) benchmark::DoNotOptimize(sorter.sort(batch[i]));
     row.single_vps = static_cast<double>(probe) / seconds_since(t0);
-    row.sliced_vps = row.single_vps;  // no circuit to slice
+
+    std::vector<BitVec> out(batch.size());
+    sorter.sort_batch(batch, std::span<BitVec>(out), 1);  // warm
     t0 = std::chrono::steady_clock::now();
-    benchmark::DoNotOptimize(sorter.sort_batch(batch, 0));
-    row.threaded_vps = static_cast<double>(kBatch) / seconds_since(t0);
+    sorter.sort_batch(batch, std::span<BitVec>(out), 1);
+    benchmark::DoNotOptimize(out.data());
+    row.sliced_vps = static_cast<double>(batch.size()) / seconds_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    sorter.sort_batch(batch, std::span<BitVec>(out), 0);
+    benchmark::DoNotOptimize(out.data());
+    row.threaded_vps = static_cast<double>(batch.size()) / seconds_since(t0);
   }
   return row;
 }
 
-void report() {
+void report(bool quick) {
   absort::bench::heading(
       "E-B1: batch throughput, per-vector vs bit-sliced vs bit-sliced+threads");
-  std::printf("batch = %zu vectors, %u hardware threads\n\n", kBatch,
-              std::thread::hardware_concurrency());
-  std::printf("%-12s %6s %14s %14s %14s %9s %9s\n", "sorter", "n", "single v/s", "sliced v/s",
-              "threaded v/s", "slice x", "thread x");
+  const std::size_t batch_size = quick ? 600 : kBatch;
+  std::printf("batch = %zu vectors, %zu hardware threads, %zu SIMD lanes/pass, %zu-vector blocks%s\n\n",
+              batch_size, hw_threads(), wordvec::kSimdLanes, netlist::kBlockLanes,
+              quick ? " [quick]" : "");
+  std::printf("%-12s %6s %14s %14s %14s %4s %8s %8s %8s\n", "sorter", "n", "single v/s",
+              "sliced v/s", "threaded v/s", "thr", "slice x", "thread x", "vs PR-1");
 
   std::vector<Row> rows;
-  for (const std::size_t n : {64, 256, 1024, 4096}) {
+  const auto sizes = quick ? std::vector<std::size_t>{64, 256}
+                           : std::vector<std::size_t>{64, 256, 1024, 4096};
+  for (const std::size_t n : sizes) {
     const struct {
       const char* name;
       std::unique_ptr<sorters::BinarySorter> sorter;
@@ -101,29 +154,34 @@ void report() {
         {"fish", sorters::FishSorter::make(n)},
     };
     for (const auto& c : cases) {
-      const Row r = measure(c.name, *c.sorter, n);
+      const Row r = measure(c.name, *c.sorter, n, batch_size);
       rows.push_back(r);
-      std::printf("%-12s %6zu %14.0f %14.0f %14.0f %8.1fx %8.1fx\n", r.sorter, r.n,
-                  r.single_vps, r.sliced_vps, r.threaded_vps, r.sliced_vps / r.single_vps,
-                  r.threaded_vps / r.single_vps);
+      const double pr1 = pr1_bitsliced(r.sorter, r.n);
+      std::printf("%-12s %6zu %14.0f %14.0f %14.0f %4zu %7.1fx %7.1fx %7.2fx\n", r.sorter, r.n,
+                  r.single_vps, r.sliced_vps, r.threaded_vps, r.threads_used,
+                  r.sliced_vps / r.single_vps, r.threaded_vps / r.single_vps,
+                  pr1 > 0 ? r.sliced_vps / pr1 : 0.0);
     }
   }
+  if (quick) return;  // smoke mode: no JSON, numbers are not steady-state
 
   if (FILE* f = std::fopen("BENCH_batch_throughput.json", "w")) {
     std::fprintf(f,
                  "{\n  \"benchmark\": \"batch_throughput\",\n  \"batch_size\": %zu,\n"
-                 "  \"lanes_per_word\": 64,\n  \"unrolled_words\": 4,\n"
-                 "  \"hardware_threads\": %u,\n  \"results\": [\n",
-                 kBatch, std::thread::hardware_concurrency());
+                 "  \"simd_lanes\": %zu,\n  \"block_lanes\": %zu,\n"
+                 "  \"hardware_threads\": %zu,\n  \"results\": [\n",
+                 batch_size, wordvec::kSimdLanes, netlist::kBlockLanes, hw_threads());
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];
+      const double pr1 = pr1_bitsliced(r.sorter, r.n);
       std::fprintf(f,
                    "    {\"sorter\": \"%s\", \"n\": %zu, \"single_vps\": %.1f, "
-                   "\"bitsliced_vps\": %.1f, \"threaded_vps\": %.1f, "
-                   "\"speedup_bitsliced\": %.2f, \"speedup_threaded\": %.2f}%s\n",
-                   r.sorter, r.n, r.single_vps, r.sliced_vps, r.threaded_vps,
-                   r.sliced_vps / r.single_vps, r.threaded_vps / r.single_vps,
-                   i + 1 < rows.size() ? "," : "");
+                   "\"bitsliced_vps\": %.1f, \"threaded_vps\": %.1f, \"threads_used\": %zu, "
+                   "\"speedup_bitsliced\": %.2f, \"speedup_threaded\": %.2f, "
+                   "\"pr1_bitsliced_vps\": %.1f, \"vs_pr1\": %.2f}%s\n",
+                   r.sorter, r.n, r.single_vps, r.sliced_vps, r.threaded_vps, r.threads_used,
+                   r.sliced_vps / r.single_vps, r.threaded_vps / r.single_vps, pr1,
+                   pr1 > 0 ? r.sliced_vps / pr1 : 0.0, i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -159,13 +217,36 @@ void BM_BatchRunner(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   netlist::BatchRunner runner(sorters::PrefixSorter(n).build_circuit());
   const auto batch = make_batch(2048, n);
+  std::vector<BitVec> out(batch.size());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(runner.run(batch));
+    runner.run(batch, std::span<BitVec>(out));
+    benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2048);
 }
 BENCHMARK(BM_BatchRunner)->Arg(256)->Arg(1024);
 
+void BM_FishSortBatch(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto fish = sorters::FishSorter::make(n);
+  const auto batch = make_batch(512, n);
+  std::vector<BitVec> out(batch.size());
+  for (auto _ : state) {
+    fish->sort_batch(batch, std::span<BitVec>(out), 1);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_FishSortBatch)->Arg(256)->Arg(1024);
+
 }  // namespace
 
-int main(int argc, char** argv) { return absort::bench::run(argc, argv, report); }
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      report(/*quick=*/true);
+      return 0;
+    }
+  }
+  return absort::bench::run(argc, argv, [] { report(/*quick=*/false); });
+}

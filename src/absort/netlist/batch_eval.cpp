@@ -1,72 +1,92 @@
 #include "absort/netlist/batch_eval.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <stdexcept>
 
 #include "absort/netlist/levelized.hpp"
 
 namespace absort::netlist {
 
+using wordvec::Vec;
 using wordvec::Word;
 
 namespace {
 
-/// Lanes processed per work unit: one 4-word-unrolled pass.
-constexpr std::size_t kBlockLanes = 4 * wordvec::kLanes;
-
-/// Interpreter core, unrolled over W words per slot.  The program is
-/// straight-line and every dst slot is distinct from its operands within an
-/// instruction, so the per-word loop vectorizes freely.
-template <std::size_t W>
-void run_program(const std::vector<WordInstr>& prog, const Word* in, Word* buf) {
+/// Interpreter core over element type T (Word = 64 lanes, wordvec::Vec = one
+/// SIMD bundle) with W elements per slot.  The program is straight-line;
+/// after slot re-allocation a dst may alias an operand slot, which is safe
+/// because each element w reads its operands' element w before storing
+/// element w.  Operand pointers are formed inside each case: a Load's `a`
+/// is a primary-input index and may exceed num_slots.
+template <typename T, std::size_t W>
+void run_program(const std::vector<WordInstr>& prog, const T* in, T* buf) {
+  const T zero{};
+  const T ones = ~zero;
   for (const auto& ins : prog) {
-    Word* d = buf + std::size_t{ins.dst} * W;
-    const Word* a = buf + std::size_t{ins.a} * W;
-    const Word* b = buf + std::size_t{ins.b} * W;
-    const Word* c = buf + std::size_t{ins.c} * W;
+    T* const d = buf + std::size_t{ins.dst} * W;
     switch (ins.op) {
       case WordInstr::Op::Load: {
-        const Word* src = in + std::size_t{ins.a} * W;
+        const T* const src = in + std::size_t{ins.a} * W;
         for (std::size_t w = 0; w < W; ++w) d[w] = src[w];
         break;
       }
       case WordInstr::Op::Const0:
-        for (std::size_t w = 0; w < W; ++w) d[w] = 0;
+        for (std::size_t w = 0; w < W; ++w) d[w] = zero;
         break;
       case WordInstr::Op::Const1:
-        for (std::size_t w = 0; w < W; ++w) d[w] = ~Word{0};
+        for (std::size_t w = 0; w < W; ++w) d[w] = ones;
         break;
-      case WordInstr::Op::Not:
+      case WordInstr::Op::Not: {
+        const T* const a = buf + std::size_t{ins.a} * W;
         for (std::size_t w = 0; w < W; ++w) d[w] = ~a[w];
         break;
-      case WordInstr::Op::And:
+      }
+      case WordInstr::Op::And: {
+        const T* const a = buf + std::size_t{ins.a} * W;
+        const T* const b = buf + std::size_t{ins.b} * W;
         for (std::size_t w = 0; w < W; ++w) d[w] = a[w] & b[w];
         break;
-      case WordInstr::Op::Or:
+      }
+      case WordInstr::Op::Or: {
+        const T* const a = buf + std::size_t{ins.a} * W;
+        const T* const b = buf + std::size_t{ins.b} * W;
         for (std::size_t w = 0; w < W; ++w) d[w] = a[w] | b[w];
         break;
-      case WordInstr::Op::Xor:
+      }
+      case WordInstr::Op::Xor: {
+        const T* const a = buf + std::size_t{ins.a} * W;
+        const T* const b = buf + std::size_t{ins.b} * W;
         for (std::size_t w = 0; w < W; ++w) d[w] = a[w] ^ b[w];
         break;
-      case WordInstr::Op::AndNot:
+      }
+      case WordInstr::Op::AndNot: {
+        const T* const a = buf + std::size_t{ins.a} * W;
+        const T* const b = buf + std::size_t{ins.b} * W;
         for (std::size_t w = 0; w < W; ++w) d[w] = a[w] & ~b[w];
         break;
-      case WordInstr::Op::Mux:
+      }
+      case WordInstr::Op::Mux: {
+        const T* const a = buf + std::size_t{ins.a} * W;
+        const T* const b = buf + std::size_t{ins.b} * W;
+        const T* const c = buf + std::size_t{ins.c} * W;
         for (std::size_t w = 0; w < W; ++w) d[w] = a[w] ^ (c[w] & (a[w] ^ b[w]));
         break;
+      }
     }
   }
 }
 
 }  // namespace
 
-BitSlicedEvaluator::BitSlicedEvaluator(const Circuit& c) { compile(c); }
+BitSlicedEvaluator::BitSlicedEvaluator(const Circuit& c, bool optimize) { compile(c, optimize); }
 
-BitSlicedEvaluator::BitSlicedEvaluator(const LevelizedCircuit& lc)
-    : BitSlicedEvaluator(lc.circuit()) {}
+BitSlicedEvaluator::BitSlicedEvaluator(const LevelizedCircuit& lc, bool optimize)
+    : BitSlicedEvaluator(lc.circuit(), optimize) {}
 
-void BitSlicedEvaluator::compile(const Circuit& c) {
-  num_inputs_ = c.num_inputs();
+void BitSlicedEvaluator::compile(const Circuit& c, bool optimize) {
+  WordProgram raw;
+  raw.num_inputs = c.num_inputs();
   std::size_t slots = c.num_wires();
   // Two scratch temporaries shared by every Switch4x4 lowering (the program
   // is sequential; a temp's value is consumed by the very next instructions).
@@ -80,43 +100,44 @@ void BitSlicedEvaluator::compile(const Circuit& c) {
     }
   };
 
+  auto& prog = raw.instrs;
   std::uint32_t next_input = 0;
   for (const auto& comp : c.components()) {
     const auto& in = comp.in;
     const auto& out = comp.out;
     switch (comp.kind) {
       case Kind::Input:
-        prog_.push_back({WordInstr::Op::Load, out[0], next_input++});
+        prog.push_back({WordInstr::Op::Load, out[0], next_input++});
         break;
       case Kind::Const:
-        prog_.push_back({comp.aux ? WordInstr::Op::Const1 : WordInstr::Op::Const0, out[0]});
+        prog.push_back({comp.aux ? WordInstr::Op::Const1 : WordInstr::Op::Const0, out[0]});
         break;
       case Kind::Not:
-        prog_.push_back({WordInstr::Op::Not, out[0], in[0]});
+        prog.push_back({WordInstr::Op::Not, out[0], in[0]});
         break;
       case Kind::And:
-        prog_.push_back({WordInstr::Op::And, out[0], in[0], in[1]});
+        prog.push_back({WordInstr::Op::And, out[0], in[0], in[1]});
         break;
       case Kind::Or:
-        prog_.push_back({WordInstr::Op::Or, out[0], in[0], in[1]});
+        prog.push_back({WordInstr::Op::Or, out[0], in[0], in[1]});
         break;
       case Kind::Xor:
-        prog_.push_back({WordInstr::Op::Xor, out[0], in[0], in[1]});
+        prog.push_back({WordInstr::Op::Xor, out[0], in[0], in[1]});
         break;
       case Kind::Mux21:
-        prog_.push_back({WordInstr::Op::Mux, out[0], in[0], in[1], in[2]});
+        prog.push_back({WordInstr::Op::Mux, out[0], in[0], in[1], in[2]});
         break;
       case Kind::Demux12:
-        prog_.push_back({WordInstr::Op::AndNot, out[0], in[0], in[1]});
-        prog_.push_back({WordInstr::Op::And, out[1], in[0], in[1]});
+        prog.push_back({WordInstr::Op::AndNot, out[0], in[0], in[1]});
+        prog.push_back({WordInstr::Op::And, out[1], in[0], in[1]});
         break;
       case Kind::Comparator:
-        prog_.push_back({WordInstr::Op::And, out[0], in[0], in[1]});
-        prog_.push_back({WordInstr::Op::Or, out[1], in[0], in[1]});
+        prog.push_back({WordInstr::Op::And, out[0], in[0], in[1]});
+        prog.push_back({WordInstr::Op::Or, out[1], in[0], in[1]});
         break;
       case Kind::Switch2x2:
-        prog_.push_back({WordInstr::Op::Mux, out[0], in[0], in[1], in[2]});
-        prog_.push_back({WordInstr::Op::Mux, out[1], in[1], in[0], in[2]});
+        prog.push_back({WordInstr::Op::Mux, out[0], in[0], in[1], in[2]});
+        prog.push_back({WordInstr::Op::Mux, out[1], in[1], in[0], in[2]});
         break;
       case Kind::Switch4x4: {
         // out[q] = d[pat[s][q]], s = s1*2 + s0: a two-level lane-wise mux
@@ -124,87 +145,96 @@ void BitSlicedEvaluator::compile(const Circuit& c) {
         temps();
         const auto& pat = c.swap4_tables()[comp.aux];
         for (std::uint32_t q = 0; q < 4; ++q) {
-          prog_.push_back({WordInstr::Op::Mux, t0, in[pat[0][q]], in[pat[1][q]], in[4]});
-          prog_.push_back({WordInstr::Op::Mux, t1, in[pat[2][q]], in[pat[3][q]], in[4]});
-          prog_.push_back({WordInstr::Op::Mux, out[q], t0, t1, in[5]});
+          prog.push_back({WordInstr::Op::Mux, t0, in[pat[0][q]], in[pat[1][q]], in[4]});
+          prog.push_back({WordInstr::Op::Mux, t1, in[pat[2][q]], in[pat[3][q]], in[4]});
+          prog.push_back({WordInstr::Op::Mux, out[q], t0, t1, in[5]});
         }
         break;
       }
     }
   }
-  num_slots_ = slots;
-  output_slots_.assign(c.output_wires().begin(), c.output_wires().end());
+  raw.num_slots = slots;
+  raw.output_slots.assign(c.output_wires().begin(), c.output_wires().end());
+
+  if (optimize) {
+    prog_ = optimize_program(raw, &stats_);
+  } else {
+    prog_ = std::move(raw);
+    stats_.ops_before = stats_.ops_after = prog_.instrs.size();
+    stats_.slots_before = stats_.slots_after = prog_.num_slots;
+    stats_.peak_live = prog_.num_slots;
+  }
 }
 
 void BitSlicedEvaluator::eval_pass(std::span<const Word> in_words, std::span<Word> out_words,
                                    std::span<Word> scratch) const {
-  run_program<1>(prog_, in_words.data(), scratch.data());
-  for (std::size_t j = 0; j < output_slots_.size(); ++j) out_words[j] = scratch[output_slots_[j]];
+  run_program<Word, 1>(prog_.instrs, in_words.data(), scratch.data());
+  const auto& outs = prog_.output_slots;
+  for (std::size_t j = 0; j < outs.size(); ++j) out_words[j] = scratch[outs[j]];
 }
 
-void BitSlicedEvaluator::eval_pass_x4(std::span<const Word> in_words, std::span<Word> out_words,
-                                      std::span<Word> scratch) const {
-  run_program<4>(prog_, in_words.data(), scratch.data());
-  for (std::size_t j = 0; j < output_slots_.size(); ++j) {
-    for (std::size_t w = 0; w < 4; ++w) {
-      out_words[j * 4 + w] = scratch[std::size_t{output_slots_[j]} * 4 + w];
-    }
+void BitSlicedEvaluator::eval_pass_simd(const Vec* in, Vec* out, Vec* scratch) const {
+  run_program<Vec, 1>(prog_.instrs, in, scratch);
+  const auto& outs = prog_.output_slots;
+  for (std::size_t j = 0; j < outs.size(); ++j) out[j] = scratch[outs[j]];
+}
+
+void BitSlicedEvaluator::eval_pass_simd_x2(const Vec* in, Vec* out, Vec* scratch) const {
+  run_program<Vec, 2>(prog_.instrs, in, scratch);
+  const auto& outs = prog_.output_slots;
+  for (std::size_t j = 0; j < outs.size(); ++j) {
+    out[j * 2] = scratch[std::size_t{outs[j]} * 2];
+    out[j * 2 + 1] = scratch[std::size_t{outs[j]} * 2 + 1];
   }
 }
 
 void BitSlicedEvaluator::eval_lane_block(std::span<const BitVec> inputs, std::size_t first,
                                          std::size_t lanes, std::span<BitVec> outputs,
-                                         std::vector<Word>& scratch) const {
-  const std::size_t ni = num_inputs_;
-  const std::size_t no = output_slots_.size();
+                                         std::vector<Vec>& scratch) const {
+  const std::size_t ni = prog_.num_inputs;
+  const std::size_t no = prog_.output_slots.size();
+  const std::size_t ns = prog_.num_slots;
   if (lanes <= wordvec::kLanes) {
-    scratch.resize(ni + no + num_slots_);
-    const std::span<Word> in{scratch.data(), ni};
-    const std::span<Word> out{scratch.data() + ni, no};
-    const std::span<Word> buf{scratch.data() + ni + no, num_slots_};
+    // Single-word path; carve Word spans out of the Vec scratch.
+    const std::size_t words = ni + no + ns;
+    scratch.resize((words + wordvec::kSimdWords - 1) / wordvec::kSimdWords);
+    Word* const base = reinterpret_cast<Word*>(scratch.data());
+    const std::span<Word> in{base, ni};
+    const std::span<Word> out{base + ni, no};
+    const std::span<Word> buf{base + ni + no, ns};
     wordvec::pack_lanes(inputs, first, lanes, in);
     eval_pass(in, out, buf);
     wordvec::unpack_lanes(out, first, lanes, outputs);
     return;
   }
-  // 4-word-unrolled path: slot s occupies words [4s, 4s+4); word w of a slot
-  // carries lanes [first + 64w, first + 64w + 64).  tmp stages the
-  // contiguous <-> interleaved transposition.
-  scratch.resize(4 * (ni + no + num_slots_) + std::max(ni, no));
-  Word* const in4 = scratch.data();
-  Word* const out4 = in4 + 4 * ni;
-  Word* const buf4 = out4 + 4 * no;
-  Word* const tmp = buf4 + 4 * num_slots_;
-  for (std::size_t w = 0; w < 4; ++w) {
-    const std::size_t lw = lanes > w * wordvec::kLanes
-                               ? std::min(wordvec::kLanes, lanes - w * wordvec::kLanes)
-                               : 0;
-    if (lw > 0) {
-      wordvec::pack_lanes(inputs, first + w * wordvec::kLanes, lw, {tmp, ni});
-      for (std::size_t i = 0; i < ni; ++i) in4[i * 4 + w] = tmp[i];
-    } else {
-      for (std::size_t i = 0; i < ni; ++i) in4[i * 4 + w] = 0;
-    }
+  // SIMD path: slot s occupies Vec [W*s, W*(s+1)); word w of a slot carries
+  // lanes [first + 64w, first + 64w + 64) -- exactly pack_lanes_wide's
+  // interleaved layout with words_per_slot = W * kSimdWords.
+  const std::size_t W = lanes <= wordvec::kSimdLanes ? 1 : 2;
+  const std::size_t wps = W * wordvec::kSimdWords;
+  scratch.resize(W * (ni + no + ns));
+  Vec* const in = scratch.data();
+  Vec* const out = in + W * ni;
+  Vec* const buf = out + W * no;
+  wordvec::pack_lanes_wide(inputs, first, lanes, wps,
+                           {reinterpret_cast<Word*>(in), wps * ni});
+  if (W == 1) {
+    eval_pass_simd(in, out, buf);
+  } else {
+    eval_pass_simd_x2(in, out, buf);
   }
-  eval_pass_x4({in4, 4 * ni}, {out4, 4 * no}, {buf4, 4 * num_slots_});
-  for (std::size_t w = 0; w < 4; ++w) {
-    const std::size_t lw = lanes > w * wordvec::kLanes
-                               ? std::min(wordvec::kLanes, lanes - w * wordvec::kLanes)
-                               : 0;
-    if (lw == 0) continue;
-    for (std::size_t j = 0; j < no; ++j) tmp[j] = out4[j * 4 + w];
-    wordvec::unpack_lanes({tmp, no}, first + w * wordvec::kLanes, lw, outputs);
-  }
+  wordvec::unpack_lanes_wide({reinterpret_cast<const Word*>(out), wps * no}, first, lanes, wps,
+                             outputs);
 }
 
 std::vector<BitVec> BitSlicedEvaluator::eval_batch(std::span<const BitVec> inputs) const {
   for (const auto& v : inputs) {
-    if (v.size() != num_inputs_) {
+    if (v.size() != num_inputs()) {
       throw std::invalid_argument("BitSlicedEvaluator::eval_batch: input arity");
     }
   }
   std::vector<BitVec> outputs(inputs.size(), BitVec(num_outputs()));
-  std::vector<Word> scratch;
+  std::vector<Vec> scratch;
   for (std::size_t first = 0; first < inputs.size(); first += kBlockLanes) {
     eval_lane_block(inputs, first, std::min(kBlockLanes, inputs.size() - first), outputs,
                     scratch);
@@ -213,9 +243,50 @@ std::vector<BitVec> BitSlicedEvaluator::eval_batch(std::span<const BitVec> input
 }
 
 // ---------------------------------------------------------------------------
+// for_each_block_range
+
+void for_each_block_range(std::size_t blocks, std::size_t threads,
+                          const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (blocks == 0) return;
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  threads = std::min(threads, blocks);
+  if (threads <= 1) {
+    fn(0, blocks);
+    return;
+  }
+  std::mutex err_m;
+  std::exception_ptr err;
+  const auto guarded = [&](std::size_t lo, std::size_t hi) {
+    try {
+      fn(lo, hi);
+    } catch (...) {
+      std::lock_guard lk(err_m);
+      if (!err) err = std::current_exception();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  const std::size_t per = blocks / threads;
+  const std::size_t rem = blocks % threads;
+  std::size_t lo = 0;
+  for (std::size_t t = 0; t < threads; ++t) {
+    const std::size_t hi = lo + per + (t < rem ? 1 : 0);
+    if (t + 1 < threads) {
+      pool.emplace_back(guarded, lo, hi);
+    } else {
+      guarded(lo, hi);  // calling thread takes the last range
+    }
+    lo = hi;
+  }
+  for (auto& t : pool) t.join();
+  if (err) std::rethrow_exception(err);
+}
+
+// ---------------------------------------------------------------------------
 // BatchRunner
 
-BatchRunner::BatchRunner(const Circuit& c, std::size_t threads) : eval_(c) {
+BatchRunner::BatchRunner(const Circuit& c, std::size_t threads, bool optimize)
+    : eval_(c, optimize) {
   if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   max_threads_ = threads;
 }
@@ -236,11 +307,11 @@ void BatchRunner::ensure_workers(std::size_t want) {
 }
 
 void BatchRunner::work(std::uint64_t gen, std::span<const BitVec> inputs,
-                       std::span<BitVec> outputs, std::vector<Word>& scratch) {
-  // Claim 256-lane blocks until the cursor runs out.  The claim is under the
-  // lock and re-validates the generation: a straggler that snapshotted a
-  // completed job's spans must never claim blocks of a job started since
-  // (its spans may point at a returned caller's buffers).
+                       std::span<BitVec> outputs, std::vector<Vec>& scratch) {
+  // Claim kBlockLanes-sized blocks until the cursor runs out.  The claim is
+  // under the lock and re-validates the generation: a straggler that
+  // snapshotted a completed job's spans must never claim blocks of a job
+  // started since (its spans may point at a returned caller's buffers).
   std::unique_lock lk(m_);
   while (generation_ == gen && next_block_ < job_blocks_) {
     const std::size_t blk = next_block_++;
@@ -253,7 +324,7 @@ void BatchRunner::work(std::uint64_t gen, std::span<const BitVec> inputs,
 }
 
 void BatchRunner::worker_loop() {
-  std::vector<Word> scratch;
+  std::vector<Vec> scratch;  // persists across jobs: no allocation once warm
   std::uint64_t seen = 0;
   for (;;) {
     std::span<const BitVec> inputs;
@@ -276,25 +347,36 @@ void BatchRunner::worker_loop() {
 }
 
 std::vector<BitVec> BatchRunner::run(std::span<const BitVec> inputs) {
+  std::vector<BitVec> outputs(inputs.size(), BitVec(eval_.num_outputs()));
+  run(inputs, outputs);
+  return outputs;
+}
+
+void BatchRunner::run(std::span<const BitVec> inputs, std::span<BitVec> outputs) {
+  if (outputs.size() != inputs.size()) {
+    throw std::invalid_argument("BatchRunner::run: outputs.size() != inputs.size()");
+  }
   for (const auto& v : inputs) {
     if (v.size() != eval_.num_inputs()) {
       throw std::invalid_argument("BatchRunner::run: input arity");
     }
   }
-  std::vector<BitVec> outputs(inputs.size(), BitVec(eval_.num_outputs()));
-  if (inputs.empty()) return outputs;
+  const std::size_t no = eval_.num_outputs();
+  for (auto& o : outputs) {
+    if (o.size() != no) o.data().resize(no);  // no-op on a recycled buffer
+  }
+  if (inputs.empty()) return;
   const std::size_t blocks = (inputs.size() + kBlockLanes - 1) / kBlockLanes;
   // Clamp to the pass count: a batch with b blocks can keep at most b
-  // workers busy, so never spawn more (satellite of the eval_parallel fix).
+  // workers busy, so never spawn more.
   const std::size_t helpers = std::min(max_threads_, blocks) - 1;
-  std::vector<Word> scratch;
   if (helpers == 0) {
     for (std::size_t blk = 0; blk < blocks; ++blk) {
       const std::size_t first = blk * kBlockLanes;
       eval_.eval_lane_block(inputs, first, std::min(kBlockLanes, inputs.size() - first),
-                            outputs, scratch);
+                            outputs, caller_scratch_);
     }
-    return outputs;
+    return;
   }
   std::uint64_t gen;
   {
@@ -307,7 +389,7 @@ std::vector<BitVec> BatchRunner::run(std::span<const BitVec> inputs) {
     gen = ++generation_;
   }
   cv_start_.notify_all();
-  work(gen, inputs, outputs, scratch);
+  work(gen, inputs, outputs, caller_scratch_);
   {
     std::unique_lock lk(m_);
     cv_done_.wait(lk, [&] { return active_ == 0 && next_block_ >= job_blocks_; });
@@ -316,7 +398,6 @@ std::vector<BitVec> BatchRunner::run(std::span<const BitVec> inputs) {
     job_inputs_ = {};
     job_outputs_ = {};
   }
-  return outputs;
 }
 
 }  // namespace absort::netlist

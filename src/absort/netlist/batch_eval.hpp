@@ -4,112 +4,117 @@
 // Circuit::eval and LevelizedCircuit::eval walk the component graph once per
 // input vector, one byte-wide Bit at a time.  For a batch of independent
 // requests that wastes the machine: every primitive in circuit.hpp is a pure
-// Boolean function, so 64 (or, unrolled, 256) vectors can ride the bit lanes
-// of uint64_t words and evaluate together in a single walk -- the classic
-// bit-parallel compiled-simulation trick used by SAT-style sorting-network
-// evaluators.
+// Boolean function, so hundreds of vectors can ride the bit lanes of SIMD
+// words and evaluate together in a single walk -- the classic bit-parallel
+// compiled-simulation trick used by SAT-style sorting-network evaluators.
 //
 // BitSlicedEvaluator compiles a Circuit once into a flat straight-line
 // program of word operations (every component lowers to 1..12 word ops; the
 // instruction set is closed over {load, const, not, and, or, xor, andnot,
-// mux}) and then evaluates ceil(B/64) passes over a batch of B vectors.
-// Full 256-lane blocks run a 4-word-unrolled interpreter loop to amortize
-// instruction dispatch.  BatchRunner shards passes across a persistent
-// thread pool; passes touch disjoint lanes, so workers share nothing but the
+// mux} -- see program_opt.hpp for the IR and the optimizing backend that
+// shrinks the lowered program before it runs).  A pass evaluates the program
+// over one word per slot (64 lanes), one SIMD vector per slot
+// (wordvec::kSimdLanes = 256 with GCC/Clang vector extensions), or two
+// vectors per slot (512 lanes); full blocks run the widest path.
+// BatchRunner shards kBlockLanes-sized blocks across a persistent thread
+// pool; blocks touch disjoint lanes, so workers share nothing but the
 // compiled program and the (read-only) input batch.
 
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
 #include "absort/netlist/circuit.hpp"
+#include "absort/netlist/program_opt.hpp"
 #include "absort/util/wordvec.hpp"
 
 namespace absort::netlist {
 
 class LevelizedCircuit;
 
-/// One word operation of the compiled straight-line program.  Operand slots
-/// a/b/c index the pass-local word buffer (one slot per circuit wire plus
-/// scratch temporaries); `dst` is always written, never read, by the same
-/// instruction.
-struct WordInstr {
-  enum class Op : std::uint8_t {
-    Load,    ///< dst = input word a (a = primary-input position)
-    Const0,  ///< dst = all-zero
-    Const1,  ///< dst = all-one
-    Not,     ///< dst = ~a
-    And,     ///< dst = a & b
-    Or,      ///< dst = a | b
-    Xor,     ///< dst = a ^ b
-    AndNot,  ///< dst = a & ~b
-    Mux,     ///< dst = c ? b : a, lanewise  (= a ^ (c & (a ^ b)))
-  };
-  Op op;
-  std::uint32_t dst;
-  std::uint32_t a = 0;
-  std::uint32_t b = 0;
-  std::uint32_t c = 0;
-};
+/// Lanes per work unit: one x2-unrolled SIMD pass (512 with vector
+/// extensions, 128 under the scalar fallback).  BatchRunner and the model-B
+/// batch paths shard batches into blocks of this many vectors.
+inline constexpr std::size_t kBlockLanes = 2 * wordvec::kSimdLanes;
 
-/// Compiles a circuit to a word program and evaluates batches of input
-/// vectors, 64 per pass (256 per unrolled block).
+/// Compiles a circuit to a word program (optimized by default -- see
+/// program_opt.hpp) and evaluates batches of input vectors, up to
+/// kBlockLanes per pass.
 class BitSlicedEvaluator {
  public:
-  explicit BitSlicedEvaluator(const Circuit& c);
-  explicit BitSlicedEvaluator(const LevelizedCircuit& lc);
+  explicit BitSlicedEvaluator(const Circuit& c, bool optimize = true);
+  explicit BitSlicedEvaluator(const LevelizedCircuit& lc, bool optimize = true);
 
-  [[nodiscard]] std::size_t num_inputs() const noexcept { return num_inputs_; }
-  [[nodiscard]] std::size_t num_outputs() const noexcept { return output_slots_.size(); }
-  /// Word-buffer slots one pass needs (wires + shared temporaries).
-  [[nodiscard]] std::size_t num_slots() const noexcept { return num_slots_; }
-  [[nodiscard]] const std::vector<WordInstr>& program() const noexcept { return prog_; }
+  [[nodiscard]] std::size_t num_inputs() const noexcept { return prog_.num_inputs; }
+  [[nodiscard]] std::size_t num_outputs() const noexcept { return prog_.output_slots.size(); }
+  /// Word-buffer slots one pass needs (after optimization: the peak-live
+  /// packing of the program's values).
+  [[nodiscard]] std::size_t num_slots() const noexcept { return prog_.num_slots; }
+  [[nodiscard]] const WordProgram& program() const noexcept { return prog_; }
+  /// Shrinkage of the optimizing backend (ops_before == ops_after when the
+  /// evaluator was built with optimize = false).
+  [[nodiscard]] const ProgramStats& stats() const noexcept { return stats_; }
 
   /// Evaluates one 64-lane pass: in_words[i] packs primary input i across
   /// the lanes; out_words[j] receives primary output j.  `scratch` must have
-  /// num_slots() words (contents don't survive the call).
+  /// num_slots() words (contents don't survive the call).  out_words may
+  /// alias in_words (outputs are scattered after the program has run).
   void eval_pass(std::span<const wordvec::Word> in_words, std::span<wordvec::Word> out_words,
                  std::span<wordvec::Word> scratch) const;
 
-  /// As eval_pass, but over 4 words per slot (256 lanes): slot s occupies
-  /// scratch[4s .. 4s+3], and in/out words are likewise 4 consecutive words
-  /// per input/output.  `scratch` must have 4 * num_slots() words.
-  void eval_pass_x4(std::span<const wordvec::Word> in_words, std::span<wordvec::Word> out_words,
-                    std::span<wordvec::Word> scratch) const;
+  /// As eval_pass, over one SIMD vector per slot (wordvec::kSimdLanes
+  /// lanes): in[i] / out[j] / scratch[s] hold vector i/j/s.  `scratch` must
+  /// have num_slots() vectors.
+  void eval_pass_simd(const wordvec::Vec* in, wordvec::Vec* out, wordvec::Vec* scratch) const;
+
+  /// As eval_pass_simd, x2-unrolled (2 * wordvec::kSimdLanes lanes): slot s
+  /// occupies scratch[2s .. 2s+1], inputs/outputs likewise 2 consecutive
+  /// vectors each.  `scratch` must have 2 * num_slots() vectors.
+  void eval_pass_simd_x2(const wordvec::Vec* in, wordvec::Vec* out,
+                         wordvec::Vec* scratch) const;
 
   /// Evaluates the whole batch single-threaded; inputs must all have size
   /// num_inputs().  Result i is bit-for-bit Circuit::eval(inputs[i]).
   [[nodiscard]] std::vector<BitVec> eval_batch(std::span<const BitVec> inputs) const;
 
-  /// Packs lanes [first, first+lanes) of `inputs`, evaluates them, and
-  /// scatters the outputs into `outputs` (the shared primitive behind both
-  /// eval_batch and BatchRunner).  lanes <= 256; `scratch` needs
-  /// 4 * num_slots() words only when lanes > 64, else num_slots().
+  /// Packs lanes [first, first+lanes) of `inputs`, evaluates them through
+  /// the widest fitting pass, and scatters the outputs into `outputs` (the
+  /// shared primitive behind eval_batch and BatchRunner).  lanes <=
+  /// kBlockLanes; `scratch` is resized as needed and reusable across calls.
   void eval_lane_block(std::span<const BitVec> inputs, std::size_t first, std::size_t lanes,
-                       std::span<BitVec> outputs, std::vector<wordvec::Word>& scratch) const;
+                       std::span<BitVec> outputs, std::vector<wordvec::Vec>& scratch) const;
 
  private:
-  void compile(const Circuit& c);
+  void compile(const Circuit& c, bool optimize);
 
-  std::vector<WordInstr> prog_;
-  std::vector<std::uint32_t> output_slots_;  ///< slot of each primary output
-  std::size_t num_inputs_ = 0;
-  std::size_t num_slots_ = 0;
+  WordProgram prog_;
+  ProgramStats stats_;
 };
 
-/// Shards a batch's 256-lane blocks across a persistent worker pool.  The
-/// pool is grown lazily and never beyond what a run can keep busy (no idle
-/// workers for tiny batches -- see the matching clamp in
+/// Shards the block indices [0, blocks) across up to `threads` threads
+/// (0 = hardware concurrency), clamped to the block count so small batches
+/// never spawn idle workers.  Each worker runs fn(first_block, last_block)
+/// on one contiguous range; a worker exception is rethrown on the calling
+/// thread after all workers join.  Used by the model-B batch paths, which
+/// stream sub-circuit evaluators over each block and need per-worker state
+/// beyond what BatchRunner's single-evaluator pool provides.
+void for_each_block_range(std::size_t blocks, std::size_t threads,
+                          const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Shards a batch's kBlockLanes-sized blocks across a persistent worker
+/// pool.  The pool is grown lazily and never beyond what a run can keep busy
+/// (no idle workers for tiny batches -- see the matching clamp in
 /// LevelizedCircuit::eval_parallel).  A BatchRunner may be reused across
 /// runs but must not be entered from two threads at once.
 class BatchRunner {
  public:
   /// threads = 0 means hardware concurrency.
-  explicit BatchRunner(const Circuit& c, std::size_t threads = 0);
+  explicit BatchRunner(const Circuit& c, std::size_t threads = 0, bool optimize = true);
   ~BatchRunner();
 
   BatchRunner(const BatchRunner&) = delete;
@@ -122,17 +127,26 @@ class BatchRunner {
   /// Evaluates the batch; identical output to BitSlicedEvaluator::eval_batch.
   [[nodiscard]] std::vector<BitVec> run(std::span<const BitVec> inputs);
 
+  /// As run(), writing into caller-owned buffers: outputs.size() must equal
+  /// inputs.size(), and each output is resized to num_outputs() if needed
+  /// (no allocation when already sized).  Together with the per-worker
+  /// scratch that persists across runs, a steady-state serving loop that
+  /// recycles its buffers does no allocation on this path.
+  void run(std::span<const BitVec> inputs, std::span<BitVec> outputs);
+
  private:
   void ensure_workers(std::size_t want);
   void worker_loop();
   void work(std::uint64_t gen, std::span<const BitVec> inputs, std::span<BitVec> outputs,
-            std::vector<wordvec::Word>& scratch);
+            std::vector<wordvec::Vec>& scratch);
 
   BitSlicedEvaluator eval_;
   std::size_t max_threads_;
+  std::vector<wordvec::Vec> caller_scratch_;  ///< calling thread's pass buffer, reused across runs
 
   // Job state, guarded by m_: workers wake on a new generation, claim
-  // 256-lane blocks from an atomic-style cursor, and report completion.
+  // kBlockLanes-sized blocks from an atomic-style cursor, and report
+  // completion.
   std::mutex m_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

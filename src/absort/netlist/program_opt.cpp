@@ -1,0 +1,332 @@
+#include "absort/netlist/program_opt.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace absort::netlist {
+namespace {
+
+using Op = WordInstr::Op;
+
+constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+/// An SSA value: op plus value-id operands (a Load's `a` is the primary-input
+/// index, not a value id).  Value ids are assigned in creation order, so an
+/// operand id is always smaller than its user's id (topological by
+/// construction).
+struct Val {
+  Op op;
+  std::uint32_t a = 0, b = 0, c = 0;
+};
+
+/// Operand count of each op (ids that reference other values).
+constexpr std::size_t arity(Op op) noexcept {
+  switch (op) {
+    case Op::Load:
+    case Op::Const0:
+    case Op::Const1:
+      return 0;
+    case Op::Not:
+      return 1;
+    case Op::And:
+    case Op::Or:
+    case Op::Xor:
+    case Op::AndNot:
+      return 2;
+    case Op::Mux:
+      return 3;
+  }
+  return 0;
+}
+
+struct KeyHash {
+  std::size_t operator()(const std::array<std::uint32_t, 4>& k) const noexcept {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const auto v : k) {
+      h ^= v;
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Value-numbering builder: every mk_* applies constant folding and algebraic
+/// rewrites first, then interns the residual op so structurally identical
+/// computations share one value (CSE).
+class Builder {
+ public:
+  std::vector<Val> vals;
+
+  std::uint32_t intern(Op op, std::uint32_t a = 0, std::uint32_t b = 0, std::uint32_t c = 0) {
+    if ((op == Op::And || op == Op::Or || op == Op::Xor) && b < a) std::swap(a, b);
+    const std::array<std::uint32_t, 4> key{static_cast<std::uint32_t>(op), a, b, c};
+    const auto [it, inserted] = memo_.try_emplace(key, static_cast<std::uint32_t>(vals.size()));
+    if (inserted) vals.push_back({op, a, b, c});
+    return it->second;
+  }
+
+  [[nodiscard]] bool is0(std::uint32_t v) const { return vals[v].op == Op::Const0; }
+  [[nodiscard]] bool is1(std::uint32_t v) const { return vals[v].op == Op::Const1; }
+  /// True when one value is the NOT of the other.
+  [[nodiscard]] bool complements(std::uint32_t v, std::uint32_t w) const {
+    return (vals[v].op == Op::Not && vals[v].a == w) ||
+           (vals[w].op == Op::Not && vals[w].a == v);
+  }
+  /// True when a and b are the two outputs of one two-way swap: a = s?y:x
+  /// and b = s?x:y.  A symmetric op applied to such a pair is independent of
+  /// s -- the pattern every comparator-after-swapper stage exhibits.
+  [[nodiscard]] bool swap_pair(std::uint32_t a, std::uint32_t b) const {
+    return vals[a].op == Op::Mux && vals[b].op == Op::Mux && vals[a].c == vals[b].c &&
+           vals[a].a == vals[b].b && vals[a].b == vals[b].a;
+  }
+
+  std::uint32_t mk_const(bool one) { return intern(one ? Op::Const1 : Op::Const0); }
+
+  std::uint32_t mk_not(std::uint32_t a) {
+    if (is0(a)) return mk_const(true);
+    if (is1(a)) return mk_const(false);
+    if (vals[a].op == Op::Not) return vals[a].a;  // ~~x = x
+    return intern(Op::Not, a);
+  }
+
+  std::uint32_t mk_and(std::uint32_t a, std::uint32_t b) {
+    if (a == b) return a;
+    if (is0(a) || is0(b)) return mk_const(false);
+    if (is1(a)) return b;
+    if (is1(b)) return a;
+    if (complements(a, b)) return mk_const(false);
+    if (swap_pair(a, b)) return mk_and(vals[a].a, vals[a].b);  // min of a swapped pair
+    // Absorption and factor rules against each operand's definition.
+    for (int side = 0; side < 2; ++side, std::swap(a, b)) {
+      const Val& vb = vals[b];
+      if (vb.op == Op::Or && (vb.a == a || vb.b == a)) return a;    // a & (a|x) = a
+      if (vb.op == Op::And && (vb.a == a || vb.b == a)) return b;   // a & (a&x) = a&x
+      if (vb.op == Op::AndNot && vb.a == a) return b;               // a & (a&~x) = a&~x
+      if (vb.op == Op::AndNot && vb.b == a) return mk_const(false);  // a & (x&~a) = 0
+    }
+    // Fuse an inverted operand: a & ~x is one AndNot (the NOT may then die).
+    if (vals[b].op == Op::Not) return intern(Op::AndNot, a, vals[b].a);
+    if (vals[a].op == Op::Not) return intern(Op::AndNot, b, vals[a].a);
+    return intern(Op::And, a, b);
+  }
+
+  std::uint32_t mk_or(std::uint32_t a, std::uint32_t b) {
+    if (a == b) return a;
+    if (is1(a) || is1(b)) return mk_const(true);
+    if (is0(a)) return b;
+    if (is0(b)) return a;
+    if (complements(a, b)) return mk_const(true);
+    if (swap_pair(a, b)) return mk_or(vals[a].a, vals[a].b);  // max of a swapped pair
+    for (int side = 0; side < 2; ++side, std::swap(a, b)) {
+      const Val& vb = vals[b];
+      if (vb.op == Op::And && (vb.a == a || vb.b == a)) return a;  // a | (a&x) = a
+      if (vb.op == Op::Or && (vb.a == a || vb.b == a)) return b;   // a | (a|x) = a|x
+      if (vb.op == Op::AndNot && vb.a == a) return a;              // a | (a&~x) = a
+      if (vb.op == Op::AndNot && vb.b == a) return mk_or(a, vb.a);  // a | (x&~a) = a|x
+    }
+    // Carry fusion: (u&v) | ((u^v)&y) = (u^v) ? y : (u&v) -- one mux instead
+    // of the adder's or+and, valid because u&v and u^v are disjoint.
+    for (int side = 0; side < 2; ++side, std::swap(a, b)) {
+      const Val& va = vals[a];
+      const Val& vb = vals[b];
+      if (va.op != Op::And || vb.op != Op::And) continue;
+      for (int s = 0; s < 2; ++s) {
+        const std::uint32_t x = s ? vb.b : vb.a;  // candidate u^v
+        const std::uint32_t y = s ? vb.a : vb.b;
+        const Val& vx = vals[x];
+        if (vx.op == Op::Xor && ((vx.a == va.a && vx.b == va.b) ||
+                                 (vx.a == va.b && vx.b == va.a))) {
+          return mk_mux(a, y, x);
+        }
+      }
+    }
+    return intern(Op::Or, a, b);
+  }
+
+  std::uint32_t mk_xor(std::uint32_t a, std::uint32_t b) {
+    if (a == b) return mk_const(false);
+    if (is0(a)) return b;
+    if (is0(b)) return a;
+    if (is1(a)) return mk_not(b);
+    if (is1(b)) return mk_not(a);
+    if (complements(a, b)) return mk_const(true);
+    if (swap_pair(a, b)) return mk_xor(vals[a].a, vals[a].b);
+    return intern(Op::Xor, a, b);
+  }
+
+  std::uint32_t mk_andnot(std::uint32_t a, std::uint32_t b) {  // a & ~b
+    if (is0(a) || is1(b)) return mk_const(false);
+    if (a == b) return mk_const(false);
+    if (is0(b)) return a;
+    if (is1(a)) return mk_not(b);
+    if (complements(a, b)) return a;  // a & ~~a = a, and ~b & ~b = ~b
+    if (vals[b].op == Op::Not) return mk_and(a, vals[b].a);  // a & ~~x = a & x
+    return intern(Op::AndNot, a, b);
+  }
+
+  std::uint32_t mk_mux(std::uint32_t a, std::uint32_t b, std::uint32_t c) {  // c ? b : a
+    if (is0(c)) return a;
+    if (is1(c)) return b;
+    if (a == b) return a;
+    if (vals[c].op == Op::Not) return mk_mux(b, a, vals[c].a);  // ~x ? b : a = x ? a : b
+    // Nested mux sharing the select: the inner mux's losing arm is
+    // unreachable (back-to-back swappers steered by one signal).
+    if (vals[a].op == Op::Mux && vals[a].c == c) return mk_mux(vals[a].a, b, c);
+    if (vals[b].op == Op::Mux && vals[b].c == c) return mk_mux(a, vals[b].b, c);
+    if (is0(a)) return mk_and(b, c);
+    if (is0(b)) return mk_andnot(a, c);
+    if (is1(b)) return mk_or(a, c);
+    if (is1(a)) return mk_or(b, mk_not(c));  // c ? b : 1 = b | ~c
+    if (complements(a, b)) return mk_xor(a, c);  // c ? ~a : a = a ^ c
+    if (c == a) return mk_and(a, b);  // a ? b : a
+    if (c == b) return mk_or(a, b);   // b ? b : a
+    return intern(Op::Mux, a, b, c);
+  }
+
+ private:
+  std::unordered_map<std::array<std::uint32_t, 4>, std::uint32_t, KeyHash> memo_;
+};
+
+}  // namespace
+
+WordProgram optimize_program(const WordProgram& p, ProgramStats* stats) {
+  // -- pass 1-5: SSA rename + fold + propagate + value-number, in one walk --
+  Builder bld;
+  std::vector<std::uint32_t> def(p.num_slots, kNone);  // slot -> current value
+  const auto use = [&](std::uint32_t slot) {
+    if (slot >= def.size() || def[slot] == kNone) {
+      throw std::invalid_argument("optimize_program: read of an unwritten slot");
+    }
+    return def[slot];
+  };
+  for (const auto& ins : p.instrs) {
+    std::uint32_t v = kNone;
+    switch (ins.op) {
+      case Op::Load:
+        v = bld.intern(Op::Load, ins.a);
+        break;
+      case Op::Const0:
+        v = bld.mk_const(false);
+        break;
+      case Op::Const1:
+        v = bld.mk_const(true);
+        break;
+      case Op::Not:
+        v = bld.mk_not(use(ins.a));
+        break;
+      case Op::And:
+        v = bld.mk_and(use(ins.a), use(ins.b));
+        break;
+      case Op::Or:
+        v = bld.mk_or(use(ins.a), use(ins.b));
+        break;
+      case Op::Xor:
+        v = bld.mk_xor(use(ins.a), use(ins.b));
+        break;
+      case Op::AndNot:
+        v = bld.mk_andnot(use(ins.a), use(ins.b));
+        break;
+      case Op::Mux:
+        v = bld.mk_mux(use(ins.a), use(ins.b), use(ins.c));
+        break;
+    }
+    if (ins.dst >= def.size()) {
+      throw std::invalid_argument("optimize_program: dst slot out of range");
+    }
+    def[ins.dst] = v;
+  }
+  std::vector<std::uint32_t> out_vals;
+  out_vals.reserve(p.output_slots.size());
+  for (const auto s : p.output_slots) out_vals.push_back(use(s));
+
+  // -- pass 6: dead-op elimination, backward from the outputs --
+  std::vector<char> live(bld.vals.size(), 0);
+  for (const auto v : out_vals) live[v] = 1;
+  for (std::uint32_t v = static_cast<std::uint32_t>(bld.vals.size()); v-- > 0;) {
+    if (!live[v]) continue;
+    const Val& val = bld.vals[v];
+    const std::size_t n = arity(val.op);
+    if (n >= 1) live[val.a] = 1;
+    if (n >= 2) live[val.b] = 1;
+    if (n >= 3) live[val.c] = 1;
+  }
+
+  // -- pass 7: linear-scan slot re-allocation over the live values --
+  std::vector<std::uint32_t> pos(bld.vals.size(), kNone);  // value -> emit index
+  std::vector<std::uint32_t> order;                        // emit index -> value
+  for (std::uint32_t v = 0; v < bld.vals.size(); ++v) {
+    if (live[v]) {
+      pos[v] = static_cast<std::uint32_t>(order.size());
+      order.push_back(v);
+    }
+  }
+  const std::uint32_t kEnd = static_cast<std::uint32_t>(order.size());
+  std::vector<std::uint32_t> last(order.size(), 0);  // emit index -> last-use index
+  for (std::uint32_t idx = 0; idx < order.size(); ++idx) {
+    const Val& val = bld.vals[order[idx]];
+    const std::size_t n = arity(val.op);
+    if (n >= 1) last[pos[val.a]] = idx;
+    if (n >= 2) last[pos[val.b]] = idx;
+    if (n >= 3) last[pos[val.c]] = idx;
+  }
+  for (const auto v : out_vals) last[pos[v]] = kEnd;  // outputs live past the end
+
+  WordProgram out;
+  out.num_inputs = p.num_inputs;
+  out.instrs.reserve(order.size());
+  std::vector<std::uint32_t> slot(order.size(), kNone);
+  std::vector<std::uint32_t> free_slots;
+  std::uint32_t num_slots = 0;
+  std::size_t live_now = 0, peak = 0;
+  for (std::uint32_t idx = 0; idx < order.size(); ++idx) {
+    const Val& val = bld.vals[order[idx]];
+    const std::size_t n = arity(val.op);
+    // Release operands dying here *before* allocating dst: the interpreter
+    // reads each operand word w before storing dst word w, so in-place reuse
+    // of a dying operand's slot is safe and minimizes the working set.
+    std::array<std::uint32_t, 3> ops{kNone, kNone, kNone};
+    if (n >= 1) ops[0] = val.a;
+    if (n >= 2) ops[1] = val.b;
+    if (n >= 3) ops[2] = val.c;
+    for (std::size_t i = 0; i < n; ++i) {
+      bool seen = false;
+      for (std::size_t j = 0; j < i; ++j) seen = seen || ops[j] == ops[i];
+      if (!seen && last[pos[ops[i]]] == idx) {
+        free_slots.push_back(slot[pos[ops[i]]]);
+        --live_now;
+      }
+    }
+    ++live_now;
+    peak = std::max(peak, live_now);
+    std::uint32_t s;
+    if (free_slots.empty()) {
+      s = num_slots++;
+    } else {
+      s = free_slots.back();
+      free_slots.pop_back();
+    }
+    slot[idx] = s;
+    WordInstr ins{val.op, s, 0, 0, 0};
+    if (val.op == Op::Load) ins.a = val.a;  // input index, not a value
+    if (n >= 1) ins.a = slot[pos[val.a]];
+    if (n >= 2) ins.b = slot[pos[val.b]];
+    if (n >= 3) ins.c = slot[pos[val.c]];
+    out.instrs.push_back(ins);
+  }
+  out.num_slots = num_slots;
+  out.output_slots.reserve(out_vals.size());
+  for (const auto v : out_vals) out.output_slots.push_back(slot[pos[v]]);
+
+  if (stats) {
+    stats->ops_before = p.instrs.size();
+    stats->ops_after = out.instrs.size();
+    stats->slots_before = p.num_slots;
+    stats->slots_after = out.num_slots;
+    stats->peak_live = peak;
+  }
+  return out;
+}
+
+}  // namespace absort::netlist

@@ -1,0 +1,88 @@
+#pragma once
+// The WordInstr IR and its optimizing backend.
+//
+// BitSlicedEvaluator lowers a Circuit to a flat straight-line program of
+// word operations (see batch_eval.hpp).  The lowering is deliberately
+// naive -- one fixed template per component kind -- so the same Switch4x4
+// expands to twelve muxes even when its pattern table routes an input
+// straight through, and the two shared lowering temporaries force every
+// pass to keep one word (or SIMD vector) per circuit wire live.
+//
+// optimize_program() runs classic straight-line passes over the closed op
+// set {Load, Const0/1, Not, And, Or, Xor, AndNot, Mux}:
+//
+//   1. SSA conversion      -- slots are renamed to single-assignment values
+//                             (the lowering reuses its Switch4x4 temps);
+//   2. constant folding    -- Const0/Const1 operands evaluate at compile
+//                             time, including through Mux selects;
+//   3. copy / NOT propagation -- folded ops that degenerate to a copy or a
+//                             double negation forward their source;
+//   4. algebraic rewriting -- Mux with equal/constant/complement arms
+//                             becomes And/Or/Xor/AndNot or a copy, x op x
+//                             collapses, And(a, Not b) fuses to AndNot;
+//   5. value numbering     -- structurally identical ops (commutative ops
+//                             normalized) are computed once (CSE);
+//   6. dead-op elimination -- backward from the program outputs;
+//   7. linear-scan slot re-allocation -- values are packed into the fewest
+//                             slots (peak live count), shrinking a pass's
+//                             working set to fit in cache.
+//
+// The optimized program is bit-identical to the original on every input
+// (the batch tests check every registered sorter); ProgramStats reports the
+// shrinkage so benches and the CLI can quantify it.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace absort::netlist {
+
+/// One word operation of a compiled straight-line program.  Operand slots
+/// a/b/c index the pass-local word buffer; `dst` is written by the
+/// instruction and (after slot re-allocation) may reuse an operand's slot --
+/// each lane w reads its operands' word w before storing word w.
+struct WordInstr {
+  enum class Op : std::uint8_t {
+    Load,    ///< dst = input word a (a = primary-input position)
+    Const0,  ///< dst = all-zero
+    Const1,  ///< dst = all-one
+    Not,     ///< dst = ~a
+    And,     ///< dst = a & b
+    Or,      ///< dst = a | b
+    Xor,     ///< dst = a ^ b
+    AndNot,  ///< dst = a & ~b
+    Mux,     ///< dst = c ? b : a, lanewise  (= a ^ (c & (a ^ b)))
+  };
+  Op op;
+  std::uint32_t dst;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t c = 0;
+};
+
+/// A compiled word program plus the I/O metadata needed to run it: the
+/// number of primary inputs, the slot-buffer size one pass needs, and the
+/// slot holding each primary output after the program has run.
+struct WordProgram {
+  std::vector<WordInstr> instrs;
+  std::vector<std::uint32_t> output_slots;
+  std::size_t num_inputs = 0;
+  std::size_t num_slots = 0;
+};
+
+/// Shrinkage report of one optimize_program() run.
+struct ProgramStats {
+  std::size_t ops_before = 0;    ///< instructions as lowered
+  std::size_t ops_after = 0;     ///< instructions after optimization
+  std::size_t slots_before = 0;  ///< slot-buffer words per pass, as lowered
+  std::size_t slots_after = 0;   ///< slot-buffer words after re-allocation
+  std::size_t peak_live = 0;     ///< max values simultaneously live
+};
+
+/// Returns an optimized program computing bit-identical outputs to `p` for
+/// every input.  `p` must be well formed: operands of each instruction were
+/// written earlier (or are Load/Const), and output_slots refer to written
+/// slots.
+[[nodiscard]] WordProgram optimize_program(const WordProgram& p, ProgramStats* stats = nullptr);
+
+}  // namespace absort::netlist

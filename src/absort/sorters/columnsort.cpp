@@ -1,12 +1,15 @@
 #include "absort/sorters/columnsort.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
 #include "absort/blocks/mux.hpp"
+#include "absort/netlist/batch_eval.hpp"
 #include "absort/sorters/batcher_oem.hpp"
 #include "absort/sorters/detail/lane.hpp"
 #include "absort/util/math.hpp"
+#include "absort/util/wordvec.hpp"
 
 namespace absort::sorters {
 namespace {
@@ -111,6 +114,86 @@ double ColumnsortSorter::sorting_time(const netlist::CostModel& m) const {
   // Four passes; within a pass the s columns stream through the Batcher
   // pipeline (fill + one column per cycle), per Section III.C.
   return 4.0 * (r.depth + static_cast<double>(s_ - 1));
+}
+
+netlist::Circuit ColumnsortSorter::column_sorter_circuit() const {
+  require_pow2(r_, 2, "ColumnsortSorter::column_sorter_circuit r");
+  return BatcherOemSorter(r_).build_circuit();
+}
+
+void ColumnsortSorter::sort_batch(std::span<const BitVec> batch, std::span<BitVec> out,
+                                  std::size_t threads) const {
+  check_batch(batch, out);
+  if (batch.empty()) return;
+  if (!is_pow2(r_) || r_ < 2 || (s_ > 1 && !is_pow2(s_))) {
+    BinarySorter::sort_batch(batch, out, threads);  // per-vector fallback
+    return;
+  }
+  using netlist::kBlockLanes;
+  using wordvec::Vec;
+  using wordvec::Word;
+  const netlist::BitSlicedEvaluator col(column_sorter_circuit());
+  for (auto& o : out) {
+    if (o.size() != n_) o.data().resize(n_);
+  }
+  const std::size_t r = r_, s = s_, n = n_;
+  const std::size_t blocks = (batch.size() + kBlockLanes - 1) / kBlockLanes;
+  netlist::for_each_block_range(blocks, threads, [&](std::size_t lo, std::size_t hi) {
+    std::vector<Vec> a, b, ext, scr;  // per-worker
+    for (std::size_t blk = lo; blk < hi; ++blk) {
+      const std::size_t first = blk * kBlockLanes;
+      const std::size_t lanes = std::min(kBlockLanes, batch.size() - first);
+      const std::size_t W = lanes <= wordvec::kSimdLanes ? 1 : 2;
+      const std::size_t wps = W * wordvec::kSimdWords;
+      a.resize(W * n);
+      scr.resize(W * col.num_slots());
+      wordvec::pack_lanes_wide(batch, first, lanes, wps,
+                               {reinterpret_cast<Word*>(a.data()), wps * n});
+      // Streams every column (at Vec offset c*r*W of the packed frame)
+      // through the one compiled column-sorter program, in place: the
+      // evaluator scatters its outputs only after the program has run.
+      const auto sort_columns_of = [&](Vec* v, std::size_t cols) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          if (W == 1) {
+            col.eval_pass_simd(v + c * r, v + c * r, scr.data());
+          } else {
+            col.eval_pass_simd_x2(v + 2 * c * r, v + 2 * c * r, scr.data());
+          }
+        }
+      };
+      if (s == 1) {  // degenerate single column
+        sort_columns_of(a.data(), 1);
+        wordvec::unpack_lanes_wide({reinterpret_cast<const Word*>(a.data()), wps * n}, first,
+                                   lanes, wps, out);
+        continue;
+      }
+      b.resize(W * n);
+      sort_columns_of(a.data(), s);  // step 1
+      for (std::size_t t = 0; t < n; ++t) {  // step 2: transpose
+        const std::size_t d = (t % s) * r + t / s;
+        for (std::size_t w = 0; w < W; ++w) b[d * W + w] = a[t * W + w];
+      }
+      sort_columns_of(b.data(), s);  // step 3
+      for (std::size_t t = 0; t < n; ++t) {  // step 4: untranspose
+        const std::size_t src = (t % s) * r + t / s;
+        for (std::size_t w = 0; w < W; ++w) a[t * W + w] = b[src * W + w];
+      }
+      sort_columns_of(a.data(), s);  // step 5
+      // step 6: shift down by r/2 -- r/2 all-zero pad lanes in front, r/2
+      // all-one behind, forming an r x (s+1) matrix.
+      ext.resize(W * (n + r));
+      const Vec zero{};
+      const Vec ones = ~zero;
+      std::fill(ext.begin(), ext.begin() + static_cast<std::ptrdiff_t>(W * (r / 2)), zero);
+      std::copy(a.begin(), a.end(), ext.begin() + static_cast<std::ptrdiff_t>(W * (r / 2)));
+      std::fill(ext.end() - static_cast<std::ptrdiff_t>(W * (r / 2)), ext.end(), ones);
+      sort_columns_of(ext.data(), s + 1);  // step 7
+      // step 8: unshift -- the sorted pads sit exactly at the head and tail.
+      wordvec::unpack_lanes_wide(
+          {reinterpret_cast<const Word*>(ext.data() + W * (r / 2)), wps * n}, first, lanes, wps,
+          out);
+    }
+  });
 }
 
 std::vector<std::size_t> ColumnsortSorter::route(const BitVec& tags) const {

@@ -33,6 +33,21 @@ class ColumnsortSorter final : public BinarySorter {
   [[nodiscard]] bool is_combinational() const override { return false; }
   [[nodiscard]] std::vector<std::size_t> route(const BitVec& tags) const override;
 
+  using BinarySorter::sort_batch;
+  /// Bit-sliced batch path mirroring the time-multiplexed schedule: one
+  /// compiled r-input column sorter (column_sorter_circuit()) streams the
+  /// matrix columns of every lane block through each of the four sorting
+  /// passes; the transposes and the step-6/8 pad shift are index permutations
+  /// and constant lanes on the packed words.  Requires power-of-two r (and s
+  /// when s > 1); other shapes fall back to the per-vector base path.
+  /// Bit-identical to sort() on every input.
+  void sort_batch(std::span<const BitVec> batch, std::span<BitVec> out,
+                  std::size_t threads) const override;
+
+  /// The r-input Batcher sorter the columns stream through; exposed for
+  /// stats and tests (power-of-two r only).
+  [[nodiscard]] netlist::Circuit column_sorter_circuit() const;
+
   /// Time-multiplexed datapath accounting (Section III.C's variant): one
   /// r-input Batcher sorter plus the (n,r)-multiplexer / (r,n)-demultiplexer
   /// trees that stream the s columns through it.  Requires power-of-two

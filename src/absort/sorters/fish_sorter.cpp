@@ -5,10 +5,12 @@
 
 #include "absort/blocks/mux.hpp"
 #include "absort/blocks/swapper.hpp"
+#include "absort/netlist/batch_eval.hpp"
 #include "absort/netlist/wiring.hpp"
 #include "absort/sorters/detail/lane.hpp"
 #include "absort/sorters/muxmerge_sorter.hpp"
 #include "absort/util/math.hpp"
+#include "absort/util/wordvec.hpp"
 
 namespace absort::sorters {
 namespace {
@@ -134,6 +136,106 @@ FishSorter::FishSorter(std::size_t n, std::size_t k) : BinarySorter(n), k_(k) {
 std::size_t FishSorter::default_k(std::size_t n) {
   const std::size_t k = next_pow2(std::max<std::size_t>(2, ilog2(n)));
   return std::min(k, n / 2);
+}
+
+std::vector<netlist::WireId> build_kway_merger(netlist::Circuit& c,
+                                               const std::vector<netlist::WireId>& in,
+                                               std::size_t k) {
+  const std::size_t m = in.size();
+  require_pow2(m, 2, "build_kway_merger");
+  require_pow2(k, 2, "build_kway_merger k");
+  if (m < k) throw std::invalid_argument("build_kway_merger: n < k");
+  if (m == k) return build_muxmerge_sorter(c, in);  // singleton blocks
+  const std::size_t bs = m / k;
+  // k-SWAP: each block's middle bit steers its clean half to the top.
+  std::vector<netlist::WireId> ctrls;
+  ctrls.reserve(k);
+  for (std::size_t b = 0; b < k; ++b) ctrls.push_back(in[b * bs + bs / 2]);
+  const auto sw = blocks::k_swap(c, in, ctrls);
+  // Upper half: clean k-sorted, so the k-way clean sorter collapses to a
+  // k-input sorter on the blocks' leading bits whose sorted outputs fan out
+  // (free wiring) across the clean blocks.  This is the combinational
+  // equivalent of the paper's mux/demux dispatch, which moves one clean
+  // block per clock step -- the *bits* of output block p are exactly the
+  // p-th smallest leading bit either way.
+  const std::size_t half = m / 2;
+  const std::size_t cbs = half / k;
+  std::vector<netlist::WireId> leads;
+  leads.reserve(k);
+  for (std::size_t b = 0; b < k; ++b) leads.push_back(sw[b * cbs]);
+  const auto sorted_leads = build_muxmerge_sorter(c, leads);
+  std::vector<netlist::WireId> merged(m);
+  for (std::size_t j = 0; j < half; ++j) merged[j] = sorted_leads[j / cbs];
+  // Lower half: k-sorted again (Theorem 4); recurse, then combine.
+  const std::vector<netlist::WireId> lower_in(sw.begin() + static_cast<std::ptrdiff_t>(half),
+                                              sw.end());
+  const auto lower = build_kway_merger(c, lower_in, k);
+  std::copy(lower.begin(), lower.end(), merged.begin() + static_cast<std::ptrdiff_t>(half));
+  return build_mux_merger(c, merged);
+}
+
+netlist::Circuit FishSorter::small_sorter_circuit() const {
+  netlist::Circuit c;
+  const auto in = c.inputs(n_ / k_);
+  c.mark_outputs(build_muxmerge_sorter(c, in));
+  return c;
+}
+
+netlist::Circuit FishSorter::merger_circuit() const {
+  netlist::Circuit c;
+  const auto in = c.inputs(n_);
+  c.mark_outputs(build_kway_merger(c, in, k_));
+  return c;
+}
+
+void FishSorter::sort_batch(std::span<const BitVec> batch, std::span<BitVec> out,
+                            std::size_t threads) const {
+  check_batch(batch, out);
+  if (batch.empty()) return;
+  using netlist::kBlockLanes;
+  using wordvec::Vec;
+  using wordvec::Word;
+  const std::size_t g = n_ / k_;
+  const netlist::BitSlicedEvaluator small(small_sorter_circuit());
+  const netlist::BitSlicedEvaluator merger(merger_circuit());
+  for (auto& o : out) {
+    if (o.size() != n_) o.data().resize(n_);
+  }
+  const std::size_t blocks = (batch.size() + kBlockLanes - 1) / kBlockLanes;
+  netlist::for_each_block_range(blocks, threads, [&](std::size_t lo, std::size_t hi) {
+    std::vector<Vec> frame, sorted, scr_small, scr_merge;  // per-worker
+    for (std::size_t blk = lo; blk < hi; ++blk) {
+      const std::size_t first = blk * kBlockLanes;
+      const std::size_t lanes = std::min(kBlockLanes, batch.size() - first);
+      const std::size_t W = lanes <= wordvec::kSimdLanes ? 1 : 2;
+      const std::size_t wps = W * wordvec::kSimdWords;
+      frame.resize(W * n_);
+      sorted.resize(W * n_);
+      scr_small.resize(W * small.num_slots());
+      scr_merge.resize(W * merger.num_slots());
+      wordvec::pack_lanes_wide(batch, first, lanes, wps,
+                               {reinterpret_cast<Word*>(frame.data()), wps * n_});
+      // Front end: the k groups stream through the one compiled small-sorter
+      // program back to back; group t occupies wires [t*g, (t+1)*g) of the
+      // packed frame, so a pointer offset selects it.
+      for (std::size_t t = 0; t < k_; ++t) {
+        if (W == 1) {
+          small.eval_pass_simd(frame.data() + t * g, sorted.data() + t * g, scr_small.data());
+        } else {
+          small.eval_pass_simd_x2(frame.data() + 2 * t * g, sorted.data() + 2 * t * g,
+                                  scr_small.data());
+        }
+      }
+      // Back end: the now k-sorted frame through the k-way merger program.
+      if (W == 1) {
+        merger.eval_pass_simd(sorted.data(), frame.data(), scr_merge.data());
+      } else {
+        merger.eval_pass_simd_x2(sorted.data(), frame.data(), scr_merge.data());
+      }
+      wordvec::unpack_lanes_wide({reinterpret_cast<const Word*>(frame.data()), wps * n_}, first,
+                                 lanes, wps, out);
+    }
+  });
 }
 
 std::vector<std::size_t> FishSorter::route(const BitVec& tags) const {

@@ -53,6 +53,23 @@ class FishSorter final : public BinarySorter {
   [[nodiscard]] bool is_combinational() const override { return false; }
   [[nodiscard]] std::vector<std::size_t> route(const BitVec& tags) const override;
 
+  using BinarySorter::sort_batch;
+  /// Bit-sliced batch path mirroring the time-multiplexed schedule: the
+  /// n/k-input small sorter is compiled once and the k groups of every lane
+  /// block stream through it back to back (the front end's k rounds), then
+  /// one compiled k-way merger circuit (see build_kway_merger) finishes the
+  /// merge -- no per-vector sort() fallback.  Bit-identical to sort() on
+  /// every input.
+  void sort_batch(std::span<const BitVec> batch, std::span<BitVec> out,
+                  std::size_t threads) const override;
+
+  /// The front end's n/k-input sorter as a standalone circuit (the network
+  /// the k groups stream through); exposed for stats and tests.
+  [[nodiscard]] netlist::Circuit small_sorter_circuit() const;
+
+  /// The back end's n-input k-way merger as a standalone circuit.
+  [[nodiscard]] netlist::Circuit merger_circuit() const;
+
   /// Aggregated over the real constituent netlists (front mux/demux, small
   /// sorter, and every merger level's k-swap, clean sorter, and two-way
   /// mux-merger).  Depth in the report is the longest combinational path of
@@ -92,5 +109,17 @@ class FishSorter final : public BinarySorter {
 /// Value-level k-way clean sorter: sorts any *clean* k-sorted sequence by
 /// ordering the blocks (Fig. 9).  Exposed for the Fig. 9 reproduction.
 [[nodiscard]] BitVec kway_clean_sort(const BitVec& clean_k_sorted, std::size_t k);
+
+/// Builds the n-input k-way mux-merger (Theorem 4 recursion) as a netlist
+/// fragment: k-SWAP steered by the blocks' middle bits, a k-way clean sorter
+/// on the upper half (a k-input sorter on the blocks' leading bits whose
+/// sorted outputs fan out across each clean block -- the combinational
+/// collapse of the paper's one-block-per-clock dispatch), recursion on the
+/// lower half, and a final two-way mux-merger.  Sorts any k-sorted input's
+/// *bits*; it does not carry inputs (the dispatch permutation is not wired).
+/// in.size() must be a power of two >= k with k | in.size().
+std::vector<netlist::WireId> build_kway_merger(netlist::Circuit& c,
+                                               const std::vector<netlist::WireId>& in,
+                                               std::size_t k);
 
 }  // namespace absort::sorters

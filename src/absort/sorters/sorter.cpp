@@ -1,8 +1,6 @@
 #include "absort/sorters/sorter.hpp"
 
 #include <algorithm>
-#include <exception>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -21,47 +19,36 @@ BitVec BinarySorter::sort(const BitVec& in) const {
 
 std::vector<BitVec> BinarySorter::sort_batch(std::span<const BitVec> batch,
                                              std::size_t threads) const {
+  std::vector<BitVec> out(batch.size());
+  sort_batch(batch, out, threads);
+  return out;
+}
+
+void BinarySorter::check_batch(std::span<const BitVec> batch, std::span<BitVec> out) const {
+  if (out.size() != batch.size()) {
+    throw std::invalid_argument(name() + ": sort_batch out.size() != batch.size()");
+  }
   for (const auto& v : batch) {
     if (v.size() != n_) throw std::invalid_argument(name() + ": wrong input size in batch");
   }
+}
+
+void BinarySorter::sort_batch(std::span<const BitVec> batch, std::span<BitVec> out,
+                              std::size_t threads) const {
+  check_batch(batch, out);
   if (is_combinational()) {
     netlist::BatchRunner runner(build_circuit(), threads);
-    return runner.run(batch);
+    runner.run(batch, out);
+    return;
   }
-  // Model B (time-multiplexed): no single circuit to bit-slice, so the batch
-  // dimension is the only parallelism -- shard whole vectors across threads.
-  std::vector<BitVec> out(batch.size());
+  // Model-B fallback (no bit-sliced override): the batch dimension is the
+  // only parallelism -- shard whole vectors across threads, at least 64
+  // vectors per worker so tiny batches stay on the calling thread.
   if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   threads = std::min(threads, std::max<std::size_t>(1, batch.size() / 64));
-  // An exception escaping a std::thread is std::terminate; catch in the
-  // worker, keep the first, and rethrow on the calling thread after join.
-  std::exception_ptr err;
-  std::mutex err_m;
-  auto run_range = [&](std::size_t b, std::size_t e) noexcept {
-    try {
-      for (std::size_t i = b; i < e; ++i) out[i] = sort(batch[i]);
-    } catch (...) {
-      const std::lock_guard lk(err_m);
-      if (!err) err = std::current_exception();
-    }
-  };
-  if (threads == 1) {
-    run_range(0, batch.size());
-    if (err) std::rethrow_exception(err);
-    return out;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(threads - 1);
-  const std::size_t chunk = (batch.size() + threads - 1) / threads;
-  for (std::size_t t = 1; t < threads; ++t) {
-    const std::size_t b = std::min(t * chunk, batch.size());
-    const std::size_t e = std::min(b + chunk, batch.size());
-    if (b < e) pool.emplace_back(run_range, b, e);
-  }
-  run_range(0, std::min(chunk, batch.size()));
-  for (auto& th : pool) th.join();
-  if (err) std::rethrow_exception(err);
-  return out;
+  netlist::for_each_block_range(batch.size(), threads, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) out[i] = sort(batch[i]);
+  });
 }
 
 netlist::Circuit BinarySorter::build_circuit() const {

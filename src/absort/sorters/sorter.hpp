@@ -50,14 +50,22 @@ class BinarySorter {
   [[nodiscard]] BitVec sort(const BitVec& in) const;
 
   /// Sorts a batch of independent sequences.  Combinational sorters compile
-  /// build_circuit() once into the bit-sliced batch engine (64-256 vectors
-  /// per circuit walk; see netlist/batch_eval.hpp) -- result i is bit-for-bit
-  /// Circuit::eval on batch[i].  Model-B sorters have no single circuit and
-  /// fall back to per-vector sort(), sharded across threads.  threads = 0
-  /// means hardware concurrency; either way the count is clamped to the
-  /// available passes so tiny batches never spawn idle workers.
+  /// build_circuit() once into the bit-sliced batch engine (up to 512
+  /// vectors per circuit walk; see netlist/batch_eval.hpp) -- result i is
+  /// bit-for-bit Circuit::eval on batch[i].  Model-B sorters compile their
+  /// constituent datapath circuits instead and stream the time-multiplexed
+  /// schedule lanewise (FishSorter, ColumnsortSorter), or fall back to
+  /// per-vector sort() sharded across threads.  threads = 0 means hardware
+  /// concurrency; either way the count is clamped to the available passes so
+  /// tiny batches never spawn idle workers.
   [[nodiscard]] std::vector<BitVec> sort_batch(std::span<const BitVec> batch,
                                                std::size_t threads = 0) const;
+
+  /// As above, writing result i into out[i] (resized as needed).  This is
+  /// the virtual face: model-B sorters override it with their bit-sliced
+  /// streaming paths; every override is bit-identical to per-vector sort().
+  virtual void sort_batch(std::span<const BitVec> batch, std::span<BitVec> out,
+                          std::size_t threads) const;
 
   /// Applies route(tags) to an arbitrary payload vector: the packets travel
   /// exactly where the network's switches carry them.
@@ -87,6 +95,10 @@ class BinarySorter {
   }
 
  protected:
+  /// Shared validation for sort_batch overrides: checks every input's arity
+  /// and that out.size() == batch.size() (throws std::invalid_argument).
+  void check_batch(std::span<const BitVec> batch, std::span<BitVec> out) const;
+
   std::size_t n_;
 };
 

@@ -34,4 +34,42 @@ void unpack_lanes(std::span<const Word> words, std::size_t first, std::size_t la
   }
 }
 
+void pack_lanes_wide(std::span<const BitVec> batch, std::size_t first, std::size_t lanes,
+                     std::size_t words_per_slot, std::span<Word> words) {
+  assert(lanes <= words_per_slot * kLanes);
+  assert(first + lanes <= batch.size());
+  assert(words.size() % words_per_slot == 0);
+  const std::size_t n = words.size() / words_per_slot;
+  for (auto& w : words) w = 0;
+  for (std::size_t w = 0; w * kLanes < lanes; ++w) {
+    const std::size_t lw = std::min(kLanes, lanes - w * kLanes);
+    for (std::size_t lane = 0; lane < lw; ++lane) {
+      const BitVec& v = batch[first + w * kLanes + lane];
+      assert(v.size() == n);
+      const Word bit = Word{1} << lane;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (v[i] & 1) words[i * words_per_slot + w] |= bit;
+      }
+    }
+  }
+}
+
+void unpack_lanes_wide(std::span<const Word> words, std::size_t first, std::size_t lanes,
+                       std::size_t words_per_slot, std::span<BitVec> out) {
+  assert(lanes <= words_per_slot * kLanes);
+  assert(first + lanes <= out.size());
+  assert(words.size() % words_per_slot == 0);
+  const std::size_t n = words.size() / words_per_slot;
+  for (std::size_t w = 0; w * kLanes < lanes; ++w) {
+    const std::size_t lw = std::min(kLanes, lanes - w * kLanes);
+    for (std::size_t lane = 0; lane < lw; ++lane) {
+      BitVec& v = out[first + w * kLanes + lane];
+      assert(v.size() == n);
+      for (std::size_t i = 0; i < n; ++i) {
+        v[i] = static_cast<Bit>((words[i * words_per_slot + w] >> lane) & 1);
+      }
+    }
+  }
+}
+
 }  // namespace absort::wordvec

@@ -22,6 +22,24 @@ using Word = std::uint64_t;
 /// Lanes carried by one word.
 inline constexpr std::size_t kLanes = 64;
 
+// SIMD word type for the wide interpreter paths.  GCC/Clang vector
+// extensions give a portable 256-bit lane bundle (AVX2 on x86 when the ISA
+// allows, two SSE/NEON ops otherwise); define ABSORT_SCALAR_WORDS to force
+// the plain-uint64 fallback (Vec degenerates to Word and the "wide" paths
+// simply carry fewer lanes).
+#if defined(__GNUC__) && !defined(ABSORT_SCALAR_WORDS)
+#define ABSORT_WORDVEC_SIMD 1
+typedef Word Vec __attribute__((vector_size(32)));
+/// Words carried by one Vec.
+inline constexpr std::size_t kSimdWords = 4;
+#else
+using Vec = Word;
+inline constexpr std::size_t kSimdWords = 1;
+#endif
+
+/// Lanes carried by one Vec (256 with vector extensions, 64 scalar).
+inline constexpr std::size_t kSimdLanes = kSimdWords * kLanes;
+
 /// All-zero / all-one words (one per possible Bit value).
 [[nodiscard]] constexpr Word broadcast(Bit b) noexcept {
   return b ? ~Word{0} : Word{0};
@@ -47,5 +65,17 @@ void pack_lanes(std::span<const BitVec> batch, std::size_t first, std::size_t la
 /// Each out[first + L] must already be sized to words.size().
 void unpack_lanes(std::span<const Word> words, std::size_t first, std::size_t lanes,
                   std::span<BitVec> out);
+
+/// Packs vectors batch[first .. first+lanes) into the W-word-interleaved
+/// lane-major layout the wide interpreter uses: word words[i*W + w] carries
+/// lanes [first + w*64, first + (w+1)*64) of element i.  `words` must have
+/// size n*W (n = vector length); lanes beyond `lanes` (<= 64*W) are cleared.
+void pack_lanes_wide(std::span<const BitVec> batch, std::size_t first, std::size_t lanes,
+                     std::size_t words_per_slot, std::span<Word> words);
+
+/// Inverse of pack_lanes_wide; each out[first + L] must be sized to
+/// words.size() / words_per_slot.
+void unpack_lanes_wide(std::span<const Word> words, std::size_t first, std::size_t lanes,
+                       std::size_t words_per_slot, std::span<BitVec> out);
 
 }  // namespace absort::wordvec

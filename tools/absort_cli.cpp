@@ -6,11 +6,14 @@
 //   absort_cli dot    <network> <n>        Graphviz netlist to stdout
 //   absort_cli save   <network> <n>        text netlist to stdout (round-trippable)
 //   absort_cli vcd    <n> <k>              fish-hardware waveform of one sort (VCD)
-//   absort_cli batch  <network> <n> [count] [threads]
+//   absort_cli batch  <network> <n> [count] [threads] [--stats]
 //                                          batch sort via the bit-sliced engine:
 //                                          `count` random vectors (or '-' = read
 //                                          0/1 lines from stdin); reports
-//                                          vectors/sec vs per-vector evaluation
+//                                          vectors/sec vs per-vector evaluation;
+//                                          --stats prints the compiled word
+//                                          programs' optimizer shrinkage, lane
+//                                          width, and thread count
 //   absort_cli verify <network> <n> [reps] randomized verification
 //   absort_cli activity <network> <n>      steering-element activity on random inputs
 //   absort_cli optimize <network> <n>      optimizer savings report
@@ -26,10 +29,12 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "absort/analysis/activity.hpp"
 #include "absort/analysis/tables.hpp"
+#include "absort/netlist/batch_eval.hpp"
 #include "absort/netlist/levelized.hpp"
 #include "absort/netlist/optimize.hpp"
 #include "absort/netlist/analyze.hpp"
@@ -75,7 +80,7 @@ int usage(const char* argv0) {
                "  %s save <network> <n>\n"
                "  %s vcd <n> <k>\n"
                "  %s verify <network> <n> [reps]\n"
-               "  %s batch <network> <n> [count|-] [threads]\n"
+               "  %s batch <network> <n> [count|-] [threads] [--stats]\n"
                "  %s activity <network> <n>\n"
                "  %s optimize <network> <n>\n"
                "  %s table2 <n>\n",
@@ -165,8 +170,19 @@ int cmd_verify(const std::string& name, std::size_t n, std::size_t reps) {
   return bad == 0 ? 0 : 2;
 }
 
+void print_program_stats(const char* label, const netlist::Circuit& c) {
+  const netlist::BitSlicedEvaluator ev(c);
+  const auto& st = ev.stats();
+  const double saved =
+      st.ops_before ? 100.0 * (1.0 - static_cast<double>(st.ops_after) /
+                                         static_cast<double>(st.ops_before))
+                    : 0.0;
+  std::printf("  %-13s ops %zu -> %zu (%.1f%% saved)  slots %zu -> %zu  peak live %zu\n", label,
+              st.ops_before, st.ops_after, saved, st.slots_before, st.slots_after, st.peak_live);
+}
+
 int cmd_batch(const std::string& name, std::size_t n, const char* count_arg,
-              const char* threads_arg) {
+              const char* threads_arg, bool stats) {
   const auto net = make_network(name, n);
   if (!net) return 1;
   const std::size_t threads = threads_arg ? std::strtoull(threads_arg, nullptr, 10) : 0;
@@ -197,6 +213,23 @@ int cmd_batch(const std::string& name, std::size_t n, const char* count_arg,
     Xoshiro256 rng(0xBA7C4);
     batch.reserve(count);
     for (std::size_t i = 0; i < count; ++i) batch.push_back(workload::random_bits(rng, n));
+  }
+
+  if (stats) {
+    const std::size_t blocks =
+        (batch.size() + netlist::kBlockLanes - 1) / netlist::kBlockLanes;
+    const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    const std::size_t used = std::min(threads == 0 ? hw : threads, std::max<std::size_t>(1, blocks));
+    std::printf("compiled word programs (%zu lanes/SIMD pass, %zu-vector blocks, %zu thread%s):\n",
+                wordvec::kSimdLanes, netlist::kBlockLanes, used, used == 1 ? "" : "s");
+    if (net->is_combinational()) {
+      print_program_stats("circuit", net->build_circuit());
+    } else if (const auto* fish = dynamic_cast<const sorters::FishSorter*>(net.get())) {
+      print_program_stats("small sorter", fish->small_sorter_circuit());
+      print_program_stats("k-way merger", fish->merger_circuit());
+    } else if (const auto* cs = dynamic_cast<const sorters::ColumnsortSorter*>(net.get())) {
+      print_program_stats("column sorter", cs->column_sorter_circuit());
+    }
   }
 
   using clock = std::chrono::steady_clock;
@@ -327,7 +360,18 @@ int main(int argc, char** argv) {
       return cmd_verify(name, n, argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1000);
     }
     if (cmd == "batch") {
-      return cmd_batch(name, n, argc > 4 ? argv[4] : nullptr, argc > 5 ? argv[5] : nullptr);
+      // Accept --stats anywhere among the trailing arguments.
+      bool stats = false;
+      std::vector<const char*> pos;
+      for (int i = 4; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--stats") == 0) {
+          stats = true;
+        } else {
+          pos.push_back(argv[i]);
+        }
+      }
+      return cmd_batch(name, n, pos.size() > 0 ? pos[0] : nullptr,
+                       pos.size() > 1 ? pos[1] : nullptr, stats);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
