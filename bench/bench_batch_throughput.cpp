@@ -17,9 +17,7 @@
 
 #include "absort/netlist/batch_eval.hpp"
 #include "absort/netlist/levelized.hpp"
-#include "absort/sorters/fish_sorter.hpp"
-#include "absort/sorters/muxmerge_sorter.hpp"
-#include "absort/sorters/prefix_sorter.hpp"
+#include "absort/sorters/registry.hpp"
 #include "absort/util/rng.hpp"
 #include "absort/util/wordvec.hpp"
 #include "bench_common.hpp"
@@ -145,16 +143,9 @@ void report(bool quick) {
   const auto sizes = quick ? std::vector<std::size_t>{64, 256}
                            : std::vector<std::size_t>{64, 256, 1024, 4096};
   for (const std::size_t n : sizes) {
-    const struct {
-      const char* name;
-      std::unique_ptr<sorters::BinarySorter> sorter;
-    } cases[] = {
-        {"prefix", sorters::PrefixSorter::make(n)},
-        {"mux-merger", sorters::MuxMergeSorter::make(n)},
-        {"fish", sorters::FishSorter::make(n)},
-    };
-    for (const auto& c : cases) {
-      const Row r = measure(c.name, *c.sorter, n, batch_size);
+    for (const char* name : {"prefix", "mux-merger", "fish"}) {
+      const auto sorter = sorters::make_sorter(name, n);
+      const Row r = measure(name, *sorter, n, batch_size);
       rows.push_back(r);
       const double pr1 = pr1_bitsliced(r.sorter, r.n);
       std::printf("%-12s %6zu %14.0f %14.0f %14.0f %4zu %7.1fx %7.1fx %7.2fx\n", r.sorter, r.n,
@@ -192,7 +183,7 @@ void report(bool quick) {
 // google-benchmark timings for the steady-state engines at one mid size.
 void BM_SingleVector(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
-  const netlist::LevelizedCircuit lc(sorters::PrefixSorter(n).build_circuit());
+  const netlist::LevelizedCircuit lc(sorters::make_sorter("prefix", n)->build_circuit());
   const auto batch = make_batch(64, n);
   std::size_t i = 0;
   for (auto _ : state) {
@@ -204,7 +195,7 @@ BENCHMARK(BM_SingleVector)->Arg(256)->Arg(1024);
 
 void BM_BitSliced(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
-  const netlist::BitSlicedEvaluator ev(sorters::PrefixSorter(n).build_circuit());
+  const netlist::BitSlicedEvaluator ev(sorters::make_sorter("prefix", n)->build_circuit());
   const auto batch = make_batch(256, n);
   for (auto _ : state) {
     benchmark::DoNotOptimize(ev.eval_batch(batch));
@@ -215,7 +206,7 @@ BENCHMARK(BM_BitSliced)->Arg(256)->Arg(1024);
 
 void BM_BatchRunner(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
-  netlist::BatchRunner runner(sorters::PrefixSorter(n).build_circuit());
+  netlist::BatchRunner runner(sorters::make_sorter("prefix", n)->build_circuit());
   const auto batch = make_batch(2048, n);
   std::vector<BitVec> out(batch.size());
   for (auto _ : state) {
@@ -228,7 +219,7 @@ BENCHMARK(BM_BatchRunner)->Arg(256)->Arg(1024);
 
 void BM_FishSortBatch(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
-  const auto fish = sorters::FishSorter::make(n);
+  const auto fish = sorters::make_sorter("fish", n);
   const auto batch = make_batch(512, n);
   std::vector<BitVec> out(batch.size());
   for (auto _ : state) {

@@ -8,10 +8,7 @@
 #include "absort/netlist/analyze.hpp"
 #include "absort/networks/concentrator.hpp"
 #include "absort/networks/rank_concentrator.hpp"
-#include "absort/sorters/batcher_oem.hpp"
-#include "absort/sorters/fish_sorter.hpp"
-#include "absort/sorters/muxmerge_sorter.hpp"
-#include "absort/sorters/prefix_sorter.hpp"
+#include "absort/sorters/registry.hpp"
 #include "absort/util/math.hpp"
 #include "absort/util/rng.hpp"
 #include "bench_common.hpp"
@@ -26,18 +23,11 @@ void report() {
   bench::heading("concentrators from binary sorters (Section IV)");
   std::printf("%12s %8s %12s %10s %14s\n", "engine", "n", "cost", "cost/n", "conc. time");
   for (std::size_t n : {1024u, 4096u}) {
-    struct Row {
-      const char* label;
-      std::unique_ptr<sorters::BinarySorter> sorter;
-    };
-    Row rows[] = {{"batcher", sorters::BatcherOemSorter::make(n)},
-                  {"prefix", sorters::PrefixSorter::make(n)},
-                  {"mux-merger", sorters::MuxMergeSorter::make(n)},
-                  {"fish", sorters::FishSorter::make(n)}};
-    for (auto& row : rows) {
-      const auto r = row.sorter->cost_report(unit);
-      const double t = row.sorter->sorting_time(unit);
-      std::printf("%12s %8zu %12.0f %10.2f %14.0f\n", row.label, n, r.cost,
+    for (const char* label : {"batcher", "prefix", "mux-merger", "fish"}) {
+      const auto sorter = sorters::make_sorter(label, n);
+      const auto r = sorter->cost_report(unit);
+      const double t = sorter->sorting_time(unit);
+      std::printf("%12s %8zu %12.0f %10.2f %14.0f\n", label, n, r.cost,
                   r.cost / double(n), t);
     }
   }
@@ -49,9 +39,8 @@ void report() {
               "vs fish");
   for (std::size_t n : {256u, 1024u, 4096u}) {
     const double rank = networks::RankConcentrator(n).cost_report(unit).cost;
-    const double mm = sorters::MuxMergeSorter(n).cost_report(unit).cost;
-    sorters::FishSorter fish_s(n, sorters::FishSorter::default_k(n));
-    const double fish = fish_s.cost_report(unit).cost;
+    const double mm = sorters::make_sorter("mux-merger", n)->cost_report(unit).cost;
+    const double fish = sorters::make_sorter("fish", n)->cost_report(unit).cost;
     const double l = lg(double(n));
     std::printf("%8zu %12.0f %12.3f %14.3f %14.3f\n", n, rank, rank / (double(n) * l * l),
                 rank / mm, rank / fish);
@@ -62,7 +51,7 @@ void report() {
   bench::heading("concentration correctness sweep");
   Xoshiro256 rng(18);
   const std::size_t n = 256;
-  networks::Concentrator con(sorters::FishSorter::make(n));
+  networks::Concentrator con(sorters::make_sorter("fish", n));
   std::size_t ok = 0;
   const int reps = 200;
   for (int i = 0; i < reps; ++i) {
@@ -94,13 +83,13 @@ void bm_concentrate(benchmark::State& state, Make make) {
 }
 
 void BM_ConcentrateBatcher(benchmark::State& s) {
-  bm_concentrate(s, [](std::size_t n) { return sorters::BatcherOemSorter::make(n); });
+  bm_concentrate(s, [](std::size_t n) { return sorters::make_sorter("batcher", n); });
 }
 void BM_ConcentrateMuxMerge(benchmark::State& s) {
-  bm_concentrate(s, [](std::size_t n) { return sorters::MuxMergeSorter::make(n); });
+  bm_concentrate(s, [](std::size_t n) { return sorters::make_sorter("mux-merger", n); });
 }
 void BM_ConcentrateFish(benchmark::State& s) {
-  bm_concentrate(s, [](std::size_t n) { return sorters::FishSorter::make(n); });
+  bm_concentrate(s, [](std::size_t n) { return sorters::make_sorter("fish", n); });
 }
 BENCHMARK(BM_ConcentrateBatcher)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
 BENCHMARK(BM_ConcentrateMuxMerge)->RangeMultiplier(4)->Range(64, 16384)->Complexity();

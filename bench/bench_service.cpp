@@ -1,0 +1,209 @@
+// E-S1 -- serving-layer coalescing: throughput of many producers submitting
+// one small request at a time through SortService, coalesced vs the
+// one-request-per-pass baseline.
+//
+// The bit-sliced engine amortizes one compiled-program pass over up to
+// kBlockLanes vectors, but live traffic arrives one vector per submit; E-S1
+// measures how much of the offline batch speedup (E-B1) the coalescing loop
+// recovers under closed-loop load.  Each producer keeps at most 8 requests
+// in flight (small-request traffic); the baseline is the same service with
+// max_batch_lanes = 1 (every request rides its own pass), so the two modes
+// differ only in coalescing.  The report writes BENCH_service.json; --quick
+// runs a small smoke subset (no JSON, no google-benchmark) for ctest.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "absort/netlist/batch_eval.hpp"
+#include "absort/service/sort_service.hpp"
+#include "absort/util/rng.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace absort;
+
+constexpr std::size_t kWindow = 8;  ///< in-flight requests per producer
+
+std::size_t hw_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+struct LoadResult {
+  double vps = 0;          ///< completed requests per second, wall clock
+  double mean_batch = 0;   ///< mean coalesced micro-batch size
+  std::uint64_t p50_wait_us = 0;
+  std::uint64_t p99_wait_us = 0;
+};
+
+/// Drives `producers` closed-loop producers (window kWindow) through one
+/// SortService and reports wall-clock throughput plus queue statistics.
+/// The (sorter, n) engine is compiled by a warm-up request before timing, so
+/// both modes measure steady-state serving, not compilation.
+LoadResult drive(const service::ServiceOptions& so, const char* sorter, std::size_t n,
+                 std::size_t producers, std::size_t requests_per_producer) {
+  service::SortService svc(so);
+  {
+    Xoshiro256 warm_rng(1);
+    (void)svc.sort(sorter, workload::random_bits(warm_rng, n));
+  }
+  const auto warm = svc.stats();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      Xoshiro256 rng(0xE51 ^ (p * 0x9E3779B97F4A7C15ULL));
+      std::vector<std::future<service::SortResult>> window;
+      for (std::size_t i = 0; i < requests_per_producer; ++i) {
+        window.push_back(svc.submit(sorter, workload::random_bits(rng, n)));
+        if (window.size() >= kWindow) {
+          (void)window.front().get();
+          window.erase(window.begin());
+        }
+      }
+      for (auto& f : window) (void)f.get();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double secs = seconds_since(t0);
+
+  const auto st = svc.stats();
+  LoadResult r;
+  r.vps = static_cast<double>(producers * requests_per_producer) / secs;
+  const std::uint64_t batches = st.batches - warm.batches;
+  const std::uint64_t coalesced = st.completed - warm.completed;
+  r.mean_batch = batches ? static_cast<double>(coalesced) / static_cast<double>(batches) : 0.0;
+  r.p50_wait_us = st.queue_wait_us.percentile(0.50);
+  r.p99_wait_us = st.queue_wait_us.percentile(0.99);
+  return r;
+}
+
+service::ServiceOptions coalesced_options(std::size_t linger_us) {
+  service::ServiceOptions so;
+  so.max_batch_lanes = netlist::kBlockLanes;
+  so.max_linger = std::chrono::microseconds(linger_us);
+  return so;
+}
+
+service::ServiceOptions baseline_options() {
+  service::ServiceOptions so;
+  so.max_batch_lanes = 1;  // every request rides its own compiled-program pass
+  so.max_linger = std::chrono::microseconds(0);
+  return so;
+}
+
+struct Row {
+  const char* sorter;
+  std::size_t n;
+  std::size_t producers;
+  std::size_t linger_us;
+  double baseline_vps;
+  LoadResult coalesced;
+};
+
+void report(bool quick) {
+  absort::bench::heading("E-S1: SortService coalescing, closed-loop producers (window 8)");
+  std::printf("%zu hardware threads, %zu-lane blocks%s\n\n", hw_threads(),
+              netlist::kBlockLanes, quick ? " [quick]" : "");
+  std::printf("%-8s %6s %5s %10s %14s %14s %8s %7s %10s %10s\n", "sorter", "n", "prod",
+              "linger us", "baseline v/s", "coalesced v/s", "speedup", "batch",
+              "p50 wait", "p99 wait");
+
+  const auto sizes = quick ? std::vector<std::size_t>{64, 256}
+                           : std::vector<std::size_t>{64, 256, 1024};
+  const auto producer_counts =
+      quick ? std::vector<std::size_t>{4} : std::vector<std::size_t>{2, 8};
+  const auto lingers = quick ? std::vector<std::size_t>{200}
+                             : std::vector<std::size_t>{0, 200, 1000};
+
+  std::vector<Row> rows;
+  const struct {
+    const char* sorter;
+    std::size_t n;
+  } cases[] = {{"prefix", 64}, {"prefix", 256}, {"prefix", 1024}, {"fish", 256}};
+  for (const auto& c : cases) {
+    if (std::find(sizes.begin(), sizes.end(), c.n) == sizes.end()) continue;
+    if (quick && std::strcmp(c.sorter, "fish") == 0) continue;
+    for (const std::size_t producers : producer_counts) {
+      // Requests sized so the slow (baseline) leg stays in the seconds
+      // range even at n = 1024 on one core.
+      const std::size_t reqs = quick ? 250 : (c.n >= 1024 ? 400 : (c.n >= 256 ? 1200 : 2500));
+      const double baseline =
+          drive(baseline_options(), c.sorter, c.n, producers, reqs).vps;
+      for (const std::size_t linger : lingers) {
+        const auto co = drive(coalesced_options(linger), c.sorter, c.n, producers, reqs);
+        rows.push_back(Row{c.sorter, c.n, producers, linger, baseline, co});
+        std::printf("%-8s %6zu %5zu %10zu %14.0f %14.0f %7.1fx %7.1f %9llu %9llu\n",
+                    c.sorter, c.n, producers, linger, baseline, co.vps, co.vps / baseline,
+                    co.mean_batch, static_cast<unsigned long long>(co.p50_wait_us),
+                    static_cast<unsigned long long>(co.p99_wait_us));
+      }
+    }
+  }
+  if (quick) return;  // smoke mode: no JSON, numbers are not steady-state
+
+  if (FILE* f = std::fopen("BENCH_service.json", "w")) {
+    std::fprintf(f,
+                 "{\n  \"benchmark\": \"service_coalescing\",\n  \"window\": %zu,\n"
+                 "  \"block_lanes\": %zu,\n  \"hardware_threads\": %zu,\n  \"results\": [\n",
+                 kWindow, netlist::kBlockLanes, hw_threads());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"sorter\": \"%s\", \"n\": %zu, \"producers\": %zu, "
+                   "\"linger_us\": %zu, \"baseline_vps\": %.1f, \"coalesced_vps\": %.1f, "
+                   "\"speedup\": %.2f, \"mean_batch\": %.1f, \"p50_wait_us\": %llu, "
+                   "\"p99_wait_us\": %llu}%s\n",
+                   r.sorter, r.n, r.producers, r.linger_us, r.baseline_vps, r.coalesced.vps,
+                   r.coalesced.vps / r.baseline_vps, r.coalesced.mean_batch,
+                   static_cast<unsigned long long>(r.coalesced.p50_wait_us),
+                   static_cast<unsigned long long>(r.coalesced.p99_wait_us),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_service.json\n");
+  }
+}
+
+// google-benchmark timing: single-request round-trip latency through the
+// service (submit -> coalesce -> eval -> future), the per-request overhead
+// floor coalescing has to amortize.
+void BM_ServiceRoundtrip(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  service::ServiceOptions so;
+  so.max_linger = std::chrono::microseconds(0);
+  service::SortService svc(so);
+  Xoshiro256 rng(7);
+  const auto input = workload::random_bits(rng, n);
+  (void)svc.sort("prefix", input);  // compile the engine outside the loop
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svc.sort("prefix", input));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServiceRoundtrip)->Arg(64)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      report(/*quick=*/true);
+      return 0;
+    }
+  }
+  return absort::bench::run(argc, argv, [] { report(/*quick=*/false); });
+}

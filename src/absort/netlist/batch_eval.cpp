@@ -285,8 +285,9 @@ void for_each_block_range(std::size_t blocks, std::size_t threads,
 // ---------------------------------------------------------------------------
 // BatchRunner
 
-BatchRunner::BatchRunner(const Circuit& c, std::size_t threads, bool optimize)
-    : eval_(c, optimize) {
+BatchRunner::BatchRunner(const Circuit& c, const BatchOptions& opts)
+    : eval_(c, opts.optimize) {
+  std::size_t threads = opts.threads;
   if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   max_threads_ = threads;
 }
@@ -353,6 +354,16 @@ std::vector<BitVec> BatchRunner::run(std::span<const BitVec> inputs) {
 }
 
 void BatchRunner::run(std::span<const BitVec> inputs, std::span<BitVec> outputs) {
+  // Enforce the single-caller contract: two concurrent run() calls would
+  // race on the job spans and the generation counter and hand one caller's
+  // blocks to the other's buffers.  Fail loudly instead.
+  if (in_run_.exchange(true, std::memory_order_acquire)) {
+    throw std::logic_error("BatchRunner::run: entered from two threads at once");
+  }
+  struct RunGuard {
+    std::atomic<bool>& flag;
+    ~RunGuard() { flag.store(false, std::memory_order_release); }
+  } guard{in_run_};
   if (outputs.size() != inputs.size()) {
     throw std::invalid_argument("BatchRunner::run: outputs.size() != inputs.size()");
   }

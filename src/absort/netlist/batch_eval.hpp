@@ -20,6 +20,7 @@
 // pool; blocks touch disjoint lanes, so workers share nothing but the
 // compiled program and the (read-only) input batch.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -29,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "absort/netlist/batch_options.hpp"
 #include "absort/netlist/circuit.hpp"
 #include "absort/netlist/program_opt.hpp"
 #include "absort/util/wordvec.hpp"
@@ -110,11 +112,15 @@ void for_each_block_range(std::size_t blocks, std::size_t threads,
 /// pool.  The pool is grown lazily and never beyond what a run can keep busy
 /// (no idle workers for tiny batches -- see the matching clamp in
 /// LevelizedCircuit::eval_parallel).  A BatchRunner may be reused across
-/// runs but must not be entered from two threads at once.
+/// runs but must not be entered from two threads at once: run() enforces the
+/// contract with a cheap atomic check and throws std::logic_error on a
+/// concurrent entry instead of corrupting job state silently.
 class BatchRunner {
  public:
-  /// threads = 0 means hardware concurrency.
-  explicit BatchRunner(const Circuit& c, std::size_t threads = 0, bool optimize = true);
+  explicit BatchRunner(const Circuit& c, const BatchOptions& opts);
+  /// Pre-BatchOptions signature, kept for existing call sites.
+  explicit BatchRunner(const Circuit& c, std::size_t threads = 0, bool optimize = true)
+      : BatchRunner(c, BatchOptions{threads, optimize}) {}
   ~BatchRunner();
 
   BatchRunner(const BatchRunner&) = delete;
@@ -142,6 +148,7 @@ class BatchRunner {
 
   BitSlicedEvaluator eval_;
   std::size_t max_threads_;
+  std::atomic<bool> in_run_{false};  ///< reentrancy guard for run()
   std::vector<wordvec::Vec> caller_scratch_;  ///< calling thread's pass buffer, reused across runs
 
   // Job state, guarded by m_: workers wake on a new generation, claim

@@ -1,0 +1,27 @@
+#pragma once
+// BatchOptions: the one knob bundle every batch-evaluation entry point takes.
+//
+// PR 1-2 threaded a bare `std::size_t threads` through three layers
+// (BinarySorter::sort_batch -> model-B overrides -> BatchRunner /
+// for_each_block_range), which left no room to grow the API: adding a second
+// knob would have rippled a parameter through every signature.  BatchOptions
+// is that growth point.  It lives in netlist (the lowest layer that consumes
+// it) and is re-exported as sorters::BatchOptions, the name user code spells.
+
+#include <cstddef>
+
+namespace absort::netlist {
+
+struct BatchOptions {
+  /// Worker threads (including the calling thread); 0 = hardware
+  /// concurrency.  Always clamped to the available passes, so small batches
+  /// never spawn idle workers.
+  std::size_t threads = 0;
+
+  /// Run the optimizing backend (program_opt.hpp) on compiled word programs.
+  /// Off is only useful for differential tests and compile-time-sensitive
+  /// one-shot batches.
+  bool optimize = true;
+};
+
+}  // namespace absort::netlist

@@ -1,0 +1,79 @@
+#pragma once
+// Observability for the serving layer: cheap-to-record counters and
+// log2-bucketed histograms, snapshotted as a plain-value ServiceStats that
+// renders itself as JSON.
+//
+// Recording is lock-free (relaxed atomics): the submit path and the
+// coalescing loop bump counters and histogram buckets without ever taking
+// the service mutex, so observability costs nanoseconds per request.
+// Snapshots are not atomic across fields -- a snapshot taken while traffic
+// is in flight is a consistent-enough view for dashboards and tests, not a
+// linearizable one (totals may be mid-update by one request).
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace absort::service {
+
+/// Histogram buckets: bucket 0 holds value 0, bucket b >= 1 holds values in
+/// [2^(b-1), 2^b - 1].  40 buckets cover ~5.5e11 (microsecond latencies up
+/// to ~6 days; batch sizes far past any real lane width).
+inline constexpr std::size_t kHistBuckets = 40;
+
+/// Plain-value histogram snapshot.
+struct HistogramSnapshot {
+  std::array<std::uint64_t, kHistBuckets> counts{};
+  std::uint64_t total = 0;  ///< number of recorded values
+  std::uint64_t sum = 0;    ///< sum of recorded values
+
+  [[nodiscard]] double mean() const;
+
+  /// Upper bound of the bucket containing the p-quantile (p in [0, 1]); 0
+  /// when empty.  Log2 buckets make this an upper estimate within 2x.
+  [[nodiscard]] std::uint64_t percentile(double p) const;
+
+  /// Inclusive value range [lower, upper] of bucket b.
+  [[nodiscard]] static std::uint64_t bucket_lower(std::size_t b);
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t b);
+
+  /// JSON object: {"total":..,"mean":..,"p50":..,"p90":..,"p99":..,
+  /// "buckets":[{"le":..,"count":..}, ...]} (non-empty buckets only).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Thread-safe recording side of HistogramSnapshot.
+class Histogram {
+ public:
+  void record(std::uint64_t v) noexcept;
+  [[nodiscard]] HistogramSnapshot snapshot() const noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kHistBuckets> counts_{};
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// One coherent view of a SortService's lifetime counters and latency
+/// distributions (see SortService::stats()).
+struct ServiceStats {
+  std::uint64_t submitted = 0;     ///< requests accepted into the queue
+  std::uint64_t completed = 0;     ///< requests answered Ok
+  std::uint64_t rejected = 0;      ///< QueueFull rejections (Reject policy)
+  std::uint64_t expired = 0;       ///< deadline-cancelled requests
+  std::uint64_t stopped = 0;       ///< requests refused after stop()
+  std::uint64_t failed = 0;        ///< requests failed with an exception
+  std::uint64_t batches = 0;       ///< micro-batches formed
+  std::uint64_t compiled = 0;      ///< (sorter, n) engines compiled (cache misses)
+
+  HistogramSnapshot batch_size;     ///< requests coalesced per micro-batch
+  HistogramSnapshot queue_wait_us;  ///< submit -> batch formation, microseconds
+  HistogramSnapshot eval_us;        ///< micro-batch evaluation time, microseconds
+
+  /// The whole snapshot as one JSON object.
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace absort::service

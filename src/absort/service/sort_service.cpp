@@ -1,0 +1,211 @@
+#include "absort/service/sort_service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace absort::service {
+
+namespace {
+
+std::uint64_t us_between(SortService::Clock::time_point a, SortService::Clock::time_point b) {
+  const auto d = std::chrono::duration_cast<std::chrono::microseconds>(b - a).count();
+  return d > 0 ? static_cast<std::uint64_t>(d) : 0;
+}
+
+}  // namespace
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::Ok: return "ok";
+    case Status::QueueFull: return "queue-full";
+    case Status::Expired: return "expired";
+    case Status::Stopped: return "stopped";
+  }
+  return "?";
+}
+
+SortService::SortService(ServiceOptions opts) : opts_(opts) {
+  opts_.queue_capacity = std::max<std::size_t>(1, opts_.queue_capacity);
+  opts_.max_batch_lanes = std::max<std::size_t>(1, opts_.max_batch_lanes);
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+SortService::~SortService() { stop(); }
+
+void SortService::stop() {
+  {
+    std::lock_guard lk(m_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  cv_space_.notify_all();
+  // call_once also blocks late callers until the join completes, so stop()
+  // has returned-means-drained semantics for every caller.
+  std::call_once(join_once_, [this] { dispatcher_.join(); });
+}
+
+std::future<SortResult> SortService::submit(std::string_view sorter, BitVec input,
+                                            Clock::time_point deadline) {
+  const auto* entry = sorters::find_sorter(sorter);
+  if (!entry) {
+    throw std::invalid_argument("SortService: unknown sorter '" + std::string(sorter) +
+                                "'; available: " + sorters::sorter_names());
+  }
+  std::promise<SortResult> promise;
+  auto future = promise.get_future();
+  const auto reject = [&](Status s, std::atomic<std::uint64_t>& counter) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+    promise.set_value(SortResult{s, {}});
+    return std::move(future);
+  };
+
+  std::unique_lock lk(m_);
+  if (stopping_) return reject(Status::Stopped, stopped_);
+  if (queue_.size() >= opts_.queue_capacity) {
+    if (opts_.overflow == ServiceOptions::Overflow::Reject) {
+      return reject(Status::QueueFull, rejected_);
+    }
+    // Block policy: wait for a slot, but never past the request's deadline.
+    // (An unbounded deadline waits plainly: wait_until at time_point::max()
+    // can overflow inside the standard library and time out immediately.)
+    const auto have_slot = [&] { return stopping_ || queue_.size() < opts_.queue_capacity; };
+    bool got_slot = true;
+    if (deadline == Clock::time_point::max()) {
+      cv_space_.wait(lk, have_slot);
+    } else {
+      got_slot = cv_space_.wait_until(lk, deadline, have_slot);
+    }
+    if (stopping_) return reject(Status::Stopped, stopped_);
+    if (!got_slot) return reject(Status::Expired, expired_);
+  }
+  const auto now = Clock::now();
+  queue_.push_back(Request{entry, input.size(), std::move(input), std::move(promise), deadline,
+                           now});
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  lk.unlock();
+  cv_work_.notify_one();
+  return future;
+}
+
+SortResult SortService::sort(std::string_view sorter, BitVec input) {
+  return submit(sorter, std::move(input)).get();
+}
+
+void SortService::take_matching(const Key& key, std::vector<Request>& batch) {
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch.size() < opts_.max_batch_lanes;) {
+    if (it->entry == key.first && it->n == key.second) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SortService::dispatch_loop() {
+  std::vector<Request> batch;
+  std::vector<BitVec> inputs;   // reused across micro-batches
+  std::vector<BitVec> outputs;  // reused across micro-batches
+  for (;;) {
+    batch.clear();
+    Key key{};
+    {
+      std::unique_lock lk(m_);
+      cv_work_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      key = Key{queue_.front().entry, queue_.front().n};
+      take_matching(key, batch);
+      // Linger for same-key stragglers: worth one pass through the engine
+      // only if the batch is not already full.  The budget is anchored at
+      // the oldest request's enqueue time (so a request never waits more
+      // than max_linger total) and clipped to the earliest deadline in the
+      // batch.  Skipped entirely while draining.
+      if (!stopping_ && opts_.max_linger.count() > 0 &&
+          batch.size() < opts_.max_batch_lanes) {
+        auto until = batch.front().enqueued + opts_.max_linger;
+        for (const auto& r : batch) until = std::min(until, r.deadline);
+        while (!stopping_ && batch.size() < opts_.max_batch_lanes) {
+          if (cv_work_.wait_until(lk, until) == std::cv_status::timeout) break;
+          take_matching(key, batch);
+        }
+      }
+    }
+    cv_space_.notify_all();  // extraction freed queue slots
+    process(key, batch, inputs, outputs);
+  }
+}
+
+void SortService::process(const Key& key, std::vector<Request>& batch,
+                          std::vector<BitVec>& inputs, std::vector<BitVec>& outputs) {
+  const auto formed = Clock::now();
+  // Cancel what already missed its deadline; collect the rest.
+  inputs.clear();
+  std::vector<Request*> live;
+  live.reserve(batch.size());
+  for (auto& r : batch) {
+    queue_wait_h_.record(us_between(r.enqueued, formed));
+    if (r.deadline <= formed) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      r.promise.set_value(SortResult{Status::Expired, {}});
+      continue;
+    }
+    live.push_back(&r);
+    inputs.push_back(std::move(r.input));
+  }
+  if (live.empty()) return;
+
+  const auto fail_all = [&](std::exception_ptr e) {
+    failed_.fetch_add(live.size(), std::memory_order_relaxed);
+    for (auto* r : live) r->promise.set_exception(e);
+  };
+
+  // Per-(sorter, n) engine cache: compile on first sight, reuse forever.
+  auto it = engines_.find(key);
+  if (it == engines_.end()) {
+    Engine e;
+    try {
+      e.sorter = key.first->factory(key.second);
+      e.batch = e.sorter->make_batch_sorter(opts_.batch);
+    } catch (...) {
+      fail_all(std::current_exception());
+      return;
+    }
+    compiled_.fetch_add(1, std::memory_order_relaxed);
+    it = engines_.emplace(key, std::move(e)).first;
+  }
+
+  outputs.resize(inputs.size());
+  const auto t0 = Clock::now();
+  try {
+    it->second.batch->run(inputs, outputs);
+  } catch (...) {
+    fail_all(std::current_exception());
+    return;
+  }
+  eval_h_.record(us_between(t0, Clock::now()));
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_size_h_.record(live.size());
+  completed_.fetch_add(live.size(), std::memory_order_relaxed);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    live[i]->promise.set_value(SortResult{Status::Ok, std::move(outputs[i])});
+  }
+}
+
+ServiceStats SortService::stats() const {
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.stopped = stopped_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.compiled = compiled_.load(std::memory_order_relaxed);
+  s.batch_size = batch_size_h_.snapshot();
+  s.queue_wait_us = queue_wait_h_.snapshot();
+  s.eval_us = eval_h_.snapshot();
+  return s;
+}
+
+}  // namespace absort::service

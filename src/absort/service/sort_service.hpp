@@ -1,0 +1,174 @@
+#pragma once
+// SortService: an asynchronous micro-batching serving layer over the
+// bit-sliced batch engine.
+//
+// One compiled word-program pass amortizes over up to kBlockLanes (512)
+// vectors, so the engine's 10-40x batch speedups are only realized when
+// requests arrive together.  Under live traffic they don't: producers
+// submit one vector at a time.  SortService closes that gap the way
+// inference servers do -- request coalescing under a latency budget:
+//
+//   * producers submit(sorter_name, vector [, deadline]) from any number of
+//     threads and get a std::future<SortResult>;
+//   * a bounded submission queue applies backpressure (Block) or fails fast
+//     (Reject -> Status::QueueFull) when producers outrun the engine;
+//   * one coalescing dispatcher drains the queue, groups requests by
+//     (sorter, n), and forms micro-batches up to max_batch_lanes, lingering
+//     up to max_linger (never past a request's deadline) for stragglers of
+//     the same key;
+//   * each (sorter, n) key compiles its BatchSorter engine exactly once
+//     (registry -> make_batch_sorter); repeat traffic never recompiles;
+//   * requests whose deadline passes while queued are cancelled
+//     (Status::Expired) without being evaluated;
+//   * stop() drains the queue, answers everything in flight, then joins the
+//     dispatcher; later submits fail fast with Status::Stopped.
+//
+// Every stage records into ServiceStats (counters + batch-size and latency
+// histograms); see service_stats.hpp.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "absort/netlist/batch_eval.hpp"
+#include "absort/service/service_stats.hpp"
+#include "absort/sorters/registry.hpp"
+#include "absort/util/bitvec.hpp"
+
+namespace absort::service {
+
+/// Terminal state of one request.
+enum class Status {
+  Ok,         ///< sorted; SortResult::output holds the result
+  QueueFull,  ///< rejected: queue at capacity under the Reject policy
+  Expired,    ///< cancelled: deadline passed before evaluation
+  Stopped,    ///< rejected: submitted after stop()
+};
+
+[[nodiscard]] const char* to_string(Status s);
+
+struct SortResult {
+  Status status = Status::Ok;
+  BitVec output;  ///< valid only when status == Status::Ok
+};
+
+struct ServiceOptions {
+  /// Bounded submission queue slots (clamped to >= 1).
+  std::size_t queue_capacity = 4096;
+
+  /// Micro-batch size cap; the engine evaluates up to kBlockLanes vectors
+  /// per compiled-program pass, so that is the natural (and default) cap.
+  /// 1 disables coalescing (every request rides its own pass).
+  std::size_t max_batch_lanes = netlist::kBlockLanes;
+
+  /// How long the dispatcher waits for same-key stragglers after picking up
+  /// a request whose batch is not yet full.  0 disables lingering.
+  std::chrono::microseconds max_linger{200};
+
+  /// What submit() does when the queue is full.
+  enum class Overflow {
+    Block,   ///< wait for space (up to the request's deadline)
+    Reject,  ///< fail fast with Status::QueueFull
+  } overflow = Overflow::Block;
+
+  /// Knobs for the per-key compiled engines ({threads, optimize}).
+  sorters::BatchOptions batch{};
+};
+
+class SortService {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit SortService(ServiceOptions opts = {});
+  ~SortService();  ///< stop(): drain, answer, join
+
+  SortService(const SortService&) = delete;
+  SortService& operator=(const SortService&) = delete;
+
+  /// Submits one vector to be sorted by registry sorter `sorter` at size
+  /// input.size().  Unknown sorter names throw std::invalid_argument
+  /// immediately (listing the available sorters); a sorter constructor or
+  /// engine failure for this (sorter, n) is delivered through the future as
+  /// an exception.  The future is always eventually satisfied.
+  [[nodiscard]] std::future<SortResult> submit(
+      std::string_view sorter, BitVec input,
+      Clock::time_point deadline = Clock::time_point::max());
+
+  /// Blocking convenience: submit and wait.
+  [[nodiscard]] SortResult sort(std::string_view sorter, BitVec input);
+
+  /// Drain-then-stop: processes everything already accepted, then joins the
+  /// dispatcher.  Idempotent; safe to call from any thread.  Blocked
+  /// submitters are released with Status::Stopped.
+  void stop();
+
+  /// Lifetime counters + histograms so far (callable any time, any thread).
+  [[nodiscard]] ServiceStats stats() const;
+
+  [[nodiscard]] const ServiceOptions& options() const noexcept { return opts_; }
+
+ private:
+  /// Coalescing key: registry entry (stable static storage) + vector size.
+  using Key = std::pair<const sorters::RegistryEntry*, std::size_t>;
+
+  struct Request {
+    const sorters::RegistryEntry* entry;
+    std::size_t n;
+    BitVec input;
+    std::promise<SortResult> promise;
+    Clock::time_point deadline;
+    Clock::time_point enqueued;
+  };
+
+  /// A cached per-(sorter, n) engine: the sorter instance (the fallback
+  /// engine references it) plus its compiled BatchSorter.
+  struct Engine {
+    std::unique_ptr<sorters::BinarySorter> sorter;
+    std::unique_ptr<sorters::BatchSorter> batch;
+  };
+
+  void dispatch_loop();
+  /// Moves up to the batch-size cap of key-matching requests out of the
+  /// queue (caller holds m_).
+  void take_matching(const Key& key, std::vector<Request>& batch);
+  /// Expires, evaluates, and answers one formed micro-batch (no lock held).
+  void process(const Key& key, std::vector<Request>& batch, std::vector<BitVec>& inputs,
+               std::vector<BitVec>& outputs);
+
+  ServiceOptions opts_;
+
+  mutable std::mutex m_;
+  std::condition_variable cv_work_;   ///< queue became non-empty / stopping
+  std::condition_variable cv_space_;  ///< queue freed a slot / stopping
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+
+  std::map<Key, Engine> engines_;  ///< dispatcher-only (no lock needed)
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> stopped_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> compiled_{0};
+  Histogram batch_size_h_;
+  Histogram queue_wait_h_;
+  Histogram eval_h_;
+
+  std::once_flag join_once_;
+  std::thread dispatcher_;  ///< started last; everything above is ready first
+};
+
+}  // namespace absort::service

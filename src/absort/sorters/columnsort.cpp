@@ -121,24 +121,55 @@ netlist::Circuit ColumnsortSorter::column_sorter_circuit() const {
   return BatcherOemSorter(r_).build_circuit();
 }
 
-void ColumnsortSorter::sort_batch(std::span<const BitVec> batch, std::span<BitVec> out,
-                                  std::size_t threads) const {
-  check_batch(batch, out);
-  if (batch.empty()) return;
+namespace {
+
+/// The columnsort batch engine: one compiled r-input column sorter streamed
+/// over the matrix columns of every lane block, reusable across run() calls.
+class ColumnsortBatchSorter final : public BatchSorter {
+ public:
+  ColumnsortBatchSorter(const ColumnsortSorter& s, const BatchOptions& opts)
+      : BatchSorter(s.size()),
+        r_(s.rows()),
+        s_(s.cols()),
+        threads_(opts.threads),
+        col_(s.column_sorter_circuit(), opts.optimize) {}
+
+  void run(std::span<const BitVec> batch, std::span<BitVec> out) override;
+
+ private:
+  std::size_t r_, s_;
+  std::size_t threads_;
+  netlist::BitSlicedEvaluator col_;
+};
+
+}  // namespace
+
+std::unique_ptr<BatchSorter> ColumnsortSorter::make_batch_sorter(const BatchOptions& opts) const {
   if (!is_pow2(r_) || r_ < 2 || (s_ > 1 && !is_pow2(s_))) {
-    BinarySorter::sort_batch(batch, out, threads);  // per-vector fallback
-    return;
+    return BinarySorter::make_batch_sorter(opts);  // per-vector fallback engine
   }
+  return std::make_unique<ColumnsortBatchSorter>(*this, opts);
+}
+
+void ColumnsortSorter::sort_batch(std::span<const BitVec> batch, std::span<BitVec> out,
+                                  const BatchOptions& opts) const {
+  check_batch(batch, out);
+  make_batch_sorter(opts)->run(batch, out);
+}
+
+void ColumnsortBatchSorter::run(std::span<const BitVec> batch, std::span<BitVec> out) {
+  check(batch, out);
+  if (batch.empty()) return;
   using netlist::kBlockLanes;
   using wordvec::Vec;
   using wordvec::Word;
-  const netlist::BitSlicedEvaluator col(column_sorter_circuit());
+  const netlist::BitSlicedEvaluator& col = col_;
   for (auto& o : out) {
     if (o.size() != n_) o.data().resize(n_);
   }
   const std::size_t r = r_, s = s_, n = n_;
   const std::size_t blocks = (batch.size() + kBlockLanes - 1) / kBlockLanes;
-  netlist::for_each_block_range(blocks, threads, [&](std::size_t lo, std::size_t hi) {
+  netlist::for_each_block_range(blocks, threads_, [&](std::size_t lo, std::size_t hi) {
     std::vector<Vec> a, b, ext, scr;  // per-worker
     for (std::size_t blk = lo; blk < hi; ++blk) {
       const std::size_t first = blk * kBlockLanes;

@@ -42,7 +42,13 @@ class ColumnsortSorter final : public BinarySorter {
   /// when s > 1); other shapes fall back to the per-vector base path.
   /// Bit-identical to sort() on every input.
   void sort_batch(std::span<const BitVec> batch, std::span<BitVec> out,
-                  std::size_t threads) const override;
+                  const BatchOptions& opts) const override;
+
+  /// The streaming path above with the column-sorter program compiled
+  /// exactly once, reusable across run() calls (per-vector fallback shapes
+  /// delegate to the base engine, which references this sorter).
+  [[nodiscard]] std::unique_ptr<BatchSorter> make_batch_sorter(
+      const BatchOptions& opts = {}) const override;
 
   /// The r-input Batcher sorter the columns stream through; exposed for
   /// stats and tests (power-of-two r only).

@@ -188,54 +188,84 @@ netlist::Circuit FishSorter::merger_circuit() const {
   return c;
 }
 
-void FishSorter::sort_batch(std::span<const BitVec> batch, std::span<BitVec> out,
-                            std::size_t threads) const {
-  check_batch(batch, out);
-  if (batch.empty()) return;
-  using netlist::kBlockLanes;
-  using wordvec::Vec;
-  using wordvec::Word;
-  const std::size_t g = n_ / k_;
-  const netlist::BitSlicedEvaluator small(small_sorter_circuit());
-  const netlist::BitSlicedEvaluator merger(merger_circuit());
-  for (auto& o : out) {
-    if (o.size() != n_) o.data().resize(n_);
-  }
-  const std::size_t blocks = (batch.size() + kBlockLanes - 1) / kBlockLanes;
-  netlist::for_each_block_range(blocks, threads, [&](std::size_t lo, std::size_t hi) {
-    std::vector<Vec> frame, sorted, scr_small, scr_merge;  // per-worker
-    for (std::size_t blk = lo; blk < hi; ++blk) {
-      const std::size_t first = blk * kBlockLanes;
-      const std::size_t lanes = std::min(kBlockLanes, batch.size() - first);
-      const std::size_t W = lanes <= wordvec::kSimdLanes ? 1 : 2;
-      const std::size_t wps = W * wordvec::kSimdWords;
-      frame.resize(W * n_);
-      sorted.resize(W * n_);
-      scr_small.resize(W * small.num_slots());
-      scr_merge.resize(W * merger.num_slots());
-      wordvec::pack_lanes_wide(batch, first, lanes, wps,
-                               {reinterpret_cast<Word*>(frame.data()), wps * n_});
-      // Front end: the k groups stream through the one compiled small-sorter
-      // program back to back; group t occupies wires [t*g, (t+1)*g) of the
-      // packed frame, so a pointer offset selects it.
-      for (std::size_t t = 0; t < k_; ++t) {
-        if (W == 1) {
-          small.eval_pass_simd(frame.data() + t * g, sorted.data() + t * g, scr_small.data());
-        } else {
-          small.eval_pass_simd_x2(frame.data() + 2 * t * g, sorted.data() + 2 * t * g,
-                                  scr_small.data());
-        }
-      }
-      // Back end: the now k-sorted frame through the k-way merger program.
-      if (W == 1) {
-        merger.eval_pass_simd(sorted.data(), frame.data(), scr_merge.data());
-      } else {
-        merger.eval_pass_simd_x2(sorted.data(), frame.data(), scr_merge.data());
-      }
-      wordvec::unpack_lanes_wide({reinterpret_cast<const Word*>(frame.data()), wps * n_}, first,
-                                 lanes, wps, out);
+namespace {
+
+/// The fish sorter's streaming batch engine: the n/k-input small sorter and
+/// the k-way merger compiled once, streamed over every lane block of a run.
+class FishBatchSorter final : public BatchSorter {
+ public:
+  FishBatchSorter(const FishSorter& s, const BatchOptions& opts)
+      : BatchSorter(s.size()),
+        k_(s.k()),
+        threads_(opts.threads),
+        small_(s.small_sorter_circuit(), opts.optimize),
+        merger_(s.merger_circuit(), opts.optimize) {}
+
+  void run(std::span<const BitVec> batch, std::span<BitVec> out) override {
+    check(batch, out);
+    if (batch.empty()) return;
+    using netlist::kBlockLanes;
+    using wordvec::Vec;
+    using wordvec::Word;
+    const std::size_t n = n_;
+    const std::size_t g = n / k_;
+    for (auto& o : out) {
+      if (o.size() != n) o.data().resize(n);
     }
-  });
+    const std::size_t blocks = (batch.size() + kBlockLanes - 1) / kBlockLanes;
+    netlist::for_each_block_range(blocks, threads_, [&](std::size_t lo, std::size_t hi) {
+      std::vector<Vec> frame, sorted, scr_small, scr_merge;  // per-worker
+      for (std::size_t blk = lo; blk < hi; ++blk) {
+        const std::size_t first = blk * kBlockLanes;
+        const std::size_t lanes = std::min(kBlockLanes, batch.size() - first);
+        const std::size_t W = lanes <= wordvec::kSimdLanes ? 1 : 2;
+        const std::size_t wps = W * wordvec::kSimdWords;
+        frame.resize(W * n);
+        sorted.resize(W * n);
+        scr_small.resize(W * small_.num_slots());
+        scr_merge.resize(W * merger_.num_slots());
+        wordvec::pack_lanes_wide(batch, first, lanes, wps,
+                                 {reinterpret_cast<Word*>(frame.data()), wps * n});
+        // Front end: the k groups stream through the one compiled
+        // small-sorter program back to back; group t occupies wires
+        // [t*g, (t+1)*g) of the packed frame, so a pointer offset selects it.
+        for (std::size_t t = 0; t < k_; ++t) {
+          if (W == 1) {
+            small_.eval_pass_simd(frame.data() + t * g, sorted.data() + t * g,
+                                  scr_small.data());
+          } else {
+            small_.eval_pass_simd_x2(frame.data() + 2 * t * g, sorted.data() + 2 * t * g,
+                                     scr_small.data());
+          }
+        }
+        // Back end: the now k-sorted frame through the k-way merger program.
+        if (W == 1) {
+          merger_.eval_pass_simd(sorted.data(), frame.data(), scr_merge.data());
+        } else {
+          merger_.eval_pass_simd_x2(sorted.data(), frame.data(), scr_merge.data());
+        }
+        wordvec::unpack_lanes_wide({reinterpret_cast<const Word*>(frame.data()), wps * n},
+                                   first, lanes, wps, out);
+      }
+    });
+  }
+
+ private:
+  std::size_t k_;
+  std::size_t threads_;
+  netlist::BitSlicedEvaluator small_;
+  netlist::BitSlicedEvaluator merger_;
+};
+
+}  // namespace
+
+std::unique_ptr<BatchSorter> FishSorter::make_batch_sorter(const BatchOptions& opts) const {
+  return std::make_unique<FishBatchSorter>(*this, opts);
+}
+
+void FishSorter::sort_batch(std::span<const BitVec> batch, std::span<BitVec> out,
+                            const BatchOptions& opts) const {
+  make_batch_sorter(opts)->run(batch, out);
 }
 
 std::vector<std::size_t> FishSorter::route(const BitVec& tags) const {

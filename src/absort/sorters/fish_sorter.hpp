@@ -61,7 +61,13 @@ class FishSorter final : public BinarySorter {
   /// merge -- no per-vector sort() fallback.  Bit-identical to sort() on
   /// every input.
   void sort_batch(std::span<const BitVec> batch, std::span<BitVec> out,
-                  std::size_t threads) const override;
+                  const BatchOptions& opts) const override;
+
+  /// The streaming path above with the small-sorter and merger programs
+  /// compiled exactly once, reusable across run() calls (self-contained: the
+  /// engine does not reference this sorter).
+  [[nodiscard]] std::unique_ptr<BatchSorter> make_batch_sorter(
+      const BatchOptions& opts = {}) const override;
 
   /// The front end's n/k-input sorter as a standalone circuit (the network
   /// the k groups stream through); exposed for stats and tests.

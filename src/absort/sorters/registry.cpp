@@ -1,0 +1,63 @@
+#include "absort/sorters/registry.hpp"
+
+#include <stdexcept>
+
+#include "absort/sorters/alt_oem.hpp"
+#include "absort/sorters/batcher_oem.hpp"
+#include "absort/sorters/bitonic.hpp"
+#include "absort/sorters/columnsort.hpp"
+#include "absort/sorters/fish_sorter.hpp"
+#include "absort/sorters/hybrid_oem.hpp"
+#include "absort/sorters/muxmerge_sorter.hpp"
+#include "absort/sorters/periodic_balanced.hpp"
+#include "absort/sorters/prefix_sorter.hpp"
+
+namespace absort::sorters {
+
+const std::vector<RegistryEntry>& registry() {
+  static const std::vector<RegistryEntry> table = {
+      {"batcher", "Batcher odd-even merge network (Fig. 4a)", &BatcherOemSorter::make},
+      {"bitonic", "Batcher bitonic sorter", &BitonicSorter::make},
+      {"alt-oem", "alternative OEM with balanced merging blocks (Fig. 4b)",
+       &AltOemSorter::make},
+      {"periodic", "periodic balanced sorting network [8],[9]",
+       &PeriodicBalancedSorter::make},
+      {"oe-transposition", "odd-even transposition (brick wall)",
+       &OddEvenTranspositionSorter::make},
+      {"prefix", "Network 1: adaptive prefix binary sorter (Fig. 5)", &PrefixSorter::make},
+      {"mux-merger", "Network 2: mux-merger binary sorter (Fig. 6)", &MuxMergeSorter::make},
+      {"fish", "Network 3: time-multiplexed fish sorter (Fig. 7)", &FishSorter::make},
+      {"hybrid-oem", "Batcher blocks + balanced merge tree (III.A exercise)",
+       &HybridOemSorter::make},
+      {"columnsort", "Leighton columnsort (time-multiplexed baseline)",
+       &ColumnsortSorter::make},
+  };
+  return table;
+}
+
+const RegistryEntry* find_sorter(std::string_view name) {
+  for (const auto& e : registry()) {
+    if (name == e.name) return &e;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<BinarySorter> make_sorter(std::string_view name, std::size_t n) {
+  const auto* e = find_sorter(name);
+  if (!e) {
+    throw std::invalid_argument("unknown sorter '" + std::string(name) +
+                                "'; available: " + sorter_names());
+  }
+  return e->factory(n);
+}
+
+std::string sorter_names() {
+  std::string out;
+  for (const auto& e : registry()) {
+    if (!out.empty()) out += ", ";
+    out += e.name;
+  }
+  return out;
+}
+
+}  // namespace absort::sorters

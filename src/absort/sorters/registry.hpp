@@ -1,0 +1,36 @@
+#pragma once
+// The sorter registry: one name -> factory table for every sorting network
+// in the library, replacing the per-tool if/else construction ladders that
+// each front end (CLI, benches, serving layer) used to duplicate.  The
+// multiway-merge and periodic-merging lines of related work both argue for
+// keeping the sorter choice pluggable behind a name; this is that seam.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "absort/sorters/sorter.hpp"
+
+namespace absort::sorters {
+
+struct RegistryEntry {
+  const char* name;         ///< the name user-facing tools spell (e.g. "mux-merger")
+  const char* description;  ///< one-line description for listings
+  SorterFactory factory;    ///< builds the sorter at size n (may throw on bad n)
+};
+
+/// Every registered sorter, in listing order.
+[[nodiscard]] const std::vector<RegistryEntry>& registry();
+
+/// Entry for `name`, or nullptr if unknown.
+[[nodiscard]] const RegistryEntry* find_sorter(std::string_view name);
+
+/// Builds sorter `name` at size n; unknown names throw std::invalid_argument
+/// listing the available sorters.
+[[nodiscard]] std::unique_ptr<BinarySorter> make_sorter(std::string_view name, std::size_t n);
+
+/// Comma-separated registered names (for usage/error messages).
+[[nodiscard]] std::string sorter_names();
+
+}  // namespace absort::sorters

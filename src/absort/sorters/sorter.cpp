@@ -9,6 +9,68 @@
 
 namespace absort::sorters {
 
+namespace {
+
+/// BatchSorter over a combinational sorter: one compiled circuit + the
+/// persistent BatchRunner pool.
+class CircuitBatchSorter final : public BatchSorter {
+ public:
+  CircuitBatchSorter(std::size_t n, const netlist::Circuit& c, const BatchOptions& opts)
+      : BatchSorter(n), runner_(c, opts) {}
+
+  void run(std::span<const BitVec> batch, std::span<BitVec> out) override {
+    runner_.run(batch, out);
+  }
+
+ private:
+  netlist::BatchRunner runner_;
+};
+
+/// Fallback BatchSorter for sorters without a bit-sliced path: per-vector
+/// sort() sharded across threads (references the sorter; see the
+/// make_batch_sorter contract).
+class PerVectorBatchSorter final : public BatchSorter {
+ public:
+  PerVectorBatchSorter(const BinarySorter& sorter, const BatchOptions& opts)
+      : BatchSorter(sorter.size()), sorter_(sorter), opts_(opts) {}
+
+  void run(std::span<const BitVec> batch, std::span<BitVec> out) override {
+    if (out.size() != batch.size()) {
+      throw std::invalid_argument(sorter_.name() + ": sort_batch out.size() != batch.size()");
+    }
+    // The batch dimension is the only parallelism -- shard whole vectors
+    // across threads, at least 64 vectors per worker so tiny batches stay
+    // on the calling thread.  sort() validates each input's arity.
+    std::size_t threads = opts_.threads;
+    if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    threads = std::min(threads, std::max<std::size_t>(1, batch.size() / 64));
+    netlist::for_each_block_range(batch.size(), threads, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) out[i] = sorter_.sort(batch[i]);
+    });
+  }
+
+ private:
+  const BinarySorter& sorter_;
+  BatchOptions opts_;
+};
+
+}  // namespace
+
+std::vector<BitVec> BatchSorter::run(std::span<const BitVec> batch) {
+  std::vector<BitVec> out(batch.size());
+  run(batch, out);
+  return out;
+}
+
+void BatchSorter::check(std::span<const BitVec> batch, std::span<BitVec> out) const {
+  if (out.size() != batch.size()) {
+    throw std::invalid_argument("BatchSorter: run out.size() != batch.size()");
+  }
+  for (const auto& v : batch) {
+    if (v.size() != n_) throw std::invalid_argument("BatchSorter: wrong input size in batch");
+  }
+}
+
 BitVec BinarySorter::sort(const BitVec& in) const {
   if (in.size() != n_) throw std::invalid_argument(name() + ": wrong input size");
   const auto perm = route(in);
@@ -18,9 +80,9 @@ BitVec BinarySorter::sort(const BitVec& in) const {
 }
 
 std::vector<BitVec> BinarySorter::sort_batch(std::span<const BitVec> batch,
-                                             std::size_t threads) const {
+                                             const BatchOptions& opts) const {
   std::vector<BitVec> out(batch.size());
-  sort_batch(batch, out, threads);
+  sort_batch(batch, out, opts);
   return out;
 }
 
@@ -34,21 +96,16 @@ void BinarySorter::check_batch(std::span<const BitVec> batch, std::span<BitVec> 
 }
 
 void BinarySorter::sort_batch(std::span<const BitVec> batch, std::span<BitVec> out,
-                              std::size_t threads) const {
+                              const BatchOptions& opts) const {
   check_batch(batch, out);
+  make_batch_sorter(opts)->run(batch, out);
+}
+
+std::unique_ptr<BatchSorter> BinarySorter::make_batch_sorter(const BatchOptions& opts) const {
   if (is_combinational()) {
-    netlist::BatchRunner runner(build_circuit(), threads);
-    runner.run(batch, out);
-    return;
+    return std::make_unique<CircuitBatchSorter>(n_, build_circuit(), opts);
   }
-  // Model-B fallback (no bit-sliced override): the batch dimension is the
-  // only parallelism -- shard whole vectors across threads, at least 64
-  // vectors per worker so tiny batches stay on the calling thread.
-  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  threads = std::min(threads, std::max<std::size_t>(1, batch.size() / 64));
-  netlist::for_each_block_range(batch.size(), threads, [&](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) out[i] = sort(batch[i]);
-  });
+  return std::make_unique<PerVectorBatchSorter>(*this, opts);
 }
 
 netlist::Circuit BinarySorter::build_circuit() const {

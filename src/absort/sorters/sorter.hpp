@@ -24,10 +24,48 @@
 #include <vector>
 
 #include "absort/netlist/analyze.hpp"
+#include "absort/netlist/batch_options.hpp"
 #include "absort/netlist/circuit.hpp"
 #include "absort/util/bitvec.hpp"
 
 namespace absort::sorters {
+
+/// The knob bundle every batch entry point takes ({threads, optimize});
+/// defined next to the engine it parameterizes, spelled here by user code.
+using BatchOptions = netlist::BatchOptions;
+
+/// A reusable batch-sorting engine: the sorter's circuits compiled into the
+/// bit-sliced evaluator exactly once, with thread pool and packing scratch
+/// retained across run() calls -- the unit the serving layer caches per
+/// (sorter, n) so repeat traffic never recompiles.  run() is bit-for-bit
+/// per-vector sort() on every input.  Not reentrant: one run() at a time
+/// (scratch and pool state are shared across calls).
+class BatchSorter {
+ public:
+  virtual ~BatchSorter() = default;
+
+  BatchSorter(const BatchSorter&) = delete;
+  BatchSorter& operator=(const BatchSorter&) = delete;
+
+  /// Input/output arity (the sorter's n).
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// Sorts batch[i] into out[i] (resized as needed); a steady-state caller
+  /// that recycles its buffers allocates nothing on this path.
+  virtual void run(std::span<const BitVec> batch, std::span<BitVec> out) = 0;
+
+  /// Convenience face allocating the result vector.
+  [[nodiscard]] std::vector<BitVec> run(std::span<const BitVec> batch);
+
+ protected:
+  explicit BatchSorter(std::size_t n) : n_(n) {}
+
+  /// Shared validation for run() implementations: every input has size()
+  /// bits and out.size() == batch.size() (throws std::invalid_argument).
+  void check(std::span<const BitVec> batch, std::span<BitVec> out) const;
+
+  std::size_t n_;
+};
 
 class BinarySorter {
  public:
@@ -55,17 +93,35 @@ class BinarySorter {
   /// bit-for-bit Circuit::eval on batch[i].  Model-B sorters compile their
   /// constituent datapath circuits instead and stream the time-multiplexed
   /// schedule lanewise (FishSorter, ColumnsortSorter), or fall back to
-  /// per-vector sort() sharded across threads.  threads = 0 means hardware
-  /// concurrency; either way the count is clamped to the available passes so
-  /// tiny batches never spawn idle workers.
+  /// per-vector sort() sharded across threads.
   [[nodiscard]] std::vector<BitVec> sort_batch(std::span<const BitVec> batch,
-                                               std::size_t threads = 0) const;
+                                               const BatchOptions& opts) const;
 
   /// As above, writing result i into out[i] (resized as needed).  This is
   /// the virtual face: model-B sorters override it with their bit-sliced
   /// streaming paths; every override is bit-identical to per-vector sort().
   virtual void sort_batch(std::span<const BitVec> batch, std::span<BitVec> out,
-                          std::size_t threads) const;
+                          const BatchOptions& opts) const;
+
+  /// Compiles this sorter into a reusable batch engine (see BatchSorter).
+  /// Combinational sorters wrap a BatchRunner over build_circuit(); model-B
+  /// sorters compile their datapath circuits into a streaming executor.
+  /// Sorters without a bit-sliced path return a per-vector fallback engine
+  /// that references *this, so the sorter must outlive the engine.
+  [[nodiscard]] virtual std::unique_ptr<BatchSorter> make_batch_sorter(
+      const BatchOptions& opts = {}) const;
+
+  /// Pre-BatchOptions signatures, kept so existing call sites compile:
+  /// thin delegates to the BatchOptions faces (threads as before, optimize
+  /// defaulted on).
+  [[nodiscard]] std::vector<BitVec> sort_batch(std::span<const BitVec> batch,
+                                               std::size_t threads = 0) const {
+    return sort_batch(batch, BatchOptions{threads, true});
+  }
+  void sort_batch(std::span<const BitVec> batch, std::span<BitVec> out,
+                  std::size_t threads) const {
+    sort_batch(batch, out, BatchOptions{threads, true});
+  }
 
   /// Applies route(tags) to an arbitrary payload vector: the packets travel
   /// exactly where the network's switches carry them.

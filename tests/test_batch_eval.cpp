@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "absort/netlist/batch_eval.hpp"
@@ -276,6 +278,86 @@ TEST(ProgramOptimizer, ShrinksAdaptiveSorterProgramsAtLeast15Percent) {
       EXPECT_LE(st.slots_after, st.slots_before);
       EXPECT_LE(st.peak_live, st.slots_after);
     }
+  }
+}
+
+// The single-caller contract is enforced, not just documented: a second
+// thread entering run() while one is inside throws std::logic_error instead
+// of corrupting the shared job state.  A worker hammers run() in a loop
+// (each call takes milliseconds) while this thread keeps calling run() too,
+// so the calls overlap on any scheduler within a couple of attempts; the
+// deadline only bounds a pathological machine.
+TEST(BatchRunner, ConcurrentRunThrowsLogicError) {
+  const auto c = sorters::PrefixSorter::make(256)->build_circuit();
+  BatchRunner r(c, 2);
+  Xoshiro256 rng(43);
+  const auto batch = random_batch(rng, 4096, 256);
+  std::atomic<bool> stop{false};
+  std::atomic<int> threw{0};
+  std::thread worker([&] {
+    while (!stop.load()) {
+      try {
+        (void)r.run(batch);
+      } catch (const std::logic_error&) {
+        threw.fetch_add(1);
+      }
+    }
+  });
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (threw.load() == 0 && std::chrono::steady_clock::now() < deadline) {
+    try {
+      (void)r.run(batch);
+    } catch (const std::logic_error&) {
+      threw.fetch_add(1);
+    }
+  }
+  stop.store(true);
+  worker.join();
+  EXPECT_GE(threw.load(), 1) << "two concurrent run() calls never collided";
+  // The runner stays usable after a rejected entry.
+  EXPECT_EQ(r.run(batch), BatchRunner(c, 1).run(batch));
+}
+
+// The BatchOptions face and the legacy threads/optimize arguments are the
+// same code path: every spelling produces identical output.
+TEST(BatchOptions, DelegatingOverloadsAgree) {
+  const auto sorter = sorters::FishSorter::make(64);
+  Xoshiro256 rng(47);
+  const auto batch = random_batch(rng, 130, 64);
+  const auto ref = sorter->sort_batch(batch, 1);
+  EXPECT_EQ(sorter->sort_batch(batch, sorters::BatchOptions{1, true}), ref);
+  EXPECT_EQ(sorter->sort_batch(batch, sorters::BatchOptions{0, false}), ref);
+  std::vector<BitVec> out(batch.size());
+  sorter->sort_batch(batch, std::span<BitVec>(out), sorters::BatchOptions{2, true});
+  EXPECT_EQ(out, ref);
+
+  const auto c = sorters::PrefixSorter::make(32)->build_circuit();
+  const auto cbatch = random_batch(rng, 70, 32);
+  BatchRunner legacy(c, 2, true);
+  BatchRunner opts(c, netlist::BatchOptions{2, true});
+  EXPECT_EQ(legacy.run(cbatch), opts.run(cbatch));
+}
+
+// make_batch_sorter: the compile-once engine the serving layer caches.  One
+// engine, many run() calls, bit-identical to sort_batch for every sorter.
+TEST(BatchSorter, CompiledEngineMatchesSortBatchEverySorter) {
+  Xoshiro256 rng(53);
+  for (const auto& sc : kSorters) {
+    const auto sorter = sc.make(16);
+    const auto engine = sorter->make_batch_sorter(sorters::BatchOptions{1, true});
+    ASSERT_NE(engine, nullptr) << sc.name;
+    EXPECT_EQ(engine->size(), 16u) << sc.name;
+    for (const std::size_t b : {std::size_t{1}, std::size_t{70}, std::size_t{300}}) {
+      const auto batch = random_batch(rng, b, 16);
+      EXPECT_EQ(engine->run(batch), sorter->sort_batch(batch, 1))
+          << sc.name << " b=" << b;
+    }
+    const std::vector<BitVec> bad{BitVec(15)};
+    EXPECT_THROW((void)engine->run(bad), std::invalid_argument) << sc.name;
+    std::vector<BitVec> short_out(2);
+    const auto batch = random_batch(rng, 3, 16);
+    EXPECT_THROW(engine->run(batch, std::span<BitVec>(short_out)), std::invalid_argument)
+        << sc.name;
   }
 }
 

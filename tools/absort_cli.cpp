@@ -18,14 +18,21 @@
 //   absort_cli activity <network> <n>      steering-element activity on random inputs
 //   absort_cli optimize <network> <n>      optimizer savings report
 //   absort_cli table2 <n>                  the paper's Table II at size n
+//   absort_cli serve --selftest [--stats] [producers] [requests]
+//                                          multi-producer traffic through the
+//                                          micro-batching SortService, verified
+//                                          bit-for-bit against per-vector sort();
+//                                          --stats dumps the ServiceStats JSON
 //
-// Networks: batcher, bitonic, alt-oem, periodic, oe-transposition, prefix,
-//           mux-merger, fish, columnsort.
+// Networks: everything in sorters::registry() -- see `absort_cli list`.
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -40,34 +47,21 @@
 #include "absort/netlist/analyze.hpp"
 #include "absort/netlist/serialize.hpp"
 #include "absort/netlist/transform.hpp"
+#include "absort/service/sort_service.hpp"
 #include "absort/sim/fish_hardware.hpp"
-#include "absort/sorters/alt_oem.hpp"
-#include "absort/sorters/batcher_oem.hpp"
-#include "absort/sorters/bitonic.hpp"
 #include "absort/sorters/columnsort.hpp"
 #include "absort/sorters/fish_sorter.hpp"
-#include "absort/sorters/hybrid_oem.hpp"
-#include "absort/sorters/muxmerge_sorter.hpp"
-#include "absort/sorters/periodic_balanced.hpp"
-#include "absort/sorters/prefix_sorter.hpp"
+#include "absort/sorters/registry.hpp"
 #include "absort/util/rng.hpp"
 
 using namespace absort;
 
 namespace {
 
+/// Registry lookup; unknown names throw, listing the available sorters
+/// (caught and printed by main's error handler).
 std::unique_ptr<sorters::BinarySorter> make_network(const std::string& name, std::size_t n) {
-  if (name == "batcher") return sorters::BatcherOemSorter::make(n);
-  if (name == "bitonic") return sorters::BitonicSorter::make(n);
-  if (name == "alt-oem") return sorters::AltOemSorter::make(n);
-  if (name == "periodic") return sorters::PeriodicBalancedSorter::make(n);
-  if (name == "oe-transposition") return sorters::OddEvenTranspositionSorter::make(n);
-  if (name == "prefix") return sorters::PrefixSorter::make(n);
-  if (name == "mux-merger") return sorters::MuxMergeSorter::make(n);
-  if (name == "fish") return sorters::FishSorter::make(n);
-  if (name == "hybrid-oem") return sorters::HybridOemSorter::make(n);
-  if (name == "columnsort") return sorters::ColumnsortSorter::make(n);
-  return nullptr;
+  return sorters::make_sorter(name, n);
 }
 
 int usage(const char* argv0) {
@@ -83,22 +77,17 @@ int usage(const char* argv0) {
                "  %s batch <network> <n> [count|-] [threads] [--stats]\n"
                "  %s activity <network> <n>\n"
                "  %s optimize <network> <n>\n"
-               "  %s table2 <n>\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               "  %s table2 <n>\n"
+               "  %s serve --selftest [--stats] [producers] [requests]\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
+               argv0);
   return 1;
 }
 
 int cmd_list() {
-  std::puts("batcher           Batcher odd-even merge network (Fig. 4a)");
-  std::puts("bitonic           Batcher bitonic sorter");
-  std::puts("alt-oem           alternative OEM with balanced merging blocks (Fig. 4b)");
-  std::puts("periodic          periodic balanced sorting network [8],[9]");
-  std::puts("oe-transposition  odd-even transposition (brick wall)");
-  std::puts("prefix            Network 1: adaptive prefix binary sorter (Fig. 5)");
-  std::puts("mux-merger        Network 2: mux-merger binary sorter (Fig. 6)");
-  std::puts("fish              Network 3: time-multiplexed fish sorter (Fig. 7)");
-  std::puts("hybrid-oem        Batcher blocks + balanced merge tree (III.A exercise)");
-  std::puts("columnsort        Leighton columnsort (time-multiplexed baseline)");
+  for (const auto& e : sorters::registry()) {
+    std::printf("%-17s %s\n", e.name, e.description);
+  }
   return 0;
 }
 
@@ -324,6 +313,95 @@ int cmd_optimize(const std::string& name, std::size_t n) {
   return 0;
 }
 
+// serve --selftest: hammer a SortService from `producers` threads, each
+// submitting `requests` random vectors round-robin across a mixed set of
+// (sorter, n) keys with a bounded in-flight window, and verify every answer
+// bit-for-bit against per-vector sort().  Exercises the whole serving path:
+// coalescing, per-key engine caching, deadlines, and drain-then-stop.
+int cmd_serve(bool selftest, bool stats, std::size_t producers, std::size_t requests) {
+  if (!selftest) {
+    std::fprintf(stderr, "serve: only --selftest traffic is implemented; pass --selftest\n");
+    return 1;
+  }
+  struct Key {
+    const char* sorter;
+    std::size_t n;
+  };
+  const Key keys[] = {{"prefix", 64}, {"mux-merger", 128}, {"batcher", 32}, {"fish", 64}};
+  // Per-vector reference oracles, one per key.
+  std::vector<std::unique_ptr<sorters::BinarySorter>> refs;
+  for (const auto& k : keys) refs.push_back(sorters::make_sorter(k.sorter, k.n));
+
+  service::ServiceOptions so;
+  so.max_linger = std::chrono::microseconds(300);
+  service::SortService svc(so);
+
+  constexpr std::size_t kWindow = 8;  ///< in-flight requests per producer
+  std::atomic<std::size_t> mismatches{0};
+  std::atomic<std::size_t> ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      Xoshiro256 rng(0x5E21E ^ p);
+      struct InFlight {
+        std::size_t key;
+        BitVec input;
+        std::future<service::SortResult> future;
+      };
+      std::vector<InFlight> window;
+      const auto settle = [&](InFlight f) {
+        const auto res = f.future.get();
+        if (res.status != service::Status::Ok ||
+            res.output != refs[f.key]->sort(f.input)) {
+          mismatches.fetch_add(1);
+        } else {
+          ok.fetch_add(1);
+        }
+      };
+      for (std::size_t i = 0; i < requests; ++i) {
+        const std::size_t k = (p + i) % std::size(keys);
+        auto in = workload::random_bits(rng, keys[k].n);
+        auto fut = svc.submit(keys[k].sorter, in);
+        window.push_back(InFlight{k, std::move(in), std::move(fut)});
+        if (window.size() >= kWindow) {
+          settle(std::move(window.front()));
+          window.erase(window.begin());
+        }
+      }
+      for (auto& f : window) settle(std::move(f));
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // A deliberately pre-expired deadline must come back cancelled, and a
+  // stopped service must refuse new work: both part of the self-test.
+  const auto expired = svc.submit("prefix", BitVec(64),
+                                  service::SortService::Clock::now() -
+                                      std::chrono::milliseconds(1))
+                           .get();
+  svc.stop();
+  const auto after_stop = svc.submit("prefix", BitVec(64)).get();
+
+  const auto st = svc.stats();
+  std::printf("serve selftest: %zu producers x %zu requests, %zu ok, %zu mismatches\n",
+              producers, requests, ok.load(), mismatches.load());
+  std::printf("expired probe: %s   post-stop probe: %s\n",
+              service::to_string(expired.status), service::to_string(after_stop.status));
+  std::printf("batches %llu  mean batch %.1f  compiled engines %llu  p99 queue wait %llu us\n",
+              static_cast<unsigned long long>(st.batches), st.batch_size.mean(),
+              static_cast<unsigned long long>(st.compiled),
+              static_cast<unsigned long long>(st.queue_wait_us.percentile(0.99)));
+  if (stats) std::printf("%s\n", st.to_json().c_str());
+
+  const bool pass = mismatches.load() == 0 &&
+                    ok.load() == producers * requests &&
+                    expired.status == service::Status::Expired &&
+                    after_stop.status == service::Status::Stopped;
+  std::printf("serve selftest: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 2;
+}
+
 int cmd_vcd(std::size_t n, std::size_t k) {
   sim::FishHardware hw(n, k);
   auto trace = hw.make_trace();
@@ -343,6 +421,25 @@ int main(int argc, char** argv) {
     if (cmd == "list") return cmd_list();
     if (cmd == "table2" && argc >= 3) {
       return cmd_table2(std::strtoull(argv[2], nullptr, 10));
+    }
+    if (cmd == "serve") {
+      bool selftest = false, stats = false;
+      std::vector<const char*> pos;
+      for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--selftest") == 0) {
+          selftest = true;
+        } else if (std::strcmp(argv[i], "--stats") == 0) {
+          stats = true;
+        } else {
+          pos.push_back(argv[i]);
+        }
+      }
+      const std::size_t producers =
+          pos.size() > 0 ? std::strtoull(pos[0], nullptr, 10) : 4;
+      const std::size_t requests =
+          pos.size() > 1 ? std::strtoull(pos[1], nullptr, 10) : 200;
+      return cmd_serve(selftest, stats, std::max<std::size_t>(1, producers),
+                       std::max<std::size_t>(1, requests));
     }
     if (argc < 4) return usage(argv[0]);
     const std::string name = argv[2];
