@@ -10,6 +10,13 @@
 // max_batch_lanes = 1 (every request rides its own pass), so the two modes
 // differ only in coalescing.  The report writes BENCH_service.json; --quick
 // runs a small smoke subset (no JSON, no google-benchmark) for ctest.
+//
+// E-FI1 -- the degradation ladder's cost: the same closed-loop load served
+// (a) healthy, (b) healthy with the per-batch output self-check on, and
+// (c) fully degraded (engine compilation made to fail, so every request
+// rides the per-vector fallback).  (b)/(a) prices the self-check; (a)/(c)
+// is the throughput cliff quarantine steps off -- the number that justifies
+// parole.  Writes BENCH_service_faults.json.
 
 #include <algorithm>
 #include <chrono>
@@ -20,6 +27,7 @@
 #include <vector>
 
 #include "absort/netlist/batch_eval.hpp"
+#include "absort/service/fault_injection.hpp"
 #include "absort/service/sort_service.hpp"
 #include "absort/util/rng.hpp"
 #include "bench_common.hpp"
@@ -178,6 +186,74 @@ void report(bool quick) {
   }
 }
 
+// E-FI1: healthy vs self-check vs degraded throughput, same closed-loop load.
+void report_faults(bool quick) {
+  absort::bench::heading(
+      "E-FI1: degradation ladder throughput (healthy / self-check / degraded)");
+  std::printf("%-8s %6s %5s %13s %15s %13s %9s %9s\n", "sorter", "n", "prod", "healthy v/s",
+              "self-check v/s", "degraded v/s", "check ovh", "degr cost");
+
+  struct FiRow {
+    const char* sorter;
+    std::size_t n;
+    std::size_t producers;
+    double healthy_vps, self_check_vps, degraded_vps;
+  };
+  std::vector<FiRow> rows;
+  const struct {
+    const char* sorter;
+    std::size_t n;
+  } cases[] = {{"prefix", 256}, {"prefix", 1024}};
+  for (const auto& c : cases) {
+    if (quick && c.n > 256) continue;
+    const std::size_t producers = 4;
+    const std::size_t reqs = quick ? 250 : (c.n >= 1024 ? 400 : 1200);
+
+    const double healthy = drive(coalesced_options(200), c.sorter, c.n, producers, reqs).vps;
+
+    auto sc = coalesced_options(200);
+    sc.self_check = true;
+    const double checked = drive(sc, c.sorter, c.n, producers, reqs).vps;
+
+    // Degraded: every compile attempt fails, so the warm-up request already
+    // quarantines the key and the timed load is pure per-vector fallback.
+    auto dg = coalesced_options(200);
+    service::FaultPlanOptions fo;
+    fo.compile_fail = 1.0;
+    dg.compile_attempts = 1;
+    dg.compile_backoff = std::chrono::microseconds(0);
+    dg.fault_plan = std::make_shared<service::FaultPlan>(fo);
+    const double degraded = drive(dg, c.sorter, c.n, producers, reqs).vps;
+
+    rows.push_back(FiRow{c.sorter, c.n, producers, healthy, checked, degraded});
+    std::printf("%-8s %6zu %5zu %13.0f %15.0f %13.0f %8.2fx %8.1fx\n", c.sorter, c.n,
+                producers, healthy, checked, degraded, healthy / checked,
+                healthy / degraded);
+  }
+  if (quick) return;
+
+  if (FILE* f = std::fopen("BENCH_service_faults.json", "w")) {
+    std::fprintf(f,
+                 "{\n  \"benchmark\": \"service_degradation\",\n  \"window\": %zu,\n"
+                 "  \"hardware_threads\": %zu,\n  \"results\": [\n",
+                 kWindow, hw_threads());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const FiRow& r = rows[i];
+      std::fprintf(f,
+                   "    {\"sorter\": \"%s\", \"n\": %zu, \"producers\": %zu, "
+                   "\"healthy_vps\": %.1f, \"self_check_vps\": %.1f, "
+                   "\"degraded_vps\": %.1f, \"self_check_overhead\": %.3f, "
+                   "\"degradation_factor\": %.2f}%s\n",
+                   r.sorter, r.n, r.producers, r.healthy_vps, r.self_check_vps,
+                   r.degraded_vps, r.healthy_vps / r.self_check_vps,
+                   r.healthy_vps / r.degraded_vps, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_service_faults.json\n");
+  }
+}
+
 // google-benchmark timing: single-request round-trip latency through the
 // service (submit -> coalesce -> eval -> future), the per-request overhead
 // floor coalescing has to amortize.
@@ -202,8 +278,16 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       report(/*quick=*/true);
+      report_faults(/*quick=*/true);
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--faults") == 0) {  // E-FI1 alone, with JSON
+      report_faults(/*quick=*/false);
       return 0;
     }
   }
-  return absort::bench::run(argc, argv, [] { report(/*quick=*/false); });
+  return absort::bench::run(argc, argv, [] {
+    report(/*quick=*/false);
+    report_faults(/*quick=*/false);
+  });
 }

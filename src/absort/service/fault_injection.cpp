@@ -1,0 +1,165 @@
+#include "absort/service/fault_injection.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace absort::service {
+
+FaultPlanOptions FaultPlanOptions::chaos(std::uint64_t seed) {
+  FaultPlanOptions o;
+  o.seed = seed;
+  // Rates chosen so a few hundred requests exercise every ladder rung:
+  // compile_fail at 0.5 with 3 retry attempts quarantines a key with
+  // probability 1/8 per cold compile, eval throws degrade whole batches,
+  // circuit faults and corruptions drive the self-check repair path.
+  o.compile_fail = 0.5;
+  o.eval_throw = 0.10;
+  o.latency = 0.05;
+  o.circuit_fault = 0.15;
+  o.corrupt = 0.15;
+  o.latency_spike = std::chrono::microseconds(500);
+  o.corrupt_fraction = 0.25;
+  return o;
+}
+
+FaultPlan::FaultPlan(FaultPlanOptions opts) : opts_(opts), rng_(opts.seed) {
+  // Sites the schedule never enables get no forced first fire.
+  if (opts_.compile_fail <= 0) force_compile_ = 0;
+  if (opts_.eval_throw <= 0) force_eval_ = 0;
+  if (opts_.latency <= 0) force_latency_ = 0;
+  if (opts_.corrupt <= 0) force_corrupt_ = 0;
+}
+
+bool FaultPlan::corrupts_outputs() const noexcept {
+  return opts_.circuit_fault > 0 || opts_.corrupt > 0;
+}
+
+bool FaultPlan::fire(double p, std::uint32_t& forced_left) {
+  if (p <= 0) return false;
+  if (budget_used_.load(std::memory_order_relaxed) >= opts_.max_faults) return false;
+  bool hit;
+  if (forced_left > 0) {
+    --forced_left;
+    hit = true;
+  } else {
+    // rng_() >> 11 is a uniform 53-bit value; compare in [0, 1).
+    const double u = static_cast<double>(rng_() >> 11) * 0x1.0p-53;
+    hit = u < p;
+  }
+  if (hit) budget_used_.fetch_add(1, std::memory_order_relaxed);
+  return hit;
+}
+
+bool FaultPlan::fail_compile(std::string_view, std::size_t) {
+  if (!fire(opts_.compile_fail, force_compile_)) return false;
+  compile_fails_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultPlan::fail_eval(std::string_view, std::size_t) {
+  if (!fire(opts_.eval_throw, force_eval_)) return false;
+  eval_throws_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::chrono::microseconds FaultPlan::latency_spike() {
+  if (!fire(opts_.latency, force_latency_)) return std::chrono::microseconds{0};
+  latency_spikes_.fetch_add(1, std::memory_order_relaxed);
+  return opts_.latency_spike;
+}
+
+std::optional<netlist::Fault> FaultPlan::pick_circuit_fault(const netlist::Circuit& c) {
+  if (opts_.circuit_fault <= 0) return std::nullopt;
+  static constexpr netlist::FaultKind kKinds[] = {netlist::FaultKind::StuckControl0,
+                                                  netlist::FaultKind::StuckControl1,
+                                                  netlist::FaultKind::OutputsSwapped};
+  // Collect applicable components per kind once; small circuits make this
+  // cheap and it keeps the pick uniform.  Not every circuit supports every
+  // kind (gate-only netlists have no control slots to stick).
+  std::array<std::vector<std::size_t>, 3> sites;
+  for (std::size_t i = 0; i < c.num_components(); ++i) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      if (fault_applicable(c, {i, kKinds[k]})) sites[k].push_back(i);
+    }
+  }
+  // Coverage first: a kind that has never fired and that this circuit
+  // supports fires unconditionally.  Guarantees every FaultKind appears as
+  // soon as a compatible circuit is dispatched, regardless of run length.
+  std::size_t pick = 3;
+  for (std::size_t k = 0; k < 3 && pick == 3; ++k) {
+    if (by_kind_[k].load(std::memory_order_relaxed) == 0 && !sites[k].empty()) pick = k;
+  }
+  std::uint32_t forced = pick < 3 ? 1 : 0;
+  if (!fire(opts_.circuit_fault, forced)) return std::nullopt;
+  if (pick == 3) {
+    // Steady state: cycle the preferred kind round-robin, falling through to
+    // the other kinds when this circuit does not support the preferred one.
+    for (std::size_t attempt = 0; attempt < 3 && pick == 3; ++attempt) {
+      const std::size_t k = (next_kind_ + attempt) % 3;
+      if (!sites[k].empty()) pick = k;
+    }
+    if (pick == 3) {
+      // Nothing applicable at all (a pure-wiring circuit): undo the budget.
+      budget_used_.fetch_sub(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    next_kind_ = (pick + 1) % 3;
+  }
+  const netlist::Fault f{sites[pick][rng_.below(sites[pick].size())], kKinds[pick]};
+  circuit_faults_.fetch_add(1, std::memory_order_relaxed);
+  by_kind_[static_cast<std::size_t>(kKinds[pick])].fetch_add(1, std::memory_order_relaxed);
+  return f;
+}
+
+std::vector<std::size_t> FaultPlan::pick_corrupt_lanes(std::size_t lanes) {
+  if (lanes == 0 || !fire(opts_.corrupt, force_corrupt_)) return {};
+  const double want = opts_.corrupt_fraction * static_cast<double>(lanes);
+  const std::size_t count =
+      std::clamp<std::size_t>(static_cast<std::size_t>(want) + (want > 0 ? 1 : 0), 1, lanes);
+  std::vector<std::size_t> picked;
+  picked.reserve(count);
+  // Floyd's subset sampling keeps the pick O(count) and duplicate-free.
+  for (std::size_t j = lanes - count; j < lanes; ++j) {
+    const std::size_t t = rng_.below(j + 1);
+    if (std::find(picked.begin(), picked.end(), t) == picked.end()) {
+      picked.push_back(t);
+    } else {
+      picked.push_back(j);
+    }
+  }
+  corrupted_lanes_.fetch_add(picked.size(), std::memory_order_relaxed);
+  return picked;
+}
+
+void FaultPlan::corrupt_bits(std::vector<std::uint8_t>& bits) {
+  if (bits.empty()) return;
+  bits[rng_.below(bits.size())] ^= 1;
+}
+
+bool FaultPlan::Counters::covers(const FaultPlanOptions& o) const noexcept {
+  if (o.compile_fail > 0 && compile_fails == 0) return false;
+  if (o.eval_throw > 0 && eval_throws == 0) return false;
+  if (o.latency > 0 && latency_spikes == 0) return false;
+  if (o.corrupt > 0 && corrupted_lanes == 0) return false;
+  if (o.circuit_fault > 0) {
+    for (const auto k : circuit_faults_by_kind) {
+      if (k == 0) return false;
+    }
+  }
+  return true;
+}
+
+FaultPlan::Counters FaultPlan::counters() const noexcept {
+  Counters c;
+  c.compile_fails = compile_fails_.load(std::memory_order_relaxed);
+  c.eval_throws = eval_throws_.load(std::memory_order_relaxed);
+  c.latency_spikes = latency_spikes_.load(std::memory_order_relaxed);
+  c.circuit_faults = circuit_faults_.load(std::memory_order_relaxed);
+  c.corrupted_lanes = corrupted_lanes_.load(std::memory_order_relaxed);
+  for (std::size_t k = 0; k < 3; ++k) {
+    c.circuit_faults_by_kind[k] = by_kind_[k].load(std::memory_order_relaxed);
+  }
+  return c;
+}
+
+}  // namespace absort::service

@@ -1,0 +1,166 @@
+#pragma once
+// Deterministic, seed-driven fault injection for the serving layer.
+//
+// The paper's adaptive networks contain *steering* components (muxes,
+// swappers, prefix adders) that can misbehave -- netlist/transform.cpp
+// already models single stuck-at and output-swap faults (FaultKind).  A
+// serving layer that claims production scale must survive a bad engine, not
+// just a busy queue, so SortService accepts a FaultPlan: a seeded schedule
+// of injection points that perturbs the *batch* path only.  The per-vector
+// fallback path (LevelizedCircuit::eval / BinarySorter::sort) is never
+// faulted: it is the trusted reference the degradation ladder retreats to.
+//
+// Injection sites (all consulted from the dispatcher thread only):
+//   * Compile  -- make_batch_sorter() for a (sorter, n) key throws, which
+//                 exercises the retry-with-backoff and quarantine paths;
+//   * Eval     -- the compiled engine's run() throws mid-batch;
+//   * Latency  -- the batch path stalls for a configured spike before
+//                 evaluating (deadline and linger behaviour under load);
+//   * Circuit  -- the batch is evaluated through eval_with_fault() with a
+//                 seeded (component, FaultKind) structural fault, cycling
+//                 through the applicable FaultKinds so every kind appears;
+//   * Corrupt  -- output lanes are bit-flipped after a healthy evaluation
+//                 (models a DMA / memory fault rather than a logic fault).
+//
+// Determinism: all decisions derive from one Xoshiro256 stream seeded at
+// construction, and the first opportunity at each site (and each FaultKind)
+// always fires, so a chaos run of any length covers every fault class.
+// Counters are atomics: the dispatcher records while tests and the CLI read
+// concurrently.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "absort/netlist/circuit.hpp"
+#include "absort/netlist/transform.hpp"
+#include "absort/util/rng.hpp"
+
+namespace absort::service {
+
+struct FaultPlanOptions {
+  std::uint64_t seed = 1;
+
+  /// Per-opportunity firing probabilities in [0, 1].  Independently of the
+  /// probability, the first opportunity at each enabled site fires (at the
+  /// Circuit site, the first opportunity for each still-uncovered FaultKind),
+  /// so enabling a site guarantees an injection when the site is reached.
+  double compile_fail = 0;   ///< make_batch_sorter() throws for this attempt
+  double eval_throw = 0;     ///< engine run() throws for this batch
+  double latency = 0;        ///< batch path sleeps latency_spike first
+  double circuit_fault = 0;  ///< batch evaluated through a structural fault
+  double corrupt = 0;        ///< output lanes bit-flipped after evaluation
+
+  std::chrono::microseconds latency_spike{500};
+
+  /// When a corruption fires, ceil(corrupt_fraction * lanes) lanes are hit.
+  double corrupt_fraction = 0.25;
+
+  /// Hard cap on total injections (all sites); the plan goes quiet after.
+  std::uint64_t max_faults = UINT64_MAX;
+
+  /// All sites on at moderate rates -- the schedule behind `serve --selftest
+  /// --chaos <seed>` and the chaos tests.
+  [[nodiscard]] static FaultPlanOptions chaos(std::uint64_t seed);
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultPlanOptions opts);
+
+  [[nodiscard]] const FaultPlanOptions& options() const noexcept { return opts_; }
+
+  /// True if the plan can ever perturb evaluated outputs (Circuit/Corrupt
+  /// sites enabled): SortService forces the output self-check on in that
+  /// case so Status::Ok always implies a correct result.
+  [[nodiscard]] bool corrupts_outputs() const noexcept;
+
+  // -- injection decisions (dispatcher thread only) -------------------------
+  //
+  // sorter/n identify the key for the failure message baked into injected
+  // exceptions (so a test seeing one can tell it apart from a real failure).
+
+  /// Should this make_batch_sorter() attempt throw?
+  [[nodiscard]] bool fail_compile(std::string_view sorter, std::size_t n);
+
+  /// Should this batch evaluation throw?
+  [[nodiscard]] bool fail_eval(std::string_view sorter, std::size_t n);
+
+  /// Stall to apply before evaluating this batch (0 = none).
+  [[nodiscard]] std::chrono::microseconds latency_spike();
+
+  /// Structural fault to evaluate this batch through, if the site fires.
+  /// While any FaultKind is still uncovered, a circuit that supports an
+  /// uncovered kind fires unconditionally on it (so coverage is guaranteed
+  /// as soon as a compatible circuit is dispatched); afterwards the pick
+  /// cycles kinds round-robin over a uniformly random applicable component.
+  /// Returns nullopt when the site does not fire or nothing is applicable.
+  [[nodiscard]] std::optional<netlist::Fault> pick_circuit_fault(const netlist::Circuit& c);
+
+  /// Lane indices (subset of [0, lanes)) to bit-flip after evaluation;
+  /// empty when the site does not fire.
+  [[nodiscard]] std::vector<std::size_t> pick_corrupt_lanes(std::size_t lanes);
+
+  /// Flips a deterministic bit of `bits` in place (the corruption applied to
+  /// each picked lane).
+  void corrupt_bits(std::vector<std::uint8_t>& bits);
+
+  // -- observability (any thread) ------------------------------------------
+
+  struct Counters {
+    std::uint64_t compile_fails = 0;
+    std::uint64_t eval_throws = 0;
+    std::uint64_t latency_spikes = 0;
+    std::uint64_t circuit_faults = 0;
+    std::uint64_t corrupted_lanes = 0;
+    /// Structural faults by FaultKind (StuckControl0/1, OutputsSwapped).
+    std::array<std::uint64_t, 3> circuit_faults_by_kind{};
+
+    [[nodiscard]] std::uint64_t total() const noexcept {
+      return compile_fails + eval_throws + latency_spikes + circuit_faults + corrupted_lanes;
+    }
+    /// True when every enabled fault class has fired at least once (the
+    /// chaos selftest's coverage gate).
+    [[nodiscard]] bool covers(const FaultPlanOptions& o) const noexcept;
+  };
+
+  [[nodiscard]] Counters counters() const noexcept;
+
+ private:
+  /// One seeded coin flip for a site; fires unconditionally while
+  /// `forced_left` > 0 (decrementing it), never after the max_faults budget.
+  bool fire(double p, std::uint32_t& forced_left);
+
+  FaultPlanOptions opts_;
+  Xoshiro256 rng_;
+
+  // Forced first-fire budgets per site (see header comment).
+  std::uint32_t force_compile_ = 1;
+  std::uint32_t force_eval_ = 1;
+  std::uint32_t force_latency_ = 1;
+  std::uint32_t force_corrupt_ = 1;
+  std::size_t next_kind_ = 0;  ///< round-robin FaultKind preference
+
+  std::atomic<std::uint64_t> budget_used_{0};
+  std::atomic<std::uint64_t> compile_fails_{0};
+  std::atomic<std::uint64_t> eval_throws_{0};
+  std::atomic<std::uint64_t> latency_spikes_{0};
+  std::atomic<std::uint64_t> circuit_faults_{0};
+  std::atomic<std::uint64_t> corrupted_lanes_{0};
+  std::array<std::atomic<std::uint64_t>, 3> by_kind_{};
+};
+
+/// The exception type every injected compile/eval failure throws: lets tests
+/// and retry logic distinguish scheduled chaos from genuine engine bugs.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace absort::service

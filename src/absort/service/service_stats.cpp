@@ -98,6 +98,11 @@ std::string ServiceStats::to_json() const {
   counter("failed", failed);
   counter("batches", batches);
   counter("compiled", compiled);
+  counter("retries", retries);
+  counter("quarantined", quarantined);
+  counter("degraded", degraded);
+  counter("self_check_failed", self_check_failed);
+  counter("unrecoverable", unrecoverable);
   out += "  \"batch_size\": " + batch_size.to_json() + ",\n";
   out += "  \"queue_wait_us\": " + queue_wait_us.to_json() + ",\n";
   out += "  \"eval_us\": " + eval_us.to_json() + "\n}";

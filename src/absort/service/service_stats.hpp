@@ -68,6 +68,13 @@ struct ServiceStats {
   std::uint64_t batches = 0;       ///< micro-batches formed
   std::uint64_t compiled = 0;      ///< (sorter, n) engines compiled (cache misses)
 
+  // Robustness ladder (see fault_injection.hpp and DESIGN.md):
+  std::uint64_t retries = 0;            ///< engine compile attempts retried after a failure
+  std::uint64_t quarantined = 0;        ///< (sorter, n) engines quarantined for good
+  std::uint64_t degraded = 0;           ///< requests answered via the per-vector fallback
+  std::uint64_t self_check_failed = 0;  ///< output lanes that failed the batch self-check
+  std::uint64_t unrecoverable = 0;      ///< requests answered Status::Failed
+
   HistogramSnapshot batch_size;     ///< requests coalesced per micro-batch
   HistogramSnapshot queue_wait_us;  ///< submit -> batch formation, microseconds
   HistogramSnapshot eval_us;        ///< micro-batch evaluation time, microseconds

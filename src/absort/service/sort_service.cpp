@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "absort/netlist/transform.hpp"
+#include "absort/service/fault_injection.hpp"
 
 namespace absort::service {
 
@@ -20,6 +24,7 @@ const char* to_string(Status s) {
     case Status::QueueFull: return "queue-full";
     case Status::Expired: return "expired";
     case Status::Stopped: return "stopped";
+    case Status::Failed: return "failed";
   }
   return "?";
 }
@@ -27,6 +32,11 @@ const char* to_string(Status s) {
 SortService::SortService(ServiceOptions opts) : opts_(opts) {
   opts_.queue_capacity = std::max<std::size_t>(1, opts_.queue_capacity);
   opts_.max_batch_lanes = std::max<std::size_t>(1, opts_.max_batch_lanes);
+  opts_.compile_attempts = std::max<std::size_t>(1, opts_.compile_attempts);
+  opts_.quarantine_after = std::max<std::size_t>(1, opts_.quarantine_after);
+  // A plan that perturbs outputs makes the self-check mandatory: Status::Ok
+  // must always mean a correct result.
+  if (opts_.fault_plan && opts_.fault_plan->corrupts_outputs()) opts_.self_check = true;
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 
@@ -136,6 +146,86 @@ void SortService::dispatch_loop() {
   }
 }
 
+SortService::Engine* SortService::ensure_engine(const Key& key,
+                                                std::exception_ptr& factory_error) {
+  auto it = engines_.find(key);
+  if (it == engines_.end()) it = engines_.emplace(key, Engine{}).first;
+  Engine& e = it->second;
+
+  if (!e.sorter) {
+    try {
+      e.sorter = key.first->factory(key.second);
+    } catch (...) {
+      // A factory failure is a deterministic configuration error (bad n for
+      // this sorter): no fallback exists, so it surfaces as an exception --
+      // and the next identical request will fail identically.
+      factory_error = std::current_exception();
+      return nullptr;
+    }
+  }
+
+  // Parole: a quarantined key sits out `probation` batches on the per-vector
+  // path, then gets its strikes cleared and the batch path retried.
+  if (e.quarantined && e.parole > 0 && --e.parole == 0) {
+    e.quarantined = false;
+    e.strikes = 0;
+  }
+
+  if (!e.batch && !e.quarantined) {
+    // Rung 1: compile with capped exponential backoff.  The fault plan can
+    // make an attempt throw; real make_batch_sorter failures retry the same
+    // way.  Persistent failure quarantines the key onto the per-vector path
+    // instead of failing requests.
+    auto* plan = opts_.fault_plan.get();
+    auto backoff = opts_.compile_backoff;
+    for (std::size_t attempt = 0; attempt < opts_.compile_attempts && !e.batch; ++attempt) {
+      if (attempt > 0) {
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+        backoff = std::min(backoff * 2, opts_.compile_backoff_cap);
+      }
+      try {
+        if (plan && plan->fail_compile(key.first->name, key.second)) {
+          throw InjectedFault(std::string("injected compile failure: ") + key.first->name +
+                              " n=" + std::to_string(key.second));
+        }
+        e.batch = e.sorter->make_batch_sorter(opts_.batch);
+      } catch (...) {
+        // swallowed: the ladder answers requests either way
+      }
+    }
+    if (e.batch) {
+      compiled_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      e.quarantined = true;
+      e.parole = opts_.probation;
+      quarantined_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return &e;
+}
+
+void SortService::strike(Engine& e) {
+  if (e.quarantined) return;
+  if (++e.strikes >= opts_.quarantine_after) {
+    e.quarantined = true;
+    e.parole = opts_.probation;
+    e.batch.reset();  // drop the engine (and its worker pool) until parole
+    quarantined_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+BitVec SortService::per_vector(Engine& e, const BitVec& in) {
+  if (e.sorter->is_combinational()) {
+    if (!e.fallback) {
+      if (!e.circuit) e.circuit.emplace(e.sorter->build_circuit());
+      e.fallback = std::make_unique<netlist::LevelizedCircuit>(*e.circuit);
+    }
+    return e.fallback->eval(in);
+  }
+  return e.sorter->sort(in);
+}
+
 void SortService::process(const Key& key, std::vector<Request>& batch,
                           std::vector<BitVec>& inputs, std::vector<BitVec>& outputs) {
   const auto formed = Clock::now();
@@ -155,40 +245,99 @@ void SortService::process(const Key& key, std::vector<Request>& batch,
   }
   if (live.empty()) return;
 
-  const auto fail_all = [&](std::exception_ptr e) {
+  std::exception_ptr factory_error;
+  Engine* engine = ensure_engine(key, factory_error);
+  if (!engine) {
     failed_.fetch_add(live.size(), std::memory_order_relaxed);
-    for (auto* r : live) r->promise.set_exception(e);
-  };
-
-  // Per-(sorter, n) engine cache: compile on first sight, reuse forever.
-  auto it = engines_.find(key);
-  if (it == engines_.end()) {
-    Engine e;
-    try {
-      e.sorter = key.first->factory(key.second);
-      e.batch = e.sorter->make_batch_sorter(opts_.batch);
-    } catch (...) {
-      fail_all(std::current_exception());
-      return;
-    }
-    compiled_.fetch_add(1, std::memory_order_relaxed);
-    it = engines_.emplace(key, std::move(e)).first;
-  }
-
-  outputs.resize(inputs.size());
-  const auto t0 = Clock::now();
-  try {
-    it->second.batch->run(inputs, outputs);
-  } catch (...) {
-    fail_all(std::current_exception());
+    for (auto* r : live) r->promise.set_exception(factory_error);
     return;
   }
-  eval_h_.record(us_between(t0, Clock::now()));
+  Engine& e = *engine;
+  auto* plan = opts_.fault_plan.get();
+
+  outputs.resize(inputs.size());
+  // Rung 2: the batch path, possibly perturbed by the fault plan.  Any
+  // exception here is a strike, never an answer -- the per-vector rung below
+  // still owns the requests.
+  bool batch_ok = false;
+  if (e.batch && !e.quarantined) {
+    const auto t0 = Clock::now();
+    try {
+      std::optional<netlist::Fault> injected;
+      if (plan) {
+        const auto spike = plan->latency_spike();
+        if (spike.count() > 0) std::this_thread::sleep_for(spike);
+        if (plan->fail_eval(key.first->name, key.second)) {
+          throw InjectedFault(std::string("injected eval failure: ") + key.first->name +
+                              " n=" + std::to_string(key.second));
+        }
+        if (e.sorter->is_combinational()) {
+          if (!e.circuit) e.circuit.emplace(e.sorter->build_circuit());
+          injected = plan->pick_circuit_fault(*e.circuit);
+        }
+      }
+      if (injected) {
+        // Structural fault: the whole batch rides the faulted circuit, as it
+        // would through broken steering hardware.
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          outputs[i] = netlist::eval_with_fault(*e.circuit, inputs[i], *injected);
+        }
+      } else {
+        e.batch->run(inputs, outputs);
+      }
+      if (plan) {
+        for (const std::size_t lane : plan->pick_corrupt_lanes(live.size())) {
+          plan->corrupt_bits(outputs[lane].data());
+        }
+      }
+      batch_ok = true;
+    } catch (...) {
+      strike(e);
+    }
+    eval_h_.record(us_between(t0, Clock::now()));
+  }
+
+  // Rung 3: per-vector repair/fallback.  With batch_ok, the optional
+  // self-check re-evaluates only mismatched lanes (sorted + population count
+  // is a complete correctness oracle for 0-1 outputs); without it, the whole
+  // batch retreats to the per-vector path.  Rung 4: a lane whose fallback
+  // also threw is answered Status::Failed.
+  std::size_t degraded = 0;
+  std::vector<std::uint8_t> lane_failed(live.size(), 0);
+  const auto repair = [&](std::size_t i) {
+    try {
+      outputs[i] = per_vector(e, inputs[i]);
+      ++degraded;
+    } catch (...) {
+      lane_failed[i] = 1;
+    }
+  };
+  if (batch_ok && opts_.self_check) {
+    bool struck = false;
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (!outputs[i].is_sorted_ascending() ||
+          outputs[i].count_ones() != inputs[i].count_ones()) {
+        self_check_failed_.fetch_add(1, std::memory_order_relaxed);
+        struck = true;
+        repair(i);
+      }
+    }
+    if (struck) strike(e);
+  } else if (!batch_ok) {
+    for (std::size_t i = 0; i < live.size(); ++i) repair(i);
+  }
+
   batches_.fetch_add(1, std::memory_order_relaxed);
   batch_size_h_.record(live.size());
-  completed_.fetch_add(live.size(), std::memory_order_relaxed);
+  degraded_.fetch_add(degraded, std::memory_order_relaxed);
   for (std::size_t i = 0; i < live.size(); ++i) {
-    live[i]->promise.set_value(SortResult{Status::Ok, std::move(outputs[i])});
+    if (lane_failed[i]) {
+      unrecoverable_.fetch_add(1, std::memory_order_relaxed);
+      live[i]->promise.set_value(SortResult{Status::Failed, {}});
+    } else {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      live[i]->promise.set_value(SortResult{Status::Ok, std::move(outputs[i])});
+    }
   }
 }
 
@@ -202,6 +351,11 @@ ServiceStats SortService::stats() const {
   s.failed = failed_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.compiled = compiled_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.quarantined = quarantined_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.self_check_failed = self_check_failed_.load(std::memory_order_relaxed);
+  s.unrecoverable = unrecoverable_.load(std::memory_order_relaxed);
   s.batch_size = batch_size_h_.snapshot();
   s.queue_wait_us = queue_wait_h_.snapshot();
   s.eval_us = eval_h_.snapshot();

@@ -23,6 +23,16 @@
 //   * stop() drains the queue, answers everything in flight, then joins the
 //     dispatcher; later submits fail fast with Status::Stopped.
 //
+// The batch engine is treated as an optimization, never a correctness
+// dependency.  A degradation ladder guards it: engine compilation retries
+// with capped exponential backoff; persistently failing engines are
+// quarantined onto the trusted per-vector path (results stay bit-identical,
+// stats count them `degraded`); an optional per-batch self-check (sortedness
+// + population count -- a complete oracle for 0-1 outputs) re-evaluates only
+// mismatched lanes; and only a request whose per-vector fallback also failed
+// is answered with the terminal Status::Failed.  fault_injection.hpp
+// provides the seeded FaultPlan chaos schedules that exercise the ladder.
+//
 // Every stage records into ServiceStats (counters + batch-size and latency
 // histograms); see service_stats.hpp.
 
@@ -40,12 +50,17 @@
 #include <utility>
 #include <vector>
 
+#include <optional>
+
 #include "absort/netlist/batch_eval.hpp"
+#include "absort/netlist/levelized.hpp"
 #include "absort/service/service_stats.hpp"
 #include "absort/sorters/registry.hpp"
 #include "absort/util/bitvec.hpp"
 
 namespace absort::service {
+
+class FaultPlan;  // fault_injection.hpp; only chaos installers need it
 
 /// Terminal state of one request.
 enum class Status {
@@ -53,6 +68,7 @@ enum class Status {
   QueueFull,  ///< rejected: queue at capacity under the Reject policy
   Expired,    ///< cancelled: deadline passed before evaluation
   Stopped,    ///< rejected: submitted after stop()
+  Failed,     ///< unrecoverable: every degradation rung failed for this request
 };
 
 [[nodiscard]] const char* to_string(Status s);
@@ -83,6 +99,42 @@ struct ServiceOptions {
 
   /// Knobs for the per-key compiled engines ({threads, optimize}).
   sorters::BatchOptions batch{};
+
+  // -- robustness ladder (retry -> quarantine -> per-vector -> Failed) ------
+  //
+  // The batch engine is an optimization, never a correctness dependency: a
+  // key whose engine misbehaves retreats to the per-vector reference path
+  // (LevelizedCircuit::eval for combinational sorters, BinarySorter::sort
+  // for model B), which stays bit-identical.  See DESIGN.md "Fault model".
+
+  /// make_batch_sorter() attempts per key before the key is quarantined
+  /// onto the per-vector path (clamped to >= 1).
+  std::size_t compile_attempts = 3;
+
+  /// Backoff between compile attempts doubles from `compile_backoff` up to
+  /// `compile_backoff_cap` (the dispatcher sleeps, so keep these small).
+  std::chrono::microseconds compile_backoff{200};
+  std::chrono::microseconds compile_backoff_cap{10'000};
+
+  /// Engine strikes (an eval exception or a self-check miss counts one)
+  /// before the key is quarantined (clamped to >= 1).
+  std::size_t quarantine_after = 3;
+
+  /// Batches a quarantined key serves per-vector before its strikes are
+  /// cleared and the batch path (including compilation) is retried.
+  /// 0 makes quarantine permanent.  A flapping engine costs at most one
+  /// faulty batch per `probation` healthy ones.
+  std::size_t probation = 0;
+
+  /// Verify every batch output lane (sorted + population count -- a complete
+  /// oracle for 0-1 outputs) and re-evaluate only mismatched lanes through
+  /// the per-vector path.  Forced on whenever `fault_plan` can corrupt
+  /// outputs, so Status::Ok always implies a correct result.
+  bool self_check = false;
+
+  /// Seeded chaos schedule perturbing the batch path (testing; see
+  /// fault_injection.hpp).  No-op when null.
+  std::shared_ptr<FaultPlan> fault_plan;
 };
 
 class SortService {
@@ -131,10 +183,16 @@ class SortService {
   };
 
   /// A cached per-(sorter, n) engine: the sorter instance (the fallback
-  /// engine references it) plus its compiled BatchSorter.
+  /// engine references it), its compiled BatchSorter, plus the lazily built
+  /// per-vector fallback and the degradation-ladder state.
   struct Engine {
     std::unique_ptr<sorters::BinarySorter> sorter;
-    std::unique_ptr<sorters::BatchSorter> batch;
+    std::unique_ptr<sorters::BatchSorter> batch;  ///< null until compiled / after quarantine
+    std::optional<netlist::Circuit> circuit;      ///< lazy; combinational only
+    std::unique_ptr<netlist::LevelizedCircuit> fallback;  ///< lazy per-vector path
+    std::size_t strikes = 0;   ///< eval exceptions + self-check misses so far
+    bool quarantined = false;  ///< on the per-vector path (see parole)
+    std::size_t parole = 0;    ///< quarantined batches left before re-trying
   };
 
   void dispatch_loop();
@@ -144,6 +202,14 @@ class SortService {
   /// Expires, evaluates, and answers one formed micro-batch (no lock held).
   void process(const Key& key, std::vector<Request>& batch, std::vector<BitVec>& inputs,
                std::vector<BitVec>& outputs);
+  /// Compiles the key's engine on first sight, retrying with capped
+  /// exponential backoff and quarantining on persistent failure; returns
+  /// null only when the sorter factory itself threw (`factory_error` set).
+  Engine* ensure_engine(const Key& key, std::exception_ptr& factory_error);
+  /// One engine misbehaviour; quarantines the key at quarantine_after.
+  void strike(Engine& e);
+  /// The trusted per-vector reference path (never fault-injected).
+  BitVec per_vector(Engine& e, const BitVec& in);
 
   ServiceOptions opts_;
 
@@ -163,6 +229,11 @@ class SortService {
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> compiled_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> quarantined_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> self_check_failed_{0};
+  std::atomic<std::uint64_t> unrecoverable_{0};
   Histogram batch_size_h_;
   Histogram queue_wait_h_;
   Histogram eval_h_;

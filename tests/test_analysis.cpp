@@ -11,6 +11,8 @@
 #include "absort/sorters/fish_sorter.hpp"
 #include "absort/util/math.hpp"
 
+#include "test_seed.hpp"
+
 namespace absort::analysis {
 namespace {
 
@@ -125,7 +127,7 @@ TEST(Activity, ComparatorActivityMatchesHandCount) {
   const auto [lo, hi] = c.comparator(a, b);
   c.mark_output(lo);
   c.mark_output(hi);
-  Xoshiro256 rng(1);
+  ABSORT_SEEDED_RNG(rng, 1);
   const auto r = measure_activity(c, rng, 4000);
   const double frac =
       r.active[static_cast<std::size_t>(netlist::Kind::Comparator)] / 4000.0;
@@ -137,7 +139,7 @@ TEST(Activity, AdaptiveNetworksSteerMoreThanBatcher) {
   // The adaptive networks route blocks through always-consulted switches;
   // Batcher's comparators exchange only on (1,0) inputs.  The measured
   // steering activity must reflect that (see bench_ablation A4).
-  Xoshiro256 rng(2);
+  ABSORT_SEEDED_RNG(rng, 2);
   const auto batcher =
       measure_activity(sorters::BatcherOemSorter(256).build_circuit(), rng, 50);
   const auto adaptive =

@@ -13,6 +13,8 @@
 #include "absort/util/math.hpp"
 #include "absort/util/rng.hpp"
 
+#include "test_seed.hpp"
+
 namespace absort::sorters {
 namespace {
 
@@ -49,7 +51,7 @@ TEST_P(BaselineSorterTest, NetlistMatchesValueSimulation) {
 TEST_P(BaselineSorterTest, RouteIsAPermutationThatSorts) {
   const auto [cs, n] = GetParam();
   const auto sorter = cs.make(n);
-  Xoshiro256 rng(n);
+  ABSORT_SEEDED_RNG(rng, n);
   for (int rep = 0; rep < 50; ++rep) {
     const auto tags = workload::random_bits(rng, n);
     const auto perm = sorter->route(tags);
@@ -153,7 +155,7 @@ class BaselineLargeTest : public ::testing::TestWithParam<Case> {};
 
 TEST_P(BaselineLargeTest, SortsRandomLargeInputs) {
   const auto cs = GetParam();
-  Xoshiro256 rng(101);
+  ABSORT_SEEDED_RNG(rng, 101);
   for (std::size_t n : {64u, 256u, 1024u}) {
     const auto sorter = cs.make(n);
     for (int rep = 0; rep < 20; ++rep) {

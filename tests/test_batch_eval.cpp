@@ -25,6 +25,8 @@
 #include "absort/util/rng.hpp"
 #include "absort/util/wordvec.hpp"
 
+#include "test_seed.hpp"
+
 namespace absort {
 namespace {
 
@@ -40,7 +42,7 @@ std::vector<BitVec> random_batch(Xoshiro256& rng, std::size_t b, std::size_t n) 
 }
 
 TEST(Wordvec, PackUnpackRoundTrip) {
-  Xoshiro256 rng(7);
+  ABSORT_SEEDED_RNG(rng, 7);
   const std::size_t n = 37;
   for (const std::size_t lanes : {std::size_t{1}, std::size_t{17}, wordvec::kLanes}) {
     const auto batch = random_batch(rng, lanes + 3, n);
@@ -113,7 +115,7 @@ TEST(BitSliced, Exhaustive256LaneBlock) {
 TEST(BitSliced, LevelizedConstructorAgrees) {
   const auto c = sorters::MuxMergeSorter::make(16)->build_circuit();
   const netlist::LevelizedCircuit lc(c);
-  Xoshiro256 rng(11);
+  ABSORT_SEEDED_RNG(rng, 11);
   const auto batch = random_batch(rng, 70, 16);
   const auto a = BitSlicedEvaluator(c).eval_batch(batch);
   const auto b = BitSlicedEvaluator(lc).eval_batch(batch);
@@ -122,7 +124,7 @@ TEST(BitSliced, LevelizedConstructorAgrees) {
 
 TEST(BatchRunner, ThreadCountsAgreeAndAreDeterministic) {
   const auto c = sorters::PrefixSorter::make(64)->build_circuit();
-  Xoshiro256 rng(13);
+  ABSORT_SEEDED_RNG(rng, 13);
   // 1000 vectors: 3 full 256-lane blocks plus a ragged tail.
   const auto batch = random_batch(rng, 1000, 64);
   BatchRunner one(c, 1);
@@ -148,7 +150,7 @@ TEST(BatchRunner, ArityChecked) {
 TEST(LevelizedCircuit, ParallelClampTinyCircuit) {
   const auto c = sorters::BatcherOemSorter::make(8)->build_circuit();
   const netlist::LevelizedCircuit lc(c);
-  Xoshiro256 rng(17);
+  ABSORT_SEEDED_RNG(rng, 17);
   for (int i = 0; i < 10; ++i) {
     const auto in = workload::random_bits(rng, 8);
     EXPECT_EQ(lc.eval_parallel(in, 64), lc.eval(in));
@@ -180,7 +182,7 @@ class SortBatch : public ::testing::TestWithParam<SorterCase> {};
 // all-zero / all-one lanes mixed in.
 TEST_P(SortBatch, AgreesWithSingleVectorEvaluation) {
   const auto& param = GetParam();
-  Xoshiro256 rng(23);
+  ABSORT_SEEDED_RNG(rng, 23);
   for (const std::size_t n : {std::size_t{4}, std::size_t{16}, std::size_t{64}}) {
     const auto sorter = param.make(n);
     for (const std::size_t b : {std::size_t{1}, std::size_t{5}, std::size_t{64},
@@ -235,7 +237,7 @@ std::vector<netlist::Circuit> batch_circuits_of(const BinarySorter& s) {
 // ragged batch sizes that exercise the 64-, 256-, and 512-lane interpreter
 // paths and both 1-thread and threaded runs.
 TEST(ProgramOptimizer, OptimizedMatchesUnoptimizedEverySorter) {
-  Xoshiro256 rng(29);
+  ABSORT_SEEDED_RNG(rng, 29);
   for (const auto& sc : kSorters) {
     for (const std::size_t n : {std::size_t{16}, std::size_t{64}}) {
       const auto sorter = sc.make(n);
@@ -290,7 +292,7 @@ TEST(ProgramOptimizer, ShrinksAdaptiveSorterProgramsAtLeast15Percent) {
 TEST(BatchRunner, ConcurrentRunThrowsLogicError) {
   const auto c = sorters::PrefixSorter::make(256)->build_circuit();
   BatchRunner r(c, 2);
-  Xoshiro256 rng(43);
+  ABSORT_SEEDED_RNG(rng, 43);
   const auto batch = random_batch(rng, 4096, 256);
   std::atomic<bool> stop{false};
   std::atomic<int> threw{0};
@@ -322,7 +324,7 @@ TEST(BatchRunner, ConcurrentRunThrowsLogicError) {
 // same code path: every spelling produces identical output.
 TEST(BatchOptions, DelegatingOverloadsAgree) {
   const auto sorter = sorters::FishSorter::make(64);
-  Xoshiro256 rng(47);
+  ABSORT_SEEDED_RNG(rng, 47);
   const auto batch = random_batch(rng, 130, 64);
   const auto ref = sorter->sort_batch(batch, 1);
   EXPECT_EQ(sorter->sort_batch(batch, sorters::BatchOptions{1, true}), ref);
@@ -341,7 +343,7 @@ TEST(BatchOptions, DelegatingOverloadsAgree) {
 // make_batch_sorter: the compile-once engine the serving layer caches.  One
 // engine, many run() calls, bit-identical to sort_batch for every sorter.
 TEST(BatchSorter, CompiledEngineMatchesSortBatchEverySorter) {
-  Xoshiro256 rng(53);
+  ABSORT_SEEDED_RNG(rng, 53);
   for (const auto& sc : kSorters) {
     const auto sorter = sc.make(16);
     const auto engine = sorter->make_batch_sorter(sorters::BatchOptions{1, true});
@@ -364,7 +366,7 @@ TEST(BatchSorter, CompiledEngineMatchesSortBatchEverySorter) {
 TEST(BatchRunner, CallerBufferOverloadReusesStorage) {
   const auto c = sorters::PrefixSorter::make(16)->build_circuit();
   BatchRunner r(c, 2);
-  Xoshiro256 rng(31);
+  ABSORT_SEEDED_RNG(rng, 31);
   const auto batch = random_batch(rng, 300, 16);
   std::vector<BitVec> out(batch.size());
   r.run(batch, std::span<BitVec>(out));
@@ -381,7 +383,7 @@ TEST(BatchRunner, CallerBufferOverloadReusesStorage) {
 // build_kway_merger's sorted-bit outputs against the value-level kway_merge
 // model, on random inputs whose k groups are each sorted (its precondition).
 TEST(FishSorter, KwayMergerCircuitMatchesValueModel) {
-  Xoshiro256 rng(37);
+  ABSORT_SEEDED_RNG(rng, 37);
   for (const std::size_t m : {std::size_t{16}, std::size_t{64}}) {
     for (const std::size_t k : {std::size_t{2}, std::size_t{4}}) {
       netlist::Circuit c;

@@ -13,6 +13,8 @@
 #include "absort/util/math.hpp"
 #include "absort/util/rng.hpp"
 
+#include "test_seed.hpp"
+
 namespace absort::networks {
 namespace {
 
@@ -39,7 +41,7 @@ TEST(BatcherBanyan, RoutesAllFullPermutationsOfEight) {
 }
 
 TEST(BatcherBanyan, RoutesRandomPartialPermutations) {
-  Xoshiro256 rng(71);
+  ABSORT_SEEDED_RNG(rng, 71);
   for (std::size_t n : {16u, 64u, 256u}) {
     BatcherBanyan bb(n);
     for (std::size_t actives : {std::size_t{1}, n / 4, n / 2, n - 1, n}) {
@@ -65,7 +67,7 @@ TEST(BatcherBanyan, RoutesRandomPartialPermutations) {
 
 TEST(BatcherBanyan, WorksWithBitonicSorterToo) {
   BatcherBanyan bb(32, std::make_unique<sorters::BitonicSorter>(32));
-  Xoshiro256 rng(73);
+  ABSORT_SEEDED_RNG(rng, 73);
   for (int rep = 0; rep < 25; ++rep) {
     const auto d = random_partial(rng, 32, 20);
     const auto out = bb.route(d);
@@ -77,7 +79,7 @@ TEST(BatcherBanyan, WorksWithBitonicSorterToo) {
 
 TEST(BatcherBanyan, MovesPayloads) {
   BatcherBanyan bb(16);
-  Xoshiro256 rng(79);
+  ABSORT_SEEDED_RNG(rng, 79);
   const auto d = random_partial(rng, 16, 9);
   std::vector<int> payload(16);
   for (std::size_t i = 0; i < 16; ++i) payload[i] = static_cast<int>(100 + i);

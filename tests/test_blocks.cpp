@@ -14,6 +14,8 @@
 #include "absort/util/math.hpp"
 #include "absort/util/rng.hpp"
 
+#include "test_seed.hpp"
+
 namespace absort {
 namespace {
 
@@ -33,7 +35,7 @@ TEST_P(TwoWaySwapperTest, SwapsHalvesUnderControl) {
   const auto out = blocks::two_way_swapper(c, in, ctrl);
   c.mark_outputs(out);
 
-  Xoshiro256 rng(5);
+  ABSORT_SEEDED_RNG(rng, 5);
   for (int rep = 0; rep < 20; ++rep) {
     auto data = workload::random_bits(rng, n);
     auto with0 = data;
@@ -71,7 +73,7 @@ TEST_P(FourWaySwapperTest, AppliesQuarterPermutations) {
   const auto s1 = c.input();
   c.mark_outputs(blocks::four_way_swapper(c, in, s0, s1, pats));
 
-  Xoshiro256 rng(6);
+  ABSORT_SEEDED_RNG(rng, 6);
   const auto data = workload::random_bits(rng, n);
   const std::size_t q = n / 4;
   for (std::size_t s = 0; s < 4; ++s) {
@@ -111,7 +113,7 @@ TEST(KSwap, SplitsCleanHalvesUpAndRestDown) {
   for (std::size_t b = 0; b < k; ++b) ctrls.push_back(in[b * (n / k) + n / (2 * k)]);
   c.mark_outputs(blocks::k_swap(c, in, ctrls));
 
-  Xoshiro256 rng(8);
+  ABSORT_SEEDED_RNG(rng, 8);
   for (int rep = 0; rep < 100; ++rep) {
     const auto v = workload::random_k_sorted(rng, n, k);
     const auto out = c.eval(v);
@@ -150,7 +152,7 @@ TEST_P(MuxNkTest, SelectsTheRightGroup) {
   const auto sel = c.inputs(selw);
   c.mark_outputs(blocks::mux_nk(c, in, k, sel));
 
-  Xoshiro256 rng(10);
+  ABSORT_SEEDED_RNG(rng, 10);
   const auto data = workload::random_bits(rng, n);
   for (std::size_t g = 0; g < groups; ++g) {
     auto input = data;
@@ -189,7 +191,7 @@ TEST_P(DemuxKnTest, RoutesToTheRightGroup) {
   const auto sel = c.inputs(selw);
   c.mark_outputs(blocks::demux_kn(c, in, n, sel));
 
-  Xoshiro256 rng(12);
+  ABSORT_SEEDED_RNG(rng, 12);
   const auto data = workload::random_bits(rng, k);
   for (std::size_t g = 0; g < groups; ++g) {
     auto input = data;
@@ -255,7 +257,7 @@ TEST_P(PrefixAdderTest, AddsExhaustivelyOrRandomly) {
       }
     }
   } else {
-    Xoshiro256 rng(w);
+    ABSORT_SEEDED_RNG(rng, w);
     for (int rep = 0; rep < 500; ++rep) {
       const std::uint64_t x = rng.below(lim), y = rng.below(lim);
       const auto in = BitVec::from_bits_of(x, w).concat(BitVec::from_bits_of(y, w));

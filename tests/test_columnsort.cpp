@@ -5,6 +5,8 @@
 #include "absort/sorters/columnsort.hpp"
 #include "absort/util/rng.hpp"
 
+#include "test_seed.hpp"
+
 namespace absort::sorters {
 namespace {
 
@@ -31,7 +33,7 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple<std::size_t, std::size_t, std::size_t>{12, 6, 2}));
 
 TEST(Columnsort, SortsRandomLargeInputs) {
-  Xoshiro256 rng(81);
+  ABSORT_SEEDED_RNG(rng, 81);
   for (std::size_t n : {64u, 256u, 1024u, 4096u}) {
     const auto [r, s] = ColumnsortSorter::choose_shape(n);
     ColumnsortSorter sorter(n, r, s);
@@ -66,7 +68,7 @@ TEST(Columnsort, RouteIsSortingPermutation) {
   const std::size_t n = 512;
   const auto [r, s] = ColumnsortSorter::choose_shape(n);
   ColumnsortSorter sorter(n, r, s);
-  Xoshiro256 rng(83);
+  ABSORT_SEEDED_RNG(rng, 83);
   for (int rep = 0; rep < 50; ++rep) {
     const auto tags = workload::random_bits(rng, n);
     const auto perm = sorter.route(tags);

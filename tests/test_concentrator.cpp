@@ -12,6 +12,8 @@
 #include "absort/sorters/prefix_sorter.hpp"
 #include "absort/util/rng.hpp"
 
+#include "test_seed.hpp"
+
 namespace absort::networks {
 namespace {
 
@@ -56,7 +58,7 @@ TEST_P(ConcentratorTest, ExhaustiveMasksSixteenInputs) {
 TEST_P(ConcentratorTest, PacketPayloadsFollowTheirTags) {
   const std::size_t n = 64;
   Concentrator con(GetParam().make(n));
-  Xoshiro256 rng(91);
+  ABSORT_SEEDED_RNG(rng, 91);
   for (int rep = 0; rep < 50; ++rep) {
     std::vector<bool> active(n);
     std::vector<std::string> payload(n);
@@ -106,7 +108,7 @@ TEST(Concentrator, OrderPreservationWithinActives) {
   // as a regression anchor for route() tie behaviour.
   const std::size_t n = 16;
   Concentrator con(make_batcher(n));
-  Xoshiro256 rng(93);
+  ABSORT_SEEDED_RNG(rng, 93);
   for (int rep = 0; rep < 200; ++rep) {
     std::vector<bool> active(n);
     std::size_t r = 0;

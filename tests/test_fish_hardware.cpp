@@ -10,6 +10,8 @@
 #include "absort/util/math.hpp"
 #include "absort/util/rng.hpp"
 
+#include "test_seed.hpp"
+
 namespace absort::sim {
 namespace {
 
@@ -35,7 +37,7 @@ INSTANTIATE_TEST_SUITE_P(Shapes, FishHardwareExhaustiveTest,
                                            std::pair<std::size_t, std::size_t>{16, 4}));
 
 TEST(FishHardware, AgreesWithValueLevelFishSorter) {
-  Xoshiro256 rng(19);
+  ABSORT_SEEDED_RNG(rng, 19);
   for (auto [n, k] : {std::pair<std::size_t, std::size_t>{32, 4},
                       std::pair<std::size_t, std::size_t>{64, 8},
                       std::pair<std::size_t, std::size_t>{128, 4}}) {
@@ -57,7 +59,7 @@ TEST(FishHardware, CycleCountMatchesSchedule) {
 
 TEST(FishHardware, RepeatedSortsAreIndependent) {
   FishHardware hw(32, 4);
-  Xoshiro256 rng(21);
+  ABSORT_SEEDED_RNG(rng, 21);
   for (int rep = 0; rep < 10; ++rep) {
     const auto in = workload::random_bits(rng, 32);
     EXPECT_EQ(hw.sort(in), BitVec::sorted_with_ones(32, in.count_ones()));
@@ -90,7 +92,7 @@ TEST(FishHardware, HardwareOverheadIsBounded) {
 }
 
 TEST(FishHardware, OverlappedScheduleSortsIdentically) {
-  Xoshiro256 rng(23);
+  ABSORT_SEEDED_RNG(rng, 23);
   for (auto [n, k] : {std::pair<std::size_t, std::size_t>{16, 4},
                       std::pair<std::size_t, std::size_t>{64, 8}}) {
     FishHardware hw(n, k);
@@ -123,7 +125,7 @@ TEST(FishHardware, OverlappedScheduleIsShorter) {
 }
 
 TEST(FishHardware, StreamSortsEveryFrame) {
-  Xoshiro256 rng(29);
+  ABSORT_SEEDED_RNG(rng, 29);
   for (auto [n, k] : {std::pair<std::size_t, std::size_t>{16, 4},
                       std::pair<std::size_t, std::size_t>{32, 4},
                       std::pair<std::size_t, std::size_t>{64, 8}}) {
@@ -159,7 +161,7 @@ TEST(FishHardware, StreamHandlesEdgeCases) {
 
 TEST(FishHardware, StreamMatchesIsolatedSorts) {
   FishHardware hw(32, 4);
-  Xoshiro256 rng(31);
+  ABSORT_SEEDED_RNG(rng, 31);
   std::vector<BitVec> frames;
   for (int f = 0; f < 5; ++f) frames.push_back(workload::random_bits(rng, 32));
   const auto streamed = hw.sort_stream(frames);

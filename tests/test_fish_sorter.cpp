@@ -9,6 +9,8 @@
 #include "absort/util/math.hpp"
 #include "absort/util/rng.hpp"
 
+#include "test_seed.hpp"
+
 namespace absort::sorters {
 namespace {
 
@@ -36,7 +38,7 @@ INSTANTIATE_TEST_SUITE_P(Shapes, FishExhaustiveTest,
                                            std::pair<std::size_t, std::size_t>{16, 8}));
 
 TEST(FishSorter, SortsRandomLargeInputs) {
-  Xoshiro256 rng(61);
+  ABSORT_SEEDED_RNG(rng, 61);
   for (std::size_t n : {64u, 256u, 1024u, 4096u}) {
     for (std::size_t k : {std::size_t{2}, std::size_t{8}, FishSorter::default_k(n)}) {
       FishSorter s(n, k);
@@ -52,7 +54,7 @@ TEST(FishSorter, SortsRandomLargeInputs) {
 
 TEST(FishSorter, RouteIsSortingPermutation) {
   FishSorter s(64, 8);
-  Xoshiro256 rng(67);
+  ABSORT_SEEDED_RNG(rng, 67);
   for (int rep = 0; rep < 100; ++rep) {
     const auto tags = workload::random_bits(rng, 64);
     const auto perm = s.route(tags);
@@ -111,7 +113,7 @@ INSTANTIATE_TEST_SUITE_P(Shapes, KwayMergerTest,
                                            std::pair<std::size_t, std::size_t>{64, 8}));
 
 TEST(KwayMerger, RandomLargeKSorted) {
-  Xoshiro256 rng(71);
+  ABSORT_SEEDED_RNG(rng, 71);
   for (int rep = 0; rep < 100; ++rep) {
     const auto v = workload::random_k_sorted(rng, 1024, 16);
     const auto out = kway_merge(v, 16);

@@ -7,6 +7,8 @@
 #include "absort/sorters/hybrid_oem.hpp"
 #include "absort/util/rng.hpp"
 
+#include "test_seed.hpp"
+
 namespace absort::sorters {
 namespace {
 
@@ -70,7 +72,7 @@ TEST(HybridOem, NonadaptiveTradeIsMonotone) {
 }
 
 TEST(HybridOem, RandomLargeInputs) {
-  Xoshiro256 rng(91);
+  ABSORT_SEEDED_RNG(rng, 91);
   for (std::size_t n : {256u, 1024u}) {
     HybridOemSorter s(n, HybridOemSorter::best_block(n));
     for (int rep = 0; rep < 20; ++rep) {

@@ -17,6 +17,8 @@
 #include "absort/sorters/muxmerge_sorter.hpp"
 #include "absort/util/rng.hpp"
 
+#include "test_seed.hpp"
+
 namespace absort {
 namespace {
 
@@ -25,7 +27,7 @@ namespace {
 // every granted packet reaches its requested destination port.
 TEST(Integration, ConcentrateThenPermute) {
   const std::size_t n = 64;
-  Xoshiro256 rng(301);
+  ABSORT_SEEDED_RNG(rng, 301);
   networks::Concentrator stage1(sorters::MuxMergeSorter::make(n));
   networks::RadixPermuter stage2(n, [](std::size_t w) { return sorters::MuxMergeSorter::make(w); });
 
@@ -56,7 +58,7 @@ TEST(Integration, ConcentrateThenPermute) {
 // Scenario 2: the three permutation networks agree on every routed outcome.
 TEST(Integration, AllPermutersAgree) {
   const std::size_t n = 32;
-  Xoshiro256 rng(303);
+  ABSORT_SEEDED_RNG(rng, 303);
   networks::RadixPermuter radix(n, [](std::size_t w) { return sorters::MuxMergeSorter::make(w); });
   networks::SortingPermuter sorting(n);
   networks::BenesNetwork benes(n);
@@ -85,7 +87,7 @@ TEST(Integration, AllPermutersAgree) {
 TEST(Integration, HardwareConcentratorStream) {
   const std::size_t n = 32, k = 4;
   sim::FishHardware hw(n, k);
-  Xoshiro256 rng(305);
+  ABSORT_SEEDED_RNG(rng, 305);
   for (int frame = 0; frame < 20; ++frame) {
     std::vector<bool> active(n);
     BitVec tags(n);
@@ -107,7 +109,7 @@ TEST(Integration, HardwareConcentratorStream) {
 TEST(Integration, FishCarryMatchesSort) {
   const std::size_t n = 256;
   sorters::FishSorter fish(n, 8);
-  Xoshiro256 rng(307);
+  ABSORT_SEEDED_RNG(rng, 307);
   for (int rep = 0; rep < 20; ++rep) {
     const auto tags = workload::random_bits(rng, n);
     std::vector<std::size_t> ids(n);

@@ -9,6 +9,8 @@
 #include "absort/util/math.hpp"
 #include "absort/util/rng.hpp"
 
+#include "test_seed.hpp"
+
 namespace absort::sorters {
 namespace {
 
@@ -38,7 +40,7 @@ TEST_P(MuxMergeExhaustiveTest, NetlistMatchesValueSimulation) {
 INSTANTIATE_TEST_SUITE_P(Sizes, MuxMergeExhaustiveTest, ::testing::Values(2, 4, 8, 16));
 
 TEST(MuxMergeSorter, SortsRandomLargeInputs) {
-  Xoshiro256 rng(51);
+  ABSORT_SEEDED_RNG(rng, 51);
   for (std::size_t n : {32u, 256u, 1024u, 4096u}) {
     MuxMergeSorter s(n);
     for (int rep = 0; rep < 25; ++rep) {
@@ -51,7 +53,7 @@ TEST(MuxMergeSorter, SortsRandomLargeInputs) {
 }
 
 TEST(MuxMergeSorter, NetlistMatchesValueSimulationRandomLarge) {
-  Xoshiro256 rng(53);
+  ABSORT_SEEDED_RNG(rng, 53);
   for (std::size_t n : {32u, 64u, 128u, 256u}) {
     MuxMergeSorter s(n);
     const auto circuit = s.build_circuit();

@@ -10,6 +10,8 @@
 #include "absort/sorters/prefix_sorter.hpp"
 #include "absort/util/rng.hpp"
 
+#include "test_seed.hpp"
+
 namespace absort::netlist {
 namespace {
 
@@ -131,7 +133,7 @@ TEST(Levelized, LevelCountEqualsUnitDepthForUnitModels) {
 TEST(Levelized, ParallelMatchesSequential) {
   sorters::PrefixSorter s(256);
   const LevelizedCircuit lev(s.build_circuit());
-  Xoshiro256 rng(7);
+  ABSORT_SEEDED_RNG(rng, 7);
   for (int rep = 0; rep < 20; ++rep) {
     const auto in = workload::random_bits(rng, 256);
     const auto seq = lev.eval(in);

@@ -14,6 +14,8 @@
 #include "absort/sorters/prefix_sorter.hpp"
 #include "absort/util/rng.hpp"
 
+#include "test_seed.hpp"
+
 namespace absort::netlist {
 namespace {
 
@@ -26,7 +28,7 @@ void expect_equivalent(const Circuit& a, const Circuit& b, std::size_t max_exhau
       ASSERT_EQ(a.eval(in), b.eval(in)) << in.str();
     }
   } else {
-    Xoshiro256 rng(a.num_inputs());
+    ABSORT_SEEDED_RNG(rng, a.num_inputs());
     for (int rep = 0; rep < 200; ++rep) {
       const auto in = workload::random_bits(rng, a.num_inputs());
       ASSERT_EQ(a.eval(in), b.eval(in)) << in.str();

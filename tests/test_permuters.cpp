@@ -17,6 +17,8 @@
 #include "absort/util/math.hpp"
 #include "absort/util/rng.hpp"
 
+#include "test_seed.hpp"
+
 namespace absort::networks {
 namespace {
 
@@ -52,7 +54,7 @@ TEST(Benes, RealizesAllPermutationsOfEight) {
 }
 
 TEST(Benes, RealizesRandomLargePermutations) {
-  Xoshiro256 rng(111);
+  ABSORT_SEEDED_RNG(rng, 111);
   for (std::size_t n : {16u, 64u, 256u}) {
     BenesNetwork net(n);
     const auto circuit = net.build_circuit();
@@ -130,7 +132,7 @@ TEST_P(RadixPermuterTest, RealizesAllPermutationsOfEight) {
 }
 
 TEST_P(RadixPermuterTest, RealizesRandomLargePermutations) {
-  Xoshiro256 rng(113);
+  ABSORT_SEEDED_RNG(rng, 113);
   for (std::size_t n : {16u, 64u, 256u, 1024u}) {
     RadixPermuter rp(n, engine_for(GetParam()));
     for (int rep = 0; rep < 10; ++rep) {
@@ -144,7 +146,7 @@ TEST_P(RadixPermuterTest, RealizesRandomLargePermutations) {
 TEST_P(RadixPermuterTest, MovesPayloadsToDestinations) {
   const std::size_t n = 64;
   RadixPermuter rp(n, engine_for(GetParam()));
-  Xoshiro256 rng(127);
+  ABSORT_SEEDED_RNG(rng, 127);
   const auto dest = workload::random_permutation(rng, n);
   std::vector<int> payload(n);
   for (std::size_t i = 0; i < n; ++i) payload[i] = static_cast<int>(1000 + i);

@@ -9,6 +9,8 @@
 #include "absort/util/math.hpp"
 #include "absort/util/rng.hpp"
 
+#include "test_seed.hpp"
+
 namespace absort::sorters {
 namespace {
 
@@ -38,7 +40,7 @@ TEST_P(PrefixSorterExhaustiveTest, NetlistMatchesValueSimulation) {
 INSTANTIATE_TEST_SUITE_P(Sizes, PrefixSorterExhaustiveTest, ::testing::Values(2, 4, 8, 16));
 
 TEST(PrefixSorter, SortsRandomLargeInputsValueLevel) {
-  Xoshiro256 rng(31);
+  ABSORT_SEEDED_RNG(rng, 31);
   for (std::size_t n : {32u, 128u, 1024u, 4096u}) {
     PrefixSorter s(n);
     for (int rep = 0; rep < 25; ++rep) {
@@ -51,7 +53,7 @@ TEST(PrefixSorter, SortsRandomLargeInputsValueLevel) {
 }
 
 TEST(PrefixSorter, NetlistMatchesValueSimulationRandomLarge) {
-  Xoshiro256 rng(37);
+  ABSORT_SEEDED_RNG(rng, 37);
   for (std::size_t n : {32u, 64u, 128u}) {
     PrefixSorter s(n);
     const auto circuit = s.build_circuit();
@@ -66,7 +68,7 @@ TEST(PrefixSorter, SortsExtremeOnesCounts) {
   // Every exact ones-count at one size: exercises all select-chain paths.
   const std::size_t n = 64;
   PrefixSorter s(n);
-  Xoshiro256 rng(41);
+  ABSORT_SEEDED_RNG(rng, 41);
   for (std::size_t ones = 0; ones <= n; ++ones) {
     const auto in = workload::random_bits_with_ones(rng, n, ones);
     const auto out = s.sort(in);
@@ -78,7 +80,7 @@ TEST(PrefixSorter, SortsExtremeOnesCounts) {
 TEST(PrefixSorter, RouteIsSortingPermutation) {
   const std::size_t n = 32;
   PrefixSorter s(n);
-  Xoshiro256 rng(43);
+  ABSORT_SEEDED_RNG(rng, 43);
   for (int rep = 0; rep < 100; ++rep) {
     const auto tags = workload::random_bits(rng, n);
     const auto perm = s.route(tags);

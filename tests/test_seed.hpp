@@ -1,0 +1,43 @@
+#pragma once
+// Seed hygiene for randomized tests.
+//
+// Every randomized test derives its RNG through ABSORT_SEEDED_RNG, which
+//   * seeds from the test's fixed fallback (runs stay deterministic),
+//   * honours the ABSORT_TEST_SEED environment variable as an override, and
+//   * SCOPED_TRACEs the seed, so any assertion failure inside the scope
+//     prints the exact value needed to replay it:
+//
+//       ABSORT_TEST_SEED=12345 ./test_foo --gtest_filter=Failing.Test
+//
+// Tests that derive several seeds from one base (e.g. one per producer
+// thread) call absort::testing::test_seed(fallback) directly and add their
+// own trace.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "absort/util/rng.hpp"
+
+namespace absort::testing {
+
+/// The test seed: ABSORT_TEST_SEED if set to a number (decimal, 0x-hex, or
+/// 0-octal), the test's own fallback otherwise.
+inline std::uint64_t test_seed(std::uint64_t fallback) {
+  if (const char* env = std::getenv("ABSORT_TEST_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 0);
+    if (end != env && *end == '\0') return v;
+  }
+  return fallback;
+}
+
+}  // namespace absort::testing
+
+/// Declares `::absort::Xoshiro256 name` seeded with test_seed(fallback) and
+/// annotates every assertion failure in scope with the replay seed.
+#define ABSORT_SEEDED_RNG(name, fallback)                                              \
+  const std::uint64_t name##_seed = ::absort::testing::test_seed(fallback);            \
+  SCOPED_TRACE(::testing::Message() << "replay: ABSORT_TEST_SEED=" << name##_seed);    \
+  ::absort::Xoshiro256 name(name##_seed)

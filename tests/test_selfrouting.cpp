@@ -17,6 +17,8 @@
 #include "absort/util/math.hpp"
 #include "absort/util/rng.hpp"
 
+#include "test_seed.hpp"
+
 namespace absort {
 namespace {
 
@@ -109,7 +111,7 @@ TEST(Omega, MonotoneCompactTrafficNeverBlocksExhaustive) {
 TEST(Omega, NetlistMatchesSelfRouting) {
   networks::OmegaNetwork net(16, networks::OmegaFlow::Reverse);
   const auto circuit = net.build_circuit();
-  Xoshiro256 rng(41);
+  ABSORT_SEEDED_RNG(rng, 41);
   for (int rep = 0; rep < 50; ++rep) {
     // A random monotone compact pattern (so controls exist).
     std::vector<std::optional<std::size_t>> dest(16);
@@ -229,7 +231,7 @@ TEST(CarryingSorter, PayloadPlanesFollowTheTags) {
   }
 
   sorters::MuxMergeSorter model(n);
-  Xoshiro256 rng(43);
+  ABSORT_SEEDED_RNG(rng, 43);
   for (int rep = 0; rep < 200; ++rep) {
     const auto tags = workload::random_bits(rng, n);
     // Payload: each lane carries a distinct w-bit id.
@@ -271,7 +273,7 @@ TEST(CarryingSorter, PrefixSorterPayloadPlanesFollowTheTags) {
   }
 
   sorters::PrefixSorter model(n);
-  Xoshiro256 rng(45);
+  ABSORT_SEEDED_RNG(rng, 45);
   for (int rep = 0; rep < 200; ++rep) {
     const auto tags = workload::random_bits(rng, n);
     std::vector<std::uint64_t> ids(n);
@@ -321,7 +323,7 @@ TEST(CarryingSorter, CostScalesWithPayloadWidth) {
 
 TEST(RadixWordSort, MatchesStableSort) {
   sorters::RadixWordSorter s(64, 8);
-  Xoshiro256 rng(47);
+  ABSORT_SEEDED_RNG(rng, 47);
   for (int rep = 0; rep < 100; ++rep) {
     std::vector<std::uint64_t> keys(64);
     for (auto& k : keys) k = rng.below(256);
@@ -333,7 +335,7 @@ TEST(RadixWordSort, MatchesStableSort) {
 
 TEST(RadixWordSort, IsStable) {
   sorters::RadixWordSorter s(16, 4);
-  Xoshiro256 rng(53);
+  ABSORT_SEEDED_RNG(rng, 53);
   for (int rep = 0; rep < 100; ++rep) {
     std::vector<std::uint64_t> keys(16);
     for (auto& k : keys) k = rng.below(4);  // heavy duplicates
@@ -350,7 +352,7 @@ TEST(RadixWordSort, IsStable) {
 TEST(RadixWordSort, SingleBitEqualsBinarySorter) {
   sorters::RadixWordSorter radix(32, 1);
   sorters::MuxMergeSorter binary(32);
-  Xoshiro256 rng(59);
+  ABSORT_SEEDED_RNG(rng, 59);
   for (int rep = 0; rep < 50; ++rep) {
     const auto tags = workload::random_bits(rng, 32);
     std::vector<std::uint64_t> keys(32);

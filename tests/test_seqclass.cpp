@@ -9,6 +9,8 @@
 #include "absort/util/math.hpp"
 #include "absort/util/rng.hpp"
 
+#include "test_seed.hpp"
+
 namespace absort {
 namespace {
 
@@ -77,7 +79,7 @@ TEST(ClassA, LinearCheckerMatchesReferenceExhaustively) {
 }
 
 TEST(ClassA, LinearCheckerOnLargeMembers) {
-  Xoshiro256 rng(77);
+  ABSORT_SEEDED_RNG(rng, 77);
   for (int rep = 0; rep < 200; ++rep) {
     EXPECT_TRUE(in_class_a_linear(workload::random_class_a(rng, 1024)));
     // A random sequence of that length is (overwhelmingly) not a member.
@@ -181,7 +183,7 @@ TEST(Theorem2, PaperExample2) {
 
 // Conservation: the mirrored stage permutes values (same multiset).
 TEST(Theorem2, StagePreservesOnesCount) {
-  Xoshiro256 rng(23);
+  ABSORT_SEEDED_RNG(rng, 23);
   for (int i = 0; i < 200; ++i) {
     const auto v = workload::random_bits(rng, 32);
     EXPECT_EQ(balanced_first_stage(v).count_ones(), v.count_ones());
@@ -190,7 +192,7 @@ TEST(Theorem2, StagePreservesOnesCount) {
 
 // The theorem's precondition matters: the generator must produce members.
 TEST(Workload, RandomClassAIsMember) {
-  Xoshiro256 rng(29);
+  ABSORT_SEEDED_RNG(rng, 29);
   for (int i = 0; i < 200; ++i) {
     EXPECT_TRUE(in_class_a(workload::random_class_a(rng, 32)));
   }

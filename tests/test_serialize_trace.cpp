@@ -9,6 +9,8 @@
 #include "absort/sorters/prefix_sorter.hpp"
 #include "absort/util/rng.hpp"
 
+#include "test_seed.hpp"
+
 namespace absort {
 namespace {
 
@@ -32,7 +34,7 @@ TEST(Serialize, RoundTripsSmallCircuit) {
 }
 
 TEST(Serialize, RoundTripsAdaptiveSorters) {
-  Xoshiro256 rng(61);
+  ABSORT_SEEDED_RNG(rng, 61);
   for (std::size_t n : {8u, 32u}) {
     for (const auto* which : {"prefix", "muxmerge"}) {
       const auto circuit = std::string(which) == "prefix"
@@ -82,7 +84,7 @@ TEST(Trace, FishHardwareRecordsFullSchedule) {
   sim::FishHardware hw(16, 4);
   auto trace = hw.make_trace();
   hw.attach_trace(&trace);
-  Xoshiro256 rng(67);
+  ABSORT_SEEDED_RNG(rng, 67);
   const auto in = workload::random_bits(rng, 16);
   const auto out = hw.sort(in);
   EXPECT_TRUE(out.is_sorted_ascending());

@@ -1,0 +1,307 @@
+// Fault injection and graceful degradation.
+//
+// Part 1 -- the fault model itself, differentially: every applicable
+// (component, FaultKind) of the small prefix and mux-merger sorters is
+// evaluated over ALL 2^n inputs.  For each faulted output, either the 0-1
+// self-check oracle (sortedness + population count) detects it, or the
+// output is still the correct sorted sequence -- and a clean re-evaluation
+// always recovers the exact reference answer.  This is the property the
+// service's degradation ladder stands on.
+//
+// Part 2 -- the ladder through SortService with scripted FaultPlans: compile
+// retry, quarantine + parole, whole-batch per-vector fallback after an eval
+// throw, self-check repair of corrupted lanes, and structural-circuit-fault
+// recovery.  Every test asserts bit-identical results against per-vector
+// sort(), so "graceful" always means "correct", never "mostly correct".
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "absort/netlist/transform.hpp"
+#include "absort/service/fault_injection.hpp"
+#include "absort/service/sort_service.hpp"
+#include "absort/sorters/registry.hpp"
+#include "absort/util/bitvec.hpp"
+#include "test_seed.hpp"
+
+namespace absort {
+namespace {
+
+using namespace std::chrono_literals;
+using service::FaultPlan;
+using service::FaultPlanOptions;
+using service::ServiceOptions;
+using service::SortResult;
+using service::SortService;
+using service::Status;
+
+/// The 0-1 self-check oracle exactly as the service applies it.
+bool self_check_passes(const BitVec& out, const BitVec& in) {
+  return out.is_sorted_ascending() && out.count_ones() == in.count_ones();
+}
+
+// ------------------------------------------------- part 1: the fault model
+
+TEST(FaultModel, EveryFaultEitherDetectedOrHarmlessAndRecoverable) {
+  for (const char* name : {"prefix", "mux-merger"}) {
+    for (const std::size_t n : {4u, 8u}) {
+      const auto sorter = sorters::make_sorter(name, n);
+      const auto circuit = sorter->build_circuit();
+      std::size_t faults_tried = 0, detected = 0;
+      for (std::size_t comp = 0; comp < circuit.num_components(); ++comp) {
+        for (const auto kind :
+             {netlist::FaultKind::StuckControl0, netlist::FaultKind::StuckControl1,
+              netlist::FaultKind::OutputsSwapped}) {
+          const netlist::Fault f{comp, kind};
+          if (!netlist::fault_applicable(circuit, f)) continue;
+          ++faults_tried;
+          bool fault_seen = false;
+          for (std::uint64_t v = 0; v < (std::uint64_t{1} << n); ++v) {
+            const auto in = BitVec::from_bits_of(v, n);
+            const auto expect = BitVec::sorted_with_ones(n, in.count_ones());
+            const auto out = netlist::eval_with_fault(circuit, in, f);
+            if (self_check_passes(out, in)) {
+              // The oracle is complete for 0-1 outputs: passing it must mean
+              // the output IS the sorted sequence, faulted hardware or not.
+              ASSERT_EQ(out, expect) << name << " n=" << n << " comp=" << comp
+                                     << " kind=" << static_cast<int>(kind) << " input=" << v;
+            } else {
+              fault_seen = true;
+              // Detected: the ladder re-evaluates cleanly and must recover.
+              ASSERT_EQ(circuit.eval(in), expect)
+                  << name << " n=" << n << " comp=" << comp << " input=" << v;
+            }
+          }
+          if (fault_seen) ++detected;
+        }
+      }
+      // The sweep must actually exercise the model: these circuits have
+      // applicable sites of every kind, and most single faults are visible
+      // on at least one of the 2^n inputs.
+      EXPECT_GT(faults_tried, 0u) << name << " n=" << n;
+      EXPECT_GT(detected, 0u) << name << " n=" << n;
+    }
+  }
+}
+
+// ----------------------------------------- part 2: the ladder in SortService
+
+/// Submits `count` seeded random requests, waits for all, and asserts every
+/// one came back Ok and bit-identical to per-vector sort().
+void expect_all_ok(SortService& svc, const char* sorter, std::size_t n, std::size_t count,
+                   Xoshiro256& rng) {
+  const auto ref = sorters::make_sorter(sorter, n);
+  std::vector<std::future<SortResult>> futs;
+  std::vector<BitVec> expects;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto in = workload::random_bits(rng, n);
+    expects.push_back(ref->sort(in));
+    futs.push_back(svc.submit(sorter, std::move(in)));
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto r = futs[i].get();
+    ASSERT_EQ(r.status, Status::Ok) << "request " << i;
+    ASSERT_EQ(r.output, expects[i]) << "request " << i;
+  }
+}
+
+TEST(ServiceFaults, StatusFailedHasAName) {
+  EXPECT_STREQ(service::to_string(Status::Failed), "failed");
+}
+
+TEST(ServiceFaults, CompileFailureRetriesThenSucceeds) {
+  ABSORT_SEEDED_RNG(rng, 101);
+  FaultPlanOptions fo;
+  fo.seed = rng_seed;
+  fo.compile_fail = 1.0;
+  fo.max_faults = 2;  // exactly the first two compile attempts fail
+  ServiceOptions so;
+  so.compile_attempts = 3;
+  so.compile_backoff = 1ms;  // exercise the backoff sleep without slowing CI
+  so.fault_plan = std::make_shared<FaultPlan>(fo);
+  SortService svc(so);
+
+  expect_all_ok(svc, "prefix", 16, 8, rng);
+  const auto st = svc.stats();
+  EXPECT_EQ(st.compiled, 1u);      // third attempt succeeded
+  EXPECT_EQ(st.retries, 2u);       // two retry sleeps
+  EXPECT_EQ(st.quarantined, 0u);
+  EXPECT_EQ(st.degraded, 0u);      // batch path healthy after compile
+  EXPECT_EQ(so.fault_plan->counters().compile_fails, 2u);
+}
+
+TEST(ServiceFaults, PersistentCompileFailureQuarantinesOntoPerVectorPath) {
+  ABSORT_SEEDED_RNG(rng, 102);
+  FaultPlanOptions fo;
+  fo.seed = rng_seed;
+  fo.compile_fail = 1.0;  // every attempt, forever
+  ServiceOptions so;
+  so.compile_attempts = 2;
+  so.compile_backoff = 0us;
+  so.fault_plan = std::make_shared<FaultPlan>(fo);
+  SortService svc(so);
+
+  expect_all_ok(svc, "prefix", 16, 12, rng);   // combinational fallback
+  expect_all_ok(svc, "fish", 16, 12, rng);     // model-B fallback (sort())
+  const auto st = svc.stats();
+  EXPECT_EQ(st.compiled, 0u);
+  EXPECT_EQ(st.quarantined, 2u);  // both keys
+  EXPECT_EQ(st.degraded, 24u);    // every request served per-vector
+  EXPECT_EQ(st.completed, 24u);
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_GE(st.retries, 2u);
+}
+
+TEST(ServiceFaults, EvalThrowFallsBackWholeBatchBitExact) {
+  ABSORT_SEEDED_RNG(rng, 103);
+  FaultPlanOptions fo;
+  fo.seed = rng_seed;
+  fo.eval_throw = 1.0;
+  fo.max_faults = 1;  // one poisoned batch, then healthy
+  ServiceOptions so;
+  so.quarantine_after = 5;
+  so.max_linger = 50ms;  // coalesce the burst into one batch
+  so.fault_plan = std::make_shared<FaultPlan>(fo);
+  SortService svc(so);
+
+  expect_all_ok(svc, "batcher", 16, 16, rng);
+  const auto st = svc.stats();
+  EXPECT_GE(st.degraded, 1u);  // the poisoned batch was repaired per-vector
+  EXPECT_EQ(st.quarantined, 0u);
+  EXPECT_EQ(st.completed, 16u);
+  EXPECT_EQ(so.fault_plan->counters().eval_throws, 1u);
+}
+
+TEST(ServiceFaults, CorruptedLanesDetectedBySelfCheckAndRepaired) {
+  ABSORT_SEEDED_RNG(rng, 104);
+  FaultPlanOptions fo;
+  fo.seed = rng_seed;
+  fo.corrupt = 1.0;  // every batch gets bit-flipped lanes
+  fo.corrupt_fraction = 0.5;
+  ServiceOptions so;
+  so.quarantine_after = 1000;  // keep the batch path engaged throughout
+  so.fault_plan = std::make_shared<FaultPlan>(fo);
+  SortService svc(so);
+  // Installing a corrupting plan must force the self-check on.
+  EXPECT_TRUE(svc.options().self_check);
+
+  expect_all_ok(svc, "mux-merger", 32, 32, rng);
+  const auto st = svc.stats();
+  EXPECT_GE(st.self_check_failed, 1u);
+  EXPECT_GE(st.degraded, 1u);              // corrupted lanes re-evaluated
+  EXPECT_EQ(st.completed, 32u);
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_GE(so.fault_plan->counters().corrupted_lanes, 1u);
+}
+
+TEST(ServiceFaults, StructuralCircuitFaultsOfEveryKindRecovered) {
+  ABSORT_SEEDED_RNG(rng, 105);
+  constexpr std::size_t kN = 16;
+  const char* names[] = {"prefix", "mux-merger", "batcher"};
+
+  // Premise check: across these circuits, every FaultKind has an applicable
+  // site (Mux21 controls in prefix/mux-merger, 2-output comparators in
+  // batcher), so the plan's coverage-first pick must fire all three.
+  std::array<bool, 3> applicable{};
+  for (const char* name : names) {
+    const auto circuit = sorters::make_sorter(name, kN)->build_circuit();
+    for (std::size_t i = 0; i < circuit.num_components(); ++i) {
+      for (std::size_t k = 0; k < 3; ++k) {
+        if (netlist::fault_applicable(circuit, {i, static_cast<netlist::FaultKind>(k)})) {
+          applicable[k] = true;
+        }
+      }
+    }
+  }
+  for (std::size_t k = 0; k < 3; ++k) ASSERT_TRUE(applicable[k]) << "FaultKind " << k;
+
+  FaultPlanOptions fo;
+  fo.seed = rng_seed;
+  fo.circuit_fault = 1.0;  // every combinational batch rides a faulted circuit
+  ServiceOptions so;
+  so.quarantine_after = 1000;
+  so.fault_plan = std::make_shared<FaultPlan>(fo);
+  SortService svc(so);
+
+  // Sequential blocking sorts: one micro-batch (and one fault pick) each.
+  std::size_t completed = 0;
+  for (std::size_t round = 0; round < 4; ++round) {
+    for (const char* name : names) {
+      const auto ref = sorters::make_sorter(name, kN);
+      const auto in = workload::random_bits(rng, kN);
+      const auto r = svc.sort(name, in);
+      ASSERT_EQ(r.status, Status::Ok) << name;
+      ASSERT_EQ(r.output, ref->sort(in)) << name;
+      ++completed;
+    }
+  }
+  const auto c = so.fault_plan->counters();
+  EXPECT_GE(c.circuit_faults, 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_GE(c.circuit_faults_by_kind[k], 1u) << "FaultKind " << k;
+  }
+  const auto st = svc.stats();
+  EXPECT_EQ(st.completed, completed);
+  EXPECT_EQ(st.failed, 0u);
+}
+
+TEST(ServiceFaults, QuarantineParoleRestoresBatchPath) {
+  ABSORT_SEEDED_RNG(rng, 106);
+  FaultPlanOptions fo;
+  fo.seed = rng_seed;
+  fo.eval_throw = 1.0;
+  fo.max_faults = 1;  // one strike's worth of chaos, then permanently healthy
+  ServiceOptions so;
+  so.quarantine_after = 1;  // first strike quarantines
+  so.probation = 1;         // ... for exactly one batch
+  so.max_linger = 0us;
+  so.fault_plan = std::make_shared<FaultPlan>(fo);
+  SortService svc(so);
+
+  // Sequential blocking sorts, one batch each.  Batch 1: injected throw ->
+  // strike -> quarantine (served per-vector).  Batch 2: parole expires on
+  // dispatch -> recompile -> healthy batch path for the rest.
+  const auto ref = sorters::make_sorter("batcher", 16);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const auto in = workload::random_bits(rng, 16);
+    const auto r = svc.sort("batcher", in);
+    ASSERT_EQ(r.status, Status::Ok) << "request " << i;
+    ASSERT_EQ(r.output, ref->sort(in)) << "request " << i;
+  }
+  const auto st = svc.stats();
+  EXPECT_EQ(st.quarantined, 1u);
+  EXPECT_EQ(st.compiled, 2u);  // once cold, once after parole
+  EXPECT_EQ(st.degraded, 1u);  // only the poisoned batch
+  EXPECT_EQ(st.completed, 6u);
+}
+
+TEST(ServiceFaults, ChaosScheduleEveryFutureResolvesBitExact) {
+  // The in-process version of `absort_cli serve --selftest --chaos`: full
+  // chaos schedule, mixed keys, and the strongest possible postcondition --
+  // every future resolves Ok with the exact per-vector answer.
+  ABSORT_SEEDED_RNG(rng, 107);
+  ServiceOptions so;
+  so.quarantine_after = 2;
+  so.probation = 3;
+  so.compile_backoff = 100us;
+  so.compile_backoff_cap = 2ms;
+  so.fault_plan = std::make_shared<FaultPlan>(FaultPlanOptions::chaos(rng_seed));
+  SortService svc(so);
+
+  for (const char* name : {"prefix", "mux-merger", "fish"}) {
+    expect_all_ok(svc, name, 16, 40, rng);
+  }
+  const auto st = svc.stats();
+  EXPECT_EQ(st.completed, 120u);
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_EQ(st.unrecoverable, 0u);
+  EXPECT_GE(so.fault_plan->counters().total(), 4u);  // chaos actually ran
+}
+
+}  // namespace
+}  // namespace absort

@@ -16,6 +16,8 @@
 #include "absort/sorters/registry.hpp"
 #include "absort/util/rng.hpp"
 
+#include "test_seed.hpp"
+
 namespace absort {
 namespace {
 
@@ -28,7 +30,7 @@ using service::Status;
 // ---------------------------------------------------------------- registry
 
 TEST(Registry, EveryEntryConstructsAndSorts) {
-  Xoshiro256 rng(3);
+  ABSORT_SEEDED_RNG(rng, 3);
   for (const auto& e : sorters::registry()) {
     const auto sorter = e.factory(16);
     ASSERT_NE(sorter, nullptr) << e.name;
@@ -94,11 +96,15 @@ TEST(SortService, MultiProducerBitIdenticalToPerVectorSort) {
 
   SortService svc;
   constexpr std::size_t kProducers = 4, kRequests = 100, kWindow = 8;
+  // Producers derive per-thread seeds from one replayable base; the trace
+  // lives on this thread, where the mismatch count is actually asserted.
+  const std::uint64_t base_seed = testing::test_seed(41);
+  SCOPED_TRACE(::testing::Message() << "replay: ABSORT_TEST_SEED=" << base_seed);
   std::atomic<std::size_t> mismatches{0};
   std::vector<std::thread> producers;
   for (std::size_t p = 0; p < kProducers; ++p) {
     producers.emplace_back([&, p] {
-      Xoshiro256 rng(41 + p);
+      Xoshiro256 rng(base_seed + p);
       struct InFlight {
         std::future<SortResult> fut;
         BitVec expect;
@@ -154,7 +160,7 @@ TEST(SortService, UnknownSorterThrowsImmediately) {
 
 TEST(SortService, BadSizeForSorterFailsThroughFuture) {
   SortService svc;
-  Xoshiro256 rng(5);
+  ABSORT_SEEDED_RNG(rng, 5);
   // fish requires a power-of-two n >= 4, so the factory throws at n = 7 --
   // delivered through the future, not the submit call.
   auto fut = svc.submit("fish", workload::random_bits(rng, 7));
@@ -166,7 +172,7 @@ TEST(SortService, BadSizeForSorterFailsThroughFuture) {
 
 TEST(SortService, ExpiredDeadlineCancelsWithoutEvaluating) {
   SortService svc;
-  Xoshiro256 rng(7);
+  ABSORT_SEEDED_RNG(rng, 7);
   const auto in = workload::random_bits(rng, 32);
   auto late = svc.submit("prefix", in, SortService::Clock::now() - 1ms);
   const auto r = late.get();
@@ -185,7 +191,7 @@ TEST(SortService, StopDrainsEverythingAccepted) {
   ServiceOptions so;
   so.max_linger = 0us;  // drain promptly
   SortService svc(so);
-  Xoshiro256 rng(11);
+  ABSORT_SEEDED_RNG(rng, 11);
   std::vector<std::future<SortResult>> futs;
   for (int i = 0; i < 64; ++i) {
     futs.push_back(svc.submit("prefix", workload::random_bits(rng, 64)));
@@ -220,7 +226,7 @@ TEST(SortService, RejectPolicyFailsFastWithQueueFull) {
   so.overflow = ServiceOptions::Overflow::Reject;
   so.max_linger = 500ms;
   SortService svc(so);
-  Xoshiro256 rng(13);
+  ABSORT_SEEDED_RNG(rng, 13);
 
   auto lingering = svc.submit("prefix", workload::random_bits(rng, 32));
   std::this_thread::sleep_for(50ms);  // dispatcher extracts it, starts lingering
@@ -240,7 +246,7 @@ TEST(SortService, BlockPolicyWaitsForSpace) {
   so.overflow = ServiceOptions::Overflow::Block;
   so.max_linger = 100ms;
   SortService svc(so);
-  Xoshiro256 rng(17);
+  ABSORT_SEEDED_RNG(rng, 17);
 
   auto lingering = svc.submit("prefix", workload::random_bits(rng, 32));
   std::this_thread::sleep_for(30ms);
@@ -260,7 +266,7 @@ TEST(SortService, BlockPolicyRespectsDeadlineWhileWaiting) {
   so.overflow = ServiceOptions::Overflow::Block;
   so.max_linger = 500ms;
   SortService svc(so);
-  Xoshiro256 rng(19);
+  ABSORT_SEEDED_RNG(rng, 19);
 
   auto lingering = svc.submit("prefix", workload::random_bits(rng, 32));
   std::this_thread::sleep_for(50ms);
@@ -281,7 +287,7 @@ TEST(SortService, LingerCoalescesSameKeyRequests) {
   ServiceOptions so;
   so.max_linger = 200ms;  // plenty to catch a burst submitted back to back
   SortService svc(so);
-  Xoshiro256 rng(23);
+  ABSORT_SEEDED_RNG(rng, 23);
   std::vector<std::future<SortResult>> futs;
   constexpr std::size_t kBurst = 32;
   for (std::size_t i = 0; i < kBurst; ++i) {
@@ -301,7 +307,7 @@ TEST(SortService, MaxBatchLanesOneDisablesCoalescing) {
   so.max_batch_lanes = 1;
   so.max_linger = 0us;
   SortService svc(so);
-  Xoshiro256 rng(29);
+  ABSORT_SEEDED_RNG(rng, 29);
   std::vector<std::future<SortResult>> futs;
   for (int i = 0; i < 16; ++i) {
     futs.push_back(svc.submit("prefix", workload::random_bits(rng, 32)));

@@ -28,6 +28,8 @@
 #include "absort/sorters/prefix_sorter.hpp"
 #include "absort/util/rng.hpp"
 
+#include "test_seed.hpp"
+
 namespace absort::sorters {
 namespace {
 
@@ -59,7 +61,7 @@ class SorterContractTest
 TEST_P(SorterContractTest, P1_OutputIsCanonicalSortedForm) {
   const auto s = sorter();
   const std::size_t n = s->size();
-  Xoshiro256 rng(n + 1);
+  ABSORT_SEEDED_RNG(rng, n + 1);
   for (int rep = 0; rep < 40; ++rep) {
     const auto in = workload::random_bits(rng, n);
     EXPECT_EQ(s->sort(in), BitVec::sorted_with_ones(n, in.count_ones()));
@@ -74,7 +76,7 @@ TEST_P(SorterContractTest, P1_OutputIsCanonicalSortedForm) {
 TEST_P(SorterContractTest, P2_RouteIsPermutation) {
   const auto s = sorter();
   const std::size_t n = s->size();
-  Xoshiro256 rng(n + 2);
+  ABSORT_SEEDED_RNG(rng, n + 2);
   for (int rep = 0; rep < 25; ++rep) {
     const auto perm = s->route(workload::random_bits(rng, n));
     std::vector<bool> seen(n, false);
@@ -98,7 +100,7 @@ TEST_P(SorterContractTest, P3_Idempotence) {
 TEST_P(SorterContractTest, P4_MonotoneUnderBitRaise) {
   const auto s = sorter();
   const std::size_t n = s->size();
-  Xoshiro256 rng(n + 3);
+  ABSORT_SEEDED_RNG(rng, n + 3);
   for (int rep = 0; rep < 10; ++rep) {
     auto in = workload::random_bits(rng, n);
     const auto base = s->sort(in);
@@ -118,7 +120,7 @@ TEST_P(SorterContractTest, P5_NetlistAgreesWithSimulation) {
   const std::size_t n = s->size();
   if (n > 256) GTEST_SKIP() << "netlist too large for this sweep";
   const auto c = s->build_circuit();
-  Xoshiro256 rng(n + 4);
+  ABSORT_SEEDED_RNG(rng, n + 4);
   for (int rep = 0; rep < 25; ++rep) {
     const auto in = workload::random_bits(rng, n);
     EXPECT_EQ(c.eval(in), s->sort(in));

@@ -9,6 +9,8 @@
 #include "absort/util/math.hpp"
 #include "absort/util/rng.hpp"
 
+#include "test_seed.hpp"
+
 namespace absort {
 namespace {
 
@@ -103,14 +105,14 @@ TEST(Rng, Deterministic) {
 }
 
 TEST(Rng, BelowInRange) {
-  Xoshiro256 rng(1);
+  ABSORT_SEEDED_RNG(rng, 1);
   for (int i = 0; i < 1000; ++i) {
     EXPECT_LT(rng.below(7), 7u);
   }
 }
 
 TEST(Workload, RandomBitsWithOnes) {
-  Xoshiro256 rng(7);
+  ABSORT_SEEDED_RNG(rng, 7);
   for (std::size_t ones = 0; ones <= 16; ++ones) {
     const auto v = workload::random_bits_with_ones(rng, 16, ones);
     EXPECT_EQ(v.size(), 16u);
@@ -119,7 +121,7 @@ TEST(Workload, RandomBitsWithOnes) {
 }
 
 TEST(Workload, RandomPermutationIsPermutation) {
-  Xoshiro256 rng(9);
+  ABSORT_SEEDED_RNG(rng, 9);
   const auto p = workload::random_permutation(rng, 64);
   std::set<std::size_t> seen(p.begin(), p.end());
   EXPECT_EQ(seen.size(), 64u);
@@ -128,7 +130,7 @@ TEST(Workload, RandomPermutationIsPermutation) {
 }
 
 TEST(Workload, BisortedGenerator) {
-  Xoshiro256 rng(11);
+  ABSORT_SEEDED_RNG(rng, 11);
   for (int i = 0; i < 50; ++i) {
     const auto v = workload::random_bisorted(rng, 16);
     EXPECT_TRUE(v.slice(0, 8).is_sorted_ascending());
@@ -137,7 +139,7 @@ TEST(Workload, BisortedGenerator) {
 }
 
 TEST(Workload, KSortedGenerator) {
-  Xoshiro256 rng(13);
+  ABSORT_SEEDED_RNG(rng, 13);
   for (int i = 0; i < 50; ++i) {
     const auto v = workload::random_k_sorted(rng, 16, 4);
     for (std::size_t b = 0; b < 4; ++b) {
@@ -147,7 +149,7 @@ TEST(Workload, KSortedGenerator) {
 }
 
 TEST(Workload, CleanKSortedGenerator) {
-  Xoshiro256 rng(17);
+  ABSORT_SEEDED_RNG(rng, 17);
   for (int i = 0; i < 50; ++i) {
     const auto v = workload::random_clean_k_sorted(rng, 16, 4);
     for (std::size_t b = 0; b < 4; ++b) {

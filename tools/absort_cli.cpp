@@ -18,11 +18,19 @@
 //   absort_cli activity <network> <n>      steering-element activity on random inputs
 //   absort_cli optimize <network> <n>      optimizer savings report
 //   absort_cli table2 <n>                  the paper's Table II at size n
-//   absort_cli serve --selftest [--stats] [producers] [requests]
+//   absort_cli serve --selftest [--stats] [--chaos <seed>] [producers] [requests]
 //                                          multi-producer traffic through the
 //                                          micro-batching SortService, verified
 //                                          bit-for-bit against per-vector sort();
-//                                          --stats dumps the ServiceStats JSON
+//                                          --stats dumps the ServiceStats JSON;
+//                                          --chaos <seed> runs the same traffic
+//                                          under a seeded FaultPlan injecting
+//                                          compile/eval/latency faults, every
+//                                          structural FaultKind, and corrupted
+//                                          output lanes -- PASS requires every
+//                                          future to resolve, every Ok result
+//                                          bit-identical, and every enabled
+//                                          fault class to have fired
 //
 // Networks: everything in sorters::registry() -- see `absort_cli list`.
 
@@ -47,6 +55,7 @@
 #include "absort/netlist/analyze.hpp"
 #include "absort/netlist/serialize.hpp"
 #include "absort/netlist/transform.hpp"
+#include "absort/service/fault_injection.hpp"
 #include "absort/service/sort_service.hpp"
 #include "absort/sim/fish_hardware.hpp"
 #include "absort/sorters/columnsort.hpp"
@@ -78,7 +87,7 @@ int usage(const char* argv0) {
                "  %s activity <network> <n>\n"
                "  %s optimize <network> <n>\n"
                "  %s table2 <n>\n"
-               "  %s serve --selftest [--stats] [producers] [requests]\n",
+               "  %s serve --selftest [--stats] [--chaos <seed>] [producers] [requests]\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
                argv0);
   return 1;
@@ -318,7 +327,16 @@ int cmd_optimize(const std::string& name, std::size_t n) {
 // (sorter, n) keys with a bounded in-flight window, and verify every answer
 // bit-for-bit against per-vector sort().  Exercises the whole serving path:
 // coalescing, per-key engine caching, deadlines, and drain-then-stop.
-int cmd_serve(bool selftest, bool stats, std::size_t producers, std::size_t requests) {
+//
+// With --chaos <seed>, the same traffic runs under a seeded FaultPlan (all
+// injection sites enabled; see fault_injection.hpp): PASS then additionally
+// requires that no request was lost or answered incorrectly while every
+// enabled fault class -- compile, eval, latency, all three structural
+// FaultKinds, corrupted lanes -- actually fired, and that the degradation
+// ladder (retry / quarantine / per-vector repair) left no unrecoverable
+// request behind.
+int cmd_serve(bool selftest, bool stats, std::size_t producers, std::size_t requests,
+              bool chaos, std::uint64_t chaos_seed) {
   if (!selftest) {
     std::fprintf(stderr, "serve: only --selftest traffic is implemented; pass --selftest\n");
     return 1;
@@ -334,11 +352,21 @@ int cmd_serve(bool selftest, bool stats, std::size_t producers, std::size_t requ
 
   service::ServiceOptions so;
   so.max_linger = std::chrono::microseconds(300);
+  std::shared_ptr<service::FaultPlan> plan;
+  if (chaos) {
+    plan = std::make_shared<service::FaultPlan>(service::FaultPlanOptions::chaos(chaos_seed));
+    so.fault_plan = plan;  // forces the output self-check on
+    so.quarantine_after = 2;
+    so.probation = 3;  // parole quickly so the batch path keeps re-engaging
+    so.compile_backoff = std::chrono::microseconds(100);
+    so.compile_backoff_cap = std::chrono::microseconds(2000);
+  }
   service::SortService svc(so);
 
   constexpr std::size_t kWindow = 8;  ///< in-flight requests per producer
   std::atomic<std::size_t> mismatches{0};
   std::atomic<std::size_t> ok{0};
+  std::atomic<std::size_t> failed{0};
   std::vector<std::thread> threads;
   threads.reserve(producers);
   for (std::size_t p = 0; p < producers; ++p) {
@@ -352,8 +380,10 @@ int cmd_serve(bool selftest, bool stats, std::size_t producers, std::size_t requ
       std::vector<InFlight> window;
       const auto settle = [&](InFlight f) {
         const auto res = f.future.get();
-        if (res.status != service::Status::Ok ||
-            res.output != refs[f.key]->sort(f.input)) {
+        if (res.status == service::Status::Failed) {
+          failed.fetch_add(1);
+        } else if (res.status != service::Status::Ok ||
+                   res.output != refs[f.key]->sort(f.input)) {
           mismatches.fetch_add(1);
         } else {
           ok.fetch_add(1);
@@ -384,20 +414,52 @@ int cmd_serve(bool selftest, bool stats, std::size_t producers, std::size_t requ
   const auto after_stop = svc.submit("prefix", BitVec(64)).get();
 
   const auto st = svc.stats();
-  std::printf("serve selftest: %zu producers x %zu requests, %zu ok, %zu mismatches\n",
-              producers, requests, ok.load(), mismatches.load());
+  std::printf("serve selftest%s: %zu producers x %zu requests, %zu ok, %zu failed, "
+              "%zu mismatches\n",
+              chaos ? " [chaos]" : "", producers, requests, ok.load(), failed.load(),
+              mismatches.load());
   std::printf("expired probe: %s   post-stop probe: %s\n",
               service::to_string(expired.status), service::to_string(after_stop.status));
   std::printf("batches %llu  mean batch %.1f  compiled engines %llu  p99 queue wait %llu us\n",
               static_cast<unsigned long long>(st.batches), st.batch_size.mean(),
               static_cast<unsigned long long>(st.compiled),
               static_cast<unsigned long long>(st.queue_wait_us.percentile(0.99)));
+
+  bool covered = true;
+  if (chaos) {
+    const auto c = plan->counters();
+    covered = c.covers(plan->options());
+    std::printf("chaos seed %llu: %llu faults injected (compile %llu, eval %llu, "
+                "latency %llu, circuit %llu [sc0 %llu, sc1 %llu, swap %llu], "
+                "corrupted lanes %llu)%s\n",
+                static_cast<unsigned long long>(chaos_seed),
+                static_cast<unsigned long long>(c.total()),
+                static_cast<unsigned long long>(c.compile_fails),
+                static_cast<unsigned long long>(c.eval_throws),
+                static_cast<unsigned long long>(c.latency_spikes),
+                static_cast<unsigned long long>(c.circuit_faults),
+                static_cast<unsigned long long>(c.circuit_faults_by_kind[0]),
+                static_cast<unsigned long long>(c.circuit_faults_by_kind[1]),
+                static_cast<unsigned long long>(c.circuit_faults_by_kind[2]),
+                static_cast<unsigned long long>(c.corrupted_lanes),
+                covered ? "" : "  [NOT ALL FAULT CLASSES FIRED]");
+    std::printf("ladder: retries %llu  quarantined %llu  degraded %llu  "
+                "self-check misses %llu  unrecoverable %llu\n",
+                static_cast<unsigned long long>(st.retries),
+                static_cast<unsigned long long>(st.quarantined),
+                static_cast<unsigned long long>(st.degraded),
+                static_cast<unsigned long long>(st.self_check_failed),
+                static_cast<unsigned long long>(st.unrecoverable));
+  }
   if (stats) std::printf("%s\n", st.to_json().c_str());
 
-  const bool pass = mismatches.load() == 0 &&
+  // Every submitted request must have resolved to a terminal state; under
+  // chaos the per-vector fallback keeps even injected failures recoverable,
+  // so Status::Failed answers also fail the self-test.
+  const bool pass = mismatches.load() == 0 && failed.load() == 0 &&
                     ok.load() == producers * requests &&
                     expired.status == service::Status::Expired &&
-                    after_stop.status == service::Status::Stopped;
+                    after_stop.status == service::Status::Stopped && covered;
   std::printf("serve selftest: %s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 2;
 }
@@ -423,13 +485,25 @@ int main(int argc, char** argv) {
       return cmd_table2(std::strtoull(argv[2], nullptr, 10));
     }
     if (cmd == "serve") {
-      bool selftest = false, stats = false;
+      bool selftest = false, stats = false, chaos = false;
+      std::uint64_t chaos_seed = 1;
       std::vector<const char*> pos;
       for (int i = 2; i < argc; ++i) {
         if (std::strcmp(argv[i], "--selftest") == 0) {
           selftest = true;
         } else if (std::strcmp(argv[i], "--stats") == 0) {
           stats = true;
+        } else if (std::strcmp(argv[i], "--chaos") == 0) {
+          chaos = true;
+          // Optional seed: consume the next argument only if it is numeric.
+          if (i + 1 < argc) {
+            char* end = nullptr;
+            const auto v = std::strtoull(argv[i + 1], &end, 0);
+            if (end != argv[i + 1] && *end == '\0') {
+              chaos_seed = v;
+              ++i;
+            }
+          }
         } else {
           pos.push_back(argv[i]);
         }
@@ -439,7 +513,7 @@ int main(int argc, char** argv) {
       const std::size_t requests =
           pos.size() > 1 ? std::strtoull(pos[1], nullptr, 10) : 200;
       return cmd_serve(selftest, stats, std::max<std::size_t>(1, producers),
-                       std::max<std::size_t>(1, requests));
+                       std::max<std::size_t>(1, requests), chaos, chaos_seed);
     }
     if (argc < 4) return usage(argv[0]);
     const std::string name = argv[2];
