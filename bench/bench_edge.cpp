@@ -1,0 +1,376 @@
+// E-E1 -- end-to-end SLO numbers for the network serving edge: latency
+// percentiles and goodput through the full path (framing codec -> epoll
+// reactor -> SortService micro-batching -> waiter pool -> framing codec),
+// measured two ways:
+//
+//   * closed loop: C concurrent clients, each with one connection and one
+//     outstanding synchronous request -- the classic fixed-concurrency
+//     benchmark.  Latency is the request round trip, so a slow server slows
+//     the *offered* load down with it: closed-loop percentiles flatter the
+//     server under overload.
+//
+//   * open loop: one pipelined connection, Poisson arrivals at a fixed
+//     offered rate lambda, a heavy-tailed mixed-n request population, and a
+//     spread of per-request deadline budgets.  Arrivals are scheduled on an
+//     absolute clock and latency is measured from the *scheduled* arrival
+//     time, not the actual send -- when the sender falls behind, the queueing
+//     delay stays in the number instead of silently vanishing (the
+//     coordinated-omission correction).  Goodput counts Ok responses only;
+//     Shedded and Expired are the server refusing work it could not serve in
+//     time, which is the designed overload behavior, not noise.
+//
+// Percentiles (p50/p99/p999) are exact order statistics of the recorded
+// latency vector -- no histogram binning on the reporting path.
+//
+// Before any timing, a validation pass drives the same vectors through the
+// edge and through direct SortService::submit on the same service instance
+// and insists the answers are bit-identical, so the numbers below are for a
+// path that provably serves correct permutations.
+//
+// Writes BENCH_edge.json; --quick runs a seconds-scale smoke subset for
+// ctest (no JSON, numbers are not steady-state).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "absort/edge/edge_client.hpp"
+#include "absort/edge/edge_server.hpp"
+#include "absort/service/sort_service.hpp"
+#include "absort/sorters/registry.hpp"
+#include "absort/util/rng.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace absort;
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kHost = "127.0.0.1";
+
+double uniform01(Xoshiro256& rng) { return static_cast<double>(rng() >> 11) * 0x1.0p-53; }
+
+double us_since(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+/// Exact order-statistic percentile of an (unsorted) latency vector.
+struct Percentiles {
+  double p50 = 0, p99 = 0, p999 = 0;
+};
+
+Percentiles exact_percentiles(std::vector<double>& lat) {
+  Percentiles p;
+  if (lat.empty()) return p;
+  std::sort(lat.begin(), lat.end());
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(lat.size() - 1));
+    return lat[idx];
+  };
+  p.p50 = at(0.50);
+  p.p99 = at(0.99);
+  p.p999 = at(0.999);
+  return p;
+}
+
+/// The heavy-tailed request population: mostly small sorts, a thin tail of
+/// large ones (the tail dominates service time, as heavy tails do).
+struct Draw {
+  const char* sorter;
+  std::size_t n;
+  std::uint32_t deadline_us;
+};
+
+Draw draw_request(Xoshiro256& rng, bool with_deadlines) {
+  Draw d{};
+  const double u = uniform01(rng);
+  if (u < 0.70) {
+    d.sorter = "prefix";
+    d.n = 64;
+  } else if (u < 0.90) {
+    d.sorter = "mux-merger";
+    d.n = 256;
+  } else if (u < 0.98) {
+    d.sorter = "mux-merger";
+    d.n = 1024;
+  } else {
+    d.sorter = "batcher";
+    d.n = 32;
+  }
+  if (with_deadlines) {
+    // Deadline spread: half the traffic is best-effort (no deadline), the
+    // rest splits between a generous and a tight budget.
+    const double v = uniform01(rng);
+    d.deadline_us = v < 0.5 ? 0 : (v < 0.8 ? 20000 : 2000);
+  }
+  return d;
+}
+
+/// One server stack for a scenario.  Reject overflow: an overloaded edge
+/// sheds explicitly instead of buffering without bound (the SLO-serving
+/// configuration from edge_server.hpp).
+struct Stack {
+  service::SortService svc;
+  edge::EdgeServer server;
+
+  explicit Stack()
+      : svc([] {
+          service::ServiceOptions so;
+          so.max_linger = std::chrono::microseconds(200);
+          so.overflow = service::ServiceOptions::Overflow::Reject;
+          return so;
+        }()),
+        server(svc, [] {
+          edge::EdgeOptions eo;
+          eo.max_inflight_per_conn = 4096;
+          return eo;
+        }()) {
+    server.start();
+  }
+};
+
+/// Validation pass: the same inputs through the edge and through direct
+/// SortService::submit on the same service; every pair must be bit-identical.
+bool validate(Stack& stack, std::size_t reps) {
+  Xoshiro256 r2(0x7A11D);
+  edge::EdgeClient client;
+  client.connect(kHost, stack.server.port());
+  for (std::size_t i = 0; i < reps; ++i) {
+    const auto d = draw_request(r2, /*with_deadlines=*/false);
+    const auto in = workload::random_bits(r2, d.n);
+    const auto via_edge = client.sort(d.sorter, in);
+    const auto direct = stack.svc.submit(d.sorter, in).get();
+    if (via_edge.status != edge::WireStatus::Ok ||
+        direct.status != service::Status::Ok || via_edge.output != direct.output) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct ClosedResult {
+  std::size_t clients = 0;
+  std::size_t requests = 0;  ///< total Ok responses
+  double goodput_rps = 0;
+  Percentiles lat;
+};
+
+/// Closed loop: `clients` threads, one synchronous request in flight each.
+ClosedResult run_closed(Stack& stack, std::size_t clients, std::size_t per_client) {
+  std::vector<std::vector<double>> lats(clients);
+  std::vector<std::thread> threads;
+  std::atomic<std::size_t> ok{0};
+  const auto t0 = Clock::now();
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Xoshiro256 rng(0xC105ED ^ (c * 0x9E37));
+      edge::EdgeClient client;
+      client.connect(kHost, stack.server.port());
+      lats[c].reserve(per_client);
+      for (std::size_t i = 0; i < per_client; ++i) {
+        const auto d = draw_request(rng, /*with_deadlines=*/false);
+        const auto in = workload::random_bits(rng, d.n);
+        const auto sent = Clock::now();
+        const auto resp = client.sort(d.sorter, in);
+        if (resp.status == edge::WireStatus::Ok) {
+          lats[c].push_back(us_since(sent, Clock::now()));
+          ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double secs = us_since(t0, Clock::now()) / 1e6;
+
+  ClosedResult res;
+  res.clients = clients;
+  res.requests = ok.load();
+  res.goodput_rps = static_cast<double>(res.requests) / secs;
+  std::vector<double> all;
+  for (auto& v : lats) all.insert(all.end(), v.begin(), v.end());
+  res.lat = exact_percentiles(all);
+  return res;
+}
+
+struct OpenResult {
+  double offered_rps = 0;
+  std::size_t scheduled = 0;
+  std::size_t ok = 0, shedded = 0, expired = 0, other = 0;
+  double goodput_rps = 0;
+  double duration_s = 0;
+  Percentiles lat;  ///< Ok responses only, measured from scheduled arrival
+};
+
+/// Open loop: Poisson arrivals at `offered_rps` on one pipelined connection.
+/// The sender never waits for responses; a receiver thread matches them by
+/// id.  Latency for each Ok response = completion - *scheduled* arrival.
+OpenResult run_open(Stack& stack, double offered_rps, std::size_t total,
+                    bool with_deadlines) {
+  edge::EdgeClient client;
+  client.connect(kHost, stack.server.port());
+
+  std::mutex m;
+  std::map<std::uint64_t, Clock::time_point> scheduled_at;  // id -> scheduled arrival
+
+  OpenResult res;
+  res.offered_rps = offered_rps;
+  res.scheduled = total;
+
+  std::vector<double> lats;
+  lats.reserve(total);
+  std::thread receiver([&] {
+    edge::Response resp;
+    std::size_t got = 0;
+    while (got < total && client.recv(resp)) {
+      const auto done = Clock::now();
+      ++got;
+      Clock::time_point sched;
+      {
+        std::lock_guard lk(m);
+        const auto it = scheduled_at.find(resp.id);
+        if (it == scheduled_at.end()) continue;  // unreachable: ids are ours
+        sched = it->second;
+        scheduled_at.erase(it);
+      }
+      switch (resp.status) {
+        case edge::WireStatus::Ok:
+          ++res.ok;
+          lats.push_back(us_since(sched, done));
+          break;
+        case edge::WireStatus::Shedded:
+          ++res.shedded;
+          break;
+        case edge::WireStatus::Expired:
+          ++res.expired;
+          break;
+        default:
+          ++res.other;
+          break;
+      }
+    }
+  });
+
+  Xoshiro256 rng(0x09E41009);
+  const auto t0 = Clock::now();
+  auto next = t0;
+  for (std::size_t i = 0; i < total; ++i) {
+    // Exponential inter-arrival on an absolute schedule: sleep_until keeps
+    // the offered rate independent of how long the sends themselves take.
+    const double gap_us = -std::log(1.0 - uniform01(rng)) * 1e6 / offered_rps;
+    next += std::chrono::microseconds(static_cast<std::int64_t>(gap_us));
+    std::this_thread::sleep_until(next);
+    const auto d = draw_request(rng, with_deadlines);
+    const auto in = workload::random_bits(rng, d.n);
+    // Latency clock starts at the scheduled arrival `next`, even if this
+    // send is late (coordinated-omission correction).
+    edge::Request req;
+    req.type = edge::MessageType::Sort;
+    req.id = static_cast<std::uint64_t>(i) + 1'000'000;
+    req.deadline_us = d.deadline_us;
+    req.sorter = d.sorter;
+    req.input = in;
+    {
+      std::lock_guard lk(m);
+      scheduled_at.emplace(req.id, next);
+    }
+    client.send(req);
+  }
+  receiver.join();
+  res.duration_s = us_since(t0, Clock::now()) / 1e6;
+  res.goodput_rps = static_cast<double>(res.ok) / res.duration_s;
+  res.lat = exact_percentiles(lats);
+  return res;
+}
+
+void report(bool quick) {
+  {
+    Stack stack;
+    if (!validate(stack, quick ? 32 : 200)) {
+      std::fprintf(stderr, "E-E1: edge vs direct submit MISMATCH -- aborting\n");
+      std::exit(2);
+    }
+    std::printf("validation: edge responses bit-identical to direct SortService::submit\n");
+  }
+
+  absort::bench::heading("E-E1a: closed loop (fixed concurrency, mixed-n population)");
+  std::printf("%7s %9s %12s %10s %10s %10s\n", "clients", "ok", "goodput r/s", "p50 us",
+              "p99 us", "p999 us");
+  std::vector<ClosedResult> closed;
+  const std::size_t client_counts[] = {1, 8, 16};
+  for (const std::size_t c : client_counts) {
+    if (quick && c > 8) continue;
+    Stack stack;
+    const std::size_t per_client = quick ? 60 : 1500;
+    const auto r = run_closed(stack, c, per_client);
+    closed.push_back(r);
+    std::printf("%7zu %9zu %12.0f %10.0f %10.0f %10.0f\n", r.clients, r.requests,
+                r.goodput_rps, r.lat.p50, r.lat.p99, r.lat.p999);
+  }
+
+  absort::bench::heading(
+      "E-E1b: open loop (Poisson arrivals, heavy-tailed n, deadline spread)");
+  std::printf("%11s %9s %7s %7s %7s %12s %10s %10s %10s\n", "offered r/s", "sched", "ok",
+              "shed", "expired", "goodput r/s", "p50 us", "p99 us", "p999 us");
+  std::vector<OpenResult> open;
+  const double rates[] = {500, 2000, 8000};
+  for (const double rate : rates) {
+    if (quick && rate > 500) continue;
+    Stack stack;
+    const auto total = static_cast<std::size_t>(quick ? rate * 0.5 : rate * 2.0);
+    const auto r = run_open(stack, rate, total, /*with_deadlines=*/true);
+    open.push_back(r);
+    std::printf("%11.0f %9zu %7zu %7zu %7zu %12.0f %10.0f %10.0f %10.0f\n", r.offered_rps,
+                r.scheduled, r.ok, r.shedded, r.expired, r.goodput_rps, r.lat.p50,
+                r.lat.p99, r.lat.p999);
+  }
+
+  if (quick) return;  // smoke mode: no JSON, numbers are not steady-state
+
+  if (FILE* f = std::fopen("BENCH_edge.json", "w")) {
+    std::fprintf(f, "{\n  \"benchmark\": \"edge_slo\",\n  \"closed_loop\": [\n");
+    for (std::size_t i = 0; i < closed.size(); ++i) {
+      const auto& r = closed[i];
+      std::fprintf(f,
+                   "    {\"clients\": %zu, \"ok\": %zu, \"goodput_rps\": %.1f, "
+                   "\"p50_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f}%s\n",
+                   r.clients, r.requests, r.goodput_rps, r.lat.p50, r.lat.p99, r.lat.p999,
+                   i + 1 < closed.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"open_loop\": [\n");
+    for (std::size_t i = 0; i < open.size(); ++i) {
+      const auto& r = open[i];
+      std::fprintf(f,
+                   "    {\"offered_rps\": %.0f, \"scheduled\": %zu, \"ok\": %zu, "
+                   "\"shedded\": %zu, \"expired\": %zu, \"goodput_rps\": %.1f, "
+                   "\"p50_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f, "
+                   "\"duration_s\": %.2f}%s\n",
+                   r.offered_rps, r.scheduled, r.ok, r.shedded, r.expired, r.goodput_rps,
+                   r.lat.p50, r.lat.p99, r.lat.p999, r.duration_s,
+                   i + 1 < open.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_edge.json\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      report(/*quick=*/true);
+      return 0;
+    }
+  }
+  report(/*quick=*/false);
+  return 0;
+}

@@ -1,0 +1,155 @@
+#include "absort/edge/edge_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace absort::edge {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+EdgeClient::~EdgeClient() { close(); }
+
+EdgeClient::EdgeClient(EdgeClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      inbuf_(std::move(other.inbuf_)),
+      next_id_(other.next_id_.load()) {}
+
+EdgeClient& EdgeClient::operator=(EdgeClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    inbuf_ = std::move(other.inbuf_);
+    next_id_.store(other.next_id_.load());
+  }
+  return *this;
+}
+
+void EdgeClient::connect(const std::string& host, std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("edge client: socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::system_error(EINVAL, std::generic_category(), "edge client: bad address");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = err;
+    throw_errno("edge client: connect");
+  }
+  int one = 1;
+  (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  inbuf_.clear();
+}
+
+void EdgeClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void EdgeClient::write_all(const std::uint8_t* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t wrote = ::write(fd_, data + sent, len - sent);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("edge client: write");
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+}
+
+void EdgeClient::send(const Request& req) {
+  std::vector<std::uint8_t> bytes;
+  encode_request(req, bytes);
+  std::lock_guard lk(send_m_);
+  write_all(bytes.data(), bytes.size());
+}
+
+std::uint64_t EdgeClient::send_sort(std::string_view sorter, const BitVec& input,
+                                    std::uint32_t deadline_us) {
+  Request req;
+  req.type = MessageType::Sort;
+  req.id = next_id();
+  req.deadline_us = deadline_us;
+  req.sorter = std::string(sorter);
+  req.input = input;
+  send(req);
+  return req.id;
+}
+
+void EdgeClient::send_raw(const std::vector<std::uint8_t>& bytes) {
+  std::lock_guard lk(send_m_);
+  write_all(bytes.data(), bytes.size());
+}
+
+bool EdgeClient::recv(Response& out) {
+  for (;;) {
+    const auto res = decode_response(inbuf_, out);
+    if (res.error == DecodeError::None) {
+      inbuf_.erase(inbuf_.begin(), inbuf_.begin() + static_cast<std::ptrdiff_t>(res.consumed));
+      return true;
+    }
+    if (res.error != DecodeError::NeedMore) {
+      throw std::runtime_error(std::string("edge client: malformed response: ") +
+                               to_string(res.error));
+    }
+    std::uint8_t chunk[16384];
+    const ssize_t got = ::read(fd_, chunk, sizeof chunk);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("edge client: read");
+    }
+    if (got == 0) {
+      if (!inbuf_.empty()) throw std::runtime_error("edge client: truncated response stream");
+      return false;  // orderly EOF
+    }
+    inbuf_.insert(inbuf_.end(), chunk, chunk + got);
+  }
+}
+
+Response EdgeClient::sort(std::string_view sorter, const BitVec& input,
+                          std::uint32_t deadline_us) {
+  const std::uint64_t id = send_sort(sorter, input, deadline_us);
+  Response resp;
+  if (!recv(resp)) throw std::runtime_error("edge client: connection closed mid-request");
+  if (resp.id != id) throw std::runtime_error("edge client: response id mismatch (pipelined use needs recv())");
+  return resp;
+}
+
+std::string EdgeClient::statsz() {
+  Request req;
+  req.type = MessageType::Stats;
+  req.id = next_id();
+  send(req);
+  Response resp;
+  if (!recv(resp)) throw std::runtime_error("edge client: connection closed mid-request");
+  if (resp.type != MessageType::Stats || resp.status != WireStatus::Ok) {
+    throw std::runtime_error("edge client: statsz refused");
+  }
+  return resp.stats_json;
+}
+
+}  // namespace absort::edge

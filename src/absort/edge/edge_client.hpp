@@ -1,0 +1,76 @@
+#pragma once
+// EdgeClient: a small blocking client for the edge protocol, used by the
+// load generator (bench_edge), the CLI selftest, and tests.
+//
+// Two usage styles:
+//   * synchronous: sort() / statsz() -- one request, wait for its response
+//     (single-threaded use);
+//   * pipelined: send() from one thread while a second thread recv()s --
+//     sockets are full-duplex, and the protocol's per-request ids let
+//     responses complete out of order, so an open-loop generator can keep
+//     hundreds of requests in flight on one connection.
+//
+// The client trusts the server, so protocol violations throw
+// std::runtime_error instead of returning typed errors (the hardened decode
+// path is the server's; see frame.hpp).
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "absort/edge/frame.hpp"
+#include "absort/util/bitvec.hpp"
+
+namespace absort::edge {
+
+class EdgeClient {
+ public:
+  EdgeClient() = default;
+  ~EdgeClient();
+
+  EdgeClient(const EdgeClient&) = delete;
+  EdgeClient& operator=(const EdgeClient&) = delete;
+  EdgeClient(EdgeClient&& other) noexcept;
+  EdgeClient& operator=(EdgeClient&& other) noexcept;
+
+  /// Connects to a numeric IPv4 address (e.g. "127.0.0.1").  Throws
+  /// std::system_error on failure.
+  void connect(const std::string& host, std::uint16_t port);
+  void close();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Sends one framed request (thread-safe against concurrent senders; a
+  /// frame is always written contiguously).  Throws on a broken connection.
+  void send(const Request& req);
+
+  /// Convenience: builds and sends a Sort request with a fresh id (returned).
+  std::uint64_t send_sort(std::string_view sorter, const BitVec& input,
+                          std::uint32_t deadline_us = 0);
+
+  /// Blocks for the next response (receiver-thread only).  Returns false on
+  /// orderly server EOF; throws std::runtime_error on a torn or malformed
+  /// stream.
+  [[nodiscard]] bool recv(Response& out);
+
+  /// Synchronous round trips (single-threaded use only).
+  [[nodiscard]] Response sort(std::string_view sorter, const BitVec& input,
+                              std::uint32_t deadline_us = 0);
+  [[nodiscard]] std::string statsz();
+
+  /// Sends raw bytes as-is -- for tests that need to speak garbage.
+  void send_raw(const std::vector<std::uint8_t>& bytes);
+
+ private:
+  std::uint64_t next_id() noexcept { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+  void write_all(const std::uint8_t* data, std::size_t len);
+
+  int fd_ = -1;
+  std::vector<std::uint8_t> inbuf_;  ///< receiver-thread only
+  std::atomic<std::uint64_t> next_id_{1};
+  std::mutex send_m_;
+};
+
+}  // namespace absort::edge

@@ -1,0 +1,485 @@
+#include "absort/edge/edge_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+#include <unordered_map>
+#include <utility>
+
+#include "absort/service/stats_json.hpp"
+#include "absort/sorters/registry.hpp"
+
+namespace absort::edge {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+/// Per-connection state.  The read side (inbuf, reading_disabled, epollout)
+/// is touched only by the owning reactor thread; the write side (outbuf,
+/// out_off, closed, close_after_flush) is shared with the waiters and
+/// guarded by `m`.  Only the owning reactor ever write()s the fd, so
+/// response bytes never interleave.
+struct EdgeServer::Connection {
+  int fd = -1;
+  std::size_t reactor = 0;
+
+  std::vector<std::uint8_t> inbuf;
+  bool reading_disabled = false;  ///< fatal decode error: drain writes, then close
+  bool epollout = false;          ///< EPOLLOUT currently armed
+
+  std::mutex m;
+  std::vector<std::uint8_t> outbuf;
+  std::size_t out_off = 0;
+  bool closed = false;
+  bool close_after_flush = false;
+
+  std::atomic<std::size_t> inflight{0};
+};
+
+struct EdgeServer::Reactor {
+  std::size_t index = 0;
+  int epfd = -1;
+  int wakefd = -1;
+  std::thread thread;
+
+  /// Owned connections by fd; reactor thread only.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns;
+
+  std::mutex m;  ///< guards fresh + writable
+  std::vector<std::shared_ptr<Connection>> fresh;     ///< handed over by the acceptor
+  std::vector<std::shared_ptr<Connection>> writable;  ///< have new waiter output
+};
+
+EdgeServer::EdgeServer(service::SortService& service, EdgeOptions opts)
+    : service_(service), opts_(opts) {
+  opts_.reactors = std::max<std::size_t>(1, opts_.reactors);
+  opts_.waiters = std::max<std::size_t>(1, opts_.waiters);
+  opts_.max_connections = std::max<std::size_t>(1, opts_.max_connections);
+  opts_.max_inflight_per_conn = std::max<std::size_t>(1, opts_.max_inflight_per_conn);
+}
+
+EdgeServer::~EdgeServer() { stop(); }
+
+void EdgeServer::start() {
+  if (started_) return;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("edge: socket");
+  int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(opts_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, opts_.listen_backlog) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = err;
+    throw_errno("edge: bind/listen");
+  }
+  socklen_t len = sizeof addr;
+  (void)::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  reactors_.clear();
+  for (std::size_t i = 0; i < opts_.reactors; ++i) {
+    auto r = std::make_unique<Reactor>();
+    r->index = i;
+    r->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    r->wakefd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (r->epfd < 0 || r->wakefd < 0) throw_errno("edge: epoll/eventfd");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = r->wakefd;
+    if (::epoll_ctl(r->epfd, EPOLL_CTL_ADD, r->wakefd, &ev) != 0) throw_errno("edge: epoll_ctl");
+    if (i == 0) {
+      ev.data.fd = listen_fd_;
+      if (::epoll_ctl(r->epfd, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+        throw_errno("edge: epoll_ctl listen");
+      }
+    }
+    reactors_.push_back(std::move(r));
+  }
+  stopping_.store(false);
+  for (auto& r : reactors_) {
+    r->thread = std::thread([this, rp = r.get()] { reactor_loop(*rp); });
+  }
+  waiter_threads_.reserve(opts_.waiters);
+  for (std::size_t i = 0; i < opts_.waiters; ++i) {
+    waiter_threads_.emplace_back([this] { waiter_loop(); });
+  }
+  started_ = true;
+}
+
+void EdgeServer::stop() {
+  if (!started_) return;
+  stopping_.store(true);
+  for (auto& r : reactors_) wake(*r);
+  for (auto& r : reactors_) {
+    if (r->thread.joinable()) r->thread.join();
+  }
+  // Reactors are the only producers, so closing the queue now lets the
+  // waiters drain everything still pending (the service answers every
+  // accepted future) and exit.
+  {
+    std::lock_guard lk(cq_m_);
+    cq_closed_ = true;
+  }
+  cq_cv_.notify_all();
+  for (auto& t : waiter_threads_) t.join();
+  waiter_threads_.clear();
+  for (auto& r : reactors_) {
+    ::close(r->epfd);
+    ::close(r->wakefd);
+  }
+  reactors_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  started_ = false;
+}
+
+void EdgeServer::wake(Reactor& r) {
+  const std::uint64_t one = 1;
+  (void)!::write(r.wakefd, &one, sizeof one);
+}
+
+void EdgeServer::reactor_loop(Reactor& r) {
+  epoll_event evs[64];
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int nd = ::epoll_wait(r.epfd, evs, 64, -1);
+    if (nd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < nd; ++i) {
+      const int fd = evs[i].data.fd;
+      if (fd == r.wakefd) {
+        std::uint64_t drain = 0;
+        (void)!::read(r.wakefd, &drain, sizeof drain);
+        continue;
+      }
+      if (fd == listen_fd_) {
+        accept_ready(r);
+        continue;
+      }
+      const auto it = r.conns.find(fd);
+      if (it == r.conns.end()) continue;  // closed earlier in this batch
+      const auto conn = it->second;
+      if (evs[i].events & (EPOLLERR | EPOLLHUP)) {
+        close_conn(r, conn);
+        continue;
+      }
+      if (evs[i].events & EPOLLIN) on_readable(r, conn);
+      if (evs[i].events & EPOLLOUT) try_flush(r, conn);
+    }
+    // Adopt freshly accepted connections and flush waiter output.
+    std::vector<std::shared_ptr<Connection>> fresh, writable;
+    {
+      std::lock_guard lk(r.m);
+      fresh.swap(r.fresh);
+      writable.swap(r.writable);
+    }
+    for (const auto& c : fresh) adopt(r, c);
+    for (const auto& c : writable) try_flush(r, c);
+  }
+  // Teardown: close every owned connection (waiter output still pending is
+  // dropped -- the client sees EOF).
+  std::vector<std::shared_ptr<Connection>> all;
+  all.reserve(r.conns.size());
+  for (const auto& [fd, conn] : r.conns) all.push_back(conn);
+  for (const auto& conn : all) close_conn(r, conn);
+}
+
+void EdgeServer::accept_ready(Reactor& r) {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN (or transient error): wait for the next event
+    if (open_conns_.load(std::memory_order_relaxed) >= opts_.max_connections) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    set_nodelay(fd);
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    open_conns_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->reactor = next_reactor_++ % reactors_.size();
+    Reactor& target = *reactors_[conn->reactor];
+    if (&target == &r) {
+      adopt(r, conn);
+    } else {
+      {
+        std::lock_guard lk(target.m);
+        target.fresh.push_back(conn);
+      }
+      wake(target);
+    }
+  }
+}
+
+void EdgeServer::adopt(Reactor& r, const std::shared_ptr<Connection>& conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = conn->fd;
+  if (::epoll_ctl(r.epfd, EPOLL_CTL_ADD, conn->fd, &ev) != 0) {
+    std::lock_guard lk(conn->m);
+    conn->closed = true;
+    ::close(conn->fd);
+    open_conns_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  r.conns.emplace(conn->fd, conn);
+}
+
+void EdgeServer::on_readable(Reactor& r, const std::shared_ptr<Connection>& conn) {
+  if (conn->reading_disabled) return;
+  std::uint8_t chunk[16384];
+  for (;;) {
+    const ssize_t got = ::read(conn->fd, chunk, sizeof chunk);
+    if (got > 0) {
+      bytes_in_.fetch_add(static_cast<std::uint64_t>(got), std::memory_order_relaxed);
+      conn->inbuf.insert(conn->inbuf.end(), chunk, chunk + got);
+      if (got == static_cast<ssize_t>(sizeof chunk)) continue;
+      break;
+    }
+    if (got == 0) {  // orderly peer close
+      close_conn(r, conn);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    close_conn(r, conn);
+    return;
+  }
+
+  std::size_t off = 0;
+  while (off < conn->inbuf.size()) {
+    Request req;
+    const auto res = decode_request(std::span(conn->inbuf).subspan(off), req);
+    if (res.error == DecodeError::None) {
+      off += res.consumed;
+      handle_request(r, conn, std::move(req));
+      continue;
+    }
+    if (res.error == DecodeError::NeedMore) break;
+    // Malformed frame: answer BadRequest (with whatever id was readable),
+    // then close once the response has flushed -- a corrupt length prefix
+    // leaves no way to find the next frame boundary.
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    Response err;
+    err.type = MessageType::Sort;
+    err.id = req.id;
+    err.status = WireStatus::BadRequest;
+    responses_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard lk(conn->m);
+      conn->close_after_flush = true;
+    }
+    conn->reading_disabled = true;
+    enqueue_response(conn, err, /*from_reactor=*/true);
+    off = conn->inbuf.size();
+    break;
+  }
+  conn->inbuf.erase(conn->inbuf.begin(),
+                    conn->inbuf.begin() + static_cast<std::ptrdiff_t>(off));
+}
+
+void EdgeServer::handle_request(Reactor&, const std::shared_ptr<Connection>& conn,
+                                Request&& req) {
+  if (req.type == MessageType::Stats) {
+    Response resp;
+    resp.type = MessageType::Stats;
+    resp.id = req.id;
+    resp.status = WireStatus::Ok;
+    resp.stats_json = service::stats_json(stats());
+    responses_.fetch_add(1, std::memory_order_relaxed);
+    enqueue_response(conn, resp, /*from_reactor=*/true);
+    return;
+  }
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const auto respond_now = [&](WireStatus status) {
+    Response resp;
+    resp.type = MessageType::Sort;
+    resp.id = req.id;
+    resp.status = status;
+    responses_.fetch_add(1, std::memory_order_relaxed);
+    enqueue_response(conn, resp, /*from_reactor=*/true);
+  };
+
+  if (sorters::find_sorter(req.sorter) == nullptr) {
+    respond_now(WireStatus::BadRequest);
+    return;
+  }
+  // Per-client fairness: a connection at its in-flight cap is shed before
+  // the request can crowd the shared queue.
+  if (conn->inflight.load(std::memory_order_relaxed) >= opts_.max_inflight_per_conn) {
+    shedded_.fetch_add(1, std::memory_order_relaxed);
+    respond_now(WireStatus::Shedded);
+    return;
+  }
+  const auto deadline =
+      req.deadline_us == 0
+          ? service::SortService::Clock::time_point::max()
+          : service::SortService::Clock::now() + std::chrono::microseconds(req.deadline_us);
+  std::future<service::SortResult> fut;
+  try {
+    fut = service_.submit(req.sorter, std::move(req.input), deadline);
+  } catch (...) {
+    respond_now(WireStatus::BadRequest);
+    return;
+  }
+  conn->inflight.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lk(cq_m_);
+    cq_.push_back(Pending{conn, req.id, std::move(fut)});
+  }
+  cq_cv_.notify_one();
+}
+
+void EdgeServer::waiter_loop() {
+  for (;;) {
+    Pending p;
+    {
+      std::unique_lock lk(cq_m_);
+      cq_cv_.wait(lk, [&] { return cq_closed_ || !cq_.empty(); });
+      if (cq_.empty()) return;  // closed and drained
+      p = std::move(cq_.front());
+      cq_.pop_front();
+    }
+    Response resp;
+    resp.type = MessageType::Sort;
+    resp.id = p.id;
+    try {
+      auto result = p.future.get();
+      resp.status = to_wire_status(result.status);
+      if (result.status == service::Status::Ok) resp.output = std::move(result.output);
+    } catch (...) {
+      // Factory failure for this (sorter, n): a configuration error, not an
+      // overload condition.
+      resp.status = WireStatus::BadRequest;
+    }
+    if (resp.status == WireStatus::Shedded) shedded_.fetch_add(1, std::memory_order_relaxed);
+    p.conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+    responses_.fetch_add(1, std::memory_order_relaxed);
+    enqueue_response(p.conn, resp, /*from_reactor=*/false);
+  }
+}
+
+void EdgeServer::enqueue_response(const std::shared_ptr<Connection>& conn, const Response& resp,
+                                  bool from_reactor) {
+  Reactor& r = *reactors_[conn->reactor];
+  {
+    std::lock_guard lk(conn->m);
+    if (conn->closed) return;
+    encode_response(resp, conn->outbuf);
+  }
+  if (from_reactor) {
+    try_flush(r, conn);
+  } else {
+    {
+      std::lock_guard lk(r.m);
+      r.writable.push_back(conn);
+    }
+    wake(r);
+  }
+}
+
+void EdgeServer::try_flush(Reactor& r, const std::shared_ptr<Connection>& conn) {
+  bool close_now = false;
+  {
+    std::unique_lock lk(conn->m);
+    if (conn->closed) return;
+    while (conn->out_off < conn->outbuf.size()) {
+      const ssize_t wrote = ::write(conn->fd, conn->outbuf.data() + conn->out_off,
+                                    conn->outbuf.size() - conn->out_off);
+      if (wrote > 0) {
+        conn->out_off += static_cast<std::size_t>(wrote);
+        bytes_out_.fetch_add(static_cast<std::uint64_t>(wrote), std::memory_order_relaxed);
+        continue;
+      }
+      if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!conn->epollout) {
+          epoll_event ev{};
+          ev.events = EPOLLIN | EPOLLOUT;
+          ev.data.fd = conn->fd;
+          (void)::epoll_ctl(r.epfd, EPOLL_CTL_MOD, conn->fd, &ev);
+          conn->epollout = true;
+        }
+        return;
+      }
+      close_now = true;  // write error: peer is gone
+      break;
+    }
+    if (!close_now) {
+      conn->outbuf.clear();
+      conn->out_off = 0;
+      if (conn->epollout) {
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = conn->fd;
+        (void)::epoll_ctl(r.epfd, EPOLL_CTL_MOD, conn->fd, &ev);
+        conn->epollout = false;
+      }
+      close_now = conn->close_after_flush;
+    }
+  }
+  if (close_now) close_conn(r, conn);
+}
+
+void EdgeServer::close_conn(Reactor& r, const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard lk(conn->m);
+    if (conn->closed) return;
+    conn->closed = true;
+  }
+  (void)::epoll_ctl(r.epfd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  r.conns.erase(conn->fd);
+  open_conns_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+service::ServiceStats EdgeServer::stats() const {
+  auto s = service_.stats();
+  s.shedded = shedded_.load(std::memory_order_relaxed);
+  s.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  s.connections_dropped = dropped_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  return s;
+}
+
+EdgeCounters EdgeServer::counters() const {
+  EdgeCounters c;
+  c.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  c.connections_dropped = dropped_.load(std::memory_order_relaxed);
+  c.shedded = shedded_.load(std::memory_order_relaxed);
+  c.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  c.requests = requests_.load(std::memory_order_relaxed);
+  c.responses = responses_.load(std::memory_order_relaxed);
+  c.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  c.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace absort::edge

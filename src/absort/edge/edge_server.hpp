@@ -1,0 +1,174 @@
+#pragma once
+// EdgeServer: the network serving edge -- an epoll-based TCP front end over
+// SortService speaking the length-prefixed binary protocol of frame.hpp.
+//
+// Architecture (all counts configurable via EdgeOptions):
+//
+//   * one or more *reactor* threads, each running its own epoll loop over
+//     non-blocking sockets; reactor 0 also owns the listening socket and
+//     hands accepted connections round-robin to the others;
+//   * a per-connection state machine: a read buffer that frames are decoded
+//     out of (strictly bounds-checked; any malformed frame answers
+//     BadRequest, counts a decode error, and closes the connection after the
+//     flush -- length-prefixed framing cannot resync past a corrupt header),
+//     and a write buffer flushed by the owning reactor alone, so response
+//     bytes never interleave;
+//   * a pool of *waiter* threads that block on the SortService futures and
+//     hand the encoded responses back to the owning reactor through an
+//     eventfd wakeup.  Responses carry the request's id, so they may
+//     complete out of order and clients match them by id.
+//
+// Admission control rides the service's own Block/Reject queue semantics:
+//   * with Overflow::Reject, a full submission queue answers QueueFull,
+//     which the edge maps to an explicit `Shedded` response -- overload
+//     turns into load shedding, never unbounded buffering;
+//   * with Overflow::Block, a full queue blocks the submitting reactor,
+//     which stops reading -- backpressure propagates to clients through TCP
+//     itself (pick Reject for SLO serving, Block for batch feeds);
+//   * a per-connection in-flight cap sheds the greediest clients first
+//     (fairness): a connection at its cap gets Shedded without the request
+//     ever touching the shared queue;
+//   * a connection cap: accepts beyond it are dropped immediately.
+//
+// A Stats frame answers with the live ServiceStats JSON (service counters +
+// histograms plus the edge's accepted/dropped/shedded/decode-error/bytes
+// counters) -- the wire form of `absort_cli serve --stats`, rendered by the
+// same service/stats_json helper.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "absort/edge/frame.hpp"
+#include "absort/service/sort_service.hpp"
+
+namespace absort::edge {
+
+struct EdgeOptions {
+  /// TCP port to listen on; 0 asks the kernel for a free port (see port()).
+  std::uint16_t port = 0;
+
+  /// Epoll event loops (clamped to >= 1).  One reactor saturates the
+  /// single-dispatcher service; more help when decode/encode dominates.
+  std::size_t reactors = 1;
+
+  /// Threads blocking on SortService futures (clamped to >= 1).  Each waiter
+  /// delays at most one micro-batch's completion, so a few suffice.
+  std::size_t waiters = 4;
+
+  /// Connection cap: accepts beyond it are closed immediately
+  /// (connections_dropped).
+  std::size_t max_connections = 64;
+
+  /// Per-connection in-flight request cap: requests beyond it are answered
+  /// Shedded without touching the shared queue (per-client fairness).
+  std::size_t max_inflight_per_conn = 64;
+
+  int listen_backlog = 128;
+};
+
+/// Monotonic edge-side counters (see ServiceStats for the combined view).
+struct EdgeCounters {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_dropped = 0;
+  std::uint64_t shedded = 0;        ///< Shedded responses (in-flight cap + QueueFull)
+  std::uint64_t decode_errors = 0;  ///< malformed frames (connection closed)
+  std::uint64_t requests = 0;       ///< well-formed Sort frames received
+  std::uint64_t responses = 0;      ///< responses enqueued (any status)
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+class EdgeServer {
+ public:
+  /// The service must outlive the server (construct service first, server
+  /// second; destruction order then stops the edge before the service).
+  explicit EdgeServer(service::SortService& service, EdgeOptions opts = {});
+  ~EdgeServer();  ///< stop()
+
+  EdgeServer(const EdgeServer&) = delete;
+  EdgeServer& operator=(const EdgeServer&) = delete;
+
+  /// Binds, listens, and spawns the reactor + waiter threads.  Throws
+  /// std::system_error when the socket cannot be set up.
+  void start();
+
+  /// Closes the listener and every connection, drains the waiters, joins all
+  /// threads.  Idempotent.
+  void stop();
+
+  /// The bound port (useful with EdgeOptions::port = 0).  Valid after
+  /// start().
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  [[nodiscard]] bool running() const noexcept { return started_ && !stopping_.load(); }
+
+  /// Service snapshot with the edge counters filled in -- what a Stats frame
+  /// returns as JSON.
+  [[nodiscard]] service::ServiceStats stats() const;
+
+  [[nodiscard]] EdgeCounters counters() const;
+
+  [[nodiscard]] const EdgeOptions& options() const noexcept { return opts_; }
+
+ private:
+  struct Connection;
+  struct Reactor;
+
+  /// One submitted request whose future a waiter resolves into a response.
+  struct Pending {
+    std::shared_ptr<Connection> conn;
+    std::uint64_t id = 0;
+    std::future<service::SortResult> future;
+  };
+
+  void reactor_loop(Reactor& r);
+  void waiter_loop();
+  void accept_ready(Reactor& r);
+  void adopt(Reactor& r, const std::shared_ptr<Connection>& conn);
+  void on_readable(Reactor& r, const std::shared_ptr<Connection>& conn);
+  void handle_request(Reactor& r, const std::shared_ptr<Connection>& conn, Request&& req);
+  /// Encodes and queues `resp` on `conn`; `from_reactor` flushes inline,
+  /// waiters instead wake the owning reactor through its eventfd.
+  void enqueue_response(const std::shared_ptr<Connection>& conn, const Response& resp,
+                        bool from_reactor);
+  void try_flush(Reactor& r, const std::shared_ptr<Connection>& conn);
+  void close_conn(Reactor& r, const std::shared_ptr<Connection>& conn);
+  void wake(Reactor& r);
+
+  service::SortService& service_;
+  EdgeOptions opts_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::size_t next_reactor_ = 0;  ///< round-robin accept assignment (reactor 0 only)
+  std::atomic<std::size_t> open_conns_{0};
+
+  // Completion queue: reactors push, waiters pop.
+  std::mutex cq_m_;
+  std::condition_variable cq_cv_;
+  std::deque<Pending> cq_;
+  bool cq_closed_ = false;
+  std::vector<std::thread> waiter_threads_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> shedded_{0};
+  std::atomic<std::uint64_t> decode_errors_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> responses_{0};
+  std::atomic<std::uint64_t> bytes_in_{0};
+  std::atomic<std::uint64_t> bytes_out_{0};
+};
+
+}  // namespace absort::edge

@@ -1,0 +1,280 @@
+#include "absort/edge/frame.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace absort::edge {
+
+namespace {
+
+// -- little-endian scalar IO over a bounds-checked cursor --------------------
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+/// Reads little-endian scalars off a span, refusing to run past the end.
+struct Cursor {
+  std::span<const std::uint8_t> buf;
+  std::size_t pos = 0;
+
+  [[nodiscard]] std::size_t left() const noexcept { return buf.size() - pos; }
+
+  bool u8(std::uint8_t& v) noexcept {
+    if (left() < 1) return false;
+    v = buf[pos++];
+    return true;
+  }
+  bool u16(std::uint16_t& v) noexcept {
+    if (left() < 2) return false;
+    v = static_cast<std::uint16_t>(buf[pos] | (buf[pos + 1] << 8));
+    pos += 2;
+    return true;
+  }
+  bool u32(std::uint32_t& v) noexcept {
+    if (left() < 4) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[pos + static_cast<std::size_t>(i)]) << (8 * i);
+    pos += 4;
+    return true;
+  }
+  bool u64(std::uint64_t& v) noexcept {
+    if (left() < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[pos + static_cast<std::size_t>(i)]) << (8 * i);
+    pos += 8;
+    return true;
+  }
+  bool bytes(std::size_t len, std::span<const std::uint8_t>& v) noexcept {
+    if (left() < len) return false;
+    v = buf.subspan(pos, len);
+    pos += len;
+    return true;
+  }
+};
+
+std::size_t packed_bytes(std::size_t n) noexcept { return (n + 7) / 8; }
+
+/// Frames the payload bytes appended by `fill`: reserves the u32 length
+/// slot, runs `fill`, then patches the length in.
+template <typename Fill>
+void frame(std::vector<std::uint8_t>& out, Fill&& fill) {
+  const std::size_t length_at = out.size();
+  put_u32(out, 0);
+  const std::size_t payload_at = out.size();
+  fill();
+  const std::size_t len = out.size() - payload_at;
+  assert(len <= kMaxFrameBytes);
+  for (int i = 0; i < 4; ++i) {
+    out[length_at + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(len >> (8 * i));
+  }
+}
+
+/// Shared prologue of both frame kinds: length prefix + magic/version/type +
+/// id.  Returns None with the cursor parked after `id`, or the typed error.
+DecodeError decode_prologue(std::span<const std::uint8_t> buf, Cursor& c, std::uint8_t& type,
+                            std::uint64_t& id, std::size_t& frame_end) {
+  Cursor len_c{buf};
+  std::uint32_t len = 0;
+  if (!len_c.u32(len)) return DecodeError::NeedMore;
+  if (len > kMaxFrameBytes) return DecodeError::Oversized;
+  if (len_c.left() < len) return DecodeError::NeedMore;
+  // From here on the whole frame is buffered: any short read inside it is a
+  // structural contradiction (BadLength), not NeedMore.
+  c = Cursor{buf.subspan(len_c.pos, len)};
+  frame_end = len_c.pos + len;
+
+  std::uint16_t magic = 0;
+  std::uint8_t version = 0;
+  if (!c.u16(magic)) return DecodeError::BadLength;
+  if (magic != kMagic) return DecodeError::BadMagic;
+  if (!c.u8(version)) return DecodeError::BadLength;
+  if (version != kVersion) return DecodeError::BadVersion;
+  if (!c.u8(type)) return DecodeError::BadLength;
+  if (!c.u64(id)) return DecodeError::BadLength;
+  return DecodeError::None;
+}
+
+DecodeError decode_sort_body(Cursor& c, std::string& sorter, BitVec& input) {
+  std::uint8_t name_len = 0;
+  if (!c.u8(name_len)) return DecodeError::BadLength;
+  if (name_len == 0 || name_len > kMaxSorterName) return DecodeError::BadName;
+  std::span<const std::uint8_t> name;
+  if (!c.bytes(name_len, name)) return DecodeError::BadLength;
+  sorter.assign(reinterpret_cast<const char*>(name.data()), name.size());
+
+  std::uint32_t n = 0;
+  if (!c.u32(n)) return DecodeError::BadLength;
+  if (n == 0 || n > kMaxN) return DecodeError::Oversized;
+  std::span<const std::uint8_t> packed;
+  if (!c.bytes(packed_bytes(n), packed)) return DecodeError::BadLength;
+  if (!unpack_bits(packed, n, input)) return DecodeError::BadPayload;
+  return DecodeError::None;
+}
+
+}  // namespace
+
+const char* to_string(WireStatus s) {
+  switch (s) {
+    case WireStatus::Ok: return "ok";
+    case WireStatus::Shedded: return "shedded";
+    case WireStatus::Expired: return "expired";
+    case WireStatus::Failed: return "failed";
+    case WireStatus::BadRequest: return "bad-request";
+    case WireStatus::Stopped: return "stopped";
+  }
+  return "?";
+}
+
+WireStatus to_wire_status(service::Status s) {
+  switch (s) {
+    case service::Status::Ok: return WireStatus::Ok;
+    case service::Status::QueueFull: return WireStatus::Shedded;
+    case service::Status::Expired: return WireStatus::Expired;
+    case service::Status::Stopped: return WireStatus::Stopped;
+    case service::Status::Failed: return WireStatus::Failed;
+  }
+  return WireStatus::Failed;
+}
+
+const char* to_string(DecodeError e) {
+  switch (e) {
+    case DecodeError::None: return "none";
+    case DecodeError::NeedMore: return "need-more";
+    case DecodeError::BadMagic: return "bad-magic";
+    case DecodeError::BadVersion: return "bad-version";
+    case DecodeError::BadType: return "bad-type";
+    case DecodeError::Oversized: return "oversized";
+    case DecodeError::BadLength: return "bad-length";
+    case DecodeError::BadName: return "bad-name";
+    case DecodeError::BadPayload: return "bad-payload";
+  }
+  return "?";
+}
+
+void pack_bits(const BitVec& v, std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  out.resize(start + packed_bytes(v.size()), 0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[start + (i >> 3)] |= static_cast<std::uint8_t>((v[i] & 1) << (i & 7));
+  }
+}
+
+bool unpack_bits(std::span<const std::uint8_t> bytes, std::size_t n, BitVec& out) {
+  assert(bytes.size() == packed_bytes(n));
+  out = BitVec(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = (bytes[i >> 3] >> (i & 7)) & 1;
+  // Pad bits must be zero so every sequence has exactly one encoding.
+  if (n % 8 != 0) {
+    const std::uint8_t pad = static_cast<std::uint8_t>(bytes[n >> 3] >> (n & 7));
+    if (pad != 0) return false;
+  }
+  return true;
+}
+
+void encode_request(const Request& r, std::vector<std::uint8_t>& out) {
+  assert(r.type != MessageType::Sort ||
+         (!r.sorter.empty() && r.sorter.size() <= kMaxSorterName && !r.input.empty() &&
+          r.input.size() <= kMaxN));
+  frame(out, [&] {
+    put_u16(out, kMagic);
+    out.push_back(kVersion);
+    out.push_back(static_cast<std::uint8_t>(r.type));
+    put_u64(out, r.id);
+    put_u32(out, r.deadline_us);
+    if (r.type == MessageType::Sort) {
+      out.push_back(static_cast<std::uint8_t>(r.sorter.size()));
+      out.insert(out.end(), r.sorter.begin(), r.sorter.end());
+      put_u32(out, static_cast<std::uint32_t>(r.input.size()));
+      pack_bits(r.input, out);
+    }
+  });
+}
+
+void encode_response(const Response& r, std::vector<std::uint8_t>& out) {
+  assert(r.type != MessageType::Sort || r.status != WireStatus::Ok || r.output.size() <= kMaxN);
+  frame(out, [&] {
+    put_u16(out, kMagic);
+    out.push_back(kVersion);
+    out.push_back(static_cast<std::uint8_t>(r.type));
+    put_u64(out, r.id);
+    out.push_back(static_cast<std::uint8_t>(r.status));
+    if (r.status == WireStatus::Ok) {
+      if (r.type == MessageType::Sort) {
+        put_u32(out, static_cast<std::uint32_t>(r.output.size()));
+        pack_bits(r.output, out);
+      } else {
+        out.insert(out.end(), r.stats_json.begin(), r.stats_json.end());
+      }
+    }
+  });
+}
+
+DecodeResult decode_request(std::span<const std::uint8_t> buf, Request& out) {
+  Cursor c;
+  std::uint8_t type = 0;
+  std::size_t frame_end = 0;
+  out = Request{};
+  if (const auto e = decode_prologue(buf, c, type, out.id, frame_end); e != DecodeError::None) {
+    return {e, 0};
+  }
+  if (type != static_cast<std::uint8_t>(MessageType::Sort) &&
+      type != static_cast<std::uint8_t>(MessageType::Stats)) {
+    return {DecodeError::BadType, 0};
+  }
+  out.type = static_cast<MessageType>(type);
+  if (!c.u32(out.deadline_us)) return {DecodeError::BadLength, 0};
+  if (out.type == MessageType::Sort) {
+    if (const auto e = decode_sort_body(c, out.sorter, out.input); e != DecodeError::None) {
+      return {e, 0};
+    }
+  }
+  if (c.left() != 0) return {DecodeError::BadLength, 0};  // trailing junk
+  return {DecodeError::None, frame_end};
+}
+
+DecodeResult decode_response(std::span<const std::uint8_t> buf, Response& out) {
+  Cursor c;
+  std::uint8_t type = 0;
+  std::size_t frame_end = 0;
+  out = Response{};
+  if (const auto e = decode_prologue(buf, c, type, out.id, frame_end); e != DecodeError::None) {
+    return {e, 0};
+  }
+  if (type != static_cast<std::uint8_t>(MessageType::Sort) &&
+      type != static_cast<std::uint8_t>(MessageType::Stats)) {
+    return {DecodeError::BadType, 0};
+  }
+  out.type = static_cast<MessageType>(type);
+  std::uint8_t status = 0;
+  if (!c.u8(status)) return {DecodeError::BadLength, 0};
+  if (status > static_cast<std::uint8_t>(WireStatus::Stopped)) return {DecodeError::BadType, 0};
+  out.status = static_cast<WireStatus>(status);
+  if (out.status == WireStatus::Ok) {
+    if (out.type == MessageType::Sort) {
+      std::uint32_t n = 0;
+      if (!c.u32(n)) return {DecodeError::BadLength, 0};
+      if (n == 0 || n > kMaxN) return {DecodeError::Oversized, 0};
+      std::span<const std::uint8_t> packed;
+      if (!c.bytes(packed_bytes(n), packed)) return {DecodeError::BadLength, 0};
+      if (!unpack_bits(packed, n, out.output)) return {DecodeError::BadPayload, 0};
+    } else {
+      std::span<const std::uint8_t> json;
+      (void)c.bytes(c.left(), json);
+      out.stats_json.assign(reinterpret_cast<const char*>(json.data()), json.size());
+    }
+  }
+  if (c.left() != 0) return {DecodeError::BadLength, 0};
+  return {DecodeError::None, frame_end};
+}
+
+}  // namespace absort::edge

@@ -1,0 +1,132 @@
+#pragma once
+// Wire framing for the TCP serving edge: a length-prefixed binary protocol
+// carrying sort requests/responses and statsz telemetry pulls.
+//
+// Every frame is  [u32 length (LE)] [payload of `length` bytes] ; `length`
+// never exceeds kMaxFrameBytes, so a reader can reject a hostile length
+// before buffering it.  Payload layouts (all integers little-endian):
+//
+//   request payload                      response payload
+//   ----------------------------------   ----------------------------------
+//   u16  magic   (kMagic)                u16  magic   (kMagic)
+//   u8   version (kVersion)              u8   version (kVersion)
+//   u8   type    (Sort | Stats)          u8   type    (echoes the request)
+//   u64  id      (echoed in response)    u64  id      (echoed)
+//   u32  deadline_us (0 = none)          u8   status  (WireStatus)
+//   -- Sort only ----------------------  -- Sort + Ok only -----------------
+//   u8   name_len (1..kMaxSorterName)    u32  n
+//   ..   sorter name bytes               ..   packed bits, ceil(n/8) bytes
+//   u32  n (1..kMaxN)                    -- Stats + Ok only ----------------
+//   ..   packed bits, ceil(n/8) bytes    ..   ServiceStats JSON bytes
+//
+// Packed bits: element i of the sequence is bit (i & 7) of payload byte
+// (i >> 3), LSB first; pad bits in the final byte must be zero.
+//
+// decode_request / decode_response never throw on wire bytes: every
+// malformed input yields a typed DecodeError, every read is bounds-checked,
+// and an incomplete buffer is the non-error NeedMore (read more and retry).
+// Versioning rule: magic identifies the protocol, version the layout; a
+// decoder rejects versions it does not know (BadVersion) instead of
+// guessing, and unknown type bytes are BadType -- new message kinds require
+// a version bump.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "absort/service/sort_service.hpp"
+#include "absort/util/bitvec.hpp"
+
+namespace absort::edge {
+
+inline constexpr std::uint16_t kMagic = 0xAB5E;   ///< "absort edge"
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kMaxSorterName = 64;
+inline constexpr std::size_t kMaxN = 1u << 16;    ///< largest sortable request
+/// Hard cap on one frame's payload: the largest legal request (max-length
+/// name + kMaxN packed bits) rounded up generously; statsz JSON responses
+/// stay far below it.
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+enum class MessageType : std::uint8_t {
+  Sort = 1,   ///< sort one packed bit sequence
+  Stats = 2,  ///< pull the ServiceStats JSON snapshot
+};
+
+/// Terminal status of one request, on the wire.
+enum class WireStatus : std::uint8_t {
+  Ok = 0,
+  Shedded = 1,     ///< load-shed: admission control or queue overflow
+  Expired = 2,     ///< deadline passed before evaluation
+  Failed = 3,      ///< every degradation rung failed server-side
+  BadRequest = 4,  ///< malformed frame or unknown sorter / bad n
+  Stopped = 5,     ///< server shutting down
+};
+
+[[nodiscard]] const char* to_string(WireStatus s);
+
+/// Service-side terminal status -> wire status.
+[[nodiscard]] WireStatus to_wire_status(service::Status s);
+
+/// Typed outcome of a decode attempt.  NeedMore is the only non-terminal
+/// value: the buffer holds a prefix of a valid frame.  Everything else means
+/// the stream is unrecoverable at this point (length-prefixed framing cannot
+/// resync after a corrupt header) and the connection should be dropped after
+/// an optional BadRequest response.
+enum class DecodeError : std::uint8_t {
+  None = 0,      ///< one frame decoded; `consumed` bytes were used
+  NeedMore,      ///< incomplete frame; read more bytes and retry
+  BadMagic,      ///< payload does not start with kMagic
+  BadVersion,    ///< version byte != kVersion
+  BadType,       ///< unknown MessageType / WireStatus byte
+  Oversized,     ///< declared length exceeds kMaxFrameBytes (or n > kMaxN)
+  BadLength,     ///< declared length contradicts the payload structure
+  BadName,       ///< sorter name length 0 or > kMaxSorterName
+  BadPayload,    ///< nonzero pad bits in the packed payload
+};
+
+[[nodiscard]] const char* to_string(DecodeError e);
+
+struct Request {
+  MessageType type = MessageType::Sort;
+  std::uint64_t id = 0;           ///< client-chosen, echoed in the response
+  std::uint32_t deadline_us = 0;  ///< relative deadline budget; 0 = none
+  std::string sorter;             ///< Sort only
+  BitVec input;                   ///< Sort only
+};
+
+struct Response {
+  MessageType type = MessageType::Sort;
+  std::uint64_t id = 0;
+  WireStatus status = WireStatus::Ok;
+  BitVec output;           ///< Sort + Ok only
+  std::string stats_json;  ///< Stats + Ok only
+};
+
+struct DecodeResult {
+  DecodeError error = DecodeError::None;
+  std::size_t consumed = 0;  ///< bytes to drop from the buffer (None only)
+
+  [[nodiscard]] bool ok() const noexcept { return error == DecodeError::None; }
+};
+
+/// Appends one framed request/response to `out` (never fails; inputs are
+/// produced by this process, so size limits are asserted, not errored).
+void encode_request(const Request& r, std::vector<std::uint8_t>& out);
+void encode_response(const Response& r, std::vector<std::uint8_t>& out);
+
+/// Decodes the first frame of `buf` into `out`.  On None, `consumed` bytes
+/// of `buf` were used and `out` is fully populated; on NeedMore nothing was
+/// consumed; on any error `out` is unspecified (its `id` holds whatever was
+/// readable, for error responses) and the stream should be abandoned.
+[[nodiscard]] DecodeResult decode_request(std::span<const std::uint8_t> buf, Request& out);
+[[nodiscard]] DecodeResult decode_response(std::span<const std::uint8_t> buf, Response& out);
+
+/// Packed-bit helpers (exposed for tests).
+void pack_bits(const BitVec& v, std::vector<std::uint8_t>& out);  ///< appends ceil(n/8) bytes
+[[nodiscard]] bool unpack_bits(std::span<const std::uint8_t> bytes, std::size_t n,
+                               BitVec& out);  ///< false on nonzero pad bits
+
+}  // namespace absort::edge

@@ -1,8 +1,8 @@
 #include "absort/service/service_stats.hpp"
 
 #include <bit>
-#include <cstdarg>
-#include <cstdio>
+
+#include "absort/service/stats_json.hpp"
 
 namespace absort::service {
 
@@ -11,15 +11,6 @@ namespace {
 std::size_t bucket_of(std::uint64_t v) noexcept {
   const std::size_t b = static_cast<std::size_t>(std::bit_width(v));
   return b < kHistBuckets ? b : kHistBuckets - 1;
-}
-
-void append(std::string& out, const char* fmt, ...) {
-  char buf[256];
-  va_list ap;
-  va_start(ap, fmt);
-  std::vsnprintf(buf, sizeof buf, fmt, ap);
-  va_end(ap);
-  out += buf;
 }
 
 }  // namespace
@@ -49,25 +40,7 @@ std::uint64_t HistogramSnapshot::bucket_upper(std::size_t b) {
   return b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
 }
 
-std::string HistogramSnapshot::to_json() const {
-  std::string out;
-  append(out, "{\"total\": %llu, \"mean\": %.1f, \"p50\": %llu, \"p90\": %llu, \"p99\": %llu, ",
-         static_cast<unsigned long long>(total), mean(),
-         static_cast<unsigned long long>(percentile(0.50)),
-         static_cast<unsigned long long>(percentile(0.90)),
-         static_cast<unsigned long long>(percentile(0.99)));
-  out += "\"buckets\": [";
-  bool first = true;
-  for (std::size_t b = 0; b < kHistBuckets; ++b) {
-    if (counts[b] == 0) continue;
-    append(out, "%s{\"le\": %llu, \"count\": %llu}", first ? "" : ", ",
-           static_cast<unsigned long long>(bucket_upper(b)),
-           static_cast<unsigned long long>(counts[b]));
-    first = false;
-  }
-  out += "]}";
-  return out;
-}
+std::string HistogramSnapshot::to_json() const { return histogram_json(*this); }
 
 void Histogram::record(std::uint64_t v) noexcept {
   counts_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
@@ -85,28 +58,6 @@ HistogramSnapshot Histogram::snapshot() const noexcept {
   return s;
 }
 
-std::string ServiceStats::to_json() const {
-  std::string out = "{\n";
-  const auto counter = [&](const char* k, std::uint64_t v, bool comma = true) {
-    append(out, "  \"%s\": %llu%s\n", k, static_cast<unsigned long long>(v), comma ? "," : "");
-  };
-  counter("submitted", submitted);
-  counter("completed", completed);
-  counter("rejected", rejected);
-  counter("expired", expired);
-  counter("stopped", stopped);
-  counter("failed", failed);
-  counter("batches", batches);
-  counter("compiled", compiled);
-  counter("retries", retries);
-  counter("quarantined", quarantined);
-  counter("degraded", degraded);
-  counter("self_check_failed", self_check_failed);
-  counter("unrecoverable", unrecoverable);
-  out += "  \"batch_size\": " + batch_size.to_json() + ",\n";
-  out += "  \"queue_wait_us\": " + queue_wait_us.to_json() + ",\n";
-  out += "  \"eval_us\": " + eval_us.to_json() + "\n}";
-  return out;
-}
+std::string ServiceStats::to_json() const { return stats_json(*this); }
 
 }  // namespace absort::service

@@ -75,11 +75,21 @@ struct ServiceStats {
   std::uint64_t self_check_failed = 0;  ///< output lanes that failed the batch self-check
   std::uint64_t unrecoverable = 0;      ///< requests answered Status::Failed
 
+  // Edge counters (see edge/edge_server.hpp): always 0 in a plain in-process
+  // SortService snapshot; EdgeServer::stats() fills them in so edge-level
+  // rejections are first-class telemetry next to the queue's own.
+  std::uint64_t shedded = 0;               ///< requests answered Shedded (admission / in-flight cap / QueueFull)
+  std::uint64_t decode_errors = 0;         ///< malformed request frames (connection then closed)
+  std::uint64_t connections_accepted = 0;  ///< TCP connections accepted
+  std::uint64_t connections_dropped = 0;   ///< TCP connections refused at the connection cap
+  std::uint64_t bytes_in = 0;              ///< wire bytes read from clients
+  std::uint64_t bytes_out = 0;             ///< wire bytes written to clients
+
   HistogramSnapshot batch_size;     ///< requests coalesced per micro-batch
   HistogramSnapshot queue_wait_us;  ///< submit -> batch formation, microseconds
   HistogramSnapshot eval_us;        ///< micro-batch evaluation time, microseconds
 
-  /// The whole snapshot as one JSON object.
+  /// The whole snapshot as one JSON object (delegates to stats_json.hpp).
   [[nodiscard]] std::string to_json() const;
 };
 

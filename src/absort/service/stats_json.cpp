@@ -1,0 +1,71 @@
+#include "absort/service/stats_json.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace absort::service {
+
+namespace {
+
+void append(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+}  // namespace
+
+std::string histogram_json(const HistogramSnapshot& h) {
+  std::string out;
+  append(out, "{\"total\": %llu, \"mean\": %.1f, \"p50\": %llu, \"p90\": %llu, \"p99\": %llu, ",
+         static_cast<unsigned long long>(h.total), h.mean(),
+         static_cast<unsigned long long>(h.percentile(0.50)),
+         static_cast<unsigned long long>(h.percentile(0.90)),
+         static_cast<unsigned long long>(h.percentile(0.99)));
+  out += "\"buckets\": [";
+  bool first = true;
+  for (std::size_t b = 0; b < kHistBuckets; ++b) {
+    if (h.counts[b] == 0) continue;
+    append(out, "%s{\"le\": %llu, \"count\": %llu}", first ? "" : ", ",
+           static_cast<unsigned long long>(HistogramSnapshot::bucket_upper(b)),
+           static_cast<unsigned long long>(h.counts[b]));
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+std::string stats_json(const ServiceStats& s) {
+  std::string out = "{\n";
+  const auto counter = [&](const char* k, std::uint64_t v) {
+    append(out, "  \"%s\": %llu,\n", k, static_cast<unsigned long long>(v));
+  };
+  counter("submitted", s.submitted);
+  counter("completed", s.completed);
+  counter("rejected", s.rejected);
+  counter("expired", s.expired);
+  counter("stopped", s.stopped);
+  counter("failed", s.failed);
+  counter("batches", s.batches);
+  counter("compiled", s.compiled);
+  counter("retries", s.retries);
+  counter("quarantined", s.quarantined);
+  counter("degraded", s.degraded);
+  counter("self_check_failed", s.self_check_failed);
+  counter("unrecoverable", s.unrecoverable);
+  counter("shedded", s.shedded);
+  counter("decode_errors", s.decode_errors);
+  counter("connections_accepted", s.connections_accepted);
+  counter("connections_dropped", s.connections_dropped);
+  counter("bytes_in", s.bytes_in);
+  counter("bytes_out", s.bytes_out);
+  out += "  \"batch_size\": " + histogram_json(s.batch_size) + ",\n";
+  out += "  \"queue_wait_us\": " + histogram_json(s.queue_wait_us) + ",\n";
+  out += "  \"eval_us\": " + histogram_json(s.eval_us) + "\n}";
+  return out;
+}
+
+}  // namespace absort::service

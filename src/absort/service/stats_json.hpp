@@ -1,0 +1,23 @@
+#pragma once
+// Shared ServiceStats -> JSON rendering, used by every surface that exposes
+// live service telemetry: `absort_cli serve --stats`, the TCP edge's `statsz`
+// frames (edge/edge_server.hpp), and any test that wants to assert on the
+// rendered form.  One renderer means the CLI dump and the wire dump can never
+// drift apart.
+
+#include <string>
+
+#include "absort/service/service_stats.hpp"
+
+namespace absort::service {
+
+/// `h` as a JSON object: {"total":..,"mean":..,"p50":..,"p90":..,"p99":..,
+/// "buckets":[{"le":..,"count":..}, ...]} (non-empty buckets only).
+[[nodiscard]] std::string histogram_json(const HistogramSnapshot& h);
+
+/// `s` as one JSON object: every counter (service + edge) followed by the
+/// three histograms.  HistogramSnapshot::to_json / ServiceStats::to_json are
+/// thin wrappers over these.
+[[nodiscard]] std::string stats_json(const ServiceStats& s);
+
+}  // namespace absort::service

@@ -1,0 +1,331 @@
+// End-to-end tests for the TCP serving edge (edge/edge_server.hpp) over
+// loopback: bit-exactness vs direct per-vector sort, pipelining with
+// out-of-order completion, admission control (per-connection in-flight cap +
+// Reject-queue shedding), deadline expiry, malformed-frame handling, the
+// connection cap, and the statsz endpoint.  Runs under the TSan leg, which
+// covers the reactor + waiter + client threads together.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "absort/edge/edge_client.hpp"
+#include "absort/edge/edge_server.hpp"
+#include "absort/edge/frame.hpp"
+#include "absort/service/sort_service.hpp"
+#include "absort/sorters/registry.hpp"
+#include "absort/util/rng.hpp"
+
+#include "test_seed.hpp"
+
+namespace absort {
+namespace {
+
+using edge::EdgeClient;
+using edge::EdgeOptions;
+using edge::EdgeServer;
+using edge::MessageType;
+using edge::Response;
+using edge::WireStatus;
+
+constexpr const char* kHost = "127.0.0.1";
+
+struct Harness {
+  service::SortService service;
+  EdgeServer server;
+
+  explicit Harness(service::ServiceOptions so = {}, EdgeOptions eo = {})
+      : service(so), server(service, eo) {
+    server.start();
+  }
+};
+
+TEST(EdgeServer, SingleClientRoundTripBitExact) {
+  Harness h;
+  EdgeClient client;
+  client.connect(kHost, h.server.port());
+  ABSORT_SEEDED_RNG(rng, 301);
+  const auto ref = sorters::make_sorter("prefix", 64);
+  for (int i = 0; i < 32; ++i) {
+    const auto in = workload::random_bits(rng, 64);
+    const auto resp = client.sort("prefix", in);
+    ASSERT_EQ(resp.status, WireStatus::Ok);
+    EXPECT_EQ(resp.output, ref->sort(in));
+  }
+  const auto c = h.server.counters();
+  EXPECT_EQ(c.connections_accepted, 1u);
+  EXPECT_EQ(c.requests, 32u);
+  EXPECT_EQ(c.responses, 32u);
+  EXPECT_EQ(c.shedded, 0u);
+  EXPECT_EQ(c.decode_errors, 0u);
+  EXPECT_GT(c.bytes_in, 0u);
+  EXPECT_GT(c.bytes_out, 0u);
+}
+
+TEST(EdgeServer, EightConcurrentClientsMixedKeysBitExact) {
+  Harness h;
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kRequests = 40;
+  const struct {
+    const char* sorter;
+    std::size_t n;
+  } keys[] = {{"prefix", 64}, {"mux-merger", 128}, {"batcher", 32}, {"fish", 64}};
+  std::vector<std::unique_ptr<sorters::BinarySorter>> refs;
+  for (const auto& k : keys) refs.push_back(sorters::make_sorter(k.sorter, k.n));
+
+  std::atomic<std::size_t> mismatches{0};
+  std::atomic<std::size_t> ok{0};
+  std::vector<std::thread> threads;
+  for (std::size_t cidx = 0; cidx < kClients; ++cidx) {
+    threads.emplace_back([&, cidx] {
+      Xoshiro256 rng(absort::testing::test_seed(0xED6E) ^ cidx);
+      EdgeClient client;
+      client.connect(kHost, h.server.port());
+      for (std::size_t i = 0; i < kRequests; ++i) {
+        const std::size_t k = (cidx + i) % std::size(keys);
+        const auto in = workload::random_bits(rng, keys[k].n);
+        const auto resp = client.sort(keys[k].sorter, in);
+        if (resp.status == WireStatus::Ok && resp.output == refs[k]->sort(in)) {
+          ok.fetch_add(1);
+        } else {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(ok.load(), kClients * kRequests);
+  const auto c = h.server.counters();
+  EXPECT_EQ(c.connections_accepted, kClients);
+  EXPECT_EQ(c.requests, kClients * kRequests);
+  EXPECT_EQ(c.responses, kClients * kRequests);
+}
+
+TEST(EdgeServer, MultiReactorServesManyClients) {
+  EdgeOptions eo;
+  eo.reactors = 3;
+  Harness h({}, eo);
+  ABSORT_SEEDED_RNG(rng, 303);
+  const auto ref = sorters::make_sorter("prefix", 32);
+  // More clients than reactors, so the round-robin handoff path (adopting a
+  // connection on a non-accepting reactor) is exercised.
+  std::vector<EdgeClient> clients(7);
+  for (auto& c : clients) c.connect(kHost, h.server.port());
+  for (int round = 0; round < 5; ++round) {
+    for (auto& c : clients) {
+      const auto in = workload::random_bits(rng, 32);
+      const auto resp = c.sort("prefix", in);
+      ASSERT_EQ(resp.status, WireStatus::Ok);
+      EXPECT_EQ(resp.output, ref->sort(in));
+    }
+  }
+  EXPECT_EQ(h.server.counters().connections_accepted, 7u);
+}
+
+TEST(EdgeServer, PipelinedOutOfOrderCompletionById) {
+  Harness h;
+  EdgeClient client;
+  client.connect(kHost, h.server.port());
+  ABSORT_SEEDED_RNG(rng, 304);
+  // Two keys with very different costs interleaved on one connection: the
+  // responses may arrive in any order; ids pair them up.
+  std::map<std::uint64_t, std::pair<std::string, BitVec>> sent;
+  for (int i = 0; i < 24; ++i) {
+    const bool big = (i % 2) == 0;
+    const std::size_t n = big ? 1024 : 16;
+    const char* sorter = big ? "mux-merger" : "prefix";
+    const auto in = workload::random_bits(rng, n);
+    sent.emplace(client.send_sort(sorter, in), std::make_pair(std::string(sorter), in));
+  }
+  std::map<std::string, std::unique_ptr<sorters::BinarySorter>> refs;
+  refs.emplace("mux-merger", sorters::make_sorter("mux-merger", 1024));
+  refs.emplace("prefix", sorters::make_sorter("prefix", 16));
+  for (std::size_t i = 0; i < 24; ++i) {
+    Response resp;
+    ASSERT_TRUE(client.recv(resp));
+    const auto it = sent.find(resp.id);
+    ASSERT_NE(it, sent.end()) << "unknown id " << resp.id;
+    ASSERT_EQ(resp.status, WireStatus::Ok);
+    EXPECT_EQ(resp.output, refs.at(it->second.first)->sort(it->second.second));
+    sent.erase(it);
+  }
+  EXPECT_TRUE(sent.empty());
+}
+
+TEST(EdgeServer, PerConnectionInflightCapSheds) {
+  service::ServiceOptions so;
+  so.max_linger = std::chrono::microseconds(2000);  // hold requests so in-flight builds up
+  EdgeOptions eo;
+  eo.max_inflight_per_conn = 2;
+  Harness h(so, eo);
+  EdgeClient client;
+  client.connect(kHost, h.server.port());
+  ABSORT_SEEDED_RNG(rng, 305);
+  constexpr std::size_t kBurst = 64;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    (void)client.send_sort("prefix", workload::random_bits(rng, 256));
+  }
+  std::size_t ok = 0, shed = 0;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    Response resp;
+    ASSERT_TRUE(client.recv(resp));
+    if (resp.status == WireStatus::Ok) {
+      ++ok;
+    } else {
+      ASSERT_EQ(resp.status, WireStatus::Shedded);
+      ++shed;
+    }
+  }
+  // The cap guarantees overload turned into explicit shedding, not
+  // buffering: with the whole burst written before any read, at most a
+  // handful can sneak through between completions.
+  EXPECT_GT(shed, 0u);
+  EXPECT_GT(ok, 0u);
+  EXPECT_EQ(ok + shed, kBurst);
+  EXPECT_EQ(h.server.counters().shedded, shed);
+}
+
+TEST(EdgeServer, RejectQueueOverflowBecomesShedded) {
+  service::ServiceOptions so;
+  so.overflow = service::ServiceOptions::Overflow::Reject;
+  so.queue_capacity = 1;
+  so.max_batch_lanes = 1;
+  so.max_linger = std::chrono::microseconds(0);
+  Harness h(so);
+  EdgeClient client;
+  client.connect(kHost, h.server.port());
+  ABSORT_SEEDED_RNG(rng, 306);
+  constexpr std::size_t kBurst = 128;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    (void)client.send_sort("mux-merger", workload::random_bits(rng, 512));
+  }
+  std::size_t ok = 0, shed = 0;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    Response resp;
+    ASSERT_TRUE(client.recv(resp));
+    resp.status == WireStatus::Ok ? ++ok : ++shed;
+    if (resp.status != WireStatus::Ok) EXPECT_EQ(resp.status, WireStatus::Shedded);
+  }
+  EXPECT_EQ(ok + shed, kBurst);
+  EXPECT_GT(shed, 0u);  // a 1-slot queue cannot absorb a 128-deep burst
+  // Edge shedding and the service's own Reject counter line up: every
+  // QueueFull rejection became a Shedded wire response (the in-flight cap
+  // did not trigger here, so the counts match exactly... unless the burst
+  // outran the default cap too, which the cap below rules out).
+  const auto stats = h.server.stats();
+  EXPECT_EQ(stats.shedded, shed);
+  EXPECT_GE(stats.shedded, stats.rejected);
+}
+
+TEST(EdgeServer, TightDeadlineExpires) {
+  service::ServiceOptions so;
+  so.max_linger = std::chrono::microseconds(5000);
+  Harness h(so);
+  EdgeClient client;
+  client.connect(kHost, h.server.port());
+  // A 1 us relative deadline is in the past by the time the dispatcher forms
+  // the batch (the linger window alone is 5000 us): deterministic expiry.
+  const auto resp = client.sort("prefix", BitVec(64), /*deadline_us=*/1);
+  EXPECT_EQ(resp.status, WireStatus::Expired);
+  EXPECT_EQ(h.server.stats().expired, 1u);
+}
+
+TEST(EdgeServer, GarbageFrameAnswersBadRequestThenCloses) {
+  Harness h;
+  EdgeClient client;
+  client.connect(kHost, h.server.port());
+  client.send_raw({0x10, 0x00, 0x00, 0x00,  // length = 16
+                   0xFF, 0xFF,              // bad magic
+                   0x01, 0x01, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+  Response resp;
+  ASSERT_TRUE(client.recv(resp));
+  EXPECT_EQ(resp.status, WireStatus::BadRequest);
+  EXPECT_FALSE(client.recv(resp));  // server closed the torn stream
+  EXPECT_EQ(h.server.counters().decode_errors, 1u);
+}
+
+TEST(EdgeServer, OversizedLengthPrefixCloses) {
+  Harness h;
+  EdgeClient client;
+  client.connect(kHost, h.server.port());
+  client.send_raw({0xFF, 0xFF, 0xFF, 0x7F});  // 2 GiB declared length
+  Response resp;
+  ASSERT_TRUE(client.recv(resp));
+  EXPECT_EQ(resp.status, WireStatus::BadRequest);
+  EXPECT_FALSE(client.recv(resp));
+  EXPECT_EQ(h.server.counters().decode_errors, 1u);
+}
+
+TEST(EdgeServer, UnknownSorterIsBadRequestNotFatal) {
+  Harness h;
+  EdgeClient client;
+  client.connect(kHost, h.server.port());
+  const auto bad = client.sort("nosuch", BitVec(16));
+  EXPECT_EQ(bad.status, WireStatus::BadRequest);
+  // The connection survives: a well-formed frame with a bad name is the
+  // client's mistake, not a torn stream.
+  const auto good = client.sort("prefix", BitVec(16));
+  EXPECT_EQ(good.status, WireStatus::Ok);
+}
+
+TEST(EdgeServer, ConnectionCapDropsExtraClients) {
+  EdgeOptions eo;
+  eo.max_connections = 1;
+  Harness h({}, eo);
+  EdgeClient first;
+  first.connect(kHost, h.server.port());
+  ASSERT_EQ(first.sort("prefix", BitVec(16)).status, WireStatus::Ok);
+
+  EdgeClient second;
+  second.connect(kHost, h.server.port());  // accepted by the kernel, then dropped
+  Response resp;
+  EXPECT_FALSE(second.recv(resp));  // immediate EOF
+  EXPECT_EQ(h.server.counters().connections_dropped, 1u);
+
+  // The first connection is unaffected.
+  EXPECT_EQ(first.sort("prefix", BitVec(16)).status, WireStatus::Ok);
+}
+
+TEST(EdgeServer, StatszReturnsCombinedJson) {
+  Harness h;
+  EdgeClient client;
+  client.connect(kHost, h.server.port());
+  ABSORT_SEEDED_RNG(rng, 307);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(client.sort("prefix", workload::random_bits(rng, 64)).status, WireStatus::Ok);
+  }
+  const auto json = client.statsz();
+  for (const char* field :
+       {"\"submitted\"", "\"completed\"", "\"shedded\"", "\"decode_errors\"",
+        "\"connections_accepted\"", "\"connections_dropped\"", "\"bytes_in\"", "\"bytes_out\"",
+        "\"batch_size\"", "\"queue_wait_us\"", "\"eval_us\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+  // The snapshot reflects this connection's own traffic.
+  EXPECT_NE(json.find("\"completed\": 8"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"connections_accepted\": 1"), std::string::npos) << json;
+}
+
+TEST(EdgeServer, StopAnswersInFlightOrClosesCleanly) {
+  auto h = std::make_unique<Harness>();
+  EdgeClient client;
+  client.connect(kHost, h->server.port());
+  ASSERT_EQ(client.sort("prefix", BitVec(32)).status, WireStatus::Ok);
+  h->server.stop();
+  // After stop, the connection is gone; recv sees EOF (any still-buffered
+  // responses first, but this client has none outstanding).
+  Response resp;
+  EXPECT_FALSE(client.recv(resp));
+  // stop() is idempotent and the harness destructor stops again safely.
+  h->server.stop();
+}
+
+}  // namespace
+}  // namespace absort

@@ -151,6 +151,22 @@ TEST(SortService, MultiProducerBitIdenticalToPerVectorSort) {
                             "\"eval_us\"", "\"buckets\""}) {
     EXPECT_NE(json.find(field), std::string::npos) << field;
   }
+  // Terminal-state reconciliation: every submission resolved exactly once.
+  EXPECT_EQ(st.submitted, st.completed + st.failed + st.expired + st.stopped);
+  // The edge counters live in ServiceStats so one JSON covers the whole
+  // serving stack, but a plain SortService never touches them: all zero
+  // here, rendered all the same (EdgeServer::stats() fills them in).
+  EXPECT_EQ(st.shedded, 0u);
+  EXPECT_EQ(st.decode_errors, 0u);
+  EXPECT_EQ(st.connections_accepted, 0u);
+  EXPECT_EQ(st.connections_dropped, 0u);
+  EXPECT_EQ(st.bytes_in, 0u);
+  EXPECT_EQ(st.bytes_out, 0u);
+  for (const char* field : {"\"shedded\": 0", "\"decode_errors\": 0",
+                            "\"connections_accepted\": 0", "\"connections_dropped\": 0",
+                            "\"bytes_in\": 0", "\"bytes_out\": 0"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
 }
 
 TEST(SortService, UnknownSorterThrowsImmediately) {

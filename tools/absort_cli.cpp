@@ -31,12 +31,25 @@
 //                                          future to resolve, every Ok result
 //                                          bit-identical, and every enabled
 //                                          fault class to have fired
+//   absort_cli serve --tcp [port]          expose the service over TCP with the
+//                                          binary protocol of edge/frame.hpp
+//                                          (port 0 = kernel-assigned, printed);
+//                                          runs until SIGINT/SIGTERM
+//   absort_cli serve --tcp --selftest [--stats] [clients] [requests]
+//                                          loopback end-to-end self-test:
+//                                          concurrent clients verified
+//                                          bit-for-bit against per-vector
+//                                          sort(), plus deadline-expiry,
+//                                          shed-under-overload (Reject queue ->
+//                                          Shedded responses), malformed-frame,
+//                                          and statsz cases
 //
 // Networks: everything in sorters::registry() -- see `absort_cli list`.
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +61,8 @@
 #include <vector>
 
 #include "absort/analysis/activity.hpp"
+#include "absort/edge/edge_client.hpp"
+#include "absort/edge/edge_server.hpp"
 #include "absort/analysis/tables.hpp"
 #include "absort/netlist/batch_eval.hpp"
 #include "absort/netlist/levelized.hpp"
@@ -87,9 +102,11 @@ int usage(const char* argv0) {
                "  %s activity <network> <n>\n"
                "  %s optimize <network> <n>\n"
                "  %s table2 <n>\n"
-               "  %s serve --selftest [--stats] [--chaos <seed>] [producers] [requests]\n",
+               "  %s serve --selftest [--stats] [--chaos <seed>] [producers] [requests]\n"
+               "  %s serve --tcp [port]\n"
+               "  %s serve --tcp --selftest [--stats] [clients] [requests]\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-               argv0);
+               argv0, argv0, argv0);
   return 1;
 }
 
@@ -464,6 +481,169 @@ int cmd_serve(bool selftest, bool stats, std::size_t producers, std::size_t requ
   return pass ? 0 : 2;
 }
 
+std::atomic<bool> g_interrupted{false};
+
+// serve --tcp --selftest: the edge's end-to-end self-test, entirely over
+// loopback TCP -- every answer travels through the framing codec, the epoll
+// reactors, and the waiter pool, and is verified bit-for-bit against
+// per-vector sort().  Four scenarios:
+//
+//   1. `clients` concurrent connections x `requests` mixed-(sorter, n)
+//      requests each against a default-options server: every response Ok and
+//      bit-identical to the reference oracle;
+//   2. deadline expiry: a 1 us relative deadline under a 5 ms linger window
+//      is already past when the dispatcher forms the batch -> Expired on the
+//      wire;
+//   3. shed under overload: a 1-slot Reject queue behind a 1-lane batch
+//      limit, hit with a 128-deep pipelined burst -> a mix of Ok and
+//      explicit Shedded responses, every request answered, none lost;
+//   4. protocol hygiene: a bad-magic frame answers BadRequest and closes the
+//      connection (decode_errors == 1), and statsz returns the combined
+//      service+edge JSON.
+int cmd_serve_tcp_selftest(bool stats, std::size_t clients, std::size_t requests) {
+  struct Key {
+    const char* sorter;
+    std::size_t n;
+  };
+  const Key keys[] = {{"prefix", 64}, {"mux-merger", 128}, {"batcher", 32}, {"fish", 64}};
+  std::vector<std::unique_ptr<sorters::BinarySorter>> refs;
+  for (const auto& k : keys) refs.push_back(sorters::make_sorter(k.sorter, k.n));
+
+  // --- scenario 1: concurrent clients, bit-exact ---------------------------
+  service::ServiceOptions so;
+  so.max_linger = std::chrono::microseconds(300);
+  service::SortService svc(so);
+  edge::EdgeOptions eo;
+  eo.reactors = 2;
+  edge::EdgeServer server(svc, eo);
+  server.start();
+
+  std::atomic<std::size_t> ok{0};
+  std::atomic<std::size_t> bad{0};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        Xoshiro256 rng(0xEDE5E1F ^ c);
+        edge::EdgeClient client;
+        client.connect("127.0.0.1", server.port());
+        for (std::size_t i = 0; i < requests; ++i) {
+          const std::size_t k = (c + i) % std::size(keys);
+          const auto in = workload::random_bits(rng, keys[k].n);
+          const auto resp = client.sort(keys[k].sorter, in);
+          if (resp.status == edge::WireStatus::Ok && resp.output == refs[k]->sort(in)) {
+            ok.fetch_add(1);
+          } else {
+            bad.fetch_add(1);
+          }
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "client %zu: %s\n", c, e.what());
+        bad.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const bool exact = bad.load() == 0 && ok.load() == clients * requests;
+  std::printf("tcp selftest: %zu clients x %zu requests, %zu ok, %zu bad -> %s\n", clients,
+              requests, ok.load(), bad.load(), exact ? "bit-exact" : "MISMATCH");
+
+  // --- scenario 2: deadline expiry ------------------------------------------
+  service::ServiceOptions slow;
+  slow.max_linger = std::chrono::microseconds(5000);
+  service::SortService slow_svc(slow);
+  edge::EdgeServer slow_server(slow_svc);
+  slow_server.start();
+  edge::EdgeClient probe;
+  probe.connect("127.0.0.1", slow_server.port());
+  const auto expired = probe.sort("prefix", BitVec(64), /*deadline_us=*/1);
+  const bool expiry_ok = expired.status == edge::WireStatus::Expired;
+  std::printf("deadline probe (1 us budget, 5 ms linger): %s\n",
+              edge::to_string(expired.status));
+  slow_server.stop();
+
+  // --- scenario 3: shed under overload --------------------------------------
+  service::ServiceOptions tiny;
+  tiny.overflow = service::ServiceOptions::Overflow::Reject;
+  tiny.queue_capacity = 1;
+  tiny.max_batch_lanes = 1;
+  tiny.max_linger = std::chrono::microseconds(0);
+  service::SortService tiny_svc(tiny);
+  edge::EdgeServer tiny_server(tiny_svc);
+  tiny_server.start();
+  edge::EdgeClient burst;
+  burst.connect("127.0.0.1", tiny_server.port());
+  Xoshiro256 rng(0x51ED);
+  constexpr std::size_t kBurst = 128;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    (void)burst.send_sort("mux-merger", workload::random_bits(rng, 512));
+  }
+  std::size_t burst_ok = 0, burst_shed = 0, burst_other = 0;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    edge::Response resp;
+    if (!burst.recv(resp)) break;
+    if (resp.status == edge::WireStatus::Ok) {
+      ++burst_ok;
+    } else if (resp.status == edge::WireStatus::Shedded) {
+      ++burst_shed;
+    } else {
+      ++burst_other;
+    }
+  }
+  const bool shed_ok =
+      burst_ok + burst_shed == kBurst && burst_other == 0 && burst_shed > 0;
+  std::printf("overload burst (%zu deep, 1-slot Reject queue): %zu ok, %zu shedded, "
+              "%zu other -> %s\n",
+              kBurst, burst_ok, burst_shed, burst_other,
+              shed_ok ? "all answered" : "LOST OR WEDGED");
+  tiny_server.stop();
+
+  // --- scenario 4: protocol hygiene + statsz --------------------------------
+  edge::EdgeClient vandal;
+  vandal.connect("127.0.0.1", server.port());
+  vandal.send_raw({0x10, 0x00, 0x00, 0x00, 0xFF, 0xFF, 0x01, 0x01,
+                   0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+  edge::Response vresp;
+  bool hygiene_ok = vandal.recv(vresp) && vresp.status == edge::WireStatus::BadRequest;
+  const auto vstatus = vresp.status;
+  hygiene_ok = hygiene_ok && !vandal.recv(vresp);  // server closed the torn stream
+  edge::EdgeClient statsc;
+  statsc.connect("127.0.0.1", server.port());
+  const auto json = statsc.statsz();
+  hygiene_ok = hygiene_ok && json.find("\"decode_errors\": 1") != std::string::npos &&
+               json.find("\"shedded\"") != std::string::npos;
+  std::printf("bad-magic frame -> %s + close; statsz %zu bytes\n",
+              edge::to_string(vstatus), json.size());
+  if (stats) std::printf("%s\n", json.c_str());
+  server.stop();
+
+  const bool pass = exact && expiry_ok && shed_ok && hygiene_ok;
+  std::printf("tcp selftest: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 2;
+}
+
+// serve --tcp [port]: foreground serving until SIGINT/SIGTERM.
+int cmd_serve_tcp(std::uint16_t port) {
+  service::SortService svc;
+  edge::EdgeOptions eo;
+  eo.port = port;
+  edge::EdgeServer server(svc, eo);
+  server.start();
+  std::printf("absort edge listening on 127.0.0.1:%u (binary protocol v%u; Ctrl-C stops)\n",
+              server.port(), edge::kVersion);
+  std::fflush(stdout);
+  std::signal(SIGINT, [](int) { g_interrupted.store(true); });
+  std::signal(SIGTERM, [](int) { g_interrupted.store(true); });
+  while (!g_interrupted.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+  const auto st = server.stats();
+  std::printf("edge stats at shutdown:\n%s\n", st.to_json().c_str());
+  return 0;
+}
+
 int cmd_vcd(std::size_t n, std::size_t k) {
   sim::FishHardware hw(n, k);
   auto trace = hw.make_trace();
@@ -485,14 +665,26 @@ int main(int argc, char** argv) {
       return cmd_table2(std::strtoull(argv[2], nullptr, 10));
     }
     if (cmd == "serve") {
-      bool selftest = false, stats = false, chaos = false;
+      bool selftest = false, stats = false, chaos = false, tcp = false;
       std::uint64_t chaos_seed = 1;
+      std::uint16_t tcp_port = 0;
       std::vector<const char*> pos;
       for (int i = 2; i < argc; ++i) {
         if (std::strcmp(argv[i], "--selftest") == 0) {
           selftest = true;
         } else if (std::strcmp(argv[i], "--stats") == 0) {
           stats = true;
+        } else if (std::strcmp(argv[i], "--tcp") == 0) {
+          tcp = true;
+          // Optional port: consume the next argument only if it is numeric.
+          if (i + 1 < argc) {
+            char* end = nullptr;
+            const auto v = std::strtoul(argv[i + 1], &end, 10);
+            if (end != argv[i + 1] && *end == '\0' && v <= 65535) {
+              tcp_port = static_cast<std::uint16_t>(v);
+              ++i;
+            }
+          }
         } else if (std::strcmp(argv[i], "--chaos") == 0) {
           chaos = true;
           // Optional seed: consume the next argument only if it is numeric.
@@ -509,9 +701,13 @@ int main(int argc, char** argv) {
         }
       }
       const std::size_t producers =
-          pos.size() > 0 ? std::strtoull(pos[0], nullptr, 10) : 4;
-      const std::size_t requests =
-          pos.size() > 1 ? std::strtoull(pos[1], nullptr, 10) : 200;
+          pos.size() > 0 ? std::strtoull(pos[0], nullptr, 10) : (tcp ? 8 : 4),
+          requests = pos.size() > 1 ? std::strtoull(pos[1], nullptr, 10) : (tcp ? 50 : 200);
+      if (tcp && selftest) {
+        return cmd_serve_tcp_selftest(stats, std::max<std::size_t>(1, producers),
+                                      std::max<std::size_t>(1, requests));
+      }
+      if (tcp) return cmd_serve_tcp(tcp_port);
       return cmd_serve(selftest, stats, std::max<std::size_t>(1, producers),
                        std::max<std::size_t>(1, requests), chaos, chaos_seed);
     }
