@@ -35,6 +35,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -55,6 +56,14 @@ using namespace absort;
 using Clock = std::chrono::steady_clock;
 
 constexpr const char* kHost = "127.0.0.1";
+
+/// Service shard count for every scenario stack (set by --shards).
+std::size_t g_shards = 1;
+
+std::size_t hw_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
 
 double uniform01(Xoshiro256& rng) { return static_cast<double>(rng() >> 11) * 0x1.0p-53; }
 
@@ -126,6 +135,7 @@ struct Stack {
           service::ServiceOptions so;
           so.max_linger = std::chrono::microseconds(200);
           so.overflow = service::ServiceOptions::Overflow::Reject;
+          so.shards = g_shards;
           return so;
         }()),
         server(svc, [] {
@@ -134,6 +144,12 @@ struct Stack {
           return eo;
         }()) {
     server.start();
+  }
+
+  /// shards x resolved engine worker threads, for the honesty columns.
+  [[nodiscard]] std::size_t threads_used() const {
+    const std::size_t et = svc.options().batch.threads;
+    return svc.shard_count() * (et ? et : hw_threads());
   }
 };
 
@@ -161,6 +177,7 @@ struct ClosedResult {
   std::size_t requests = 0;  ///< total Ok responses
   double goodput_rps = 0;
   Percentiles lat;
+  std::size_t shards = 1, threads_used = 1;
 };
 
 /// Closed loop: `clients` threads, one synchronous request in flight each.
@@ -193,6 +210,8 @@ ClosedResult run_closed(Stack& stack, std::size_t clients, std::size_t per_clien
   ClosedResult res;
   res.clients = clients;
   res.requests = ok.load();
+  res.shards = stack.svc.shard_count();
+  res.threads_used = stack.threads_used();
   res.goodput_rps = static_cast<double>(res.requests) / secs;
   std::vector<double> all;
   for (auto& v : lats) all.insert(all.end(), v.begin(), v.end());
@@ -207,6 +226,7 @@ struct OpenResult {
   double goodput_rps = 0;
   double duration_s = 0;
   Percentiles lat;  ///< Ok responses only, measured from scheduled arrival
+  std::size_t shards = 1, threads_used = 1;
 };
 
 /// Open loop: Poisson arrivals at `offered_rps` on one pipelined connection.
@@ -223,6 +243,8 @@ OpenResult run_open(Stack& stack, double offered_rps, std::size_t total,
   OpenResult res;
   res.offered_rps = offered_rps;
   res.scheduled = total;
+  res.shards = stack.svc.shard_count();
+  res.threads_used = stack.threads_used();
 
   std::vector<double> lats;
   lats.reserve(total);
@@ -335,25 +357,28 @@ void report(bool quick) {
   if (quick) return;  // smoke mode: no JSON, numbers are not steady-state
 
   if (FILE* f = std::fopen("BENCH_edge.json", "w")) {
-    std::fprintf(f, "{\n  \"benchmark\": \"edge_slo\",\n  \"closed_loop\": [\n");
+    std::fprintf(f, "{\n  \"benchmark\": \"edge_slo\",\n  \"hardware_threads\": %zu,\n"
+                 "  \"closed_loop\": [\n", hw_threads());
     for (std::size_t i = 0; i < closed.size(); ++i) {
       const auto& r = closed[i];
       std::fprintf(f,
-                   "    {\"clients\": %zu, \"ok\": %zu, \"goodput_rps\": %.1f, "
+                   "    {\"clients\": %zu, \"shards\": %zu, \"threads_used\": %zu, "
+                   "\"ok\": %zu, \"goodput_rps\": %.1f, "
                    "\"p50_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f}%s\n",
-                   r.clients, r.requests, r.goodput_rps, r.lat.p50, r.lat.p99, r.lat.p999,
-                   i + 1 < closed.size() ? "," : "");
+                   r.clients, r.shards, r.threads_used, r.requests, r.goodput_rps,
+                   r.lat.p50, r.lat.p99, r.lat.p999, i + 1 < closed.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n  \"open_loop\": [\n");
     for (std::size_t i = 0; i < open.size(); ++i) {
       const auto& r = open[i];
       std::fprintf(f,
-                   "    {\"offered_rps\": %.0f, \"scheduled\": %zu, \"ok\": %zu, "
+                   "    {\"offered_rps\": %.0f, \"shards\": %zu, \"threads_used\": %zu, "
+                   "\"scheduled\": %zu, \"ok\": %zu, "
                    "\"shedded\": %zu, \"expired\": %zu, \"goodput_rps\": %.1f, "
                    "\"p50_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f, "
                    "\"duration_s\": %.2f}%s\n",
-                   r.offered_rps, r.scheduled, r.ok, r.shedded, r.expired, r.goodput_rps,
-                   r.lat.p50, r.lat.p99, r.lat.p999, r.duration_s,
+                   r.offered_rps, r.shards, r.threads_used, r.scheduled, r.ok, r.shedded,
+                   r.expired, r.goodput_rps, r.lat.p50, r.lat.p99, r.lat.p999, r.duration_s,
                    i + 1 < open.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -365,12 +390,14 @@ void report(bool quick) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
-      report(/*quick=*/true);
-      return 0;
+      quick = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      g_shards = std::max<std::size_t>(1, std::strtoull(argv[++i], nullptr, 10));
     }
   }
-  report(/*quick=*/false);
+  report(quick);
   return 0;
 }

@@ -52,6 +52,8 @@ struct LoadResult {
   double mean_batch = 0;   ///< mean coalesced micro-batch size
   std::uint64_t p50_wait_us = 0;
   std::uint64_t p99_wait_us = 0;
+  std::size_t shards = 1;        ///< executor shards the service actually ran
+  std::size_t threads_used = 1;  ///< shards x resolved engine worker threads
 };
 
 /// Drives `producers` closed-loop producers (window kWindow) through one
@@ -90,6 +92,9 @@ LoadResult drive(const service::ServiceOptions& so, const char* sorter, std::siz
   const auto st = svc.stats();
   LoadResult r;
   r.vps = static_cast<double>(producers * requests_per_producer) / secs;
+  r.shards = svc.shard_count();
+  const std::size_t engine_threads = svc.options().batch.threads;
+  r.threads_used = r.shards * (engine_threads ? engine_threads : hw_threads());
   const std::uint64_t batches = st.batches - warm.batches;
   const std::uint64_t coalesced = st.completed - warm.completed;
   r.mean_batch = batches ? static_cast<double>(coalesced) / static_cast<double>(batches) : 0.0;
@@ -171,10 +176,12 @@ void report(bool quick) {
       const Row& r = rows[i];
       std::fprintf(f,
                    "    {\"sorter\": \"%s\", \"n\": %zu, \"producers\": %zu, "
-                   "\"linger_us\": %zu, \"baseline_vps\": %.1f, \"coalesced_vps\": %.1f, "
+                   "\"linger_us\": %zu, \"shards\": %zu, \"threads_used\": %zu, "
+                   "\"baseline_vps\": %.1f, \"coalesced_vps\": %.1f, "
                    "\"speedup\": %.2f, \"mean_batch\": %.1f, \"p50_wait_us\": %llu, "
                    "\"p99_wait_us\": %llu}%s\n",
-                   r.sorter, r.n, r.producers, r.linger_us, r.baseline_vps, r.coalesced.vps,
+                   r.sorter, r.n, r.producers, r.linger_us, r.coalesced.shards,
+                   r.coalesced.threads_used, r.baseline_vps, r.coalesced.vps,
                    r.coalesced.vps / r.baseline_vps, r.coalesced.mean_batch,
                    static_cast<unsigned long long>(r.coalesced.p50_wait_us),
                    static_cast<unsigned long long>(r.coalesced.p99_wait_us),
@@ -197,6 +204,7 @@ void report_faults(bool quick) {
     const char* sorter;
     std::size_t n;
     std::size_t producers;
+    std::size_t shards, threads_used;
     double healthy_vps, self_check_vps, degraded_vps;
   };
   std::vector<FiRow> rows;
@@ -209,7 +217,8 @@ void report_faults(bool quick) {
     const std::size_t producers = 4;
     const std::size_t reqs = quick ? 250 : (c.n >= 1024 ? 400 : 1200);
 
-    const double healthy = drive(coalesced_options(200), c.sorter, c.n, producers, reqs).vps;
+    const auto healthy_res = drive(coalesced_options(200), c.sorter, c.n, producers, reqs);
+    const double healthy = healthy_res.vps;
 
     auto sc = coalesced_options(200);
     sc.self_check = true;
@@ -225,7 +234,8 @@ void report_faults(bool quick) {
     dg.fault_plan = std::make_shared<service::FaultPlan>(fo);
     const double degraded = drive(dg, c.sorter, c.n, producers, reqs).vps;
 
-    rows.push_back(FiRow{c.sorter, c.n, producers, healthy, checked, degraded});
+    rows.push_back(FiRow{c.sorter, c.n, producers, healthy_res.shards,
+                         healthy_res.threads_used, healthy, checked, degraded});
     std::printf("%-8s %6zu %5zu %13.0f %15.0f %13.0f %8.2fx %8.1fx\n", c.sorter, c.n,
                 producers, healthy, checked, degraded, healthy / checked,
                 healthy / degraded);
@@ -241,10 +251,12 @@ void report_faults(bool quick) {
       const FiRow& r = rows[i];
       std::fprintf(f,
                    "    {\"sorter\": \"%s\", \"n\": %zu, \"producers\": %zu, "
+                   "\"shards\": %zu, \"threads_used\": %zu, "
                    "\"healthy_vps\": %.1f, \"self_check_vps\": %.1f, "
                    "\"degraded_vps\": %.1f, \"self_check_overhead\": %.3f, "
                    "\"degradation_factor\": %.2f}%s\n",
-                   r.sorter, r.n, r.producers, r.healthy_vps, r.self_check_vps,
+                   r.sorter, r.n, r.producers, r.shards, r.threads_used,
+                   r.healthy_vps, r.self_check_vps,
                    r.degraded_vps, r.healthy_vps / r.self_check_vps,
                    r.healthy_vps / r.degraded_vps, i + 1 < rows.size() ? "," : "");
     }

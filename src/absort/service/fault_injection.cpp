@@ -51,18 +51,21 @@ bool FaultPlan::fire(double p, std::uint32_t& forced_left) {
 }
 
 bool FaultPlan::fail_compile(std::string_view, std::size_t) {
+  std::lock_guard lk(m_);
   if (!fire(opts_.compile_fail, force_compile_)) return false;
   compile_fails_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 bool FaultPlan::fail_eval(std::string_view, std::size_t) {
+  std::lock_guard lk(m_);
   if (!fire(opts_.eval_throw, force_eval_)) return false;
   eval_throws_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 std::chrono::microseconds FaultPlan::latency_spike() {
+  std::lock_guard lk(m_);
   if (!fire(opts_.latency, force_latency_)) return std::chrono::microseconds{0};
   latency_spikes_.fetch_add(1, std::memory_order_relaxed);
   return opts_.latency_spike;
@@ -70,6 +73,7 @@ std::chrono::microseconds FaultPlan::latency_spike() {
 
 std::optional<netlist::Fault> FaultPlan::pick_circuit_fault(const netlist::Circuit& c) {
   if (opts_.circuit_fault <= 0) return std::nullopt;
+  std::lock_guard lk(m_);
   static constexpr netlist::FaultKind kKinds[] = {netlist::FaultKind::StuckControl0,
                                                   netlist::FaultKind::StuckControl1,
                                                   netlist::FaultKind::OutputsSwapped};
@@ -112,7 +116,9 @@ std::optional<netlist::Fault> FaultPlan::pick_circuit_fault(const netlist::Circu
 }
 
 std::vector<std::size_t> FaultPlan::pick_corrupt_lanes(std::size_t lanes) {
-  if (lanes == 0 || !fire(opts_.corrupt, force_corrupt_)) return {};
+  if (lanes == 0) return {};
+  std::lock_guard lk(m_);
+  if (!fire(opts_.corrupt, force_corrupt_)) return {};
   const double want = opts_.corrupt_fraction * static_cast<double>(lanes);
   const std::size_t count =
       std::clamp<std::size_t>(static_cast<std::size_t>(want) + (want > 0 ? 1 : 0), 1, lanes);
@@ -133,6 +139,7 @@ std::vector<std::size_t> FaultPlan::pick_corrupt_lanes(std::size_t lanes) {
 
 void FaultPlan::corrupt_bits(std::vector<std::uint8_t>& bits) {
   if (bits.empty()) return;
+  std::lock_guard lk(m_);
   bits[rng_.below(bits.size())] ^= 1;
 }
 

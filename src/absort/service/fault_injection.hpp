@@ -25,14 +25,18 @@
 // Determinism: all decisions derive from one Xoshiro256 stream seeded at
 // construction, and the first opportunity at each site (and each FaultKind)
 // always fires, so a chaos run of any length covers every fault class.
-// Counters are atomics: the dispatcher records while tests and the CLI read
-// concurrently.
+// Decision methods serialize on an internal mutex, so one plan can be shared
+// by every shard dispatcher of a sharded SortService (the decision *order*
+// then depends on dispatch interleaving, but each decision stays a draw from
+// the one seeded stream and coverage guarantees hold).  Counters are
+// atomics: dispatchers record while tests and the CLI read concurrently.
 
 #include <array>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string_view>
@@ -81,7 +85,7 @@ class FaultPlan {
   /// case so Status::Ok always implies a correct result.
   [[nodiscard]] bool corrupts_outputs() const noexcept;
 
-  // -- injection decisions (dispatcher thread only) -------------------------
+  // -- injection decisions (any dispatcher thread; internally serialized) ---
   //
   // sorter/n identify the key for the failure message baked into injected
   // exceptions (so a test seeing one can tell it apart from a real failure).
@@ -135,9 +139,12 @@ class FaultPlan {
  private:
   /// One seeded coin flip for a site; fires unconditionally while
   /// `forced_left` > 0 (decrementing it), never after the max_faults budget.
+  /// Caller holds m_.
   bool fire(double p, std::uint32_t& forced_left);
 
   FaultPlanOptions opts_;
+  /// Serializes rng_/force_*/next_kind_ across shard dispatchers.
+  std::mutex m_;
   Xoshiro256 rng_;
 
   // Forced first-fire budgets per site (see header comment).

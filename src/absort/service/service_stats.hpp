@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace absort::service {
 
@@ -56,6 +57,19 @@ class Histogram {
   std::atomic<std::uint64_t> sum_{0};
 };
 
+/// Per-shard slice of a sharded SortService's counters (see
+/// SortService::stats(); one entry per executor, indexed by shard).
+struct ShardStats {
+  std::uint64_t routed = 0;           ///< requests the affinity hash sent here
+  std::uint64_t batches = 0;          ///< micro-batches this shard evaluated
+  std::uint64_t steals = 0;           ///< batches this shard stole from siblings
+  std::uint64_t stolen_requests = 0;  ///< requests inside those stolen batches
+  std::uint64_t queue_depth = 0;      ///< submission-queue depth at snapshot time
+  /// Mean live-lane fill of this shard's batches relative to max_batch_lanes
+  /// (1.0 = every batch full); 0 before the first batch.
+  double lane_occupancy = 0.0;
+};
+
 /// One coherent view of a SortService's lifetime counters and latency
 /// distributions (see SortService::stats()).
 struct ServiceStats {
@@ -66,7 +80,11 @@ struct ServiceStats {
   std::uint64_t stopped = 0;       ///< requests refused after stop()
   std::uint64_t failed = 0;        ///< requests failed with an exception
   std::uint64_t batches = 0;       ///< micro-batches formed
-  std::uint64_t compiled = 0;      ///< (sorter, n) engines compiled (cache misses)
+  std::uint64_t compiled = 0;      ///< (sorter, n) engines compiled (cache misses, per shard)
+
+  // Sharding (totals across per_shard; 0 on a 1-shard service):
+  std::uint64_t steals = 0;           ///< micro-batches taken by work stealing
+  std::uint64_t stolen_requests = 0;  ///< requests answered off their home shard
 
   // Robustness ladder (see fault_injection.hpp and DESIGN.md):
   std::uint64_t retries = 0;            ///< engine compile attempts retried after a failure
@@ -84,6 +102,9 @@ struct ServiceStats {
   std::uint64_t connections_dropped = 0;   ///< TCP connections refused at the connection cap
   std::uint64_t bytes_in = 0;              ///< wire bytes read from clients
   std::uint64_t bytes_out = 0;             ///< wire bytes written to clients
+
+  /// One entry per executor shard (size == SortService::shard_count()).
+  std::vector<ShardStats> per_shard;
 
   HistogramSnapshot batch_size;     ///< requests coalesced per micro-batch
   HistogramSnapshot queue_wait_us;  ///< submit -> batch formation, microseconds

@@ -4,6 +4,11 @@
 #include <stdexcept>
 #include <string>
 
+#if defined(__linux__) && defined(__GLIBC__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "absort/netlist/transform.hpp"
 #include "absort/service/fault_injection.hpp"
 
@@ -14,6 +19,44 @@ namespace {
 std::uint64_t us_between(SortService::Clock::time_point a, SortService::Clock::time_point b) {
   const auto d = std::chrono::duration_cast<std::chrono::microseconds>(b - a).count();
   return d > 0 ? static_cast<std::uint64_t>(d) : 0;
+}
+
+/// How often an empty shard re-scans siblings for steal opportunities while
+/// at least one of them is backlogged.  Idle shards with no backlogged
+/// sibling do a plain (poll-free) cv wait instead.
+constexpr std::chrono::microseconds kStealPoll{100};
+
+/// splitmix64 finalizer: full-avalanche mix for the affinity hash.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over the sorter name so routing is stable across runs (a pointer
+/// hash would reshuffle shards with every ASLR draw).
+std::uint64_t hash_key(std::string_view name, std::size_t n) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char ch : name) {
+    h ^= static_cast<std::uint8_t>(ch);
+    h *= 0x100000001B3ULL;
+  }
+  return mix64(h ^ (static_cast<std::uint64_t>(n) * 0x9E3779B97F4A7C15ULL));
+}
+
+/// Best-effort dispatcher pinning; a no-op where pthread_setaffinity_np is
+/// unavailable or the process affinity mask forbids the core.
+void pin_to_core(std::size_t index) {
+#if defined(__linux__) && defined(__GLIBC__)
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(index % hw), &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof set, &set);
+#else
+  (void)index;
+#endif
 }
 
 }  // namespace
@@ -29,7 +72,8 @@ const char* to_string(Status s) {
   return "?";
 }
 
-SortService::SortService(ServiceOptions opts) : opts_(opts) {
+SortService::SortService(ServiceOptions opts) : opts_(std::move(opts)) {
+  opts_.shards = std::max<std::size_t>(1, opts_.shards);
   opts_.queue_capacity = std::max<std::size_t>(1, opts_.queue_capacity);
   opts_.max_batch_lanes = std::max<std::size_t>(1, opts_.max_batch_lanes);
   opts_.compile_attempts = std::max<std::size_t>(1, opts_.compile_attempts);
@@ -37,21 +81,55 @@ SortService::SortService(ServiceOptions opts) : opts_(opts) {
   // A plan that perturbs outputs makes the self-check mandatory: Status::Ok
   // must always mean a correct result.
   if (opts_.fault_plan && opts_.fault_plan->corrupts_outputs()) opts_.self_check = true;
-  dispatcher_ = std::thread([this] { dispatch_loop(); });
+  // Divide the machine: N shards each running engines at the default worker
+  // count would stack N full-size BatchRunner pools onto the same cores.
+  if (opts_.shards > 1 && opts_.batch.threads == 0) {
+    const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    opts_.batch.threads = std::max<std::size_t>(1, hw / opts_.shards);
+  }
+
+  shards_.reserve(opts_.shards);
+  for (std::size_t i = 0; i < opts_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i));
+  }
+  // Dispatchers start only after every shard exists: thieves scan shards_.
+  for (auto& sh : shards_) {
+    Shard* p = sh.get();
+    p->dispatcher = std::thread([this, p] { dispatch_loop(*p); });
+  }
 }
 
 SortService::~SortService() { stop(); }
 
 void SortService::stop() {
-  {
-    std::lock_guard lk(m_);
-    stopping_ = true;
+  for (auto& sh : shards_) {
+    {
+      std::lock_guard lk(sh->m);
+      sh->stopping = true;
+    }
+    sh->cv_work.notify_all();
+    sh->cv_space.notify_all();
   }
-  cv_work_.notify_all();
-  cv_space_.notify_all();
   // call_once also blocks late callers until the join completes, so stop()
-  // has returned-means-drained semantics for every caller.
-  std::call_once(join_once_, [this] { dispatcher_.join(); });
+  // has returned-means-drained semantics for every caller.  A thief holding
+  // a stolen batch answers it before seeing stopping, so joins cover steals
+  // in flight.
+  std::call_once(join_once_, [this] {
+    for (auto& sh : shards_) sh->dispatcher.join();
+  });
+}
+
+std::size_t SortService::route(const Key& key) const noexcept {
+  return static_cast<std::size_t>(hash_key(key.first->name, key.second) % shards_.size());
+}
+
+std::size_t SortService::shard_of(std::string_view sorter, std::size_t n) const {
+  const auto* entry = sorters::find_sorter(sorter);
+  if (!entry) {
+    throw std::invalid_argument("SortService: unknown sorter '" + std::string(sorter) +
+                                "'; available: " + sorters::sorter_names());
+  }
+  return route(Key{entry, n});
 }
 
 std::future<SortResult> SortService::submit(std::string_view sorter, BitVec input,
@@ -69,31 +147,45 @@ std::future<SortResult> SortService::submit(std::string_view sorter, BitVec inpu
     return std::move(future);
   };
 
-  std::unique_lock lk(m_);
-  if (stopping_) return reject(Status::Stopped, stopped_);
-  if (queue_.size() >= opts_.queue_capacity) {
+  const Key key{entry, input.size()};
+  const std::size_t idx = route(key);
+  Shard& sh = *shards_[idx];
+
+  std::unique_lock lk(sh.m);
+  if (sh.stopping) return reject(Status::Stopped, stopped_);
+  if (sh.queue.size() >= opts_.queue_capacity) {
     if (opts_.overflow == ServiceOptions::Overflow::Reject) {
       return reject(Status::QueueFull, rejected_);
     }
-    // Block policy: wait for a slot, but never past the request's deadline.
-    // (An unbounded deadline waits plainly: wait_until at time_point::max()
-    // can overflow inside the standard library and time out immediately.)
-    const auto have_slot = [&] { return stopping_ || queue_.size() < opts_.queue_capacity; };
+    // Block policy: wait for a slot on this shard, but never past the
+    // request's deadline.  (An unbounded deadline waits plainly: wait_until
+    // at time_point::max() can overflow inside the standard library and time
+    // out immediately.)
+    const auto have_slot = [&] { return sh.stopping || sh.queue.size() < opts_.queue_capacity; };
     bool got_slot = true;
     if (deadline == Clock::time_point::max()) {
-      cv_space_.wait(lk, have_slot);
+      sh.cv_space.wait(lk, have_slot);
     } else {
-      got_slot = cv_space_.wait_until(lk, deadline, have_slot);
+      got_slot = sh.cv_space.wait_until(lk, deadline, have_slot);
     }
-    if (stopping_) return reject(Status::Stopped, stopped_);
+    if (sh.stopping) return reject(Status::Stopped, stopped_);
     if (!got_slot) return reject(Status::Expired, expired_);
   }
   const auto now = Clock::now();
-  queue_.push_back(Request{entry, input.size(), std::move(input), std::move(promise), deadline,
-                           now});
+  sh.queue.push_back(Request{entry, input.size(), std::move(input), std::move(promise), deadline,
+                             now});
+  const std::size_t depth = sh.queue.size();
+  sh.depth.store(depth, std::memory_order_relaxed);
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  sh.c.routed.fetch_add(1, std::memory_order_relaxed);
   lk.unlock();
-  cv_work_.notify_one();
+  sh.cv_work.notify_one();
+  // Backlogged: poke one round-robin sibling so an idle shard starts its
+  // steal scan instead of sleeping through the imbalance.
+  if (opts_.steal_threshold > 0 && shards_.size() > 1 && depth >= opts_.steal_threshold) {
+    const std::size_t t = next_poke_.fetch_add(1, std::memory_order_relaxed) % (shards_.size() - 1);
+    shards_[(idx + 1 + t) % shards_.size()]->cv_work.notify_one();
+  }
   return future;
 }
 
@@ -101,55 +193,107 @@ SortResult SortService::sort(std::string_view sorter, BitVec input) {
   return submit(sorter, std::move(input)).get();
 }
 
-void SortService::take_matching(const Key& key, std::vector<Request>& batch) {
-  for (auto it = queue_.begin();
-       it != queue_.end() && batch.size() < opts_.max_batch_lanes;) {
+void SortService::take_matching(Shard& sh, const Key& key, std::vector<Request>& batch) {
+  for (auto it = sh.queue.begin();
+       it != sh.queue.end() && batch.size() < opts_.max_batch_lanes;) {
     if (it->entry == key.first && it->n == key.second) {
       batch.push_back(std::move(*it));
-      it = queue_.erase(it);
+      it = sh.queue.erase(it);
     } else {
       ++it;
     }
   }
+  sh.depth.store(sh.queue.size(), std::memory_order_relaxed);
 }
 
-void SortService::dispatch_loop() {
+bool SortService::sibling_backlogged(const Shard& self) const {
+  for (const auto& sh : shards_) {
+    if (sh.get() == &self) continue;
+    if (sh->depth.load(std::memory_order_relaxed) >= opts_.steal_threshold) return true;
+  }
+  return false;
+}
+
+bool SortService::try_steal(Shard& thief, Key& key, std::vector<Request>& batch) {
+  const std::size_t nsh = shards_.size();
+  for (std::size_t off = 1; off < nsh; ++off) {
+    Shard& victim = *shards_[(thief.index + off) % nsh];
+    // Cheap pre-check on the lock-free depth mirror; confirmed under the
+    // victim's lock (another thief, or the victim itself, may have drained
+    // it in between).  Only the victim's lock is ever held, so steals can
+    // never deadlock against submits, dispatch, or other steals.
+    if (victim.depth.load(std::memory_order_relaxed) < opts_.steal_threshold) continue;
+    std::unique_lock lk(victim.m);
+    if (victim.queue.size() < opts_.steal_threshold || victim.queue.empty()) continue;
+    key = Key{victim.queue.front().entry, victim.queue.front().n};
+    take_matching(victim, key, batch);
+    lk.unlock();
+    victim.cv_space.notify_all();  // extraction freed the victim's slots
+    thief.c.steals.fetch_add(1, std::memory_order_relaxed);
+    thief.c.stolen_requests.fetch_add(batch.size(), std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void SortService::dispatch_loop(Shard& sh) {
+  if (opts_.pin_threads) pin_to_core(sh.index);
   std::vector<Request> batch;
-  std::vector<BitVec> inputs;   // reused across micro-batches
-  std::vector<BitVec> outputs;  // reused across micro-batches
+  std::vector<BitVec> inputs;   // reused across micro-batches (per-shard arena)
+  std::vector<BitVec> outputs;  // reused across micro-batches (per-shard arena)
+  const bool can_steal = opts_.steal_threshold > 0 && shards_.size() > 1;
   for (;;) {
     batch.clear();
     Key key{};
+    bool stolen = false;
     {
-      std::unique_lock lk(m_);
-      cv_work_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and fully drained
-      key = Key{queue_.front().entry, queue_.front().n};
-      take_matching(key, batch);
-      // Linger for same-key stragglers: worth one pass through the engine
-      // only if the batch is not already full.  The budget is anchored at
-      // the oldest request's enqueue time (so a request never waits more
-      // than max_linger total) and clipped to the earliest deadline in the
-      // batch.  Skipped entirely while draining.
-      if (!stopping_ && opts_.max_linger.count() > 0 &&
-          batch.size() < opts_.max_batch_lanes) {
-        auto until = batch.front().enqueued + opts_.max_linger;
-        for (const auto& r : batch) until = std::min(until, r.deadline);
-        while (!stopping_ && batch.size() < opts_.max_batch_lanes) {
-          if (cv_work_.wait_until(lk, until) == std::cv_status::timeout) break;
-          take_matching(key, batch);
+      std::unique_lock lk(sh.m);
+      for (;;) {
+        if (!sh.queue.empty()) break;
+        if (sh.stopping) return;  // own queue drained; siblings drain their own
+        if (can_steal && sibling_backlogged(sh)) {
+          lk.unlock();
+          if (try_steal(sh, key, batch)) {
+            stolen = true;
+            break;
+          }
+          lk.lock();
+          // The backlog vanished between the scan and the lock (victim or
+          // another thief drained it): poll briefly while any sibling still
+          // looks backlogged, then fall back to the plain wait above.
+          if (sh.queue.empty() && !sh.stopping) sh.cv_work.wait_for(lk, kStealPoll);
+        } else {
+          sh.cv_work.wait(lk);
+        }
+      }
+      if (!stolen) {
+        key = Key{sh.queue.front().entry, sh.queue.front().n};
+        take_matching(sh, key, batch);
+        // Linger for same-key stragglers: worth one pass through the engine
+        // only if the batch is not already full.  The budget is anchored at
+        // the oldest request's enqueue time (so a request never waits more
+        // than max_linger total) and clipped to the earliest deadline in the
+        // batch.  Skipped entirely while draining.
+        if (!sh.stopping && opts_.max_linger.count() > 0 &&
+            batch.size() < opts_.max_batch_lanes) {
+          auto until = batch.front().enqueued + opts_.max_linger;
+          for (const auto& r : batch) until = std::min(until, r.deadline);
+          while (!sh.stopping && batch.size() < opts_.max_batch_lanes) {
+            if (sh.cv_work.wait_until(lk, until) == std::cv_status::timeout) break;
+            take_matching(sh, key, batch);
+          }
         }
       }
     }
-    cv_space_.notify_all();  // extraction freed queue slots
-    process(key, batch, inputs, outputs);
+    if (!stolen) sh.cv_space.notify_all();  // extraction freed queue slots
+    process(sh, key, batch, inputs, outputs);
   }
 }
 
-SortService::Engine* SortService::ensure_engine(const Key& key,
+SortService::Engine* SortService::ensure_engine(Shard& sh, const Key& key,
                                                 std::exception_ptr& factory_error) {
-  auto it = engines_.find(key);
-  if (it == engines_.end()) it = engines_.emplace(key, Engine{}).first;
+  auto it = sh.engines.find(key);
+  if (it == sh.engines.end()) it = sh.engines.emplace(key, Engine{}).first;
   Engine& e = it->second;
 
   if (!e.sorter) {
@@ -164,14 +308,27 @@ SortService::Engine* SortService::ensure_engine(const Key& key,
     }
   }
 
-  // Parole: a quarantined key sits out `probation` batches on the per-vector
-  // path, then gets its strikes cleared and the batch path retried.
-  if (e.quarantined && e.parole > 0 && --e.parole == 0) {
-    e.quarantined = false;
-    e.strikes = 0;
+  // Consult the global ladder (cold path: once per micro-batch).  Parole
+  // counts batches the key served per-vector on *any* shard; a quarantine
+  // any shard recorded is honored here before the engine could run.
+  bool quarantined;
+  {
+    std::lock_guard lk(ladder_m_);
+    Ladder& L = ladder_[key];
+    if (L.quarantined && L.parole > 0 && --L.parole == 0) {
+      L.quarantined = false;
+      L.strikes = 0;
+    }
+    quarantined = L.quarantined;
+  }
+  if (quarantined) {
+    // Drop this shard's engine (and its worker pool): a key another shard
+    // caught misbehaving must not keep a live batch path anywhere.
+    e.batch.reset();
+    return &e;
   }
 
-  if (!e.batch && !e.quarantined) {
+  if (!e.batch) {
     // Rung 1: compile with capped exponential backoff.  The fault plan can
     // make an attempt throw; real make_batch_sorter failures retry the same
     // way.  Persistent failure quarantines the key onto the per-vector path
@@ -197,19 +354,28 @@ SortService::Engine* SortService::ensure_engine(const Key& key,
     if (e.batch) {
       compiled_.fetch_add(1, std::memory_order_relaxed);
     } else {
-      e.quarantined = true;
-      e.parole = opts_.probation;
-      quarantined_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard lk(ladder_m_);
+      Ladder& L = ladder_[key];
+      if (!L.quarantined) {
+        L.quarantined = true;
+        L.parole = opts_.probation;
+        quarantined_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
   return &e;
 }
 
-void SortService::strike(Engine& e) {
-  if (e.quarantined) return;
-  if (++e.strikes >= opts_.quarantine_after) {
-    e.quarantined = true;
-    e.parole = opts_.probation;
+void SortService::strike(Engine& e, const Key& key) {
+  std::lock_guard lk(ladder_m_);
+  Ladder& L = ladder_[key];
+  if (L.quarantined) {
+    e.batch.reset();  // another shard quarantined it mid-batch; fall in line
+    return;
+  }
+  if (++L.strikes >= opts_.quarantine_after) {
+    L.quarantined = true;
+    L.parole = opts_.probation;
     e.batch.reset();  // drop the engine (and its worker pool) until parole
     quarantined_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -226,7 +392,7 @@ BitVec SortService::per_vector(Engine& e, const BitVec& in) {
   return e.sorter->sort(in);
 }
 
-void SortService::process(const Key& key, std::vector<Request>& batch,
+void SortService::process(Shard& sh, const Key& key, std::vector<Request>& batch,
                           std::vector<BitVec>& inputs, std::vector<BitVec>& outputs) {
   const auto formed = Clock::now();
   // Cancel what already missed its deadline; collect the rest.
@@ -246,7 +412,7 @@ void SortService::process(const Key& key, std::vector<Request>& batch,
   if (live.empty()) return;
 
   std::exception_ptr factory_error;
-  Engine* engine = ensure_engine(key, factory_error);
+  Engine* engine = ensure_engine(sh, key, factory_error);
   if (!engine) {
     failed_.fetch_add(live.size(), std::memory_order_relaxed);
     for (auto* r : live) r->promise.set_exception(factory_error);
@@ -258,9 +424,10 @@ void SortService::process(const Key& key, std::vector<Request>& batch,
   outputs.resize(inputs.size());
   // Rung 2: the batch path, possibly perturbed by the fault plan.  Any
   // exception here is a strike, never an answer -- the per-vector rung below
-  // still owns the requests.
+  // still owns the requests.  ensure_engine cleared e.batch if the key is
+  // quarantined anywhere.
   bool batch_ok = false;
-  if (e.batch && !e.quarantined) {
+  if (e.batch) {
     const auto t0 = Clock::now();
     try {
       std::optional<netlist::Fault> injected;
@@ -292,7 +459,7 @@ void SortService::process(const Key& key, std::vector<Request>& batch,
       }
       batch_ok = true;
     } catch (...) {
-      strike(e);
+      strike(e, key);
     }
     eval_h_.record(us_between(t0, Clock::now()));
   }
@@ -322,12 +489,14 @@ void SortService::process(const Key& key, std::vector<Request>& batch,
         repair(i);
       }
     }
-    if (struck) strike(e);
+    if (struck) strike(e, key);
   } else if (!batch_ok) {
     for (std::size_t i = 0; i < live.size(); ++i) repair(i);
   }
 
   batches_.fetch_add(1, std::memory_order_relaxed);
+  sh.c.batches.fetch_add(1, std::memory_order_relaxed);
+  sh.c.lanes.fetch_add(live.size(), std::memory_order_relaxed);
   batch_size_h_.record(live.size());
   degraded_.fetch_add(degraded, std::memory_order_relaxed);
   for (std::size_t i = 0; i < live.size(); ++i) {
@@ -356,6 +525,24 @@ ServiceStats SortService::stats() const {
   s.degraded = degraded_.load(std::memory_order_relaxed);
   s.self_check_failed = self_check_failed_.load(std::memory_order_relaxed);
   s.unrecoverable = unrecoverable_.load(std::memory_order_relaxed);
+  s.per_shard.reserve(shards_.size());
+  for (const auto& sh : shards_) {
+    ShardStats ss;
+    ss.routed = sh->c.routed.load(std::memory_order_relaxed);
+    ss.batches = sh->c.batches.load(std::memory_order_relaxed);
+    ss.steals = sh->c.steals.load(std::memory_order_relaxed);
+    ss.stolen_requests = sh->c.stolen_requests.load(std::memory_order_relaxed);
+    ss.queue_depth = sh->depth.load(std::memory_order_relaxed);
+    const std::uint64_t lanes = sh->c.lanes.load(std::memory_order_relaxed);
+    ss.lane_occupancy =
+        ss.batches == 0
+            ? 0.0
+            : static_cast<double>(lanes) /
+                  (static_cast<double>(ss.batches) * static_cast<double>(opts_.max_batch_lanes));
+    s.steals += ss.steals;
+    s.stolen_requests += ss.stolen_requests;
+    s.per_shard.push_back(ss);
+  }
   s.batch_size = batch_size_h_.snapshot();
   s.queue_wait_us = queue_wait_h_.snapshot();
   s.eval_us = eval_h_.snapshot();

@@ -1,6 +1,6 @@
 #pragma once
-// SortService: an asynchronous micro-batching serving layer over the
-// bit-sliced batch engine.
+// SortService: an asynchronous, sharded micro-batching serving layer over
+// the bit-sliced batch engine.
 //
 // One compiled word-program pass amortizes over up to kBlockLanes (512)
 // vectors, so the engine's 10-40x batch speedups are only realized when
@@ -10,18 +10,27 @@
 //
 //   * producers submit(sorter_name, vector [, deadline]) from any number of
 //     threads and get a std::future<SortResult>;
-//   * a bounded submission queue applies backpressure (Block) or fails fast
-//     (Reject -> Status::QueueFull) when producers outrun the engine;
-//   * one coalescing dispatcher drains the queue, groups requests by
-//     (sorter, n), and forms micro-batches up to max_batch_lanes, lingering
-//     up to max_linger (never past a request's deadline) for stragglers of
-//     the same key;
-//   * each (sorter, n) key compiles its BatchSorter engine exactly once
-//     (registry -> make_batch_sorter); repeat traffic never recompiles;
+//   * requests route to one of `shards` per-core executors by an affinity
+//     hash of (sorter, n), so repeat traffic for one engine stays hot on one
+//     shard (queue, dispatcher, compiled-engine cache, and pack/unpack
+//     scratch all live there -- no cache-line bouncing between cores);
+//   * each shard's bounded submission queue applies backpressure (Block) or
+//     fails fast (Reject -> Status::QueueFull) when producers outrun it;
+//   * each shard's coalescing dispatcher drains its queue, groups requests
+//     by (sorter, n), and forms micro-batches up to max_batch_lanes,
+//     lingering up to max_linger (never past a request's deadline) for
+//     stragglers of the same key;
+//   * a shard whose queue runs dry *steals* a micro-batch from a sibling
+//     whose queue depth is at least steal_threshold -- imbalanced traffic
+//     (one hot key) still spreads across cores, at the price of the thief
+//     compiling its own engine for the stolen key;
+//   * each (sorter, n) key compiles its BatchSorter engine once per shard
+//     that serves it (registry -> make_batch_sorter); repeat traffic on the
+//     home shard never recompiles;
 //   * requests whose deadline passes while queued are cancelled
 //     (Status::Expired) without being evaluated;
-//   * stop() drains the queue, answers everything in flight, then joins the
-//     dispatcher; later submits fail fast with Status::Stopped.
+//   * stop() drains every shard's queue, answers everything in flight, then
+//     joins the dispatchers; later submits fail fast with Status::Stopped.
 //
 // The batch engine is treated as an optimization, never a correctness
 // dependency.  A degradation ladder guards it: engine compilation retries
@@ -30,11 +39,16 @@
 // stats count them `degraded`); an optional per-batch self-check (sortedness
 // + population count -- a complete oracle for 0-1 outputs) re-evaluates only
 // mismatched lanes; and only a request whose per-vector fallback also failed
-// is answered with the terminal Status::Failed.  fault_injection.hpp
-// provides the seeded FaultPlan chaos schedules that exercise the ladder.
+// is answered with the terminal Status::Failed.  Ladder *state* (strikes,
+// quarantine, parole) is global across shards: a fault detected on any shard
+// quarantines the (sorter, n) key everywhere, so no shard keeps serving a
+// suspect engine that another shard has already caught misbehaving.
+// fault_injection.hpp provides the seeded FaultPlan chaos schedules that
+// exercise the ladder.
 //
 // Every stage records into ServiceStats (counters + batch-size and latency
-// histograms); see service_stats.hpp.
+// histograms, plus per-shard batch/steal/occupancy counters); see
+// service_stats.hpp.
 
 #include <chrono>
 #include <condition_variable>
@@ -79,7 +93,27 @@ struct SortResult {
 };
 
 struct ServiceOptions {
-  /// Bounded submission queue slots (clamped to >= 1).
+  /// Per-core executors (clamped to >= 1).  Each shard owns a bounded
+  /// submission queue, a coalescing dispatcher thread, a compiled-engine
+  /// cache, and -- through that cache -- its own BatchRunner worker pool and
+  /// pack/unpack scratch.  Requests route by hash(sorter, n) % shards.
+  /// 1 keeps the classic single-dispatcher service.
+  std::size_t shards = 1;
+
+  /// Work stealing: a shard whose queue runs dry steals one micro-batch from
+  /// a sibling whose queue depth is at least this threshold (0 disables
+  /// stealing).  Below the threshold the backlog is cheaper to serve on its
+  /// home shard (warm engine) than to rebalance.
+  std::size_t steal_threshold = 4;
+
+  /// Pin shard dispatcher i to core i % hardware_concurrency via
+  /// pthread_setaffinity_np.  Best effort: silently skipped on platforms
+  /// without the call or when the process affinity mask forbids it.  With
+  /// shards == cores and the default per-shard engine worker budget of 1,
+  /// evaluation then never migrates across cores.
+  bool pin_threads = false;
+
+  /// Bounded submission queue slots *per shard* (clamped to >= 1).
   std::size_t queue_capacity = 4096;
 
   /// Micro-batch size cap; the engine evaluates up to kBlockLanes vectors
@@ -87,17 +121,20 @@ struct ServiceOptions {
   /// 1 disables coalescing (every request rides its own pass).
   std::size_t max_batch_lanes = netlist::kBlockLanes;
 
-  /// How long the dispatcher waits for same-key stragglers after picking up
+  /// How long a dispatcher waits for same-key stragglers after picking up
   /// a request whose batch is not yet full.  0 disables lingering.
   std::chrono::microseconds max_linger{200};
 
-  /// What submit() does when the queue is full.
+  /// What submit() does when the target shard's queue is full.
   enum class Overflow {
     Block,   ///< wait for space (up to the request's deadline)
     Reject,  ///< fail fast with Status::QueueFull
   } overflow = Overflow::Block;
 
-  /// Knobs for the per-key compiled engines ({threads, optimize}).
+  /// Knobs for the per-key compiled engines ({threads, optimize}).  With
+  /// shards > 1 and threads == 0, the constructor divides the machine:
+  /// each shard's engines get max(1, hardware_concurrency / shards) workers,
+  /// so shards never oversubscribe the cores they are meant to split.
   sorters::BatchOptions batch{};
 
   // -- robustness ladder (retry -> quarantine -> per-vector -> Failed) ------
@@ -105,7 +142,8 @@ struct ServiceOptions {
   // The batch engine is an optimization, never a correctness dependency: a
   // key whose engine misbehaves retreats to the per-vector reference path
   // (LevelizedCircuit::eval for combinational sorters, BinarySorter::sort
-  // for model B), which stays bit-identical.  See DESIGN.md "Fault model".
+  // for model B), which stays bit-identical.  Ladder state is shared by all
+  // shards (see header comment).  See DESIGN.md "Fault model".
 
   /// make_batch_sorter() attempts per key before the key is quarantined
   /// onto the per-vector path (clamped to >= 1).
@@ -116,14 +154,14 @@ struct ServiceOptions {
   std::chrono::microseconds compile_backoff{200};
   std::chrono::microseconds compile_backoff_cap{10'000};
 
-  /// Engine strikes (an eval exception or a self-check miss counts one)
-  /// before the key is quarantined (clamped to >= 1).
+  /// Engine strikes (an eval exception or a self-check miss counts one,
+  /// summed across shards) before the key is quarantined (clamped to >= 1).
   std::size_t quarantine_after = 3;
 
-  /// Batches a quarantined key serves per-vector before its strikes are
-  /// cleared and the batch path (including compilation) is retried.
-  /// 0 makes quarantine permanent.  A flapping engine costs at most one
-  /// faulty batch per `probation` healthy ones.
+  /// Batches a quarantined key serves per-vector (on any shard) before its
+  /// strikes are cleared and the batch path (including compilation) is
+  /// retried.  0 makes quarantine permanent.  A flapping engine costs at
+  /// most one faulty batch per `probation` healthy ones.
   std::size_t probation = 0;
 
   /// Verify every batch output lane (sorted + population count -- a complete
@@ -159,15 +197,23 @@ class SortService {
   /// Blocking convenience: submit and wait.
   [[nodiscard]] SortResult sort(std::string_view sorter, BitVec input);
 
-  /// Drain-then-stop: processes everything already accepted, then joins the
-  /// dispatcher.  Idempotent; safe to call from any thread.  Blocked
-  /// submitters are released with Status::Stopped.
+  /// Drain-then-stop: processes everything already accepted (including
+  /// batches a thief stole and still holds), then joins every dispatcher.
+  /// Idempotent; safe to call from any thread.  Blocked submitters are
+  /// released with Status::Stopped.
   void stop();
 
   /// Lifetime counters + histograms so far (callable any time, any thread).
   [[nodiscard]] ServiceStats stats() const;
 
   [[nodiscard]] const ServiceOptions& options() const noexcept { return opts_; }
+
+  /// Number of per-core executors (>= 1).
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// The shard the affinity hash routes (sorter, n) to -- observability and
+  /// test hooks.  Unknown sorter names throw like submit().
+  [[nodiscard]] std::size_t shard_of(std::string_view sorter, std::size_t n) const;
 
  private:
   /// Coalescing key: registry entry (stable static storage) + vector size.
@@ -182,44 +228,92 @@ class SortService {
     Clock::time_point enqueued;
   };
 
-  /// A cached per-(sorter, n) engine: the sorter instance (the fallback
-  /// engine references it), its compiled BatchSorter, plus the lazily built
-  /// per-vector fallback and the degradation-ladder state.
+  /// A cached per-(sorter, n, shard) engine: the sorter instance (the
+  /// fallback engine references it), its compiled BatchSorter, plus the
+  /// lazily built per-vector fallback.  Ladder state lives in `ladder_`,
+  /// shared by every shard.
   struct Engine {
     std::unique_ptr<sorters::BinarySorter> sorter;
-    std::unique_ptr<sorters::BatchSorter> batch;  ///< null until compiled / after quarantine
+    std::unique_ptr<sorters::BatchSorter> batch;  ///< null until compiled / while quarantined
     std::optional<netlist::Circuit> circuit;      ///< lazy; combinational only
     std::unique_ptr<netlist::LevelizedCircuit> fallback;  ///< lazy per-vector path
+  };
+
+  /// Degradation-ladder state for one (sorter, n), global across shards: a
+  /// strike or quarantine recorded by any shard is honored by all of them
+  /// before the next batch, and parole counts batches served anywhere.
+  struct Ladder {
     std::size_t strikes = 0;   ///< eval exceptions + self-check misses so far
     bool quarantined = false;  ///< on the per-vector path (see parole)
     std::size_t parole = 0;    ///< quarantined batches left before re-trying
   };
 
-  void dispatch_loop();
-  /// Moves up to the batch-size cap of key-matching requests out of the
-  /// queue (caller holds m_).
-  void take_matching(const Key& key, std::vector<Request>& batch);
+  /// Per-shard counters (relaxed atomics; snapshotted by stats()).
+  struct ShardCounters {
+    std::atomic<std::uint64_t> routed{0};           ///< requests the hash sent here
+    std::atomic<std::uint64_t> batches{0};          ///< micro-batches evaluated here
+    std::atomic<std::uint64_t> lanes{0};            ///< live lanes across those batches
+    std::atomic<std::uint64_t> steals{0};           ///< batches stolen from siblings
+    std::atomic<std::uint64_t> stolen_requests{0};  ///< requests inside those batches
+  };
+
+  /// One per-core executor.  The dispatcher thread owns `engines` and the
+  /// staging buffers in dispatch_loop (the per-shard arena): lane packing
+  /// and unpacking always run on this shard's engines' scratch, so the hot
+  /// path never shares cache lines with another shard.
+  struct Shard {
+    explicit Shard(std::size_t i) : index(i) {}
+
+    const std::size_t index;
+    mutable std::mutex m;
+    std::condition_variable cv_work;   ///< queue became non-empty / stopping
+    std::condition_variable cv_space;  ///< queue freed a slot / stopping
+    std::deque<Request> queue;
+    bool stopping = false;
+    /// queue.size() mirror so steal scans never touch a sibling's mutex
+    /// until a steal actually looks worthwhile.
+    std::atomic<std::size_t> depth{0};
+
+    std::map<Key, Engine> engines;  ///< dispatcher-only (no lock needed)
+    ShardCounters c;
+    std::thread dispatcher;  ///< started last; everything above is ready first
+  };
+
+  void dispatch_loop(Shard& sh);
+  /// Moves up to the batch-size cap of key-matching requests out of `sh`'s
+  /// queue (caller holds sh.m).
+  void take_matching(Shard& sh, const Key& key, std::vector<Request>& batch);
+  /// Attempts to steal one micro-batch from a sibling over the steal
+  /// threshold (thief holds no locks; the victim's lock is taken alone, so
+  /// steals can never deadlock with submits or other steals).
+  bool try_steal(Shard& thief, Key& key, std::vector<Request>& batch);
+  /// Any sibling of `self` at or past the steal threshold?
+  [[nodiscard]] bool sibling_backlogged(const Shard& self) const;
   /// Expires, evaluates, and answers one formed micro-batch (no lock held).
-  void process(const Key& key, std::vector<Request>& batch, std::vector<BitVec>& inputs,
-               std::vector<BitVec>& outputs);
-  /// Compiles the key's engine on first sight, retrying with capped
-  /// exponential backoff and quarantining on persistent failure; returns
-  /// null only when the sorter factory itself threw (`factory_error` set).
-  Engine* ensure_engine(const Key& key, std::exception_ptr& factory_error);
-  /// One engine misbehaviour; quarantines the key at quarantine_after.
-  void strike(Engine& e);
+  void process(Shard& sh, const Key& key, std::vector<Request>& batch,
+               std::vector<BitVec>& inputs, std::vector<BitVec>& outputs);
+  /// Compiles the key's engine on first sight on this shard, retrying with
+  /// capped exponential backoff and quarantining (globally) on persistent
+  /// failure; returns null only when the sorter factory itself threw
+  /// (`factory_error` set).
+  Engine* ensure_engine(Shard& sh, const Key& key, std::exception_ptr& factory_error);
+  /// One engine misbehaviour; quarantines the key (on every shard) at
+  /// quarantine_after accumulated strikes.
+  void strike(Engine& e, const Key& key);
   /// The trusted per-vector reference path (never fault-injected).
   BitVec per_vector(Engine& e, const BitVec& in);
+  /// Affinity routing: hash(sorter, n) % shards.
+  [[nodiscard]] std::size_t route(const Key& key) const noexcept;
 
   ServiceOptions opts_;
 
-  mutable std::mutex m_;
-  std::condition_variable cv_work_;   ///< queue became non-empty / stopping
-  std::condition_variable cv_space_;  ///< queue freed a slot / stopping
-  std::deque<Request> queue_;
-  bool stopping_ = false;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> next_poke_{0};  ///< round-robin thief wakeups
 
-  std::map<Key, Engine> engines_;  ///< dispatcher-only (no lock needed)
+  /// Ladder state shared by all shards; its mutex is cold-path only (taken
+  /// once per micro-batch, never per request).
+  mutable std::mutex ladder_m_;
+  std::map<Key, Ladder> ladder_;
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
@@ -239,7 +333,6 @@ class SortService {
   Histogram eval_h_;
 
   std::once_flag join_once_;
-  std::thread dispatcher_;  ///< started last; everything above is ready first
 };
 
 }  // namespace absort::service

@@ -51,6 +51,8 @@ std::string stats_json(const ServiceStats& s) {
   counter("failed", s.failed);
   counter("batches", s.batches);
   counter("compiled", s.compiled);
+  counter("steals", s.steals);
+  counter("stolen_requests", s.stolen_requests);
   counter("retries", s.retries);
   counter("quarantined", s.quarantined);
   counter("degraded", s.degraded);
@@ -62,6 +64,20 @@ std::string stats_json(const ServiceStats& s) {
   counter("connections_dropped", s.connections_dropped);
   counter("bytes_in", s.bytes_in);
   counter("bytes_out", s.bytes_out);
+  counter("shards", s.per_shard.size());
+  out += "  \"per_shard\": [";
+  for (std::size_t i = 0; i < s.per_shard.size(); ++i) {
+    const ShardStats& sh = s.per_shard[i];
+    append(out,
+           "%s{\"routed\": %llu, \"batches\": %llu, \"steals\": %llu, "
+           "\"stolen_requests\": %llu, \"queue_depth\": %llu, \"lane_occupancy\": %.4f}",
+           i == 0 ? "" : ", ", static_cast<unsigned long long>(sh.routed),
+           static_cast<unsigned long long>(sh.batches),
+           static_cast<unsigned long long>(sh.steals),
+           static_cast<unsigned long long>(sh.stolen_requests),
+           static_cast<unsigned long long>(sh.queue_depth), sh.lane_occupancy);
+  }
+  out += "],\n";
   out += "  \"batch_size\": " + histogram_json(s.batch_size) + ",\n";
   out += "  \"queue_wait_us\": " + histogram_json(s.queue_wait_us) + ",\n";
   out += "  \"eval_us\": " + histogram_json(s.eval_us) + "\n}";

@@ -1,0 +1,505 @@
+// Tests for the sharded SortService: affinity routing, multi-producer
+// bit-identity across shard counts, work stealing, drain-on-stop with steals
+// in flight, per-shard Block/Reject overflow semantics, and the global
+// degradation ladder (a fault caught on one shard quarantines the engine on
+// every shard).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <iterator>
+#include <future>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "absort/service/fault_injection.hpp"
+#include "absort/service/service_stats.hpp"
+#include "absort/service/sort_service.hpp"
+#include "absort/sorters/registry.hpp"
+#include "absort/util/rng.hpp"
+
+#include "test_seed.hpp"
+
+namespace absort {
+namespace {
+
+using namespace std::chrono_literals;
+using service::ServiceOptions;
+using service::SortResult;
+using service::SortService;
+using service::Status;
+
+struct Key {
+  const char* sorter;
+  std::size_t n;
+};
+
+// ----------------------------------------------------------------- routing
+
+TEST(ServiceSharding, RoutingIsStableAndSpreadsKeys) {
+  ServiceOptions so;
+  so.shards = 8;
+  SortService svc(so);
+  EXPECT_EQ(svc.shard_count(), 8u);
+
+  // Same key -> same shard, every time (affinity is the point of the hash).
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_EQ(svc.shard_of("prefix", 64), svc.shard_of("prefix", 64));
+  }
+  // Routing only depends on (sorter, n), so a second service agrees.
+  SortService svc2(so);
+  EXPECT_EQ(svc.shard_of("prefix", 64), svc2.shard_of("prefix", 64));
+
+  // A spread of keys must not all pile onto one shard.
+  std::vector<std::size_t> used;
+  for (const char* s : {"prefix", "batcher", "mux-merger", "fish"}) {
+    for (const std::size_t n : {16, 32, 64, 128, 256}) {
+      used.push_back(svc.shard_of(s, n));
+    }
+  }
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  EXPECT_GT(used.size(), 1u) << "20 keys hashed to a single shard of 8";
+
+  EXPECT_THROW((void)svc.shard_of("nosuch", 16), std::invalid_argument);
+  // A 1-shard service routes everything to shard 0.
+  SortService mono;
+  EXPECT_EQ(mono.shard_count(), 1u);
+  EXPECT_EQ(mono.shard_of("fish", 64), 0u);
+}
+
+// ----------------------------------------------- determinism across shards
+
+// Same inputs -> bit-identical outputs at 1, 2, and 8 shards, under
+// multi-producer load with routing and stealing both active; every answer is
+// also checked against the per-vector reference oracle.
+TEST(ServiceSharding, MultiProducerBitIdenticalAcross128Shards) {
+  const Key keys[] = {{"prefix", 64}, {"batcher", 32}, {"mux-merger", 128}, {"fish", 64}};
+  std::vector<std::unique_ptr<sorters::BinarySorter>> refs;
+  for (const auto& k : keys) refs.push_back(sorters::make_sorter(k.sorter, k.n));
+
+  constexpr std::size_t kProducers = 4, kRequests = 120, kWindow = 8;
+  const std::uint64_t base_seed = testing::test_seed(211);
+  SCOPED_TRACE(::testing::Message() << "replay: ABSORT_TEST_SEED=" << base_seed);
+
+  // outputs[shard_config][producer] = concatenated output bits, in order.
+  std::vector<std::vector<std::vector<BitVec>>> outputs;
+  for (const std::size_t shards : {1u, 2u, 8u}) {
+    ServiceOptions so;
+    so.shards = shards;
+    so.steal_threshold = 2;  // keep thieves active during the run
+    so.max_linger = 200us;
+    SortService svc(so);
+
+    std::vector<std::vector<BitVec>> per_producer(kProducers);
+    std::atomic<std::size_t> mismatches{0};
+    std::vector<std::thread> producers;
+    for (std::size_t p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        Xoshiro256 rng(base_seed + p);  // same stream for every shard count
+        struct InFlight {
+          std::size_t key;
+          BitVec input;
+          std::future<SortResult> fut;
+        };
+        std::vector<InFlight> window;
+        const auto settle = [&](InFlight f) {
+          const auto r = f.fut.get();
+          if (r.status != Status::Ok || r.output != refs[f.key]->sort(f.input)) {
+            mismatches.fetch_add(1);
+          } else {
+            per_producer[p].push_back(r.output);
+          }
+        };
+        for (std::size_t i = 0; i < kRequests; ++i) {
+          const std::size_t k = rng.below(std::size(keys));
+          auto in = workload::random_bits(rng, keys[k].n);
+          auto fut = svc.submit(keys[k].sorter, in);
+          window.push_back(InFlight{k, std::move(in), std::move(fut)});
+          if (window.size() >= kWindow) {
+            settle(std::move(window.front()));
+            window.erase(window.begin());
+          }
+        }
+        for (auto& f : window) settle(std::move(f));
+      });
+    }
+    for (auto& t : producers) t.join();
+    EXPECT_EQ(mismatches.load(), 0u) << "shards=" << shards;
+
+    const auto st = svc.stats();
+    EXPECT_EQ(st.submitted, kProducers * kRequests) << "shards=" << shards;
+    EXPECT_EQ(st.completed, kProducers * kRequests) << "shards=" << shards;
+    EXPECT_EQ(st.per_shard.size(), shards);
+    std::uint64_t routed = 0;
+    for (const auto& sh : st.per_shard) routed += sh.routed;
+    EXPECT_EQ(routed, st.submitted) << "shards=" << shards;
+    outputs.push_back(std::move(per_producer));
+  }
+
+  // Identical per-producer output sequences regardless of the shard count.
+  for (std::size_t cfg = 1; cfg < outputs.size(); ++cfg) {
+    ASSERT_EQ(outputs[cfg].size(), outputs[0].size());
+    for (std::size_t p = 0; p < outputs[0].size(); ++p) {
+      EXPECT_EQ(outputs[cfg][p], outputs[0][p]) << "config " << cfg << " producer " << p;
+    }
+  }
+}
+
+// ------------------------------------------------------------ work stealing
+
+// A hot key routes every request to one home shard; with a low steal
+// threshold and sustained backlog, sibling shards must pick up part of the
+// load -- and every stolen answer must still be correct.
+TEST(ServiceSharding, StealingSpreadsHotKeyBacklog) {
+  ServiceOptions so;
+  so.shards = 4;
+  so.steal_threshold = 1;
+  so.max_batch_lanes = 4;  // many small batches -> many steal opportunities
+  so.max_linger = 0us;
+  SortService svc(so);
+
+  const auto ref = sorters::make_sorter("prefix", 64);
+  constexpr std::size_t kProducers = 4, kRequests = 400, kWindow = 16;
+  const std::uint64_t base_seed = testing::test_seed(223);
+  SCOPED_TRACE(::testing::Message() << "replay: ABSORT_TEST_SEED=" << base_seed);
+
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Xoshiro256 rng(base_seed + p);
+      struct InFlight {
+        BitVec input;
+        std::future<SortResult> fut;
+      };
+      std::vector<InFlight> window;
+      const auto settle = [&](InFlight f) {
+        const auto r = f.fut.get();
+        if (r.status != Status::Ok || r.output != ref->sort(f.input)) mismatches.fetch_add(1);
+      };
+      for (std::size_t i = 0; i < kRequests; ++i) {
+        auto in = workload::random_bits(rng, 64);
+        auto fut = svc.submit("prefix", in);
+        window.push_back(InFlight{std::move(in), std::move(fut)});
+        if (window.size() >= kWindow) {
+          settle(std::move(window.front()));
+          window.erase(window.begin());
+        }
+      }
+      for (auto& f : window) settle(std::move(f));
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  const auto st = svc.stats();
+  EXPECT_EQ(st.completed, kProducers * kRequests);
+  EXPECT_GT(st.steals, 0u) << "no sibling ever stole from the backlogged home shard";
+  EXPECT_GT(st.stolen_requests, 0u);
+  // The hot key has one home shard: every request routed there.
+  const std::size_t home = svc.shard_of("prefix", 64);
+  for (std::size_t i = 0; i < st.per_shard.size(); ++i) {
+    EXPECT_EQ(st.per_shard[i].routed, i == home ? st.submitted : 0u) << "shard " << i;
+  }
+  // Stolen batches were evaluated off the home shard.
+  std::uint64_t away_batches = 0, away_steals = 0;
+  for (std::size_t i = 0; i < st.per_shard.size(); ++i) {
+    if (i == home) continue;
+    away_batches += st.per_shard[i].batches;
+    away_steals += st.per_shard[i].steals;
+  }
+  EXPECT_EQ(away_steals, st.steals);  // only thieves record steals
+  EXPECT_GT(away_batches, 0u);
+}
+
+TEST(ServiceSharding, StealThresholdZeroDisablesStealing) {
+  ServiceOptions so;
+  so.shards = 4;
+  so.steal_threshold = 0;
+  so.max_batch_lanes = 4;
+  so.max_linger = 0us;
+  SortService svc(so);
+  ABSORT_SEEDED_RNG(rng, 227);
+  std::vector<std::future<SortResult>> futs;
+  for (int i = 0; i < 256; ++i) {
+    futs.push_back(svc.submit("prefix", workload::random_bits(rng, 64)));
+  }
+  for (auto& f : futs) EXPECT_EQ(f.get().status, Status::Ok);
+  const auto st = svc.stats();
+  EXPECT_EQ(st.steals, 0u);
+  EXPECT_EQ(st.stolen_requests, 0u);
+  const std::size_t home = svc.shard_of("prefix", 64);
+  EXPECT_EQ(st.per_shard[home].batches, st.batches);
+}
+
+// --------------------------------------------------------- drain-then-stop
+
+// stop() must answer every accepted request even while thieves hold stolen
+// batches: a burst lands on one shard, siblings steal from it, and stop()
+// races the processing.  Nothing may be lost or answered non-Ok.
+TEST(ServiceSharding, StopDrainsWithStealsInFlight) {
+  for (int round = 0; round < 3; ++round) {
+    ServiceOptions so;
+    so.shards = 4;
+    so.steal_threshold = 1;
+    so.max_batch_lanes = 2;  // small batches keep steals mid-flight at stop()
+    so.max_linger = 0us;
+    SortService svc(so);
+    ABSORT_SEEDED_RNG(rng, 229 + round);
+
+    constexpr std::size_t kBurst = 256;
+    std::vector<std::future<SortResult>> futs;
+    futs.reserve(kBurst);
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      futs.push_back(svc.submit("prefix", workload::random_bits(rng, 64)));
+    }
+    svc.stop();  // races the dispatchers and any thief mid-batch
+    for (auto& f : futs) EXPECT_EQ(f.get().status, Status::Ok);
+    const auto st = svc.stats();
+    EXPECT_EQ(st.submitted, kBurst);
+    EXPECT_EQ(st.completed, kBurst);
+    EXPECT_EQ(st.submitted, st.completed + st.failed + st.expired + st.unrecoverable);
+  }
+}
+
+// ------------------------------------------------- per-shard queue overflow
+//
+// queue_capacity bounds each shard's queue independently.  The probe needs
+// two keys on one shard (a lingering one to pin its dispatcher + one to hold
+// the 1-slot queue) and a third key on a *different* shard to show the other
+// queue is unaffected.  Keys are discovered through shard_of at runtime --
+// the affinity hash is stable but not chosen by this test.
+
+struct ShardKeys {
+  Key pin;    ///< extracted first; its linger pins the busy shard's dispatcher
+  Key full;   ///< then holds the busy shard's only queue slot
+  Key other;  ///< routes to a different shard
+};
+
+bool find_shard_keys(const SortService& svc, ShardKeys& out) {
+  const Key candidates[] = {{"prefix", 16},  {"prefix", 32},   {"prefix", 64},
+                            {"batcher", 16}, {"batcher", 32},  {"batcher", 64},
+                            {"mux-merger", 16}, {"mux-merger", 32}, {"mux-merger", 64}};
+  std::map<std::size_t, std::vector<Key>> by_shard;
+  for (const auto& k : candidates) {
+    by_shard[svc.shard_of(k.sorter, k.n)].push_back(k);
+  }
+  for (const auto& [shard, keys] : by_shard) {
+    if (keys.size() < 2) continue;
+    for (const auto& [other_shard, other_keys] : by_shard) {
+      if (other_shard == shard) continue;
+      out = ShardKeys{keys[0], keys[1], other_keys[0]};
+      return true;
+    }
+  }
+  return false;  // all nine keys on one shard: possible in principle, not seen
+}
+
+TEST(ServiceSharding, RejectIsPerShardQueue) {
+  ServiceOptions so;
+  so.shards = 2;
+  so.steal_threshold = 0;  // a thief would drain the deliberately full queue
+  so.queue_capacity = 1;
+  so.overflow = ServiceOptions::Overflow::Reject;
+  so.max_linger = 500ms;
+  SortService svc(so);
+  ShardKeys k{};
+  if (!find_shard_keys(svc, k)) GTEST_SKIP() << "degenerate key->shard mapping";
+  ABSORT_SEEDED_RNG(rng, 233);
+
+  auto lingering = svc.submit(k.pin.sorter, workload::random_bits(rng, k.pin.n));
+  std::this_thread::sleep_for(50ms);  // dispatcher extracts it, starts lingering
+  auto queued = svc.submit(k.full.sorter, workload::random_bits(rng, k.full.n));
+  auto overflow = svc.submit(k.full.sorter, workload::random_bits(rng, k.full.n));
+  // The sibling shard's 1-slot queue is empty: same service, same instant,
+  // accepted and served while the other shard is rejecting.
+  auto elsewhere = svc.submit(k.other.sorter, workload::random_bits(rng, k.other.n));
+
+  EXPECT_EQ(overflow.get().status, Status::QueueFull);
+  EXPECT_EQ(elsewhere.get().status, Status::Ok);
+  EXPECT_EQ(svc.stats().rejected, 1u);
+  EXPECT_EQ(lingering.get().status, Status::Ok);
+  EXPECT_EQ(queued.get().status, Status::Ok);
+}
+
+TEST(ServiceSharding, BlockIsPerShardQueue) {
+  ServiceOptions so;
+  so.shards = 2;
+  so.steal_threshold = 0;
+  so.queue_capacity = 1;
+  so.overflow = ServiceOptions::Overflow::Block;
+  so.max_linger = 500ms;
+  SortService svc(so);
+  ShardKeys k{};
+  if (!find_shard_keys(svc, k)) GTEST_SKIP() << "degenerate key->shard mapping";
+  ABSORT_SEEDED_RNG(rng, 239);
+
+  auto lingering = svc.submit(k.pin.sorter, workload::random_bits(rng, k.pin.n));
+  std::this_thread::sleep_for(50ms);
+  auto queued = svc.submit(k.full.sorter, workload::random_bits(rng, k.full.n));
+  // Submitting to the *other* shard does not block even though this shard's
+  // queue is full (Block waits on the target shard's queue only).
+  const auto t0 = SortService::Clock::now();
+  auto elsewhere = svc.submit(k.other.sorter, workload::random_bits(rng, k.other.n));
+  EXPECT_LT(SortService::Clock::now() - t0, 200ms);
+  EXPECT_EQ(elsewhere.get().status, Status::Ok);
+  // On the full shard, Block still respects the deadline while waiting.
+  const auto r = svc.submit(k.full.sorter, workload::random_bits(rng, k.full.n),
+                            SortService::Clock::now() + 30ms)
+                     .get();
+  EXPECT_EQ(r.status, Status::Expired);
+  EXPECT_EQ(lingering.get().status, Status::Ok);
+  EXPECT_EQ(queued.get().status, Status::Ok);
+}
+
+// ----------------------------------------------------- global quarantine
+
+// Regression for the sharded degradation ladder: quarantine state is keyed
+// per (sorter, n) *globally*.  A structural fault caught on one shard must
+// stop every shard -- including thieves that serve the key during the
+// follow-up flood -- from ever re-running the bad engine.
+TEST(ServiceSharding, QuarantineOnOneShardCoversAllShards) {
+  ServiceOptions so;
+  so.shards = 4;
+  so.steal_threshold = 1;  // force other shards to touch the quarantined key
+  so.max_batch_lanes = 8;
+  so.max_linger = 0us;
+  so.quarantine_after = 1;  // first caught fault quarantines
+  so.probation = 0;         // and quarantine is permanent
+  service::FaultPlanOptions fo;
+  fo.corrupt = 1.0;  // every batch through the engine gets corrupted...
+  fo.corrupt_fraction = 1.0;
+  so.fault_plan = std::make_shared<service::FaultPlan>(fo);  // ...forcing self_check on
+  SortService svc(so);
+
+  const auto ref = sorters::make_sorter("prefix", 64);
+  ABSORT_SEEDED_RNG(rng, 241);
+
+  // Phase 1: one request on the home shard.  The corrupted batch fails the
+  // self-check, gets repaired per-vector, and quarantines the key globally.
+  {
+    const auto in = workload::random_bits(rng, 64);
+    const auto r = svc.submit("prefix", in).get();
+    ASSERT_EQ(r.status, Status::Ok);
+    EXPECT_EQ(r.output, ref->sort(in));
+  }
+  const auto st1 = svc.stats();
+  EXPECT_EQ(st1.self_check_failed, 1u);
+  EXPECT_EQ(st1.quarantined, 1u);  // global: one quarantine, not one per shard
+  EXPECT_EQ(st1.degraded, 1u);
+
+  // Phase 2: flood the same key from several producers so thieves on other
+  // shards serve it too.  If any shard still had a live engine, its first
+  // batch would corrupt -> self_check_failed would grow past phase 1's value.
+  constexpr std::size_t kProducers = 4, kRequests = 200, kWindow = 16;
+  std::atomic<std::size_t> bad{0};
+  std::vector<std::thread> producers;
+  const std::uint64_t base_seed = testing::test_seed(251);
+  SCOPED_TRACE(::testing::Message() << "replay: ABSORT_TEST_SEED=" << base_seed);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Xoshiro256 prng(base_seed + p);
+      struct InFlight {
+        BitVec input;
+        std::future<SortResult> fut;
+      };
+      std::vector<InFlight> window;
+      const auto settle = [&](InFlight f) {
+        const auto r = f.fut.get();
+        if (r.status != Status::Ok || r.output != ref->sort(f.input)) bad.fetch_add(1);
+      };
+      for (std::size_t i = 0; i < kRequests; ++i) {
+        auto in = workload::random_bits(prng, 64);
+        auto fut = svc.submit("prefix", in);
+        window.push_back(InFlight{std::move(in), std::move(fut)});
+        if (window.size() >= kWindow) {
+          settle(std::move(window.front()));
+          window.erase(window.begin());
+        }
+      }
+      for (auto& f : window) settle(std::move(f));
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(bad.load(), 0u);
+
+  const auto st2 = svc.stats();
+  // No shard served the bad engine again: no new self-check miss, no new
+  // quarantine, and every flood request went through the per-vector path.
+  EXPECT_EQ(st2.self_check_failed, st1.self_check_failed);
+  EXPECT_EQ(st2.quarantined, 1u);
+  EXPECT_EQ(st2.degraded, st1.degraded + kProducers * kRequests);
+  EXPECT_EQ(st2.unrecoverable, 0u);
+  // And other shards really did touch the quarantined key (stolen batches).
+  EXPECT_GT(st2.steals, 0u);
+  const std::size_t home = svc.shard_of("prefix", 64);
+  std::uint64_t away_batches = 0;
+  for (std::size_t i = 0; i < st2.per_shard.size(); ++i) {
+    if (i != home) away_batches += st2.per_shard[i].batches;
+  }
+  EXPECT_GT(away_batches, 0u);
+}
+
+// ------------------------------------------------ pinning / hw-shards smoke
+
+// shards = hardware_concurrency with pinning on: the configuration the TSan
+// ctest leg runs.  Pinning is best-effort (a no-op where unsupported), so
+// this asserts serving correctness, not affinity placement.
+TEST(ServiceSharding, HardwareShardsWithPinningServeCorrectly) {
+  const unsigned hc = std::thread::hardware_concurrency();
+  ServiceOptions so;
+  so.shards = hc == 0 ? 1 : hc;
+  so.pin_threads = true;
+  so.steal_threshold = 2;
+  so.max_linger = 100us;
+  SortService svc(so);
+  EXPECT_EQ(svc.shard_count(), hc == 0 ? 1u : hc);
+
+  const Key keys[] = {{"prefix", 64}, {"batcher", 32}, {"fish", 64}};
+  std::vector<std::unique_ptr<sorters::BinarySorter>> refs;
+  for (const auto& k : keys) refs.push_back(sorters::make_sorter(k.sorter, k.n));
+  ABSORT_SEEDED_RNG(rng, 257);
+  struct InFlight {
+    std::size_t key;
+    BitVec input;
+    std::future<SortResult> fut;
+  };
+  std::vector<InFlight> inflight;
+  for (std::size_t i = 0; i < 192; ++i) {
+    const std::size_t k = i % std::size(keys);
+    auto in = workload::random_bits(rng, keys[k].n);
+    auto fut = svc.submit(keys[k].sorter, in);
+    inflight.push_back(InFlight{k, std::move(in), std::move(fut)});
+  }
+  for (auto& f : inflight) {
+    const auto r = f.fut.get();
+    ASSERT_EQ(r.status, Status::Ok);
+    EXPECT_EQ(r.output, refs[f.key]->sort(f.input));
+  }
+  EXPECT_EQ(svc.stats().completed, 192u);
+}
+
+// Per-shard counters surface in the JSON render (dashboards scrape this).
+TEST(ServiceSharding, StatsJsonRendersPerShardCounters) {
+  ServiceOptions so;
+  so.shards = 2;
+  SortService svc(so);
+  ABSORT_SEEDED_RNG(rng, 263);
+  (void)svc.sort("prefix", workload::random_bits(rng, 32));
+  const auto json = svc.stats().to_json();
+  EXPECT_NE(json.find("\"shards\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"per_shard\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"steals\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"stolen_requests\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"lane_occupancy\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue_depth\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace absort

@@ -102,9 +102,10 @@ int usage(const char* argv0) {
                "  %s activity <network> <n>\n"
                "  %s optimize <network> <n>\n"
                "  %s table2 <n>\n"
-               "  %s serve --selftest [--stats] [--chaos <seed>] [producers] [requests]\n"
-               "  %s serve --tcp [port]\n"
-               "  %s serve --tcp --selftest [--stats] [clients] [requests]\n",
+               "  %s serve --selftest [--stats] [--chaos <seed>] [--shards <k>] [--pin]\n"
+               "           [producers] [requests]\n"
+               "  %s serve --tcp [port] [--shards <k>] [--pin]\n"
+               "  %s serve --tcp --selftest [--stats] [--shards <k>] [clients] [requests]\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
                argv0, argv0, argv0);
   return 1;
@@ -353,7 +354,7 @@ int cmd_optimize(const std::string& name, std::size_t n) {
 // ladder (retry / quarantine / per-vector repair) left no unrecoverable
 // request behind.
 int cmd_serve(bool selftest, bool stats, std::size_t producers, std::size_t requests,
-              bool chaos, std::uint64_t chaos_seed) {
+              bool chaos, std::uint64_t chaos_seed, std::size_t shards, bool pin) {
   if (!selftest) {
     std::fprintf(stderr, "serve: only --selftest traffic is implemented; pass --selftest\n");
     return 1;
@@ -369,6 +370,8 @@ int cmd_serve(bool selftest, bool stats, std::size_t producers, std::size_t requ
 
   service::ServiceOptions so;
   so.max_linger = std::chrono::microseconds(300);
+  so.shards = shards;
+  so.pin_threads = pin;
   std::shared_ptr<service::FaultPlan> plan;
   if (chaos) {
     plan = std::make_shared<service::FaultPlan>(service::FaultPlanOptions::chaos(chaos_seed));
@@ -441,6 +444,15 @@ int cmd_serve(bool selftest, bool stats, std::size_t producers, std::size_t requ
               static_cast<unsigned long long>(st.batches), st.batch_size.mean(),
               static_cast<unsigned long long>(st.compiled),
               static_cast<unsigned long long>(st.queue_wait_us.percentile(0.99)));
+  if (svc.shard_count() > 1) {
+    std::printf("shards %zu  steals %llu  stolen requests %llu  per-shard batches [",
+                svc.shard_count(), static_cast<unsigned long long>(st.steals),
+                static_cast<unsigned long long>(st.stolen_requests));
+    for (std::size_t i = 0; i < st.per_shard.size(); ++i) {
+      std::printf("%s%llu", i ? " " : "", static_cast<unsigned long long>(st.per_shard[i].batches));
+    }
+    std::printf("]\n");
+  }
 
   bool covered = true;
   if (chaos) {
@@ -500,7 +512,8 @@ std::atomic<bool> g_interrupted{false};
 //   4. protocol hygiene: a bad-magic frame answers BadRequest and closes the
 //      connection (decode_errors == 1), and statsz returns the combined
 //      service+edge JSON.
-int cmd_serve_tcp_selftest(bool stats, std::size_t clients, std::size_t requests) {
+int cmd_serve_tcp_selftest(bool stats, std::size_t clients, std::size_t requests,
+                           std::size_t shards, bool pin) {
   struct Key {
     const char* sorter;
     std::size_t n;
@@ -512,6 +525,8 @@ int cmd_serve_tcp_selftest(bool stats, std::size_t clients, std::size_t requests
   // --- scenario 1: concurrent clients, bit-exact ---------------------------
   service::ServiceOptions so;
   so.max_linger = std::chrono::microseconds(300);
+  so.shards = shards;
+  so.pin_threads = pin;
   service::SortService svc(so);
   edge::EdgeOptions eo;
   eo.reactors = 2;
@@ -552,6 +567,8 @@ int cmd_serve_tcp_selftest(bool stats, std::size_t clients, std::size_t requests
   // --- scenario 2: deadline expiry ------------------------------------------
   service::ServiceOptions slow;
   slow.max_linger = std::chrono::microseconds(5000);
+  slow.shards = shards;
+  slow.pin_threads = pin;
   service::SortService slow_svc(slow);
   edge::EdgeServer slow_server(slow_svc);
   slow_server.start();
@@ -564,11 +581,16 @@ int cmd_serve_tcp_selftest(bool stats, std::size_t clients, std::size_t requests
   slow_server.stop();
 
   // --- scenario 3: shed under overload --------------------------------------
+  // queue_capacity is per shard, but the burst is one (sorter, n) key, so it
+  // lands on one shard's 1-slot queue regardless of the shard count.
   service::ServiceOptions tiny;
   tiny.overflow = service::ServiceOptions::Overflow::Reject;
   tiny.queue_capacity = 1;
   tiny.max_batch_lanes = 1;
   tiny.max_linger = std::chrono::microseconds(0);
+  tiny.shards = shards;
+  tiny.pin_threads = pin;
+  tiny.steal_threshold = 0;  // a thief would defeat the 1-slot backpressure probe
   service::SortService tiny_svc(tiny);
   edge::EdgeServer tiny_server(tiny_svc);
   tiny_server.start();
@@ -624,8 +646,11 @@ int cmd_serve_tcp_selftest(bool stats, std::size_t clients, std::size_t requests
 }
 
 // serve --tcp [port]: foreground serving until SIGINT/SIGTERM.
-int cmd_serve_tcp(std::uint16_t port) {
-  service::SortService svc;
+int cmd_serve_tcp(std::uint16_t port, std::size_t shards, bool pin) {
+  service::ServiceOptions so;
+  so.shards = shards;
+  so.pin_threads = pin;
+  service::SortService svc(so);
   edge::EdgeOptions eo;
   eo.port = port;
   edge::EdgeServer server(svc, eo);
@@ -665,15 +690,24 @@ int main(int argc, char** argv) {
       return cmd_table2(std::strtoull(argv[2], nullptr, 10));
     }
     if (cmd == "serve") {
-      bool selftest = false, stats = false, chaos = false, tcp = false;
+      bool selftest = false, stats = false, chaos = false, tcp = false, pin = false;
       std::uint64_t chaos_seed = 1;
       std::uint16_t tcp_port = 0;
+      std::size_t shards = 1;
       std::vector<const char*> pos;
       for (int i = 2; i < argc; ++i) {
         if (std::strcmp(argv[i], "--selftest") == 0) {
           selftest = true;
         } else if (std::strcmp(argv[i], "--stats") == 0) {
           stats = true;
+        } else if (std::strcmp(argv[i], "--pin") == 0) {
+          pin = true;
+        } else if (std::strcmp(argv[i], "--shards") == 0) {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "serve: --shards needs a count\n");
+            return 1;
+          }
+          shards = std::max<std::size_t>(1, std::strtoull(argv[++i], nullptr, 10));
         } else if (std::strcmp(argv[i], "--tcp") == 0) {
           tcp = true;
           // Optional port: consume the next argument only if it is numeric.
@@ -705,11 +739,11 @@ int main(int argc, char** argv) {
           requests = pos.size() > 1 ? std::strtoull(pos[1], nullptr, 10) : (tcp ? 50 : 200);
       if (tcp && selftest) {
         return cmd_serve_tcp_selftest(stats, std::max<std::size_t>(1, producers),
-                                      std::max<std::size_t>(1, requests));
+                                      std::max<std::size_t>(1, requests), shards, pin);
       }
-      if (tcp) return cmd_serve_tcp(tcp_port);
+      if (tcp) return cmd_serve_tcp(tcp_port, shards, pin);
       return cmd_serve(selftest, stats, std::max<std::size_t>(1, producers),
-                       std::max<std::size_t>(1, requests), chaos, chaos_seed);
+                       std::max<std::size_t>(1, requests), chaos, chaos_seed, shards, pin);
     }
     if (argc < 4) return usage(argv[0]);
     const std::string name = argv[2];
