@@ -1,12 +1,14 @@
 // E-B1 -- batch-evaluation throughput: per-vector levelized evaluation vs
-// the bit-sliced engine (64-512 vectors per compiled-program pass) vs the
-// bit-sliced engine sharded across the BatchRunner pool, for the paper's
-// three adaptive sorters at n = 64..4096.  Model-B sorters (fish) now run
-// their own bit-sliced sort_batch path, so the "sliced" column is real for
+// the SIMD-interpreted bit-sliced engine vs the native (JIT-compiled) bit-
+// sliced engine vs the engine sharded across the BatchRunner pool, for the
+// paper's three adaptive sorters at n = 64..4096.  Model-B sorters (fish)
+// run their own bit-sliced sort_batch path, so every column is real for
 // them too.  The report writes BENCH_batch_throughput.json, embedding the
 // PR-1 bitsliced numbers for before/after comparison, and then hands over
 // to google-benchmark.  `--quick` runs a small smoke subset (no JSON, no
-// google-benchmark) for ctest.
+// google-benchmark) for ctest, including a JIT cache-hit assertion;
+// `--backend <b>` overrides the backend for the native and threaded columns
+// (the interp column always runs the SIMD interpreter for comparison).
 
 #include <chrono>
 #include <cstdio>
@@ -17,6 +19,7 @@
 
 #include "absort/netlist/batch_eval.hpp"
 #include "absort/netlist/levelized.hpp"
+#include "absort/netlist/native_engine.hpp"
 #include "absort/sorters/registry.hpp"
 #include "absort/util/rng.hpp"
 #include "absort/util/wordvec.hpp"
@@ -68,12 +71,19 @@ std::size_t hw_threads() {
   return hc == 0 ? 1 : hc;
 }
 
+/// Backend for the native and threaded columns (--backend overrides; the
+/// interp column is always the SIMD interpreter so the comparison stands).
+netlist::Backend g_backend = netlist::Backend::Native;
+
 struct Row {
   const char* sorter;
   std::size_t n;
   double single_vps;
-  double sliced_vps;
-  double threaded_vps;
+  double sliced_vps;     ///< SIMD interpreter
+  double native_vps;     ///< JIT-compiled kernel (or whatever --backend asked for)
+  double threaded_vps;   ///< BatchRunner pool on the native/--backend engine
+  double jit_compile_ms; ///< wall time of the native engine's compile (cold or cached)
+  netlist::Backend native_backend;  ///< what the native column actually ran
   std::size_t threads_used;  ///< workers the threaded row actually ran with
 };
 
@@ -83,7 +93,11 @@ Row measure(const char* name, const sorters::BinarySorter& sorter, std::size_t n
   // The pool never runs more workers than there are 512-vector blocks (or
   // hardware threads) -- this is what the threaded row really used.
   const std::size_t blocks = (batch.size() + netlist::kBlockLanes - 1) / netlist::kBlockLanes;
-  Row row{name, n, 0, 0, 0, std::max<std::size_t>(1, std::min(hw_threads(), blocks))};
+  Row row{name, n,     0, 0, 0, 0, 0, netlist::Backend::Simd,
+          std::max<std::size_t>(1, std::min(hw_threads(), blocks))};
+
+  const sorters::BatchOptions interp_opts{.threads = 1, .backend = netlist::Backend::Simd};
+  const sorters::BatchOptions native_opts{.threads = 1, .backend = g_backend};
 
   if (sorter.is_combinational()) {
     const auto circuit = sorter.build_circuit();
@@ -95,12 +109,21 @@ Row measure(const char* name, const sorters::BinarySorter& sorter, std::size_t n
     for (std::size_t i = 0; i < probe; ++i) benchmark::DoNotOptimize(lc.eval(batch[i]));
     row.single_vps = static_cast<double>(probe) / seconds_since(t0);
 
-    const netlist::BitSlicedEvaluator ev(circuit);
+    const netlist::BitSlicedEvaluator ev(circuit, {.backend = netlist::Backend::Simd});
     t0 = std::chrono::steady_clock::now();
     benchmark::DoNotOptimize(ev.eval_batch(batch));
     row.sliced_vps = static_cast<double>(batch.size()) / seconds_since(t0);
 
-    netlist::BatchRunner runner(circuit);
+    t0 = std::chrono::steady_clock::now();
+    const netlist::BitSlicedEvaluator nev(circuit, {.backend = g_backend});
+    row.jit_compile_ms = seconds_since(t0) * 1e3;
+    row.native_backend = nev.backend();
+    benchmark::DoNotOptimize(nev.eval_batch(batch));  // warm
+    t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(nev.eval_batch(batch));
+    row.native_vps = static_cast<double>(batch.size()) / seconds_since(t0);
+
+    netlist::BatchRunner runner(circuit, {.backend = g_backend});
     std::vector<BitVec> out(batch.size());
     runner.run(batch, std::span<BitVec>(out));  // warm the pool + output buffers
     t0 = std::chrono::steady_clock::now();
@@ -108,36 +131,80 @@ Row measure(const char* name, const sorters::BinarySorter& sorter, std::size_t n
     benchmark::DoNotOptimize(out.data());
     row.threaded_vps = static_cast<double>(batch.size()) / seconds_since(t0);
   } else {
-    // Model B: per-vector value face vs its bit-sliced sort_batch path.
+    // Model B: per-vector value face vs its bit-sliced engines.
     const std::size_t probe = std::min<std::size_t>(batch_size, 256);
     auto t0 = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < probe; ++i) benchmark::DoNotOptimize(sorter.sort(batch[i]));
     row.single_vps = static_cast<double>(probe) / seconds_since(t0);
 
     std::vector<BitVec> out(batch.size());
-    sorter.sort_batch(batch, std::span<BitVec>(out), 1);  // warm
+    const auto interp = sorter.make_batch_sorter(interp_opts);
+    interp->run(batch, std::span<BitVec>(out));  // warm
     t0 = std::chrono::steady_clock::now();
-    sorter.sort_batch(batch, std::span<BitVec>(out), 1);
+    interp->run(batch, std::span<BitVec>(out));
     benchmark::DoNotOptimize(out.data());
     row.sliced_vps = static_cast<double>(batch.size()) / seconds_since(t0);
 
     t0 = std::chrono::steady_clock::now();
-    sorter.sort_batch(batch, std::span<BitVec>(out), 0);
+    const auto native = sorter.make_batch_sorter(native_opts);
+    row.jit_compile_ms = seconds_since(t0) * 1e3;
+    row.native_backend = native->backend();
+    native->run(batch, std::span<BitVec>(out));  // warm
+    t0 = std::chrono::steady_clock::now();
+    native->run(batch, std::span<BitVec>(out));
+    benchmark::DoNotOptimize(out.data());
+    row.native_vps = static_cast<double>(batch.size()) / seconds_since(t0);
+
+    const auto threaded =
+        sorter.make_batch_sorter(sorters::BatchOptions{.threads = 0, .backend = g_backend});
+    t0 = std::chrono::steady_clock::now();
+    threaded->run(batch, std::span<BitVec>(out));
     benchmark::DoNotOptimize(out.data());
     row.threaded_vps = static_cast<double>(batch.size()) / seconds_since(t0);
   }
   return row;
 }
 
+// `--quick` JIT smoke: building the same native engine twice must hit the
+// kernel cache (in-process or on-disk) the second time, with no fallback.
+// Skipped (trivially passing) when no toolchain is available.
+bool jit_cache_smoke() {
+  if (!netlist::native_toolchain_available()) {
+    std::printf("jit smoke: no toolchain, native backend unavailable (skipped)\n");
+    return true;
+  }
+  const auto circuit = sorters::make_sorter("prefix", 64)->build_circuit();
+  const sorters::BatchOptions opts{.threads = 1, .backend = netlist::Backend::Native};
+  const auto before = netlist::jit_counters();
+  const netlist::BitSlicedEvaluator first(circuit, opts);
+  const netlist::BitSlicedEvaluator second(circuit, opts);
+  const auto after = netlist::jit_counters();
+  const bool native = first.backend() == netlist::Backend::Native &&
+                      second.backend() == netlist::Backend::Native;
+  const bool hit = after.cache_hits > before.cache_hits;
+  const bool clean = after.fallbacks == before.fallbacks;
+  std::printf("jit smoke: backend=%s compiles+%llu cache_hits+%llu fallbacks+%llu -> %s\n",
+              netlist::to_string(second.backend()),
+              static_cast<unsigned long long>(after.compiles - before.compiles),
+              static_cast<unsigned long long>(after.cache_hits - before.cache_hits),
+              static_cast<unsigned long long>(after.fallbacks - before.fallbacks),
+              native && hit && clean ? "PASS" : "FAIL");
+  return native && hit && clean;
+}
+
 void report(bool quick) {
   absort::bench::heading(
-      "E-B1: batch throughput, per-vector vs bit-sliced vs bit-sliced+threads");
+      "E-B1: batch throughput, per-vector vs interp vs native JIT vs +threads");
   const std::size_t batch_size = quick ? 600 : kBatch;
-  std::printf("batch = %zu vectors, %zu hardware threads, %zu SIMD lanes/pass, %zu-vector blocks%s\n\n",
+  std::printf("batch = %zu vectors, %zu hardware threads, %zu SIMD lanes/pass, %zu-vector blocks%s\n",
               batch_size, hw_threads(), wordvec::kSimdLanes, netlist::kBlockLanes,
               quick ? " [quick]" : "");
-  std::printf("%-12s %6s %14s %14s %14s %4s %8s %8s %8s\n", "sorter", "n", "single v/s",
-              "sliced v/s", "threaded v/s", "thr", "slice x", "thread x", "vs PR-1");
+  std::printf("native/threaded columns requested backend: %s (toolchain %s)\n\n",
+              netlist::to_string(g_backend),
+              netlist::native_toolchain_available() ? "available" : "MISSING");
+  std::printf("%-12s %6s %13s %13s %13s %13s %4s %7s %7s %7s %9s\n", "sorter", "n",
+              "single v/s", "interp v/s", "native v/s", "threaded v/s", "thr", "jit x",
+              "thread x", "vs PR-1", "compile");
 
   std::vector<Row> rows;
   const auto sizes = quick ? std::vector<std::size_t>{64, 256}
@@ -148,10 +215,11 @@ void report(bool quick) {
       const Row r = measure(name, *sorter, n, batch_size);
       rows.push_back(r);
       const double pr1 = pr1_bitsliced(r.sorter, r.n);
-      std::printf("%-12s %6zu %14.0f %14.0f %14.0f %4zu %7.1fx %7.1fx %7.2fx\n", r.sorter, r.n,
-                  r.single_vps, r.sliced_vps, r.threaded_vps, r.threads_used,
-                  r.sliced_vps / r.single_vps, r.threaded_vps / r.single_vps,
-                  pr1 > 0 ? r.sliced_vps / pr1 : 0.0);
+      std::printf("%-12s %6zu %13.0f %13.0f %13.0f %13.0f %4zu %6.2fx %6.1fx %6.2fx %7.0fms\n",
+                  r.sorter, r.n, r.single_vps, r.sliced_vps, r.native_vps, r.threaded_vps,
+                  r.threads_used, r.native_vps / r.sliced_vps,
+                  r.threaded_vps / r.single_vps, pr1 > 0 ? r.sliced_vps / pr1 : 0.0,
+                  r.jit_compile_ms);
     }
   }
   if (quick) return;  // smoke mode: no JSON, numbers are not steady-state
@@ -160,19 +228,26 @@ void report(bool quick) {
     std::fprintf(f,
                  "{\n  \"benchmark\": \"batch_throughput\",\n  \"batch_size\": %zu,\n"
                  "  \"simd_lanes\": %zu,\n  \"block_lanes\": %zu,\n"
-                 "  \"hardware_threads\": %zu,\n  \"results\": [\n",
-                 batch_size, wordvec::kSimdLanes, netlist::kBlockLanes, hw_threads());
+                 "  \"hardware_threads\": %zu,\n  \"requested_backend\": \"%s\",\n"
+                 "  \"results\": [\n",
+                 batch_size, wordvec::kSimdLanes, netlist::kBlockLanes, hw_threads(),
+                 netlist::to_string(g_backend));
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];
       const double pr1 = pr1_bitsliced(r.sorter, r.n);
       std::fprintf(f,
                    "    {\"sorter\": \"%s\", \"n\": %zu, \"single_vps\": %.1f, "
-                   "\"bitsliced_vps\": %.1f, \"threaded_vps\": %.1f, \"threads_used\": %zu, "
-                   "\"speedup_bitsliced\": %.2f, \"speedup_threaded\": %.2f, "
+                   "\"bitsliced_vps\": %.1f, \"native_vps\": %.1f, "
+                   "\"native_backend\": \"%s\", \"jit_compile_ms\": %.1f, "
+                   "\"threaded_vps\": %.1f, \"threads_used\": %zu, "
+                   "\"speedup_bitsliced\": %.2f, \"speedup_native_vs_interp\": %.2f, "
+                   "\"speedup_threaded\": %.2f, "
                    "\"pr1_bitsliced_vps\": %.1f, \"vs_pr1\": %.2f}%s\n",
-                   r.sorter, r.n, r.single_vps, r.sliced_vps, r.threaded_vps, r.threads_used,
-                   r.sliced_vps / r.single_vps, r.threaded_vps / r.single_vps, pr1,
-                   pr1 > 0 ? r.sliced_vps / pr1 : 0.0, i + 1 < rows.size() ? "," : "");
+                   r.sorter, r.n, r.single_vps, r.sliced_vps, r.native_vps,
+                   netlist::to_string(r.native_backend), r.jit_compile_ms, r.threaded_vps,
+                   r.threads_used, r.sliced_vps / r.single_vps, r.native_vps / r.sliced_vps,
+                   r.threaded_vps / r.single_vps, pr1, pr1 > 0 ? r.sliced_vps / pr1 : 0.0,
+                   i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -223,7 +298,7 @@ void BM_FishSortBatch(benchmark::State& state) {
   const auto batch = make_batch(512, n);
   std::vector<BitVec> out(batch.size());
   for (auto _ : state) {
-    fish->sort_batch(batch, std::span<BitVec>(out), 1);
+    fish->sort_batch(batch, std::span<BitVec>(out), {.threads = 1});
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 512);
@@ -233,11 +308,21 @@ BENCHMARK(BM_FishSortBatch)->Arg(256)->Arg(1024);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
-      report(/*quick=*/true);
-      return 0;
+      quick = true;
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      if (!netlist::parse_backend(argv[++i], g_backend)) {
+        std::fprintf(stderr, "unknown backend '%s'; valid backends: %s\n", argv[i],
+                     netlist::backend_names());
+        return 1;
+      }
     }
+  }
+  if (quick) {
+    report(/*quick=*/true);
+    return jit_cache_smoke() ? 0 : 2;
   }
   return absort::bench::run(argc, argv, [] { report(/*quick=*/false); });
 }

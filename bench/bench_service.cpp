@@ -21,12 +21,19 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
 #include "absort/netlist/batch_eval.hpp"
+#include "absort/netlist/native_engine.hpp"
 #include "absort/service/fault_injection.hpp"
 #include "absort/service/sort_service.hpp"
 #include "absort/util/rng.hpp"
@@ -103,10 +110,14 @@ LoadResult drive(const service::ServiceOptions& so, const char* sorter, std::siz
   return r;
 }
 
+/// Engine backend for every service in this bench (--backend overrides).
+netlist::Backend g_backend = netlist::Backend::Auto;
+
 service::ServiceOptions coalesced_options(std::size_t linger_us) {
   service::ServiceOptions so;
   so.max_batch_lanes = netlist::kBlockLanes;
   so.max_linger = std::chrono::microseconds(linger_us);
+  so.batch.backend = g_backend;
   return so;
 }
 
@@ -114,7 +125,80 @@ service::ServiceOptions baseline_options() {
   service::ServiceOptions so;
   so.max_batch_lanes = 1;  // every request rides its own compiled-program pass
   so.max_linger = std::chrono::microseconds(0);
+  so.batch.backend = g_backend;
   return so;
+}
+
+// E-S1 warm/cold cache: time-to-first-response of a fresh service on the
+// native backend -- the warm-up cost drive() deliberately excludes from the
+// steady-state rows.  Cold points the JIT at an empty on-disk cache, so the
+// first request pays emit + system compiler + dlopen; warm constructs a
+// second service over the now-populated cache and pays only the lookup.
+struct JitRow {
+  bool ran = false;  ///< false: no native toolchain, row skipped
+  double cold_ms = 0;
+  double warm_ms = 0;
+  std::uint64_t compiles = 0, cache_hits = 0, fallbacks = 0;
+};
+
+JitRow measure_first_response() {
+  JitRow r;
+  if (!netlist::native_toolchain_available()) return r;
+#if !defined(_WIN32)
+  // A private cache dir guarantees the cold leg really compiles instead of
+  // loading a .so left by an earlier run; (sorter, n) is unique to this row
+  // so the in-process kernel registry cannot satisfy it either.
+  const std::string dir =
+      "/tmp/absort-jit-bench." + std::to_string(static_cast<unsigned long>(::getpid()));
+  const char* prev = std::getenv("ABSORT_JIT_CACHE");
+  const std::string saved = prev ? prev : "";
+  ::setenv("ABSORT_JIT_CACHE", dir.c_str(), 1);
+
+  auto so = coalesced_options(200);
+  so.batch.backend = netlist::Backend::Native;
+  Xoshiro256 rng(11);
+  const auto input = workload::random_bits(rng, 128);
+  const auto before = netlist::jit_counters();
+  {
+    service::SortService svc(so);
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)svc.sort("batcher", input);
+    r.cold_ms = seconds_since(t0) * 1e3;
+  }
+  {
+    service::SortService svc(so);
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)svc.sort("batcher", input);
+    r.warm_ms = seconds_since(t0) * 1e3;
+  }
+  const auto after = netlist::jit_counters();
+  r.compiles = after.compiles - before.compiles;
+  r.cache_hits = after.cache_hits - before.cache_hits;
+  r.fallbacks = after.fallbacks - before.fallbacks;
+  r.ran = true;
+
+  if (prev) {
+    ::setenv("ABSORT_JIT_CACHE", saved.c_str(), 1);
+  } else {
+    ::unsetenv("ABSORT_JIT_CACHE");
+  }
+  (void)std::system(("rm -rf '" + dir + "'").c_str());
+#endif
+  return r;
+}
+
+void print_jit_row(const JitRow& jit) {
+  std::printf("\nfirst-response (native backend, batcher n=128): ");
+  if (!jit.ran) {
+    std::printf("skipped (no native toolchain)\n");
+    return;
+  }
+  std::printf("cold %.1f ms, warm %.2f ms (%.0fx); jit compiles=%llu cache_hits=%llu "
+              "fallbacks=%llu\n",
+              jit.cold_ms, jit.warm_ms, jit.warm_ms > 0 ? jit.cold_ms / jit.warm_ms : 0.0,
+              static_cast<unsigned long long>(jit.compiles),
+              static_cast<unsigned long long>(jit.cache_hits),
+              static_cast<unsigned long long>(jit.fallbacks));
 }
 
 struct Row {
@@ -128,8 +212,9 @@ struct Row {
 
 void report(bool quick) {
   absort::bench::heading("E-S1: SortService coalescing, closed-loop producers (window 8)");
-  std::printf("%zu hardware threads, %zu-lane blocks%s\n\n", hw_threads(),
-              netlist::kBlockLanes, quick ? " [quick]" : "");
+  std::printf("%zu hardware threads, %zu-lane blocks, backend %s%s\n\n", hw_threads(),
+              netlist::kBlockLanes, netlist::to_string(netlist::resolve_backend(g_backend)),
+              quick ? " [quick]" : "");
   std::printf("%-8s %6s %5s %10s %14s %14s %8s %7s %10s %10s\n", "sorter", "n", "prod",
               "linger us", "baseline v/s", "coalesced v/s", "speedup", "batch",
               "p50 wait", "p99 wait");
@@ -165,13 +250,27 @@ void report(bool quick) {
       }
     }
   }
+  const JitRow jit = measure_first_response();
+  print_jit_row(jit);
   if (quick) return;  // smoke mode: no JSON, numbers are not steady-state
 
   if (FILE* f = std::fopen("BENCH_service.json", "w")) {
     std::fprintf(f,
                  "{\n  \"benchmark\": \"service_coalescing\",\n  \"window\": %zu,\n"
-                 "  \"block_lanes\": %zu,\n  \"hardware_threads\": %zu,\n  \"results\": [\n",
-                 kWindow, netlist::kBlockLanes, hw_threads());
+                 "  \"block_lanes\": %zu,\n  \"hardware_threads\": %zu,\n"
+                 "  \"backend\": \"%s\",\n",
+                 kWindow, netlist::kBlockLanes, hw_threads(),
+                 netlist::to_string(netlist::resolve_backend(g_backend)));
+    if (jit.ran) {
+      std::fprintf(f,
+                   "  \"first_response\": {\"sorter\": \"batcher\", \"n\": 128, "
+                   "\"cold_ms\": %.1f, \"warm_ms\": %.2f, \"jit_compiles\": %llu, "
+                   "\"jit_cache_hits\": %llu, \"jit_fallbacks\": %llu},\n",
+                   jit.cold_ms, jit.warm_ms, static_cast<unsigned long long>(jit.compiles),
+                   static_cast<unsigned long long>(jit.cache_hits),
+                   static_cast<unsigned long long>(jit.fallbacks));
+    }
+    std::fprintf(f, "  \"results\": [\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];
       std::fprintf(f,
@@ -287,16 +386,28 @@ BENCHMARK(BM_ServiceRoundtrip)->Arg(64)->Arg(256);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool quick = false, faults_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
-      report(/*quick=*/true);
-      report_faults(/*quick=*/true);
-      return 0;
+      quick = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {  // E-FI1 alone, with JSON
+      faults_only = true;
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      if (!netlist::parse_backend(argv[++i], g_backend)) {
+        std::fprintf(stderr, "unknown backend '%s'; valid backends: %s\n", argv[i],
+                     netlist::backend_names());
+        return 1;
+      }
     }
-    if (std::strcmp(argv[i], "--faults") == 0) {  // E-FI1 alone, with JSON
-      report_faults(/*quick=*/false);
-      return 0;
-    }
+  }
+  if (quick) {
+    report(/*quick=*/true);
+    report_faults(/*quick=*/true);
+    return 0;
+  }
+  if (faults_only) {
+    report_faults(/*quick=*/false);
+    return 0;
   }
   return absort::bench::run(argc, argv, [] {
     report(/*quick=*/false);

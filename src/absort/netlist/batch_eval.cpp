@@ -79,12 +79,14 @@ void run_program(const std::vector<WordInstr>& prog, const T* in, T* buf) {
 
 }  // namespace
 
-BitSlicedEvaluator::BitSlicedEvaluator(const Circuit& c, bool optimize) { compile(c, optimize); }
+BitSlicedEvaluator::BitSlicedEvaluator(const Circuit& c, const BatchOptions& opts) {
+  compile(c, opts);
+}
 
-BitSlicedEvaluator::BitSlicedEvaluator(const LevelizedCircuit& lc, bool optimize)
-    : BitSlicedEvaluator(lc.circuit(), optimize) {}
+BitSlicedEvaluator::BitSlicedEvaluator(const LevelizedCircuit& lc, const BatchOptions& opts)
+    : BitSlicedEvaluator(lc.circuit(), opts) {}
 
-void BitSlicedEvaluator::compile(const Circuit& c, bool optimize) {
+void BitSlicedEvaluator::compile(const Circuit& c, const BatchOptions& opts) {
   WordProgram raw;
   raw.num_inputs = c.num_inputs();
   std::size_t slots = c.num_wires();
@@ -156,7 +158,7 @@ void BitSlicedEvaluator::compile(const Circuit& c, bool optimize) {
   raw.num_slots = slots;
   raw.output_slots.assign(c.output_wires().begin(), c.output_wires().end());
 
-  if (optimize) {
+  if (opts.opt_level >= 1) {
     prog_ = optimize_program(raw, &stats_);
   } else {
     prog_ = std::move(raw);
@@ -164,27 +166,79 @@ void BitSlicedEvaluator::compile(const Circuit& c, bool optimize) {
     stats_.slots_before = stats_.slots_after = prog_.num_slots;
     stats_.peak_live = prog_.num_slots;
   }
+
+  // One selection path for every engine: resolve Auto here (size-aware --
+  // Auto declines Native for programs whose kernel could only build at -O0,
+  // see kNativeAutoMaxInstrs), then degrade a failed Native build to the
+  // Simd interpreter (counted as a jit fallback by build_native_kernel;
+  // observable through backend()).
+  backend_ = resolve_backend(opts.backend, prog_.instrs.size());
+  if (backend_ == Backend::Native) {
+    native_ = build_native_kernel(prog_);
+    if (!native_) backend_ = Backend::Simd;
+  }
 }
 
 void BitSlicedEvaluator::eval_pass(std::span<const Word> in_words, std::span<Word> out_words,
                                    std::span<Word> scratch) const {
+  if (backend_ == Backend::Native) {
+    native_->run_word(in_words.data(), out_words.data());  // slots live in locals: no scratch
+    return;
+  }
   run_program<Word, 1>(prog_.instrs, in_words.data(), scratch.data());
   const auto& outs = prog_.output_slots;
   for (std::size_t j = 0; j < outs.size(); ++j) out_words[j] = scratch[outs[j]];
 }
 
 void BitSlicedEvaluator::eval_pass_simd(const Vec* in, Vec* out, Vec* scratch) const {
-  run_program<Vec, 1>(prog_.instrs, in, scratch);
   const auto& outs = prog_.output_slots;
-  for (std::size_t j = 0; j < outs.size(); ++j) out[j] = scratch[outs[j]];
+  switch (backend_) {
+    case Backend::Native:
+      native_->run_simd(in, out);
+      return;
+    case Backend::Interpreter: {
+      // Scalar word interpreter over the same memory layout: a Vec slot is
+      // kSimdWords consecutive Words, so run_program<Word, kSimdWords> is
+      // lane-for-lane the Vec computation without wide ops.
+      constexpr std::size_t W = wordvec::kSimdWords;
+      const Word* const iw = reinterpret_cast<const Word*>(in);
+      Word* const sw = reinterpret_cast<Word*>(scratch);
+      Word* const ow = reinterpret_cast<Word*>(out);
+      run_program<Word, W>(prog_.instrs, iw, sw);
+      for (std::size_t j = 0; j < outs.size(); ++j) {
+        for (std::size_t w = 0; w < W; ++w) ow[j * W + w] = sw[std::size_t{outs[j]} * W + w];
+      }
+      return;
+    }
+    default:
+      run_program<Vec, 1>(prog_.instrs, in, scratch);
+      for (std::size_t j = 0; j < outs.size(); ++j) out[j] = scratch[outs[j]];
+  }
 }
 
 void BitSlicedEvaluator::eval_pass_simd_x2(const Vec* in, Vec* out, Vec* scratch) const {
-  run_program<Vec, 2>(prog_.instrs, in, scratch);
   const auto& outs = prog_.output_slots;
-  for (std::size_t j = 0; j < outs.size(); ++j) {
-    out[j * 2] = scratch[std::size_t{outs[j]} * 2];
-    out[j * 2 + 1] = scratch[std::size_t{outs[j]} * 2 + 1];
+  switch (backend_) {
+    case Backend::Native:
+      native_->run_simd_x2(in, out);
+      return;
+    case Backend::Interpreter: {
+      constexpr std::size_t W = 2 * wordvec::kSimdWords;
+      const Word* const iw = reinterpret_cast<const Word*>(in);
+      Word* const sw = reinterpret_cast<Word*>(scratch);
+      Word* const ow = reinterpret_cast<Word*>(out);
+      run_program<Word, W>(prog_.instrs, iw, sw);
+      for (std::size_t j = 0; j < outs.size(); ++j) {
+        for (std::size_t w = 0; w < W; ++w) ow[j * W + w] = sw[std::size_t{outs[j]} * W + w];
+      }
+      return;
+    }
+    default:
+      run_program<Vec, 2>(prog_.instrs, in, scratch);
+      for (std::size_t j = 0; j < outs.size(); ++j) {
+        out[j * 2] = scratch[std::size_t{outs[j]} * 2];
+        out[j * 2 + 1] = scratch[std::size_t{outs[j]} * 2 + 1];
+      }
   }
 }
 
@@ -285,8 +339,7 @@ void for_each_block_range(std::size_t blocks, std::size_t threads,
 // ---------------------------------------------------------------------------
 // BatchRunner
 
-BatchRunner::BatchRunner(const Circuit& c, const BatchOptions& opts)
-    : eval_(c, opts.optimize) {
+BatchRunner::BatchRunner(const Circuit& c, const BatchOptions& opts) : eval_(c, opts) {
   std::size_t threads = opts.threads;
   if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   max_threads_ = threads;

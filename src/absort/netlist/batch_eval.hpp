@@ -32,6 +32,7 @@
 
 #include "absort/netlist/batch_options.hpp"
 #include "absort/netlist/circuit.hpp"
+#include "absort/netlist/native_engine.hpp"
 #include "absort/netlist/program_opt.hpp"
 #include "absort/util/wordvec.hpp"
 
@@ -46,11 +47,15 @@ inline constexpr std::size_t kBlockLanes = 2 * wordvec::kSimdLanes;
 
 /// Compiles a circuit to a word program (optimized by default -- see
 /// program_opt.hpp) and evaluates batches of input vectors, up to
-/// kBlockLanes per pass.
+/// kBlockLanes per pass.  opts.backend picks the engine behind the eval_*
+/// entry points: the scalar word interpreter, the wide SIMD interpreter, or
+/// a dlopen'd native kernel (Backend::Auto resolves at construction; Native
+/// degrades to Simd -- observable via backend() -- when the kernel cannot
+/// be built).  opts.threads is unused here (BatchRunner's knob).
 class BitSlicedEvaluator {
  public:
-  explicit BitSlicedEvaluator(const Circuit& c, bool optimize = true);
-  explicit BitSlicedEvaluator(const LevelizedCircuit& lc, bool optimize = true);
+  explicit BitSlicedEvaluator(const Circuit& c, const BatchOptions& opts = {});
+  explicit BitSlicedEvaluator(const LevelizedCircuit& lc, const BatchOptions& opts = {});
 
   [[nodiscard]] std::size_t num_inputs() const noexcept { return prog_.num_inputs; }
   [[nodiscard]] std::size_t num_outputs() const noexcept { return prog_.output_slots.size(); }
@@ -59,8 +64,12 @@ class BitSlicedEvaluator {
   [[nodiscard]] std::size_t num_slots() const noexcept { return prog_.num_slots; }
   [[nodiscard]] const WordProgram& program() const noexcept { return prog_; }
   /// Shrinkage of the optimizing backend (ops_before == ops_after when the
-  /// evaluator was built with optimize = false).
+  /// evaluator was built with opt_level = 0).
   [[nodiscard]] const ProgramStats& stats() const noexcept { return stats_; }
+
+  /// The engine actually evaluating passes -- never Auto, and Simd when a
+  /// requested Native kernel could not be built (the jit-fallback rung).
+  [[nodiscard]] Backend backend() const noexcept { return backend_; }
 
   /// Evaluates one 64-lane pass: in_words[i] packs primary input i across
   /// the lanes; out_words[j] receives primary output j.  `scratch` must have
@@ -92,10 +101,12 @@ class BitSlicedEvaluator {
                        std::span<BitVec> outputs, std::vector<wordvec::Vec>& scratch) const;
 
  private:
-  void compile(const Circuit& c, bool optimize);
+  void compile(const Circuit& c, const BatchOptions& opts);
 
   WordProgram prog_;
   ProgramStats stats_;
+  Backend backend_ = Backend::Simd;  ///< resolved engine (never Auto)
+  std::shared_ptr<const NativeKernel> native_;  ///< set iff backend_ == Native
 };
 
 /// Shards the block indices [0, blocks) across up to `threads` threads
@@ -117,16 +128,15 @@ void for_each_block_range(std::size_t blocks, std::size_t threads,
 /// concurrent entry instead of corrupting job state silently.
 class BatchRunner {
  public:
-  explicit BatchRunner(const Circuit& c, const BatchOptions& opts);
-  /// Pre-BatchOptions signature, kept for existing call sites.
-  explicit BatchRunner(const Circuit& c, std::size_t threads = 0, bool optimize = true)
-      : BatchRunner(c, BatchOptions{threads, optimize}) {}
+  explicit BatchRunner(const Circuit& c, const BatchOptions& opts = {});
   ~BatchRunner();
 
   BatchRunner(const BatchRunner&) = delete;
   BatchRunner& operator=(const BatchRunner&) = delete;
 
   [[nodiscard]] const BitSlicedEvaluator& evaluator() const noexcept { return eval_; }
+  /// The engine the evaluator resolved to (see BitSlicedEvaluator::backend).
+  [[nodiscard]] Backend backend() const noexcept { return eval_.backend(); }
   /// Upper bound on workers (including the calling thread).
   [[nodiscard]] std::size_t max_threads() const noexcept { return max_threads_; }
 

@@ -7,10 +7,65 @@
 // knob would have rippled a parameter through every signature.  BatchOptions
 // is that growth point.  It lives in netlist (the lowest layer that consumes
 // it) and is re-exported as sorters::BatchOptions, the name user code spells.
+//
+// PR 7 replaced the `bool optimize` flag with {opt_level, backend}: with a
+// third evaluation path (the native codegen backend of netlist/codegen.hpp),
+// backend selection became an explicit enum threaded through one path --
+// BatchRunner, BatchSorter, SortService, and the CLI all decide the engine
+// here instead of through scattered bools and #ifdefs.
 
 #include <cstddef>
+#include <string_view>
 
 namespace absort::netlist {
+
+/// Which engine evaluates a compiled word program.
+enum class Backend {
+  /// Resolve at engine-build time: the ABSORT_BACKEND environment variable
+  /// when set (values: auto|interpreter|simd|native), else Native when a
+  /// working C toolchain is found, else Simd.  ABSORT_SCALAR_WORDS keeps
+  /// forcing scalar words (it degrades Vec to Word for every backend).
+  Auto,
+  /// The scalar word interpreter: run_program over 64-bit words, one word
+  /// per slot lane group.  Same memory layout as Simd, fewer lanes per op.
+  Interpreter,
+  /// The wide interpreter: GCC-vector Vec ops (256 lanes, 512 x2-unrolled).
+  Simd,
+  /// Native codegen: the word program lowered to C, compiled to a shared
+  /// object by the system compiler, and dlopen'd (see netlist/codegen.hpp
+  /// and netlist/native_engine.hpp).  Falls back to Simd -- counted as a
+  /// jit_fallback -- when no compiler is found or compilation fails.
+  Native,
+};
+
+/// Canonical lowercase name ("auto", "interpreter", "simd", "native").
+[[nodiscard]] constexpr const char* to_string(Backend b) noexcept {
+  switch (b) {
+    case Backend::Auto: return "auto";
+    case Backend::Interpreter: return "interpreter";
+    case Backend::Simd: return "simd";
+    case Backend::Native: return "native";
+  }
+  return "?";
+}
+
+/// The valid spellings, for registry-style error messages.
+[[nodiscard]] constexpr const char* backend_names() noexcept {
+  return "auto|interpreter|simd|native";
+}
+
+/// Parses a backend name; returns false (leaving `out` untouched) on an
+/// unknown spelling so callers can list backend_names().
+[[nodiscard]] inline bool parse_backend(std::string_view name, Backend& out) noexcept {
+  for (const Backend b :
+       {Backend::Auto, Backend::Interpreter, Backend::Simd, Backend::Native}) {
+    if (name == to_string(b)) {
+      out = b;
+      return true;
+    }
+  }
+  return false;
+}
 
 struct BatchOptions {
   /// Worker threads (including the calling thread); 0 = hardware
@@ -18,10 +73,15 @@ struct BatchOptions {
   /// never spawn idle workers.
   std::size_t threads = 0;
 
-  /// Run the optimizing backend (program_opt.hpp) on compiled word programs.
-  /// Off is only useful for differential tests and compile-time-sensitive
-  /// one-shot batches.
-  bool optimize = true;
+  /// Word-program optimization level: 0 keeps the naive lowering (only
+  /// useful for differential tests and compile-time-sensitive one-shot
+  /// batches), >= 1 runs the optimizing backend (program_opt.hpp).
+  int opt_level = 1;
+
+  /// Which engine evaluates the compiled program (see Backend).  The
+  /// resolved choice is observable through BitSlicedEvaluator::backend()
+  /// and BatchSorter::backend().
+  Backend backend = Backend::Auto;
 };
 
 }  // namespace absort::netlist

@@ -1,0 +1,53 @@
+#pragma once
+// C code generation for compiled word programs.
+//
+// The native backend (see batch_options.hpp Backend::Native) lowers an
+// optimized WordProgram to a small C translation unit and hands it to the
+// system compiler (native_engine.hpp owns the compile/dlopen/cache steps).
+// The emitted code mirrors the interpreter's three entry points exactly --
+// one 64-lane word pass, one SIMD-vector pass, one x2-unrolled pass -- over
+// the same memory layout, so a kernel slots into eval_pass / eval_pass_simd
+// / eval_pass_simd_x2 with no repacking.  Each program slot becomes a local
+// C variable (the register allocator sees the whole straight-line program),
+// which is where the win over the interpreter comes from: no dispatch per
+// instruction and no slot-buffer traffic for values that live in registers.
+//
+// Aliasing contract: callers may pass out == in (ColumnsortBatchSorter
+// evaluates columns in place), so the emitted parameters are deliberately
+// NOT `restrict` and every `out[]` store is emitted after the last `in[]`
+// load -- all loads are in the instruction body, all stores in the epilogue.
+//
+// The emitted source is self-contained (only <stdint.h>) and deterministic
+// for a given (program, lane configuration), so a 64-bit FNV-1a hash of the
+// source identifies a kernel: identical programs -- even reached through
+// different (sorter, n) engine keys -- map to one shared object.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "absort/netlist/program_opt.hpp"
+
+namespace absort::netlist {
+
+/// ABI handshake exported by every emitted kernel as
+/// `const uint64_t absort_kernel_abi[4]` = {version, num_inputs,
+/// num_outputs, words_per_simd_slot}; native_engine validates it after
+/// dlopen so a stale or truncated cache file can never run.
+inline constexpr std::uint64_t kKernelAbiVersion = 1;
+
+/// Emits the complete C translation unit for `p`: functions
+/// absort_run_word / absort_run_simd / absort_run_simd_x2 (signatures
+/// matching the interpreter's eval_pass family) plus the ABI array.  The
+/// SIMD functions use a GCC vector_size(32) type when the host build does
+/// (wordvec::kSimdWords > 1) and plain uint64_t words under
+/// ABSORT_SCALAR_WORDS, keeping the kernel layout-compatible either way.
+[[nodiscard]] std::string emit_c_source(const WordProgram& p);
+
+/// 64-bit FNV-1a (seedable so callers can chain compiler identity and lane
+/// configuration into a kernel's cache key).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view s,
+                                    std::uint64_t seed = 0xCBF29CE484222325ULL) noexcept;
+
+}  // namespace absort::netlist

@@ -1,0 +1,262 @@
+#include "absort/netlist/native_engine.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#if !defined(_WIN32)
+#include <dlfcn.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define ABSORT_HAVE_DLOPEN 1
+#endif
+
+#include "absort/netlist/codegen.hpp"
+#include "absort/util/wordvec.hpp"
+
+namespace absort::netlist {
+
+namespace {
+
+std::atomic<std::uint64_t> g_compiles{0};
+std::atomic<std::uint64_t> g_cache_hits{0};
+std::atomic<std::uint64_t> g_fallbacks{0};
+
+/// Serializes every in-process build (emit, probe, compile, dlopen) and
+/// guards the in-process kernel registry and probe cache.
+std::mutex& build_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::uint64_t, std::shared_ptr<const NativeKernel>>& kernel_registry() {
+  static std::map<std::uint64_t, std::shared_ptr<const NativeKernel>> reg;
+  return reg;
+}
+
+void set_error(std::string* error, std::string msg) {
+  if (error) *error = std::move(msg);
+}
+
+#if defined(ABSORT_HAVE_DLOPEN)
+
+bool file_exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// mkdir -p: creates `dir` and any missing parents (best effort; the
+/// subsequent fopen/compile reports the real failure).
+void make_dirs(const std::string& dir) {
+  for (std::size_t i = 1; i <= dir.size(); ++i) {
+    if (i == dir.size() || dir[i] == '/') {
+      (void)::mkdir(dir.substr(0, i).c_str(), 0777);
+    }
+  }
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const bool ok = std::fwrite(contents.data(), 1, contents.size(), f) == contents.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+/// Runs `cc <flags> -fPIC -shared -o out src`, discarding compiler chatter
+/// (a failed compile is reported by status, and the source stays in the
+/// cache directory for post-mortems).
+bool run_compiler(const std::string& cc, const std::string& flags, const std::string& src,
+                  const std::string& out) {
+  const std::string cmd =
+      cc + " " + flags + " -fPIC -shared -o '" + out + "' '" + src + "' >/dev/null 2>&1";
+  return std::system(cmd.c_str()) == 0;
+}
+
+/// dlopen + ABI validation + symbol lookup.  The handle is intentionally
+/// retained forever: engines hold bare function pointers into the mapping,
+/// and a .so is small and content-addressed, so unloading buys nothing and
+/// risks everything.
+std::shared_ptr<const NativeKernel> load_kernel(const std::string& path, const WordProgram& p,
+                                                std::uint64_t hash, std::string* error) {
+  void* dl = ::dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!dl) {
+    const char* why = ::dlerror();
+    set_error(error, "dlopen failed: " + std::string(why ? why : path));
+    return nullptr;
+  }
+  const auto* abi = reinterpret_cast<const std::uint64_t*>(::dlsym(dl, "absort_kernel_abi"));
+  if (!abi || abi[0] != kKernelAbiVersion || abi[1] != p.num_inputs ||
+      abi[2] != p.output_slots.size() || abi[3] != wordvec::kSimdWords) {
+    set_error(error, "kernel ABI mismatch: " + path);
+    return nullptr;
+  }
+  auto k = std::make_shared<NativeKernel>();
+  k->run_word = reinterpret_cast<NativeKernel::Fn>(::dlsym(dl, "absort_run_word"));
+  k->run_simd = reinterpret_cast<NativeKernel::Fn>(::dlsym(dl, "absort_run_simd"));
+  k->run_simd_x2 = reinterpret_cast<NativeKernel::Fn>(::dlsym(dl, "absort_run_simd_x2"));
+  k->hash = hash;
+  if (!k->run_word || !k->run_simd || !k->run_simd_x2) {
+    set_error(error, "kernel symbols missing: " + path);
+    return nullptr;
+  }
+  return k;
+}
+
+/// Probe result per compiler string: can it produce a loadable .so at all?
+bool probe_toolchain_locked(const std::string& cc) {
+  static std::map<std::string, bool> cache;
+  const auto it = cache.find(cc);
+  if (it != cache.end()) return it->second;
+
+  const std::string dir = jit_cache_dir();
+  make_dirs(dir);
+  const std::string tag = std::to_string(static_cast<unsigned long>(::getpid()));
+  const std::string src = dir + "/probe_" + tag + ".c";
+  const std::string so = dir + "/probe_" + tag + ".so";
+  bool ok = write_file(src, "int absort_probe(void) { return 42; }\n") &&
+            run_compiler(cc, "-O0", src, so);
+  if (ok) {
+    void* dl = ::dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+    ok = dl && ::dlsym(dl, "absort_probe");
+    if (dl) ::dlclose(dl);  // the probe is the one .so safe to unload
+  }
+  (void)::unlink(src.c_str());
+  (void)::unlink(so.c_str());
+  cache.emplace(cc, ok);
+  return ok;
+}
+
+#endif  // ABSORT_HAVE_DLOPEN
+
+}  // namespace
+
+JitCounters jit_counters() noexcept {
+  JitCounters c;
+  c.compiles = g_compiles.load(std::memory_order_relaxed);
+  c.cache_hits = g_cache_hits.load(std::memory_order_relaxed);
+  c.fallbacks = g_fallbacks.load(std::memory_order_relaxed);
+  return c;
+}
+
+std::string jit_compiler() {
+  if (const char* cc = std::getenv("ABSORT_CC"); cc && *cc) return cc;
+  if (const char* cc = std::getenv("CC"); cc && *cc) return cc;
+  return "cc";
+}
+
+std::string jit_cache_dir() {
+  if (const char* dir = std::getenv("ABSORT_JIT_CACHE"); dir && *dir) return dir;
+  if (const char* tmp = std::getenv("TMPDIR"); tmp && *tmp) {
+    std::string d = tmp;
+    if (d.back() == '/') d.pop_back();
+    return d + "/absort-jit";
+  }
+  return "/tmp/absort-jit";
+}
+
+bool native_toolchain_available() {
+#if defined(ABSORT_HAVE_DLOPEN)
+  std::lock_guard lk(build_mutex());
+  return probe_toolchain_locked(jit_compiler());
+#else
+  return false;
+#endif
+}
+
+Backend resolve_backend(Backend requested) { return resolve_backend(requested, 0); }
+
+Backend resolve_backend(Backend requested, std::size_t program_instrs) {
+  if (requested != Backend::Auto) return requested;
+  if (const char* env = std::getenv("ABSORT_BACKEND"); env && *env) {
+    Backend b;
+    if (parse_backend(env, b) && b != Backend::Auto) return b;
+  }
+  if (program_instrs > kNativeAutoMaxInstrs) return Backend::Simd;
+  return native_toolchain_available() ? Backend::Native : Backend::Simd;
+}
+
+std::shared_ptr<const NativeKernel> build_native_kernel(const WordProgram& p,
+                                                        std::string* error) {
+#if defined(ABSORT_HAVE_DLOPEN)
+  const std::string cc = jit_compiler();
+  const std::string source = emit_c_source(p);
+  // The cache key covers the source (program + lane layout + ABI) and the
+  // compiler identity, so switching ABSORT_CC can never hit a stale entry
+  // built by a different toolchain.
+  const std::uint64_t hash = fnv1a64(cc, fnv1a64(source));
+
+  std::lock_guard lk(build_mutex());
+  auto& reg = kernel_registry();
+  if (const auto it = reg.find(hash); it != reg.end()) {
+    g_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+
+  const std::string dir = jit_cache_dir();
+  make_dirs(dir);
+  char hex[32];
+  std::snprintf(hex, sizeof hex, "%016llx", static_cast<unsigned long long>(hash));
+  const std::string so_path = dir + "/absort_" + hex + ".so";
+
+  // Disk cache: a previous process (or run) already compiled this kernel.
+  if (file_exists(so_path)) {
+    if (auto k = load_kernel(so_path, p, hash, error)) {
+      g_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      reg.emplace(hash, k);
+      return k;
+    }
+    // Stale or truncated entry: fall through and rebuild over it.
+  }
+
+  if (!probe_toolchain_locked(cc)) {
+    g_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    set_error(error, "no working compiler: '" + cc + "'");
+    return nullptr;
+  }
+
+  // Compile to a process-unique temp and rename() into place, so processes
+  // racing on one cache entry each install a complete file (rename is
+  // atomic within the directory; last writer wins, both are identical).
+  const std::string tag = std::to_string(static_cast<unsigned long>(::getpid()));
+  const std::string src_path = dir + "/absort_" + hex + ".c";
+  const std::string tmp_so = so_path + "." + tag + ".tmp";
+  if (!write_file(src_path, source)) {
+    g_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    set_error(error, "cannot write kernel source: " + src_path);
+    return nullptr;
+  }
+  // Straight-line kernels get no benefit from gcc's expensive -O2 passes
+  // (there is no control flow), and -O1's register allocation goes
+  // superlinear on one huge function (measured on this class of kernel:
+  // ~2k instrs 2.5s, ~15k instrs ~3min, ~52k instrs >13min), while -O0
+  // stays linear (~0.2ms/instr: 52k instrs in 10s) and the emitted
+  // locals-based code is already branch-free.  So -O1 only for programs
+  // small enough to finish in seconds.  -march=native is attempted first
+  // for wider vector ISAs.
+  const char* const opt = p.instrs.size() > 4'000 ? "-O0" : "-O1";
+  bool built = run_compiler(cc, std::string(opt) + " -march=native", src_path, tmp_so) ||
+               run_compiler(cc, opt, src_path, tmp_so);
+  if (!built || ::rename(tmp_so.c_str(), so_path.c_str()) != 0) {
+    (void)::unlink(tmp_so.c_str());
+    g_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    set_error(error, "kernel compile failed ('" + cc + "' on " + src_path + ")");
+    return nullptr;
+  }
+  auto k = load_kernel(so_path, p, hash, error);
+  if (!k) {
+    g_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  g_compiles.fetch_add(1, std::memory_order_relaxed);
+  reg.emplace(hash, k);
+  return k;
+#else
+  g_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  set_error(error, "native backend unavailable on this platform");
+  return nullptr;
+#endif
+}
+
+}  // namespace absort::netlist

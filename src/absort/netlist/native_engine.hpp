@@ -1,0 +1,102 @@
+#pragma once
+// Build, load, and cache native kernels for compiled word programs.
+//
+// This is the runtime half of the native backend (codegen.hpp emits the C):
+//
+//   emit  -- lower the optimized WordProgram to a C translation unit;
+//   hash  -- 64-bit FNV-1a over (source, compiler identity, lane config):
+//            identical programs share one kernel even when reached through
+//            different (sorter, n) engine keys;
+//   cache -- two levels.  An in-process registry keyed by hash (kernels are
+//            process-lifetime: shared objects are never dlclosed, so a
+//            function pointer handed to an engine can never dangle), and an
+//            on-disk directory of compiled .so files (ABSORT_JIT_CACHE,
+//            default $TMPDIR/absort-jit) that survives restarts -- a warm
+//            service start skips the compiler entirely;
+//   build -- write the source next to the cache entry, invoke the system
+//            compiler (ABSORT_CC, then CC, then "cc") to a unique temp
+//            file, and rename() it into place, so concurrent processes
+//            racing on one cache entry each install a complete file;
+//   load  -- dlopen(RTLD_NOW | RTLD_LOCAL) and validate the emitted ABI
+//            array before any kernel function can run, so a stale or
+//            truncated cache file degrades to a rebuild, never a crash.
+//
+// In-process builds serialize on one mutex: concurrent engine compilations
+// racing on the same hash resolve to one compile plus cache hits.
+//
+// Every failure path (no compiler, compile error, bad ABI) returns null and
+// counts a jit fallback; callers degrade to the Simd interpreter.  The
+// process-wide JitCounters feed ServiceStats' jit_* fields.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "absort/netlist/batch_options.hpp"
+#include "absort/netlist/program_opt.hpp"
+
+namespace absort::netlist {
+
+/// A loaded native kernel: the three entry points of the emitted shared
+/// object (signatures mirror BitSlicedEvaluator::eval_pass /
+/// eval_pass_simd / eval_pass_simd_x2's in/out pointers; kernels need no
+/// scratch -- slots live in locals).  The dlopen handle is retained and
+/// never closed, so the pointers stay valid for the process lifetime.
+struct NativeKernel {
+  using Fn = void (*)(const void* in, void* out);
+  Fn run_word = nullptr;
+  Fn run_simd = nullptr;
+  Fn run_simd_x2 = nullptr;
+  std::uint64_t hash = 0;  ///< content hash (also the cache-file key)
+};
+
+/// Process-wide JIT telemetry (monotonic; snapshot-and-diff for per-service
+/// reporting).
+struct JitCounters {
+  std::uint64_t compiles = 0;    ///< compiler runs that produced a kernel
+  std::uint64_t cache_hits = 0;  ///< kernels served from memory or disk cache
+  std::uint64_t fallbacks = 0;   ///< failed Native attempts (degraded to Simd)
+};
+[[nodiscard]] JitCounters jit_counters() noexcept;
+
+/// Builds (or fetches from cache) the native kernel for `p`.  Returns null
+/// on any failure -- missing compiler, compile error, ABI mismatch -- after
+/// counting a fallback; `error`, when non-null, receives a one-line reason.
+[[nodiscard]] std::shared_ptr<const NativeKernel> build_native_kernel(
+    const WordProgram& p, std::string* error = nullptr);
+
+/// Whether the configured compiler can produce a loadable shared object
+/// (probed once per compiler string, cached).  Auto resolves to Native only
+/// when this holds.
+[[nodiscard]] bool native_toolchain_available();
+
+/// Auto engages Native only for programs up to this many instructions.
+/// Past it, the kernel must be compiled at -O0 (gcc's -O1 register
+/// allocation is superlinear on one huge straight-line function -- see the
+/// measurements in native_engine.cpp), and a -O0 kernel's stack-slot
+/// traffic measured *slower* than the Simd interpreter (prefix n=1024:
+/// 114k vs 147k vectors/s).  An explicit Backend::Native request (API or
+/// ABSORT_BACKEND=native) is always honored regardless of size.
+inline constexpr std::size_t kNativeAutoMaxInstrs = 4'000;
+
+/// Resolves Backend::Auto: the ABSORT_BACKEND environment variable when it
+/// names a backend (unknown values are ignored), else Native when
+/// native_toolchain_available(), else Simd.  Explicit backends pass through
+/// unchanged.
+[[nodiscard]] Backend resolve_backend(Backend requested);
+
+/// As above with the compiled program's size available: Auto declines
+/// Native past kNativeAutoMaxInstrs (ABSORT_BACKEND=native still forces
+/// it).  This is the overload engine constructors use.
+[[nodiscard]] Backend resolve_backend(Backend requested, std::size_t program_instrs);
+
+/// The on-disk kernel cache directory: $ABSORT_JIT_CACHE, else
+/// $TMPDIR/absort-jit, else /tmp/absort-jit.  (Created lazily on first
+/// build.)
+[[nodiscard]] std::string jit_cache_dir();
+
+/// The compiler command the builder will invoke: $ABSORT_CC, else $CC,
+/// else "cc".
+[[nodiscard]] std::string jit_compiler();
+
+}  // namespace absort::netlist

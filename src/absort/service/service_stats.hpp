@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "absort/netlist/batch_options.hpp"
+
 namespace absort::service {
 
 /// Histogram buckets: bucket 0 holds value 0, bucket b >= 1 holds values in
@@ -70,6 +72,17 @@ struct ShardStats {
   double lane_occupancy = 0.0;
 };
 
+/// One compiled (sorter, n, shard) engine in the service's caches, with the
+/// evaluation backend it resolved to (never Auto).  One entry per successful
+/// compile, so entries.size() == ServiceStats::compiled even when the same
+/// key recompiles after parole.
+struct EngineInfo {
+  std::string sorter;  ///< registry name
+  std::size_t n = 0;   ///< vector arity
+  std::size_t shard = 0;
+  netlist::Backend backend = netlist::Backend::Interpreter;
+};
+
 /// One coherent view of a SortService's lifetime counters and latency
 /// distributions (see SortService::stats()).
 struct ServiceStats {
@@ -81,6 +94,13 @@ struct ServiceStats {
   std::uint64_t failed = 0;        ///< requests failed with an exception
   std::uint64_t batches = 0;       ///< micro-batches formed
   std::uint64_t compiled = 0;      ///< (sorter, n) engines compiled (cache misses, per shard)
+
+  // Native-backend (JIT) activity attributed to this service: deltas of the
+  // process-wide netlist::jit_counters() since the service was constructed.
+  // All three stay 0 when no engine resolves to Backend::Native.
+  std::uint64_t jit_compiles = 0;    ///< kernels compiled by the system toolchain
+  std::uint64_t jit_cache_hits = 0;  ///< kernels served from the in-process or on-disk cache
+  std::uint64_t jit_fallbacks = 0;   ///< native requests that fell back to the SIMD interpreter
 
   // Sharding (totals across per_shard; 0 on a 1-shard service):
   std::uint64_t steals = 0;           ///< micro-batches taken by work stealing
@@ -105,6 +125,9 @@ struct ServiceStats {
 
   /// One entry per executor shard (size == SortService::shard_count()).
   std::vector<ShardStats> per_shard;
+
+  /// Every engine compile so far, in compile order (size == compiled).
+  std::vector<EngineInfo> engines;
 
   HistogramSnapshot batch_size;     ///< requests coalesced per micro-batch
   HistogramSnapshot queue_wait_us;  ///< submit -> batch formation, microseconds

@@ -87,6 +87,7 @@ SortService::SortService(ServiceOptions opts) : opts_(std::move(opts)) {
     const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
     opts_.batch.threads = std::max<std::size_t>(1, hw / opts_.shards);
   }
+  jit_baseline_ = netlist::jit_counters();
 
   shards_.reserve(opts_.shards);
   for (std::size_t i = 0; i < opts_.shards; ++i) {
@@ -353,6 +354,9 @@ SortService::Engine* SortService::ensure_engine(Shard& sh, const Key& key,
     }
     if (e.batch) {
       compiled_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard lk(engines_m_);
+      engine_infos_.push_back(
+          EngineInfo{key.first->name, key.second, sh.index, e.batch->backend()});
     } else {
       std::lock_guard lk(ladder_m_);
       Ladder& L = ladder_[key];
@@ -525,6 +529,14 @@ ServiceStats SortService::stats() const {
   s.degraded = degraded_.load(std::memory_order_relaxed);
   s.self_check_failed = self_check_failed_.load(std::memory_order_relaxed);
   s.unrecoverable = unrecoverable_.load(std::memory_order_relaxed);
+  const auto jit = netlist::jit_counters();
+  s.jit_compiles = jit.compiles - jit_baseline_.compiles;
+  s.jit_cache_hits = jit.cache_hits - jit_baseline_.cache_hits;
+  s.jit_fallbacks = jit.fallbacks - jit_baseline_.fallbacks;
+  {
+    std::lock_guard lk(engines_m_);
+    s.engines = engine_infos_;
+  }
   s.per_shard.reserve(shards_.size());
   for (const auto& sh : shards_) {
     ShardStats ss;

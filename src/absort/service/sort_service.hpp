@@ -68,6 +68,7 @@
 
 #include "absort/netlist/batch_eval.hpp"
 #include "absort/netlist/levelized.hpp"
+#include "absort/netlist/native_engine.hpp"
 #include "absort/service/service_stats.hpp"
 #include "absort/sorters/registry.hpp"
 #include "absort/util/bitvec.hpp"
@@ -314,6 +315,16 @@ class SortService {
   /// once per micro-batch, never per request).
   mutable std::mutex ladder_m_;
   std::map<Key, Ladder> ladder_;
+
+  /// Every engine compile (sorter, n, shard, resolved backend), recorded at
+  /// compile time by whichever dispatcher did it; its mutex is cold-path only
+  /// (taken once per compile and per stats() call).
+  mutable std::mutex engines_m_;
+  std::vector<EngineInfo> engine_infos_;
+
+  /// Process-wide netlist::jit_counters() at construction; stats() reports
+  /// the deltas so concurrent services don't charge each other's compiles.
+  netlist::JitCounters jit_baseline_;
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};

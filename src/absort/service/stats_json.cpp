@@ -51,6 +51,9 @@ std::string stats_json(const ServiceStats& s) {
   counter("failed", s.failed);
   counter("batches", s.batches);
   counter("compiled", s.compiled);
+  counter("jit_compiles", s.jit_compiles);
+  counter("jit_cache_hits", s.jit_cache_hits);
+  counter("jit_fallbacks", s.jit_fallbacks);
   counter("steals", s.steals);
   counter("stolen_requests", s.stolen_requests);
   counter("retries", s.retries);
@@ -76,6 +79,14 @@ std::string stats_json(const ServiceStats& s) {
            static_cast<unsigned long long>(sh.steals),
            static_cast<unsigned long long>(sh.stolen_requests),
            static_cast<unsigned long long>(sh.queue_depth), sh.lane_occupancy);
+  }
+  out += "],\n";
+  out += "  \"engines\": [";
+  for (std::size_t i = 0; i < s.engines.size(); ++i) {
+    const EngineInfo& e = s.engines[i];
+    append(out, "%s{\"sorter\": \"%s\", \"n\": %llu, \"shard\": %llu, \"backend\": \"%s\"}",
+           i == 0 ? "" : ", ", e.sorter.c_str(), static_cast<unsigned long long>(e.n),
+           static_cast<unsigned long long>(e.shard), netlist::to_string(e.backend));
   }
   out += "],\n";
   out += "  \"batch_size\": " + histogram_json(s.batch_size) + ",\n";

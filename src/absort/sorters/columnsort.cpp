@@ -132,7 +132,9 @@ class ColumnsortBatchSorter final : public BatchSorter {
         r_(s.rows()),
         s_(s.cols()),
         threads_(opts.threads),
-        col_(s.column_sorter_circuit(), opts.optimize) {}
+        col_(s.column_sorter_circuit(), opts) {}
+
+  [[nodiscard]] netlist::Backend backend() const noexcept override { return col_.backend(); }
 
   void run(std::span<const BitVec> batch, std::span<BitVec> out) override;
 

@@ -198,8 +198,16 @@ class FishBatchSorter final : public BatchSorter {
       : BatchSorter(s.size()),
         k_(s.k()),
         threads_(opts.threads),
-        small_(s.small_sorter_circuit(), opts.optimize),
-        merger_(s.merger_circuit(), opts.optimize) {}
+        small_(s.small_sorter_circuit(), opts),
+        merger_(s.merger_circuit(), opts) {}
+
+  /// Both evaluators resolve from the same options; report the weaker one
+  /// so a partial native fallback (one kernel built, one degraded) is never
+  /// reported as fully Native.
+  [[nodiscard]] netlist::Backend backend() const noexcept override {
+    return small_.backend() == merger_.backend() ? small_.backend()
+                                                 : netlist::Backend::Simd;
+  }
 
   void run(std::span<const BitVec> batch, std::span<BitVec> out) override {
     check(batch, out);

@@ -18,6 +18,10 @@ class CircuitBatchSorter final : public BatchSorter {
   CircuitBatchSorter(std::size_t n, const netlist::Circuit& c, const BatchOptions& opts)
       : BatchSorter(n), runner_(c, opts) {}
 
+  [[nodiscard]] netlist::Backend backend() const noexcept override {
+    return runner_.backend();
+  }
+
   void run(std::span<const BitVec> batch, std::span<BitVec> out) override {
     runner_.run(batch, out);
   }
@@ -33,6 +37,12 @@ class PerVectorBatchSorter final : public BatchSorter {
  public:
   PerVectorBatchSorter(const BinarySorter& sorter, const BatchOptions& opts)
       : BatchSorter(sorter.size()), sorter_(sorter), opts_(opts) {}
+
+  /// No word program behind this engine at all: per-vector sort() is the
+  /// scalar reference path, reported as Interpreter.
+  [[nodiscard]] netlist::Backend backend() const noexcept override {
+    return netlist::Backend::Interpreter;
+  }
 
   void run(std::span<const BitVec> batch, std::span<BitVec> out) override {
     if (out.size() != batch.size()) {

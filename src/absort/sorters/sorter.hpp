@@ -30,9 +30,13 @@
 
 namespace absort::sorters {
 
-/// The knob bundle every batch entry point takes ({threads, optimize});
-/// defined next to the engine it parameterizes, spelled here by user code.
+/// The knob bundle every batch entry point takes ({threads, opt_level,
+/// backend}); defined next to the engine it parameterizes, spelled here by
+/// user code.
 using BatchOptions = netlist::BatchOptions;
+/// The engine-selection enum (Auto | Interpreter | Simd | Native); see
+/// netlist/batch_options.hpp for resolution rules.
+using Backend = netlist::Backend;
 
 /// A reusable batch-sorting engine: the sorter's circuits compiled into the
 /// bit-sliced evaluator exactly once, with thread pool and packing scratch
@@ -49,6 +53,12 @@ class BatchSorter {
 
   /// Input/output arity (the sorter's n).
   [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// The evaluation engine this instance actually runs (never Auto): the
+  /// resolved BitSlicedEvaluator backend for circuit-backed engines, and
+  /// Interpreter for the per-vector fallback engine (no word program at
+  /// all).  Tests and ServiceStats assert against this.
+  [[nodiscard]] virtual netlist::Backend backend() const noexcept = 0;
 
   /// Sorts batch[i] into out[i] (resized as needed); a steady-state caller
   /// that recycles its buffers allocates nothing on this path.
@@ -95,7 +105,7 @@ class BinarySorter {
   /// schedule lanewise (FishSorter, ColumnsortSorter), or fall back to
   /// per-vector sort() sharded across threads.
   [[nodiscard]] std::vector<BitVec> sort_batch(std::span<const BitVec> batch,
-                                               const BatchOptions& opts) const;
+                                               const BatchOptions& opts = {}) const;
 
   /// As above, writing result i into out[i] (resized as needed).  This is
   /// the virtual face: model-B sorters override it with their bit-sliced
@@ -110,18 +120,6 @@ class BinarySorter {
   /// that references *this, so the sorter must outlive the engine.
   [[nodiscard]] virtual std::unique_ptr<BatchSorter> make_batch_sorter(
       const BatchOptions& opts = {}) const;
-
-  /// Pre-BatchOptions signatures, kept so existing call sites compile:
-  /// thin delegates to the BatchOptions faces (threads as before, optimize
-  /// defaulted on).
-  [[nodiscard]] std::vector<BitVec> sort_batch(std::span<const BitVec> batch,
-                                               std::size_t threads = 0) const {
-    return sort_batch(batch, BatchOptions{threads, true});
-  }
-  void sort_batch(std::span<const BitVec> batch, std::span<BitVec> out,
-                  std::size_t threads) const {
-    sort_batch(batch, out, BatchOptions{threads, true});
-  }
 
   /// Applies route(tags) to an arbitrary payload vector: the packets travel
   /// exactly where the network's switches carry them.

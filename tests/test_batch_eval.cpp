@@ -127,8 +127,8 @@ TEST(BatchRunner, ThreadCountsAgreeAndAreDeterministic) {
   ABSORT_SEEDED_RNG(rng, 13);
   // 1000 vectors: 3 full 256-lane blocks plus a ragged tail.
   const auto batch = random_batch(rng, 1000, 64);
-  BatchRunner one(c, 1);
-  BatchRunner many(c, 8);
+  BatchRunner one(c, {.threads = 1});
+  BatchRunner many(c, {.threads = 8});
   const auto ref = one.run(batch);
   for (int rep = 0; rep < 3; ++rep) EXPECT_EQ(many.run(batch), ref);
   // A runner is reusable across differently-sized batches.
@@ -199,9 +199,9 @@ TEST_P(SortBatch, AgreesWithSingleVectorEvaluation) {
       } else {
         for (const auto& v : batch) expect.push_back(sorter->sort(v));
       }
-      EXPECT_EQ(sorter->sort_batch(batch, 1), expect)
+      EXPECT_EQ(sorter->sort_batch(batch, {.threads = 1}), expect)
           << param.name << " n=" << n << " b=" << b << " (1 thread)";
-      EXPECT_EQ(sorter->sort_batch(batch, 4), expect)
+      EXPECT_EQ(sorter->sort_batch(batch, {.threads = 4}), expect)
           << param.name << " n=" << n << " b=" << b << " (4 threads)";
     }
   }
@@ -242,8 +242,8 @@ TEST(ProgramOptimizer, OptimizedMatchesUnoptimizedEverySorter) {
     for (const std::size_t n : {std::size_t{16}, std::size_t{64}}) {
       const auto sorter = sc.make(n);
       for (const auto& c : batch_circuits_of(*sorter)) {
-        const BitSlicedEvaluator opt(c, /*optimize=*/true);
-        const BitSlicedEvaluator raw(c, /*optimize=*/false);
+        const BitSlicedEvaluator opt(c, {.opt_level = 1});
+        const BitSlicedEvaluator raw(c, {.opt_level = 0});
         EXPECT_LE(opt.stats().ops_after, opt.stats().ops_before) << sc.name;
         for (const std::size_t b : {std::size_t{1}, std::size_t{65}, std::size_t{257},
                                     std::size_t{520}}) {
@@ -251,9 +251,9 @@ TEST(ProgramOptimizer, OptimizedMatchesUnoptimizedEverySorter) {
           EXPECT_EQ(opt.eval_batch(batch), raw.eval_batch(batch))
               << sc.name << " n=" << n << " b=" << b;
         }
-        // The threaded runner and the optimization flag commute.
-        BatchRunner opt_many(c, 4, /*optimize=*/true);
-        BatchRunner raw_many(c, 4, /*optimize=*/false);
+        // The threaded runner and the optimization level commute.
+        BatchRunner opt_many(c, {.threads = 4, .opt_level = 1});
+        BatchRunner raw_many(c, {.threads = 4, .opt_level = 0});
         const auto batch = random_batch(rng, 300, opt.num_inputs());
         EXPECT_EQ(opt_many.run(batch), raw_many.run(batch)) << sc.name << " n=" << n;
       }
@@ -291,7 +291,7 @@ TEST(ProgramOptimizer, ShrinksAdaptiveSorterProgramsAtLeast15Percent) {
 // deadline only bounds a pathological machine.
 TEST(BatchRunner, ConcurrentRunThrowsLogicError) {
   const auto c = sorters::PrefixSorter::make(256)->build_circuit();
-  BatchRunner r(c, 2);
+  BatchRunner r(c, {.threads = 2});
   ABSORT_SEEDED_RNG(rng, 43);
   const auto batch = random_batch(rng, 4096, 256);
   std::atomic<bool> stop{false};
@@ -317,27 +317,49 @@ TEST(BatchRunner, ConcurrentRunThrowsLogicError) {
   worker.join();
   EXPECT_GE(threw.load(), 1) << "two concurrent run() calls never collided";
   // The runner stays usable after a rejected entry.
-  EXPECT_EQ(r.run(batch), BatchRunner(c, 1).run(batch));
+  EXPECT_EQ(r.run(batch), BatchRunner(c, {.threads = 1}).run(batch));
 }
 
-// The BatchOptions face and the legacy threads/optimize arguments are the
-// same code path: every spelling produces identical output.
-TEST(BatchOptions, DelegatingOverloadsAgree) {
+// The one BatchOptions face everything takes: every spelling of {threads,
+// opt_level, backend} produces identical output, and the explicit backends
+// agree with whatever Auto resolves to.
+TEST(BatchOptions, SpellingsAndBackendsAgree) {
   const auto sorter = sorters::FishSorter::make(64);
   ABSORT_SEEDED_RNG(rng, 47);
   const auto batch = random_batch(rng, 130, 64);
-  const auto ref = sorter->sort_batch(batch, 1);
-  EXPECT_EQ(sorter->sort_batch(batch, sorters::BatchOptions{1, true}), ref);
-  EXPECT_EQ(sorter->sort_batch(batch, sorters::BatchOptions{0, false}), ref);
+  const auto ref = sorter->sort_batch(batch, {.threads = 1});
+  EXPECT_EQ(sorter->sort_batch(batch), ref);  // defaulted options
+  EXPECT_EQ(sorter->sort_batch(batch, {.threads = 0, .opt_level = 0}), ref);
   std::vector<BitVec> out(batch.size());
-  sorter->sort_batch(batch, std::span<BitVec>(out), sorters::BatchOptions{2, true});
+  sorter->sort_batch(batch, std::span<BitVec>(out), {.threads = 2});
   EXPECT_EQ(out, ref);
 
   const auto c = sorters::PrefixSorter::make(32)->build_circuit();
   const auto cbatch = random_batch(rng, 70, 32);
-  BatchRunner legacy(c, 2, true);
-  BatchRunner opts(c, netlist::BatchOptions{2, true});
-  EXPECT_EQ(legacy.run(cbatch), opts.run(cbatch));
+  BatchRunner auto_be(c, {.backend = netlist::Backend::Auto});
+  for (const auto be : {netlist::Backend::Interpreter, netlist::Backend::Simd}) {
+    BatchRunner r(c, {.backend = be});
+    EXPECT_EQ(r.backend(), be);
+    EXPECT_EQ(r.run(cbatch), auto_be.run(cbatch)) << netlist::to_string(be);
+  }
+  // Auto never stays Auto once resolved.
+  EXPECT_NE(auto_be.backend(), netlist::Backend::Auto);
+}
+
+// The Backend enum's string faces round-trip, and unknown names are rejected
+// (the CLI leans on this to print the valid set).
+TEST(BatchOptions, BackendParseRoundTrip) {
+  using netlist::Backend;
+  for (const auto be :
+       {Backend::Auto, Backend::Interpreter, Backend::Simd, Backend::Native}) {
+    Backend parsed{};
+    ASSERT_TRUE(netlist::parse_backend(netlist::to_string(be), parsed));
+    EXPECT_EQ(parsed, be);
+  }
+  Backend out{};
+  EXPECT_FALSE(netlist::parse_backend("bogus", out));
+  EXPECT_FALSE(netlist::parse_backend("", out));
+  EXPECT_STREQ(netlist::backend_names(), "auto|interpreter|simd|native");
 }
 
 // make_batch_sorter: the compile-once engine the serving layer caches.  One
@@ -346,12 +368,13 @@ TEST(BatchSorter, CompiledEngineMatchesSortBatchEverySorter) {
   ABSORT_SEEDED_RNG(rng, 53);
   for (const auto& sc : kSorters) {
     const auto sorter = sc.make(16);
-    const auto engine = sorter->make_batch_sorter(sorters::BatchOptions{1, true});
+    const auto engine = sorter->make_batch_sorter(sorters::BatchOptions{.threads = 1});
     ASSERT_NE(engine, nullptr) << sc.name;
     EXPECT_EQ(engine->size(), 16u) << sc.name;
+    EXPECT_NE(engine->backend(), sorters::Backend::Auto) << sc.name;
     for (const std::size_t b : {std::size_t{1}, std::size_t{70}, std::size_t{300}}) {
       const auto batch = random_batch(rng, b, 16);
-      EXPECT_EQ(engine->run(batch), sorter->sort_batch(batch, 1))
+      EXPECT_EQ(engine->run(batch), sorter->sort_batch(batch, {.threads = 1}))
           << sc.name << " b=" << b;
     }
     const std::vector<BitVec> bad{BitVec(15)};
@@ -365,7 +388,7 @@ TEST(BatchSorter, CompiledEngineMatchesSortBatchEverySorter) {
 
 TEST(BatchRunner, CallerBufferOverloadReusesStorage) {
   const auto c = sorters::PrefixSorter::make(16)->build_circuit();
-  BatchRunner r(c, 2);
+  BatchRunner r(c, {.threads = 2});
   ABSORT_SEEDED_RNG(rng, 31);
   const auto batch = random_batch(rng, 300, 16);
   std::vector<BitVec> out(batch.size());

@@ -1,0 +1,319 @@
+// Edge cases of the native codegen backend (codegen.hpp + native_engine.hpp):
+// emitted-source determinism and cache-key hashing, degenerate programs
+// (empty, single-op, register pressure past 256 live slots), toolchain
+// failure degrading to the Simd interpreter, the ABSORT_BACKEND override of
+// Backend::Auto, concurrent builds racing on one cache entry, and a
+// cross-backend exhaustive 0-1 differential.  Tests that need the system
+// compiler skip cleanly when no toolchain can produce a loadable .so.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include "absort/netlist/batch_eval.hpp"
+#include "absort/netlist/codegen.hpp"
+#include "absort/netlist/native_engine.hpp"
+#include "absort/sorters/registry.hpp"
+#include "absort/sorters/sorter.hpp"
+#include "absort/util/bitvec.hpp"
+#include "absort/util/wordvec.hpp"
+
+namespace absort {
+namespace {
+
+using netlist::WordInstr;
+using netlist::WordProgram;
+using Op = WordInstr::Op;
+
+/// RAII environment override; restores the previous value (or absence) on
+/// scope exit so test order never leaks configuration.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* prev = std::getenv(name)) {
+      had_ = true;
+      saved_ = prev;
+    }
+    if (value) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_.c_str(), saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_, saved_;
+  bool had_ = false;
+};
+
+/// All 2^n inputs in numeric order (zero-one principle sweep).
+std::vector<BitVec> all_inputs(std::size_t n) {
+  std::vector<BitVec> batch;
+  batch.reserve(std::size_t{1} << n);
+  for (std::uint64_t v = 0; v < (std::uint64_t{1} << n); ++v) {
+    batch.push_back(BitVec::from_bits_of(v, n));
+  }
+  return batch;
+}
+
+TEST(Codegen, EmitIsDeterministicAndHashSeparatesKernels) {
+  WordProgram p;
+  p.num_inputs = 1;
+  p.num_slots = 1;
+  p.instrs = {{Op::Load, 0, 0}, {Op::Not, 0, 0}};
+  p.output_slots = {0};
+
+  const std::string s1 = netlist::emit_c_source(p);
+  EXPECT_EQ(s1, netlist::emit_c_source(p));  // same program -> same source
+
+  WordProgram q = p;
+  q.instrs.push_back({Op::Not, 0, 0});
+  const std::string s2 = netlist::emit_c_source(q);
+  EXPECT_NE(s1, s2);
+  EXPECT_NE(netlist::fnv1a64(s1), netlist::fnv1a64(s2));
+
+  // The cache key chains the compiler identity through the seed: the same
+  // source under two compilers must land on two cache entries.
+  const std::uint64_t src_hash = netlist::fnv1a64(s1);
+  EXPECT_NE(netlist::fnv1a64("cc", src_hash), netlist::fnv1a64("gcc-12", src_hash));
+}
+
+TEST(Codegen, EmittedAbiMatchesProgramShape) {
+  WordProgram p;
+  p.num_inputs = 3;
+  p.num_slots = 4;
+  p.instrs = {{Op::Load, 0, 0}, {Op::Load, 1, 1}, {Op::Load, 2, 2},
+              {Op::Mux, 3, 0, 1, 2}};
+  p.output_slots = {3, 0};
+  const std::string src = netlist::emit_c_source(p);
+  char abi[128];
+  std::snprintf(abi, sizeof abi, "const uint64_t absort_kernel_abi[4] = {%lluULL, 3ULL, 2ULL, %lluULL};",
+                static_cast<unsigned long long>(netlist::kKernelAbiVersion),
+                static_cast<unsigned long long>(wordvec::kSimdWords));
+  EXPECT_NE(src.find(abi), std::string::npos) << src.substr(0, 400);
+}
+
+TEST(Codegen, EmptyProgramCompilesToANoOpKernel) {
+  if (!netlist::native_toolchain_available()) GTEST_SKIP() << "no native toolchain";
+  WordProgram p;  // zero inputs, zero outputs, zero instructions
+  std::string err;
+  const auto k = netlist::build_native_kernel(p, &err);
+  ASSERT_NE(k, nullptr) << err;
+  // All three entry points must be well-formed no-ops.
+  k->run_word(nullptr, nullptr);
+  k->run_simd(nullptr, nullptr);
+  k->run_simd_x2(nullptr, nullptr);
+}
+
+TEST(Codegen, SingleOpKernelsComputeTheOp) {
+  if (!netlist::native_toolchain_available()) GTEST_SKIP() << "no native toolchain";
+
+  {  // one real op between loads and the epilogue: AndNot
+    WordProgram p;
+    p.num_inputs = 2;
+    p.num_slots = 3;
+    p.instrs = {{Op::Load, 0, 0}, {Op::Load, 1, 1}, {Op::AndNot, 2, 0, 1}};
+    p.output_slots = {2};
+    std::string err;
+    const auto k = netlist::build_native_kernel(p, &err);
+    ASSERT_NE(k, nullptr) << err;
+    const std::uint64_t in[2] = {0xF0F0F0F0F0F0F0F0ULL, 0xFF00FF00FF00FF00ULL};
+    std::uint64_t out[1] = {0};
+    k->run_word(in, out);
+    EXPECT_EQ(out[0], in[0] & ~in[1]);
+  }
+  {  // a kernel with no inputs at all: Const1
+    WordProgram p;
+    p.num_inputs = 0;
+    p.num_slots = 1;
+    p.instrs = {{Op::Const1, 0}};
+    p.output_slots = {0};
+    std::string err;
+    const auto k = netlist::build_native_kernel(p, &err);
+    ASSERT_NE(k, nullptr) << err;
+    std::uint64_t out[1] = {0};
+    k->run_word(nullptr, out);
+    EXPECT_EQ(out[0], ~std::uint64_t{0});
+  }
+}
+
+TEST(Codegen, ProgramBeyond256LiveSlotsIsCorrect) {
+  if (!netlist::native_toolchain_available()) GTEST_SKIP() << "no native toolchain";
+  // A NOT-chain across 300 distinct slots, every slot a primary output, so
+  // all 300 locals are live at the epilogue -- far past the 16 vector
+  // registers the allocator has, and past the 256-slot mark where any
+  // byte-sized indexing in the pipeline would wrap.
+  constexpr std::uint32_t kSlots = 300;
+  WordProgram p;
+  p.num_inputs = 1;
+  p.num_slots = kSlots;
+  p.instrs.push_back({Op::Load, 0, 0});
+  for (std::uint32_t s = 1; s < kSlots; ++s) {
+    p.instrs.push_back({Op::Not, s, s - 1});
+  }
+  for (std::uint32_t s = 0; s < kSlots; ++s) p.output_slots.push_back(s);
+
+  std::string err;
+  const auto k = netlist::build_native_kernel(p, &err);
+  ASSERT_NE(k, nullptr) << err;
+
+  const std::uint64_t in[1] = {0xDEADBEEFCAFEF00DULL};
+  std::vector<std::uint64_t> out(kSlots, 0);
+  k->run_word(in, out.data());
+  for (std::uint32_t s = 0; s < kSlots; ++s) {
+    ASSERT_EQ(out[s], (s % 2 == 0) ? in[0] : ~in[0]) << "slot " << s;
+  }
+}
+
+TEST(Codegen, BrokenCompilerDegradesToSimdAndCountsFallback) {
+  ScopedEnv cc("ABSORT_CC", "/nonexistent/absort-cc-definitely-missing");
+  EXPECT_FALSE(netlist::native_toolchain_available());
+
+  const auto before = netlist::jit_counters();
+  const auto* e = sorters::find_sorter("prefix");
+  ASSERT_NE(e, nullptr);
+  const auto sorter = e->factory(8);
+  const auto engine = sorter->make_batch_sorter({.backend = netlist::Backend::Native});
+  EXPECT_EQ(engine->backend(), netlist::Backend::Simd);  // the jit-fallback rung
+  const auto after = netlist::jit_counters();
+  EXPECT_GT(after.fallbacks, before.fallbacks);
+  EXPECT_EQ(after.compiles, before.compiles);
+
+  // The degraded engine still sorts every 0-1 input.
+  const auto batch = all_inputs(8);
+  const auto out = engine->run(batch);
+  ASSERT_EQ(out.size(), batch.size());
+  for (std::size_t v = 0; v < batch.size(); ++v) {
+    ASSERT_EQ(out[v], BitVec::sorted_with_ones(8, batch[v].count_ones())) << "input " << v;
+  }
+}
+
+TEST(Codegen, BackendEnvOverridesAutoOnly) {
+  {
+    ScopedEnv be("ABSORT_BACKEND", "interpreter");
+    EXPECT_EQ(netlist::resolve_backend(netlist::Backend::Auto),
+              netlist::Backend::Interpreter);
+    // Explicit requests pass through untouched.
+    EXPECT_EQ(netlist::resolve_backend(netlist::Backend::Simd), netlist::Backend::Simd);
+  }
+  {
+    ScopedEnv be("ABSORT_BACKEND", "simd");
+    EXPECT_EQ(netlist::resolve_backend(netlist::Backend::Auto), netlist::Backend::Simd);
+  }
+  {  // unknown or self-referential values are ignored, never fatal
+    ScopedEnv be("ABSORT_BACKEND", "nonsense");
+    EXPECT_NE(netlist::resolve_backend(netlist::Backend::Auto), netlist::Backend::Auto);
+  }
+  {
+    ScopedEnv be("ABSORT_BACKEND", "auto");
+    EXPECT_NE(netlist::resolve_backend(netlist::Backend::Auto), netlist::Backend::Auto);
+  }
+}
+
+TEST(Codegen, AutoDeclinesNativeForOversizedPrograms) {
+  // Auto is size-aware: past kNativeAutoMaxInstrs a kernel could only build
+  // at -O0, which loses to the Simd interpreter, so Auto prefers Simd.
+  EXPECT_EQ(netlist::resolve_backend(netlist::Backend::Auto,
+                                     netlist::kNativeAutoMaxInstrs + 1),
+            netlist::Backend::Simd);
+  if (netlist::native_toolchain_available()) {
+    EXPECT_EQ(netlist::resolve_backend(netlist::Backend::Auto,
+                                       netlist::kNativeAutoMaxInstrs),
+              netlist::Backend::Native);
+  }
+  // Explicit requests -- API or ABSORT_BACKEND -- override the gate.
+  EXPECT_EQ(netlist::resolve_backend(netlist::Backend::Native,
+                                     netlist::kNativeAutoMaxInstrs + 1),
+            netlist::Backend::Native);
+  ScopedEnv be("ABSORT_BACKEND", "native");
+  EXPECT_EQ(netlist::resolve_backend(netlist::Backend::Auto,
+                                     netlist::kNativeAutoMaxInstrs + 1),
+            netlist::Backend::Native);
+}
+
+TEST(Codegen, ConcurrentBuildsShareOneCompile) {
+  if (!netlist::native_toolchain_available()) GTEST_SKIP() << "no native toolchain";
+#if !defined(_WIN32)
+  // Fresh on-disk cache plus a program unique to this test: neither the
+  // in-process registry nor the disk can satisfy the first build.
+  const std::string dir =
+      "/tmp/absort-codegen-test." + std::to_string(static_cast<unsigned long>(::getpid()));
+  (void)std::system(("rm -rf '" + dir + "'").c_str());
+  ScopedEnv cache("ABSORT_JIT_CACHE", dir.c_str());
+
+  WordProgram p;
+  p.num_inputs = 2;
+  p.num_slots = 3;
+  p.instrs = {{Op::Load, 0, 0}, {Op::Load, 1, 1}};
+  for (std::uint32_t i = 0; i < 41; ++i) {
+    p.instrs.push_back({(i % 3 == 0) ? Op::Xor : (i % 3 == 1) ? Op::AndNot : Op::Or,
+                        2, (i % 2) ? 2u : 0u, 1});
+  }
+  p.output_slots = {2};
+
+  const auto before = netlist::jit_counters();
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const netlist::NativeKernel>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] { got[t] = netlist::build_native_kernel(p); });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_NE(got[t], nullptr) << "thread " << t;
+    EXPECT_EQ(got[t].get(), got[0].get()) << "thread " << t;  // one shared kernel
+  }
+  const auto after = netlist::jit_counters();
+  EXPECT_EQ(after.compiles - before.compiles, 1u);
+  EXPECT_EQ(after.cache_hits - before.cache_hits, static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_EQ(after.fallbacks, before.fallbacks);
+
+  (void)std::system(("rm -rf '" + dir + "'").c_str());
+#endif
+}
+
+TEST(Codegen, NativeBitIdenticalToInterpreterExhaustive) {
+  if (!netlist::native_toolchain_available()) GTEST_SKIP() << "no native toolchain";
+  const auto batch = all_inputs(8);
+  for (const char* name : {"prefix", "batcher"}) {
+    SCOPED_TRACE(name);
+    const auto* e = sorters::find_sorter(name);
+    ASSERT_NE(e, nullptr);
+    const auto sorter = e->factory(8);
+    const auto interp = sorter->make_batch_sorter({.backend = netlist::Backend::Interpreter});
+    const auto native = sorter->make_batch_sorter({.backend = netlist::Backend::Native});
+    EXPECT_EQ(interp->backend(), netlist::Backend::Interpreter);
+    ASSERT_EQ(native->backend(), netlist::Backend::Native);
+
+    const auto a = interp->run(batch);
+    const auto b = native->run(batch);
+    ASSERT_EQ(a.size(), batch.size());
+    ASSERT_EQ(b.size(), batch.size());
+    for (std::size_t v = 0; v < batch.size(); ++v) {
+      ASSERT_EQ(a[v], b[v]) << "input " << v;
+      ASSERT_EQ(b[v], BitVec::sorted_with_ones(8, batch[v].count_ones())) << "input " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace absort

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "absort/netlist/native_engine.hpp"
 #include "absort/service/service_stats.hpp"
 #include "absort/service/sort_service.hpp"
 #include "absort/sorters/registry.hpp"
@@ -167,6 +168,58 @@ TEST(SortService, MultiProducerBitIdenticalToPerVectorSort) {
                             "\"bytes_in\": 0", "\"bytes_out\": 0"}) {
     EXPECT_NE(json.find(field), std::string::npos) << field;
   }
+}
+
+// JIT telemetry contract: engines[] describes exactly the engines this
+// service compiled (one entry per compiled engine, resolved backend never
+// Auto), the jit_* counters are per-service deltas of the process-wide JIT
+// counters, and to_json renders all of it.
+TEST(SortService, JitCountersAndEngineInfosReconcile) {
+  const bool native = netlist::native_toolchain_available();
+  ServiceOptions so;
+  so.batch.backend = netlist::Backend::Auto;
+  SortService svc(so);
+
+  Xoshiro256 rng(testing::test_seed(43));
+  const struct {
+    const char* name;
+    std::size_t n;
+  } keys[] = {{"prefix", 64}, {"batcher", 32}};
+  for (const auto& k : keys) {  // two rounds: second must reuse the engine
+    for (int round = 0; round < 2; ++round) {
+      const auto r = svc.sort(k.name, workload::random_bits(rng, k.n));
+      ASSERT_EQ(r.status, Status::Ok);
+    }
+  }
+
+  const auto st = svc.stats();
+  EXPECT_EQ(st.compiled, 2u);
+  ASSERT_EQ(st.engines.size(), st.compiled);  // one EngineInfo per engine, ever
+  for (const auto& e : st.engines) {
+    EXPECT_FALSE(e.sorter.empty());
+    EXPECT_GT(e.n, 0u);
+    EXPECT_NE(e.backend, netlist::Backend::Auto);  // always resolved
+    EXPECT_EQ(e.backend, native ? netlist::Backend::Native : netlist::Backend::Simd);
+  }
+
+  // Each single-circuit engine performed exactly one kernel build (a fresh
+  // compile or a cache hit); without a toolchain the JIT is never entered.
+  if (native) {
+    EXPECT_EQ(st.jit_compiles + st.jit_cache_hits, 2u);
+    EXPECT_EQ(st.jit_fallbacks, 0u);
+  } else {
+    EXPECT_EQ(st.jit_compiles, 0u);
+    EXPECT_EQ(st.jit_cache_hits, 0u);
+  }
+
+  const auto json = st.to_json();
+  for (const char* field :
+       {"\"jit_compiles\"", "\"jit_cache_hits\"", "\"jit_fallbacks\"", "\"engines\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+  const std::string backend_field =
+      std::string("\"backend\": \"") + netlist::to_string(st.engines[0].backend) + "\"";
+  EXPECT_NE(json.find(backend_field), std::string::npos) << backend_field;
 }
 
 TEST(SortService, UnknownSorterThrowsImmediately) {

@@ -7,10 +7,13 @@
 //   absort_cli save   <network> <n>        text netlist to stdout (round-trippable)
 //   absort_cli vcd    <n> <k>              fish-hardware waveform of one sort (VCD)
 //   absort_cli batch  <network> <n> [count] [threads] [--stats]
+//                     [--backend auto|interpreter|simd|native]
 //                                          batch sort via the bit-sliced engine:
 //                                          `count` random vectors (or '-' = read
 //                                          0/1 lines from stdin); reports
-//                                          vectors/sec vs per-vector evaluation;
+//                                          vectors/sec vs per-vector evaluation,
+//                                          the resolved backend, and the JIT
+//                                          counters (native backend);
 //                                          --stats prints the compiled word
 //                                          programs' optimizer shrinkage, lane
 //                                          width, and thread count
@@ -66,6 +69,7 @@
 #include "absort/analysis/tables.hpp"
 #include "absort/netlist/batch_eval.hpp"
 #include "absort/netlist/levelized.hpp"
+#include "absort/netlist/native_engine.hpp"
 #include "absort/netlist/optimize.hpp"
 #include "absort/netlist/analyze.hpp"
 #include "absort/netlist/serialize.hpp"
@@ -88,6 +92,14 @@ std::unique_ptr<sorters::BinarySorter> make_network(const std::string& name, std
   return sorters::make_sorter(name, n);
 }
 
+/// Parses a --backend value; unknown names list the valid set and fail.
+bool parse_backend_arg(const char* arg, netlist::Backend& out) {
+  if (netlist::parse_backend(arg, out)) return true;
+  std::fprintf(stderr, "unknown backend '%s'; valid backends: %s\n", arg,
+               netlist::backend_names());
+  return false;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage:\n"
@@ -98,14 +110,15 @@ int usage(const char* argv0) {
                "  %s save <network> <n>\n"
                "  %s vcd <n> <k>\n"
                "  %s verify <network> <n> [reps]\n"
-               "  %s batch <network> <n> [count|-] [threads] [--stats]\n"
+               "  %s batch <network> <n> [count|-] [threads] [--stats] [--backend <b>]\n"
                "  %s activity <network> <n>\n"
                "  %s optimize <network> <n>\n"
                "  %s table2 <n>\n"
                "  %s serve --selftest [--stats] [--chaos <seed>] [--shards <k>] [--pin]\n"
-               "           [producers] [requests]\n"
-               "  %s serve --tcp [port] [--shards <k>] [--pin]\n"
-               "  %s serve --tcp --selftest [--stats] [--shards <k>] [clients] [requests]\n",
+               "           [--backend <b>] [producers] [requests]\n"
+               "  %s serve --tcp [port] [--shards <k>] [--pin] [--backend <b>]\n"
+               "  %s serve --tcp --selftest [--stats] [--shards <k>] [clients] [requests]\n"
+               "  (backends: auto|interpreter|simd|native)\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
                argv0, argv0, argv0);
   return 1;
@@ -198,10 +211,11 @@ void print_program_stats(const char* label, const netlist::Circuit& c) {
 }
 
 int cmd_batch(const std::string& name, std::size_t n, const char* count_arg,
-              const char* threads_arg, bool stats) {
+              const char* threads_arg, bool stats, netlist::Backend backend) {
   const auto net = make_network(name, n);
   if (!net) return 1;
   const std::size_t threads = threads_arg ? std::strtoull(threads_arg, nullptr, 10) : 0;
+  const sorters::BatchOptions opts{.threads = threads, .backend = backend};
 
   std::vector<BitVec> batch;
   const bool from_stdin = count_arg && std::strcmp(count_arg, "-") == 0;
@@ -275,8 +289,17 @@ int cmd_batch(const std::string& name, std::size_t n, const char* count_arg,
     } while (single_s < kMinProbeSeconds);
   }
 
+  // Compile the engine outside the timed region so the throughput figure is
+  // the steady-state rate; compile time (which for the native backend may
+  // include a JIT toolchain run) is reported separately.
+  const auto jit_before = netlist::jit_counters();
+  const auto tc0 = clock::now();
+  const auto engine = net->make_batch_sorter(opts);
+  const double compile_s = std::chrono::duration<double>(clock::now() - tc0).count();
+  const auto jit = netlist::jit_counters();
+
   const auto t0 = clock::now();
-  const auto sorted = net->sort_batch(batch, threads);
+  const auto sorted = engine->run(batch);
   const double batch_s = std::chrono::duration<double>(clock::now() - t0).count();
 
   std::size_t bad = 0;
@@ -291,6 +314,13 @@ int cmd_batch(const std::string& name, std::size_t n, const char* count_arg,
   const double single_vps = static_cast<double>(probe_reps * probe) / single_s;
   const double batch_vps = static_cast<double>(batch.size()) / batch_s;
   std::printf("%s n=%zu: %zu vectors, %zu bad\n", name.c_str(), n, batch.size(), bad);
+  std::printf("backend: %s (requested %s)   engine compile: %.1f ms\n",
+              netlist::to_string(engine->backend()), netlist::to_string(backend),
+              compile_s * 1e3);
+  std::printf("jit: compiles=%llu cache_hits=%llu fallbacks=%llu\n",
+              static_cast<unsigned long long>(jit.compiles - jit_before.compiles),
+              static_cast<unsigned long long>(jit.cache_hits - jit_before.cache_hits),
+              static_cast<unsigned long long>(jit.fallbacks - jit_before.fallbacks));
   std::printf("per-vector: %.0f vectors/sec   batch: %.0f vectors/sec   speedup %.1fx\n",
               single_vps, batch_vps, batch_vps / single_vps);
   return bad == 0 ? 0 : 2;
@@ -354,7 +384,8 @@ int cmd_optimize(const std::string& name, std::size_t n) {
 // ladder (retry / quarantine / per-vector repair) left no unrecoverable
 // request behind.
 int cmd_serve(bool selftest, bool stats, std::size_t producers, std::size_t requests,
-              bool chaos, std::uint64_t chaos_seed, std::size_t shards, bool pin) {
+              bool chaos, std::uint64_t chaos_seed, std::size_t shards, bool pin,
+              netlist::Backend backend) {
   if (!selftest) {
     std::fprintf(stderr, "serve: only --selftest traffic is implemented; pass --selftest\n");
     return 1;
@@ -372,6 +403,7 @@ int cmd_serve(bool selftest, bool stats, std::size_t producers, std::size_t requ
   so.max_linger = std::chrono::microseconds(300);
   so.shards = shards;
   so.pin_threads = pin;
+  so.batch.backend = backend;
   std::shared_ptr<service::FaultPlan> plan;
   if (chaos) {
     plan = std::make_shared<service::FaultPlan>(service::FaultPlanOptions::chaos(chaos_seed));
@@ -444,6 +476,14 @@ int cmd_serve(bool selftest, bool stats, std::size_t producers, std::size_t requ
               static_cast<unsigned long long>(st.batches), st.batch_size.mean(),
               static_cast<unsigned long long>(st.compiled),
               static_cast<unsigned long long>(st.queue_wait_us.percentile(0.99)));
+  for (const auto& e : st.engines) {
+    std::printf("engine %-12s n=%-4zu shard=%zu backend=%s\n", e.sorter.c_str(), e.n, e.shard,
+                netlist::to_string(e.backend));
+  }
+  std::printf("jit: compiles=%llu cache_hits=%llu fallbacks=%llu\n",
+              static_cast<unsigned long long>(st.jit_compiles),
+              static_cast<unsigned long long>(st.jit_cache_hits),
+              static_cast<unsigned long long>(st.jit_fallbacks));
   if (svc.shard_count() > 1) {
     std::printf("shards %zu  steals %llu  stolen requests %llu  per-shard batches [",
                 svc.shard_count(), static_cast<unsigned long long>(st.steals),
@@ -513,7 +553,7 @@ std::atomic<bool> g_interrupted{false};
 //      connection (decode_errors == 1), and statsz returns the combined
 //      service+edge JSON.
 int cmd_serve_tcp_selftest(bool stats, std::size_t clients, std::size_t requests,
-                           std::size_t shards, bool pin) {
+                           std::size_t shards, bool pin, netlist::Backend backend) {
   struct Key {
     const char* sorter;
     std::size_t n;
@@ -527,6 +567,7 @@ int cmd_serve_tcp_selftest(bool stats, std::size_t clients, std::size_t requests
   so.max_linger = std::chrono::microseconds(300);
   so.shards = shards;
   so.pin_threads = pin;
+  so.batch.backend = backend;
   service::SortService svc(so);
   edge::EdgeOptions eo;
   eo.reactors = 2;
@@ -646,10 +687,11 @@ int cmd_serve_tcp_selftest(bool stats, std::size_t clients, std::size_t requests
 }
 
 // serve --tcp [port]: foreground serving until SIGINT/SIGTERM.
-int cmd_serve_tcp(std::uint16_t port, std::size_t shards, bool pin) {
+int cmd_serve_tcp(std::uint16_t port, std::size_t shards, bool pin, netlist::Backend backend) {
   service::ServiceOptions so;
   so.shards = shards;
   so.pin_threads = pin;
+  so.batch.backend = backend;
   service::SortService svc(so);
   edge::EdgeOptions eo;
   eo.port = port;
@@ -694,6 +736,7 @@ int main(int argc, char** argv) {
       std::uint64_t chaos_seed = 1;
       std::uint16_t tcp_port = 0;
       std::size_t shards = 1;
+      netlist::Backend backend = netlist::Backend::Auto;
       std::vector<const char*> pos;
       for (int i = 2; i < argc; ++i) {
         if (std::strcmp(argv[i], "--selftest") == 0) {
@@ -702,6 +745,13 @@ int main(int argc, char** argv) {
           stats = true;
         } else if (std::strcmp(argv[i], "--pin") == 0) {
           pin = true;
+        } else if (std::strcmp(argv[i], "--backend") == 0) {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "serve: --backend needs a value (%s)\n",
+                         netlist::backend_names());
+            return 1;
+          }
+          if (!parse_backend_arg(argv[++i], backend)) return 1;
         } else if (std::strcmp(argv[i], "--shards") == 0) {
           if (i + 1 >= argc) {
             std::fprintf(stderr, "serve: --shards needs a count\n");
@@ -739,11 +789,12 @@ int main(int argc, char** argv) {
           requests = pos.size() > 1 ? std::strtoull(pos[1], nullptr, 10) : (tcp ? 50 : 200);
       if (tcp && selftest) {
         return cmd_serve_tcp_selftest(stats, std::max<std::size_t>(1, producers),
-                                      std::max<std::size_t>(1, requests), shards, pin);
+                                      std::max<std::size_t>(1, requests), shards, pin, backend);
       }
-      if (tcp) return cmd_serve_tcp(tcp_port, shards, pin);
+      if (tcp) return cmd_serve_tcp(tcp_port, shards, pin, backend);
       return cmd_serve(selftest, stats, std::max<std::size_t>(1, producers),
-                       std::max<std::size_t>(1, requests), chaos, chaos_seed, shards, pin);
+                       std::max<std::size_t>(1, requests), chaos, chaos_seed, shards, pin,
+                       backend);
     }
     if (argc < 4) return usage(argv[0]);
     const std::string name = argv[2];
@@ -761,18 +812,26 @@ int main(int argc, char** argv) {
       return cmd_verify(name, n, argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1000);
     }
     if (cmd == "batch") {
-      // Accept --stats anywhere among the trailing arguments.
+      // Accept --stats / --backend anywhere among the trailing arguments.
       bool stats = false;
+      netlist::Backend backend = netlist::Backend::Auto;
       std::vector<const char*> pos;
       for (int i = 4; i < argc; ++i) {
         if (std::strcmp(argv[i], "--stats") == 0) {
           stats = true;
+        } else if (std::strcmp(argv[i], "--backend") == 0) {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "batch: --backend needs a value (%s)\n",
+                         netlist::backend_names());
+            return 1;
+          }
+          if (!parse_backend_arg(argv[++i], backend)) return 1;
         } else {
           pos.push_back(argv[i]);
         }
       }
       return cmd_batch(name, n, pos.size() > 0 ? pos[0] : nullptr,
-                       pos.size() > 1 ? pos[1] : nullptr, stats);
+                       pos.size() > 1 ? pos[1] : nullptr, stats, backend);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
