@@ -1,0 +1,521 @@
+// E-P1 -- the three permuter families head-to-head through the serving
+// stack: latency percentiles and goodput for permutation routing over the
+// full path (framing codec -> epoll reactor -> PermuteService micro-batching
+// -> waiter pool -> framing codec), measured the same two ways as the sort
+// edge (bench_edge.cpp):
+//
+//   * closed loop: C concurrent clients, one synchronous Permute round trip
+//     in flight each, destinations drawn from random cyclic shifts -- a
+//     pattern family every fabric routes (verified up front), so the
+//     head-to-head compares routing cost, not refusal rates.
+//
+//   * open loop: Poisson arrivals on one pipelined connection at a fixed
+//     offered rate, a mixed destination population (80% cyclic shifts, 20%
+//     uniform random permutations) and a spread of deadline budgets.
+//     Random permutations keep the Unroutable path live: omega blocks most
+//     of them, the rearrangeable fabrics route them all, and the refusal
+//     counts land in the table -- a blocked pattern is the fabric's designed
+//     answer, not an error.  Latency is measured from the *scheduled*
+//     arrival (coordinated-omission correction), Ok responses only.
+//
+// Before any timing, a validation pass drives the same destinations through
+// the edge, through direct PermuteService::submit on the same service, and
+// through the host routing algorithm (Permuter::route), and insists all
+// three agree -- Ok answers satisfy output_source[dest[i]] == i and match
+// pairwise, and the edge reports Unroutable exactly when the host algorithm
+// blocks.
+//
+// Writes BENCH_permute.json.  --quick runs a seconds-scale subset for ctest
+// and still writes the JSON, then re-reads it and validates the schema keys
+// (exit 2 on a miss) -- the smoke covers the reporting path end to end, not
+// just the serving path.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "absort/edge/edge_client.hpp"
+#include "absort/edge/edge_server.hpp"
+#include "absort/networks/permuters.hpp"
+#include "absort/service/permute_service.hpp"
+#include "absort/service/sort_service.hpp"
+#include "absort/util/rng.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace absort;
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kHost = "127.0.0.1";
+
+/// PermuteService shard count for every scenario stack (set by --shards).
+std::size_t g_shards = 1;
+
+/// Fabric size for the timed loops: 64 inputs = 6 route lanes per request on
+/// the switch fabrics, big enough that routing does real work, small enough
+/// that a micro-batch holds many requests.
+constexpr std::size_t kBenchN = 64;
+
+std::size_t hw_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+double uniform01(Xoshiro256& rng) { return static_cast<double>(rng() >> 11) * 0x1.0p-53; }
+
+double us_since(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+/// Exact order-statistic percentile of an (unsorted) latency vector.
+struct Percentiles {
+  double p50 = 0, p99 = 0, p999 = 0;
+};
+
+Percentiles exact_percentiles(std::vector<double>& lat) {
+  Percentiles p;
+  if (lat.empty()) return p;
+  std::sort(lat.begin(), lat.end());
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(lat.size() - 1));
+    return lat[idx];
+  };
+  p.p50 = at(0.50);
+  p.p99 = at(0.99);
+  p.p999 = at(0.999);
+  return p;
+}
+
+/// A cyclic shift dest[i] = (i + s) mod n.  Shifts are routable on all three
+/// fabrics (omega included: a uniform-offset pattern traverses the
+/// shuffle-exchange stages conflict-free), which the validation pass
+/// re-verifies before any timing trusts this claim.
+std::vector<std::uint16_t> cyclic_shift(std::size_t n, std::size_t s) {
+  std::vector<std::uint16_t> dest(n);
+  for (std::size_t i = 0; i < n; ++i) dest[i] = static_cast<std::uint16_t>((i + s) % n);
+  return dest;
+}
+
+/// Uniform random permutation (Fisher-Yates); routable on the rearrangeable
+/// fabrics, mostly blocked on omega.
+std::vector<std::uint16_t> random_perm(Xoshiro256& rng, std::size_t n) {
+  std::vector<std::uint16_t> dest(n);
+  for (std::size_t i = 0; i < n; ++i) dest[i] = static_cast<std::uint16_t>(i);
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const std::size_t j = rng() % (i + 1);
+    std::swap(dest[i], dest[j]);
+  }
+  return dest;
+}
+
+std::uint32_t draw_deadline_us(Xoshiro256& rng) {
+  // Same spread as the sort edge: half best-effort, the rest split between a
+  // generous and a tight budget.
+  const double v = uniform01(rng);
+  return v < 0.5 ? 0 : (v < 0.8 ? 20000 : 2000);
+}
+
+/// One server stack per scenario: SortService (the edge requires one; idle
+/// here) + PermuteService + EdgeServer.  Reject overflow so an overloaded
+/// edge sheds explicitly instead of buffering without bound.
+struct Stack {
+  service::SortService svc;
+  service::PermuteService psvc;
+  edge::EdgeServer server;
+
+  Stack()
+      : svc(),
+        psvc([] {
+          service::PermuteOptions po;
+          po.max_linger = std::chrono::microseconds(200);
+          po.overflow = service::PermuteOptions::Overflow::Reject;
+          po.shards = g_shards;
+          return po;
+        }()),
+        server(svc, psvc, [] {
+          edge::EdgeOptions eo;
+          eo.max_inflight_per_conn = 4096;
+          return eo;
+        }()) {
+    server.start();
+  }
+
+  [[nodiscard]] std::size_t threads_used() const {
+    const std::size_t et = psvc.options().batch.threads;
+    return psvc.shard_count() * (et ? et : hw_threads());
+  }
+};
+
+/// Validation pass: destinations through the edge, through direct
+/// PermuteService::submit, and through the host routing algorithm
+/// (Permuter::route); all three must agree.  Ok answers are verified as
+/// inverses of the submitted permutation (output_source[dest[i]] == i) and
+/// compared pairwise; the edge must say Unroutable exactly when the host
+/// algorithm blocks.  Covers cyclic shifts (the timed population) and
+/// random permutations (the refusal population) at two fabric sizes.
+bool validate(Stack& stack, const std::string& family, std::size_t reps) {
+  Xoshiro256 rng(0x9E41D ^ std::hash<std::string>{}(family));
+  const auto ref16 = permuters::make_permuter(family, 16);
+  const auto ref64 = permuters::make_permuter(family, kBenchN);
+  edge::EdgeClient client;
+  client.connect(kHost, stack.server.port());
+
+  for (std::size_t i = 0; i < reps; ++i) {
+    const std::size_t n = (i % 2 == 0) ? 16 : kBenchN;
+    permuters::Permuter& ref = (n == 16) ? *ref16 : *ref64;
+    // Alternate the populations the timed loops use: shifts (always
+    // routable) and random permutations (omega mostly blocks).
+    const std::vector<std::uint16_t> dest =
+        (i % 3 != 2) ? cyclic_shift(n, rng() % n) : random_perm(rng, n);
+
+    std::vector<std::size_t> wide(dest.begin(), dest.end());
+    const bool routable = ref.route(wide).has_value();
+
+    const auto via_edge = client.permute(family, dest);
+    std::vector<std::uint32_t> dest32(dest.begin(), dest.end());
+    const auto direct = stack.psvc.submit(family, std::move(dest32)).get();
+
+    if (!routable) {
+      if (via_edge.status != edge::WireStatus::Unroutable ||
+          direct.status != service::Status::Unroutable) {
+        std::fprintf(stderr, "E-P1: %s n=%zu host blocks but edge=%d direct=%d\n",
+                     family.c_str(), n, static_cast<int>(via_edge.status),
+                     static_cast<int>(direct.status));
+        return false;
+      }
+      continue;
+    }
+    if (via_edge.status != edge::WireStatus::Ok || direct.status != service::Status::Ok ||
+        via_edge.output_source.size() != n || direct.output_source.size() != n) {
+      std::fprintf(stderr, "E-P1: %s n=%zu host routes but edge=%d direct=%d\n",
+                   family.c_str(), n, static_cast<int>(via_edge.status),
+                   static_cast<int>(direct.status));
+      return false;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (via_edge.output_source[dest[j]] != j ||
+          direct.output_source[j] != via_edge.output_source[j]) {
+        std::fprintf(stderr, "E-P1: %s n=%zu output_source mismatch at %zu\n",
+                     family.c_str(), n, j);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct ClosedResult {
+  std::string family;
+  std::size_t clients = 0;
+  std::size_t requests = 0;  ///< total Ok responses
+  double goodput_rps = 0;
+  Percentiles lat;
+  std::size_t shards = 1, threads_used = 1;
+};
+
+/// Closed loop: `clients` threads, one synchronous Permute in flight each,
+/// random cyclic shifts at n = kBenchN (routable on every family).
+ClosedResult run_closed(Stack& stack, const std::string& family, std::size_t clients,
+                        std::size_t per_client) {
+  std::vector<std::vector<double>> lats(clients);
+  std::vector<std::thread> threads;
+  std::atomic<std::size_t> ok{0};
+  const auto t0 = Clock::now();
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Xoshiro256 rng(0xC105ED ^ (c * 0x9E37));
+      edge::EdgeClient client;
+      client.connect(kHost, stack.server.port());
+      lats[c].reserve(per_client);
+      for (std::size_t i = 0; i < per_client; ++i) {
+        const auto dest = cyclic_shift(kBenchN, rng() % kBenchN);
+        const auto sent = Clock::now();
+        const auto resp = client.permute(family, dest);
+        if (resp.status == edge::WireStatus::Ok) {
+          lats[c].push_back(us_since(sent, Clock::now()));
+          ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double secs = us_since(t0, Clock::now()) / 1e6;
+
+  ClosedResult res;
+  res.family = family;
+  res.clients = clients;
+  res.requests = ok.load();
+  res.shards = stack.psvc.shard_count();
+  res.threads_used = stack.threads_used();
+  res.goodput_rps = static_cast<double>(res.requests) / secs;
+  std::vector<double> all;
+  for (auto& v : lats) all.insert(all.end(), v.begin(), v.end());
+  res.lat = exact_percentiles(all);
+  return res;
+}
+
+struct OpenResult {
+  std::string family;
+  double offered_rps = 0;
+  std::size_t scheduled = 0;
+  std::size_t ok = 0, unroutable = 0, shedded = 0, expired = 0, other = 0;
+  double goodput_rps = 0;
+  double duration_s = 0;
+  Percentiles lat;  ///< Ok responses only, measured from scheduled arrival
+  std::size_t shards = 1, threads_used = 1;
+};
+
+/// Open loop: Poisson arrivals at `offered_rps` on one pipelined connection.
+/// The sender never waits for responses; a receiver thread matches them by
+/// id.  Latency for each Ok response = completion - *scheduled* arrival.
+OpenResult run_open(Stack& stack, const std::string& family, double offered_rps,
+                    std::size_t total) {
+  edge::EdgeClient client;
+  client.connect(kHost, stack.server.port());
+
+  std::mutex m;
+  std::map<std::uint64_t, Clock::time_point> scheduled_at;  // id -> scheduled arrival
+
+  OpenResult res;
+  res.family = family;
+  res.offered_rps = offered_rps;
+  res.scheduled = total;
+  res.shards = stack.psvc.shard_count();
+  res.threads_used = stack.threads_used();
+
+  std::vector<double> lats;
+  lats.reserve(total);
+  std::thread receiver([&] {
+    edge::Response resp;
+    std::size_t got = 0;
+    while (got < total && client.recv(resp)) {
+      const auto done = Clock::now();
+      ++got;
+      Clock::time_point sched;
+      {
+        std::lock_guard lk(m);
+        const auto it = scheduled_at.find(resp.id);
+        if (it == scheduled_at.end()) continue;  // unreachable: ids are ours
+        sched = it->second;
+        scheduled_at.erase(it);
+      }
+      switch (resp.status) {
+        case edge::WireStatus::Ok:
+          ++res.ok;
+          lats.push_back(us_since(sched, done));
+          break;
+        case edge::WireStatus::Unroutable:
+          ++res.unroutable;
+          break;
+        case edge::WireStatus::Shedded:
+          ++res.shedded;
+          break;
+        case edge::WireStatus::Expired:
+          ++res.expired;
+          break;
+        default:
+          ++res.other;
+          break;
+      }
+    }
+  });
+
+  Xoshiro256 rng(0x09E41009);
+  const auto t0 = Clock::now();
+  auto next = t0;
+  for (std::size_t i = 0; i < total; ++i) {
+    // Exponential inter-arrival on an absolute schedule: sleep_until keeps
+    // the offered rate independent of how long the sends themselves take.
+    const double gap_us = -std::log(1.0 - uniform01(rng)) * 1e6 / offered_rps;
+    next += std::chrono::microseconds(static_cast<std::int64_t>(gap_us));
+    std::this_thread::sleep_until(next);
+    // 80% routable shifts, 20% random permutations (omega's refusal lane).
+    const auto dest = uniform01(rng) < 0.8 ? cyclic_shift(kBenchN, rng() % kBenchN)
+                                           : random_perm(rng, kBenchN);
+    edge::Request req;
+    req.type = edge::MessageType::Permute;
+    req.id = static_cast<std::uint64_t>(i) + 1'000'000;
+    req.deadline_us = draw_deadline_us(rng);
+    req.sorter = family;
+    req.dest = dest;
+    {
+      std::lock_guard lk(m);
+      // Latency clock starts at the scheduled arrival `next`, even if this
+      // send is late (coordinated-omission correction).
+      scheduled_at.emplace(req.id, next);
+    }
+    client.send(req);
+  }
+  receiver.join();
+  res.duration_s = us_since(t0, Clock::now()) / 1e6;
+  res.goodput_rps = static_cast<double>(res.ok) / res.duration_s;
+  res.lat = exact_percentiles(lats);
+  return res;
+}
+
+void write_json(const std::vector<ClosedResult>& closed,
+                const std::vector<OpenResult>& open) {
+  FILE* f = std::fopen("BENCH_permute.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "E-P1: cannot write BENCH_permute.json\n");
+    std::exit(2);
+  }
+  std::fprintf(f,
+               "{\n  \"benchmark\": \"permute_serving\",\n  \"fabric_n\": %zu,\n"
+               "  \"hardware_threads\": %zu,\n  \"closed_loop\": [\n",
+               kBenchN, hw_threads());
+  for (std::size_t i = 0; i < closed.size(); ++i) {
+    const auto& r = closed[i];
+    std::fprintf(f,
+                 "    {\"permuter\": \"%s\", \"clients\": %zu, \"shards\": %zu, "
+                 "\"threads_used\": %zu, \"ok\": %zu, \"goodput_rps\": %.1f, "
+                 "\"p50_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f}%s\n",
+                 r.family.c_str(), r.clients, r.shards, r.threads_used, r.requests,
+                 r.goodput_rps, r.lat.p50, r.lat.p99, r.lat.p999,
+                 i + 1 < closed.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"open_loop\": [\n");
+  for (std::size_t i = 0; i < open.size(); ++i) {
+    const auto& r = open[i];
+    std::fprintf(f,
+                 "    {\"permuter\": \"%s\", \"offered_rps\": %.0f, \"shards\": %zu, "
+                 "\"threads_used\": %zu, \"scheduled\": %zu, \"ok\": %zu, "
+                 "\"unroutable\": %zu, \"shedded\": %zu, \"expired\": %zu, "
+                 "\"goodput_rps\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+                 "\"p999_us\": %.1f, \"duration_s\": %.2f}%s\n",
+                 r.family.c_str(), r.offered_rps, r.shards, r.threads_used, r.scheduled,
+                 r.ok, r.unroutable, r.shedded, r.expired, r.goodput_rps, r.lat.p50,
+                 r.lat.p99, r.lat.p999, r.duration_s, i + 1 < open.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_permute.json\n");
+}
+
+/// Schema check on the emitted JSON: re-read the file and insist every
+/// required key and every permuter family appears.  The --quick ctest smoke
+/// runs this too, so a reporting regression (missing key, renamed field,
+/// truncated write) fails tier-1 instead of silently shipping a bad file.
+void check_json_schema() {
+  FILE* f = std::fopen("BENCH_permute.json", "r");
+  if (!f) {
+    std::fprintf(stderr, "E-P1: BENCH_permute.json missing after write\n");
+    std::exit(2);
+  }
+  std::string contents;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) contents.append(buf, got);
+  std::fclose(f);
+
+  const char* required[] = {
+      "\"benchmark\": \"permute_serving\"", "\"fabric_n\"",    "\"hardware_threads\"",
+      "\"closed_loop\"",                    "\"open_loop\"",   "\"permuter\"",
+      "\"goodput_rps\"",                    "\"unroutable\"",  "\"p50_us\"",
+      "\"p99_us\"",                         "\"p999_us\"",
+  };
+  bool ok = true;
+  for (const char* key : required) {
+    if (contents.find(key) == std::string::npos) {
+      std::fprintf(stderr, "E-P1: BENCH_permute.json missing key %s\n", key);
+      ok = false;
+    }
+  }
+  for (const auto& e : permuters::registry()) {
+    if (contents.find(std::string("\"") + e.name + "\"") == std::string::npos) {
+      std::fprintf(stderr, "E-P1: BENCH_permute.json missing family \"%s\"\n", e.name);
+      ok = false;
+    }
+  }
+  if (!ok) std::exit(2);
+  std::printf("BENCH_permute.json schema ok\n");
+}
+
+void report(bool quick) {
+  std::vector<std::string> families;
+  for (const auto& e : permuters::registry()) families.push_back(e.name);
+
+  {
+    Stack stack;
+    for (const auto& fam : families) {
+      if (!validate(stack, fam, quick ? 24 : 120)) {
+        std::fprintf(stderr, "E-P1: %s edge/direct/host disagreement -- aborting\n",
+                     fam.c_str());
+        std::exit(2);
+      }
+    }
+    std::printf(
+        "validation: edge == direct submit == host route for %zu families "
+        "(Ok inverses verified, refusals matched)\n",
+        families.size());
+  }
+
+  absort::bench::heading("E-P1a: closed loop (cyclic shifts, n=64, per family)");
+  std::printf("%18s %7s %9s %12s %10s %10s %10s\n", "permuter", "clients", "ok",
+              "goodput r/s", "p50 us", "p99 us", "p999 us");
+  std::vector<ClosedResult> closed;
+  const std::size_t client_counts[] = {1, 8};
+  for (const auto& fam : families) {
+    for (const std::size_t c : client_counts) {
+      if (quick && c > 1) continue;
+      Stack stack;
+      const std::size_t per_client = quick ? 40 : 1200;
+      const auto r = run_closed(stack, fam, c, per_client);
+      closed.push_back(r);
+      std::printf("%18s %7zu %9zu %12.0f %10.0f %10.0f %10.0f\n", r.family.c_str(),
+                  r.clients, r.requests, r.goodput_rps, r.lat.p50, r.lat.p99, r.lat.p999);
+    }
+  }
+
+  absort::bench::heading(
+      "E-P1b: open loop (Poisson, 80% shifts / 20% random perms, deadline spread)");
+  std::printf("%18s %11s %7s %7s %7s %6s %7s %12s %10s %10s\n", "permuter", "offered r/s",
+              "sched", "ok", "unrout", "shed", "expired", "goodput r/s", "p50 us",
+              "p99 us");
+  std::vector<OpenResult> open;
+  const double rates[] = {500, 4000};
+  for (const auto& fam : families) {
+    for (const double rate : rates) {
+      if (quick && rate > 500) continue;
+      Stack stack;
+      const auto total = static_cast<std::size_t>(quick ? 150 : rate * 2.0);
+      const auto r = run_open(stack, fam, rate, total);
+      open.push_back(r);
+      std::printf("%18s %11.0f %7zu %7zu %7zu %6zu %7zu %12.0f %10.0f %10.0f\n",
+                  r.family.c_str(), r.offered_rps, r.scheduled, r.ok, r.unroutable,
+                  r.shedded, r.expired, r.goodput_rps, r.lat.p50, r.lat.p99);
+    }
+  }
+
+  // Unlike the other benches, --quick still writes and then re-validates the
+  // JSON: the reporting path is part of what the tier-1 smoke covers.
+  write_json(closed, open);
+  check_json_schema();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      g_shards = std::max<std::size_t>(1, std::strtoull(argv[++i], nullptr, 10));
+    }
+  }
+  report(quick);
+  return 0;
+}

@@ -100,6 +100,19 @@ std::uint64_t EdgeClient::send_sort(std::string_view sorter, const BitVec& input
   return req.id;
 }
 
+std::uint64_t EdgeClient::send_permute(std::string_view permuter,
+                                       const std::vector<std::uint16_t>& dest,
+                                       std::uint32_t deadline_us) {
+  Request req;
+  req.type = MessageType::Permute;
+  req.id = next_id();
+  req.deadline_us = deadline_us;
+  req.sorter = std::string(permuter);
+  req.dest = dest;
+  send(req);
+  return req.id;
+}
+
 void EdgeClient::send_raw(const std::vector<std::uint8_t>& bytes) {
   std::lock_guard lk(send_m_);
   write_all(bytes.data(), bytes.size());
@@ -133,6 +146,15 @@ bool EdgeClient::recv(Response& out) {
 Response EdgeClient::sort(std::string_view sorter, const BitVec& input,
                           std::uint32_t deadline_us) {
   const std::uint64_t id = send_sort(sorter, input, deadline_us);
+  Response resp;
+  if (!recv(resp)) throw std::runtime_error("edge client: connection closed mid-request");
+  if (resp.id != id) throw std::runtime_error("edge client: response id mismatch (pipelined use needs recv())");
+  return resp;
+}
+
+Response EdgeClient::permute(std::string_view permuter, const std::vector<std::uint16_t>& dest,
+                             std::uint32_t deadline_us) {
+  const std::uint64_t id = send_permute(permuter, dest, deadline_us);
   Response resp;
   if (!recv(resp)) throw std::runtime_error("edge client: connection closed mid-request");
   if (resp.id != id) throw std::runtime_error("edge client: response id mismatch (pipelined use needs recv())");

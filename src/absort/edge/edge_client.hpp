@@ -50,6 +50,12 @@ class EdgeClient {
   std::uint64_t send_sort(std::string_view sorter, const BitVec& input,
                           std::uint32_t deadline_us = 0);
 
+  /// Convenience: builds and sends a Permute request with a fresh id
+  /// (returned).  `dest` must be a permutation of 0..n-1.
+  std::uint64_t send_permute(std::string_view permuter,
+                             const std::vector<std::uint16_t>& dest,
+                             std::uint32_t deadline_us = 0);
+
   /// Blocks for the next response (receiver-thread only).  Returns false on
   /// orderly server EOF; throws std::runtime_error on a torn or malformed
   /// stream.
@@ -58,6 +64,9 @@ class EdgeClient {
   /// Synchronous round trips (single-threaded use only).
   [[nodiscard]] Response sort(std::string_view sorter, const BitVec& input,
                               std::uint32_t deadline_us = 0);
+  [[nodiscard]] Response permute(std::string_view permuter,
+                                 const std::vector<std::uint16_t>& dest,
+                                 std::uint32_t deadline_us = 0);
   [[nodiscard]] std::string statsz();
 
   /// Sends raw bytes as-is -- for tests that need to speak garbage.

@@ -12,8 +12,10 @@
 #include <cstring>
 #include <system_error>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
+#include "absort/networks/permuters.hpp"
 #include "absort/service/stats_json.hpp"
 #include "absort/sorters/registry.hpp"
 
@@ -52,6 +54,10 @@ struct EdgeServer::Connection {
   bool close_after_flush = false;
 
   std::atomic<std::size_t> inflight{0};
+  /// Ids of requests submitted and not yet answered, guarded by `m`.  A
+  /// frame reusing a live id is a protocol error (the client could never
+  /// match the two responses) and is rejected without touching the service.
+  std::unordered_set<std::uint64_t> inflight_ids;
 };
 
 struct EdgeServer::Reactor {
@@ -74,6 +80,12 @@ EdgeServer::EdgeServer(service::SortService& service, EdgeOptions opts)
   opts_.waiters = std::max<std::size_t>(1, opts_.waiters);
   opts_.max_connections = std::max<std::size_t>(1, opts_.max_connections);
   opts_.max_inflight_per_conn = std::max<std::size_t>(1, opts_.max_inflight_per_conn);
+}
+
+EdgeServer::EdgeServer(service::SortService& service, service::PermuteService& permute,
+                       EdgeOptions opts)
+    : EdgeServer(service, opts) {
+  permute_ = &permute;
 }
 
 EdgeServer::~EdgeServer() { stop(); }
@@ -319,14 +331,36 @@ void EdgeServer::handle_request(Reactor&, const std::shared_ptr<Connection>& con
   requests_.fetch_add(1, std::memory_order_relaxed);
   const auto respond_now = [&](WireStatus status) {
     Response resp;
-    resp.type = MessageType::Sort;
+    resp.type = req.type;
     resp.id = req.id;
     resp.status = status;
     responses_.fetch_add(1, std::memory_order_relaxed);
     enqueue_response(conn, resp, /*from_reactor=*/true);
   };
 
-  if (sorters::find_sorter(req.sorter) == nullptr) {
+  const bool is_permute = req.type == MessageType::Permute;
+  if (is_permute) {
+    // Permute frames need a PermuteService wired in; without one the edge is
+    // a sort-only deployment and the workload name cannot resolve.
+    if (permute_ == nullptr || permuters::find_permuter(req.sorter) == nullptr) {
+      respond_now(WireStatus::BadRequest);
+      return;
+    }
+  } else if (sorters::find_sorter(req.sorter) == nullptr) {
+    respond_now(WireStatus::BadRequest);
+    return;
+  }
+  // A frame reusing an id still in flight on this connection is a protocol
+  // error: the client could never match the two responses, so it is rejected
+  // before touching the service.  Only this reactor admits ids for this
+  // connection, so check-then-insert below cannot race another admit.
+  bool duplicate = false;
+  {
+    std::lock_guard lk(conn->m);
+    duplicate = conn->inflight_ids.count(req.id) != 0;
+  }
+  if (duplicate) {
+    duplicate_ids_.fetch_add(1, std::memory_order_relaxed);
     respond_now(WireStatus::BadRequest);
     return;
   }
@@ -341,17 +375,29 @@ void EdgeServer::handle_request(Reactor&, const std::shared_ptr<Connection>& con
       req.deadline_us == 0
           ? service::SortService::Clock::time_point::max()
           : service::SortService::Clock::now() + std::chrono::microseconds(req.deadline_us);
-  std::future<service::SortResult> fut;
+  Pending pending;
+  pending.conn = conn;
+  pending.id = req.id;
+  pending.type = req.type;
   try {
-    fut = service_.submit(req.sorter, std::move(req.input), deadline);
+    if (is_permute) {
+      std::vector<std::uint32_t> dest(req.dest.begin(), req.dest.end());
+      pending.permute_future = permute_->submit(req.sorter, std::move(dest), deadline);
+    } else {
+      pending.sort_future = service_.submit(req.sorter, std::move(req.input), deadline);
+    }
   } catch (...) {
     respond_now(WireStatus::BadRequest);
     return;
   }
   conn->inflight.fetch_add(1, std::memory_order_relaxed);
   {
+    std::lock_guard lk(conn->m);
+    conn->inflight_ids.insert(req.id);
+  }
+  {
     std::lock_guard lk(cq_m_);
-    cq_.push_back(Pending{conn, req.id, std::move(fut)});
+    cq_.push_back(std::move(pending));
   }
   cq_cv_.notify_one();
 }
@@ -367,12 +413,23 @@ void EdgeServer::waiter_loop() {
       cq_.pop_front();
     }
     Response resp;
-    resp.type = MessageType::Sort;
+    resp.type = p.type;
     resp.id = p.id;
     try {
-      auto result = p.future.get();
-      resp.status = to_wire_status(result.status);
-      if (result.status == service::Status::Ok) resp.output = std::move(result.output);
+      if (p.type == MessageType::Permute) {
+        auto result = p.permute_future.get();
+        resp.status = to_wire_status(result.status);
+        if (result.status == service::Status::Ok) {
+          resp.output_source.resize(result.output_source.size());
+          for (std::size_t i = 0; i < result.output_source.size(); ++i) {
+            resp.output_source[i] = static_cast<std::uint16_t>(result.output_source[i]);
+          }
+        }
+      } else {
+        auto result = p.sort_future.get();
+        resp.status = to_wire_status(result.status);
+        if (result.status == service::Status::Ok) resp.output = std::move(result.output);
+      }
     } catch (...) {
       // Factory failure for this (sorter, n): a configuration error, not an
       // overload condition.
@@ -380,6 +437,10 @@ void EdgeServer::waiter_loop() {
     }
     if (resp.status == WireStatus::Shedded) shedded_.fetch_add(1, std::memory_order_relaxed);
     p.conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+    {
+      std::lock_guard lk(p.conn->m);
+      p.conn->inflight_ids.erase(p.id);
+    }
     responses_.fetch_add(1, std::memory_order_relaxed);
     enqueue_response(p.conn, resp, /*from_reactor=*/false);
   }
@@ -458,10 +519,47 @@ void EdgeServer::close_conn(Reactor& r, const std::shared_ptr<Connection>& conn)
   open_conns_.fetch_sub(1, std::memory_order_relaxed);
 }
 
+namespace {
+
+void merge_histogram(service::HistogramSnapshot& into, const service::HistogramSnapshot& from) {
+  for (std::size_t b = 0; b < service::kHistBuckets; ++b) into.counts[b] += from.counts[b];
+  into.total += from.total;
+  into.sum += from.sum;
+}
+
+}  // namespace
+
 service::ServiceStats EdgeServer::stats() const {
   auto s = service_.stats();
+  if (permute_ != nullptr) {
+    // Combined view across both workloads: counters sum, per-shard slices
+    // and engine lines concatenate (sort shards first), histograms merge
+    // bucket-wise.  The jit_* fields are deltas of *process-wide* counters,
+    // so the sort service's view already covers permute-triggered JIT
+    // activity -- adding the permute deltas would double-count.
+    const auto p = permute_->stats();
+    s.submitted += p.submitted;
+    s.completed += p.completed;
+    s.rejected += p.rejected;
+    s.expired += p.expired;
+    s.stopped += p.stopped;
+    s.failed += p.failed;
+    s.unroutable += p.unroutable;
+    s.batches += p.batches;
+    s.compiled += p.compiled;
+    s.steals += p.steals;
+    s.stolen_requests += p.stolen_requests;
+    s.degraded += p.degraded;
+    s.self_check_failed += p.self_check_failed;
+    s.per_shard.insert(s.per_shard.end(), p.per_shard.begin(), p.per_shard.end());
+    s.engines.insert(s.engines.end(), p.engines.begin(), p.engines.end());
+    merge_histogram(s.batch_size, p.batch_size);
+    merge_histogram(s.queue_wait_us, p.queue_wait_us);
+    merge_histogram(s.eval_us, p.eval_us);
+  }
   s.shedded = shedded_.load(std::memory_order_relaxed);
   s.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  s.duplicate_ids = duplicate_ids_.load(std::memory_order_relaxed);
   s.connections_accepted = accepted_.load(std::memory_order_relaxed);
   s.connections_dropped = dropped_.load(std::memory_order_relaxed);
   s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
@@ -475,6 +573,7 @@ EdgeCounters EdgeServer::counters() const {
   c.connections_dropped = dropped_.load(std::memory_order_relaxed);
   c.shedded = shedded_.load(std::memory_order_relaxed);
   c.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  c.duplicate_ids = duplicate_ids_.load(std::memory_order_relaxed);
   c.requests = requests_.load(std::memory_order_relaxed);
   c.responses = responses_.load(std::memory_order_relaxed);
   c.bytes_in = bytes_in_.load(std::memory_order_relaxed);

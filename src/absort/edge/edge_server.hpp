@@ -1,6 +1,7 @@
 #pragma once
 // EdgeServer: the network serving edge -- an epoll-based TCP front end over
-// SortService speaking the length-prefixed binary protocol of frame.hpp.
+// SortService (and, optionally, PermuteService for Permute frames) speaking
+// the length-prefixed binary protocol of frame.hpp.
 //
 // Architecture (all counts configurable via EdgeOptions):
 //
@@ -46,6 +47,7 @@
 #include <vector>
 
 #include "absort/edge/frame.hpp"
+#include "absort/service/permute_service.hpp"
 #include "absort/service/sort_service.hpp"
 
 namespace absort::edge {
@@ -79,7 +81,8 @@ struct EdgeCounters {
   std::uint64_t connections_dropped = 0;
   std::uint64_t shedded = 0;        ///< Shedded responses (in-flight cap + QueueFull)
   std::uint64_t decode_errors = 0;  ///< malformed frames (connection closed)
-  std::uint64_t requests = 0;       ///< well-formed Sort frames received
+  std::uint64_t duplicate_ids = 0;  ///< frames reusing an id still in flight on the connection
+  std::uint64_t requests = 0;       ///< well-formed Sort/Permute frames received
   std::uint64_t responses = 0;      ///< responses enqueued (any status)
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
@@ -89,7 +92,10 @@ class EdgeServer {
  public:
   /// The service must outlive the server (construct service first, server
   /// second; destruction order then stops the edge before the service).
+  /// Without a PermuteService, Permute frames answer BadRequest.
   explicit EdgeServer(service::SortService& service, EdgeOptions opts = {});
+  EdgeServer(service::SortService& service, service::PermuteService& permute,
+             EdgeOptions opts = {});
   ~EdgeServer();  ///< stop()
 
   EdgeServer(const EdgeServer&) = delete;
@@ -122,10 +128,13 @@ class EdgeServer {
   struct Reactor;
 
   /// One submitted request whose future a waiter resolves into a response.
+  /// `type` selects which future is live (Sort or Permute).
   struct Pending {
     std::shared_ptr<Connection> conn;
     std::uint64_t id = 0;
-    std::future<service::SortResult> future;
+    MessageType type = MessageType::Sort;
+    std::future<service::SortResult> sort_future;
+    std::future<service::PermuteResult> permute_future;
   };
 
   void reactor_loop(Reactor& r);
@@ -143,6 +152,7 @@ class EdgeServer {
   void wake(Reactor& r);
 
   service::SortService& service_;
+  service::PermuteService* permute_ = nullptr;  ///< optional second workload
   EdgeOptions opts_;
 
   int listen_fd_ = -1;
@@ -165,6 +175,7 @@ class EdgeServer {
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> shedded_{0};
   std::atomic<std::uint64_t> decode_errors_{0};
+  std::atomic<std::uint64_t> duplicate_ids_{0};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> responses_{0};
   std::atomic<std::uint64_t> bytes_in_{0};

@@ -114,11 +114,48 @@ DecodeError decode_sort_body(Cursor& c, std::string& sorter, BitVec& input) {
 
   std::uint32_t n = 0;
   if (!c.u32(n)) return DecodeError::BadLength;
-  if (n == 0 || n > kMaxN) return DecodeError::Oversized;
+  if (n == 0) return DecodeError::EmptyPayload;
+  if (n > kMaxN) return DecodeError::Oversized;
   std::span<const std::uint8_t> packed;
   if (!c.bytes(packed_bytes(n), packed)) return DecodeError::BadLength;
   if (!unpack_bits(packed, n, input)) return DecodeError::BadPayload;
   return DecodeError::None;
+}
+
+/// Reads [u32 n][n x u16] and validates it is a permutation of 0..n-1, so no
+/// consumer ever sees a `dest`/`output_source` with holes or repeats.
+DecodeError read_permutation(Cursor& c, std::vector<std::uint16_t>& perm) {
+  std::uint32_t n = 0;
+  if (!c.u32(n)) return DecodeError::BadLength;
+  if (n == 0) return DecodeError::EmptyPayload;
+  if (n > kMaxN) return DecodeError::Oversized;
+  std::span<const std::uint8_t> raw;
+  if (!c.bytes(2 * static_cast<std::size_t>(n), raw)) return DecodeError::BadLength;
+  perm.resize(n);
+  std::vector<bool> seen(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint16_t v = static_cast<std::uint16_t>(raw[2 * i] | (raw[2 * i + 1] << 8));
+    if (v >= n || seen[v]) return DecodeError::BadPermutation;
+    seen[v] = true;
+    perm[i] = v;
+  }
+  return DecodeError::None;
+}
+
+DecodeError decode_permute_body(Cursor& c, std::string& permuter,
+                                std::vector<std::uint16_t>& dest) {
+  std::uint8_t name_len = 0;
+  if (!c.u8(name_len)) return DecodeError::BadLength;
+  if (name_len == 0 || name_len > kMaxSorterName) return DecodeError::BadName;
+  std::span<const std::uint8_t> name;
+  if (!c.bytes(name_len, name)) return DecodeError::BadLength;
+  permuter.assign(reinterpret_cast<const char*>(name.data()), name.size());
+  return read_permutation(c, dest);
+}
+
+void put_permutation(std::vector<std::uint8_t>& out, const std::vector<std::uint16_t>& perm) {
+  put_u32(out, static_cast<std::uint32_t>(perm.size()));
+  for (const std::uint16_t v : perm) put_u16(out, v);
 }
 
 }  // namespace
@@ -131,6 +168,7 @@ const char* to_string(WireStatus s) {
     case WireStatus::Failed: return "failed";
     case WireStatus::BadRequest: return "bad-request";
     case WireStatus::Stopped: return "stopped";
+    case WireStatus::Unroutable: return "unroutable";
   }
   return "?";
 }
@@ -142,6 +180,7 @@ WireStatus to_wire_status(service::Status s) {
     case service::Status::Expired: return WireStatus::Expired;
     case service::Status::Stopped: return WireStatus::Stopped;
     case service::Status::Failed: return WireStatus::Failed;
+    case service::Status::Unroutable: return WireStatus::Unroutable;
   }
   return WireStatus::Failed;
 }
@@ -157,6 +196,8 @@ const char* to_string(DecodeError e) {
     case DecodeError::BadLength: return "bad-length";
     case DecodeError::BadName: return "bad-name";
     case DecodeError::BadPayload: return "bad-payload";
+    case DecodeError::EmptyPayload: return "empty-payload";
+    case DecodeError::BadPermutation: return "bad-permutation";
   }
   return "?";
 }
@@ -185,6 +226,9 @@ void encode_request(const Request& r, std::vector<std::uint8_t>& out) {
   assert(r.type != MessageType::Sort ||
          (!r.sorter.empty() && r.sorter.size() <= kMaxSorterName && !r.input.empty() &&
           r.input.size() <= kMaxN));
+  assert(r.type != MessageType::Permute ||
+         (!r.sorter.empty() && r.sorter.size() <= kMaxSorterName && !r.dest.empty() &&
+          r.dest.size() <= kMaxN));
   frame(out, [&] {
     put_u16(out, kMagic);
     out.push_back(kVersion);
@@ -196,12 +240,18 @@ void encode_request(const Request& r, std::vector<std::uint8_t>& out) {
       out.insert(out.end(), r.sorter.begin(), r.sorter.end());
       put_u32(out, static_cast<std::uint32_t>(r.input.size()));
       pack_bits(r.input, out);
+    } else if (r.type == MessageType::Permute) {
+      out.push_back(static_cast<std::uint8_t>(r.sorter.size()));
+      out.insert(out.end(), r.sorter.begin(), r.sorter.end());
+      put_permutation(out, r.dest);
     }
   });
 }
 
 void encode_response(const Response& r, std::vector<std::uint8_t>& out) {
   assert(r.type != MessageType::Sort || r.status != WireStatus::Ok || r.output.size() <= kMaxN);
+  assert(r.type != MessageType::Permute || r.status != WireStatus::Ok ||
+         (!r.output_source.empty() && r.output_source.size() <= kMaxN));
   frame(out, [&] {
     put_u16(out, kMagic);
     out.push_back(kVersion);
@@ -212,6 +262,8 @@ void encode_response(const Response& r, std::vector<std::uint8_t>& out) {
       if (r.type == MessageType::Sort) {
         put_u32(out, static_cast<std::uint32_t>(r.output.size()));
         pack_bits(r.output, out);
+      } else if (r.type == MessageType::Permute) {
+        put_permutation(out, r.output_source);
       } else {
         out.insert(out.end(), r.stats_json.begin(), r.stats_json.end());
       }
@@ -228,13 +280,18 @@ DecodeResult decode_request(std::span<const std::uint8_t> buf, Request& out) {
     return {e, 0};
   }
   if (type != static_cast<std::uint8_t>(MessageType::Sort) &&
-      type != static_cast<std::uint8_t>(MessageType::Stats)) {
+      type != static_cast<std::uint8_t>(MessageType::Stats) &&
+      type != static_cast<std::uint8_t>(MessageType::Permute)) {
     return {DecodeError::BadType, 0};
   }
   out.type = static_cast<MessageType>(type);
   if (!c.u32(out.deadline_us)) return {DecodeError::BadLength, 0};
   if (out.type == MessageType::Sort) {
     if (const auto e = decode_sort_body(c, out.sorter, out.input); e != DecodeError::None) {
+      return {e, 0};
+    }
+  } else if (out.type == MessageType::Permute) {
+    if (const auto e = decode_permute_body(c, out.sorter, out.dest); e != DecodeError::None) {
       return {e, 0};
     }
   }
@@ -251,22 +308,28 @@ DecodeResult decode_response(std::span<const std::uint8_t> buf, Response& out) {
     return {e, 0};
   }
   if (type != static_cast<std::uint8_t>(MessageType::Sort) &&
-      type != static_cast<std::uint8_t>(MessageType::Stats)) {
+      type != static_cast<std::uint8_t>(MessageType::Stats) &&
+      type != static_cast<std::uint8_t>(MessageType::Permute)) {
     return {DecodeError::BadType, 0};
   }
   out.type = static_cast<MessageType>(type);
   std::uint8_t status = 0;
   if (!c.u8(status)) return {DecodeError::BadLength, 0};
-  if (status > static_cast<std::uint8_t>(WireStatus::Stopped)) return {DecodeError::BadType, 0};
+  if (status > static_cast<std::uint8_t>(WireStatus::Unroutable)) return {DecodeError::BadType, 0};
   out.status = static_cast<WireStatus>(status);
   if (out.status == WireStatus::Ok) {
     if (out.type == MessageType::Sort) {
       std::uint32_t n = 0;
       if (!c.u32(n)) return {DecodeError::BadLength, 0};
-      if (n == 0 || n > kMaxN) return {DecodeError::Oversized, 0};
+      if (n == 0) return {DecodeError::EmptyPayload, 0};
+      if (n > kMaxN) return {DecodeError::Oversized, 0};
       std::span<const std::uint8_t> packed;
       if (!c.bytes(packed_bytes(n), packed)) return {DecodeError::BadLength, 0};
       if (!unpack_bits(packed, n, out.output)) return {DecodeError::BadPayload, 0};
+    } else if (out.type == MessageType::Permute) {
+      if (const auto e = read_permutation(c, out.output_source); e != DecodeError::None) {
+        return {e, 0};
+      }
     } else {
       std::span<const std::uint8_t> json;
       (void)c.bytes(c.left(), json);

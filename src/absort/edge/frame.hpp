@@ -10,25 +10,35 @@
 //   ----------------------------------   ----------------------------------
 //   u16  magic   (kMagic)                u16  magic   (kMagic)
 //   u8   version (kVersion)              u8   version (kVersion)
-//   u8   type    (Sort | Stats)          u8   type    (echoes the request)
+//   u8   type    (Sort|Stats|Permute)    u8   type    (echoes the request)
 //   u64  id      (echoed in response)    u64  id      (echoed)
 //   u32  deadline_us (0 = none)          u8   status  (WireStatus)
 //   -- Sort only ----------------------  -- Sort + Ok only -----------------
 //   u8   name_len (1..kMaxSorterName)    u32  n
 //   ..   sorter name bytes               ..   packed bits, ceil(n/8) bytes
+//   u32  n (1..kMaxN)                    -- Permute + Ok only ---------------
+//   ..   packed bits, ceil(n/8) bytes    u32  n
+//   -- Permute only -------------------  ..   n x u16 output_source (a
+//   u8   name_len (1..kMaxSorterName)         permutation; output j receives
+//   ..   permuter name bytes                  input output_source[j])
 //   u32  n (1..kMaxN)                    -- Stats + Ok only ----------------
-//   ..   packed bits, ceil(n/8) bytes    ..   ServiceStats JSON bytes
+//   ..   n x u16 dest (a permutation)    ..   ServiceStats JSON bytes
 //
 // Packed bits: element i of the sequence is bit (i & 7) of payload byte
-// (i >> 3), LSB first; pad bits in the final byte must be zero.
+// (i >> 3), LSB first; pad bits in the final byte must be zero.  Permutation
+// sequences are u16 little-endian entries; every entry must be < n and
+// appear exactly once (BadPermutation otherwise) -- the decoder never hands
+// the service a `dest` it would have to re-validate.
 //
 // decode_request / decode_response never throw on wire bytes: every
 // malformed input yields a typed DecodeError, every read is bounds-checked,
 // and an incomplete buffer is the non-error NeedMore (read more and retry).
 // Versioning rule: magic identifies the protocol, version the layout; a
 // decoder rejects versions it does not know (BadVersion) instead of
-// guessing, and unknown type bytes are BadType -- new message kinds require
-// a version bump.
+// guessing, and unknown type bytes are BadType.  *Additive* message kinds
+// keep the version (Permute was added this way): an old peer answers a new
+// kind with BadType, which a client reads as "not supported here"; only a
+// layout change to an existing message requires a version bump.
 
 #include <cstddef>
 #include <cstdint>
@@ -51,8 +61,9 @@ inline constexpr std::size_t kMaxN = 1u << 16;    ///< largest sortable request
 inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
 
 enum class MessageType : std::uint8_t {
-  Sort = 1,   ///< sort one packed bit sequence
-  Stats = 2,  ///< pull the ServiceStats JSON snapshot
+  Sort = 1,     ///< sort one packed bit sequence
+  Stats = 2,    ///< pull the ServiceStats JSON snapshot
+  Permute = 3,  ///< route one destination permutation (additive since v1)
 };
 
 /// Terminal status of one request, on the wire.
@@ -63,6 +74,7 @@ enum class WireStatus : std::uint8_t {
   Failed = 3,      ///< every degradation rung failed server-side
   BadRequest = 4,  ///< malformed frame or unknown sorter / bad n
   Stopped = 5,     ///< server shutting down
+  Unroutable = 6,  ///< well-formed pattern the permuter fabric blocks on
 };
 
 [[nodiscard]] const char* to_string(WireStatus s);
@@ -81,10 +93,12 @@ enum class DecodeError : std::uint8_t {
   BadMagic,      ///< payload does not start with kMagic
   BadVersion,    ///< version byte != kVersion
   BadType,       ///< unknown MessageType / WireStatus byte
-  Oversized,     ///< declared length exceeds kMaxFrameBytes (or n > kMaxN)
-  BadLength,     ///< declared length contradicts the payload structure
-  BadName,       ///< sorter name length 0 or > kMaxSorterName
-  BadPayload,    ///< nonzero pad bits in the packed payload
+  Oversized,       ///< declared length exceeds kMaxFrameBytes (or n > kMaxN)
+  BadLength,       ///< declared length contradicts the payload structure
+  BadName,         ///< sorter name length 0 or > kMaxSorterName
+  BadPayload,      ///< nonzero pad bits in the packed payload
+  EmptyPayload,    ///< n == 0: a frame with nothing to work on
+  BadPermutation,  ///< permutation entry out of range or duplicated
 };
 
 [[nodiscard]] const char* to_string(DecodeError e);
@@ -93,8 +107,9 @@ struct Request {
   MessageType type = MessageType::Sort;
   std::uint64_t id = 0;           ///< client-chosen, echoed in the response
   std::uint32_t deadline_us = 0;  ///< relative deadline budget; 0 = none
-  std::string sorter;             ///< Sort only
+  std::string sorter;             ///< workload name: the sorter (Sort) or permuter (Permute)
   BitVec input;                   ///< Sort only
+  std::vector<std::uint16_t> dest;  ///< Permute only; a permutation of 0..n-1
 };
 
 struct Response {
@@ -102,6 +117,7 @@ struct Response {
   std::uint64_t id = 0;
   WireStatus status = WireStatus::Ok;
   BitVec output;           ///< Sort + Ok only
+  std::vector<std::uint16_t> output_source;  ///< Permute + Ok only
   std::string stats_json;  ///< Stats + Ok only
 };
 

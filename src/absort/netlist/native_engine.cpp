@@ -47,14 +47,18 @@ bool file_exists(const std::string& path) {
   return ::stat(path.c_str(), &st) == 0;
 }
 
-/// mkdir -p: creates `dir` and any missing parents (best effort; the
-/// subsequent fopen/compile reports the real failure).
-void make_dirs(const std::string& dir) {
+/// mkdir -p, idempotent under concurrent creators: each mkdir's return value
+/// is ignored (EEXIST just means a racing process won that component), and
+/// the final stat is the sole arbiter -- true iff `dir` is a directory when
+/// we are done, regardless of who created it.
+bool make_dirs(const std::string& dir) {
   for (std::size_t i = 1; i <= dir.size(); ++i) {
     if (i == dir.size() || dir[i] == '/') {
       (void)::mkdir(dir.substr(0, i).c_str(), 0777);
     }
   }
+  struct stat st;
+  return ::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
 }
 
 bool write_file(const std::string& path, const std::string& contents) {
@@ -111,7 +115,10 @@ bool probe_toolchain_locked(const std::string& cc) {
   if (it != cache.end()) return it->second;
 
   const std::string dir = jit_cache_dir();
-  make_dirs(dir);
+  if (!make_dirs(dir)) {
+    cache.emplace(cc, false);
+    return false;
+  }
   const std::string tag = std::to_string(static_cast<unsigned long>(::getpid()));
   const std::string src = dir + "/probe_" + tag + ".c";
   const std::string so = dir + "/probe_" + tag + ".so";
@@ -195,7 +202,11 @@ std::shared_ptr<const NativeKernel> build_native_kernel(const WordProgram& p,
   }
 
   const std::string dir = jit_cache_dir();
-  make_dirs(dir);
+  if (!make_dirs(dir)) {
+    g_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    set_error(error, "cannot create jit cache dir: " + dir);
+    return nullptr;
+  }
   char hex[32];
   std::snprintf(hex, sizeof hex, "%016llx", static_cast<unsigned long long>(hash));
   const std::string so_path = dir + "/absort_" + hex + ".so";
@@ -222,7 +233,13 @@ std::shared_ptr<const NativeKernel> build_native_kernel(const WordProgram& p,
   const std::string tag = std::to_string(static_cast<unsigned long>(::getpid()));
   const std::string src_path = dir + "/absort_" + hex + ".c";
   const std::string tmp_so = so_path + "." + tag + ".tmp";
-  if (!write_file(src_path, source)) {
+  // The source also goes through a process-unique temp + rename, so a racing
+  // process's compiler never reads a half-written file -- rename replaces
+  // atomically, and every writer installs identical content-addressed bytes.
+  const std::string tmp_src = src_path + "." + tag + ".tmp";
+  if (!write_file(tmp_src, source) ||
+      ::rename(tmp_src.c_str(), src_path.c_str()) != 0) {
+    (void)::unlink(tmp_src.c_str());
     g_fallbacks.fetch_add(1, std::memory_order_relaxed);
     set_error(error, "cannot write kernel source: " + src_path);
     return nullptr;
@@ -236,13 +253,25 @@ std::shared_ptr<const NativeKernel> build_native_kernel(const WordProgram& p,
   // small enough to finish in seconds.  -march=native is attempted first
   // for wider vector ISAs.
   const char* const opt = p.instrs.size() > 4'000 ? "-O0" : "-O1";
-  bool built = run_compiler(cc, std::string(opt) + " -march=native", src_path, tmp_so) ||
-               run_compiler(cc, opt, src_path, tmp_so);
-  if (!built || ::rename(tmp_so.c_str(), so_path.c_str()) != 0) {
+  const bool built = run_compiler(cc, std::string(opt) + " -march=native", src_path, tmp_so) ||
+                     run_compiler(cc, opt, src_path, tmp_so);
+  if (!built) {
     (void)::unlink(tmp_so.c_str());
     g_fallbacks.fetch_add(1, std::memory_order_relaxed);
     set_error(error, "kernel compile failed ('" + cc + "' on " + src_path + ")");
     return nullptr;
+  }
+  if (::rename(tmp_so.c_str(), so_path.c_str()) != 0) {
+    // A rename refusal is not a build failure: if a racing process installed
+    // the entry between our existence check and here, its file is the same
+    // content-addressed kernel, so load it as a cache hit instead of falling
+    // back.  Only an absent so_path after a failed rename is fatal.
+    (void)::unlink(tmp_so.c_str());
+    if (!file_exists(so_path)) {
+      g_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      set_error(error, "cannot install kernel: " + so_path);
+      return nullptr;
+    }
   }
   auto k = load_kernel(so_path, p, hash, error);
   if (!k) {

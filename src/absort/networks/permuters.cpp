@@ -1,0 +1,295 @@
+#include "absort/networks/permuters.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "absort/networks/benes.hpp"
+#include "absort/networks/omega.hpp"
+#include "absort/networks/sorting_permuter.hpp"
+#include "absort/util/math.hpp"
+
+namespace absort::permuters {
+
+bool is_permutation(const std::vector<std::size_t>& dest, std::size_t n) {
+  if (dest.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (const std::size_t d : dest) {
+    if (d >= n || seen[d]) return false;
+    seen[d] = true;
+  }
+  return true;
+}
+
+namespace {
+
+using netlist::Circuit;
+using netlist::WireId;
+
+void check_permutation(const std::vector<std::size_t>& dest, std::size_t n, const char* who) {
+  if (!is_permutation(dest, n)) {
+    throw std::invalid_argument(std::string(who) + ": dest is not a permutation");
+  }
+}
+
+/// Inverts a permutation: out[dest[i]] = i.
+std::vector<std::size_t> invert(const std::vector<std::size_t>& dest) {
+  std::vector<std::size_t> inv(dest.size());
+  for (std::size_t i = 0; i < dest.size(); ++i) inv[dest[i]] = i;
+  return inv;
+}
+
+/// Shared by the two switch fabrics: their circuits are the n-wide datapath
+/// (n data inputs first, then the control input of every switch in
+/// compute_controls order), so one request rides lg n lanes -- lane b feeds
+/// data input i with bit b of i and every lane the same controls.  Output j
+/// of lane b is then bit b of the source index routed to output j.
+class SwitchFabricPermuter : public Permuter {
+ public:
+  SwitchFabricPermuter(std::size_t n, const char* who)
+      : Permuter(n), who_(who), addr_bits_(ilog2(n)) {
+    require_pow2(n, 2, who);
+  }
+
+  [[nodiscard]] std::size_t lanes_per_request() const noexcept override { return addr_bits_; }
+
+  [[nodiscard]] bool encode(const std::vector<std::size_t>& dest,
+                            std::span<BitVec> lanes) const override {
+    std::vector<Bit> controls;
+    if (!controls_for(dest, controls)) return false;
+    for (std::size_t b = 0; b < addr_bits_; ++b) {
+      auto& lane = lanes[b].data();
+      lane.resize(n_ + controls.size());
+      for (std::size_t i = 0; i < n_; ++i) lane[i] = static_cast<Bit>((i >> b) & 1);
+      for (std::size_t s = 0; s < controls.size(); ++s) lane[n_ + s] = controls[s];
+    }
+    return true;
+  }
+
+  void decode(std::span<const BitVec> lanes,
+              std::vector<std::size_t>& output_source) const override {
+    output_source.assign(n_, 0);
+    for (std::size_t b = 0; b < addr_bits_; ++b) {
+      for (std::size_t j = 0; j < n_; ++j) {
+        output_source[j] |= static_cast<std::size_t>(lanes[b][j] & 1) << b;
+      }
+    }
+  }
+
+ protected:
+  /// Switch settings for `dest` in build_circuit() control order, or false
+  /// when the fabric blocks on the pattern.
+  [[nodiscard]] virtual bool controls_for(const std::vector<std::size_t>& dest,
+                                          std::vector<Bit>& controls) const = 0;
+
+  const char* who_;
+  std::size_t addr_bits_;  ///< lg n
+};
+
+class BenesPermuter final : public SwitchFabricPermuter {
+ public:
+  explicit BenesPermuter(std::size_t n) : SwitchFabricPermuter(n, "BenesPermuter"), net_(n) {}
+
+  [[nodiscard]] std::string name() const override { return "benes"; }
+
+  [[nodiscard]] std::optional<std::vector<std::size_t>> route(
+      const std::vector<std::size_t>& dest) const override {
+    check_permutation(dest, n_, who_);
+    return invert(dest);  // rearrangeable: every permutation routes
+  }
+
+  [[nodiscard]] netlist::Circuit build_route_circuit() const override {
+    return net_.build_circuit();
+  }
+
+ private:
+  [[nodiscard]] bool controls_for(const std::vector<std::size_t>& dest,
+                                  std::vector<Bit>& controls) const override {
+    controls = net_.compute_controls(dest);  // throws only on a non-permutation
+    return true;
+  }
+
+  networks::BenesNetwork net_;
+};
+
+class OmegaPermuter final : public SwitchFabricPermuter {
+ public:
+  explicit OmegaPermuter(std::size_t n) : SwitchFabricPermuter(n, "OmegaPermuter"), net_(n) {}
+
+  [[nodiscard]] std::string name() const override { return "omega"; }
+
+  [[nodiscard]] std::optional<std::vector<std::size_t>> route(
+      const std::vector<std::size_t>& dest) const override {
+    check_permutation(dest, n_, who_);
+    std::vector<std::optional<std::size_t>> od(n_);
+    for (std::size_t i = 0; i < n_; ++i) od[i] = dest[i];
+    auto result = net_.route(od);
+    if (result.blocked()) return std::nullopt;
+    return std::move(result.output_source);
+  }
+
+  [[nodiscard]] netlist::Circuit build_route_circuit() const override {
+    return net_.build_circuit();
+  }
+
+ private:
+  [[nodiscard]] bool controls_for(const std::vector<std::size_t>& dest,
+                                  std::vector<Bit>& controls) const override {
+    std::vector<std::optional<std::size_t>> od(n_);
+    for (std::size_t i = 0; i < n_; ++i) od[i] = dest[i];
+    try {
+      controls = net_.compute_controls(od);
+    } catch (const std::invalid_argument&) {
+      // `dest` is pre-validated (encode precondition), so the only throw
+      // left is "pattern blocks" -- the fabric's Unroutable answer.
+      return false;
+    }
+    return true;
+  }
+
+  networks::OmegaNetwork net_;
+};
+
+/// The sorting permuter's route circuit replays the embedded comparator
+/// network's op program at word level: each of the n packets is a pair
+/// (key = destination tag, payload = source index), lg n bits each.  Keys are
+/// primary inputs (packet-major, LSB first: input i*w + b is bit b of
+/// dest[i]); payloads are constants (packet i carries i).  Every comparator
+/// becomes an MSB-first word comparison steering a 2x2 switch per bit pair,
+/// so keys sort ascending and the payloads arrive inverted -- output j*w + b
+/// is bit b of output_source[j].  One request is one lane.
+class SortingRoutePermuter final : public Permuter {
+ public:
+  explicit SortingRoutePermuter(std::size_t n) : Permuter(n), sp_(n), addr_bits_(ilog2(n)) {}
+
+  [[nodiscard]] std::string name() const override { return "sorting-permuter"; }
+
+  [[nodiscard]] std::optional<std::vector<std::size_t>> route(
+      const std::vector<std::size_t>& dest) const override {
+    return sp_.route(dest);  // validates; a sorter routes every permutation
+  }
+
+  [[nodiscard]] std::size_t lanes_per_request() const noexcept override { return 1; }
+
+  [[nodiscard]] netlist::Circuit build_route_circuit() const override {
+    const std::size_t w = addr_bits_;
+    Circuit c;
+    struct Packet {
+      std::vector<WireId> key;  ///< destination tag, LSB first
+      std::vector<WireId> pay;  ///< source index, LSB first
+    };
+    std::vector<Packet> ps(n_);
+    for (std::size_t i = 0; i < n_; ++i) ps[i].key = c.inputs(w);
+    for (std::size_t i = 0; i < n_; ++i) {
+      ps[i].pay.reserve(w);
+      for (std::size_t b = 0; b < w; ++b) {
+        ps[i].pay.push_back(c.constant(static_cast<Bit>((i >> b) & 1)));
+      }
+    }
+    for (const auto& op : sp_.network().ops()) {
+      if (op.kind == sorters::OpNetworkSorter::Op::Kind::Compare) {
+        Packet& a = ps[op.i];
+        Packet& b = ps[op.j];
+        // swap iff key_a > key_b (min lands at i): MSB-first scan with the
+        // classic gt/eq ladder.
+        WireId gt = c.constant(0);
+        WireId eq = c.constant(1);
+        for (std::size_t bit = w; bit-- > 0;) {
+          const WireId x = a.key[bit];
+          const WireId y = b.key[bit];
+          gt = c.or_gate(gt, c.and_gate(eq, c.and_gate(x, c.not_gate(y))));
+          eq = c.and_gate(eq, c.not_gate(c.xor_gate(x, y)));
+        }
+        const auto exchange = [&](std::vector<WireId>& wa, std::vector<WireId>& wb) {
+          for (std::size_t bit = 0; bit < w; ++bit) {
+            const auto [o0, o1] = c.switch2x2(wa[bit], wb[bit], gt);
+            wa[bit] = o0;
+            wb[bit] = o1;
+          }
+        };
+        exchange(a.key, b.key);
+        exchange(a.pay, b.pay);
+      } else {
+        std::vector<Packet> next(n_);
+        for (std::size_t p = 0; p < n_; ++p) next[p] = std::move(ps[op.perm[p]]);
+        ps = std::move(next);
+      }
+    }
+    for (std::size_t j = 0; j < n_; ++j) c.mark_outputs(ps[j].pay);
+    return c;
+  }
+
+  [[nodiscard]] bool encode(const std::vector<std::size_t>& dest,
+                            std::span<BitVec> lanes) const override {
+    const std::size_t w = addr_bits_;
+    auto& lane = lanes[0].data();
+    lane.resize(n_ * w);
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t b = 0; b < w; ++b) {
+        lane[i * w + b] = static_cast<Bit>((dest[i] >> b) & 1);
+      }
+    }
+    return true;
+  }
+
+  void decode(std::span<const BitVec> lanes,
+              std::vector<std::size_t>& output_source) const override {
+    const std::size_t w = addr_bits_;
+    output_source.assign(n_, 0);
+    for (std::size_t j = 0; j < n_; ++j) {
+      for (std::size_t b = 0; b < w; ++b) {
+        output_source[j] |= static_cast<std::size_t>(lanes[0][j * w + b] & 1) << b;
+      }
+    }
+  }
+
+ private:
+  networks::SortingPermuter sp_;
+  std::size_t addr_bits_;  ///< lg n
+};
+
+}  // namespace
+
+const std::vector<RegistryEntry>& registry() {
+  static const std::vector<RegistryEntry> table = {
+      {"sorting-permuter", "Batcher network sorting destination tags (Table II row 1)",
+       [](std::size_t n) -> std::unique_ptr<Permuter> {
+         return std::make_unique<SortingRoutePermuter>(n);
+       }},
+      {"benes", "Benes rearrangeable fabric, looping route setup",
+       [](std::size_t n) -> std::unique_ptr<Permuter> {
+         return std::make_unique<BenesPermuter>(n);
+       }},
+      {"omega", "omega (shuffle-exchange) self-routing fabric; blocking patterns unroutable",
+       [](std::size_t n) -> std::unique_ptr<Permuter> {
+         return std::make_unique<OmegaPermuter>(n);
+       }},
+  };
+  return table;
+}
+
+const RegistryEntry* find_permuter(std::string_view name) {
+  for (const auto& e : registry()) {
+    if (name == e.name) return &e;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Permuter> make_permuter(std::string_view name, std::size_t n) {
+  const auto* e = find_permuter(name);
+  if (!e) {
+    throw std::invalid_argument("unknown permuter '" + std::string(name) +
+                                "'; available: " + permuter_names());
+  }
+  return e->factory(n);
+}
+
+std::string permuter_names() {
+  std::string out;
+  for (const auto& e : registry()) {
+    if (!out.empty()) out += ", ";
+    out += e.name;
+  }
+  return out;
+}
+
+}  // namespace absort::permuters

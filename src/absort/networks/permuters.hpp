@@ -1,0 +1,116 @@
+#pragma once
+// The permuter registry: every permutation-routing fabric in the library
+// behind one interface, mirroring sorters/registry.hpp so the serving layer
+// (service/permute_service.hpp) and the front ends can pick a fabric by name.
+//
+// A Permuter answers one question -- "which input's packet lands on each
+// output when input i is destined for output dest[i]?" -- through two faces
+// that must agree bit for bit:
+//
+//  (a) route(): the host reference -- the value-level routing simulation the
+//      networks/ classes already provide (Benes looping, omega self-routing,
+//      address-sorting).  Returns nullopt when the fabric blocks on the
+//      pattern (omega on e.g. bit reversal); rearrangeable fabrics never do.
+//  (b) build_route_circuit() + encode()/decode(): the same computation as a
+//      netlist evaluated by the bit-sliced batch engine.  encode() packs a
+//      request's destination permutation into lanes_per_request() input
+//      vectors of the circuit; decode() reads the routed source indices back
+//      out of the corresponding output vectors.  This is the face the
+//      serving layer compiles once per (permuter, n) and amortizes across
+//      micro-batches.
+//
+// Unified result convention: output_source[j] = i iff input i's packet
+// arrives at output j, i.e. output_source is the inverse of dest.  For the
+// switch-fabric permuters (benes, omega) the circuit carries the binary
+// expansion of each source index through the actual switch datapath, one
+// address bit per lane, with the control inputs set by the host routing
+// algorithm; for the sorting permuter the circuit *is* the routing algorithm
+// -- a word-level comparator network sorting the destination tags, with the
+// source indices riding along as payload.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "absort/netlist/circuit.hpp"
+#include "absort/util/bitvec.hpp"
+
+namespace absort::permuters {
+
+/// True iff `dest` has size n and is a permutation of {0, .., n-1}.
+[[nodiscard]] bool is_permutation(const std::vector<std::size_t>& dest, std::size_t n);
+
+class Permuter {
+ public:
+  virtual ~Permuter() = default;
+
+  Permuter(const Permuter&) = delete;
+  Permuter& operator=(const Permuter&) = delete;
+
+  /// Fabric size n (inputs == outputs == n).
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Host reference routing: output_source with output_source[dest[i]] == i,
+  /// or nullopt when the fabric blocks on this pattern.  `dest` must be a
+  /// permutation of size n (throws std::invalid_argument otherwise).
+  [[nodiscard]] virtual std::optional<std::vector<std::size_t>> route(
+      const std::vector<std::size_t>& dest) const = 0;
+
+  /// The route computation as a netlist (compile once, evaluate per batch).
+  [[nodiscard]] virtual netlist::Circuit build_route_circuit() const = 0;
+
+  /// Input vectors of build_route_circuit() one request occupies: the
+  /// address width lg n for the switch fabrics (one address bit per lane),
+  /// 1 for the sorting permuter (whole words in one vector).
+  [[nodiscard]] virtual std::size_t lanes_per_request() const noexcept = 0;
+
+  /// Packs `dest` into lanes[0 .. lanes_per_request()): each lane is resized
+  /// to the circuit's input count.  Returns false when the fabric blocks on
+  /// the pattern (the lanes are then unspecified and must not be evaluated).
+  /// Precondition: `dest` is a permutation of size n (the serving layer
+  /// validates at submit; direct callers use is_permutation()).
+  [[nodiscard]] virtual bool encode(const std::vector<std::size_t>& dest,
+                                    std::span<BitVec> lanes) const = 0;
+
+  /// Reads output_source back from the circuit's output vectors for the
+  /// lanes encode() produced; output_source is resized to n.
+  virtual void decode(std::span<const BitVec> lanes,
+                      std::vector<std::size_t>& output_source) const = 0;
+
+ protected:
+  explicit Permuter(std::size_t n) : n_(n) {}
+
+  std::size_t n_;
+};
+
+/// Factory signature (may throw std::invalid_argument on a bad n; every
+/// registered fabric requires n a power of two >= 2).
+using PermuterFactory = std::function<std::unique_ptr<Permuter>(std::size_t n)>;
+
+struct RegistryEntry {
+  const char* name;         ///< the name user-facing tools spell (e.g. "benes")
+  const char* description;  ///< one-line description for listings
+  PermuterFactory factory;  ///< builds the permuter at size n
+};
+
+/// Every registered permuter, in listing order.
+[[nodiscard]] const std::vector<RegistryEntry>& registry();
+
+/// Entry for `name`, or nullptr if unknown.
+[[nodiscard]] const RegistryEntry* find_permuter(std::string_view name);
+
+/// Builds permuter `name` at size n; unknown names throw std::invalid_argument
+/// listing the available permuters.
+[[nodiscard]] std::unique_ptr<Permuter> make_permuter(std::string_view name, std::size_t n);
+
+/// Comma-separated registered names (for usage/error messages).
+[[nodiscard]] std::string permuter_names();
+
+}  // namespace absort::permuters

@@ -46,6 +46,10 @@ class SortingPermuter {
   [[nodiscard]] netlist::CostReport cost_report(std::size_t word_bits = 0) const;
   [[nodiscard]] double routing_time(std::size_t word_bits = 0) const;
 
+  /// The embedded comparator network (for lowerings that replay its op
+  /// program, e.g. the word-level route circuit of networks/permuters.cpp).
+  [[nodiscard]] const sorters::OpNetworkSorter& network() const noexcept { return *net_; }
+
  private:
   std::size_t n_;
   std::unique_ptr<sorters::OpNetworkSorter> net_;

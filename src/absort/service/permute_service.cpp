@@ -1,0 +1,327 @@
+#include "absort/service/permute_service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "absort/util/math.hpp"
+
+namespace absort::service {
+
+namespace {
+
+std::uint64_t us_between(PermuteService::Clock::time_point a,
+                         PermuteService::Clock::time_point b) {
+  const auto d = std::chrono::duration_cast<std::chrono::microseconds>(b - a).count();
+  return d > 0 ? static_cast<std::uint64_t>(d) : 0;
+}
+
+}  // namespace
+
+PermuteService::PermuteService(PermuteOptions opts) : opts_(std::move(opts)) {
+  opts_.shards = std::max<std::size_t>(1, opts_.shards);
+  opts_.queue_capacity = std::max<std::size_t>(1, opts_.queue_capacity);
+  opts_.max_batch_lanes = std::max<std::size_t>(1, opts_.max_batch_lanes);
+  // Divide the machine across shards, exactly as SortService does.
+  if (opts_.shards > 1 && opts_.batch.threads == 0) {
+    const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    opts_.batch.threads = std::max<std::size_t>(1, hw / opts_.shards);
+  }
+  jit_baseline_ = netlist::jit_counters();
+
+  states_.reserve(opts_.shards);
+  for (std::size_t i = 0; i < opts_.shards; ++i) {
+    states_.push_back(std::make_unique<ShardState>());
+  }
+
+  ExecutorOptions eo;
+  eo.shards = opts_.shards;
+  eo.steal_threshold = opts_.steal_threshold;
+  eo.pin_threads = opts_.pin_threads;
+  eo.queue_capacity = opts_.queue_capacity;
+  eo.max_batch_lanes = opts_.max_batch_lanes;
+  eo.max_linger = opts_.max_linger;
+  eo.overflow = opts_.overflow == PermuteOptions::Overflow::Reject
+                    ? ExecutorOptions::Overflow::Reject
+                    : ExecutorOptions::Overflow::Block;
+  exec_ = std::make_unique<Executor>(
+      eo, [this](std::size_t shard, const Key& key, std::vector<Request>& batch) {
+        process(shard, key, batch);
+      });
+}
+
+PermuteService::~PermuteService() { stop(); }
+
+void PermuteService::stop() { exec_->stop(); }
+
+std::size_t PermuteService::route(const Key& key) const noexcept {
+  return static_cast<std::size_t>(hash_name_n(key.first->name, key.second) %
+                                  exec_->shard_count());
+}
+
+std::size_t PermuteService::shard_of(std::string_view permuter, std::size_t n) const {
+  const auto* entry = permuters::find_permuter(permuter);
+  if (!entry) {
+    throw std::invalid_argument("PermuteService: unknown permuter '" + std::string(permuter) +
+                                "'; available: " + permuters::permuter_names());
+  }
+  return route(Key{entry, n});
+}
+
+std::future<PermuteResult> PermuteService::submit(std::string_view permuter,
+                                                  std::vector<std::uint32_t> dest,
+                                                  Clock::time_point deadline) {
+  const auto* entry = permuters::find_permuter(permuter);
+  if (!entry) {
+    throw std::invalid_argument("PermuteService: unknown permuter '" + std::string(permuter) +
+                                "'; available: " + permuters::permuter_names());
+  }
+  const std::size_t n = dest.size();
+  if (n < 2 || !is_pow2(n)) {
+    throw std::invalid_argument(
+        "PermuteService: dest size must be a power of two >= 2 (got " + std::to_string(n) +
+        ")");
+  }
+  // Reject garbage before the future machinery is engaged: duplicates and
+  // out-of-range entries are caller errors, not serving outcomes.
+  std::vector<bool> seen(n, false);
+  for (const std::uint32_t d : dest) {
+    if (d >= n || seen[d]) {
+      throw std::invalid_argument("PermuteService: dest is not a permutation");
+    }
+    seen[d] = true;
+  }
+
+  Request req{entry, n, std::move(dest), std::promise<PermuteResult>{}, deadline, {}};
+  auto future = req.promise.get_future();
+
+  switch (exec_->submit(route(req.key()), req)) {
+    case Admit::Accepted:
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Admit::QueueFull:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      req.promise.set_value(PermuteResult{Status::QueueFull, {}});
+      break;
+    case Admit::Expired:
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      req.promise.set_value(PermuteResult{Status::Expired, {}});
+      break;
+    case Admit::Stopped:
+      stopped_.fetch_add(1, std::memory_order_relaxed);
+      req.promise.set_value(PermuteResult{Status::Stopped, {}});
+      break;
+  }
+  return future;
+}
+
+PermuteResult PermuteService::permute(std::string_view permuter,
+                                      std::vector<std::uint32_t> dest) {
+  return submit(permuter, std::move(dest)).get();
+}
+
+PermuteService::Engine* PermuteService::ensure_engine(std::size_t shard, const Key& key,
+                                                      std::exception_ptr& factory_error) {
+  auto& engines = states_[shard]->engines;
+  auto it = engines.find(key);
+  if (it == engines.end()) it = engines.emplace(key, Engine{}).first;
+  Engine& e = it->second;
+
+  if (!e.permuter) {
+    try {
+      e.permuter = key.first->factory(key.second);
+    } catch (...) {
+      // Deterministic configuration error (bad n for this fabric): no
+      // fallback exists, so it surfaces as an exception.
+      factory_error = std::current_exception();
+      return nullptr;
+    }
+  }
+
+  // Compile the route circuit once per (permuter, n, shard).  A compile
+  // failure is not terminal: the host routing path answers every request
+  // (counted degraded), and we don't retry -- the circuit is deterministic,
+  // so the next attempt would fail identically.
+  if (!e.runner && !e.compile_attempted) {
+    e.compile_attempted = true;
+    try {
+      e.runner = std::make_unique<netlist::BatchRunner>(e.permuter->build_route_circuit(),
+                                                        opts_.batch);
+      compiled_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard lk(engines_m_);
+      engine_infos_.push_back(EngineInfo{key.first->name, key.second, shard,
+                                         e.runner->backend()});
+    } catch (...) {
+      // swallowed: the host path serves alone
+    }
+  }
+  return &e;
+}
+
+void PermuteService::resolve_host(Engine& e, Request& r) {
+  try {
+    std::vector<std::size_t> wide(r.dest.begin(), r.dest.end());
+    const auto routed = e.permuter->route(wide);
+    if (!routed) {
+      unroutable_.fetch_add(1, std::memory_order_relaxed);
+      r.promise.set_value(PermuteResult{Status::Unroutable, {}});
+      return;
+    }
+    PermuteResult res{Status::Ok, {}};
+    res.output_source.assign(routed->begin(), routed->end());
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    r.promise.set_value(std::move(res));
+  } catch (...) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    r.promise.set_value(PermuteResult{Status::Failed, {}});
+  }
+}
+
+void PermuteService::process(std::size_t shard, const Key& key, std::vector<Request>& batch) {
+  ShardState& st = *states_[shard];
+  const auto formed = Clock::now();
+
+  // Cancel what already missed its deadline; collect the rest.
+  std::vector<Request*> live;
+  live.reserve(batch.size());
+  for (auto& r : batch) {
+    queue_wait_h_.record(us_between(r.enqueued, formed));
+    if (r.deadline <= formed) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      r.promise.set_value(PermuteResult{Status::Expired, {}});
+      continue;
+    }
+    live.push_back(&r);
+  }
+  if (live.empty()) return;
+
+  auto& c = exec_->counters(shard);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  c.batches.fetch_add(1, std::memory_order_relaxed);
+  c.lanes.fetch_add(live.size(), std::memory_order_relaxed);
+  batch_size_h_.record(live.size());
+
+  std::exception_ptr factory_error;
+  Engine* engine = ensure_engine(shard, key, factory_error);
+  if (!engine) {
+    failed_.fetch_add(live.size(), std::memory_order_relaxed);
+    for (auto* r : live) r->promise.set_exception(factory_error);
+    return;
+  }
+  Engine& e = *engine;
+
+  if (!e.runner) {
+    // No compiled engine: every request rides the host reference path.
+    for (auto* r : live) resolve_host(e, *r);
+    return;
+  }
+
+  // Encode each request into its lane block; blocked patterns resolve
+  // Unroutable right here, before any evaluation.
+  const std::size_t lanes_per = e.permuter->lanes_per_request();
+  std::vector<BitVec>& inputs = st.inputs;
+  std::vector<BitVec>& outputs = st.outputs;
+  inputs.resize(live.size() * lanes_per);
+  std::vector<Request*> evald;
+  evald.reserve(live.size());
+  for (auto* r : live) {
+    st.dest_tmp.assign(r->dest.begin(), r->dest.end());
+    const std::span<BitVec> lanes{inputs.data() + evald.size() * lanes_per, lanes_per};
+    if (!e.permuter->encode(st.dest_tmp, lanes)) {
+      unroutable_.fetch_add(1, std::memory_order_relaxed);
+      r->promise.set_value(PermuteResult{Status::Unroutable, {}});
+      continue;
+    }
+    evald.push_back(r);
+  }
+  if (evald.empty()) return;
+  inputs.resize(evald.size() * lanes_per);
+
+  outputs.resize(inputs.size());
+  const auto t0 = Clock::now();
+  bool eval_ok = false;
+  try {
+    e.runner->run(inputs, outputs);
+    eval_ok = true;
+  } catch (...) {
+    // The circuit path is an optimization: the host path still owns these.
+  }
+  eval_h_.record(us_between(t0, Clock::now()));
+  if (!eval_ok) {
+    for (auto* r : evald) resolve_host(e, *r);
+    return;
+  }
+
+  for (std::size_t k = 0; k < evald.size(); ++k) {
+    Request& r = *evald[k];
+    const std::span<const BitVec> lanes{outputs.data() + k * lanes_per, lanes_per};
+    e.permuter->decode(lanes, st.decoded_tmp);
+    if (opts_.self_check) {
+      // output_source[dest[i]] == i for all i is a complete oracle.
+      bool ok = st.decoded_tmp.size() == r.n;
+      for (std::size_t i = 0; ok && i < r.n; ++i) {
+        ok = st.decoded_tmp[r.dest[i]] == i;
+      }
+      if (!ok) {
+        self_check_failed_.fetch_add(1, std::memory_order_relaxed);
+        resolve_host(e, r);
+        continue;
+      }
+    }
+    PermuteResult res{Status::Ok, {}};
+    res.output_source.assign(st.decoded_tmp.begin(), st.decoded_tmp.end());
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    r.promise.set_value(std::move(res));
+  }
+}
+
+ServiceStats PermuteService::stats() const {
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.stopped = stopped_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.unroutable = unroutable_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.compiled = compiled_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.self_check_failed = self_check_failed_.load(std::memory_order_relaxed);
+  const auto jit = netlist::jit_counters();
+  s.jit_compiles = jit.compiles - jit_baseline_.compiles;
+  s.jit_cache_hits = jit.cache_hits - jit_baseline_.cache_hits;
+  s.jit_fallbacks = jit.fallbacks - jit_baseline_.fallbacks;
+  {
+    std::lock_guard lk(engines_m_);
+    s.engines = engine_infos_;
+  }
+  const std::size_t nsh = exec_->shard_count();
+  s.per_shard.reserve(nsh);
+  for (std::size_t i = 0; i < nsh; ++i) {
+    const auto& c = exec_->counters(i);
+    ShardStats ss;
+    ss.routed = c.routed.load(std::memory_order_relaxed);
+    ss.batches = c.batches.load(std::memory_order_relaxed);
+    ss.steals = c.steals.load(std::memory_order_relaxed);
+    ss.stolen_requests = c.stolen_requests.load(std::memory_order_relaxed);
+    ss.queue_depth = exec_->queue_depth(i);
+    const std::uint64_t lanes = c.lanes.load(std::memory_order_relaxed);
+    ss.lane_occupancy =
+        ss.batches == 0
+            ? 0.0
+            : static_cast<double>(lanes) /
+                  (static_cast<double>(ss.batches) * static_cast<double>(opts_.max_batch_lanes));
+    s.steals += ss.steals;
+    s.stolen_requests += ss.stolen_requests;
+    s.per_shard.push_back(ss);
+  }
+  s.batch_size = batch_size_h_.snapshot();
+  s.queue_wait_us = queue_wait_h_.snapshot();
+  s.eval_us = eval_h_.snapshot();
+  return s;
+}
+
+}  // namespace absort::service

@@ -1,0 +1,217 @@
+#pragma once
+// PermuteService: asynchronous, sharded micro-batching service for
+// permutation routing -- the second workload riding the ShardedExecutor
+// serving core that SortService extracted (sharded_executor.hpp).
+//
+// Producers submit(permuter_name, destination_permutation [, deadline]) and
+// get a std::future<PermuteResult>; requests route to a per-core executor by
+// the same affinity hash of (permuter, n), coalesce into micro-batches per
+// (permuter, n) key under the deadline-clipped linger budget, and spread
+// across cores by work stealing -- all policy identical to SortService
+// because it *is* the same executor.
+//
+// What is permute-specific:
+//   * the workload key is a permuters::RegistryEntry (networks/permuters.hpp)
+//     instead of a sorter;
+//   * each shard's engine cache compiles the permuter's route circuit into a
+//     netlist::BatchRunner once per (permuter, n, shard); a request occupies
+//     Permuter::lanes_per_request() lanes of the batch (lg n for the switch
+//     fabrics, 1 for the sorting permuter);
+//   * a pattern the fabric blocks on (omega on e.g. bit reversal) is
+//     answered Status::Unroutable before any evaluation -- a well-formed
+//     request whose answer is "this hardware cannot realize that", distinct
+//     from every failure mode;
+//   * the circuit path is an optimization, never a correctness dependency:
+//     if the engine fails to compile or an evaluation throws, the request is
+//     answered through the host routing algorithm (Permuter::route) and
+//     counted `degraded`; optional self_check verifies every decoded result
+//     against the submitted permutation (output_source[dest[i]] == i) and
+//     repairs mismatches the same way.
+//
+// Malformed submissions -- an unknown permuter name, a non-power-of-two n,
+// or a `dest` that is not a permutation (duplicate or out-of-range entries)
+// -- throw std::invalid_argument immediately; the future machinery is never
+// engaged for garbage.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "absort/netlist/batch_eval.hpp"
+#include "absort/netlist/native_engine.hpp"
+#include "absort/networks/permuters.hpp"
+#include "absort/service/service_stats.hpp"
+#include "absort/service/sharded_executor.hpp"
+#include "absort/service/status.hpp"
+#include "absort/util/bitvec.hpp"
+
+namespace absort::service {
+
+struct PermuteResult {
+  Status status = Status::Ok;
+  /// output_source[j] = the input whose packet the fabric routes to output
+  /// j (the inverse of the submitted dest); valid only when status == Ok.
+  std::vector<std::uint32_t> output_source;
+};
+
+struct PermuteOptions {
+  /// Per-core executors, affinity-routed by hash(permuter, n) % shards
+  /// (clamped to >= 1); see ServiceOptions::shards.
+  std::size_t shards = 1;
+
+  /// Work stealing threshold (0 disables); see ServiceOptions.
+  std::size_t steal_threshold = 4;
+
+  /// Pin shard dispatcher i to core i % hardware_concurrency (best effort).
+  bool pin_threads = false;
+
+  /// Bounded submission queue slots per shard (clamped to >= 1).
+  std::size_t queue_capacity = 4096;
+
+  /// Micro-batch cap in *requests*; a request occupies lanes_per_request()
+  /// engine lanes, so the engine sees up to lanes_per_request() times this
+  /// many vectors per pass.
+  std::size_t max_batch_lanes = netlist::kBlockLanes;
+
+  /// Straggler linger budget (0 disables); never past a request's deadline.
+  std::chrono::microseconds max_linger{200};
+
+  /// What submit() does when the target shard's queue is full.
+  enum class Overflow {
+    Block,   ///< wait for space (up to the request's deadline)
+    Reject,  ///< fail fast with Status::QueueFull
+  } overflow = Overflow::Block;
+
+  /// Knobs for the per-key route-circuit engines; with shards > 1 and
+  /// threads == 0 the constructor divides hardware_concurrency across
+  /// shards, exactly as SortService does.
+  netlist::BatchOptions batch{};
+
+  /// Verify every decoded result against the submitted permutation
+  /// (output_source[dest[i]] == i -- a complete oracle) and repair
+  /// mismatches through the host routing path (counted degraded +
+  /// self_check_failed).
+  bool self_check = false;
+};
+
+class PermuteService {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit PermuteService(PermuteOptions opts = {});
+  ~PermuteService();  ///< stop(): drain, answer, join
+
+  PermuteService(const PermuteService&) = delete;
+  PermuteService& operator=(const PermuteService&) = delete;
+
+  /// Submits one destination permutation to be routed by registry permuter
+  /// `permuter` at size dest.size().  Throws std::invalid_argument for an
+  /// unknown name (listing the registry), a size that is not a power of two
+  /// >= 2, or a `dest` that is not a permutation.  The future is always
+  /// eventually satisfied; a blocked pattern resolves Status::Unroutable.
+  [[nodiscard]] std::future<PermuteResult> submit(
+      std::string_view permuter, std::vector<std::uint32_t> dest,
+      Clock::time_point deadline = Clock::time_point::max());
+
+  /// Blocking convenience: submit and wait.
+  [[nodiscard]] PermuteResult permute(std::string_view permuter,
+                                      std::vector<std::uint32_t> dest);
+
+  /// Drain-then-stop; idempotent, safe from any thread.
+  void stop();
+
+  /// Lifetime counters + histograms so far (ServiceStats reused; the
+  /// sorting-only ladder counters stay 0 and `unroutable` is live).
+  [[nodiscard]] ServiceStats stats() const;
+
+  [[nodiscard]] const PermuteOptions& options() const noexcept { return opts_; }
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return exec_->shard_count(); }
+
+  /// The shard the affinity hash routes (permuter, n) to -- observability
+  /// and test hooks.  Unknown permuter names throw like submit().
+  [[nodiscard]] std::size_t shard_of(std::string_view permuter, std::size_t n) const;
+
+ private:
+  /// Coalescing key: registry entry (stable static storage) + fabric size.
+  using Key = std::pair<const permuters::RegistryEntry*, std::size_t>;
+
+  struct Request {
+    const permuters::RegistryEntry* entry;
+    std::size_t n;
+    std::vector<std::uint32_t> dest;
+    std::promise<PermuteResult> promise;
+    Clock::time_point deadline;
+    Clock::time_point enqueued{};  ///< stamped by the executor at admission
+
+    [[nodiscard]] Key key() const noexcept { return Key{entry, n}; }
+  };
+
+  using Executor = ShardedExecutor<Key, Request>;
+
+  /// A cached per-(permuter, n, shard) engine: the fabric instance (host
+  /// routing + encode/decode) and its compiled route-circuit runner (null
+  /// when compilation failed -- the host path then serves alone, degraded).
+  struct Engine {
+    std::unique_ptr<permuters::Permuter> permuter;
+    std::unique_ptr<netlist::BatchRunner> runner;
+    bool compile_attempted = false;
+  };
+
+  /// Dispatcher-owned per-shard state: engine cache + staging buffers.
+  struct ShardState {
+    std::map<Key, Engine> engines;
+    std::vector<BitVec> inputs;            ///< encode staging, reused
+    std::vector<BitVec> outputs;           ///< decode staging, reused
+    std::vector<std::size_t> dest_tmp;     ///< u32 -> size_t widening scratch
+    std::vector<std::size_t> decoded_tmp;  ///< decode scratch
+  };
+
+  void process(std::size_t shard, const Key& key, std::vector<Request>& batch);
+  Engine* ensure_engine(std::size_t shard, const Key& key, std::exception_ptr& factory_error);
+  /// Answers one request through the host routing algorithm (the trusted
+  /// reference path); counts degraded.
+  void resolve_host(Engine& e, Request& r);
+  [[nodiscard]] std::size_t route(const Key& key) const noexcept;
+
+  PermuteOptions opts_;
+
+  std::vector<std::unique_ptr<ShardState>> states_;
+
+  /// Every engine compile (permuter, n, shard, resolved backend); cold-path
+  /// mutex (once per compile and per stats() call).
+  mutable std::mutex engines_m_;
+  std::vector<EngineInfo> engine_infos_;
+
+  /// Process-wide netlist::jit_counters() at construction (stats() reports
+  /// deltas, as in SortService).
+  netlist::JitCounters jit_baseline_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> stopped_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> unroutable_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> compiled_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> self_check_failed_{0};
+  Histogram batch_size_h_;
+  Histogram queue_wait_h_;
+  Histogram eval_h_;
+
+  /// Constructed last (after every member its process callback touches);
+  /// declared last so it stops first on destruction.
+  std::unique_ptr<Executor> exec_;
+};
+
+}  // namespace absort::service

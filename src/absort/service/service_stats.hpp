@@ -92,6 +92,7 @@ struct ServiceStats {
   std::uint64_t expired = 0;       ///< deadline-cancelled requests
   std::uint64_t stopped = 0;       ///< requests refused after stop()
   std::uint64_t failed = 0;        ///< requests failed with an exception
+  std::uint64_t unroutable = 0;    ///< patterns the fabric blocks on (PermuteService only)
   std::uint64_t batches = 0;       ///< micro-batches formed
   std::uint64_t compiled = 0;      ///< (sorter, n) engines compiled (cache misses, per shard)
 
@@ -118,6 +119,7 @@ struct ServiceStats {
   // rejections are first-class telemetry next to the queue's own.
   std::uint64_t shedded = 0;               ///< requests answered Shedded (admission / in-flight cap / QueueFull)
   std::uint64_t decode_errors = 0;         ///< malformed request frames (connection then closed)
+  std::uint64_t duplicate_ids = 0;         ///< frames rejected for reusing an in-flight id on their connection
   std::uint64_t connections_accepted = 0;  ///< TCP connections accepted
   std::uint64_t connections_dropped = 0;   ///< TCP connections refused at the connection cap
   std::uint64_t bytes_in = 0;              ///< wire bytes read from clients

@@ -3,11 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 #include <string>
-
-#if defined(__linux__) && defined(__GLIBC__)
-#include <pthread.h>
-#include <sched.h>
-#endif
+#include <thread>
 
 #include "absort/netlist/transform.hpp"
 #include "absort/service/fault_injection.hpp"
@@ -21,56 +17,7 @@ std::uint64_t us_between(SortService::Clock::time_point a, SortService::Clock::t
   return d > 0 ? static_cast<std::uint64_t>(d) : 0;
 }
 
-/// How often an empty shard re-scans siblings for steal opportunities while
-/// at least one of them is backlogged.  Idle shards with no backlogged
-/// sibling do a plain (poll-free) cv wait instead.
-constexpr std::chrono::microseconds kStealPoll{100};
-
-/// splitmix64 finalizer: full-avalanche mix for the affinity hash.
-constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
-  x += 0x9E3779B97F4A7C15ULL;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
-}
-
-/// FNV-1a over the sorter name so routing is stable across runs (a pointer
-/// hash would reshuffle shards with every ASLR draw).
-std::uint64_t hash_key(std::string_view name, std::size_t n) noexcept {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
-  for (const char ch : name) {
-    h ^= static_cast<std::uint8_t>(ch);
-    h *= 0x100000001B3ULL;
-  }
-  return mix64(h ^ (static_cast<std::uint64_t>(n) * 0x9E3779B97F4A7C15ULL));
-}
-
-/// Best-effort dispatcher pinning; a no-op where pthread_setaffinity_np is
-/// unavailable or the process affinity mask forbids the core.
-void pin_to_core(std::size_t index) {
-#if defined(__linux__) && defined(__GLIBC__)
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  cpu_set_t set;
-  CPU_ZERO(&set);
-  CPU_SET(static_cast<int>(index % hw), &set);
-  (void)pthread_setaffinity_np(pthread_self(), sizeof set, &set);
-#else
-  (void)index;
-#endif
-}
-
 }  // namespace
-
-const char* to_string(Status s) {
-  switch (s) {
-    case Status::Ok: return "ok";
-    case Status::QueueFull: return "queue-full";
-    case Status::Expired: return "expired";
-    case Status::Stopped: return "stopped";
-    case Status::Failed: return "failed";
-  }
-  return "?";
-}
 
 SortService::SortService(ServiceOptions opts) : opts_(std::move(opts)) {
   opts_.shards = std::max<std::size_t>(1, opts_.shards);
@@ -89,39 +36,34 @@ SortService::SortService(ServiceOptions opts) : opts_(std::move(opts)) {
   }
   jit_baseline_ = netlist::jit_counters();
 
-  shards_.reserve(opts_.shards);
+  states_.reserve(opts_.shards);
   for (std::size_t i = 0; i < opts_.shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(i));
+    states_.push_back(std::make_unique<ShardState>());
   }
-  // Dispatchers start only after every shard exists: thieves scan shards_.
-  for (auto& sh : shards_) {
-    Shard* p = sh.get();
-    p->dispatcher = std::thread([this, p] { dispatch_loop(*p); });
-  }
+
+  ExecutorOptions eo;
+  eo.shards = opts_.shards;
+  eo.steal_threshold = opts_.steal_threshold;
+  eo.pin_threads = opts_.pin_threads;
+  eo.queue_capacity = opts_.queue_capacity;
+  eo.max_batch_lanes = opts_.max_batch_lanes;
+  eo.max_linger = opts_.max_linger;
+  eo.overflow = opts_.overflow == ServiceOptions::Overflow::Reject
+                    ? ExecutorOptions::Overflow::Reject
+                    : ExecutorOptions::Overflow::Block;
+  exec_ = std::make_unique<Executor>(
+      eo, [this](std::size_t shard, const Key& key, std::vector<Request>& batch) {
+        process(shard, key, batch);
+      });
 }
 
 SortService::~SortService() { stop(); }
 
-void SortService::stop() {
-  for (auto& sh : shards_) {
-    {
-      std::lock_guard lk(sh->m);
-      sh->stopping = true;
-    }
-    sh->cv_work.notify_all();
-    sh->cv_space.notify_all();
-  }
-  // call_once also blocks late callers until the join completes, so stop()
-  // has returned-means-drained semantics for every caller.  A thief holding
-  // a stolen batch answers it before seeing stopping, so joins cover steals
-  // in flight.
-  std::call_once(join_once_, [this] {
-    for (auto& sh : shards_) sh->dispatcher.join();
-  });
-}
+void SortService::stop() { exec_->stop(); }
 
 std::size_t SortService::route(const Key& key) const noexcept {
-  return static_cast<std::size_t>(hash_key(key.first->name, key.second) % shards_.size());
+  return static_cast<std::size_t>(hash_name_n(key.first->name, key.second) %
+                                  exec_->shard_count());
 }
 
 std::size_t SortService::shard_of(std::string_view sorter, std::size_t n) const {
@@ -140,52 +82,25 @@ std::future<SortResult> SortService::submit(std::string_view sorter, BitVec inpu
     throw std::invalid_argument("SortService: unknown sorter '" + std::string(sorter) +
                                 "'; available: " + sorters::sorter_names());
   }
-  std::promise<SortResult> promise;
-  auto future = promise.get_future();
-  const auto reject = [&](Status s, std::atomic<std::uint64_t>& counter) {
-    counter.fetch_add(1, std::memory_order_relaxed);
-    promise.set_value(SortResult{s, {}});
-    return std::move(future);
-  };
+  Request req{entry, input.size(), std::move(input), std::promise<SortResult>{}, deadline, {}};
+  auto future = req.promise.get_future();
 
-  const Key key{entry, input.size()};
-  const std::size_t idx = route(key);
-  Shard& sh = *shards_[idx];
-
-  std::unique_lock lk(sh.m);
-  if (sh.stopping) return reject(Status::Stopped, stopped_);
-  if (sh.queue.size() >= opts_.queue_capacity) {
-    if (opts_.overflow == ServiceOptions::Overflow::Reject) {
-      return reject(Status::QueueFull, rejected_);
-    }
-    // Block policy: wait for a slot on this shard, but never past the
-    // request's deadline.  (An unbounded deadline waits plainly: wait_until
-    // at time_point::max() can overflow inside the standard library and time
-    // out immediately.)
-    const auto have_slot = [&] { return sh.stopping || sh.queue.size() < opts_.queue_capacity; };
-    bool got_slot = true;
-    if (deadline == Clock::time_point::max()) {
-      sh.cv_space.wait(lk, have_slot);
-    } else {
-      got_slot = sh.cv_space.wait_until(lk, deadline, have_slot);
-    }
-    if (sh.stopping) return reject(Status::Stopped, stopped_);
-    if (!got_slot) return reject(Status::Expired, expired_);
-  }
-  const auto now = Clock::now();
-  sh.queue.push_back(Request{entry, input.size(), std::move(input), std::move(promise), deadline,
-                             now});
-  const std::size_t depth = sh.queue.size();
-  sh.depth.store(depth, std::memory_order_relaxed);
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  sh.c.routed.fetch_add(1, std::memory_order_relaxed);
-  lk.unlock();
-  sh.cv_work.notify_one();
-  // Backlogged: poke one round-robin sibling so an idle shard starts its
-  // steal scan instead of sleeping through the imbalance.
-  if (opts_.steal_threshold > 0 && shards_.size() > 1 && depth >= opts_.steal_threshold) {
-    const std::size_t t = next_poke_.fetch_add(1, std::memory_order_relaxed) % (shards_.size() - 1);
-    shards_[(idx + 1 + t) % shards_.size()]->cv_work.notify_one();
+  switch (exec_->submit(route(req.key()), req)) {
+    case Admit::Accepted:
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Admit::QueueFull:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      req.promise.set_value(SortResult{Status::QueueFull, {}});
+      break;
+    case Admit::Expired:
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      req.promise.set_value(SortResult{Status::Expired, {}});
+      break;
+    case Admit::Stopped:
+      stopped_.fetch_add(1, std::memory_order_relaxed);
+      req.promise.set_value(SortResult{Status::Stopped, {}});
+      break;
   }
   return future;
 }
@@ -194,107 +109,11 @@ SortResult SortService::sort(std::string_view sorter, BitVec input) {
   return submit(sorter, std::move(input)).get();
 }
 
-void SortService::take_matching(Shard& sh, const Key& key, std::vector<Request>& batch) {
-  for (auto it = sh.queue.begin();
-       it != sh.queue.end() && batch.size() < opts_.max_batch_lanes;) {
-    if (it->entry == key.first && it->n == key.second) {
-      batch.push_back(std::move(*it));
-      it = sh.queue.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  sh.depth.store(sh.queue.size(), std::memory_order_relaxed);
-}
-
-bool SortService::sibling_backlogged(const Shard& self) const {
-  for (const auto& sh : shards_) {
-    if (sh.get() == &self) continue;
-    if (sh->depth.load(std::memory_order_relaxed) >= opts_.steal_threshold) return true;
-  }
-  return false;
-}
-
-bool SortService::try_steal(Shard& thief, Key& key, std::vector<Request>& batch) {
-  const std::size_t nsh = shards_.size();
-  for (std::size_t off = 1; off < nsh; ++off) {
-    Shard& victim = *shards_[(thief.index + off) % nsh];
-    // Cheap pre-check on the lock-free depth mirror; confirmed under the
-    // victim's lock (another thief, or the victim itself, may have drained
-    // it in between).  Only the victim's lock is ever held, so steals can
-    // never deadlock against submits, dispatch, or other steals.
-    if (victim.depth.load(std::memory_order_relaxed) < opts_.steal_threshold) continue;
-    std::unique_lock lk(victim.m);
-    if (victim.queue.size() < opts_.steal_threshold || victim.queue.empty()) continue;
-    key = Key{victim.queue.front().entry, victim.queue.front().n};
-    take_matching(victim, key, batch);
-    lk.unlock();
-    victim.cv_space.notify_all();  // extraction freed the victim's slots
-    thief.c.steals.fetch_add(1, std::memory_order_relaxed);
-    thief.c.stolen_requests.fetch_add(batch.size(), std::memory_order_relaxed);
-    return true;
-  }
-  return false;
-}
-
-void SortService::dispatch_loop(Shard& sh) {
-  if (opts_.pin_threads) pin_to_core(sh.index);
-  std::vector<Request> batch;
-  std::vector<BitVec> inputs;   // reused across micro-batches (per-shard arena)
-  std::vector<BitVec> outputs;  // reused across micro-batches (per-shard arena)
-  const bool can_steal = opts_.steal_threshold > 0 && shards_.size() > 1;
-  for (;;) {
-    batch.clear();
-    Key key{};
-    bool stolen = false;
-    {
-      std::unique_lock lk(sh.m);
-      for (;;) {
-        if (!sh.queue.empty()) break;
-        if (sh.stopping) return;  // own queue drained; siblings drain their own
-        if (can_steal && sibling_backlogged(sh)) {
-          lk.unlock();
-          if (try_steal(sh, key, batch)) {
-            stolen = true;
-            break;
-          }
-          lk.lock();
-          // The backlog vanished between the scan and the lock (victim or
-          // another thief drained it): poll briefly while any sibling still
-          // looks backlogged, then fall back to the plain wait above.
-          if (sh.queue.empty() && !sh.stopping) sh.cv_work.wait_for(lk, kStealPoll);
-        } else {
-          sh.cv_work.wait(lk);
-        }
-      }
-      if (!stolen) {
-        key = Key{sh.queue.front().entry, sh.queue.front().n};
-        take_matching(sh, key, batch);
-        // Linger for same-key stragglers: worth one pass through the engine
-        // only if the batch is not already full.  The budget is anchored at
-        // the oldest request's enqueue time (so a request never waits more
-        // than max_linger total) and clipped to the earliest deadline in the
-        // batch.  Skipped entirely while draining.
-        if (!sh.stopping && opts_.max_linger.count() > 0 &&
-            batch.size() < opts_.max_batch_lanes) {
-          auto until = batch.front().enqueued + opts_.max_linger;
-          for (const auto& r : batch) until = std::min(until, r.deadline);
-          while (!sh.stopping && batch.size() < opts_.max_batch_lanes) {
-            if (sh.cv_work.wait_until(lk, until) == std::cv_status::timeout) break;
-            take_matching(sh, key, batch);
-          }
-        }
-      }
-    }
-    if (!stolen) sh.cv_space.notify_all();  // extraction freed queue slots
-    process(sh, key, batch, inputs, outputs);
-  }
-}
-
-SortService::Engine* SortService::ensure_engine(Shard& sh, const Key& key,
+SortService::Engine* SortService::ensure_engine(std::size_t shard, const Key& key,
                                                 std::exception_ptr& factory_error) {
-  auto it = sh.engines.find(key);
-  if (it == sh.engines.end()) it = sh.engines.emplace(key, Engine{}).first;
+  auto& engines = states_[shard]->engines;
+  auto it = engines.find(key);
+  if (it == engines.end()) it = engines.emplace(key, Engine{}).first;
   Engine& e = it->second;
 
   if (!e.sorter) {
@@ -356,7 +175,7 @@ SortService::Engine* SortService::ensure_engine(Shard& sh, const Key& key,
       compiled_.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard lk(engines_m_);
       engine_infos_.push_back(
-          EngineInfo{key.first->name, key.second, sh.index, e.batch->backend()});
+          EngineInfo{key.first->name, key.second, shard, e.batch->backend()});
     } else {
       std::lock_guard lk(ladder_m_);
       Ladder& L = ladder_[key];
@@ -396,8 +215,10 @@ BitVec SortService::per_vector(Engine& e, const BitVec& in) {
   return e.sorter->sort(in);
 }
 
-void SortService::process(Shard& sh, const Key& key, std::vector<Request>& batch,
-                          std::vector<BitVec>& inputs, std::vector<BitVec>& outputs) {
+void SortService::process(std::size_t shard, const Key& key, std::vector<Request>& batch) {
+  ShardState& st = *states_[shard];
+  std::vector<BitVec>& inputs = st.inputs;
+  std::vector<BitVec>& outputs = st.outputs;
   const auto formed = Clock::now();
   // Cancel what already missed its deadline; collect the rest.
   inputs.clear();
@@ -416,7 +237,7 @@ void SortService::process(Shard& sh, const Key& key, std::vector<Request>& batch
   if (live.empty()) return;
 
   std::exception_ptr factory_error;
-  Engine* engine = ensure_engine(sh, key, factory_error);
+  Engine* engine = ensure_engine(shard, key, factory_error);
   if (!engine) {
     failed_.fetch_add(live.size(), std::memory_order_relaxed);
     for (auto* r : live) r->promise.set_exception(factory_error);
@@ -498,9 +319,10 @@ void SortService::process(Shard& sh, const Key& key, std::vector<Request>& batch
     for (std::size_t i = 0; i < live.size(); ++i) repair(i);
   }
 
+  auto& c = exec_->counters(shard);
   batches_.fetch_add(1, std::memory_order_relaxed);
-  sh.c.batches.fetch_add(1, std::memory_order_relaxed);
-  sh.c.lanes.fetch_add(live.size(), std::memory_order_relaxed);
+  c.batches.fetch_add(1, std::memory_order_relaxed);
+  c.lanes.fetch_add(live.size(), std::memory_order_relaxed);
   batch_size_h_.record(live.size());
   degraded_.fetch_add(degraded, std::memory_order_relaxed);
   for (std::size_t i = 0; i < live.size(); ++i) {
@@ -537,15 +359,17 @@ ServiceStats SortService::stats() const {
     std::lock_guard lk(engines_m_);
     s.engines = engine_infos_;
   }
-  s.per_shard.reserve(shards_.size());
-  for (const auto& sh : shards_) {
+  const std::size_t nsh = exec_->shard_count();
+  s.per_shard.reserve(nsh);
+  for (std::size_t i = 0; i < nsh; ++i) {
+    const auto& c = exec_->counters(i);
     ShardStats ss;
-    ss.routed = sh->c.routed.load(std::memory_order_relaxed);
-    ss.batches = sh->c.batches.load(std::memory_order_relaxed);
-    ss.steals = sh->c.steals.load(std::memory_order_relaxed);
-    ss.stolen_requests = sh->c.stolen_requests.load(std::memory_order_relaxed);
-    ss.queue_depth = sh->depth.load(std::memory_order_relaxed);
-    const std::uint64_t lanes = sh->c.lanes.load(std::memory_order_relaxed);
+    ss.routed = c.routed.load(std::memory_order_relaxed);
+    ss.batches = c.batches.load(std::memory_order_relaxed);
+    ss.steals = c.steals.load(std::memory_order_relaxed);
+    ss.stolen_requests = c.stolen_requests.load(std::memory_order_relaxed);
+    ss.queue_depth = exec_->queue_depth(i);
+    const std::uint64_t lanes = c.lanes.load(std::memory_order_relaxed);
     ss.lane_occupancy =
         ss.batches == 0
             ? 0.0

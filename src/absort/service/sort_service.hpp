@@ -32,6 +32,11 @@
 //   * stop() drains every shard's queue, answers everything in flight, then
 //     joins the dispatchers; later submits fail fast with Status::Stopped.
 //
+// The queue/shard/steal machinery itself is the workload-agnostic
+// ShardedExecutor<Key, Request> (sharded_executor.hpp), shared with
+// PermuteService; this class owns what is sorting-specific -- the registry
+// lookup, the compiled-engine cache, and the degradation ladder below.
+//
 // The batch engine is treated as an optimization, never a correctness
 // dependency.  A degradation ladder guards it: engine compilation retries
 // with capped exponential backoff; persistently failing engines are
@@ -51,42 +56,29 @@
 // service_stats.hpp.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
-#include <thread>
 #include <utility>
 #include <vector>
-
-#include <optional>
 
 #include "absort/netlist/batch_eval.hpp"
 #include "absort/netlist/levelized.hpp"
 #include "absort/netlist/native_engine.hpp"
 #include "absort/service/service_stats.hpp"
+#include "absort/service/sharded_executor.hpp"
+#include "absort/service/status.hpp"
 #include "absort/sorters/registry.hpp"
 #include "absort/util/bitvec.hpp"
 
 namespace absort::service {
 
 class FaultPlan;  // fault_injection.hpp; only chaos installers need it
-
-/// Terminal state of one request.
-enum class Status {
-  Ok,         ///< sorted; SortResult::output holds the result
-  QueueFull,  ///< rejected: queue at capacity under the Reject policy
-  Expired,    ///< cancelled: deadline passed before evaluation
-  Stopped,    ///< rejected: submitted after stop()
-  Failed,     ///< unrecoverable: every degradation rung failed for this request
-};
-
-[[nodiscard]] const char* to_string(Status s);
 
 struct SortResult {
   Status status = Status::Ok;
@@ -210,7 +202,7 @@ class SortService {
   [[nodiscard]] const ServiceOptions& options() const noexcept { return opts_; }
 
   /// Number of per-core executors (>= 1).
-  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] std::size_t shard_count() const noexcept { return exec_->shard_count(); }
 
   /// The shard the affinity hash routes (sorter, n) to -- observability and
   /// test hooks.  Unknown sorter names throw like submit().
@@ -226,8 +218,12 @@ class SortService {
     BitVec input;
     std::promise<SortResult> promise;
     Clock::time_point deadline;
-    Clock::time_point enqueued;
+    Clock::time_point enqueued{};  ///< stamped by the executor at admission
+
+    [[nodiscard]] Key key() const noexcept { return Key{entry, n}; }
   };
+
+  using Executor = ShardedExecutor<Key, Request>;
 
   /// A cached per-(sorter, n, shard) engine: the sorter instance (the
   /// fallback engine references it), its compiled BatchSorter, plus the
@@ -249,55 +245,24 @@ class SortService {
     std::size_t parole = 0;    ///< quarantined batches left before re-trying
   };
 
-  /// Per-shard counters (relaxed atomics; snapshotted by stats()).
-  struct ShardCounters {
-    std::atomic<std::uint64_t> routed{0};           ///< requests the hash sent here
-    std::atomic<std::uint64_t> batches{0};          ///< micro-batches evaluated here
-    std::atomic<std::uint64_t> lanes{0};            ///< live lanes across those batches
-    std::atomic<std::uint64_t> steals{0};           ///< batches stolen from siblings
-    std::atomic<std::uint64_t> stolen_requests{0};  ///< requests inside those batches
+  /// Dispatcher-owned per-shard state: the compiled-engine cache plus the
+  /// pack/unpack staging buffers (the per-shard arena).  Touched only by
+  /// that shard's dispatcher thread -- the hot path never shares cache
+  /// lines with another shard.
+  struct ShardState {
+    std::map<Key, Engine> engines;
+    std::vector<BitVec> inputs;   ///< reused across micro-batches
+    std::vector<BitVec> outputs;  ///< reused across micro-batches
   };
 
-  /// One per-core executor.  The dispatcher thread owns `engines` and the
-  /// staging buffers in dispatch_loop (the per-shard arena): lane packing
-  /// and unpacking always run on this shard's engines' scratch, so the hot
-  /// path never shares cache lines with another shard.
-  struct Shard {
-    explicit Shard(std::size_t i) : index(i) {}
-
-    const std::size_t index;
-    mutable std::mutex m;
-    std::condition_variable cv_work;   ///< queue became non-empty / stopping
-    std::condition_variable cv_space;  ///< queue freed a slot / stopping
-    std::deque<Request> queue;
-    bool stopping = false;
-    /// queue.size() mirror so steal scans never touch a sibling's mutex
-    /// until a steal actually looks worthwhile.
-    std::atomic<std::size_t> depth{0};
-
-    std::map<Key, Engine> engines;  ///< dispatcher-only (no lock needed)
-    ShardCounters c;
-    std::thread dispatcher;  ///< started last; everything above is ready first
-  };
-
-  void dispatch_loop(Shard& sh);
-  /// Moves up to the batch-size cap of key-matching requests out of `sh`'s
-  /// queue (caller holds sh.m).
-  void take_matching(Shard& sh, const Key& key, std::vector<Request>& batch);
-  /// Attempts to steal one micro-batch from a sibling over the steal
-  /// threshold (thief holds no locks; the victim's lock is taken alone, so
-  /// steals can never deadlock with submits or other steals).
-  bool try_steal(Shard& thief, Key& key, std::vector<Request>& batch);
-  /// Any sibling of `self` at or past the steal threshold?
-  [[nodiscard]] bool sibling_backlogged(const Shard& self) const;
-  /// Expires, evaluates, and answers one formed micro-batch (no lock held).
-  void process(Shard& sh, const Key& key, std::vector<Request>& batch,
-               std::vector<BitVec>& inputs, std::vector<BitVec>& outputs);
+  /// Expires, evaluates, and answers one formed micro-batch (executor
+  /// process callback; runs on shard `shard`'s dispatcher thread).
+  void process(std::size_t shard, const Key& key, std::vector<Request>& batch);
   /// Compiles the key's engine on first sight on this shard, retrying with
   /// capped exponential backoff and quarantining (globally) on persistent
   /// failure; returns null only when the sorter factory itself threw
   /// (`factory_error` set).
-  Engine* ensure_engine(Shard& sh, const Key& key, std::exception_ptr& factory_error);
+  Engine* ensure_engine(std::size_t shard, const Key& key, std::exception_ptr& factory_error);
   /// One engine misbehaviour; quarantines the key (on every shard) at
   /// quarantine_after accumulated strikes.
   void strike(Engine& e, const Key& key);
@@ -308,8 +273,7 @@ class SortService {
 
   ServiceOptions opts_;
 
-  std::vector<std::unique_ptr<Shard>> shards_;
-  std::atomic<std::size_t> next_poke_{0};  ///< round-robin thief wakeups
+  std::vector<std::unique_ptr<ShardState>> states_;
 
   /// Ladder state shared by all shards; its mutex is cold-path only (taken
   /// once per micro-batch, never per request).
@@ -343,7 +307,9 @@ class SortService {
   Histogram queue_wait_h_;
   Histogram eval_h_;
 
-  std::once_flag join_once_;
+  /// Constructed last (after every member its process callback touches);
+  /// declared last so it stops first on destruction.
+  std::unique_ptr<Executor> exec_;
 };
 
 }  // namespace absort::service

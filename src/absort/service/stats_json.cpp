@@ -49,6 +49,7 @@ std::string stats_json(const ServiceStats& s) {
   counter("expired", s.expired);
   counter("stopped", s.stopped);
   counter("failed", s.failed);
+  counter("unroutable", s.unroutable);
   counter("batches", s.batches);
   counter("compiled", s.compiled);
   counter("jit_compiles", s.jit_compiles);
@@ -63,6 +64,7 @@ std::string stats_json(const ServiceStats& s) {
   counter("unrecoverable", s.unrecoverable);
   counter("shedded", s.shedded);
   counter("decode_errors", s.decode_errors);
+  counter("duplicate_ids", s.duplicate_ids);
   counter("connections_accepted", s.connections_accepted);
   counter("connections_dropped", s.connections_dropped);
   counter("bytes_in", s.bytes_in);

@@ -1,0 +1,31 @@
+#pragma once
+// Terminal request status shared by every serving endpoint (SortService,
+// PermuteService).  One enum -- and one to_string -- so the CLI, the edge
+// protocol's status mapping, and the tests never drift between workloads.
+
+namespace absort::service {
+
+/// Terminal state of one request.
+enum class Status {
+  Ok,          ///< evaluated; the result payload is valid
+  QueueFull,   ///< rejected: queue at capacity under the Reject policy
+  Expired,     ///< cancelled: deadline passed before evaluation
+  Stopped,     ///< rejected: submitted after stop()
+  Failed,      ///< unrecoverable: every degradation rung failed for this request
+  Unroutable,  ///< well-formed but unrealizable on this fabric (e.g. a
+               ///< permutation an omega network blocks on)
+};
+
+[[nodiscard]] constexpr const char* to_string(Status s) {
+  switch (s) {
+    case Status::Ok: return "ok";
+    case Status::QueueFull: return "queue-full";
+    case Status::Expired: return "expired";
+    case Status::Stopped: return "stopped";
+    case Status::Failed: return "failed";
+    case Status::Unroutable: return "unroutable";
+  }
+  return "?";
+}
+
+}  // namespace absort::service

@@ -197,6 +197,11 @@ class OpNetworkSorter : public BinarySorter {
   /// Maximum number of comparators on any lane's path (= unit depth).
   [[nodiscard]] std::size_t comparator_depth() const;
 
+  /// The straight-line program itself -- clients lowering the network into
+  /// other representations (e.g. the word-comparator route circuit of
+  /// networks/permuters.cpp) replay these ops verbatim.
+  [[nodiscard]] const std::vector<Op>& ops() const noexcept { return ops_; }
+
  protected:
   std::vector<Op> ops_;
 };

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "absort/edge/frame.hpp"
+#include "absort/networks/permuters.hpp"
 #include "absort/sorters/registry.hpp"
 #include "absort/util/rng.hpp"
 
@@ -56,6 +57,24 @@ Request sort_request(std::string sorter, BitVec input, std::uint64_t id = 7,
   return r;
 }
 
+Request permute_request(std::string permuter, std::vector<std::uint16_t> dest,
+                        std::uint64_t id = 7, std::uint32_t deadline_us = 1234) {
+  Request r;
+  r.type = MessageType::Permute;
+  r.id = id;
+  r.deadline_us = deadline_us;
+  r.sorter = std::move(permuter);
+  r.dest = std::move(dest);
+  return r;
+}
+
+std::vector<std::uint16_t> random_dest(Xoshiro256& rng, std::size_t n) {
+  const auto perm = workload::random_permutation(rng, n);
+  std::vector<std::uint16_t> dest(n);
+  for (std::size_t i = 0; i < n; ++i) dest[i] = static_cast<std::uint16_t>(perm[i]);
+  return dest;
+}
+
 // ---------------------------------------------------------------- round trip
 
 TEST(EdgeFrame, RequestRoundTripsAllSortersRaggedN) {
@@ -83,7 +102,8 @@ TEST(EdgeFrame, RequestRoundTripsAllSortersRaggedN) {
 TEST(EdgeFrame, ResponseRoundTripsEveryStatus) {
   ABSORT_SEEDED_RNG(rng, 102);
   for (const auto status : {WireStatus::Ok, WireStatus::Shedded, WireStatus::Expired,
-                            WireStatus::Failed, WireStatus::BadRequest, WireStatus::Stopped}) {
+                            WireStatus::Failed, WireStatus::BadRequest, WireStatus::Stopped,
+                            WireStatus::Unroutable}) {
     Response r;
     r.type = MessageType::Sort;
     r.id = 0xDEADBEEFCAFEF00Dull;
@@ -119,6 +139,52 @@ TEST(EdgeFrame, StatsRoundTrip) {
   Response rgot;
   ASSERT_EQ(edge::decode_response(rbytes, rgot).error, DecodeError::None);
   EXPECT_EQ(rgot.stats_json, resp.stats_json);
+}
+
+TEST(EdgeFrame, PermuteRequestRoundTripsAllPermuters) {
+  ABSORT_SEEDED_RNG(rng, 113);
+  std::uint64_t id = 1;
+  for (const auto& e : permuters::registry()) {
+    for (const std::size_t n : {2, 4, 8, 16, 64, 256}) {
+      const auto req = permute_request(e.name, random_dest(rng, n), id,
+                                       static_cast<std::uint32_t>(rng.below(1u << 30)));
+      const auto bytes = encode(req);
+      Request got;
+      const auto res = edge::decode_request(bytes, got);
+      ASSERT_EQ(res.error, DecodeError::None) << e.name << " n=" << n;
+      EXPECT_EQ(res.consumed, bytes.size());
+      EXPECT_EQ(got.type, MessageType::Permute);
+      EXPECT_EQ(got.id, req.id);
+      EXPECT_EQ(got.deadline_us, req.deadline_us);
+      EXPECT_EQ(got.sorter, req.sorter);
+      EXPECT_EQ(got.dest, req.dest) << e.name << " n=" << n;
+      ++id;
+    }
+  }
+}
+
+TEST(EdgeFrame, PermuteResponseRoundTripsOkAndUnroutable) {
+  ABSORT_SEEDED_RNG(rng, 114);
+  Response r;
+  r.type = MessageType::Permute;
+  r.id = 99;
+  r.status = WireStatus::Ok;
+  r.output_source = random_dest(rng, 32);
+  const auto bytes = encode(r);
+  Response got;
+  ASSERT_EQ(edge::decode_response(bytes, got).error, DecodeError::None);
+  EXPECT_EQ(got.type, MessageType::Permute);
+  EXPECT_EQ(got.output_source, r.output_source);
+
+  Response blocked;
+  blocked.type = MessageType::Permute;
+  blocked.id = 100;
+  blocked.status = WireStatus::Unroutable;
+  const auto bbytes = encode(blocked);
+  Response bgot;
+  ASSERT_EQ(edge::decode_response(bbytes, bgot).error, DecodeError::None);
+  EXPECT_EQ(bgot.status, WireStatus::Unroutable);
+  EXPECT_TRUE(bgot.output_source.empty());
 }
 
 TEST(EdgeFrame, BackToBackFramesDecodeInOrder) {
@@ -196,6 +262,59 @@ TEST(EdgeFrame, OversizedNRejected) {
   for (int i = 0; i < 4; ++i) bytes[n_at + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(bad_n >> (8 * i));
   Request got;
   EXPECT_EQ(edge::decode_request(bytes, got).error, DecodeError::Oversized);
+}
+
+TEST(EdgeFrame, ZeroNSortIsEmptyPayloadNotOversized) {
+  ABSORT_SEEDED_RNG(rng, 115);
+  auto bytes = encode(sort_request("prefix", workload::random_bits(rng, 24)));
+  // Same n-field offset as above; n = 0 is a well-framed request with
+  // nothing to sort -- the precise verdict is EmptyPayload, not Oversized
+  // (nothing about it is too big) and not BadLength (n is read before the
+  // payload bytes, so the verdict must not depend on what follows).
+  const std::size_t n_at = 27;
+  for (std::size_t i = 0; i < 4; ++i) bytes[n_at + i] = 0;
+  Request got;
+  EXPECT_EQ(edge::decode_request(bytes, got).error, DecodeError::EmptyPayload);
+}
+
+TEST(EdgeFrame, PermuteMalformedPermutationsAreTyped) {
+  ABSORT_SEEDED_RNG(rng, 116);
+  const auto valid = encode(permute_request("benes", random_dest(rng, 8)));
+  // Offsets: 4 len + 2 magic + 1 ver + 1 type + 8 id + 4 deadline +
+  // 1 name_len + 5 name = 26 (n), 30 (first u16 dest entry).
+  const std::size_t n_at = 26;
+  const std::size_t dest_at = 30;
+  Request got;
+
+  auto bad = valid;  // n = 0: empty payload, checked before the entries
+  for (std::size_t i = 0; i < 4; ++i) bad[n_at + i] = 0;
+  EXPECT_EQ(edge::decode_request(bad, got).error, DecodeError::EmptyPayload);
+
+  bad = valid;  // n > kMaxN: hostile size, rejected before reading entries
+  const std::uint32_t huge_n = static_cast<std::uint32_t>(edge::kMaxN) + 1;
+  for (std::size_t i = 0; i < 4; ++i) bad[n_at + i] = static_cast<std::uint8_t>(huge_n >> (8 * i));
+  EXPECT_EQ(edge::decode_request(bad, got).error, DecodeError::Oversized);
+
+  bad = valid;  // entry out of range (8 with n = 8)
+  bad[dest_at] = 8;
+  bad[dest_at + 1] = 0;
+  EXPECT_EQ(edge::decode_request(bad, got).error, DecodeError::BadPermutation);
+
+  bad = valid;  // duplicated entry: copy entry 0 over entry 1
+  bad[dest_at + 2] = bad[dest_at];
+  bad[dest_at + 3] = bad[dest_at + 1];
+  EXPECT_EQ(edge::decode_request(bad, got).error, DecodeError::BadPermutation);
+}
+
+TEST(EdgeFrame, PermuteTruncationSweepIsNeedMore) {
+  ABSORT_SEEDED_RNG(rng, 117);
+  const auto bytes = encode(permute_request("omega", random_dest(rng, 16)));
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    Request got;
+    const auto res = edge::decode_request(std::span(bytes).first(len), got);
+    EXPECT_EQ(res.error, DecodeError::NeedMore) << "prefix length " << len;
+    EXPECT_EQ(res.consumed, 0u);
+  }
 }
 
 TEST(EdgeFrame, LengthContradictionsAreBadLength) {

@@ -18,6 +18,8 @@
 #include "absort/edge/edge_client.hpp"
 #include "absort/edge/edge_server.hpp"
 #include "absort/edge/frame.hpp"
+#include "absort/networks/permuters.hpp"
+#include "absort/service/permute_service.hpp"
 #include "absort/service/sort_service.hpp"
 #include "absort/sorters/registry.hpp"
 #include "absort/util/rng.hpp"
@@ -45,6 +47,27 @@ struct Harness {
     server.start();
   }
 };
+
+/// Both workloads behind one edge: Sort frames hit the sort service, Permute
+/// frames the permute service.
+struct PermuteHarness {
+  service::SortService sort_service;
+  service::PermuteService permute_service;
+  EdgeServer server;
+
+  explicit PermuteHarness(service::ServiceOptions so = {}, service::PermuteOptions po = {},
+                          EdgeOptions eo = {})
+      : sort_service(so), permute_service(po), server(sort_service, permute_service, eo) {
+    server.start();
+  }
+};
+
+std::vector<std::uint16_t> random_dest(Xoshiro256& rng, std::size_t n) {
+  const auto perm = workload::random_permutation(rng, n);
+  std::vector<std::uint16_t> dest(n);
+  for (std::size_t i = 0; i < n; ++i) dest[i] = static_cast<std::uint16_t>(perm[i]);
+  return dest;
+}
 
 TEST(EdgeServer, SingleClientRoundTripBitExact) {
   Harness h;
@@ -311,6 +334,133 @@ TEST(EdgeServer, StatszReturnsCombinedJson) {
   // The snapshot reflects this connection's own traffic.
   EXPECT_NE(json.find("\"completed\": 8"), std::string::npos) << json;
   EXPECT_NE(json.find("\"connections_accepted\": 1"), std::string::npos) << json;
+}
+
+TEST(EdgeServer, PermuteEndToEndAllFamilies) {
+  PermuteHarness h;
+  EdgeClient client;
+  client.connect(kHost, h.server.port());
+  ABSORT_SEEDED_RNG(rng, 310);
+  constexpr std::size_t kN = 16;
+  std::size_t ok = 0, unroutable = 0;
+  for (const char* family : {"sorting-permuter", "benes", "omega"}) {
+    const auto ref = permuters::make_permuter(family, kN);
+    for (int i = 0; i < 12; ++i) {
+      // Identity first so every family (omega included) sees a routable
+      // pattern; then random permutations, classified by the host reference.
+      std::vector<std::uint16_t> dest(kN);
+      if (i == 0) {
+        for (std::size_t j = 0; j < kN; ++j) dest[j] = static_cast<std::uint16_t>(j);
+      } else {
+        dest = random_dest(rng, kN);
+      }
+      const std::vector<std::size_t> wide(dest.begin(), dest.end());
+      const auto resp = client.permute(family, dest);
+      if (!ref->route(wide).has_value()) {
+        EXPECT_EQ(resp.status, WireStatus::Unroutable) << family;
+        ++unroutable;
+        continue;
+      }
+      ASSERT_EQ(resp.status, WireStatus::Ok) << family << " perm " << i;
+      ASSERT_EQ(resp.output_source.size(), kN);
+      for (std::size_t j = 0; j < kN; ++j) {
+        EXPECT_EQ(resp.output_source[dest[j]], j) << family << " perm " << i;
+      }
+      ++ok;
+    }
+  }
+  EXPECT_GE(ok, 3u);  // at least the identity per family routed
+  const auto stats = h.server.stats();
+  EXPECT_EQ(stats.unroutable, unroutable);
+  // Random 16-wide patterns nearly always block omega, so the Unroutable
+  // path was really exercised (identity keeps at least one omega Ok).
+  EXPECT_GT(unroutable, 0u);
+}
+
+TEST(EdgeServer, PermuteAndSortInterleaveOnOneConnection) {
+  PermuteHarness h;
+  EdgeClient client;
+  client.connect(kHost, h.server.port());
+  ABSORT_SEEDED_RNG(rng, 311);
+  const auto ref = sorters::make_sorter("prefix", 64);
+  for (int i = 0; i < 8; ++i) {
+    const auto in = workload::random_bits(rng, 64);
+    const auto sresp = client.sort("prefix", in);
+    ASSERT_EQ(sresp.status, WireStatus::Ok);
+    EXPECT_EQ(sresp.output, ref->sort(in));
+    const auto dest = random_dest(rng, 8);
+    const auto presp = client.permute("benes", dest);
+    ASSERT_EQ(presp.status, WireStatus::Ok);
+    ASSERT_EQ(presp.output_source.size(), 8u);
+    for (std::size_t j = 0; j < 8; ++j) EXPECT_EQ(presp.output_source[dest[j]], j);
+  }
+  const auto json = client.statsz();
+  for (const char* field : {"\"unroutable\"", "\"duplicate_ids\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+}
+
+TEST(EdgeServer, PermuteOnSortOnlyEdgeIsBadRequestNotFatal) {
+  Harness h;  // no PermuteService wired in
+  EdgeClient client;
+  client.connect(kHost, h.server.port());
+  ABSORT_SEEDED_RNG(rng, 312);
+  const auto bad = client.permute("benes", random_dest(rng, 8));
+  EXPECT_EQ(bad.status, WireStatus::BadRequest);
+  // A well-formed frame for an unserved workload is the client's mistake,
+  // not a torn stream: the connection survives.
+  const auto good = client.sort("prefix", BitVec(16));
+  EXPECT_EQ(good.status, WireStatus::Ok);
+}
+
+TEST(EdgeServer, UnknownPermuterIsBadRequestNotFatal) {
+  PermuteHarness h;
+  EdgeClient client;
+  client.connect(kHost, h.server.port());
+  ABSORT_SEEDED_RNG(rng, 313);
+  const auto bad = client.permute("nosuch", random_dest(rng, 8));
+  EXPECT_EQ(bad.status, WireStatus::BadRequest);
+  const auto good = client.permute("benes", random_dest(rng, 8));
+  EXPECT_EQ(good.status, WireStatus::Ok);
+}
+
+TEST(EdgeServer, DuplicateInFlightIdRejectedThenIdReusable) {
+  service::ServiceOptions so;
+  so.max_linger = std::chrono::microseconds(50000);  // hold the first request in flight
+  Harness h(so);
+  EdgeClient client;
+  client.connect(kHost, h.server.port());
+  ABSORT_SEEDED_RNG(rng, 314);
+
+  edge::Request req;
+  req.type = MessageType::Sort;
+  req.id = 7;
+  req.sorter = "prefix";
+  req.input = workload::random_bits(rng, 64);
+  client.send(req);
+  client.send(req);  // same id while the first is still in flight: protocol error
+
+  // The rejection is enqueued by the reactor immediately; the Ok follows
+  // once the linger window closes.  Both carry id 7.
+  std::size_t got_ok = 0, got_bad = 0;
+  for (int i = 0; i < 2; ++i) {
+    Response resp;
+    ASSERT_TRUE(client.recv(resp));
+    EXPECT_EQ(resp.id, 7u);
+    resp.status == WireStatus::Ok ? ++got_ok : ++got_bad;
+    if (resp.status != WireStatus::Ok) EXPECT_EQ(resp.status, WireStatus::BadRequest);
+  }
+  EXPECT_EQ(got_ok, 1u);
+  EXPECT_EQ(got_bad, 1u);
+  EXPECT_EQ(h.server.counters().duplicate_ids, 1u);
+
+  // Once answered, the id leaves the in-flight set and may be reused.
+  client.send(req);
+  Response resp;
+  ASSERT_TRUE(client.recv(resp));
+  EXPECT_EQ(resp.id, 7u);
+  EXPECT_EQ(resp.status, WireStatus::Ok);
+  EXPECT_EQ(h.server.counters().duplicate_ids, 1u);
 }
 
 TEST(EdgeServer, StopAnswersInFlightOrClosesCleanly) {

@@ -1,0 +1,311 @@
+// PermuteService + permuter registry: every fabric family served
+// bit-identically to the batch networks/ reference, exhaustively at small n
+// and randomized up to n = 1024, over direct submit.
+//
+// The reference for each family is the networks/ class itself (BenesNetwork,
+// OmegaNetwork, SortingPermuter) -- not the permuters:: host path -- so a bug
+// shared by the circuit lowering and its host wrapper cannot hide.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "absort/networks/benes.hpp"
+#include "absort/networks/omega.hpp"
+#include "absort/networks/permuters.hpp"
+#include "absort/networks/sorting_permuter.hpp"
+#include "absort/service/permute_service.hpp"
+#include "absort/util/rng.hpp"
+#include "test_seed.hpp"
+
+namespace {
+
+using absort::BitVec;
+using absort::Xoshiro256;
+using absort::service::PermuteOptions;
+using absort::service::PermuteResult;
+using absort::service::PermuteService;
+using absort::service::Status;
+
+std::vector<std::uint32_t> to_u32(const std::vector<std::size_t>& v) {
+  return std::vector<std::uint32_t>(v.begin(), v.end());
+}
+
+/// The batch networks/ reference: output_source for `dest` through the named
+/// fabric, or nullopt when that fabric blocks on the pattern.
+std::optional<std::vector<std::size_t>> reference(const std::string& family,
+                                                  const std::vector<std::size_t>& dest) {
+  const std::size_t n = dest.size();
+  if (family == "benes") {
+    absort::networks::BenesNetwork net(n);
+    std::vector<std::size_t> payload(n);
+    std::iota(payload.begin(), payload.end(), std::size_t{0});
+    return net.permute_packets(dest, payload);  // out[dest[i]] = i
+  }
+  if (family == "omega") {
+    absort::networks::OmegaNetwork net(n);
+    std::vector<std::optional<std::size_t>> od(n);
+    for (std::size_t i = 0; i < n; ++i) od[i] = dest[i];
+    auto r = net.route(od);
+    if (r.blocked()) return std::nullopt;
+    return r.output_source;
+  }
+  absort::networks::SortingPermuter sp(n);
+  return sp.route(dest);
+}
+
+const char* kFamilies[] = {"sorting-permuter", "benes", "omega"};
+
+}  // namespace
+
+TEST(PermuterRegistry, NamesAndLookup) {
+  const auto& reg = absort::permuters::registry();
+  ASSERT_EQ(reg.size(), 3u);
+  for (const char* f : kFamilies) {
+    const auto* e = absort::permuters::find_permuter(f);
+    ASSERT_NE(e, nullptr) << f;
+    auto p = e->factory(8);
+    EXPECT_EQ(p->size(), 8u);
+    EXPECT_EQ(p->name(), f);
+  }
+  EXPECT_EQ(absort::permuters::find_permuter("no-such-fabric"), nullptr);
+  try {
+    (void)absort::permuters::make_permuter("no-such-fabric", 8);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& ex) {
+    EXPECT_NE(std::string(ex.what()).find("benes"), std::string::npos);
+  }
+}
+
+TEST(PermuterRegistry, LanesPerRequest) {
+  EXPECT_EQ(absort::permuters::make_permuter("benes", 16)->lanes_per_request(), 4u);
+  EXPECT_EQ(absort::permuters::make_permuter("omega", 16)->lanes_per_request(), 4u);
+  EXPECT_EQ(absort::permuters::make_permuter("sorting-permuter", 16)->lanes_per_request(), 1u);
+}
+
+TEST(PermuterRegistry, BadSizeThrows) {
+  for (const char* f : kFamilies) {
+    EXPECT_THROW((void)absort::permuters::make_permuter(f, 3), std::invalid_argument) << f;
+    EXPECT_THROW((void)absort::permuters::make_permuter(f, 0), std::invalid_argument) << f;
+  }
+}
+
+// Circuit face vs networks reference, every permutation of n in {2, 4, 8},
+// evaluated through plain Circuit::eval (no batch engine in the loop).
+TEST(Permuters, RouteCircuitMatchesReferenceExhaustive) {
+  for (const char* family : kFamilies) {
+    for (const std::size_t n : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+      SCOPED_TRACE(::testing::Message() << family << " n=" << n);
+      auto perm = absort::permuters::make_permuter(family, n);
+      const auto circuit = perm->build_route_circuit();
+      const std::size_t lanes_per = perm->lanes_per_request();
+      std::vector<BitVec> lanes(lanes_per), outs(lanes_per);
+      std::vector<std::size_t> dest(n), decoded;
+      std::iota(dest.begin(), dest.end(), std::size_t{0});
+      do {
+        const auto expect = reference(family, dest);
+        const bool routable = perm->encode(dest, lanes);
+        ASSERT_EQ(routable, expect.has_value());
+        // Host face must agree on routability and result.
+        const auto host = perm->route(dest);
+        ASSERT_EQ(host.has_value(), expect.has_value());
+        if (!expect) continue;
+        EXPECT_EQ(*host, *expect);
+        for (std::size_t b = 0; b < lanes_per; ++b) outs[b] = circuit.eval(lanes[b]);
+        perm->decode(outs, decoded);
+        ASSERT_EQ(decoded, *expect);
+      } while (std::next_permutation(dest.begin(), dest.end()));
+    }
+  }
+}
+
+TEST(Permuters, NonPermutationThrows) {
+  for (const char* family : kFamilies) {
+    auto perm = absort::permuters::make_permuter(family, 4);
+    EXPECT_THROW((void)perm->route({0, 1, 2}), std::invalid_argument) << family;
+    EXPECT_THROW((void)perm->route({0, 1, 2, 2}), std::invalid_argument) << family;
+    EXPECT_THROW((void)perm->route({0, 1, 2, 4}), std::invalid_argument) << family;
+  }
+}
+
+// The service end to end: every permutation of n = 8 for every family,
+// answered bit-identically to the networks reference (no self-check in the
+// loop -- a wrong circuit result must surface as a wrong answer, not be
+// silently repaired).
+TEST(PermuteService, ExhaustiveN8AllFamilies) {
+  PermuteOptions opts;
+  opts.shards = 2;
+  PermuteService svc(opts);
+  for (const char* family : kFamilies) {
+    SCOPED_TRACE(family);
+    std::vector<std::size_t> dest(8);
+    std::iota(dest.begin(), dest.end(), std::size_t{0});
+    std::vector<std::vector<std::size_t>> perms;
+    std::vector<std::future<PermuteResult>> futures;
+    do {
+      perms.push_back(dest);
+      futures.push_back(svc.submit(family, to_u32(dest)));
+    } while (std::next_permutation(dest.begin(), dest.end()));
+    for (std::size_t k = 0; k < perms.size(); ++k) {
+      const auto expect = reference(family, perms[k]);
+      const auto got = futures[k].get();
+      if (!expect) {
+        ASSERT_EQ(got.status, Status::Unroutable);
+        continue;
+      }
+      ASSERT_EQ(got.status, Status::Ok);
+      ASSERT_EQ(got.output_source, to_u32(*expect));
+    }
+  }
+  const auto st = svc.stats();
+  EXPECT_EQ(st.completed + st.unroutable, st.submitted);
+  EXPECT_GT(st.unroutable, 0u);  // omega blocks many n=8 patterns
+  EXPECT_EQ(st.degraded, 0u);    // route circuits always compile
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_GE(st.compiled, 3u);
+  EXPECT_GT(st.batches, 0u);
+}
+
+// Randomized sweep up to n = 1024 (plus identity and a cyclic shift, which
+// the omega fabric routes conflict-free, so every family shows Ok traffic).
+TEST(PermuteService, RandomizedUpToN1024) {
+  ABSORT_SEEDED_RNG(rng, 0xABBA5EED);
+  PermuteOptions opts;
+  opts.shards = 2;
+  PermuteService svc(opts);
+  for (const std::size_t n :
+       {std::size_t{16}, std::size_t{64}, std::size_t{256}, std::size_t{1024}}) {
+    std::vector<std::vector<std::size_t>> patterns;
+    std::vector<std::size_t> ident(n);
+    std::iota(ident.begin(), ident.end(), std::size_t{0});
+    patterns.push_back(ident);
+    std::vector<std::size_t> shift(n);
+    for (std::size_t i = 0; i < n; ++i) shift[i] = (i + 1) % n;
+    patterns.push_back(shift);
+    for (int k = 0; k < 4; ++k) {
+      patterns.push_back(absort::workload::random_permutation(rng, n));
+    }
+    for (const char* family : kFamilies) {
+      SCOPED_TRACE(::testing::Message() << family << " n=" << n);
+      std::vector<std::future<PermuteResult>> futures;
+      for (const auto& dest : patterns) futures.push_back(svc.submit(family, to_u32(dest)));
+      for (std::size_t k = 0; k < patterns.size(); ++k) {
+        const auto expect = reference(family, patterns[k]);
+        const auto got = futures[k].get();
+        if (!expect) {
+          ASSERT_EQ(got.status, Status::Unroutable) << "pattern " << k;
+          continue;
+        }
+        ASSERT_EQ(got.status, Status::Ok) << "pattern " << k;
+        ASSERT_EQ(got.output_source, to_u32(*expect)) << "pattern " << k;
+      }
+    }
+  }
+  const auto st = svc.stats();
+  EXPECT_EQ(st.completed + st.unroutable, st.submitted);
+  EXPECT_EQ(st.failed, 0u);
+}
+
+TEST(PermuteService, MalformedSubmissionsThrow) {
+  PermuteService svc;
+  EXPECT_THROW((void)svc.submit("no-such-fabric", {0, 1}), std::invalid_argument);
+  EXPECT_THROW((void)svc.submit("benes", {0, 1, 2}), std::invalid_argument);    // n = 3
+  EXPECT_THROW((void)svc.submit("benes", {}), std::invalid_argument);           // n = 0
+  EXPECT_THROW((void)svc.submit("benes", {0, 0, 1, 2}), std::invalid_argument); // duplicate
+  EXPECT_THROW((void)svc.submit("benes", {0, 1, 2, 7}), std::invalid_argument); // out of range
+  // The service is still healthy afterwards.
+  const auto r = svc.permute("benes", {1, 0, 3, 2});
+  EXPECT_EQ(r.status, Status::Ok);
+  EXPECT_EQ(r.output_source, (std::vector<std::uint32_t>{1, 0, 3, 2}));
+}
+
+TEST(PermuteService, DeadlineExpiresBeforeEvaluation) {
+  PermuteService svc;
+  const auto past = PermuteService::Clock::now() - std::chrono::milliseconds(5);
+  auto f = svc.submit("benes", {1, 0, 3, 2}, past);
+  EXPECT_EQ(f.get().status, Status::Expired);
+  EXPECT_GE(svc.stats().expired, 1u);
+}
+
+TEST(PermuteService, SelfCheckCleanOnHealthyEngines) {
+  ABSORT_SEEDED_RNG(rng, 0x5E1FC8EC);
+  PermuteOptions opts;
+  opts.self_check = true;
+  PermuteService svc(opts);
+  for (int k = 0; k < 16; ++k) {
+    const auto dest = absort::workload::random_permutation(rng, 32);
+    const auto r = svc.permute("benes", to_u32(dest));
+    ASSERT_EQ(r.status, Status::Ok);
+    for (std::size_t i = 0; i < dest.size(); ++i) ASSERT_EQ(r.output_source[dest[i]], i);
+  }
+  const auto st = svc.stats();
+  EXPECT_EQ(st.self_check_failed, 0u);
+  EXPECT_EQ(st.degraded, 0u);
+}
+
+TEST(PermuteService, InterpreterBackendBitIdentical) {
+  ABSORT_SEEDED_RNG(rng, 0x17E7B0DE);
+  PermuteOptions opts;
+  opts.batch.backend = absort::netlist::Backend::Interpreter;
+  PermuteService svc(opts);
+  for (const char* family : kFamilies) {
+    for (int k = 0; k < 4; ++k) {
+      const auto dest = absort::workload::random_permutation(rng, 64);
+      const auto expect = reference(family, dest);
+      const auto got = svc.permute(family, to_u32(dest));
+      if (!expect) {
+        ASSERT_EQ(got.status, Status::Unroutable);
+        continue;
+      }
+      ASSERT_EQ(got.status, Status::Ok) << family;
+      ASSERT_EQ(got.output_source, to_u32(*expect)) << family;
+    }
+  }
+  for (const auto& e : svc.stats().engines) {
+    EXPECT_EQ(e.backend, absort::netlist::Backend::Interpreter);
+  }
+}
+
+TEST(PermuteService, ShardRoutingIsStable) {
+  PermuteOptions opts;
+  opts.shards = 4;
+  PermuteService svc(opts);
+  ASSERT_EQ(svc.shard_count(), 4u);
+  for (const char* family : kFamilies) {
+    for (const std::size_t n : {std::size_t{8}, std::size_t{64}}) {
+      const std::size_t expect =
+          absort::service::hash_name_n(family, n) % svc.shard_count();
+      EXPECT_EQ(svc.shard_of(family, n), expect) << family << " n=" << n;
+    }
+  }
+  EXPECT_THROW((void)svc.shard_of("no-such-fabric", 8), std::invalid_argument);
+  // Routed totals land on the shards the hash names.
+  std::vector<std::future<PermuteResult>> futures;
+  for (int k = 0; k < 32; ++k) futures.push_back(svc.submit("benes", {1, 0, 3, 2}));
+  for (auto& f : futures) EXPECT_EQ(f.get().status, Status::Ok);
+  const auto st = svc.stats();
+  std::uint64_t routed = 0;
+  for (const auto& sh : st.per_shard) routed += sh.routed;
+  EXPECT_EQ(routed, st.submitted);
+  EXPECT_GE(st.per_shard[svc.shard_of("benes", 4)].routed, 32u);
+}
+
+TEST(PermuteService, StopAnswersEverythingThenRefuses) {
+  PermuteService svc;
+  std::vector<std::future<PermuteResult>> futures;
+  for (int k = 0; k < 64; ++k) futures.push_back(svc.submit("omega", {1, 2, 3, 0}));
+  svc.stop();
+  for (auto& f : futures) {
+    const auto r = f.get();  // every accepted future resolves across stop()
+    EXPECT_TRUE(r.status == Status::Ok || r.status == Status::Stopped);
+  }
+  auto late = svc.submit("omega", {1, 2, 3, 0});
+  EXPECT_EQ(late.get().status, Status::Stopped);
+  EXPECT_GE(svc.stats().stopped, 1u);
+}

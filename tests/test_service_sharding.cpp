@@ -301,6 +301,91 @@ bool find_shard_keys(const SortService& svc, ShardKeys& out) {
   return false;  // all nine keys on one shard: possible in principle, not seen
 }
 
+// ------------------------------------------- stealing x deadline interaction
+
+// A stolen micro-batch must honor the *original* deadlines of its requests:
+// the thief dispatches immediately (no second linger window on top of the
+// wait already served on the victim), and a request whose deadline passed in
+// the victim's queue is answered Expired even though a thief carried it.
+//
+// Deterministic setup: two keys that share a home shard (found at runtime,
+// as in the overflow probes).  steal_threshold is 2, so a single queued
+// request can never be stolen -- the pin below lands on the home dispatcher
+// with certainty -- while the 6-deep wave stays stealable.  A request on the
+// first key pins the home dispatcher inside a 400 ms linger window; the wave
+// on the second key with 150 ms budgets then lands in the home queue,
+// untouchable by the lingering dispatcher (wrong key) -- only the idle
+// sibling can serve it, by stealing.  If the stolen batch re-lingered, the
+// wave would sit out the deadline clip (t0 + 150 ms) and come back Expired
+// at batch formation; honoring the originals means Ok, fast.
+TEST(ServiceSharding, StolenBatchesHonorOriginalDeadlines) {
+  ServiceOptions so;
+  so.shards = 2;
+  so.steal_threshold = 2;
+  so.max_batch_lanes = 64;    // batches stay partial -> the linger window opens
+  so.max_linger = 400ms;
+  SortService svc(so);
+  ShardKeys k{};
+  if (!find_shard_keys(svc, k)) GTEST_SKIP() << "degenerate key->shard mapping";
+  const auto ref = sorters::make_sorter(k.full.sorter, k.full.n);
+  ABSORT_SEEDED_RNG(rng, 271);
+
+  // Prewarm both engines (and the process-wide JIT registry) so the timed
+  // phase below measures serving, not first-touch kernel builds.
+  ASSERT_EQ(svc.sort(k.pin.sorter, workload::random_bits(rng, k.pin.n)).status, Status::Ok);
+  ASSERT_EQ(svc.sort(k.full.sorter, workload::random_bits(rng, k.full.n)).status, Status::Ok);
+
+  // Pin the home dispatcher: a single unbounded-deadline request (depth 1 <
+  // steal_threshold, so no thief can race it away) opens the full 400 ms
+  // linger window on its key.
+  auto pinned = svc.submit(k.pin.sorter, workload::random_bits(rng, k.pin.n));
+  std::this_thread::sleep_for(50ms);
+  ASSERT_EQ(pinned.wait_for(0ms), std::future_status::timeout)
+      << "the home dispatcher is not lingering on the pin";
+
+  // Phase A: the wave, 150 ms budgets.  Only the thief can serve it in time.
+  const auto t0 = SortService::Clock::now();
+  struct InFlight {
+    BitVec input;
+    std::future<SortResult> fut;
+  };
+  std::vector<InFlight> wave;
+  for (int i = 0; i < 6; ++i) {
+    auto in = workload::random_bits(rng, k.full.n);
+    auto fut = svc.submit(k.full.sorter, in, t0 + 150ms);
+    wave.push_back(InFlight{std::move(in), std::move(fut)});
+  }
+  // Sweeper: an unbounded-deadline straggler on the wave's key.  If a steal
+  // landed mid-wave and left exactly one deadline request queued (below the
+  // steal threshold, stranded until the pin's linger ends), the sweeper
+  // lifts the depth back over the threshold so the thief returns for it.
+  auto sweeper = svc.submit(k.full.sorter, workload::random_bits(rng, k.full.n));
+
+  for (auto& f : wave) {
+    const auto r = f.fut.get();
+    ASSERT_EQ(r.status, Status::Ok) << "150 ms budget burned -- stolen batch re-lingered?";
+    EXPECT_EQ(r.output, ref->sort(f.input));
+  }
+  EXPECT_LT(SortService::Clock::now() - t0, 400ms);
+
+  // Phase B: two requests already expired when enqueued (two, to stay
+  // stealable); the thief that carries them must answer Expired, not serve
+  // them late.  The home dispatcher is still inside its linger window.
+  const auto past = SortService::Clock::now() - 1ms;
+  auto dead1 = svc.submit(k.full.sorter, workload::random_bits(rng, k.full.n), past);
+  auto dead2 = svc.submit(k.full.sorter, workload::random_bits(rng, k.full.n), past);
+  EXPECT_EQ(dead1.get().status, Status::Expired);
+  EXPECT_EQ(dead2.get().status, Status::Expired);
+
+  EXPECT_EQ(pinned.get().status, Status::Ok);
+  EXPECT_EQ(sweeper.get().status, Status::Ok);
+  const auto st = svc.stats();
+  EXPECT_GT(st.steals, 0u) << "nothing was stolen: the probe did not exercise the thief";
+  EXPECT_GE(st.stolen_requests, 6u);  // at minimum the wave travelled via steals
+  const std::size_t home = svc.shard_of(k.full.sorter, k.full.n);
+  EXPECT_EQ(st.per_shard[home].steals, 0u);  // only the sibling thieves
+}
+
 TEST(ServiceSharding, RejectIsPerShardQueue) {
   ServiceOptions so;
   so.shards = 2;

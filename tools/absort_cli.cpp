@@ -18,6 +18,12 @@
 //                                          programs' optimizer shrinkage, lane
 //                                          width, and thread count
 //   absort_cli verify <network> <n> [reps] randomized verification
+//   absort_cli permute <permuter> <n> [d0,d1,..]
+//                                          route one destination permutation
+//                                          (random if omitted) through the
+//                                          micro-batching PermuteService and
+//                                          print the realized output_source;
+//                                          exit 0 routed, 3 unroutable
 //   absort_cli activity <network> <n>      steering-element activity on random inputs
 //   absort_cli optimize <network> <n>      optimizer savings report
 //   absort_cli table2 <n>                  the paper's Table II at size n
@@ -51,6 +57,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -74,7 +81,9 @@
 #include "absort/netlist/analyze.hpp"
 #include "absort/netlist/serialize.hpp"
 #include "absort/netlist/transform.hpp"
+#include "absort/networks/permuters.hpp"
 #include "absort/service/fault_injection.hpp"
+#include "absort/service/permute_service.hpp"
 #include "absort/service/sort_service.hpp"
 #include "absort/sim/fish_hardware.hpp"
 #include "absort/sorters/columnsort.hpp"
@@ -100,6 +109,22 @@ bool parse_backend_arg(const char* arg, netlist::Backend& out) {
   return false;
 }
 
+/// Strict digits-only count parse.  strtoull alone silently wraps "-3" to
+/// 2^64-3 and accepts "4x" as 4, so every user-facing count goes through
+/// here: empty strings, signs, spaces, trailing junk, and overflow all fail.
+bool parse_size_arg(const char* s, std::size_t& out) {
+  if (s == nullptr || *s == '\0') return false;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage:\n"
@@ -110,6 +135,7 @@ int usage(const char* argv0) {
                "  %s save <network> <n>\n"
                "  %s vcd <n> <k>\n"
                "  %s verify <network> <n> [reps]\n"
+               "  %s permute <permuter> <n> [d0,d1,..]\n"
                "  %s batch <network> <n> [count|-] [threads] [--stats] [--backend <b>]\n"
                "  %s activity <network> <n>\n"
                "  %s optimize <network> <n>\n"
@@ -120,7 +146,7 @@ int usage(const char* argv0) {
                "  %s serve --tcp --selftest [--stats] [--shards <k>] [clients] [requests]\n"
                "  (backends: auto|interpreter|simd|native)\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0);
   return 1;
 }
 
@@ -199,6 +225,64 @@ int cmd_verify(const std::string& name, std::size_t n, std::size_t reps) {
   return bad == 0 ? 0 : 2;
 }
 
+// permute <permuter> <n> [d0,d1,..]: one destination permutation through the
+// PermuteService -- the full serving path (affinity routing, micro-batching,
+// the compiled route circuit) even for a single request -- then verified
+// against the submitted pattern (output_source[dest[i]] == i).
+int cmd_permute(const std::string& name, std::size_t n, const char* dest_arg) {
+  std::vector<std::uint32_t> dest(n);
+  if (dest_arg != nullptr) {
+    const char* p = dest_arg;
+    std::size_t count = 0;
+    while (*p != '\0') {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(p, &end, 10);
+      if (end == p || (*end != ',' && *end != '\0') || count >= n) {
+        std::fprintf(stderr, "permute: dest must be %zu comma-separated entries, got '%s'\n", n,
+                     dest_arg);
+        return 1;
+      }
+      dest[count++] = static_cast<std::uint32_t>(v);
+      p = (*end == ',') ? end + 1 : end;
+    }
+    if (count != n) {
+      std::fprintf(stderr, "permute: dest has %zu entries, expected %zu\n", count, n);
+      return 1;
+    }
+  } else {
+    Xoshiro256 rng(0xDE57);
+    const auto perm = workload::random_permutation(rng, n);
+    for (std::size_t i = 0; i < n; ++i) dest[i] = static_cast<std::uint32_t>(perm[i]);
+  }
+
+  std::printf("dest         :");
+  for (const auto d : dest) std::printf(" %u", d);
+  std::printf("\n");
+
+  service::PermuteService svc;
+  const auto res = svc.permute(name, dest);  // validates name / n / permutation
+  if (res.status == service::Status::Unroutable) {
+    std::printf("unroutable: %s blocks this pattern (well-formed, but this fabric cannot "
+                "realize it)\n",
+                name.c_str());
+    return 3;
+  }
+  if (res.status != service::Status::Ok) {
+    std::printf("permute failed: %s\n", service::to_string(res.status));
+    return 2;
+  }
+  std::printf("output_source:");
+  for (const auto s : res.output_source) std::printf(" %u", s);
+  std::printf("\n");
+  bool exact = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (res.output_source[dest[i]] != i) exact = false;
+  }
+  std::printf("%s\n", exact ? "verified: output j receives input output_source[j]"
+                            : "MISMATCH against submitted permutation");
+  return exact ? 0 : 2;
+}
+
 void print_program_stats(const char* label, const netlist::Circuit& c) {
   const netlist::BitSlicedEvaluator ev(c);
   const auto& st = ev.stats();
@@ -214,7 +298,12 @@ int cmd_batch(const std::string& name, std::size_t n, const char* count_arg,
               const char* threads_arg, bool stats, netlist::Backend backend) {
   const auto net = make_network(name, n);
   if (!net) return 1;
-  const std::size_t threads = threads_arg ? std::strtoull(threads_arg, nullptr, 10) : 0;
+  std::size_t threads = 0;  // 0 = auto (hardware concurrency)
+  if (threads_arg != nullptr && !parse_size_arg(threads_arg, threads)) {
+    std::fprintf(stderr, "batch: threads must be a non-negative integer, got '%s'\n",
+                 threads_arg);
+    return 1;
+  }
   const sorters::BatchOptions opts{.threads = threads, .backend = backend};
 
   std::vector<BitVec> batch;
@@ -235,8 +324,8 @@ int cmd_batch(const std::string& name, std::size_t n, const char* count_arg,
       return 1;
     }
   } else {
-    const std::size_t count = count_arg ? std::strtoull(count_arg, nullptr, 10) : 1024;
-    if (count == 0) {
+    std::size_t count = 1024;
+    if (count_arg != nullptr && (!parse_size_arg(count_arg, count) || count == 0)) {
       std::fprintf(stderr, "batch count must be a positive integer, got: %s\n", count_arg);
       return 1;
     }
@@ -538,18 +627,22 @@ std::atomic<bool> g_interrupted{false};
 // serve --tcp --selftest: the edge's end-to-end self-test, entirely over
 // loopback TCP -- every answer travels through the framing codec, the epoll
 // reactors, and the waiter pool, and is verified bit-for-bit against
-// per-vector sort().  Four scenarios:
+// per-vector sort().  Five scenarios:
 //
 //   1. `clients` concurrent connections x `requests` mixed-(sorter, n)
 //      requests each against a default-options server: every response Ok and
 //      bit-identical to the reference oracle;
-//   2. deadline expiry: a 1 us relative deadline under a 5 ms linger window
+//   2. permute routing: every registry permuter at n = 16, identity plus
+//      random destinations over the same connection style -- Ok responses
+//      verified output_source[dest[j]] == j, Unroutable only where the
+//      reference permuter also refuses the pattern;
+//   3. deadline expiry: a 1 us relative deadline under a 5 ms linger window
 //      is already past when the dispatcher forms the batch -> Expired on the
 //      wire;
-//   3. shed under overload: a 1-slot Reject queue behind a 1-lane batch
+//   4. shed under overload: a 1-slot Reject queue behind a 1-lane batch
 //      limit, hit with a 128-deep pipelined burst -> a mix of Ok and
 //      explicit Shedded responses, every request answered, none lost;
-//   4. protocol hygiene: a bad-magic frame answers BadRequest and closes the
+//   5. protocol hygiene: a bad-magic frame answers BadRequest and closes the
 //      connection (decode_errors == 1), and statsz returns the combined
 //      service+edge JSON.
 int cmd_serve_tcp_selftest(bool stats, std::size_t clients, std::size_t requests,
@@ -569,9 +662,14 @@ int cmd_serve_tcp_selftest(bool stats, std::size_t clients, std::size_t requests
   so.pin_threads = pin;
   so.batch.backend = backend;
   service::SortService svc(so);
+  service::PermuteOptions po;
+  po.shards = shards;
+  po.pin_threads = pin;
+  po.batch.backend = backend;
+  service::PermuteService psvc(po);
   edge::EdgeOptions eo;
   eo.reactors = 2;
-  edge::EdgeServer server(svc, eo);
+  edge::EdgeServer server(svc, psvc, eo);
   server.start();
 
   std::atomic<std::size_t> ok{0};
@@ -605,7 +703,47 @@ int cmd_serve_tcp_selftest(bool stats, std::size_t clients, std::size_t requests
   std::printf("tcp selftest: %zu clients x %zu requests, %zu ok, %zu bad -> %s\n", clients,
               requests, ok.load(), bad.load(), exact ? "bit-exact" : "MISMATCH");
 
-  // --- scenario 2: deadline expiry ------------------------------------------
+  // --- scenario 2: permute routing over the same wire -----------------------
+  bool permute_ok = true;
+  std::size_t perm_routed = 0, perm_unroutable = 0;
+  {
+    constexpr std::size_t kPermN = 16;
+    Xoshiro256 prng(0x9E87);
+    edge::EdgeClient pclient;
+    pclient.connect("127.0.0.1", server.port());
+    for (const auto& entry : permuters::registry()) {
+      const auto ref = permuters::make_permuter(entry.name, kPermN);
+      for (std::size_t trial = 0; trial < 8; ++trial) {
+        std::vector<std::size_t> wide(kPermN);
+        if (trial == 0) {
+          for (std::size_t i = 0; i < kPermN; ++i) wide[i] = i;  // identity always routes
+        } else {
+          wide = workload::random_permutation(prng, kPermN);
+        }
+        std::vector<std::uint16_t> dest(kPermN);
+        for (std::size_t i = 0; i < kPermN; ++i) dest[i] = static_cast<std::uint16_t>(wide[i]);
+        const auto resp = pclient.permute(entry.name, dest);
+        const bool routable = ref->route(wide).has_value();
+        if (routable && resp.status == edge::WireStatus::Ok) {
+          ++perm_routed;
+          for (std::size_t j = 0; j < kPermN; ++j) {
+            if (resp.output_source[dest[j]] != j) permute_ok = false;
+          }
+        } else if (!routable && resp.status == edge::WireStatus::Unroutable) {
+          ++perm_unroutable;
+        } else {
+          permute_ok = false;
+        }
+      }
+    }
+    permute_ok = permute_ok && perm_routed > 0;
+  }
+  std::printf("permute probe (%zu permuters x 8 patterns @ n=16): %zu routed, "
+              "%zu unroutable -> %s\n",
+              permuters::registry().size(), perm_routed, perm_unroutable,
+              permute_ok ? "verified" : "MISMATCH");
+
+  // --- scenario 3: deadline expiry ------------------------------------------
   service::ServiceOptions slow;
   slow.max_linger = std::chrono::microseconds(5000);
   slow.shards = shards;
@@ -621,7 +759,7 @@ int cmd_serve_tcp_selftest(bool stats, std::size_t clients, std::size_t requests
               edge::to_string(expired.status));
   slow_server.stop();
 
-  // --- scenario 3: shed under overload --------------------------------------
+  // --- scenario 4: shed under overload --------------------------------------
   // queue_capacity is per shard, but the burst is one (sorter, n) key, so it
   // lands on one shard's 1-slot queue regardless of the shard count.
   service::ServiceOptions tiny;
@@ -662,7 +800,7 @@ int cmd_serve_tcp_selftest(bool stats, std::size_t clients, std::size_t requests
               shed_ok ? "all answered" : "LOST OR WEDGED");
   tiny_server.stop();
 
-  // --- scenario 4: protocol hygiene + statsz --------------------------------
+  // --- scenario 5: protocol hygiene + statsz --------------------------------
   edge::EdgeClient vandal;
   vandal.connect("127.0.0.1", server.port());
   vandal.send_raw({0x10, 0x00, 0x00, 0x00, 0xFF, 0xFF, 0x01, 0x01,
@@ -681,23 +819,30 @@ int cmd_serve_tcp_selftest(bool stats, std::size_t clients, std::size_t requests
   if (stats) std::printf("%s\n", json.c_str());
   server.stop();
 
-  const bool pass = exact && expiry_ok && shed_ok && hygiene_ok;
+  const bool pass = exact && permute_ok && expiry_ok && shed_ok && hygiene_ok;
   std::printf("tcp selftest: %s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 2;
 }
 
-// serve --tcp [port]: foreground serving until SIGINT/SIGTERM.
+// serve --tcp [port]: foreground serving (Sort and Permute) until
+// SIGINT/SIGTERM.
 int cmd_serve_tcp(std::uint16_t port, std::size_t shards, bool pin, netlist::Backend backend) {
   service::ServiceOptions so;
   so.shards = shards;
   so.pin_threads = pin;
   so.batch.backend = backend;
   service::SortService svc(so);
+  service::PermuteOptions po;
+  po.shards = shards;
+  po.pin_threads = pin;
+  po.batch.backend = backend;
+  service::PermuteService psvc(po);
   edge::EdgeOptions eo;
   eo.port = port;
-  edge::EdgeServer server(svc, eo);
+  edge::EdgeServer server(svc, psvc, eo);
   server.start();
-  std::printf("absort edge listening on 127.0.0.1:%u (binary protocol v%u; Ctrl-C stops)\n",
+  std::printf("absort edge listening on 127.0.0.1:%u (binary protocol v%u; "
+              "Sort + Permute; Ctrl-C stops)\n",
               server.port(), edge::kVersion);
   std::fflush(stdout);
   std::signal(SIGINT, [](int) { g_interrupted.store(true); });
@@ -757,14 +902,23 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "serve: --shards needs a count\n");
             return 1;
           }
-          shards = std::max<std::size_t>(1, std::strtoull(argv[++i], nullptr, 10));
+          if (!parse_size_arg(argv[++i], shards) || shards == 0) {
+            std::fprintf(stderr, "serve: --shards must be a positive integer, got '%s'\n",
+                         argv[i]);
+            return 1;
+          }
         } else if (std::strcmp(argv[i], "--tcp") == 0) {
           tcp = true;
           // Optional port: consume the next argument only if it is numeric.
+          // A numeric value out of port range is an error, not a positional.
           if (i + 1 < argc) {
-            char* end = nullptr;
-            const auto v = std::strtoul(argv[i + 1], &end, 10);
-            if (end != argv[i + 1] && *end == '\0' && v <= 65535) {
+            std::size_t v = 0;
+            if (parse_size_arg(argv[i + 1], v)) {
+              if (v > 65535) {
+                std::fprintf(stderr, "serve: --tcp port must be 0..65535, got '%s'\n",
+                             argv[i + 1]);
+                return 1;
+              }
               tcp_port = static_cast<std::uint16_t>(v);
               ++i;
             }
@@ -798,12 +952,18 @@ int main(int argc, char** argv) {
     }
     if (argc < 4) return usage(argv[0]);
     const std::string name = argv[2];
-    const std::size_t n = std::strtoull(argv[3], nullptr, 10);
+    std::size_t n = 0;
+    if (cmd != "vcd" && (!parse_size_arg(argv[3], n) || n == 0)) {
+      std::fprintf(stderr, "%s: n must be a positive integer, got '%s'\n", cmd.c_str(),
+                   argv[3]);
+      return 1;
+    }
     if (cmd == "vcd") {
       return cmd_vcd(std::strtoull(argv[2], nullptr, 10), std::strtoull(argv[3], nullptr, 10));
     }
     if (cmd == "report") return cmd_report(name, n);
     if (cmd == "sort") return cmd_sort(name, n, argc > 4 ? argv[4] : nullptr);
+    if (cmd == "permute") return cmd_permute(name, n, argc > 4 ? argv[4] : nullptr);
     if (cmd == "dot") return cmd_dot(name, n);
     if (cmd == "save") return cmd_save(name, n);
     if (cmd == "activity") return cmd_activity(name, n);
