@@ -320,7 +320,7 @@ void report_faults(bool quick) {
     const double healthy = healthy_res.vps;
 
     auto sc = coalesced_options(200);
-    sc.self_check = true;
+    sc.self_check = service::SelfCheck::Full;
     const double checked = drive(sc, c.sorter, c.n, producers, reqs).vps;
 
     // Degraded: every compile attempt fails, so the warm-up request already

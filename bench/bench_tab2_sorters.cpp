@@ -1,0 +1,422 @@
+// E-T2b -- the sorter-family counterpart of Table II: every registered
+// sorter family, one measured row each, through the same compile-once batch
+// path the serving layer uses:
+//
+//   * cost / depth under the paper's unit accounting (Section II), plus the
+//     raw component count and what the circuit-level optimizer shrinks it to
+//     (periodic-k is the interesting row: consecutive period-3 blocks abut
+//     identical even layers, E|E, and a comparator fed by its own twin's
+//     outputs is removable);
+//   * compile time of make_batch_sorter() -- the one-time cost the
+//     (sorter, n) engine cache amortizes;
+//   * steady-state batch throughput (kvec/s) and the backend the engine
+//     resolved to.
+//
+// Then the self-check tier is priced (this is the number ISSUE 10's Cheap
+// tier stands on):
+//
+//   * micro: one 512-lane batch of sorted outputs verified by the Full 0-1
+//     oracle (is_sorted_ascending + popcount) vs the Cheap structural probe
+//     (one bit-sliced pass of periodic-k's single block, L(y) == y) -- the
+//     probe is one block where the sorter is t blocks, so ~1/t the work;
+//   * macro: the same closed-loop load served through SortService with
+//     self_check = Off / Cheap / Full, reported as vectors/second.
+//
+// Writes BENCH_tab2_sorters.json.  --quick runs a seconds-scale subset for
+// ctest, still writes the JSON, then re-reads it and validates the schema
+// keys and family coverage (exit 2 on a miss), matching bench_permute.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "absort/netlist/analyze.hpp"
+#include "absort/netlist/batch_eval.hpp"
+#include "absort/netlist/optimize.hpp"
+#include "absort/service/sort_service.hpp"
+#include "absort/sorters/periodic_k.hpp"
+#include "absort/sorters/registry.hpp"
+#include "absort/util/bitvec.hpp"
+#include "absort/util/rng.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace absort;
+using Clock = std::chrono::steady_clock;
+
+std::size_t hw_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+double us_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+/// Constructs a registry entry's sorter at the largest size it accepts from
+/// a comparability-ordered preference list (every entry accepts at least one
+/// n <= 12 -- the exhaustive sweep enforces that -- so the scan cannot come
+/// back empty-handed).
+std::unique_ptr<sorters::BinarySorter> make_at_preferred(const sorters::RegistryEntry& e,
+                                                         std::size_t* n_used) {
+  const std::size_t candidates[] = {64, 128, 256, 32, 16, 12, 8, 6, 4, 2};
+  for (const std::size_t n : candidates) {
+    try {
+      auto s = e.factory(n);
+      *n_used = n;
+      return s;
+    } catch (const std::exception&) {
+    }
+  }
+  return nullptr;
+}
+
+struct Row {
+  std::string family;
+  std::size_t n = 0;
+  bool comb = false;
+  double cost = 0, depth = 0;      ///< paper-unit accounting (comb only)
+  std::size_t components = 0;      ///< raw circuit components (comb only)
+  std::size_t opt_after = 0;       ///< components after netlist::optimize
+  double compile_ms = 0;           ///< make_batch_sorter wall time
+  double kvps = 0;                 ///< batch throughput, kilovectors/s
+  std::string backend;
+};
+
+Row measure_row(const sorters::RegistryEntry& e, bool quick) {
+  Row r;
+  r.family = e.name;
+  auto s = make_at_preferred(e, &r.n);
+  if (!s) {
+    std::fprintf(stderr, "E-T2b: %s accepts no candidate size\n", e.name);
+    std::exit(2);
+  }
+  r.comb = s->is_combinational();
+  if (r.comb) {
+    const auto c = s->build_circuit();
+    const auto rep = netlist::analyze_unit(c);
+    r.cost = rep.cost;
+    r.depth = rep.depth;
+    r.components = rep.components;
+    netlist::OptimizeStats os;
+    (void)netlist::optimize(c, &os);
+    r.opt_after = os.after;
+  } else {
+    // Model B: no single circuit; use the analytic cost face.
+    const auto rep = s->cost_report(netlist::CostModel::paper_unit());
+    r.cost = rep.cost;
+    r.depth = rep.depth;
+  }
+
+  const auto tc = Clock::now();
+  const auto engine = s->make_batch_sorter();
+  r.compile_ms = us_since(tc) / 1e3;
+  r.backend = netlist::to_string(engine->backend());
+
+  Xoshiro256 rng(0x7AB2 ^ r.n);
+  const std::size_t lanes = quick ? 512 : 4096;
+  std::vector<BitVec> batch;
+  batch.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) batch.push_back(workload::random_bits(rng, r.n));
+  (void)engine->run(batch);  // warm
+  const std::size_t reps = quick ? 3 : 10;
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < reps; ++i) (void)engine->run(batch);
+  r.kvps = static_cast<double>(lanes * reps) / us_since(t0) * 1e3;
+  return r;
+}
+
+// ------------------------------------------------- self-check tier pricing
+
+struct ProbeMicro {
+  std::size_t n = 0, lanes = 0, iterations = 0;
+  double oracle_us = 0;  ///< Full 0-1 oracle, one batch
+  double probe_us = 0;   ///< Cheap structural probe, one batch
+};
+
+/// One 512-lane batch of sorted periodic-k outputs verified both ways.
+/// Both checkers see the same healthy data, so this prices the check
+/// itself; detection equivalence is test_service_faults' differential sweep.
+ProbeMicro probe_vs_oracle(bool quick) {
+  ProbeMicro m;
+  m.n = 48;
+  m.lanes = netlist::kBlockLanes;
+  const sorters::PeriodicKSorter s(m.n, 3);
+  m.iterations = s.iterations();
+
+  Xoshiro256 rng(0x0B5E55ED);
+  std::vector<BitVec> in, out;
+  for (std::size_t i = 0; i < m.lanes; ++i) {
+    in.push_back(workload::random_bits(rng, m.n));
+    out.push_back(BitVec::sorted_with_ones(m.n, in.back().count_ones()));
+  }
+
+  const std::size_t reps = quick ? 50 : 400;
+
+  // Full oracle: per-lane monotonicity + popcount conservation.
+  const auto t0 = Clock::now();
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    std::size_t bad = 0;
+    for (std::size_t i = 0; i < m.lanes; ++i) {
+      if (!out[i].is_sorted_ascending() || out[i].count_ones() != in[i].count_ones()) ++bad;
+    }
+    ::benchmark::DoNotOptimize(bad);
+  }
+  m.oracle_us = us_since(t0) / static_cast<double>(reps);
+
+  // Cheap probe: one bit-sliced pass of the single block, L(y) == y,
+  // compared in the packed word domain (the service's Cheap tier path).
+  const netlist::BitSlicedEvaluator probe(*s.self_check_probe(), {});
+  std::vector<wordvec::Word> mm(wordvec::num_passes(m.lanes));
+  std::vector<wordvec::Vec> scratch;
+  const auto t1 = Clock::now();
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    probe.check_fixpoint_lane_block({out.data(), m.lanes}, 0, m.lanes, scratch, mm);
+    std::size_t bad = 0;
+    for (const auto w : mm) bad += static_cast<std::size_t>(__builtin_popcountll(w));
+    ::benchmark::DoNotOptimize(bad);
+  }
+  m.probe_us = us_since(t1) / static_cast<double>(reps);
+  return m;
+}
+
+struct PipelinePoint {
+  const char* mode = "";
+  double vps = 0;
+};
+
+/// The per-batch pipeline the service executes for one coalesced
+/// kBlockLanes batch -- engine pass plus the tier's check -- without the
+/// queueing around it (submit/future overhead swamps a <2% per-batch delta
+/// in the closed-loop numbers below; this isolates what the tier costs).
+std::vector<PipelinePoint> pipeline_tiers(bool quick) {
+  const std::size_t n = 48;
+  const sorters::PeriodicKSorter s(n, 3);
+  const auto engine = s.make_batch_sorter();
+  const netlist::BitSlicedEvaluator probe(*s.self_check_probe(), {});
+  Xoshiro256 rng(0x917E11);
+  const std::size_t lanes = netlist::kBlockLanes;
+  std::vector<BitVec> batch;
+  for (std::size_t i = 0; i < lanes; ++i) batch.push_back(workload::random_bits(rng, n));
+  std::vector<BitVec> out(lanes, BitVec(n));
+  std::vector<wordvec::Word> mm(wordvec::num_passes(lanes));
+  std::vector<wordvec::Vec> scratch;
+  const std::size_t reps = quick ? 60 : 500;
+
+  std::vector<PipelinePoint> pts;
+  for (const char* mode : {"off", "cheap", "full"}) {
+    const auto t0 = Clock::now();
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      engine->run(batch, out);
+      std::size_t bad = 0;
+      if (std::strcmp(mode, "cheap") == 0) {
+        probe.check_fixpoint_lane_block(out, 0, lanes, scratch, mm);
+        for (const auto w : mm) bad += static_cast<std::size_t>(__builtin_popcountll(w));
+      } else if (std::strcmp(mode, "full") == 0) {
+        for (std::size_t i = 0; i < lanes; ++i) {
+          if (!out[i].is_sorted_ascending() || out[i].count_ones() != batch[i].count_ones()) {
+            ++bad;
+          }
+        }
+      }
+      ::benchmark::DoNotOptimize(bad);
+    }
+    pts.push_back({mode, static_cast<double>(lanes * reps) / us_since(t0) * 1e6});
+  }
+  return pts;
+}
+
+struct ServicePoint {
+  const char* mode = "";
+  double vps = 0;
+  std::uint64_t cheap_checks = 0, failed = 0;
+};
+
+/// Closed-loop producers through one SortService with the given tier.
+ServicePoint drive_tier(service::SelfCheck sc, const char* mode, bool quick) {
+  service::ServiceOptions so;
+  so.self_check = sc;
+  service::SortService svc(so);
+  const char* sorter = "periodic-k";
+  const std::size_t n = 48;
+  {
+    Xoshiro256 warm(1);
+    (void)svc.sort(sorter, workload::random_bits(warm, n));
+  }
+  const std::size_t producers = 4;
+  const std::size_t per_producer = quick ? 150 : 1500;
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      Xoshiro256 rng(0x5C ^ (p * 0x9E3779B97F4A7C15ULL));
+      std::vector<std::future<service::SortResult>> window;
+      for (std::size_t i = 0; i < per_producer; ++i) {
+        window.push_back(svc.submit(sorter, workload::random_bits(rng, n)));
+        if (window.size() >= 8) {
+          (void)window.front().get();
+          window.erase(window.begin());
+        }
+      }
+      for (auto& f : window) (void)f.get();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double secs = us_since(t0) / 1e6;
+
+  ServicePoint pt;
+  pt.mode = mode;
+  pt.vps = static_cast<double>(producers * per_producer) / secs;
+  const auto st = svc.stats();
+  pt.cheap_checks = st.cheap_checks;
+  pt.failed = st.self_check_failed;
+  return pt;
+}
+
+// ----------------------------------------------------------- JSON reporting
+
+void write_json(const std::vector<Row>& rows, const ProbeMicro& m,
+                const std::vector<PipelinePoint>& pipe, const std::vector<ServicePoint>& pts) {
+  FILE* f = std::fopen("BENCH_tab2_sorters.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "E-T2b: cannot write BENCH_tab2_sorters.json\n");
+    std::exit(2);
+  }
+  std::fprintf(f,
+               "{\n  \"benchmark\": \"tab2_sorters\",\n  \"hardware_threads\": %zu,\n"
+               "  \"rows\": [\n",
+               hw_threads());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(f,
+                 "    {\"sorter\": \"%s\", \"n\": %zu, \"combinational\": %s, "
+                 "\"cost\": %.0f, \"depth\": %.0f, \"components\": %zu, "
+                 "\"opt_components\": %zu, \"compile_ms\": %.2f, \"kvps\": %.1f, "
+                 "\"backend\": \"%s\"}%s\n",
+                 r.family.c_str(), r.n, r.comb ? "true" : "false", r.cost, r.depth,
+                 r.components, r.opt_after, r.compile_ms, r.kvps, r.backend.c_str(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"self_check\": {\n"
+               "    \"probe_n\": %zu, \"probe_lanes\": %zu, \"iterations\": %zu,\n"
+               "    \"oracle_us_per_batch\": %.1f, \"probe_us_per_batch\": %.1f,\n"
+               "    \"probe_speedup\": %.2f,\n    \"pipeline_vps\": {",
+               m.n, m.lanes, m.iterations, m.oracle_us, m.probe_us,
+               m.probe_us > 0 ? m.oracle_us / m.probe_us : 0.0);
+  for (std::size_t i = 0; i < pipe.size(); ++i) {
+    std::fprintf(f, "\"%s\": %.0f%s", pipe[i].mode, pipe[i].vps,
+                 i + 1 < pipe.size() ? ", " : "");
+  }
+  std::fprintf(f, "},\n    \"service_vps\": {");
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    std::fprintf(f, "\"%s\": %.0f%s", pts[i].mode, pts[i].vps,
+                 i + 1 < pts.size() ? ", " : "");
+  }
+  std::fprintf(f, "}\n  }\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_tab2_sorters.json\n");
+}
+
+/// Schema check on the emitted JSON: re-read the file and insist every
+/// required key and every registered sorter family appears.  The --quick
+/// ctest smoke runs this too, so a reporting regression fails tier-1.
+void check_json_schema() {
+  FILE* f = std::fopen("BENCH_tab2_sorters.json", "r");
+  if (!f) {
+    std::fprintf(stderr, "E-T2b: BENCH_tab2_sorters.json missing after write\n");
+    std::exit(2);
+  }
+  std::string contents;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) contents.append(buf, got);
+  std::fclose(f);
+
+  const char* required[] = {
+      "\"benchmark\": \"tab2_sorters\"", "\"hardware_threads\"", "\"rows\"",
+      "\"sorter\"",                      "\"cost\"",             "\"depth\"",
+      "\"compile_ms\"",                  "\"kvps\"",             "\"backend\"",
+      "\"self_check\"",                  "\"oracle_us_per_batch\"",
+      "\"probe_us_per_batch\"",          "\"probe_speedup\"",    "\"pipeline_vps\"",
+      "\"service_vps\"",
+      "\"off\"",                         "\"cheap\"",            "\"full\"",
+  };
+  bool ok = true;
+  for (const char* key : required) {
+    if (contents.find(key) == std::string::npos) {
+      std::fprintf(stderr, "E-T2b: BENCH_tab2_sorters.json missing key %s\n", key);
+      ok = false;
+    }
+  }
+  for (const auto& e : sorters::registry()) {
+    if (contents.find(std::string("\"") + e.name + "\"") == std::string::npos) {
+      std::fprintf(stderr, "E-T2b: BENCH_tab2_sorters.json missing family \"%s\"\n",
+                   e.name);
+      ok = false;
+    }
+  }
+  if (!ok) std::exit(2);
+  std::printf("BENCH_tab2_sorters.json schema ok\n");
+}
+
+void report(bool quick) {
+  absort::bench::heading("E-T2b: sorter families, measured rows (paper-unit accounting)");
+  std::printf("%16s %5s %5s %9s %7s %7s %8s %11s %11s %12s\n", "sorter", "n", "comb",
+              "cost", "depth", "comps", "opt", "compile ms", "kvec/s", "backend");
+  std::vector<Row> rows;
+  for (const auto& e : sorters::registry()) {
+    const auto r = measure_row(e, quick);
+    rows.push_back(r);
+    std::printf("%16s %5zu %5s %9.0f %7.0f %7zu %8zu %11.2f %11.1f %12s\n",
+                r.family.c_str(), r.n, r.comb ? "yes" : "no", r.cost, r.depth,
+                r.components, r.opt_after, r.compile_ms, r.kvps, r.backend.c_str());
+  }
+
+  absort::bench::heading("E-T2b: self-check pricing (periodic-k n=48, 512-lane batch)");
+  const auto m = probe_vs_oracle(quick);
+  std::printf("full 0-1 oracle : %8.1f us/batch\n", m.oracle_us);
+  std::printf("cheap probe     : %8.1f us/batch  (1 block vs t = %zu blocks)\n", m.probe_us,
+              m.iterations);
+  std::printf("probe speedup   : %8.2fx\n", m.probe_us > 0 ? m.oracle_us / m.probe_us : 0.0);
+
+  absort::bench::heading("E-T2b: per-batch pipeline by tier (engine pass + check, 512 lanes)");
+  const auto pipe = pipeline_tiers(quick);
+  for (const auto& pt : pipe) {
+    std::printf("%6s : %10.0f vec/s\n", pt.mode, pt.vps);
+  }
+
+  absort::bench::heading("E-T2b: closed-loop service throughput by tier (periodic-k n=48)");
+  std::vector<ServicePoint> pts;
+  pts.push_back(drive_tier(service::SelfCheck::Off, "off", quick));
+  pts.push_back(drive_tier(service::SelfCheck::Cheap, "cheap", quick));
+  pts.push_back(drive_tier(service::SelfCheck::Full, "full", quick));
+  for (const auto& pt : pts) {
+    std::printf("%6s : %10.0f vec/s  (cheap_checks=%llu, self_check_failed=%llu)\n", pt.mode,
+                pt.vps, static_cast<unsigned long long>(pt.cheap_checks),
+                static_cast<unsigned long long>(pt.failed));
+  }
+
+  write_json(rows, m, pipe, pts);
+  check_json_schema();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  report(quick);
+  return 0;
+}

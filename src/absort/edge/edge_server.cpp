@@ -551,6 +551,7 @@ service::ServiceStats EdgeServer::stats() const {
     s.stolen_requests += p.stolen_requests;
     s.degraded += p.degraded;
     s.self_check_failed += p.self_check_failed;
+    // cheap_checks is sort-side only (PermuteService has no probe tier)
     s.per_shard.insert(s.per_shard.end(), p.per_shard.begin(), p.per_shard.end());
     s.engines.insert(s.engines.end(), p.engines.begin(), p.engines.end());
     merge_histogram(s.batch_size, p.batch_size);

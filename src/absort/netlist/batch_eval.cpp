@@ -281,6 +281,61 @@ void BitSlicedEvaluator::eval_lane_block(std::span<const BitVec> inputs, std::si
                              outputs);
 }
 
+void BitSlicedEvaluator::check_fixpoint_lane_block(std::span<const BitVec> inputs,
+                                                   std::size_t first, std::size_t lanes,
+                                                   std::vector<Vec>& scratch,
+                                                   std::span<Word> mismatch) const {
+  const std::size_t ni = prog_.num_inputs;
+  const std::size_t no = prog_.output_slots.size();
+  const std::size_t ns = prog_.num_slots;
+  if (no != ni) {
+    throw std::logic_error("check_fixpoint_lane_block: program is not arity-preserving");
+  }
+  const std::size_t mwords = wordvec::num_passes(lanes);
+  if (mismatch.size() < mwords) {
+    throw std::invalid_argument("check_fixpoint_lane_block: mismatch span too small");
+  }
+  if (lanes <= wordvec::kLanes) {
+    const std::size_t words = ni + no + ns;
+    scratch.resize((words + wordvec::kSimdWords - 1) / wordvec::kSimdWords);
+    Word* const base = reinterpret_cast<Word*>(scratch.data());
+    const std::span<Word> in{base, ni};
+    const std::span<Word> out{base + ni, no};
+    const std::span<Word> buf{base + ni + no, ns};
+    wordvec::pack_lanes(inputs, first, lanes, in);
+    eval_pass(in, out, buf);
+    Word acc = 0;
+    for (std::size_t j = 0; j < no; ++j) acc |= in[j] ^ out[j];
+    mismatch[0] = acc & wordvec::lane_mask(lanes);
+    return;
+  }
+  const std::size_t W = lanes <= wordvec::kSimdLanes ? 1 : 2;
+  const std::size_t wps = W * wordvec::kSimdWords;
+  scratch.resize(W * (ni + no + ns));
+  Vec* const in = scratch.data();
+  Vec* const out = in + W * ni;
+  Vec* const buf = out + W * no;
+  wordvec::pack_lanes_wide(inputs, first, lanes, wps,
+                           {reinterpret_cast<Word*>(in), wps * ni});
+  if (W == 1) {
+    eval_pass_simd(in, out, buf);
+  } else {
+    eval_pass_simd_x2(in, out, buf);
+  }
+  // Word w of any slot carries lanes [first + 64w, first + 64w + 64), so the
+  // per-word accumulators line up with `mismatch` directly.
+  const Word* const iw = reinterpret_cast<const Word*>(in);
+  const Word* const ow = reinterpret_cast<const Word*>(out);
+  for (std::size_t w = 0; w < mwords; ++w) {
+    Word acc = 0;
+    for (std::size_t j = 0; j < no; ++j) acc |= iw[j * wps + w] ^ ow[j * wps + w];
+    mismatch[w] = acc;
+  }
+  if (lanes % wordvec::kLanes != 0) {
+    mismatch[mwords - 1] &= wordvec::lane_mask(lanes % wordvec::kLanes);
+  }
+}
+
 std::vector<BitVec> BitSlicedEvaluator::eval_batch(std::span<const BitVec> inputs) const {
   for (const auto& v : inputs) {
     if (v.size() != num_inputs()) {

@@ -100,6 +100,19 @@ class BitSlicedEvaluator {
   void eval_lane_block(std::span<const BitVec> inputs, std::size_t first, std::size_t lanes,
                        std::span<BitVec> outputs, std::vector<wordvec::Vec>& scratch) const;
 
+  /// Fixpoint probe over one lane block (the serving layer's Cheap
+  /// self-check): packs lanes [first, first+lanes) of `inputs`, evaluates
+  /// the program, and compares output j against input j entirely in the
+  /// packed word domain -- no lane unpack, which is what makes the probe
+  /// cheaper than a per-lane scan.  Requires num_outputs() == num_inputs().
+  /// On return, bit (l % 64) of mismatch[l / 64] is set for every relative
+  /// lane l in [0, lanes) whose evaluated outputs differ from its inputs;
+  /// `mismatch` must hold at least ceil(lanes / 64) words.  lanes <=
+  /// kBlockLanes; `scratch` is resized as needed and reusable across calls.
+  void check_fixpoint_lane_block(std::span<const BitVec> inputs, std::size_t first,
+                                 std::size_t lanes, std::vector<wordvec::Vec>& scratch,
+                                 std::span<wordvec::Word> mismatch) const;
+
  private:
   void compile(const Circuit& c, const BatchOptions& opts);
 

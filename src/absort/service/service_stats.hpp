@@ -112,6 +112,7 @@ struct ServiceStats {
   std::uint64_t quarantined = 0;        ///< (sorter, n) engines quarantined for good
   std::uint64_t degraded = 0;           ///< requests answered via the per-vector fallback
   std::uint64_t self_check_failed = 0;  ///< output lanes that failed the batch self-check
+  std::uint64_t cheap_checks = 0;       ///< output lanes verified by the cheap structural probe
   std::uint64_t unrecoverable = 0;      ///< requests answered Status::Failed
 
   // Edge counters (see edge/edge_server.hpp): always 0 in a plain in-process

@@ -25,9 +25,12 @@ SortService::SortService(ServiceOptions opts) : opts_(std::move(opts)) {
   opts_.max_batch_lanes = std::max<std::size_t>(1, opts_.max_batch_lanes);
   opts_.compile_attempts = std::max<std::size_t>(1, opts_.compile_attempts);
   opts_.quarantine_after = std::max<std::size_t>(1, opts_.quarantine_after);
-  // A plan that perturbs outputs makes the self-check mandatory: Status::Ok
-  // must always mean a correct result.
-  if (opts_.fault_plan && opts_.fault_plan->corrupts_outputs()) opts_.self_check = true;
+  // A plan that perturbs outputs makes the *complete* self-check mandatory:
+  // Status::Ok must always mean a correct result, and the Cheap probe cannot
+  // see corruption that forges a sorted output with the wrong popcount.
+  if (opts_.fault_plan && opts_.fault_plan->corrupts_outputs()) {
+    opts_.self_check = SelfCheck::Full;
+  }
   // Divide the machine: N shards each running engines at the default worker
   // count would stack N full-size BatchRunner pools onto the same cores.
   if (opts_.shards > 1 && opts_.batch.threads == 0) {
@@ -204,6 +207,20 @@ void SortService::strike(Engine& e, const Key& key) {
   }
 }
 
+void SortService::ensure_probe(Engine& e) {
+  if (e.probe_tried) return;
+  e.probe_tried = true;
+  try {
+    if (auto block = e.sorter->self_check_probe()) {
+      e.probe = std::make_unique<netlist::BitSlicedEvaluator>(*block, opts_.batch);
+    }
+  } catch (...) {
+    // The check must never take serving down: a sorter whose probe fails to
+    // compile simply stays on the Full oracle (e.probe remains null).
+    e.probe.reset();
+  }
+}
+
 BitVec SortService::per_vector(Engine& e, const BitVec& in) {
   if (e.sorter->is_combinational()) {
     if (!e.fallback) {
@@ -290,10 +307,11 @@ void SortService::process(std::size_t shard, const Key& key, std::vector<Request
   }
 
   // Rung 3: per-vector repair/fallback.  With batch_ok, the optional
-  // self-check re-evaluates only mismatched lanes (sorted + population count
-  // is a complete correctness oracle for 0-1 outputs); without it, the whole
-  // batch retreats to the per-vector path.  Rung 4: a lane whose fallback
-  // also threw is answered Status::Failed.
+  // self-check (Full: per-lane 0-1 oracle; Cheap: bit-sliced structural
+  // probe, falling back to the oracle for probe-less sorters) re-evaluates
+  // only mismatched lanes; without it, the whole batch retreats to the
+  // per-vector path.  Rung 4: a lane whose fallback also threw is answered
+  // Status::Failed.
   std::size_t degraded = 0;
   std::vector<std::uint8_t> lane_failed(live.size(), 0);
   const auto repair = [&](std::size_t i) {
@@ -304,14 +322,38 @@ void SortService::process(std::size_t shard, const Key& key, std::vector<Request
       lane_failed[i] = 1;
     }
   };
-  if (batch_ok && opts_.self_check) {
+  if (batch_ok && opts_.self_check != SelfCheck::Off) {
+    if (opts_.self_check == SelfCheck::Cheap) ensure_probe(e);
     bool struck = false;
-    for (std::size_t i = 0; i < live.size(); ++i) {
-      if (!outputs[i].is_sorted_ascending() ||
-          outputs[i].count_ones() != inputs[i].count_ones()) {
-        self_check_failed_.fetch_add(1, std::memory_order_relaxed);
-        struck = true;
-        repair(i);
+    if (opts_.self_check == SelfCheck::Cheap && e.probe) {
+      // One probe pass per kBlockLanes outputs: L(y) != y flags the lane
+      // (the probe's 0-1 fixpoints are exactly the sorted vectors).  The
+      // comparison happens in the packed word domain -- no unpack, which is
+      // where the tier's discount over the per-lane Full oracle comes from.
+      auto& mm = st.probe_mismatch;
+      mm.assign(wordvec::num_passes(live.size()), 0);
+      for (std::size_t first = 0; first < live.size(); first += netlist::kBlockLanes) {
+        const std::size_t lanes = std::min(netlist::kBlockLanes, live.size() - first);
+        e.probe->check_fixpoint_lane_block(
+            {outputs.data(), live.size()}, first, lanes, st.probe_scratch,
+            {mm.data() + first / wordvec::kLanes, wordvec::num_passes(lanes)});
+      }
+      cheap_checks_.fetch_add(live.size(), std::memory_order_relaxed);
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if ((mm[i / wordvec::kLanes] >> (i % wordvec::kLanes)) & 1) {
+          self_check_failed_.fetch_add(1, std::memory_order_relaxed);
+          struck = true;
+          repair(i);
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (!outputs[i].is_sorted_ascending() ||
+            outputs[i].count_ones() != inputs[i].count_ones()) {
+          self_check_failed_.fetch_add(1, std::memory_order_relaxed);
+          struck = true;
+          repair(i);
+        }
       }
     }
     if (struck) strike(e, key);
@@ -350,6 +392,7 @@ ServiceStats SortService::stats() const {
   s.quarantined = quarantined_.load(std::memory_order_relaxed);
   s.degraded = degraded_.load(std::memory_order_relaxed);
   s.self_check_failed = self_check_failed_.load(std::memory_order_relaxed);
+  s.cheap_checks = cheap_checks_.load(std::memory_order_relaxed);
   s.unrecoverable = unrecoverable_.load(std::memory_order_relaxed);
   const auto jit = netlist::jit_counters();
   s.jit_compiles = jit.compiles - jit_baseline_.compiles;

@@ -85,6 +85,16 @@ struct SortResult {
   BitVec output;  ///< valid only when status == Status::Ok
 };
 
+/// Batch-output verification tiers (the self-check rung of the degradation
+/// ladder).  See ServiceOptions::self_check.
+enum class SelfCheck {
+  Off,   ///< trust the engine
+  Full,  ///< per-lane 0-1 oracle: sorted + population count (complete)
+  Cheap, ///< bit-sliced structural probe (one period of the network) over the
+         ///< whole batch; complete against structural (comparator) faults,
+         ///< blind to payload corruption -- see the field comment
+};
+
 struct ServiceOptions {
   /// Per-core executors (clamped to >= 1).  Each shard owns a bounded
   /// submission queue, a coalescing dispatcher thread, a compiled-engine
@@ -157,11 +167,28 @@ struct ServiceOptions {
   /// most one faulty batch per `probation` healthy ones.
   std::size_t probation = 0;
 
-  /// Verify every batch output lane (sorted + population count -- a complete
-  /// oracle for 0-1 outputs) and re-evaluate only mismatched lanes through
-  /// the per-vector path.  Forced on whenever `fault_plan` can corrupt
-  /// outputs, so Status::Ok always implies a correct result.
-  bool self_check = false;
+  /// Batch-output verification tier.
+  ///
+  /// Full verifies every batch output lane with the complete 0-1 oracle
+  /// (sorted + population count) and re-evaluates only mismatched lanes
+  /// through the per-vector path.
+  ///
+  /// Cheap evaluates the sorter's self_check_probe() -- one period L of a
+  /// periodic network, whose 0-1 fixpoints are exactly the sorted vectors --
+  /// bit-sliced over the whole batch and flags lanes with L(y) != y.  One
+  /// probe pass amortizes over up to kBlockLanes outputs, so it undercuts
+  /// the per-lane oracle (E-T2 measures the gap).  It is *complete* against
+  /// structural faults in comparator-only engines (a comparator fault
+  /// preserves the population count, so a wrong output is unsorted and every
+  /// unsorted output fails the probe), but blind to corruption that forges a
+  /// sorted output with the wrong population count.  Sorters without a probe
+  /// (self_check_probe() == nullopt, or probe compilation fails) fall back
+  /// to the Full oracle for that key.
+  ///
+  /// Upgraded to Full whenever `fault_plan` can corrupt outputs (which can
+  /// forge sorted-but-wrong outputs Cheap cannot see), so Status::Ok always
+  /// implies a correct result.
+  SelfCheck self_check = SelfCheck::Off;
 
   /// Seeded chaos schedule perturbing the batch path (testing; see
   /// fault_injection.hpp).  No-op when null.
@@ -234,6 +261,11 @@ class SortService {
     std::unique_ptr<sorters::BatchSorter> batch;  ///< null until compiled / while quarantined
     std::optional<netlist::Circuit> circuit;      ///< lazy; combinational only
     std::unique_ptr<netlist::LevelizedCircuit> fallback;  ///< lazy per-vector path
+    /// Compiled self_check_probe() for the Cheap tier; null when the sorter
+    /// has none (that key falls back to the Full oracle).  Lazy; built by
+    /// ensure_probe() on the first Cheap-checked batch.
+    std::unique_ptr<netlist::BitSlicedEvaluator> probe;
+    bool probe_tried = false;
   };
 
   /// Degradation-ladder state for one (sorter, n), global across shards: a
@@ -253,6 +285,8 @@ class SortService {
     std::map<Key, Engine> engines;
     std::vector<BitVec> inputs;   ///< reused across micro-batches
     std::vector<BitVec> outputs;  ///< reused across micro-batches
+    std::vector<wordvec::Word> probe_mismatch;  ///< Cheap tier: per-lane L(y) != y bits
+    std::vector<wordvec::Vec> probe_scratch;    ///< Cheap tier: packing scratch
   };
 
   /// Expires, evaluates, and answers one formed micro-batch (executor
@@ -266,6 +300,10 @@ class SortService {
   /// One engine misbehaviour; quarantines the key (on every shard) at
   /// quarantine_after accumulated strikes.
   void strike(Engine& e, const Key& key);
+  /// Compiles the engine's self_check_probe() on first use (Cheap tier);
+  /// leaves e.probe null -- Full-oracle fallback -- when the sorter has no
+  /// probe or compilation throws (the check must never take serving down).
+  void ensure_probe(Engine& e);
   /// The trusted per-vector reference path (never fault-injected).
   BitVec per_vector(Engine& e, const BitVec& in);
   /// Affinity routing: hash(sorter, n) % shards.
@@ -302,6 +340,7 @@ class SortService {
   std::atomic<std::uint64_t> quarantined_{0};
   std::atomic<std::uint64_t> degraded_{0};
   std::atomic<std::uint64_t> self_check_failed_{0};
+  std::atomic<std::uint64_t> cheap_checks_{0};
   std::atomic<std::uint64_t> unrecoverable_{0};
   Histogram batch_size_h_;
   Histogram queue_wait_h_;

@@ -61,6 +61,7 @@ std::string stats_json(const ServiceStats& s) {
   counter("quarantined", s.quarantined);
   counter("degraded", s.degraded);
   counter("self_check_failed", s.self_check_failed);
+  counter("cheap_checks", s.cheap_checks);
   counter("unrecoverable", s.unrecoverable);
   counter("shedded", s.shedded);
   counter("decode_errors", s.decode_errors);

@@ -39,6 +39,10 @@ void clean_sort_value(std::vector<Lane>& v, std::size_t lo, std::size_t half, st
   }
 }
 
+}  // namespace
+
+namespace detail {
+
 void kway_merge_value(std::vector<Lane>& v, std::size_t lo, std::size_t m, std::size_t k) {
   if (m == k) {
     detail::muxmerge_sort_value(v, lo, m);
@@ -64,6 +68,10 @@ void kway_merge_value(std::vector<Lane>& v, std::size_t lo, std::size_t m, std::
   kway_merge_value(v, lo + m / 2, m / 2, k);
   detail::mux_merger_value(v, lo, m);
 }
+
+}  // namespace detail
+
+namespace {
 
 // ---- cost assembly ---------------------------------------------------------
 
@@ -283,7 +291,7 @@ std::vector<std::size_t> FishSorter::route(const BitVec& tags) const {
   // Front end: each group streams through the single n/k-input sorter; the
   // demultiplexer returns it to block t of the merger input.
   for (std::size_t t = 0; t < k_; ++t) detail::muxmerge_sort_value(lanes, t * g, g);
-  kway_merge_value(lanes, 0, n_, k_);
+  detail::kway_merge_value(lanes, 0, n_, k_);
   return detail::lane_perm(lanes);
 }
 
@@ -406,7 +414,7 @@ BitVec kway_merge(const BitVec& k_sorted, std::size_t k) {
   require_pow2(k, 2, "kway_merge k");
   if (k_sorted.size() < k) throw std::invalid_argument("kway_merge: n < k");
   auto lanes = detail::make_lanes(k_sorted);
-  kway_merge_value(lanes, 0, k_sorted.size(), k);
+  detail::kway_merge_value(lanes, 0, k_sorted.size(), k);
   BitVec out(k_sorted.size());
   for (std::size_t i = 0; i < lanes.size(); ++i) out[i] = lanes[i].tag;
   return out;

@@ -129,3 +129,11 @@ std::vector<netlist::WireId> build_kway_merger(netlist::Circuit& c,
                                                std::size_t k);
 
 }  // namespace absort::sorters
+
+namespace absort::sorters::detail {
+struct Lane;
+/// Value-level n-input k-way mux-merger on lanes [lo, lo+m) (k-sorted);
+/// mirrors build_kway_merger decision for decision.  Exposed for the
+/// multiway sorter's route(), which merges k recursively sorted groups.
+void kway_merge_value(std::vector<Lane>& v, std::size_t lo, std::size_t m, std::size_t k);
+}  // namespace absort::sorters::detail

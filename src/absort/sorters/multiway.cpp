@@ -1,0 +1,84 @@
+#include "absort/sorters/multiway.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "absort/sorters/detail/lane.hpp"
+#include "absort/sorters/fish_sorter.hpp"
+#include "absort/sorters/muxmerge_sorter.hpp"
+#include "absort/util/math.hpp"
+
+namespace absort::sorters {
+
+MultiwaySorter::MultiwaySorter(std::size_t n, std::size_t k) : BinarySorter(n), k_(k) {
+  require_pow2(n, 2, "MultiwaySorter n");
+  require_pow2(k, 2, "MultiwaySorter k");
+  if (k > n) throw std::invalid_argument("MultiwaySorter: need k <= n");
+}
+
+std::size_t MultiwaySorter::default_k(std::size_t n) {
+  return std::min<std::size_t>(4, n);
+}
+
+std::vector<netlist::WireId> MultiwaySorter::build_sorter(
+    netlist::Circuit& c, const std::vector<netlist::WireId>& in) const {
+  const std::size_t m = in.size();
+  if (m <= k_) return build_muxmerge_sorter(c, in);  // leaf n-sorter block
+  // Split into k groups, sort each recursively, k-way merge the sorted runs
+  // (m > k and both powers of two => k | m and m/k >= 2).
+  const std::size_t gs = m / k_;
+  std::vector<netlist::WireId> cat(m);
+  for (std::size_t g = 0; g < k_; ++g) {
+    const std::vector<netlist::WireId> group(in.begin() + static_cast<std::ptrdiff_t>(g * gs),
+                                             in.begin() + static_cast<std::ptrdiff_t>((g + 1) * gs));
+    const auto sorted = build_sorter(c, group);
+    std::copy(sorted.begin(), sorted.end(), cat.begin() + static_cast<std::ptrdiff_t>(g * gs));
+  }
+  return build_kway_merger(c, cat, k_);
+}
+
+netlist::Circuit MultiwaySorter::build_circuit() const {
+  netlist::Circuit c;
+  const auto in = c.inputs(n_);
+  c.mark_outputs(build_sorter(c, in));
+  return c;
+}
+
+void MultiwaySorter::sort_value(std::vector<detail::Lane>& v, std::size_t lo,
+                                std::size_t m) const {
+  if (m <= k_) {
+    detail::muxmerge_sort_value(v, lo, m);
+    return;
+  }
+  const std::size_t gs = m / k_;
+  for (std::size_t g = 0; g < k_; ++g) sort_value(v, lo + g * gs, gs);
+  detail::kway_merge_value(v, lo, m, k_);
+}
+
+std::vector<std::size_t> MultiwaySorter::route(const BitVec& tags) const {
+  if (tags.size() != n_) throw std::invalid_argument(name() + ": wrong input size");
+  auto lanes = detail::make_lanes(tags);
+  sort_value(lanes, 0, n_);
+  return detail::lane_perm(lanes);
+}
+
+std::size_t MultiwaySorter::expected_leaf_sorters(std::size_t n, std::size_t k) {
+  std::size_t leaves = 1, m = n;
+  while (m > k) {
+    leaves *= k;
+    m /= k;
+  }
+  return leaves;
+}
+
+std::size_t MultiwaySorter::expected_mergers(std::size_t n, std::size_t k) {
+  std::size_t total = 0, nodes = 1, m = n;
+  while (m > k) {
+    total += nodes;
+    nodes *= k;
+    m /= k;
+  }
+  return total;
+}
+
+}  // namespace absort::sorters

@@ -1,0 +1,60 @@
+#pragma once
+// Multiway merge sorter in the style of Shi-Yan-Wagh (arXiv:1407.0961):
+// instead of recursing over halves and 2-way merging (Batcher), the input is
+// split into k groups, each group is sorted recursively, and the k sorted
+// runs are combined by a single k-way merger.  The recursion bottoms out in
+// an n-sorter block (here the mux-merger sorter on <= k inputs), and the
+// k-way merger is the fish path's combinational build_kway_merger (Theorem 4
+// recursion: k-SWAP, clean sorter on the upper half, recurse on the lower,
+// final two-way mux-merger) -- this family is precisely the fish sorter's
+// merge tree with the time-multiplexed front end unrolled into hardware.
+//
+// A wider k trades merger depth (one k-way merge replaces lg k rounds of
+// 2-way merges) against leaf-sorter size, giving the service a cost/latency
+// point between mux-merger (k = 2 shape) and the model-B fish sorter.
+// Fully combinational: build_circuit() flows through the word-program
+// compiler, SIMD interpreter, and native JIT unchanged, and the default
+// CircuitBatchSorter compile-once path serves batches.
+
+#include <memory>
+
+#include "absort/sorters/sorter.hpp"
+
+namespace absort::sorters::detail {
+struct Lane;
+}  // namespace absort::sorters::detail
+
+namespace absort::sorters {
+
+class MultiwaySorter final : public BinarySorter {
+ public:
+  /// n and k must be powers of two with 2 <= k <= n.
+  MultiwaySorter(std::size_t n, std::size_t k);
+
+  [[nodiscard]] std::string name() const override { return "multiway-k"; }
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+
+  [[nodiscard]] std::vector<std::size_t> route(const BitVec& tags) const override;
+  [[nodiscard]] netlist::Circuit build_circuit() const override;
+
+  /// Block counts of the construction (asserted by the tests): the number of
+  /// leaf n-sorter blocks and of k-way merger blocks in the recursion tree.
+  [[nodiscard]] static std::size_t expected_leaf_sorters(std::size_t n, std::size_t k);
+  [[nodiscard]] static std::size_t expected_mergers(std::size_t n, std::size_t k);
+
+  /// Registry default: k = 4 (clamped to n), the smallest genuinely multiway
+  /// fan-in.
+  [[nodiscard]] static std::size_t default_k(std::size_t n);
+  [[nodiscard]] static std::unique_ptr<BinarySorter> make(std::size_t n) {
+    return std::make_unique<MultiwaySorter>(n, default_k(n));
+  }
+
+ private:
+  void sort_value(std::vector<detail::Lane>& v, std::size_t lo, std::size_t m) const;
+  std::vector<netlist::WireId> build_sorter(netlist::Circuit& c,
+                                            const std::vector<netlist::WireId>& in) const;
+
+  std::size_t k_;
+};
+
+}  // namespace absort::sorters

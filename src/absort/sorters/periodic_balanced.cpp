@@ -20,7 +20,15 @@ void balanced_block_ops(std::vector<Op>& ops, std::size_t lo, std::size_t count)
 
 PeriodicBalancedSorter::PeriodicBalancedSorter(std::size_t n) : OpNetworkSorter(n) {
   require_pow2(n, 1, "PeriodicBalancedSorter");
-  for (std::size_t pass = 0; pass < ilog2(n); ++pass) balanced_block_ops(ops_, 0, n);
+  for (std::size_t pass = 0; pass < ilog2(n); ++pass) {
+    balanced_block_ops(ops_, 0, n);
+    if (pass == 0) block_ops_ = ops_.size();
+  }
+  if (ilog2(n) == 0) block_ops_ = 0;  // n == 1: no passes at all
+}
+
+std::optional<netlist::Circuit> PeriodicBalancedSorter::self_check_probe() const {
+  return circuit_of_prefix(block_ops_);
 }
 
 std::size_t PeriodicBalancedSorter::expected_comparators(std::size_t n) {
@@ -37,11 +45,19 @@ std::size_t PeriodicBalancedSorter::expected_depth(std::size_t n) {
 
 OddEvenTranspositionSorter::OddEvenTranspositionSorter(std::size_t n) : OpNetworkSorter(n) {
   if (n == 0) throw std::invalid_argument("OddEvenTranspositionSorter: n == 0");
+  block_ops_ = 0;
   for (std::size_t stage = 0; stage < n; ++stage) {
     for (std::size_t i = stage % 2; i + 1 < n; i += 2) {
       ops_.push_back(Op::compare(i, i + 1));
     }
+    if (stage == 1) block_ops_ = ops_.size();
   }
+}
+
+std::optional<netlist::Circuit> OddEvenTranspositionSorter::self_check_probe() const {
+  // n == 1 leaves block_ops_ at 0 (empty probe: a single element is always
+  // sorted); n >= 2 records the first even+odd stage pair.
+  return circuit_of_prefix(block_ops_);
 }
 
 std::size_t OddEvenTranspositionSorter::expected_comparators(std::size_t n) {

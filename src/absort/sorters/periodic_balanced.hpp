@@ -17,6 +17,10 @@ class PeriodicBalancedSorter final : public OpNetworkSorter {
 
   [[nodiscard]] std::string name() const override { return "periodic-balanced"; }
 
+  /// One balanced merging block (the repeated pass) -- a complete sortedness
+  /// probe by periodicity (see BinarySorter::self_check_probe).
+  [[nodiscard]] std::optional<netlist::Circuit> self_check_probe() const override;
+
   /// (n/2) lg^2 n comparators, depth lg^2 n.
   [[nodiscard]] static std::size_t expected_comparators(std::size_t n);
   [[nodiscard]] static std::size_t expected_depth(std::size_t n);
@@ -24,6 +28,9 @@ class PeriodicBalancedSorter final : public OpNetworkSorter {
   [[nodiscard]] static std::unique_ptr<BinarySorter> make(std::size_t n) {
     return std::make_unique<PeriodicBalancedSorter>(n);
   }
+
+ private:
+  std::size_t block_ops_;  ///< ops in one balanced pass (a prefix of ops_)
 };
 
 /// Odd-even transposition ("brick wall") sorter: n alternating stages of
@@ -35,11 +42,18 @@ class OddEvenTranspositionSorter final : public OpNetworkSorter {
 
   [[nodiscard]] std::string name() const override { return "oe-transposition"; }
 
+  /// One even+odd stage pair -- repeating it ceil(n/2) times is the full
+  /// brick wall, so the pair is a complete sortedness probe.
+  [[nodiscard]] std::optional<netlist::Circuit> self_check_probe() const override;
+
   [[nodiscard]] static std::size_t expected_comparators(std::size_t n);
 
   [[nodiscard]] static std::unique_ptr<BinarySorter> make(std::size_t n) {
     return std::make_unique<OddEvenTranspositionSorter>(n);
   }
+
+ private:
+  std::size_t block_ops_;  ///< ops in the first even+odd stage pair
 };
 
 }  // namespace absort::sorters

@@ -1,0 +1,74 @@
+#include "absort/sorters/periodic_k.hpp"
+
+#include <stdexcept>
+
+#include "absort/util/math.hpp"
+
+namespace absort::sorters {
+
+namespace {
+
+/// Appends one brick layer: parity 0 = even brick (0,1),(2,3),...; parity 1 =
+/// odd brick (1,2),(3,4),...
+void brick_layer(std::vector<OpNetworkSorter::Op>& ops, std::size_t n, std::size_t parity) {
+  for (std::size_t i = parity; i + 1 < n; i += 2) {
+    ops.push_back(OpNetworkSorter::Op::compare(i, i + 1));
+  }
+}
+
+/// Layer parity sequence of one block: period 3 -> E O E, period 4 -> E O E O.
+constexpr std::size_t kBlockParity[4] = {0, 1, 0, 1};
+
+}  // namespace
+
+PeriodicKSorter::PeriodicKSorter(std::size_t n, std::size_t period)
+    : OpNetworkSorter(n), period_(period) {
+  if (period != 3 && period != 4) {
+    throw std::invalid_argument("periodic-k: period must be 3 or 4");
+  }
+  if (n < 1) throw std::invalid_argument("periodic-k: n must be >= 1");
+  iterations_ = expected_iterations(n, period);
+  for (std::size_t l = 0; l < period_; ++l) brick_layer(ops_, n_, kBlockParity[l]);
+  block_ops_ = ops_.size();
+  for (std::size_t t = 1; t < iterations_; ++t) {
+    for (std::size_t l = 0; l < period_; ++l) brick_layer(ops_, n_, kBlockParity[l]);
+  }
+}
+
+std::optional<netlist::Circuit> PeriodicKSorter::self_check_probe() const {
+  return circuit_of_prefix(block_ops_);
+}
+
+std::size_t PeriodicKSorter::expected_iterations(std::size_t n, std::size_t period) {
+  // See the header comment: the block's layers collapse (even-even pairs are
+  // idempotent) into 2t+1 (period 3) / 4t (period 4) alternating brick
+  // layers, and n alternating layers starting with the even brick sort n
+  // keys (odd-even transposition sort).  Always at least one application.
+  std::size_t t;
+  if (period == 3) {
+    t = n >= 1 ? ceil_div(n - 1, 2) : 0;
+  } else {
+    t = ceil_div(n, 4);
+  }
+  return t < 1 ? 1 : t;
+}
+
+std::size_t PeriodicKSorter::expected_comparators(std::size_t n, std::size_t period) {
+  const std::size_t even = n / 2;            // (0,1),(2,3),...
+  const std::size_t odd = n >= 1 ? (n - 1) / 2 : 0;  // (1,2),(3,4),...
+  const std::size_t block = period == 3 ? 2 * even + odd : 2 * even + 2 * odd;
+  return expected_iterations(n, period) * block;
+}
+
+std::size_t PeriodicKSorter::expected_depth(std::size_t n, std::size_t period) {
+  const std::size_t t = expected_iterations(n, period);
+  // n >= 3: lane 1 participates in every layer (both parities touch it), so
+  // depth = layers = period * t.  n == 2: odd layers are empty and each
+  // block contributes its 2 even layers (periods 3 and 4 alike), so 2t.
+  // n <= 1: no comparators at all.
+  if (n >= 3) return period * t;
+  if (n == 2) return 2 * t;
+  return 0;
+}
+
+}  // namespace absort::sorters

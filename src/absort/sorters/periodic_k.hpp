@@ -1,0 +1,65 @@
+#pragma once
+// Constant-periodic sorting network in the style of Piotrów's small-constant-
+// periodic merging networks (arXiv:1409.1749, 1401.0396): ONE fixed block of
+// p comparator layers (p = 3 or 4) applied t times.  A physical realization
+// needs only the single block -- data recirculates through it t times -- which
+// is the hardware appeal of constant periodicity, and the regularity is what
+// the serving layer's Cheap self-check tier exploits (one block is a complete
+// sortedness probe; see BinarySorter::self_check_probe).
+//
+// Block structure (E = even brick: comparators (0,1),(2,3),...; O = odd
+// brick: (1,2),(3,4),...):
+//   period 3: [E, O, E]      period 4: [E, O, E, O]
+//
+// Iteration count, proved by layer idempotence (E.E = E as a function, since
+// a second even pass over already-exchanged pairs is a no-op):
+//   period 3: block^t collapses to E (O E)^t -- 2t+1 alternating brick
+//             layers -- and n alternating layers sort n keys (odd-even
+//             transposition), so t = ceil((n-1)/2) suffices;
+//   period 4: block^t is 4t alternating layers as written, so t = ceil(n/4).
+//
+// Works for EVERY n >= 1 (no power-of-two restriction -- bricks truncate at
+// the boundary), which makes this the registry's only arbitrary-n
+// combinational sorter.  Cost is Theta(n^2) like the brick wall, but the
+// period (hardware footprint: one block of <= 2n comparators) is constant --
+// a genuinely different cost/latency point for the service to route between.
+// Piotrów's actual constructions reach O(log n) iterations with position-
+// dependent comparator scales; reproducing those is an open direction noted
+// in ROADMAP.md.
+
+#include <memory>
+
+#include "absort/sorters/sorter.hpp"
+
+namespace absort::sorters {
+
+class PeriodicKSorter final : public OpNetworkSorter {
+ public:
+  /// n >= 1; period must be 3 or 4.
+  explicit PeriodicKSorter(std::size_t n, std::size_t period = 3);
+
+  [[nodiscard]] std::string name() const override { return "periodic-k"; }
+  [[nodiscard]] std::size_t period() const noexcept { return period_; }
+  /// Number of times the block is applied (t above).
+  [[nodiscard]] std::size_t iterations() const noexcept { return iterations_; }
+
+  /// One block of the construction -- the periodic structure makes a single
+  /// block a complete sortedness probe (see sorter.hpp).
+  [[nodiscard]] std::optional<netlist::Circuit> self_check_probe() const override;
+
+  /// Closed forms asserted by the tests.
+  [[nodiscard]] static std::size_t expected_iterations(std::size_t n, std::size_t period);
+  [[nodiscard]] static std::size_t expected_comparators(std::size_t n, std::size_t period);
+  [[nodiscard]] static std::size_t expected_depth(std::size_t n, std::size_t period);
+
+  [[nodiscard]] static std::unique_ptr<BinarySorter> make(std::size_t n) {
+    return std::make_unique<PeriodicKSorter>(n);
+  }
+
+ private:
+  std::size_t period_;
+  std::size_t iterations_;
+  std::size_t block_ops_;  ///< ops in one block (a prefix of ops_)
+};
+
+}  // namespace absort::sorters

@@ -8,14 +8,28 @@
 #include "absort/sorters/columnsort.hpp"
 #include "absort/sorters/fish_sorter.hpp"
 #include "absort/sorters/hybrid_oem.hpp"
+#include "absort/sorters/multiway.hpp"
 #include "absort/sorters/muxmerge_sorter.hpp"
 #include "absort/sorters/periodic_balanced.hpp"
+#include "absort/sorters/periodic_k.hpp"
 #include "absort/sorters/prefix_sorter.hpp"
 
 namespace absort::sorters {
 
+void validate_registry(const std::vector<RegistryEntry>& table) {
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    for (std::size_t j = i + 1; j < table.size(); ++j) {
+      if (std::string_view(table[i].name) == table[j].name) {
+        throw std::logic_error(std::string("sorter registry: duplicate name '") +
+                               table[i].name + "'");
+      }
+    }
+  }
+}
+
 const std::vector<RegistryEntry>& registry() {
-  static const std::vector<RegistryEntry> table = {
+  static const std::vector<RegistryEntry> table = [] {
+    std::vector<RegistryEntry> t = {
       {"batcher", "Batcher odd-even merge network (Fig. 4a)", &BatcherOemSorter::make},
       {"bitonic", "Batcher bitonic sorter", &BitonicSorter::make},
       {"alt-oem", "alternative OEM with balanced merging blocks (Fig. 4b)",
@@ -31,7 +45,14 @@ const std::vector<RegistryEntry>& registry() {
        &HybridOemSorter::make},
       {"columnsort", "Leighton columnsort (time-multiplexed baseline)",
        &ColumnsortSorter::make},
-  };
+      {"periodic-k", "constant-periodic brick sorter (period-3 block, any n)",
+       &PeriodicKSorter::make},
+      {"multiway-k", "k-way merge sorter over n-sorter blocks (k = 4)",
+       &MultiwaySorter::make},
+    };
+    validate_registry(t);
+    return t;
+  }();
   return table;
 }
 

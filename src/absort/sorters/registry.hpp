@@ -23,6 +23,10 @@ struct RegistryEntry {
 /// Every registered sorter, in listing order.
 [[nodiscard]] const std::vector<RegistryEntry>& registry();
 
+/// Throws std::logic_error on duplicate names.  registry() runs this over
+/// its own table at first use; exposed so tests can exercise the guard.
+void validate_registry(const std::vector<RegistryEntry>& table);
+
 /// Entry for `name`, or nullptr if unknown.
 [[nodiscard]] const RegistryEntry* find_sorter(std::string_view name);
 

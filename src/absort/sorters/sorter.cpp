@@ -154,9 +154,14 @@ std::vector<std::size_t> OpNetworkSorter::route(const BitVec& tags) const {
 }
 
 netlist::Circuit OpNetworkSorter::build_circuit() const {
+  return circuit_of_prefix(ops_.size());
+}
+
+netlist::Circuit OpNetworkSorter::circuit_of_prefix(std::size_t nops) const {
   netlist::Circuit c;
   auto wires = c.inputs(n_);
-  for (const auto& op : ops_) {
+  for (std::size_t x = 0; x < nops && x < ops_.size(); ++x) {
+    const auto& op = ops_[x];
     if (op.kind == Op::Kind::Compare) {
       const auto [lo, hi] = c.comparator(wires[op.i], wires[op.j]);
       wires[op.i] = lo;

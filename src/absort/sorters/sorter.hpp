@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -138,6 +139,19 @@ class BinarySorter {
   /// The network as a netlist (model-A sorters only; model-B throws).
   [[nodiscard]] virtual netlist::Circuit build_circuit() const;
 
+  /// Structural self-check block for periodic networks: a circuit L (one
+  /// period of the construction, containing both brick parities) whose 0-1
+  /// fixpoints are exactly the sorted vectors -- L(y) == y iff y is sorted.
+  /// This holds for any block whose t-fold repetition is a sorting network:
+  /// sorted inputs are fixpoints of every standard comparator layer, and a
+  /// fixpoint y of L satisfies y = L^t(y), which is sorted.  The serving
+  /// layer's Cheap self-check tier evaluates L bit-sliced over every output
+  /// lane instead of running the per-lane 0-1 oracle (see
+  /// ServiceOptions::self_check).  Non-periodic sorters return nullopt.
+  [[nodiscard]] virtual std::optional<netlist::Circuit> self_check_probe() const {
+    return std::nullopt;
+  }
+
   /// Cost/depth under a model; defaults to analyzing build_circuit().
   [[nodiscard]] virtual netlist::CostReport cost_report(const netlist::CostModel& m) const;
 
@@ -203,6 +217,11 @@ class OpNetworkSorter : public BinarySorter {
   [[nodiscard]] const std::vector<Op>& ops() const noexcept { return ops_; }
 
  protected:
+  /// The first `nops` ops of the program as a standalone circuit -- how the
+  /// periodic sorters expose one block of their structure as a
+  /// self_check_probe() (every block is a prefix of the program).
+  [[nodiscard]] netlist::Circuit circuit_of_prefix(std::size_t nops) const;
+
   std::vector<Op> ops_;
 };
 

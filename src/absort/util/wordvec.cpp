@@ -13,9 +13,10 @@ void pack_lanes(std::span<const BitVec> batch, std::size_t first, std::size_t la
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     const BitVec& v = batch[first + lane];
     assert(v.size() == n);
-    const Word bit = Word{1} << lane;
+    // Branchless: the bytes are 0/1 with data-dependent values, so a
+    // conditional |= mispredicts half the time on random batches.
     for (std::size_t i = 0; i < n; ++i) {
-      if (v[i] & 1) words[i] |= bit;
+      words[i] |= static_cast<Word>(v[i] & 1) << lane;
     }
   }
 }
@@ -46,9 +47,9 @@ void pack_lanes_wide(std::span<const BitVec> batch, std::size_t first, std::size
     for (std::size_t lane = 0; lane < lw; ++lane) {
       const BitVec& v = batch[first + w * kLanes + lane];
       assert(v.size() == n);
-      const Word bit = Word{1} << lane;
+      // Branchless for the same reason as pack_lanes above.
       for (std::size_t i = 0; i < n; ++i) {
-        if (v[i] & 1) words[i * words_per_slot + w] |= bit;
+        words[i * words_per_slot + w] |= static_cast<Word>(v[i] & 1) << lane;
       }
     }
   }

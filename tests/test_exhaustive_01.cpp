@@ -89,6 +89,27 @@ TEST(Exhaustive01, EverySorterEveryInputUpToN12) {
   }
 }
 
+// Regression guard for the sweep's coverage: the number of sorters the
+// tier-1 sweep actually reaches (>= 1 accepted size in [2, 12]) must equal
+// registry().size().  A future registry entry whose construction rejects
+// every n <= 12 would silently fall out of the sweep above; this makes that
+// a failure with the entry's name attached.
+TEST(Exhaustive01, SweepCoversExactlyTheRegistry) {
+  std::size_t swept = 0;
+  for (const auto& e : sorters::registry()) {
+    bool reachable = false;
+    for (std::size_t n = 2; n <= 12 && !reachable; ++n) {
+      try {
+        reachable = e.factory(n) != nullptr;
+      } catch (const std::exception&) {
+      }
+    }
+    EXPECT_TRUE(reachable) << e.name << " accepts no size in [2, 12]";
+    if (reachable) ++swept;
+  }
+  EXPECT_EQ(swept, sorters::registry().size());
+}
+
 TEST(Exhaustive01, EverySorterEveryInputN16Slow) {
   if (const char* env = std::getenv("ABSORT_SLOW_TESTS"); !env || env[0] == '0') {
     GTEST_SKIP() << "set ABSORT_SLOW_TESTS=1 (or run `ctest -L slow`) for the 2^16 sweep";

@@ -1,0 +1,277 @@
+// The two sorter families of ROADMAP item 1 as first-class registry
+// citizens:
+//
+//  * periodic-k -- the constant-periodic brick sorter (one block of 3 or 4
+//    alternating brick layers applied t times).  Checked: the closed forms
+//    for iterations/comparators/depth, arbitrary (non-power-of-two) n, and
+//    the self_check_probe() fixpoint theorem -- L(y) == y exactly when y is
+//    sorted, over ALL 2^n inputs (this is what the service's Cheap tier
+//    stands on, so it is proved here for every probe-bearing sorter).
+//
+//  * multiway-k -- k-way merging over n-sorter blocks (Shi-Yan-Wagh shape,
+//    built on the fish path's build_kway_merger).  Checked: leaf/merger
+//    block counts against an independently computed closed form, exhaustive
+//    0-1 correctness across k, and route()'s data-carrying face.
+//
+// Both families: sort_batch bit-identity against Circuit::eval on every
+// explicit backend, and ragged batch shapes through the compile-once
+// BatchSorter path (including one shape past kBlockLanes).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "absort/netlist/batch_eval.hpp"
+#include "absort/sorters/multiway.hpp"
+#include "absort/sorters/periodic_balanced.hpp"
+#include "absort/sorters/periodic_k.hpp"
+#include "absort/sorters/registry.hpp"
+#include "absort/util/bitvec.hpp"
+#include "test_seed.hpp"
+
+namespace absort {
+namespace {
+
+using sorters::MultiwaySorter;
+using sorters::OddEvenTranspositionSorter;
+using sorters::PeriodicBalancedSorter;
+using sorters::PeriodicKSorter;
+
+// ------------------------------------------------------ periodic-k formulas
+
+TEST(PeriodicK, IterationCostDepthClosedForms) {
+  for (const std::size_t period : {3u, 4u}) {
+    for (const std::size_t n : {2u, 3u, 4u, 5u, 6u, 7u, 8u, 12u, 16u, 48u}) {
+      const PeriodicKSorter s(n, period);
+      SCOPED_TRACE(::testing::Message() << "n=" << n << " period=" << period);
+      EXPECT_EQ(s.period(), period);
+      EXPECT_EQ(s.iterations(), PeriodicKSorter::expected_iterations(n, period));
+      EXPECT_EQ(s.comparator_count(), PeriodicKSorter::expected_comparators(n, period));
+      EXPECT_EQ(s.comparator_depth(), PeriodicKSorter::expected_depth(n, period));
+      // One block is period layers; the whole program is t blocks of it.
+      const std::size_t even = n / 2, odd = (n - 1) / 2;
+      const std::size_t block = period == 3 ? 2 * even + odd : 2 * even + 2 * odd;
+      EXPECT_EQ(s.comparator_count(), s.iterations() * block);
+    }
+  }
+  // The iteration bound is the brick-wall collapse: period 3 yields 2t+1
+  // alternating layers, period 4 yields 4t -- both must reach n layers.
+  for (std::size_t n = 2; n <= 64; ++n) {
+    EXPECT_GE(2 * PeriodicKSorter::expected_iterations(n, 3) + 1, n);
+    EXPECT_GE(4 * PeriodicKSorter::expected_iterations(n, 4), n);
+  }
+}
+
+TEST(PeriodicK, RejectsBadPeriods) {
+  EXPECT_THROW(PeriodicKSorter(8, 2), std::invalid_argument);
+  EXPECT_THROW(PeriodicKSorter(8, 5), std::invalid_argument);
+}
+
+// periodic-k is the registry's only arbitrary-n combinational sorter: the
+// bricks truncate at the boundary, so every n works.  Exhaustive 0-1 sweep
+// on the awkward sizes the power-of-two families reject.
+TEST(PeriodicK, SortsEveryInputAtNonPowerOfTwoSizes) {
+  for (const std::size_t period : {3u, 4u}) {
+    for (const std::size_t n : {2u, 3u, 5u, 6u, 7u, 9u, 10u}) {
+      const PeriodicKSorter s(n, period);
+      const auto circuit = s.build_circuit();
+      SCOPED_TRACE(::testing::Message() << "n=" << n << " period=" << period);
+      for (std::uint64_t v = 0; v < (std::uint64_t{1} << n); ++v) {
+        const auto in = BitVec::from_bits_of(v, n);
+        const auto expect = BitVec::sorted_with_ones(n, in.count_ones());
+        ASSERT_EQ(s.sort(in), expect) << "input " << v;
+        ASSERT_EQ(circuit.eval(in), expect) << "input " << v;
+      }
+    }
+  }
+}
+
+// --------------------------------------------- the self-check probe theorem
+
+/// Asserts the fixpoint theorem the Cheap tier stands on: the probe circuit
+/// L satisfies L(y) == y exactly when y is sorted, over ALL 2^n inputs.
+void expect_probe_is_sortedness_oracle(const sorters::BinarySorter& s) {
+  const auto block = s.self_check_probe();
+  ASSERT_TRUE(block.has_value()) << s.name();
+  const std::size_t n = s.size();
+  SCOPED_TRACE(::testing::Message() << s.name() << " n=" << n);
+  for (std::uint64_t v = 0; v < (std::uint64_t{1} << n); ++v) {
+    const auto y = BitVec::from_bits_of(v, n);
+    const bool fixpoint = block->eval(y) == y;
+    ASSERT_EQ(fixpoint, y.is_sorted_ascending()) << "y = " << y.str();
+  }
+}
+
+TEST(SelfCheckProbe, FixpointsAreExactlyTheSortedVectors) {
+  for (const std::size_t n : {2u, 5u, 8u, 10u}) {
+    expect_probe_is_sortedness_oracle(PeriodicKSorter(n, 3));
+    expect_probe_is_sortedness_oracle(PeriodicKSorter(n, 4));
+    expect_probe_is_sortedness_oracle(OddEvenTranspositionSorter(n));
+  }
+  for (const std::size_t n : {2u, 4u, 8u}) {
+    expect_probe_is_sortedness_oracle(PeriodicBalancedSorter(n));
+  }
+}
+
+// The serving layer's Cheap tier runs the probe through the packed-domain
+// fixpoint check (no lane unpack).  Its mismatch bits must agree with
+// per-lane sortedness on a batch mixing sorted and unsorted vectors, across
+// every lane-block width (sub-word, one-word, SIMD, x2-unrolled) and with a
+// ragged tail.
+TEST(SelfCheckProbe, PackedFixpointCheckFlagsExactlyTheUnsortedLanes) {
+  ABSORT_SEEDED_RNG(rng, 0xF1EDC0DE);
+  const PeriodicKSorter s(19, 3);
+  const netlist::BitSlicedEvaluator probe(*s.self_check_probe(), {});
+  const std::size_t widths[] = {1,  5,  64, 65, netlist::kBlockLanes / 2,
+                                netlist::kBlockLanes, netlist::kBlockLanes - 3};
+  for (const std::size_t lanes : widths) {
+    std::vector<BitVec> batch;
+    for (std::size_t i = 0; i < lanes; ++i) {
+      auto v = workload::random_bits(rng, 19);
+      if (i % 2 == 0) v = BitVec::sorted_with_ones(19, v.count_ones());
+      batch.push_back(std::move(v));
+    }
+    std::vector<wordvec::Word> mm(wordvec::num_passes(lanes), ~wordvec::Word{0});
+    std::vector<wordvec::Vec> scratch;
+    probe.check_fixpoint_lane_block(batch, 0, lanes, scratch, mm);
+    SCOPED_TRACE(::testing::Message() << "lanes=" << lanes);
+    for (std::size_t i = 0; i < lanes; ++i) {
+      const bool flagged = (mm[i / wordvec::kLanes] >> (i % wordvec::kLanes)) & 1;
+      ASSERT_EQ(flagged, !batch[i].is_sorted_ascending()) << "lane " << i;
+    }
+    // Padding bits past `lanes` in the last word must be clear.
+    if (lanes % wordvec::kLanes != 0) {
+      ASSERT_EQ(mm.back() & ~wordvec::lane_mask(lanes % wordvec::kLanes), 0u);
+    }
+  }
+}
+
+TEST(SelfCheckProbe, NonPeriodicSortersHaveNone) {
+  // The probe is a periodic-structure property; everything else reports
+  // nullopt and the service's Cheap tier falls back to the Full oracle.
+  for (const char* name : {"batcher", "prefix", "mux-merger", "multiway-k", "fish"}) {
+    const auto s = sorters::make_sorter(name, 16);
+    EXPECT_FALSE(s->self_check_probe().has_value()) << name;
+  }
+}
+
+// ------------------------------------------------------ multiway-k structure
+
+TEST(Multiway, BlockCountClosedForms) {
+  for (const std::size_t n : {4u, 8u, 16u, 64u, 256u}) {
+    for (const std::size_t k : {2u, 4u, 8u, 16u}) {
+      if (k > n) continue;
+      SCOPED_TRACE(::testing::Message() << "n=" << n << " k=" << k);
+      // Independent derivation: j splitting levels until groups fit in one
+      // leaf block, k^j leaves, (k^j - 1)/(k - 1) mergers (a full k-ary
+      // tree's internal nodes).
+      std::size_t j = 0, m = n;
+      while (m > k) {
+        ++j;
+        m /= k;
+      }
+      std::size_t leaves = 1;
+      for (std::size_t i = 0; i < j; ++i) leaves *= k;
+      EXPECT_EQ(MultiwaySorter::expected_leaf_sorters(n, k), leaves);
+      EXPECT_EQ(MultiwaySorter::expected_mergers(n, k),
+                j == 0 ? 0u : (leaves - 1) / (k - 1));
+    }
+  }
+}
+
+TEST(Multiway, SortsEveryInputAcrossK) {
+  for (const std::size_t k : {2u, 4u, 8u}) {
+    const std::size_t n = 8;
+    const MultiwaySorter s(n, k);
+    const auto circuit = s.build_circuit();
+    SCOPED_TRACE(::testing::Message() << "k=" << k);
+    for (std::uint64_t v = 0; v < (std::uint64_t{1} << n); ++v) {
+      const auto in = BitVec::from_bits_of(v, n);
+      const auto expect = BitVec::sorted_with_ones(n, in.count_ones());
+      ASSERT_EQ(s.sort(in), expect) << "input " << v;
+      ASSERT_EQ(circuit.eval(in), expect) << "input " << v;
+    }
+  }
+}
+
+TEST(Multiway, RouteCarriesPayloads) {
+  ABSORT_SEEDED_RNG(rng, 0x3141592653589793);
+  const MultiwaySorter s(16, 4);
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto tags = workload::random_bits(rng, 16);
+    const auto perm = s.route(tags);
+    std::vector<bool> seen(16, false);
+    for (const auto p : perm) {
+      ASSERT_LT(p, 16u);
+      ASSERT_FALSE(seen[p]) << "route() is not a permutation";
+      seen[p] = true;
+    }
+    // The network carries data: applying the permutation to the tags
+    // themselves must produce the sorted sequence.
+    ASSERT_EQ(s.sort(tags), BitVec::sorted_with_ones(16, tags.count_ones()));
+  }
+}
+
+TEST(Multiway, RejectsBadShapes) {
+  EXPECT_THROW(MultiwaySorter(12, 4), std::invalid_argument);  // n not pow2
+  EXPECT_THROW(MultiwaySorter(16, 3), std::invalid_argument);  // k not pow2
+  EXPECT_THROW(MultiwaySorter(8, 16), std::invalid_argument);  // k > n
+}
+
+// ----------------------------------------- batch engines, the three backends
+
+/// sort_batch must be bit-for-bit Circuit::eval on every explicit backend
+/// (Native silently degrades to Simd without a toolchain -- still
+/// bit-identical, which is the property under test).
+void expect_backend_bit_identity(const sorters::BinarySorter& s) {
+  ABSORT_SEEDED_RNG(rng, 0x0BACCE5500000000 + s.size());
+  const auto circuit = s.build_circuit();
+  std::vector<BitVec> batch;
+  std::vector<BitVec> expect;
+  for (int i = 0; i < 300; ++i) {
+    batch.push_back(workload::random_bits(rng, s.size()));
+    expect.push_back(circuit.eval(batch.back()));
+  }
+  for (const auto be :
+       {netlist::Backend::Interpreter, netlist::Backend::Simd, netlist::Backend::Native}) {
+    sorters::BatchOptions opts;
+    opts.backend = be;
+    const auto out = s.sort_batch(batch, opts);
+    SCOPED_TRACE(::testing::Message() << s.name() << " backend=" << netlist::to_string(be));
+    for (std::size_t i = 0; i < batch.size(); ++i) ASSERT_EQ(out[i], expect[i]) << "lane " << i;
+  }
+}
+
+TEST(BatchBackends, PeriodicKBitIdenticalOnEveryBackend) {
+  expect_backend_bit_identity(PeriodicKSorter(12, 3));
+  expect_backend_bit_identity(PeriodicKSorter(12, 4));
+}
+
+TEST(BatchBackends, MultiwayBitIdenticalOnEveryBackend) {
+  expect_backend_bit_identity(MultiwaySorter(16, 4));
+}
+
+/// One compile-once engine fed every ragged shape, including one past
+/// kBlockLanes so the multi-block path runs.
+void expect_ragged_batches_match_sort(const sorters::BinarySorter& s) {
+  ABSORT_SEEDED_RNG(rng, 0x4A66ED00 + s.size());
+  const auto engine = s.make_batch_sorter();
+  const std::size_t counts[] = {1, 3, 64, 65, 200, netlist::kBlockLanes + 1};
+  for (const std::size_t count : counts) {
+    std::vector<BitVec> batch;
+    for (std::size_t i = 0; i < count; ++i) batch.push_back(workload::random_bits(rng, s.size()));
+    const auto out = engine->run(batch);
+    SCOPED_TRACE(::testing::Message() << s.name() << " count=" << count);
+    ASSERT_EQ(out.size(), count);
+    for (std::size_t i = 0; i < count; ++i) ASSERT_EQ(out[i], s.sort(batch[i])) << "lane " << i;
+  }
+}
+
+TEST(BatchShapes, RaggedBatchesMatchPerVectorSort) {
+  expect_ragged_batches_match_sort(PeriodicKSorter(11, 3));  // odd n, batched
+  expect_ragged_batches_match_sort(MultiwaySorter(16, 4));
+}
+
+}  // namespace
+}  // namespace absort

@@ -1,0 +1,95 @@
+// Direct unit coverage of the sorter registry's lookup and error paths --
+// previously only reachable through CLI smoke tests.  The registry is the
+// seam every front end (CLI, benches, SortService, the TCP edge) resolves
+// sorters through, so its failure modes are contract, not incidentals:
+// unknown names must throw listing every available sorter, and the
+// duplicate-name guard must refuse a table where two entries collide.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "absort/sorters/batcher_oem.hpp"
+#include "absort/sorters/registry.hpp"
+
+namespace absort {
+namespace {
+
+TEST(Registry, FindReturnsEntryWithMatchingName) {
+  for (const auto& e : sorters::registry()) {
+    const auto* found = sorters::find_sorter(e.name);
+    ASSERT_NE(found, nullptr) << e.name;
+    EXPECT_EQ(found, &e) << e.name;
+  }
+}
+
+TEST(Registry, FindUnknownReturnsNull) {
+  EXPECT_EQ(sorters::find_sorter("no-such-sorter"), nullptr);
+  EXPECT_EQ(sorters::find_sorter(""), nullptr);
+  // Prefixes and near-misses of real names must not match.
+  EXPECT_EQ(sorters::find_sorter("batch"), nullptr);
+  EXPECT_EQ(sorters::find_sorter("periodic-"), nullptr);
+}
+
+TEST(Registry, MakeUnknownThrowsListingEveryName) {
+  try {
+    (void)sorters::make_sorter("no-such-sorter", 8);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& ex) {
+    const std::string msg = ex.what();
+    EXPECT_NE(msg.find("no-such-sorter"), std::string::npos) << msg;
+    for (const auto& e : sorters::registry()) {
+      EXPECT_NE(msg.find(e.name), std::string::npos) << "missing " << e.name << " in: " << msg;
+    }
+  }
+}
+
+TEST(Registry, NamesListContainsTheNewFamilies) {
+  const auto names = sorters::sorter_names();
+  EXPECT_NE(names.find("periodic-k"), std::string::npos) << names;
+  EXPECT_NE(names.find("multiway-k"), std::string::npos) << names;
+}
+
+TEST(Registry, DuplicateNameGuardThrows) {
+  // The guard registry() itself runs at first use: a crafted table with a
+  // colliding name must be refused.
+  std::vector<sorters::RegistryEntry> dup = {
+      {"batcher", "one", &sorters::BatcherOemSorter::make},
+      {"bitonic", "two", &sorters::BatcherOemSorter::make},
+      {"batcher", "three", &sorters::BatcherOemSorter::make},
+  };
+  EXPECT_THROW(sorters::validate_registry(dup), std::logic_error);
+  // And the real table passes (otherwise registry() would already have
+  // thrown on first use above).
+  EXPECT_NO_THROW(sorters::validate_registry(sorters::registry()));
+}
+
+TEST(Registry, EveryFactoryConstructsASorterThatIdentifiesItself) {
+  // The registry name is the serving-layer cache key; the sorter's own
+  // name() is the diagnostic identity.  Some entries abbreviate ("batcher"
+  // -> "batcher-oem", "periodic" -> "periodic-balanced"), so the contract is
+  // a non-empty self-identification -- and the two new families, which set
+  // the going-forward convention, must match their registry names exactly.
+  for (const auto& e : sorters::registry()) {
+    std::unique_ptr<sorters::BinarySorter> s;
+    // Probe a few sizes; every entry accepts at least one (the exhaustive
+    // sweep's coverage test enforces that).
+    for (const std::size_t n : {16u, 8u, 4u}) {
+      try {
+        s = e.factory(n);
+        break;
+      } catch (const std::exception&) {
+      }
+    }
+    ASSERT_NE(s, nullptr) << e.name;
+    EXPECT_FALSE(s->name().empty()) << e.name;
+  }
+  EXPECT_EQ(sorters::make_sorter("periodic-k", 8)->name(), "periodic-k");
+  EXPECT_EQ(sorters::make_sorter("multiway-k", 8)->name(), "multiway-k");
+}
+
+}  // namespace
+}  // namespace absort

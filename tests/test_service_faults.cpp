@@ -25,6 +25,7 @@
 #include "absort/netlist/transform.hpp"
 #include "absort/service/fault_injection.hpp"
 #include "absort/service/sort_service.hpp"
+#include "absort/sorters/periodic_k.hpp"
 #include "absort/sorters/registry.hpp"
 #include "absort/util/bitvec.hpp"
 #include "test_seed.hpp"
@@ -187,8 +188,10 @@ TEST(ServiceFaults, CorruptedLanesDetectedBySelfCheckAndRepaired) {
   so.quarantine_after = 1000;  // keep the batch path engaged throughout
   so.fault_plan = std::make_shared<FaultPlan>(fo);
   SortService svc(so);
-  // Installing a corrupting plan must force the self-check on.
-  EXPECT_TRUE(svc.options().self_check);
+  // Installing a corrupting plan must force the *complete* self-check on
+  // (Full, not Cheap: the structural probe cannot see corruption that forges
+  // a sorted output with the wrong popcount).
+  EXPECT_EQ(svc.options().self_check, service::SelfCheck::Full);
 
   expect_all_ok(svc, "mux-merger", 32, 32, rng);
   const auto st = svc.stats();
@@ -301,6 +304,121 @@ TEST(ServiceFaults, ChaosScheduleEveryFutureResolvesBitExact) {
   EXPECT_EQ(st.failed, 0u);
   EXPECT_EQ(st.unrecoverable, 0u);
   EXPECT_GE(so.fault_plan->counters().total(), 4u);  // chaos actually ran
+}
+
+// ------------------------------- part 3: the Cheap structural self-check tier
+
+// Differential fault sweep for the Cheap probe, at circuit level: inject
+// every applicable single-component structural fault into a periodic-k
+// instance and check, over ALL 2^n inputs, that the one-block probe detects
+// exactly what the full 0-1 oracle detects -- or the faulted output is
+// provably harmless (it IS the correct sorted sequence).
+//
+// Exact agreement is no accident: periodic-k is comparator-only, so the only
+// applicable FaultKind is OutputsSwapped, which permutes (never duplicates)
+// values -- the population count is always preserved, hence a wrong output
+// is wrong only by being unsorted, and both checks reduce to sortedness.
+// The popcount leg of the Full oracle exists for *corrupting* faults, which
+// is exactly why a corrupting FaultPlan forces SelfCheck::Full.
+TEST(CheapSelfCheck, ProbeMatchesOracleOnEveryStructuralFault) {
+  constexpr std::size_t kN = 8;
+  const sorters::PeriodicKSorter sorter(kN, 3);
+  const auto circuit = sorter.build_circuit();
+  const auto block = sorter.self_check_probe();
+  ASSERT_TRUE(block.has_value());
+
+  std::size_t faults_tried = 0, detected = 0;
+  for (std::size_t comp = 0; comp < circuit.num_components(); ++comp) {
+    for (const auto kind :
+         {netlist::FaultKind::StuckControl0, netlist::FaultKind::StuckControl1,
+          netlist::FaultKind::OutputsSwapped}) {
+      const netlist::Fault f{comp, kind};
+      if (!netlist::fault_applicable(circuit, f)) continue;
+      ++faults_tried;
+      bool fault_seen = false;
+      for (std::uint64_t v = 0; v < (std::uint64_t{1} << kN); ++v) {
+        const auto in = BitVec::from_bits_of(v, kN);
+        const auto expect = BitVec::sorted_with_ones(kN, in.count_ones());
+        const auto out = netlist::eval_with_fault(circuit, in, f);
+        const bool oracle_ok = self_check_passes(out, in);
+        const bool probe_ok = block->eval(out) == out;
+        // The probe must catch every fault the full oracle catches (and,
+        // comparator networks being swap-only, nothing more).
+        ASSERT_EQ(probe_ok, oracle_ok)
+            << "comp=" << comp << " kind=" << static_cast<int>(kind) << " input=" << v;
+        if (oracle_ok) {
+          ASSERT_EQ(out, expect) << "comp=" << comp << " input=" << v;  // harmless
+        } else {
+          fault_seen = true;
+        }
+      }
+      if (fault_seen) ++detected;
+    }
+  }
+  EXPECT_GT(faults_tried, 0u);
+  EXPECT_GT(detected, 0u);
+}
+
+TEST(CheapSelfCheck, CleanOnHealthyTrafficAndCountsProbedLanes) {
+  ABSORT_SEEDED_RNG(rng, 108);
+  ServiceOptions so;
+  so.self_check = service::SelfCheck::Cheap;
+  SortService svc(so);
+  EXPECT_EQ(svc.options().self_check, service::SelfCheck::Cheap);  // no plan: not upgraded
+
+  // periodic-k carries a probe: every lane goes through the bit-sliced
+  // structural check, none may flag, and results stay bit-exact.
+  expect_all_ok(svc, "periodic-k", 48, 40, rng);
+  const auto st = svc.stats();
+  EXPECT_EQ(st.completed, 40u);
+  EXPECT_EQ(st.cheap_checks, 40u);
+  EXPECT_EQ(st.self_check_failed, 0u);
+  EXPECT_EQ(st.degraded, 0u);
+}
+
+TEST(CheapSelfCheck, ProbelessSorterFallsBackToFullOracle) {
+  ABSORT_SEEDED_RNG(rng, 109);
+  ServiceOptions so;
+  so.self_check = service::SelfCheck::Cheap;
+  SortService svc(so);
+
+  // batcher has no probe: the Cheap tier serves it through the Full oracle
+  // instead -- checked (bit-exact) but never counted as a cheap probe.
+  expect_all_ok(svc, "batcher", 16, 24, rng);
+  auto st = svc.stats();
+  EXPECT_EQ(st.completed, 24u);
+  EXPECT_EQ(st.cheap_checks, 0u);
+  EXPECT_EQ(st.self_check_failed, 0u);
+
+  // ... while a probe-bearing key on the same service uses the probe.
+  expect_all_ok(svc, "oe-transposition", 16, 24, rng);
+  st = svc.stats();
+  EXPECT_EQ(st.completed, 48u);
+  EXPECT_EQ(st.cheap_checks, 24u);
+  EXPECT_EQ(st.self_check_failed, 0u);
+}
+
+TEST(CheapSelfCheck, CorruptingPlanUpgradesCheapToFull) {
+  // Requesting Cheap under a corrupting plan must not stick: Status::Ok has
+  // to keep implying a correct result, and only the Full oracle sees forged
+  // sorted-but-wrong-popcount outputs.
+  ABSORT_SEEDED_RNG(rng, 110);
+  FaultPlanOptions fo;
+  fo.seed = rng_seed;
+  fo.corrupt = 1.0;
+  fo.corrupt_fraction = 0.5;
+  ServiceOptions so;
+  so.self_check = service::SelfCheck::Cheap;
+  so.quarantine_after = 1000;
+  so.fault_plan = std::make_shared<FaultPlan>(fo);
+  SortService svc(so);
+  EXPECT_EQ(svc.options().self_check, service::SelfCheck::Full);
+
+  expect_all_ok(svc, "periodic-k", 32, 32, rng);
+  const auto st = svc.stats();
+  EXPECT_GE(st.self_check_failed, 1u);
+  EXPECT_EQ(st.cheap_checks, 0u);  // Full tier: the probe never runs
+  EXPECT_EQ(st.completed, 32u);
 }
 
 }  // namespace

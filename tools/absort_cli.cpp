@@ -483,7 +483,8 @@ int cmd_serve(bool selftest, bool stats, std::size_t producers, std::size_t requ
     const char* sorter;
     std::size_t n;
   };
-  const Key keys[] = {{"prefix", 64}, {"mux-merger", 128}, {"batcher", 32}, {"fish", 64}};
+  const Key keys[] = {{"prefix", 64},     {"mux-merger", 128}, {"batcher", 32},
+                      {"periodic-k", 48}, {"multiway-k", 64},  {"fish", 64}};
   // Per-vector reference oracles, one per key.
   std::vector<std::unique_ptr<sorters::BinarySorter>> refs;
   for (const auto& k : keys) refs.push_back(sorters::make_sorter(k.sorter, k.n));
@@ -651,7 +652,8 @@ int cmd_serve_tcp_selftest(bool stats, std::size_t clients, std::size_t requests
     const char* sorter;
     std::size_t n;
   };
-  const Key keys[] = {{"prefix", 64}, {"mux-merger", 128}, {"batcher", 32}, {"fish", 64}};
+  const Key keys[] = {{"prefix", 64},     {"mux-merger", 128}, {"batcher", 32},
+                      {"periodic-k", 48}, {"multiway-k", 64},  {"fish", 64}};
   std::vector<std::unique_ptr<sorters::BinarySorter>> refs;
   for (const auto& k : keys) refs.push_back(sorters::make_sorter(k.sorter, k.n));
 
